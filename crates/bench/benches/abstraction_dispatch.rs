@@ -1,0 +1,44 @@
+//! The abstraction-overhead microbenchmark behind Figure 11's "ML4all ≈
+//! hand-coded Spark" claim: the per-unit cost of going through the boxed
+//! seven-operator indirection versus calling the gradient directly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ml4all_gd::{
+    ComputeAcc, ComputeOp, Context, Gradient, GradientKind,
+};
+use ml4all_linalg::{FeatureVec, LabeledPoint};
+
+struct BoxedCompute {
+    inner: Box<dyn ComputeOp>,
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let point = LabeledPoint::new(1.0, FeatureVec::dense(vec![0.5; 100]));
+    let ctx = Context::new(100);
+    let mut group = c.benchmark_group("abstraction_dispatch");
+
+    group.bench_function("direct_gradient_call", |b| {
+        let gradient = GradientKind::Svm;
+        let mut acc = vec![0.0; 100];
+        b.iter(|| {
+            gradient.accumulate(black_box(&[0.1; 100]), black_box(&point), &mut acc);
+            black_box(acc[0])
+        })
+    });
+
+    group.bench_function("boxed_operator_call", |b| {
+        let boxed = BoxedCompute {
+            inner: Box::new(ml4all_gd::operators::GradientCompute::of(GradientKind::Svm)),
+        };
+        let mut acc = ComputeAcc::new(100);
+        b.iter(|| {
+            boxed.inner.compute(black_box(&point), black_box(&ctx), &mut acc);
+            black_box(acc.count)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

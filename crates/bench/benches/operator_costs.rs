@@ -1,0 +1,49 @@
+//! Microbenchmarks of the cost model itself: the optimizer evaluates all
+//! 11 plans per query, so costing must be effectively free next to the
+//! speculation budget (the paper reports sub-100 ms optimization when the
+//! iteration count is fixed, Section 8.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ml4all_core::cost::PlanCostModel;
+use ml4all_core::planspace::enumerate_plans;
+use ml4all_dataflow::{ClusterSpec, DatasetDescriptor};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let spec = ClusterSpec::paper_testbed();
+    let descriptors = [
+        DatasetDescriptor::new("adult", 100_827, 123, 7 * 1024 * 1024, 0.11),
+        DatasetDescriptor::new("svm3", 88_268_800, 100, 160 * 1024 * 1024 * 1024, 1.0),
+        DatasetDescriptor::new("rcv1", 677_399, 47_236, 1_288_490_188, 1.5e-3),
+    ];
+
+    let mut group = c.benchmark_group("cost_model");
+    for desc in &descriptors {
+        group.bench_function(format!("all_11_plans/{}", desc.name), |b| {
+            let model = PlanCostModel::new(&spec, desc);
+            let plans = enumerate_plans(1000);
+            b.iter(|| {
+                let mut total = 0.0;
+                for plan in &plans {
+                    total += model.total_s(black_box(plan), black_box(515));
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("cost_model/single_plan_breakdown", |b| {
+        let desc = &descriptors[1];
+        let model = PlanCostModel::new(&spec, desc);
+        let plan = ml4all_gd::GdPlan::bgd();
+        b.iter(|| {
+            (
+                black_box(model.preparation_s(&plan)),
+                black_box(model.per_iteration_s(&plan)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks of the three sampling strategies (Figure 4): the
+//! per-draw machine cost of Bernoulli vs random-partition vs
+//! shuffled-partition, complementing the simulated-cost comparison of
+//! Figure 13.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ml4all_dataflow::{
+    ClusterSpec, PartitionScheme, PartitionedDataset, SamplerState, SamplingMethod, SimEnv,
+};
+use ml4all_linalg::{FeatureVec, LabeledPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize) -> PartitionedDataset {
+    let points: Vec<LabeledPoint> = (0..n)
+        .map(|i| LabeledPoint::new(1.0, FeatureVec::dense(vec![i as f64, 1.0])))
+        .collect();
+    let spec = ClusterSpec::paper_testbed();
+    let desc = ml4all_dataflow::DatasetDescriptor::new(
+        "bench",
+        n as u64,
+        2,
+        8 * spec.partition_bytes,
+        1.0,
+    );
+    PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec)
+        .unwrap()
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = dataset(100_000);
+    let mut group = c.benchmark_group("samplers");
+    for method in [
+        SamplingMethod::Bernoulli,
+        SamplingMethod::RandomPartition,
+        SamplingMethod::ShuffledPartition,
+    ] {
+        group.bench_function(format!("draw_1000/{}", method.label()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        SamplerState::new(method),
+                        SimEnv::new(ClusterSpec::paper_testbed()),
+                        StdRng::seed_from_u64(42),
+                    )
+                },
+                |(mut sampler, mut env, mut rng)| {
+                    let coords = sampler.draw(&data, 1000, &mut env, &mut rng).unwrap();
+                    black_box(coords.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

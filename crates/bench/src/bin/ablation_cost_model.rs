@@ -1,0 +1,137 @@
+//! **Ablation** — which parts of the cost model earn their keep?
+//!
+//! For each Table 2 dataset, run the *full optimizer* (speculation +
+//! costing over all 11 plans, tolerance 1e-3) under the real cost model
+//! and under ablated variants, then execute each variant's chosen plan on
+//! the **true** simulator. The regret column (chosen-plan time / true-best
+//! time) shows what the missing component costs:
+//!
+//! - `no-cache`: everything priced as disk — overcharges cached scans;
+//! - `all-cached`: everything priced as memory — misses the svm3-scale
+//!   spill penalty, so scan-heavy plans look safe;
+//! - `no-overhead`: scheduling overheads zeroed — iteration-hungry plans
+//!   look free;
+//! - `flat-seek`: memory seeks priced like disk — random access looks
+//!   ruinous everywhere.
+
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{params_for, run_all_plans, run_plan, speculation_for};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_dataflow::ClusterSpec;
+use ml4all_datasets::registry;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let tolerance = 1e-3;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    let variants: Vec<(&str, ClusterSpec)> = vec![
+        ("full", cluster.clone()),
+        ("no-cache", {
+            let mut s = cluster.clone();
+            s.cache_bytes = 0;
+            s
+        }),
+        ("all-cached", {
+            let mut s = cluster.clone();
+            s.cache_bytes = u64::MAX;
+            s
+        }),
+        ("no-overhead", {
+            let mut s = cluster.clone();
+            s.stage_launch_s = 0.0;
+            s.driver_loop_s = 0.0;
+            s.job_init_s = 0.0;
+            s
+        }),
+        ("flat-seek", {
+            let mut s = cluster.clone();
+            s.mem_seek_s = s.seek_s;
+            s
+        }),
+    ];
+    let labels: Vec<&str> = variants.iter().map(|(l, _)| *l).collect();
+
+    for spec in registry::table2() {
+        let data = build_dataset(&spec, &cfg, &cluster);
+        let params = params_for(&spec, &cfg, tolerance);
+
+        // Ground truth: every plan executed on the true simulator.
+        let truth = run_all_plans(&data, &params, &cluster, 1000);
+        let (best_plan, best_s) = truth
+            .iter()
+            .filter_map(|(p, r)| r.as_ref().ok().map(|r| (*p, r.sim_time_s)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("some plan runs");
+
+        let mut row = vec![spec.name.clone(), best_plan.name()];
+        let mut cells = serde_json::Map::new();
+        cells.insert("dataset".into(), spec.name.clone().into());
+        cells.insert("true_best".into(), best_plan.name().into());
+        for (label, ablated) in &variants {
+            let config = OptimizerConfig::new(params.gradient)
+                .with_tolerance(tolerance)
+                .with_max_iter(params.max_iter)
+                .with_speculation(speculation_for(&cfg));
+            let entry = match choose_plan(&data, &config, ablated) {
+                Ok(report) => {
+                    let chosen = report.best().plan;
+                    let actual = truth
+                        .iter()
+                        .find(|(p, _)| *p == chosen)
+                        .and_then(|(_, r)| r.as_ref().ok().map(|r| r.sim_time_s))
+                        .unwrap_or_else(|| {
+                            run_plan(&chosen, &data, &params, &cluster)
+                                .map(|r| r.sim_time_s)
+                                .unwrap_or(f64::NAN)
+                        });
+                    let regret = actual / best_s;
+                    row.push(format!("{} ({regret:.1}x)", chosen.name()));
+                    serde_json::json!({
+                        "chosen": chosen.name(),
+                        "actual_s": actual,
+                        "regret": regret,
+                    })
+                }
+                Err(e) => {
+                    row.push(format!("fail: {e}"));
+                    serde_json::json!({ "error": e.to_string() })
+                }
+            };
+            cells.insert(label.to_string(), entry);
+        }
+        row.push(fmt_s(best_s));
+        rows.push(row);
+        json.push(serde_json::Value::Object(cells));
+    }
+
+    let mut headers = vec!["dataset", "true best"];
+    headers.extend(labels.iter());
+    headers.push("best time");
+    print_table(
+        "Ablation: full optimizer under ablated cost models (regret vs true best)",
+        &headers,
+        &rows,
+    );
+
+    for label in &labels {
+        let regrets: Vec<f64> = json
+            .iter()
+            .filter_map(|v| v[*label]["regret"].as_f64())
+            .filter(|r| r.is_finite())
+            .collect();
+        let worst = regrets.iter().cloned().fold(1.0, f64::max);
+        let mean = regrets.iter().sum::<f64>() / regrets.len().max(1) as f64;
+        println!("{label:>12}: mean regret {mean:.2}x, worst {worst:.1}x");
+    }
+
+    ExperimentRecord::new(
+        "ablation_cost_model",
+        "Ablation: cost-model components vs plan-choice regret",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}

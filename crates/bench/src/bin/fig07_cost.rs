@@ -1,0 +1,122 @@
+//! **Figure 7(a/b)** — accuracy of the training-time estimates.
+//!
+//! (a) Fixed 1 000 iterations on adult/covtype/yearpred/rcv1: the
+//! optimizer (which picks SGD for all four, as in the paper) predicts the
+//! training time from the cost model alone; we compare against the
+//! "real" (simulated-execution) time.
+//!
+//! (b) Run to convergence with tolerances 0.001 (adult, covtype), 0.1
+//! (yearpred), 0.01 (rcv1): the prediction combines the iterations
+//! estimator with the cost model.
+
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{params_for, run_plan, speculation_for};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_dataflow::ClusterSpec;
+use ml4all_datasets::registry;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let mut json = Vec::new();
+
+    // ---- (a) fixed 1 000 iterations -------------------------------
+    let fixed_iters = cfg.max_iter();
+    let mut rows_a = Vec::new();
+    for spec in [
+        registry::adult(),
+        registry::covtype(),
+        registry::yearpred(),
+        registry::rcv1(),
+    ] {
+        let data = build_dataset(&spec, &cfg, &cluster);
+        let config = OptimizerConfig::new(ml4all_bench::task_gradient(spec.task))
+            .with_fixed_iterations(fixed_iters);
+        let report = choose_plan(&data, &config, &cluster).expect("fixed-iteration costing");
+        let chosen = report.best();
+
+        let mut params = params_for(&spec, &cfg, 0.0);
+        params.tolerance = 0.0; // force exactly the fixed iterations
+        params.max_iter = fixed_iters;
+        let real = run_plan(&chosen.plan, &data, &params, &cluster).expect("plan executes");
+
+        let err_pct = 100.0 * (chosen.total_s - real.sim_time_s).abs() / real.sim_time_s;
+        rows_a.push(vec![
+            spec.name.clone(),
+            chosen.plan.name(),
+            fmt_s(real.sim_time_s),
+            fmt_s(chosen.total_s),
+            format!("{err_pct:.0}%"),
+        ]);
+        json.push(serde_json::json!({
+            "panel": "a", "dataset": spec.name, "plan": chosen.plan.name(),
+            "real_s": real.sim_time_s, "estimated_s": chosen.total_s,
+            "error_pct": err_pct,
+        }));
+    }
+    print_table(
+        &format!("Figure 7(a): {fixed_iters} fixed iterations — real vs estimated time"),
+        &["dataset", "chosen plan", "real", "estimated", "error"],
+        &rows_a,
+    );
+
+    // ---- (b) run to convergence ------------------------------------
+    let cases = [
+        (registry::adult(), 0.001),
+        (registry::covtype(), 0.001),
+        (registry::yearpred(), 0.1),
+        (registry::rcv1(), 0.01),
+    ];
+    let mut rows_b = Vec::new();
+    for (spec, tol) in cases {
+        let data = build_dataset(&spec, &cfg, &cluster);
+        let config = OptimizerConfig::new(ml4all_bench::task_gradient(spec.task))
+            .with_tolerance(tol)
+            .with_max_iter(cfg.max_iter())
+            .with_speculation(speculation_for(&cfg));
+        let report = match choose_plan(&data, &config, &cluster) {
+            Ok(r) => r,
+            Err(e) => {
+                rows_b.push(vec![spec.name.clone(), format!("optimizer failed: {e}")]);
+                continue;
+            }
+        };
+        let chosen = report.best();
+        let params = params_for(&spec, &cfg, tol);
+        let real = run_plan(&chosen.plan, &data, &params, &cluster).expect("plan executes");
+        let err_pct = 100.0 * (chosen.total_s - real.sim_time_s).abs() / real.sim_time_s;
+        rows_b.push(vec![
+            spec.name.clone(),
+            format!("{tol}"),
+            chosen.plan.name(),
+            format!("{}", real.iterations),
+            format!("{}", chosen.estimated_iterations),
+            fmt_s(real.sim_time_s),
+            fmt_s(chosen.total_s),
+            format!("{err_pct:.0}%"),
+        ]);
+        json.push(serde_json::json!({
+            "panel": "b", "dataset": spec.name, "tolerance": tol,
+            "plan": chosen.plan.name(),
+            "real_iterations": real.iterations,
+            "estimated_iterations": chosen.estimated_iterations,
+            "real_s": real.sim_time_s, "estimated_s": chosen.total_s,
+            "error_pct": err_pct,
+        }));
+    }
+    print_table(
+        "Figure 7(b): run to convergence — real vs estimated time",
+        &[
+            "dataset", "eps", "chosen plan", "real it", "est it", "real", "estimated", "error",
+        ],
+        &rows_b,
+    );
+
+    ExperimentRecord::new(
+        "fig07",
+        "Figure 7: training-time estimation accuracy",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}

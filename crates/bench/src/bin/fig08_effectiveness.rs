@@ -1,0 +1,104 @@
+//! **Figure 8** — effectiveness: for each of the eight Table 2 datasets,
+//! exhaustively run all 11 GD plans to convergence and compare the best
+//! (min) and worst (max) against the plan the optimizer chooses, including
+//! the speculation overhead in the chosen plan's time.
+
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{params_for, run_all_plans, run_plan, speculation_for};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_dataflow::ClusterSpec;
+use ml4all_datasets::registry;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let tolerance = 1e-3;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for spec in registry::table2() {
+        let data = build_dataset(&spec, &cfg, &cluster);
+        let params = params_for(&spec, &cfg, tolerance);
+
+        // Exhaustive runs (what the user would have to do without an
+        // optimizer).
+        let all = run_all_plans(&data, &params, &cluster, 1000);
+        let finished: Vec<(String, f64)> = all
+            .iter()
+            .filter_map(|(p, r)| r.as_ref().ok().map(|r| (p.name(), r.sim_time_s)))
+            .collect();
+        let (min_plan, min_s) = finished
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .cloned()
+            .expect("some plan finishes");
+        let (max_plan, max_s) = finished
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .cloned()
+            .expect("some plan finishes");
+
+        // The optimizer's choice, speculation charged on top.
+        let config = OptimizerConfig::new(params.gradient)
+            .with_tolerance(tolerance)
+            .with_max_iter(params.max_iter)
+            .with_speculation(speculation_for(&cfg));
+        let (chosen_name, chosen_exec_s, speculation_s) =
+            match choose_plan(&data, &config, &cluster) {
+                Ok(report) => {
+                    let plan = report.best().plan;
+                    let result =
+                        run_plan(&plan, &data, &params, &cluster).expect("chosen plan executes");
+                    (plan.name(), result.sim_time_s, report.speculation_sim_s)
+                }
+                Err(e) => (format!("failed: {e}"), f64::NAN, f64::NAN),
+            };
+        let chosen_total = chosen_exec_s + speculation_s;
+
+        // The paper's two claims: the chosen plan tracks the min, and the
+        // overhead is a few seconds.
+        let within = chosen_exec_s <= min_s * 1.10 + 1e-9;
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{} ({})", fmt_s(min_s), min_plan),
+            format!("{} ({})", fmt_s(max_s), max_plan),
+            format!("{} ({})", fmt_s(chosen_total), chosen_name),
+            fmt_s(speculation_s),
+            if within { "=min".into() } else { "off".to_string() },
+        ]);
+        json.push(serde_json::json!({
+            "dataset": spec.name,
+            "min_s": min_s, "min_plan": min_plan,
+            "max_s": max_s, "max_plan": max_plan,
+            "chosen_plan": chosen_name,
+            "chosen_exec_s": chosen_exec_s,
+            "speculation_s": speculation_s,
+            "chosen_total_s": chosen_total,
+            "chose_best": within,
+            "all_plans": all.iter().map(|(p, r)| serde_json::json!({
+                "plan": p.name(),
+                "time_s": r.as_ref().map(|x| x.sim_time_s).unwrap_or(f64::NAN),
+                "iterations": r.as_ref().map(|x| x.iterations).unwrap_or(0),
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    print_table(
+        "Figure 8: min/max plan vs optimizer's choice (+ speculation overhead)",
+        &["dataset", "min", "max", "chosen (total)", "speculation", "verdict"],
+        &rows,
+    );
+    let hits = json
+        .iter()
+        .filter(|v| v["chose_best"].as_bool() == Some(true))
+        .count();
+    println!("\noptimizer matched the best plan on {hits}/{} datasets", json.len());
+
+    ExperimentRecord::new(
+        "fig08",
+        "Figure 8: optimizer effectiveness (min/max/chosen)",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}

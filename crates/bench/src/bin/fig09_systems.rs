@@ -1,0 +1,95 @@
+//! **Figure 9(a–c)** — system comparison: training time of BGD, MGD(1k),
+//! and SGD on MLlib, SystemML (with its conversion overhead broken out),
+//! and ML4all (optimizer restricted to the algorithm, as the paper does:
+//! "we used ML4all just to find the best plan given a GD algorithm").
+//!
+//! Tolerance 0.001, max 1 000 iterations, identical hyper-parameters
+//! across systems (Section 8.4.1).
+
+use ml4all_baselines::{BaselineError, MllibRunner, SystemmlRunner};
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{best_plan_for_variant, params_for};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_dataflow::{ClusterSpec, SimEnv};
+use ml4all_datasets::registry;
+use ml4all_gd::GdVariant;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let tolerance = 1e-3;
+    let mut json = Vec::new();
+
+    for (panel, variant) in [
+        ("a/BGD", GdVariant::Batch),
+        ("b/MGD", GdVariant::MiniBatch { batch: 1000 }),
+        ("c/SGD", GdVariant::Stochastic),
+    ] {
+        let mut rows = Vec::new();
+        for spec in registry::table2() {
+            let data = build_dataset(&spec, &cfg, &cluster);
+            let params = params_for(&spec, &cfg, tolerance);
+
+            // MLlib.
+            let mut env = SimEnv::new(cluster.clone());
+            let mllib = MllibRunner::default().run(variant, &data, &params, &mut env);
+            let mllib_cell = match &mllib {
+                Ok(r) => fmt_s(r.sim_time_s),
+                Err(e) => short_err(e),
+            };
+
+            // SystemML (conversion + training).
+            let mut env = SimEnv::new(cluster.clone());
+            let sysml = SystemmlRunner::default().run(variant, &data, &params, &mut env);
+            let sysml_cell = match &sysml {
+                Ok(o) => format!(
+                    "{} (+{} conv)",
+                    fmt_s(o.result.sim_time_s - o.conversion_s),
+                    fmt_s(o.conversion_s)
+                ),
+                Err(e) => short_err(e),
+            };
+
+            // ML4all: best plan for this algorithm.
+            let ours = best_plan_for_variant(variant, &data, &params, &cfg, &cluster);
+            let ours_cell = match &ours {
+                Ok((plan, r)) => format!("{} ({})", fmt_s(r.sim_time_s), plan.name()),
+                Err(e) => format!("fail: {e}"),
+            };
+
+            json.push(serde_json::json!({
+                "panel": panel,
+                "dataset": spec.name,
+                "mllib_s": mllib.as_ref().map(|r| r.sim_time_s).ok(),
+                "mllib_iterations": mllib.as_ref().map(|r| r.iterations).ok(),
+                "systemml_s": sysml.as_ref().map(|o| o.result.sim_time_s).ok(),
+                "systemml_conversion_s": sysml.as_ref().map(|o| o.conversion_s).ok(),
+                "systemml_error": sysml.as_ref().err().map(|e| e.to_string()),
+                "ml4all_s": ours.as_ref().map(|(_, r)| r.sim_time_s).ok(),
+                "ml4all_plan": ours.as_ref().map(|(p, _)| p.name()).ok(),
+                "ml4all_iterations": ours.as_ref().map(|(_, r)| r.iterations).ok(),
+            }));
+            rows.push(vec![spec.name.clone(), mllib_cell, sysml_cell, ours_cell]);
+        }
+        print_table(
+            &format!("Figure 9({panel}): training time per system"),
+            &["dataset", "MLlib", "SystemML", "ML4all"],
+            &rows,
+        );
+    }
+
+    ExperimentRecord::new(
+        "fig09",
+        "Figure 9: ML4all vs MLlib vs SystemML",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}
+
+fn short_err(e: &BaselineError) -> String {
+    match e {
+        BaselineError::OutOfMemory { .. } => "OOM".into(),
+        BaselineError::DriverOverflow { .. } => "driver OOM".into(),
+        BaselineError::Gd(e) => format!("fail: {e}"),
+    }
+}

@@ -1,0 +1,125 @@
+//! **Figure 10(a/b)** — scalability of SGD: MLlib vs the eager-random and
+//! lazy-shuffle ML4all plans when scaling (a) the number of points
+//! (SVM A: 2.7M → 88M, 5 GB → 160 GB) and (b) the number of features
+//! (SVM B: 1k → 500k, 180 MB → 90 GB).
+
+use ml4all_baselines::MllibRunner;
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{params_for, run_plan};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_dataflow::{ClusterSpec, SamplingMethod, SimEnv};
+use ml4all_datasets::registry;
+use ml4all_gd::{GdPlan, GdVariant, TransformPolicy};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let tolerance = 1e-3;
+    let mut json = Vec::new();
+
+    let eager_random =
+        GdPlan::sgd(TransformPolicy::Eager, SamplingMethod::RandomPartition).unwrap();
+    let lazy_shuffle =
+        GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::ShuffledPartition).unwrap();
+
+    // ---- (a) points sweep (SVM A) -----------------------------------
+    let points_axis: &[u64] = if cfg.quick {
+        &[2_758_400, 11_000_000, 88_268_800]
+    } else {
+        &[2_758_400, 5_516_800, 11_000_000, 22_067_200, 44_134_400, 88_268_800]
+    };
+    let mut rows = Vec::new();
+    for &points in points_axis {
+        let spec = registry::svm_a(points);
+        rows.push(sweep_row(
+            &spec,
+            &format!("{:.1}M", points as f64 / 1e6),
+            &cfg,
+            &cluster,
+            tolerance,
+            &eager_random,
+            &lazy_shuffle,
+            &mut json,
+            "a",
+        ));
+    }
+    print_table(
+        "Figure 10(a): SGD scalability in #points (SVM A)",
+        &["#points", "MLlib", "eager-random", "lazy-shuffle"],
+        &rows,
+    );
+
+    // ---- (b) features sweep (SVM B) ---------------------------------
+    let features_axis: &[usize] = if cfg.quick {
+        &[1_000, 50_000, 500_000]
+    } else {
+        &[1_000, 10_000, 50_000, 100_000, 500_000]
+    };
+    let mut rows = Vec::new();
+    for &dims in features_axis {
+        let spec = registry::svm_b(dims);
+        rows.push(sweep_row(
+            &spec,
+            &format!("{}k", dims / 1000),
+            &cfg,
+            &cluster,
+            tolerance,
+            &eager_random,
+            &lazy_shuffle,
+            &mut json,
+            "b",
+        ));
+    }
+    print_table(
+        "Figure 10(b): SGD scalability in #features (SVM B)",
+        &["#features", "MLlib", "eager-random", "lazy-shuffle"],
+        &rows,
+    );
+
+    ExperimentRecord::new(
+        "fig10",
+        "Figure 10: scalability vs MLlib",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_row(
+    spec: &ml4all_datasets::DatasetSpec,
+    axis: &str,
+    cfg: &BenchConfig,
+    cluster: &ClusterSpec,
+    tolerance: f64,
+    eager_random: &GdPlan,
+    lazy_shuffle: &GdPlan,
+    json: &mut Vec<serde_json::Value>,
+    panel: &str,
+) -> Vec<String> {
+    let data = build_dataset(spec, cfg, cluster);
+    let params = params_for(spec, cfg, tolerance);
+
+    let mut env = SimEnv::new(cluster.clone());
+    let mllib = MllibRunner::default().run(GdVariant::Stochastic, &data, &params, &mut env);
+    let r_eager = run_plan(eager_random, &data, &params, cluster);
+    let r_lazy = run_plan(lazy_shuffle, &data, &params, cluster);
+
+    let mllib_s = mllib.as_ref().map(|r| r.sim_time_s).unwrap_or(f64::NAN);
+    let eager_s = r_eager.as_ref().map(|r| r.sim_time_s).unwrap_or(f64::NAN);
+    let lazy_s = r_lazy.as_ref().map(|r| r.sim_time_s).unwrap_or(f64::NAN);
+    json.push(serde_json::json!({
+        "panel": panel,
+        "axis": axis,
+        "bytes": spec.bytes,
+        "mllib_s": mllib_s,
+        "eager_random_s": eager_s,
+        "lazy_shuffle_s": lazy_s,
+        "mllib_over_lazy": mllib_s / lazy_s,
+    }));
+    vec![
+        axis.to_string(),
+        fmt_s(mllib_s),
+        fmt_s(eager_s),
+        fmt_s(lazy_s),
+    ]
+}

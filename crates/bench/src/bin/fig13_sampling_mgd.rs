@@ -1,0 +1,73 @@
+//! **Figure 13(a/b)** — sampling effect in MGD(1k) under (a) eager and
+//! (b) lazy transformation, across the adult…svm2 datasets
+//! (Section 8.6.1). Tolerance 0.001, max 1 000 iterations.
+
+use ml4all_bench::harness::fmt_s;
+use ml4all_bench::runs::{in_depth_cell, in_depth_datasets};
+use ml4all_bench::{print_table, BenchConfig, ExperimentRecord};
+use ml4all_dataflow::{ClusterSpec, SamplingMethod};
+use ml4all_gd::{GdVariant, TransformPolicy};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let variant = GdVariant::MiniBatch { batch: 1000 };
+    let mut json = Vec::new();
+
+    for (panel, transform, samplers) in [
+        (
+            "a/eager",
+            TransformPolicy::Eager,
+            vec![
+                SamplingMethod::Bernoulli,
+                SamplingMethod::RandomPartition,
+                SamplingMethod::ShuffledPartition,
+            ],
+        ),
+        (
+            "b/lazy",
+            TransformPolicy::Lazy,
+            vec![
+                SamplingMethod::RandomPartition,
+                SamplingMethod::ShuffledPartition,
+            ],
+        ),
+    ] {
+        let mut rows = Vec::new();
+        for spec in in_depth_datasets() {
+            let mut row = vec![spec.name.clone()];
+            for &sampling in &samplers {
+                let cell =
+                    in_depth_cell(variant, transform, sampling, &spec, &cfg, &cluster, 1e-3);
+                let (text, value) = match cell {
+                    Some(Ok(r)) => (fmt_s(r.sim_time_s), Some(r.sim_time_s)),
+                    Some(Err(e)) => (format!("fail: {e}"), None),
+                    None => ("—".into(), None),
+                };
+                json.push(serde_json::json!({
+                    "panel": panel,
+                    "dataset": spec.name,
+                    "sampling": sampling.label(),
+                    "time_s": value,
+                }));
+                row.push(text);
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> = std::iter::once("dataset")
+            .chain(samplers.iter().map(|s| s.label()))
+            .collect();
+        print_table(
+            &format!("Figure 13({panel}): sampling effect in MGD(1k)"),
+            &headers,
+            &rows,
+        );
+    }
+
+    ExperimentRecord::new(
+        "fig13",
+        "Figure 13: MGD sampling effect, eager and lazy",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}

@@ -1,0 +1,62 @@
+//! Run the full experiment suite — every figure and table of the paper's
+//! evaluation — writing JSON records under `results/`.
+//!
+//! ```text
+//! cargo run --release -p ml4all-bench --bin run_all
+//! ML4ALL_QUICK=1 cargo run --release -p ml4all-bench --bin run_all   # smoke
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2_datasets",
+    "fig01_motivation",
+    "fig06_iterations",
+    "fig07_cost",
+    "fig08_effectiveness",
+    "fig09_systems",
+    "fig10_scalability",
+    "fig11_abstraction",
+    "fig12_accuracy",
+    "fig13_sampling_mgd",
+    "fig14_transform",
+    "fig15_16_curvefit",
+    "fig17_sampling_sgd",
+    "fig18_transform_random",
+    "table4_chosen_plans",
+    "ablation_cost_model",
+    "ablation_estimator",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let started = std::time::Instant::now();
+    let mut failures = Vec::new();
+
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let t0 = std::time::Instant::now();
+        let status = Command::new(exe_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("cannot launch {name}: {e}"));
+        println!("[{name} finished in {:.1?} — {status}]", t0.elapsed());
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+
+    println!(
+        "\n=== run_all finished in {:.1?}; {}/{} experiments succeeded ===",
+        started.elapsed(),
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if !failures.is_empty() {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

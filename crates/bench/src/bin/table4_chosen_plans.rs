@@ -1,0 +1,80 @@
+//! **Table 4 (Appendix E)** — the plan the optimizer chooses for each GD
+//! algorithm on each dataset, and the iterations the chosen plan needs to
+//! converge (tolerance 0.001, max 1 000 iterations).
+
+use ml4all_bench::runs::{best_plan_for_variant, params_for, paper_variants};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all_dataflow::ClusterSpec;
+use ml4all_datasets::registry;
+use ml4all_gd::GdVariant;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cluster = ClusterSpec::paper_testbed();
+    let tolerance = 1e-3;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for spec in registry::table2() {
+        let data = build_dataset(&spec, &cfg, &cluster);
+        let params = params_for(&spec, &cfg, tolerance);
+        let mut row = vec![spec.name.clone()];
+        let mut cells = serde_json::Map::new();
+        cells.insert("dataset".into(), spec.name.clone().into());
+
+        // Table 4 columns: SGD, MGD, BGD.
+        for variant in [
+            GdVariant::Stochastic,
+            GdVariant::MiniBatch { batch: 1000 },
+            GdVariant::Batch,
+        ] {
+            match best_plan_for_variant(variant, &data, &params, &cfg, &cluster) {
+                Ok((plan, result)) => {
+                    let plan_label = match variant {
+                        GdVariant::Batch => format!("{}", result.iterations),
+                        _ => format!(
+                            "{} {}-{}",
+                            result.iterations,
+                            plan.transform.label(),
+                            plan.sampling.map(|s| s.label()).unwrap_or("-")
+                        ),
+                    };
+                    row.push(plan_label);
+                    cells.insert(
+                        variant.name().to_lowercase(),
+                        serde_json::json!({
+                            "plan": plan.name(),
+                            "iterations": result.iterations,
+                            "converged": result.converged(),
+                            "time_s": result.sim_time_s,
+                        }),
+                    );
+                }
+                Err(e) => {
+                    row.push(format!("fail: {e}"));
+                    cells.insert(
+                        variant.name().to_lowercase(),
+                        serde_json::json!({ "error": e.to_string() }),
+                    );
+                }
+            }
+        }
+        rows.push(row);
+        json.push(serde_json::Value::Object(cells));
+    }
+
+    // Mirror the paper's column layout: #iter + plan per algorithm.
+    print_table(
+        "Table 4: chosen plan per GD algorithm (iterations plan)",
+        &["dataset", "SGD", "MGD(1k)", "BGD (#iter)"],
+        &rows,
+    );
+    let _ = paper_variants(); // (layout helper shared with other figures)
+
+    ExperimentRecord::new(
+        "table4",
+        "Table 4: chosen plans and iterations per algorithm",
+        serde_json::Value::Array(json),
+    )
+    .write();
+}

@@ -1,0 +1,171 @@
+//! Shared experiment plumbing: configuration, dataset construction, and
+//! table rendering.
+
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset};
+use ml4all_datasets::registry::DatasetSpec;
+use ml4all_datasets::Task;
+use ml4all_gd::GradientKind;
+
+/// Harness configuration, read from environment variables so every binary
+/// behaves identically:
+///
+/// - `ML4ALL_MAX_PHYSICAL` — physical row cap per dataset (default 8 000);
+/// - `ML4ALL_QUICK` — set to shrink workloads for smoke runs;
+/// - `ML4ALL_SEED` — global seed (default 7).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Physical row cap.
+    pub max_physical: usize,
+    /// Quick mode for smoke testing.
+    pub quick: bool,
+    /// Global seed.
+    pub seed: u64,
+    /// Memory budget for one dataset's physical rows, bounding wide
+    /// datasets (SVM B at 500 000 features).
+    pub max_physical_bytes: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl BenchConfig {
+    /// Read configuration from the environment.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("ML4ALL_QUICK").is_ok();
+        let max_physical = std::env::var("ML4ALL_MAX_PHYSICAL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 2000 } else { 8000 });
+        let seed = std::env::var("ML4ALL_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        Self {
+            max_physical,
+            quick,
+            seed,
+            max_physical_bytes: 512 * 1024 * 1024,
+        }
+    }
+
+    /// Physical row cap for a dataset, additionally bounded by the
+    /// in-memory byte budget (wide datasets get fewer rows).
+    pub fn physical_cap(&self, spec: &DatasetSpec) -> usize {
+        let bytes_per_row = (spec.dims as f64 * spec.density * 8.0).max(16.0) as usize + 16;
+        let by_bytes = (self.max_physical_bytes / bytes_per_row).max(64);
+        self.max_physical.min(by_bytes)
+    }
+
+    /// Iteration cap used across the experiments (the paper's 1 000).
+    pub fn max_iter(&self) -> u64 {
+        if self.quick {
+            200
+        } else {
+            1000
+        }
+    }
+}
+
+/// Build the physically-capped analog of a Table 2 dataset.
+pub fn build_dataset(
+    spec: &DatasetSpec,
+    cfg: &BenchConfig,
+    cluster: &ClusterSpec,
+) -> PartitionedDataset {
+    spec.build(cfg.physical_cap(spec), cfg.seed, cluster)
+        .expect("registry datasets are non-empty")
+}
+
+/// Map a registry task to its Table 3 gradient.
+pub fn task_gradient(task: Task) -> GradientKind {
+    match task {
+        Task::Svm => GradientKind::Svm,
+        Task::LogisticRegression => GradientKind::LogisticRegression,
+        Task::LinearRegression => GradientKind::LinearRegression,
+    }
+}
+
+/// Render a fixed-width table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format seconds compactly (`12.3s`, `1.2ks`).
+pub fn fmt_s(s: f64) -> String {
+    if !s.is_finite() {
+        "fail".to_string()
+    } else if s >= 10_000.0 {
+        format!("{:.1}ks", s / 1000.0)
+    } else if s >= 100.0 {
+        format!("{s:.0}s")
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_datasets::registry;
+
+    #[test]
+    fn physical_cap_bounds_wide_datasets_by_bytes() {
+        let cfg = BenchConfig {
+            max_physical: 8000,
+            quick: false,
+            seed: 1,
+            max_physical_bytes: 512 * 1024 * 1024,
+        };
+        let narrow = registry::adult();
+        assert_eq!(cfg.physical_cap(&narrow), 8000);
+        let wide = registry::svm_b(500_000);
+        assert!(cfg.physical_cap(&wide) < 300, "cap {}", cfg.physical_cap(&wide));
+        assert!(cfg.physical_cap(&wide) >= 64);
+    }
+
+    #[test]
+    fn fmt_s_scales() {
+        assert_eq!(fmt_s(1.23), "1.2s");
+        assert_eq!(fmt_s(123.4), "123s");
+        assert_eq!(fmt_s(54_420.0), "54.4ks");
+        assert_eq!(fmt_s(f64::INFINITY), "fail");
+    }
+
+    #[test]
+    fn task_gradients_match_table3() {
+        assert_eq!(task_gradient(Task::Svm), GradientKind::Svm);
+        assert_eq!(
+            task_gradient(Task::LogisticRegression),
+            GradientKind::LogisticRegression
+        );
+        assert_eq!(
+            task_gradient(Task::LinearRegression),
+            GradientKind::LinearRegression
+        );
+    }
+}

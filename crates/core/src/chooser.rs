@@ -1,0 +1,468 @@
+//! The cost-based plan chooser: speculation-estimated iterations × modelled
+//! cost per iteration, argmin over the Figure 5 plan space (Sections 3, 7).
+
+use std::time::Duration;
+
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset};
+use ml4all_gd::{
+    GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::PlanCostModel;
+use crate::estimator::{estimate_iterations, IterationsEstimate, SpeculationConfig};
+use crate::planspace::enumerate_plans;
+use crate::OptimizerError;
+
+/// Where the iteration counts come from.
+#[derive(Debug, Clone)]
+pub enum IterationsSource {
+    /// Speculate per GD variant (Algorithm 1). The default.
+    Speculate(SpeculationConfig),
+    /// The user fixed the iteration count (`max iter` without a tolerance):
+    /// no speculation is needed and optimization takes well under 100 ms —
+    /// the paper's observation in Section 8.3.
+    Fixed(u64),
+}
+
+/// Optimizer configuration: the task, hyper-parameters, constraints, and
+/// speculation settings.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Gradient function (Table 3 task).
+    pub gradient: GradientKind,
+    /// Step schedule (the paper pins `β/√i`, β = 1 everywhere).
+    pub step: StepSize,
+    /// Regularizer.
+    pub regularizer: Regularizer,
+    /// Requested tolerance ε (`having epsilon …`; default 1e-3 as in
+    /// Appendix A).
+    pub tolerance: f64,
+    /// Iteration cap (`having max iter …`).
+    pub max_iter: u64,
+    /// Mini-batch size used for the MGD plans.
+    pub batch_size: usize,
+    /// Iteration-count source.
+    pub iterations: IterationsSource,
+    /// Optional training-time budget (`having time …`): if even the best
+    /// plan exceeds it, the optimizer reports the constraint to revisit.
+    pub time_budget: Option<Duration>,
+    /// Restrict the search to one GD algorithm (`using algorithm SGD`) —
+    /// the optimizer then only picks sampling/transformation, as in the
+    /// Figure 9 per-algorithm comparisons.
+    pub pinned_variant: Option<GdVariant>,
+    /// Restrict the search to one sampling strategy (`using sampler …`).
+    pub pinned_sampling: Option<ml4all_dataflow::SamplingMethod>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OptimizerConfig {
+    /// Defaults: tolerance 1e-3, max 1 000 iterations, batch 1 000,
+    /// speculation per Algorithm 1's defaults.
+    pub fn new(gradient: GradientKind) -> Self {
+        Self {
+            gradient,
+            step: StepSize::paper_default(),
+            regularizer: Regularizer::None,
+            tolerance: 1e-3,
+            max_iter: 1000,
+            batch_size: 1000,
+            iterations: IterationsSource::Speculate(SpeculationConfig::default()),
+            time_budget: None,
+            pinned_variant: None,
+            pinned_sampling: None,
+            seed: 0,
+        }
+    }
+
+    /// Set the tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Set the iteration cap.
+    pub fn with_max_iter(mut self, max_iter: u64) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Fix the iteration count (skip speculation).
+    pub fn with_fixed_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = IterationsSource::Fixed(iterations);
+        self.max_iter = iterations;
+        self
+    }
+
+    /// Set the speculation configuration.
+    pub fn with_speculation(mut self, config: SpeculationConfig) -> Self {
+        self.iterations = IterationsSource::Speculate(config);
+        self
+    }
+
+    /// Set the MGD batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch;
+        self
+    }
+
+    /// Set a wall training-time budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Restrict the search to one GD algorithm.
+    pub fn with_pinned_variant(mut self, variant: GdVariant) -> Self {
+        self.pinned_variant = Some(variant);
+        if let GdVariant::MiniBatch { batch } = variant {
+            self.batch_size = batch;
+        }
+        self
+    }
+
+    /// Restrict the search to one sampling strategy.
+    pub fn with_pinned_sampling(mut self, sampling: ml4all_dataflow::SamplingMethod) -> Self {
+        self.pinned_sampling = Some(sampling);
+        self
+    }
+
+    /// The training parameters implied by this configuration.
+    pub fn train_params(&self) -> TrainParams {
+        TrainParams {
+            gradient: self.gradient,
+            step: self.step,
+            regularizer: self.regularizer,
+            tolerance: self.tolerance,
+            max_iter: self.max_iter,
+            seed: self.seed,
+            record_error_seq: false,
+            wall_budget: None,
+        }
+    }
+}
+
+/// One costed plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanChoice {
+    /// The plan.
+    pub plan: GdPlan,
+    /// Iterations the optimizer expects it to run (estimate clamped by
+    /// `max_iter`).
+    pub estimated_iterations: u64,
+    /// One-time preparation cost (job init + stage + eager transform).
+    pub preparation_s: f64,
+    /// Expected per-iteration cost.
+    pub per_iteration_s: f64,
+    /// Total estimated cost in simulated seconds.
+    pub total_s: f64,
+}
+
+/// Per-variant speculation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantEstimate {
+    /// The variant speculated.
+    pub variant: GdVariant,
+    /// Its estimate.
+    pub estimate: IterationsEstimate,
+}
+
+/// The optimizer's full report: every plan costed, cheapest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizerReport {
+    /// All plans, sorted by ascending total cost.
+    pub choices: Vec<PlanChoice>,
+    /// Speculation outcomes per variant (empty when iterations were fixed).
+    pub estimates: Vec<VariantEstimate>,
+    /// Total simulated optimizer overhead (speculation runs).
+    pub speculation_sim_s: f64,
+    /// Total real wall-clock the optimizer spent speculating.
+    pub speculation_wall: Duration,
+}
+
+impl OptimizerReport {
+    /// The chosen (cheapest) plan.
+    pub fn best(&self) -> &PlanChoice {
+        &self.choices[0]
+    }
+
+    /// The worst plan — what the optimizer saved the user from
+    /// (Figure 8's max bar).
+    pub fn worst(&self) -> &PlanChoice {
+        self.choices.last().expect("search space is non-empty")
+    }
+
+    /// Estimated iterations for a given variant, if speculated.
+    pub fn estimate_for(&self, variant: GdVariant) -> Option<&IterationsEstimate> {
+        self.estimates
+            .iter()
+            .find(|e| {
+                std::mem::discriminant(&e.variant) == std::mem::discriminant(&variant)
+            })
+            .map(|e| &e.estimate)
+    }
+}
+
+/// Run the optimizer: estimate iterations per variant, cost all 11 plans,
+/// return them cheapest-first.
+pub fn choose_plan(
+    data: &PartitionedDataset,
+    config: &OptimizerConfig,
+    cluster: &ClusterSpec,
+) -> Result<OptimizerReport, OptimizerError> {
+    let variants = [
+        GdVariant::Batch,
+        GdVariant::Stochastic,
+        GdVariant::MiniBatch {
+            batch: config.batch_size,
+        },
+    ];
+
+    let params = config.train_params();
+    let mut estimates = Vec::new();
+    let mut speculation_sim_s = 0.0;
+    let mut speculation_wall = Duration::ZERO;
+
+    let variant_iterations: Vec<(GdVariant, u64)> = match &config.iterations {
+        IterationsSource::Fixed(t) => variants.iter().map(|v| (*v, *t)).collect(),
+        IterationsSource::Speculate(spec_cfg) => {
+            // One Spark job collects the sample for all three speculative
+            // runs: job init plus reading a partition's worth of input and
+            // parsing the sampled units (the ~4 s overhead of Section 8.3).
+            {
+                let mut collect_env = ml4all_dataflow::SimEnv::new(cluster.clone());
+                collect_env.charge_job_init();
+                let desc = data.descriptor();
+                let partition_bytes = desc
+                    .bytes
+                    .div_ceil(desc.partitions(cluster))
+                    .min(cluster.partition_bytes);
+                collect_env.charge_sequential_read(
+                    partition_bytes,
+                    desc.bytes,
+                    ml4all_dataflow::StorageMedium::Auto,
+                );
+                collect_env.charge_serial_cpu(
+                    spec_cfg.sample_size as u64,
+                    cluster.cpu_transform_s(desc.avg_nnz()),
+                );
+                speculation_sim_s += collect_env.elapsed_s();
+            }
+            // The three speculative runs are independent; run them on
+            // scoped threads (each with its own environment and seed).
+            let results: Vec<Result<IterationsEstimate, OptimizerError>> =
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = variants
+                        .iter()
+                        .map(|variant| {
+                            let params = &params;
+                            let spec_cfg = spec_cfg.clone();
+                            s.spawn(move |_| {
+                                estimate_iterations(
+                                    data,
+                                    *variant,
+                                    params,
+                                    config.tolerance,
+                                    &spec_cfg,
+                                    cluster,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("speculation thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+
+            let mut out = Vec::with_capacity(variants.len());
+            for (variant, result) in variants.iter().zip(results) {
+                let estimate = result?;
+                speculation_sim_s += estimate.speculation_sim_s;
+                speculation_wall += estimate.speculation_wall;
+                out.push((*variant, estimate.iterations));
+                estimates.push(VariantEstimate {
+                    variant: *variant,
+                    estimate,
+                });
+            }
+            out
+        }
+    };
+
+    let desc = data.descriptor();
+    let model = PlanCostModel::new(cluster, desc);
+    let mut choices: Vec<PlanChoice> = enumerate_plans(config.batch_size)
+        .into_iter()
+        .filter(|plan| {
+            config.pinned_variant.is_none_or(|v| {
+                std::mem::discriminant(&plan.variant) == std::mem::discriminant(&v)
+            }) && config
+                .pinned_sampling
+                .is_none_or(|s| plan.sampling.is_none() || plan.sampling == Some(s))
+        })
+        .map(|plan| {
+            let (_, t) = variant_iterations
+                .iter()
+                .find(|(v, _)| std::mem::discriminant(v) == std::mem::discriminant(&plan.variant))
+                .expect("every plan variant was estimated");
+            // The user's iteration cap bounds every plan.
+            let t = (*t).min(config.max_iter).max(1);
+            let preparation_s = model.preparation_s(&plan);
+            let per_iteration_s = model.per_iteration_s(&plan);
+            PlanChoice {
+                plan,
+                estimated_iterations: t,
+                preparation_s,
+                per_iteration_s,
+                total_s: preparation_s + t as f64 * per_iteration_s,
+            }
+        })
+        .collect();
+    choices.sort_by(|a, b| {
+        a.total_s
+            .partial_cmp(&b.total_s)
+            .expect("costs are finite")
+    });
+
+    if let Some(budget) = config.time_budget {
+        let best = &choices[0];
+        if best.total_s > budget.as_secs_f64() {
+            return Err(OptimizerError::UnsatisfiableConstraint(format!(
+                "even the best plan ({}, {:.1}s estimated) exceeds the time budget of {:?}; \
+                 revisit the `time` constraint",
+                best.plan, best.total_s, budget
+            )));
+        }
+    }
+
+    Ok(OptimizerReport {
+        choices,
+        estimates,
+        speculation_sim_s,
+        speculation_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_dataflow::PartitionScheme;
+    use ml4all_linalg::{FeatureVec, LabeledPoint};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, logical_bytes: u64) -> PartitionedDataset {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<LabeledPoint> = (0..n)
+            .map(|_| {
+                let x0: f64 = rng.gen_range(-1.0..1.0);
+                let x1: f64 = rng.gen_range(-1.0..1.0);
+                let label = if x0 + x1 > 0.0 { 1.0 } else { -1.0 };
+                LabeledPoint::new(label, FeatureVec::dense(vec![x0, x1]))
+            })
+            .collect();
+        let desc = ml4all_dataflow::DatasetDescriptor::new(
+            "chooser-test",
+            (n as u64).max(logical_bytes / 100),
+            2,
+            logical_bytes,
+            1.0,
+        );
+        PartitionedDataset::with_descriptor(
+            desc,
+            points,
+            PartitionScheme::RoundRobin,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_iterations_skip_speculation() {
+        let data = dataset(1000, 1024 * 1024);
+        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_fixed_iterations(1000);
+        let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        assert!(report.estimates.is_empty());
+        assert_eq!(report.speculation_sim_s, 0.0);
+        assert_eq!(report.choices.len(), 11);
+        // With 1000 iterations fixed on a small dataset, a cheap-iteration
+        // plan must win over BGD.
+        assert_ne!(report.best().plan.variant, GdVariant::Batch);
+    }
+
+    #[test]
+    fn report_is_sorted_cheapest_first() {
+        let data = dataset(1000, 1024 * 1024);
+        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_fixed_iterations(100);
+        let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        for w in report.choices.windows(2) {
+            assert!(w[0].total_s <= w[1].total_s);
+        }
+        assert!(report.best().total_s <= report.worst().total_s);
+    }
+
+    #[test]
+    fn speculation_produces_estimates_for_all_variants() {
+        let data = dataset(3000, 1024 * 1024);
+        let spec_cfg = SpeculationConfig {
+            sample_size: 300,
+            max_iterations: 2000,
+            ..Default::default()
+        };
+        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_tolerance(0.01)
+            .with_speculation(spec_cfg);
+        let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        assert_eq!(report.estimates.len(), 3);
+        assert!(report.speculation_sim_s > 0.0);
+        assert!(report.estimate_for(GdVariant::Batch).is_some());
+        assert!(report.estimate_for(GdVariant::Stochastic).is_some());
+        assert!(report
+            .estimate_for(GdVariant::MiniBatch { batch: 1000 })
+            .is_some());
+    }
+
+    #[test]
+    fn huge_dataset_with_many_iterations_avoids_bernoulli() {
+        // 20 GB logical dataset: per-iteration full scans are ruinous.
+        let data = dataset(2000, 20 * 1024 * 1024 * 1024);
+        let config = OptimizerConfig::new(GradientKind::Svm).with_fixed_iterations(1000);
+        let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        assert!(report.best().plan.is_stochastic());
+        assert_ne!(
+            report.best().plan.sampling,
+            Some(ml4all_dataflow::SamplingMethod::Bernoulli)
+        );
+        // And the worst plan is a full-scan-per-iteration one.
+        let worst = report.worst();
+        let worst_scans = worst.plan.variant == GdVariant::Batch
+            || worst.plan.sampling == Some(ml4all_dataflow::SamplingMethod::Bernoulli);
+        assert!(worst_scans, "worst = {}", worst.plan);
+    }
+
+    #[test]
+    fn impossible_time_budget_is_reported_as_constraint() {
+        let data = dataset(1000, 10 * 1024 * 1024 * 1024);
+        let config = OptimizerConfig::new(GradientKind::Svm)
+            .with_fixed_iterations(1000)
+            .with_time_budget(Duration::from_millis(1));
+        let err = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap_err();
+        assert!(matches!(err, OptimizerError::UnsatisfiableConstraint(_)));
+    }
+
+    #[test]
+    fn max_iter_caps_estimated_iterations() {
+        let data = dataset(1000, 1024 * 1024);
+        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_fixed_iterations(50);
+        let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        for c in &report.choices {
+            assert!(c.estimated_iterations <= 50);
+        }
+    }
+}

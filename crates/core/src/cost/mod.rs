@@ -1,0 +1,14 @@
+//! The GD cost model of Section 7: per-operator costs (Equations 3–6)
+//! composed into per-plan costs (Equations 7–9).
+//!
+//! The estimates are built from the *same* charging primitives the
+//! execution substrate uses (`ml4all_dataflow::SimEnv`), so the model and
+//! the simulator cannot drift apart: estimation error comes only from the
+//! estimated iteration count and sampling randomness — exactly the two
+//! quantities the paper evaluates in Figures 6 and 7.
+
+pub mod operator;
+pub mod plan;
+
+pub use operator::OperatorCosts;
+pub use plan::PlanCostModel;

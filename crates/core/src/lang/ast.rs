@@ -1,0 +1,89 @@
+//! Abstract syntax of the Appendix A language.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The ML task named in a `run` query, or an explicit gradient function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskSpec {
+    /// `run classification …` — SVM or logistic regression (the planner
+    /// defaults to SVM's hinge unless a gradient function is given).
+    Classification,
+    /// `run regression …` — linear regression.
+    Regression,
+    /// An explicit gradient function: `hinge()`, `logistic()`,
+    /// `squared()`, or a user-registered name.
+    GradientFunction(String),
+}
+
+/// `having` constraints (all optional and independent).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Constraints {
+    /// `time 1h30m` — wall training-time budget.
+    pub time: Option<Duration>,
+    /// `epsilon 0.01` — tolerance.
+    pub epsilon: Option<f64>,
+    /// `max iter 1000` — iteration cap.
+    pub max_iter: Option<u64>,
+}
+
+/// `using` directives for advanced users (all optional).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct UsingClause {
+    /// `algorithm SGD|BGD|MGD` — pin the GD algorithm.
+    pub algorithm: Option<String>,
+    /// `step 1.0` — fixed β for the step schedule.
+    pub step: Option<f64>,
+    /// `sampler bernoulli|random|shuffled` — pin the sampling strategy.
+    pub sampler: Option<String>,
+    /// `convergence cnvg()` — named convergence UDF.
+    pub convergence: Option<String>,
+    /// `batch 1000` — MGD batch size.
+    pub batch: Option<u64>,
+}
+
+/// Column selection on the input (`input.txt:2, input.txt:4-20`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    /// 1-based label column.
+    pub label: u32,
+    /// 1-based inclusive feature-column range.
+    pub features: (u32, u32),
+}
+
+/// A `run` query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunQuery {
+    /// What to learn.
+    pub task: TaskSpec,
+    /// Input dataset path or registered name.
+    pub dataset: String,
+    /// Optional label/feature column selection.
+    pub columns: Option<ColumnSpec>,
+    /// `having` constraints.
+    pub having: Constraints,
+    /// `using` directives.
+    pub using: UsingClause,
+}
+
+/// A complete statement of the language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// `run <task> on <dataset> [having …] [using …];`
+    Run(RunQuery),
+    /// `persist <name> on <path>;`
+    Persist {
+        /// The query result to persist.
+        name: String,
+        /// Destination path.
+        path: String,
+    },
+    /// `[result =] predict on <dataset> with <model>;`
+    Predict {
+        /// Test dataset path.
+        dataset: String,
+        /// Stored model path.
+        model: String,
+    },
+}

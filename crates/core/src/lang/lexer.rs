@@ -1,0 +1,175 @@
+//! Tokenizer for the Appendix A language.
+//!
+//! The language's "words" are deliberately liberal — dataset paths
+//! (`training_data.txt`), column selections (`input.txt:4-20`), durations
+//! (`1h30m`), and numbers (`0.01`) are all single words; the parser
+//! interprets them contextually. Only `, ; = ( )` are punctuation.
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset where the token starts.
+    pub position: usize,
+    /// Token kind.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A word: keyword, identifier, path, number, or duration.
+    Word(String),
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+impl TokenKind {
+    /// The word's text, if this is a word.
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Self::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a query string. Iterates over `char_indices` so arbitrary
+/// (including multi-byte) input never breaks a UTF-8 boundary.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if let Some(kind) = punct(c) {
+            tokens.push(Token { position: i, kind });
+            chars.next();
+        } else {
+            let start = i;
+            let mut end = input.len();
+            while let Some(&(j, c)) = chars.peek() {
+                if c.is_whitespace() || punct(c).is_some() {
+                    end = j;
+                    break;
+                }
+                chars.next();
+            }
+            tokens.push(Token {
+                position: start,
+                kind: TokenKind::Word(input[start..end].to_string()),
+            });
+        }
+    }
+    tokens
+}
+
+fn punct(c: char) -> Option<TokenKind> {
+    match c {
+        ',' => Some(TokenKind::Comma),
+        ';' => Some(TokenKind::Semi),
+        '=' => Some(TokenKind::Eq),
+        '(' => Some(TokenKind::LParen),
+        ')' => Some(TokenKind::RParen),
+        _ => None,
+    }
+}
+
+/// Parse a duration word: `1h30m`, `45m`, `90s`, `2h`.
+pub fn parse_duration(word: &str) -> Option<std::time::Duration> {
+    let mut total_secs = 0u64;
+    let mut number = String::new();
+    let mut any = false;
+    for c in word.chars() {
+        if c.is_ascii_digit() {
+            number.push(c);
+        } else {
+            let n: u64 = number.parse().ok()?;
+            number.clear();
+            total_secs += match c {
+                'h' => n * 3600,
+                'm' => n * 60,
+                's' => n,
+                _ => return None,
+            };
+            any = true;
+        }
+    }
+    if !number.is_empty() || !any {
+        // Trailing digits without a unit, or no units at all.
+        return None;
+    }
+    Some(std::time::Duration::from_secs(total_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn words(input: &str) -> Vec<String> {
+        tokenize(input)
+            .into_iter()
+            .filter_map(|t| t.kind.word().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_the_appendix_query() {
+        let q = "run classification on training_data.txt having time 1h30m, epsilon 0.01, max iter 1000;";
+        let toks = tokenize(q);
+        assert_eq!(toks[0].kind, TokenKind::Word("run".into()));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Comma));
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Semi);
+        assert!(words(q).contains(&"training_data.txt".into()));
+        assert!(words(q).contains(&"1h30m".into()));
+    }
+
+    #[test]
+    fn column_specs_stay_single_words() {
+        let w = words("run classification on input_data.txt:2, input_data.txt:4-20;");
+        assert!(w.contains(&"input_data.txt:2".into()));
+        assert!(w.contains(&"input_data.txt:4-20".into()));
+    }
+
+    #[test]
+    fn parens_and_equals_are_punctuation() {
+        let toks = tokenize("Q3 = run classification using sampler my_sampler();");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Eq));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LParen));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::RParen));
+    }
+
+    #[test]
+    fn positions_point_into_source() {
+        let src = "run  classification";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 5);
+        assert_eq!(&src[toks[1].position..toks[1].position + 14], "classification");
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("1h30m"), Some(Duration::from_secs(5400)));
+        assert_eq!(parse_duration("45m"), Some(Duration::from_secs(2700)));
+        assert_eq!(parse_duration("90s"), Some(Duration::from_secs(90)));
+        assert_eq!(parse_duration("2h"), Some(Duration::from_secs(7200)));
+        assert_eq!(parse_duration("nope"), None);
+        assert_eq!(parse_duration("90"), None);
+        assert_eq!(parse_duration("1x"), None);
+        assert_eq!(parse_duration(""), None);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! The declarative GD language of Appendix A.
+//!
+//! ```text
+//! run classification on training_data.txt
+//! having time 1h30m, epsilon 0.01, max iter 1000
+//! using algorithm SGD, step 1, sampler shuffled;
+//!
+//! persist Q1 on my_model.txt;
+//! result = predict on test_data.txt with my_model.txt;
+//! ```
+//!
+//! [`lexer`] tokenizes, [`parser`] builds the [`ast`], and [`planner`]
+//! turns a `run` query into an optimizer invocation.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{Constraints, Query, RunQuery, TaskSpec, UsingClause};
+pub use parser::{parse_query, parse_statement, Statement};
+pub use planner::plan_query;

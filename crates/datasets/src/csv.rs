@@ -1,0 +1,182 @@
+//! CSV dense-format reader with the column selection of the declarative
+//! language (`input.txt:2, input.txt:4-20` — Appendix A's Q2: "column 2 is
+//! the label and attributes 4–20 are the features").
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use ml4all_linalg::{FeatureVec, LabeledPoint};
+
+use crate::DatasetError;
+
+/// Column selection: 1-based label column and inclusive 1-based feature
+/// range. `None` means "first column is the label, the rest are features"
+/// (the language's default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvColumns {
+    /// 1-based label column.
+    pub label: u32,
+    /// 1-based inclusive feature range.
+    pub features: (u32, u32),
+}
+
+/// Read CSV rows (`v1,v2,…`, all numeric) into labelled points.
+pub fn read_csv<R: Read>(
+    reader: R,
+    columns: Option<CsvColumns>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    let mut out = Vec::new();
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut fields: Vec<f64> = Vec::new();
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        fields.clear();
+        for tok in trimmed.split(',') {
+            let v: f64 = tok.trim().parse().map_err(|e| DatasetError::Parse {
+                line_no,
+                reason: format!("bad number {tok:?}: {e}"),
+            })?;
+            fields.push(v);
+        }
+        let (label, features) = match columns {
+            None => {
+                if fields.len() < 2 {
+                    return Err(DatasetError::Parse {
+                        line_no,
+                        reason: "need a label and at least one feature".into(),
+                    });
+                }
+                (fields[0], fields[1..].to_vec())
+            }
+            Some(cols) => {
+                let label_ix = cols.label as usize;
+                let (from, to) = (cols.features.0 as usize, cols.features.1 as usize);
+                if label_ix == 0 || from == 0 || from > to {
+                    return Err(DatasetError::Parse {
+                        line_no,
+                        reason: "column references are 1-based and ranges ascend".into(),
+                    });
+                }
+                if fields.len() < label_ix || fields.len() < to {
+                    return Err(DatasetError::Parse {
+                        line_no,
+                        reason: format!(
+                            "row has {} columns but the query references column {}",
+                            fields.len(),
+                            label_ix.max(to)
+                        ),
+                    });
+                }
+                (
+                    fields[label_ix - 1],
+                    fields[from - 1..to].to_vec(),
+                )
+            }
+        };
+        out.push(LabeledPoint::new(label, FeatureVec::dense(features)));
+    }
+    Ok(out)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_file(
+    path: impl AsRef<Path>,
+    columns: Option<CsvColumns>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    read_csv(std::fs::File::open(path)?, columns)
+}
+
+/// Write points as dense CSV (`label,f1,f2,…`).
+pub fn write_csv<W: std::io::Write>(
+    writer: W,
+    points: &[LabeledPoint],
+) -> Result<(), DatasetError> {
+    use std::io::Write as _;
+    let mut out = std::io::BufWriter::new(writer);
+    for p in points {
+        write!(out, "{}", p.label)?;
+        let dense = p.features.to_dense();
+        for v in dense.as_slice() {
+            write!(out, ",{v}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_columns_take_label_first() {
+        let pts = read_csv("1.0,2.0,3.0\n-1.0,0.5,0.25\n".as_bytes(), None).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].label, 1.0);
+        assert_eq!(pts[0].features.dot(&[1.0, 0.0]), 2.0);
+        assert_eq!(pts[1].features.dot(&[0.0, 1.0]), 0.25);
+    }
+
+    #[test]
+    fn explicit_columns_select_label_and_range() {
+        // Q2's shape: label in column 2, features 4-5.
+        let cols = CsvColumns {
+            label: 2,
+            features: (4, 5),
+        };
+        let pts = read_csv("9,1,8,10,20\n9,-1,8,30,40\n".as_bytes(), Some(cols)).unwrap();
+        assert_eq!(pts[0].label, 1.0);
+        assert_eq!(pts[0].dim(), 2);
+        assert_eq!(pts[0].features.dot(&[1.0, 0.0]), 10.0);
+        assert_eq!(pts[1].features.dot(&[0.0, 1.0]), 40.0);
+    }
+
+    #[test]
+    fn out_of_range_columns_error() {
+        let cols = CsvColumns {
+            label: 2,
+            features: (4, 9),
+        };
+        assert!(read_csv("1,2,3,4,5\n".as_bytes(), Some(cols)).is_err());
+        let zero = CsvColumns {
+            label: 0,
+            features: (1, 2),
+        };
+        assert!(read_csv("1,2,3\n".as_bytes(), Some(zero)).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error_with_line() {
+        let err = read_csv("1,2\nx,3\n".as_bytes(), None).unwrap_err();
+        match err {
+            DatasetError::Parse { line_no, .. } => assert_eq!(line_no, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let pts = read_csv("# header\n\n1,2\n".as_bytes(), None).unwrap();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let pts = read_csv("1,2,0\n-1,0,4\n".as_bytes(), None).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &pts).unwrap();
+        let again = read_csv(buf.as_slice(), None).unwrap();
+        assert_eq!(pts, again);
+    }
+}

@@ -1,0 +1,193 @@
+//! LIBSVM sparse text format reader/writer.
+//!
+//! Format: one point per line, `label idx:val idx:val …` with 1-based,
+//! strictly increasing indices — the input format of the paper's real
+//! datasets (Section 8.1 footnote 3).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ml4all_linalg::{FeatureVec, LabeledPoint, SparseVector};
+
+use crate::DatasetError;
+
+/// Parse one LIBSVM line. `line_no` is used for error reporting only.
+pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>), DatasetError> {
+    let mut parts = line.split_whitespace();
+    let label: f64 = parts
+        .next()
+        .ok_or_else(|| DatasetError::Parse {
+            line_no,
+            reason: "empty line".into(),
+        })?
+        .parse()
+        .map_err(|e| DatasetError::Parse {
+            line_no,
+            reason: format!("bad label: {e}"),
+        })?;
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for tok in parts {
+        let (i, v) = tok.split_once(':').ok_or_else(|| DatasetError::Parse {
+            line_no,
+            reason: format!("token {tok:?} is not idx:val"),
+        })?;
+        let idx: u32 = i.parse().map_err(|e| DatasetError::Parse {
+            line_no,
+            reason: format!("bad index {i:?}: {e}"),
+        })?;
+        if idx == 0 {
+            return Err(DatasetError::Parse {
+                line_no,
+                reason: "LIBSVM indices are 1-based".into(),
+            });
+        }
+        let val: f64 = v.parse().map_err(|e| DatasetError::Parse {
+            line_no,
+            reason: format!("bad value {v:?}: {e}"),
+        })?;
+        indices.push(idx - 1);
+        values.push(val);
+    }
+    Ok((label, indices, values))
+}
+
+/// Read LIBSVM data from any reader. When `dims` is `None` the
+/// dimensionality is inferred as the maximum index seen.
+pub fn read_libsvm<R: Read>(
+    reader: R,
+    dims: Option<usize>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    let mut parsed: Vec<(f64, Vec<u32>, Vec<f64>)> = Vec::new();
+    let mut max_dim = 0usize;
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (label, indices, values) = parse_line(trimmed, line_no)?;
+        if let Some(&m) = indices.last() {
+            max_dim = max_dim.max(m as usize + 1);
+        }
+        parsed.push((label, indices, values));
+    }
+    let dims = dims.unwrap_or(max_dim).max(max_dim);
+    parsed
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, indices, values))| {
+            let sv = SparseVector::new(dims, indices, values).map_err(|e| DatasetError::Parse {
+                line_no: i + 1,
+                reason: e.to_string(),
+            })?;
+            Ok(LabeledPoint::new(label, FeatureVec::Sparse(sv)))
+        })
+        .collect()
+}
+
+/// Read a LIBSVM file from disk.
+pub fn read_libsvm_file(
+    path: impl AsRef<Path>,
+    dims: Option<usize>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    read_libsvm(std::fs::File::open(path)?, dims)
+}
+
+/// Write points in LIBSVM format (sparse layout regardless of storage;
+/// zero-valued dense components are skipped).
+pub fn write_libsvm<W: Write>(writer: W, points: &[LabeledPoint]) -> Result<(), DatasetError> {
+    let mut out = BufWriter::new(writer);
+    for p in points {
+        write!(out, "{}", p.label)?;
+        match &p.features {
+            FeatureVec::Sparse(sv) => {
+                for (i, v) in sv.iter() {
+                    write!(out, " {}:{}", i + 1, v)?;
+                }
+            }
+            FeatureVec::Dense(dv) => {
+                for (i, v) in dv.as_slice().iter().enumerate() {
+                    if *v != 0.0 {
+                        write!(out, " {}:{}", i + 1, v)?;
+                    }
+                }
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "+1 2:0.1 4:0.4 10:0.3\n-1 3:0.3 4:0.5 9:0.5\n";
+        let pts = read_libsvm(text.as_bytes(), None).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].label, 1.0);
+        assert_eq!(pts[0].dim(), 10);
+        assert_eq!(pts[0].features.nnz(), 3);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n+1 1:1\n";
+        let pts = read_libsvm(text.as_bytes(), None).unwrap();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn explicit_dims_overrides_inference() {
+        let pts = read_libsvm("1 1:1\n".as_bytes(), Some(100)).unwrap();
+        assert_eq!(pts[0].dim(), 100);
+        // But never shrinks below the observed maximum.
+        let pts = read_libsvm("1 50:1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(pts[0].dim(), 50);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let err = read_libsvm("1 0:5\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line_no: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(read_libsvm("1 abc\n".as_bytes(), None).is_err());
+        assert!(read_libsvm("x 1:1\n".as_bytes(), None).is_err());
+        assert!(read_libsvm("1 1:zz\n".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_points() {
+        let text = "1 2:0.25 4:0.5\n-1 1:1\n";
+        let pts = read_libsvm(text.as_bytes(), Some(4)).unwrap();
+        let mut buf = Vec::new();
+        write_libsvm(&mut buf, &pts).unwrap();
+        let again = read_libsvm(buf.as_slice(), Some(4)).unwrap();
+        assert_eq!(pts, again);
+    }
+
+    #[test]
+    fn dense_points_serialize_sparsely() {
+        let pts = vec![LabeledPoint::new(
+            1.0,
+            FeatureVec::dense(vec![0.0, 2.0, 0.0]),
+        )];
+        let mut buf = Vec::new();
+        write_libsvm(&mut buf, &pts).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "1 2:2\n");
+    }
+}

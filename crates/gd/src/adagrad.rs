@@ -1,0 +1,116 @@
+//! AdaGrad expressed in the seven-operator abstraction — per-coordinate
+//! adaptive steps through a custom `Update`, everything else stock.
+//!
+//! Update rule: `G ← G + ḡ²` (elementwise); `w ← w − (α/√(G + ε)) ḡ`.
+
+use ml4all_dataflow::{PartitionedDataset, SamplingMethod, SimEnv};
+use ml4all_linalg::DenseVector;
+
+use crate::context::{Context, Extra};
+use crate::executor::{execute_with_operators, TrainParams, TrainResult};
+use crate::gradient::GradientKind;
+use crate::operators::{
+    ComputeAcc, FixedSample, GdOperators, GradientCompute, IdentityTransform, L1Converge,
+    SampleSize, StageOp, ToleranceLoop, UpdateOp, UpdateOutcome,
+};
+use crate::plan::{GdPlan, GdVariant, TransformPolicy};
+use crate::GdError;
+
+const ADAGRAD_EPS: f64 = 1e-8;
+
+/// `Stage` for AdaGrad: zero model and zero accumulated squared gradient.
+#[derive(Debug, Clone, Copy)]
+pub struct AdagradStage {
+    /// Model dimensionality.
+    pub dims: usize,
+    /// Base step α.
+    pub alpha: f64,
+}
+
+impl StageOp for AdagradStage {
+    fn stage(&self, ctx: &mut Context, _staged: &[ml4all_linalg::LabeledPoint]) {
+        ctx.dims = self.dims;
+        ctx.weights = DenseVector::zeros(self.dims);
+        ctx.iteration = 0;
+        ctx.put("alpha", Extra::Scalar(self.alpha));
+        ctx.put("grad_sq", Extra::Vector(DenseVector::zeros(self.dims)));
+    }
+}
+
+/// `Update` for AdaGrad.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdagradUpdate;
+
+impl UpdateOp for AdagradUpdate {
+    fn update(&self, acc: &ComputeAcc, ctx: &mut Context) -> UpdateOutcome {
+        if acc.count == 0 {
+            return UpdateOutcome::InternalOnly;
+        }
+        let alpha = ctx.scalar("alpha").unwrap_or(0.1);
+        let inv = 1.0 / acc.count as f64;
+        let mut grad_sq = ctx
+            .vector("grad_sq")
+            .expect("AdagradStage installs grad_sq")
+            .clone();
+        let w = ctx.weights.as_mut_slice();
+        for ((wi, gi), gsq) in w
+            .iter_mut()
+            .zip(acc.primary.as_slice())
+            .zip(grad_sq.as_mut_slice())
+        {
+            let g = gi * inv;
+            *gsq += g * g;
+            *wi -= alpha / (gsq.sqrt() + ADAGRAD_EPS) * g;
+        }
+        ctx.put("grad_sq", Extra::Vector(grad_sq));
+        UpdateOutcome::Updated
+    }
+}
+
+/// Build the AdaGrad operator bundle for any plan shape.
+pub fn adagrad_operators(
+    gradient: GradientKind,
+    dims: usize,
+    alpha: f64,
+    tolerance: f64,
+    max_iter: u64,
+    sample: SampleSize,
+) -> GdOperators {
+    GdOperators {
+        transform: Box::new(IdentityTransform),
+        stage: Box::new(AdagradStage { dims, alpha }),
+        compute: Box::new(GradientCompute::of(gradient)),
+        update: Box::new(AdagradUpdate),
+        sample: Box::new(FixedSample { size: sample }),
+        converge: Box::new(L1Converge),
+        loop_op: Box::new(ToleranceLoop {
+            tolerance,
+            max_iter,
+        }),
+    }
+}
+
+/// Run mini-batch AdaGrad over a dataset.
+pub fn execute_adagrad(
+    data: &PartitionedDataset,
+    alpha: f64,
+    batch: usize,
+    sampling: SamplingMethod,
+    params: &TrainParams,
+    env: &mut SimEnv,
+) -> Result<TrainResult, GdError> {
+    let plan = GdPlan {
+        variant: GdVariant::MiniBatch { batch },
+        transform: TransformPolicy::Eager,
+        sampling: Some(sampling),
+    };
+    let ops = adagrad_operators(
+        params.gradient,
+        data.descriptor().dims,
+        alpha,
+        params.tolerance,
+        params.max_iter,
+        SampleSize::Units(batch),
+    );
+    execute_with_operators(&plan, data, &ops, params, env)
+}

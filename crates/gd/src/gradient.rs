@@ -1,0 +1,266 @@
+//! The gradient functions of Table 3 and the regularizers of Equation 1.
+
+use ml4all_linalg::LabeledPoint;
+use serde::{Deserialize, Serialize};
+
+/// A per-point (sub)gradient of a convex loss: the `∇f_i(w)` of Section 2.
+///
+/// Implementations accumulate `∇f_i(w)` into `acc` instead of allocating a
+/// vector per point — the `Compute` operator calls this once per data unit
+/// on the hot path.
+pub trait Gradient: Send + Sync {
+    /// Accumulate the gradient of the point's loss at `w` into `acc`.
+    fn accumulate(&self, w: &[f64], point: &LabeledPoint, acc: &mut [f64]);
+
+    /// The point's loss at `w` (used by line search, the objective-value
+    /// diagnostics, and test-error reporting).
+    fn loss(&self, w: &[f64], point: &LabeledPoint) -> f64;
+
+    /// Predict a label for a feature vector (for test-error measurement):
+    /// the raw score for regression, its sign for classification.
+    fn predict(&self, w: &[f64], point: &LabeledPoint) -> f64;
+}
+
+/// The ML tasks / gradient functions the system supports out of the box
+/// (Table 3). Users can also implement [`Gradient`] directly, mirroring the
+/// paper's UDF escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GradientKind {
+    /// Linear regression: `g = 2 (wᵀx − y) x`.
+    LinearRegression,
+    /// Logistic regression: `g = (−1 / (1 + e^{y wᵀx})) y x`.
+    LogisticRegression,
+    /// SVM (hinge): `g = −y x` if `y wᵀx < 1`, else `0`.
+    Svm,
+}
+
+impl GradientKind {
+    /// Short lowercase name as used in the declarative language
+    /// (`squared()`, `logistic()`, `hinge()`).
+    pub fn function_name(&self) -> &'static str {
+        match self {
+            Self::LinearRegression => "squared",
+            Self::LogisticRegression => "logistic",
+            Self::Svm => "hinge",
+        }
+    }
+
+    /// `true` for classification tasks (labels in `{−1, +1}`).
+    pub fn is_classification(&self) -> bool {
+        !matches!(self, Self::LinearRegression)
+    }
+}
+
+impl Gradient for GradientKind {
+    fn accumulate(&self, w: &[f64], point: &LabeledPoint, acc: &mut [f64]) {
+        let y = point.label;
+        match self {
+            Self::LinearRegression => {
+                let pred = point.features.dot(w);
+                point.features.axpy_into(acc, 2.0 * (pred - y));
+            }
+            Self::LogisticRegression => {
+                let margin = y * point.features.dot(w);
+                // −y x / (1 + e^{margin}); guard the exponential against
+                // overflow for strongly-classified points.
+                let factor = if margin > 35.0 {
+                    0.0
+                } else if margin < -35.0 {
+                    -y
+                } else {
+                    -y / (1.0 + margin.exp())
+                };
+                if factor != 0.0 {
+                    point.features.axpy_into(acc, factor);
+                }
+            }
+            Self::Svm => {
+                if y * point.features.dot(w) < 1.0 {
+                    point.features.axpy_into(acc, -y);
+                }
+            }
+        }
+    }
+
+    fn loss(&self, w: &[f64], point: &LabeledPoint) -> f64 {
+        let y = point.label;
+        match self {
+            Self::LinearRegression => {
+                let diff = point.features.dot(w) - y;
+                diff * diff
+            }
+            Self::LogisticRegression => {
+                let margin = y * point.features.dot(w);
+                if margin > 35.0 {
+                    0.0
+                } else if margin < -35.0 {
+                    -margin
+                } else {
+                    (1.0 + (-margin).exp()).ln()
+                }
+            }
+            Self::Svm => (1.0 - y * point.features.dot(w)).max(0.0),
+        }
+    }
+
+    fn predict(&self, w: &[f64], point: &LabeledPoint) -> f64 {
+        let score = point.features.dot(w);
+        if self.is_classification() {
+            if score >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        } else {
+            score
+        }
+    }
+}
+
+/// The `R(w)` term of Equation 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Regularizer {
+    /// No regularization (the paper's cross-system experiments fix all
+    /// hyper-parameters identically and train unregularized).
+    None,
+    /// Ridge: `R(w) = (λ/2) ‖w‖²`, gradient `λ w`.
+    L2 { lambda: f64 },
+}
+
+impl Regularizer {
+    /// Gradient contribution added to the averaged data gradient.
+    pub fn accumulate(&self, w: &[f64], acc: &mut [f64]) {
+        if let Self::L2 { lambda } = self {
+            for (a, wi) in acc.iter_mut().zip(w) {
+                *a += lambda * wi;
+            }
+        }
+    }
+
+    /// Penalty value at `w`.
+    pub fn penalty(&self, w: &[f64]) -> f64 {
+        match self {
+            Self::None => 0.0,
+            Self::L2 { lambda } => 0.5 * lambda * w.iter().map(|x| x * x).sum::<f64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_linalg::FeatureVec;
+
+    fn pt(label: f64, xs: Vec<f64>) -> LabeledPoint {
+        LabeledPoint::new(label, FeatureVec::dense(xs))
+    }
+
+    #[test]
+    fn linreg_gradient_is_residual_scaled_features() {
+        let g = GradientKind::LinearRegression;
+        let p = pt(3.0, vec![1.0, 2.0]);
+        let w = [1.0, 0.0]; // pred = 1, residual = -2
+        let mut acc = vec![0.0; 2];
+        g.accumulate(&w, &p, &mut acc);
+        assert_eq!(acc, vec![-4.0, -8.0]);
+        assert_eq!(g.loss(&w, &p), 4.0);
+    }
+
+    #[test]
+    fn svm_gradient_is_zero_outside_margin() {
+        let g = GradientKind::Svm;
+        let p = pt(1.0, vec![2.0]);
+        let mut acc = vec![0.0];
+        g.accumulate(&[1.0], &p, &mut acc); // margin = 2 ≥ 1 → no gradient
+        assert_eq!(acc, vec![0.0]);
+        assert_eq!(g.loss(&[1.0], &p), 0.0);
+        g.accumulate(&[0.0], &p, &mut acc); // margin = 0 < 1 → −y x
+        assert_eq!(acc, vec![-2.0]);
+        assert_eq!(g.loss(&[0.0], &p), 1.0);
+    }
+
+    #[test]
+    fn logistic_gradient_has_correct_sign_and_magnitude() {
+        let g = GradientKind::LogisticRegression;
+        let p = pt(1.0, vec![1.0]);
+        let mut acc = vec![0.0];
+        g.accumulate(&[0.0], &p, &mut acc); // factor = −1/2
+        assert!((acc[0] + 0.5).abs() < 1e-12);
+        // Strongly correct classification → vanishing gradient, zero loss.
+        let mut acc2 = vec![0.0];
+        g.accumulate(&[100.0], &p, &mut acc2);
+        assert_eq!(acc2[0], 0.0);
+        assert_eq!(g.loss(&[100.0], &p), 0.0);
+        // Strongly wrong classification → gradient −y x, loss ≈ |margin|.
+        let mut acc3 = vec![0.0];
+        g.accumulate(&[-100.0], &p, &mut acc3);
+        assert_eq!(acc3[0], -1.0);
+        assert_eq!(g.loss(&[-100.0], &p), 100.0);
+    }
+
+    #[test]
+    fn logistic_loss_matches_gradient_numerically() {
+        let g = GradientKind::LogisticRegression;
+        let p = pt(-1.0, vec![0.7, -0.3]);
+        let w = [0.2, 0.4];
+        let eps = 1e-6;
+        for j in 0..2 {
+            let mut wp = w;
+            wp[j] += eps;
+            let mut wm = w;
+            wm[j] -= eps;
+            let numeric = (g.loss(&wp, &p) - g.loss(&wm, &p)) / (2.0 * eps);
+            let mut acc = vec![0.0; 2];
+            g.accumulate(&w, &p, &mut acc);
+            assert!(
+                (numeric - acc[j]).abs() < 1e-5,
+                "dim {j}: numeric {numeric} vs analytic {}",
+                acc[j]
+            );
+        }
+    }
+
+    #[test]
+    fn linreg_loss_matches_gradient_numerically() {
+        let g = GradientKind::LinearRegression;
+        let p = pt(2.5, vec![1.5, -0.5]);
+        let w = [0.3, 0.9];
+        let eps = 1e-6;
+        for j in 0..2 {
+            let mut wp = w;
+            wp[j] += eps;
+            let mut wm = w;
+            wm[j] -= eps;
+            let numeric = (g.loss(&wp, &p) - g.loss(&wm, &p)) / (2.0 * eps);
+            let mut acc = vec![0.0; 2];
+            g.accumulate(&w, &p, &mut acc);
+            assert!((numeric - acc[j]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn classification_predicts_sign_regression_predicts_score() {
+        let p = pt(1.0, vec![2.0]);
+        assert_eq!(GradientKind::Svm.predict(&[-1.0], &p), -1.0);
+        assert_eq!(GradientKind::LogisticRegression.predict(&[1.0], &p), 1.0);
+        assert_eq!(GradientKind::LinearRegression.predict(&[1.5], &p), 3.0);
+    }
+
+    #[test]
+    fn l2_regularizer_adds_lambda_w() {
+        let r = Regularizer::L2 { lambda: 0.1 };
+        let mut acc = vec![0.0, 0.0];
+        r.accumulate(&[1.0, -2.0], &mut acc);
+        assert!((acc[0] - 0.1).abs() < 1e-12);
+        assert!((acc[1] + 0.2).abs() < 1e-12);
+        assert!((r.penalty(&[3.0, 4.0]) - 0.5 * 0.1 * 25.0).abs() < 1e-12);
+        assert_eq!(Regularizer::None.penalty(&[3.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn function_names_match_language() {
+        assert_eq!(GradientKind::Svm.function_name(), "hinge");
+        assert_eq!(GradientKind::LogisticRegression.function_name(), "logistic");
+        assert_eq!(GradientKind::LinearRegression.function_name(), "squared");
+    }
+}

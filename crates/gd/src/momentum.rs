@@ -1,0 +1,135 @@
+//! Momentum (heavy-ball) gradient descent expressed in the seven-operator
+//! abstraction — an extension in the spirit of Appendix C: only the
+//! `Stage` and `Update` operators change; Sample/Compute/Converge/Loop are
+//! the stock implementations, and the executor is untouched.
+//!
+//! Update rule: `v ← μ v − α ḡ;  w ← w + v`.
+
+use ml4all_dataflow::{PartitionedDataset, SamplingMethod, SimEnv};
+use ml4all_linalg::DenseVector;
+
+use crate::context::{Context, Extra};
+use crate::executor::{execute_with_operators, TrainParams, TrainResult};
+use crate::gradient::GradientKind;
+use crate::operators::{
+    ComputeAcc, FixedSample, GdOperators, GradientCompute, IdentityTransform, L1Converge,
+    SampleSize, StageOp, ToleranceLoop, UpdateOp, UpdateOutcome,
+};
+use crate::plan::{GdPlan, GdVariant, TransformPolicy};
+use crate::step::StepSize;
+use crate::GdError;
+
+/// `Stage` for momentum GD: zero model and zero velocity.
+#[derive(Debug, Clone, Copy)]
+pub struct MomentumStage {
+    /// Model dimensionality.
+    pub dims: usize,
+    /// Momentum coefficient μ ∈ [0, 1).
+    pub mu: f64,
+}
+
+impl StageOp for MomentumStage {
+    fn stage(&self, ctx: &mut Context, _staged: &[ml4all_linalg::LabeledPoint]) {
+        ctx.dims = self.dims;
+        ctx.weights = DenseVector::zeros(self.dims);
+        ctx.iteration = 0;
+        ctx.put("mu", Extra::Scalar(self.mu));
+        ctx.put("velocity", Extra::Vector(DenseVector::zeros(self.dims)));
+    }
+}
+
+/// `Update` for momentum GD.
+#[derive(Debug, Clone, Copy)]
+pub struct MomentumUpdate {
+    /// Step schedule for α.
+    pub step: StepSize,
+}
+
+impl UpdateOp for MomentumUpdate {
+    fn update(&self, acc: &ComputeAcc, ctx: &mut Context) -> UpdateOutcome {
+        if acc.count == 0 {
+            return UpdateOutcome::InternalOnly;
+        }
+        let alpha = self.step.at(ctx.iteration);
+        let mu = ctx.scalar("mu").unwrap_or(0.9);
+        let inv = 1.0 / acc.count as f64;
+        let mut velocity = ctx
+            .vector("velocity")
+            .expect("MomentumStage installs velocity")
+            .clone();
+        for (vi, gi) in velocity.as_mut_slice().iter_mut().zip(acc.primary.as_slice()) {
+            *vi = mu * *vi - alpha * gi * inv;
+        }
+        ctx.weights.add_assign(&velocity);
+        ctx.put("velocity", Extra::Vector(velocity));
+        UpdateOutcome::Updated
+    }
+}
+
+/// Build the momentum operator bundle for any plan shape.
+pub fn momentum_operators(
+    gradient: GradientKind,
+    dims: usize,
+    mu: f64,
+    step: StepSize,
+    tolerance: f64,
+    max_iter: u64,
+    sample: SampleSize,
+) -> GdOperators {
+    GdOperators {
+        transform: Box::new(IdentityTransform),
+        stage: Box::new(MomentumStage { dims, mu }),
+        compute: Box::new(GradientCompute::of(gradient)),
+        update: Box::new(MomentumUpdate { step }),
+        sample: Box::new(FixedSample { size: sample }),
+        converge: Box::new(L1Converge),
+        loop_op: Box::new(ToleranceLoop {
+            tolerance,
+            max_iter,
+        }),
+    }
+}
+
+/// Run batch momentum GD over a dataset.
+pub fn execute_momentum_bgd(
+    data: &PartitionedDataset,
+    mu: f64,
+    params: &TrainParams,
+    env: &mut SimEnv,
+) -> Result<TrainResult, GdError> {
+    let ops = momentum_operators(
+        params.gradient,
+        data.descriptor().dims,
+        mu,
+        params.step,
+        params.tolerance,
+        params.max_iter,
+        SampleSize::All,
+    );
+    execute_with_operators(&GdPlan::bgd(), data, &ops, params, env)
+}
+
+/// Run stochastic momentum GD (one sample per iteration).
+pub fn execute_momentum_sgd(
+    data: &PartitionedDataset,
+    mu: f64,
+    sampling: SamplingMethod,
+    params: &TrainParams,
+    env: &mut SimEnv,
+) -> Result<TrainResult, GdError> {
+    let plan = GdPlan {
+        variant: GdVariant::Stochastic,
+        transform: TransformPolicy::Eager,
+        sampling: Some(sampling),
+    };
+    let ops = momentum_operators(
+        params.gradient,
+        data.descriptor().dims,
+        mu,
+        params.step,
+        params.tolerance,
+        params.max_iter,
+        SampleSize::Units(1),
+    );
+    execute_with_operators(&plan, data, &ops, params, env)
+}

@@ -1,0 +1,87 @@
+//! Objective-value evaluation: `f(w) = Σ ℓ(x_i, y_i, w)/n + R(w)`
+//! (Equation 1), used by line search, diagnostics, and test-error
+//! reporting.
+
+use ml4all_linalg::LabeledPoint;
+
+use crate::gradient::{Gradient, Regularizer};
+
+/// Mean loss over a point slice plus the regularizer penalty.
+pub fn dataset_loss(
+    gradient: &dyn Gradient,
+    regularizer: &Regularizer,
+    w: &[f64],
+    points: &[LabeledPoint],
+) -> f64 {
+    if points.is_empty() {
+        return regularizer.penalty(w);
+    }
+    let sum: f64 = points.iter().map(|p| gradient.loss(w, p)).sum();
+    sum / points.len() as f64 + regularizer.penalty(w)
+}
+
+/// Mean loss over an iterator of points (streamed, for partitioned data).
+pub fn stream_loss<'a>(
+    gradient: &dyn Gradient,
+    regularizer: &Regularizer,
+    w: &[f64],
+    points: impl Iterator<Item = &'a LabeledPoint>,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for p in points {
+        sum += gradient.loss(w, p);
+        n += 1;
+    }
+    if n == 0 {
+        regularizer.penalty(w)
+    } else {
+        sum / n as f64 + regularizer.penalty(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::GradientKind;
+    use ml4all_linalg::FeatureVec;
+
+    fn pts() -> Vec<LabeledPoint> {
+        vec![
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![1.0])),
+            LabeledPoint::new(-1.0, FeatureVec::dense(vec![1.0])),
+        ]
+    }
+
+    #[test]
+    fn svm_loss_at_zero_weights_is_one() {
+        // hinge(0) = 1 for every point.
+        let loss = dataset_loss(&GradientKind::Svm, &Regularizer::None, &[0.0], &pts());
+        assert!((loss - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_yields_penalty_only() {
+        let reg = Regularizer::L2 { lambda: 2.0 };
+        let loss = dataset_loss(&GradientKind::Svm, &reg, &[3.0], &[]);
+        assert!((loss - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_and_slice_agree() {
+        let points = pts();
+        let a = dataset_loss(
+            &GradientKind::LogisticRegression,
+            &Regularizer::None,
+            &[0.5],
+            &points,
+        );
+        let b = stream_loss(
+            &GradientKind::LogisticRegression,
+            &Regularizer::None,
+            &[0.5],
+            points.iter(),
+        );
+        assert!((a - b).abs() < 1e-12);
+    }
+}

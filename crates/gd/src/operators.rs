@@ -1,0 +1,697 @@
+//! The seven GD operators (Section 4) as traits, plus the reference
+//! implementations the system ships (the paper: "we provide reference
+//! implementations for all the common use cases; expert users could readily
+//! customize or override them").
+
+use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, SparseVector};
+
+use crate::context::{Context, Extra};
+use crate::gradient::{Gradient, GradientKind, Regularizer};
+use crate::step::StepSize;
+use crate::GdError;
+
+/// A raw input data unit, before `Transform`.
+#[derive(Debug, Clone, Copy)]
+pub enum RawUnit<'a> {
+    /// A text line from the input file (CSV or LIBSVM).
+    Text(&'a str),
+    /// An already-materialized point (the in-memory fast path).
+    Point(&'a LabeledPoint),
+}
+
+/// **Operator 1 — `Transform(U) → U_T`**: parse/normalize one input unit.
+pub trait TransformOp: Send + Sync {
+    /// Produce a parsed data unit.
+    fn transform(&self, unit: RawUnit<'_>, ctx: &Context) -> Result<LabeledPoint, GdError>;
+
+    /// `true` when `transform` is the identity on already-parsed points,
+    /// letting the executor skip materializing a transformed copy.
+    fn is_identity(&self) -> bool {
+        false
+    }
+}
+
+/// **Operator 2 — `Stage`**: set initial values for all algorithm-specific
+/// parameters. May receive a (possibly empty) staged sample of data units
+/// for initialization or global statistics (Figure 3b).
+pub trait StageOp: Send + Sync {
+    /// Initialize the context.
+    fn stage(&self, ctx: &mut Context, staged: &[LabeledPoint]);
+
+    /// `true` if this operator needs a pass over the full dataset for
+    /// global statistics (forces the executor to charge a scan even under
+    /// lazy transformation — Section 6).
+    fn needs_full_scan(&self) -> bool {
+        false
+    }
+}
+
+/// Accumulated output of `Compute` over the units of one iteration: the
+/// aggregated `U_C`. `primary` is the gradient sum; `secondary` carries the
+/// second component of pair-valued computes (SVRG's full-model gradient,
+/// Listing 8); `scalar` carries scalar sums (line search's objective
+/// difference, Listing 9).
+#[derive(Debug, Clone)]
+pub struct ComputeAcc {
+    /// Sum of per-unit primary vectors.
+    pub primary: DenseVector,
+    /// Sum of per-unit secondary vectors, if the compute emits pairs.
+    pub secondary: Option<DenseVector>,
+    /// Sum of per-unit scalars.
+    pub scalar: f64,
+    /// Number of units accumulated.
+    pub count: u64,
+}
+
+impl ComputeAcc {
+    /// Fresh accumulator for a `dims`-dimensional model.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            primary: DenseVector::zeros(dims),
+            secondary: None,
+            scalar: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Reset for reuse across iterations (keeps allocations).
+    pub fn reset(&mut self) {
+        self.primary.fill_zero();
+        if let Some(s) = &mut self.secondary {
+            s.fill_zero();
+        }
+        self.scalar = 0.0;
+        self.count = 0;
+    }
+
+    /// Lazily materialize the secondary accumulator.
+    pub fn secondary_mut(&mut self) -> &mut DenseVector {
+        let dims = self.primary.dim();
+        self.secondary.get_or_insert_with(|| DenseVector::zeros(dims))
+    }
+}
+
+/// **Operator 3 — `Compute(U_T) → U_C`**: the core per-unit computation.
+pub trait ComputeOp: Send + Sync {
+    /// Accumulate this unit's contribution.
+    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc);
+}
+
+/// Result of an `Update` application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The model advanced; run `Converge`/`Loop` as usual.
+    Updated,
+    /// The iteration adjusted internal state only (e.g. a line-search step
+    /// shrink, Listing 10 returning `null`); skip convergence checking.
+    InternalOnly,
+}
+
+/// **Operator 4 — `Update(U_C) → U_U`**: fold the aggregated compute output
+/// into the global parameters.
+pub trait UpdateOp: Send + Sync {
+    /// Apply the aggregate.
+    fn update(&self, acc: &ComputeAcc, ctx: &mut Context) -> UpdateOutcome;
+}
+
+/// How many units the next iteration should consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleSize {
+    /// The whole dataset (batch iteration).
+    All,
+    /// `m` sampled units.
+    Units(usize),
+}
+
+/// **Operator 5 — `Sample`**: scopes the iteration to parts of the input.
+/// The physical draw is performed by the substrate's sampler; this trait
+/// only decides the per-iteration sample size, which is what lets SVRG
+/// interleave batch and stochastic iterations inside one plan (Appendix C).
+pub trait SampleOp: Send + Sync {
+    /// Sample size for the iteration about to run (`ctx.iteration` is
+    /// already advanced).
+    fn size(&self, ctx: &Context) -> SampleSize;
+}
+
+/// **Operator 6 — `Converge(U_U) → U_Δ`**: produce the convergence delta.
+pub trait ConvergeOp: Send + Sync {
+    /// Delta between the previous and current model.
+    fn converge(&self, previous: &DenseVector, ctx: &Context) -> f64;
+}
+
+/// **Operator 7 — `Loop(U_Δ) → bool`**: decide whether to keep iterating.
+pub trait LoopOp: Send + Sync {
+    /// `true` to run another iteration.
+    fn should_continue(&self, delta: f64, ctx: &Context) -> bool;
+}
+
+/// The full operator bundle executing one GD plan.
+pub struct GdOperators {
+    /// Parse/normalize input units.
+    pub transform: Box<dyn TransformOp>,
+    /// Initialize global parameters.
+    pub stage: Box<dyn StageOp>,
+    /// Per-unit core computation.
+    pub compute: Box<dyn ComputeOp>,
+    /// Fold aggregates into the model.
+    pub update: Box<dyn UpdateOp>,
+    /// Per-iteration sample-size policy.
+    pub sample: Box<dyn SampleOp>,
+    /// Convergence delta.
+    pub converge: Box<dyn ConvergeOp>,
+    /// Stopping condition.
+    pub loop_op: Box<dyn LoopOp>,
+}
+
+// ---------------------------------------------------------------------
+// Reference implementations
+// ---------------------------------------------------------------------
+
+/// Identity transform for already-parsed in-memory points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityTransform;
+
+impl TransformOp for IdentityTransform {
+    fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
+        match unit {
+            RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::Text(line) => Err(GdError::Parse {
+                line: line.to_string(),
+                reason: "identity transform cannot parse text".into(),
+            }),
+        }
+    }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
+}
+
+/// CSV transform (Listing 1): `label,x1,x2,…` → dense point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvTransform;
+
+impl TransformOp for CsvTransform {
+    fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
+        match unit {
+            RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::Text(line) => {
+                let mut values = Vec::new();
+                for tok in line.trim().split(',') {
+                    let v: f64 = tok.trim().parse().map_err(|e| GdError::Parse {
+                        line: line.to_string(),
+                        reason: format!("bad float {tok:?}: {e}"),
+                    })?;
+                    values.push(v);
+                }
+                if values.len() < 2 {
+                    return Err(GdError::Parse {
+                        line: line.to_string(),
+                        reason: "need a label and at least one feature".into(),
+                    });
+                }
+                let label = values.remove(0);
+                Ok(LabeledPoint::new(label, FeatureVec::dense(values)))
+            }
+        }
+    }
+}
+
+/// LIBSVM transform (Figure 3a): `±1 idx:val idx:val …` → sparse point.
+/// Indices in the file are 1-based, as in the LIBSVM format.
+#[derive(Debug, Clone, Copy)]
+pub struct LibsvmTransform {
+    /// Feature-space dimensionality of the dataset.
+    pub dims: usize,
+}
+
+impl TransformOp for LibsvmTransform {
+    fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
+        match unit {
+            RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::Text(line) => {
+                let mut parts = line.split_whitespace();
+                let label: f64 = parts
+                    .next()
+                    .ok_or_else(|| GdError::Parse {
+                        line: line.to_string(),
+                        reason: "empty line".into(),
+                    })?
+                    .parse()
+                    .map_err(|e| GdError::Parse {
+                        line: line.to_string(),
+                        reason: format!("bad label: {e}"),
+                    })?;
+                let mut indices = Vec::new();
+                let mut values = Vec::new();
+                for tok in parts {
+                    let (i, v) = tok.split_once(':').ok_or_else(|| GdError::Parse {
+                        line: line.to_string(),
+                        reason: format!("feature {tok:?} is not idx:val"),
+                    })?;
+                    let idx: u32 = i.parse().map_err(|e| GdError::Parse {
+                        line: line.to_string(),
+                        reason: format!("bad index {i:?}: {e}"),
+                    })?;
+                    if idx == 0 {
+                        return Err(GdError::Parse {
+                            line: line.to_string(),
+                            reason: "LIBSVM indices are 1-based".into(),
+                        });
+                    }
+                    let val: f64 = v.parse().map_err(|e| GdError::Parse {
+                        line: line.to_string(),
+                        reason: format!("bad value {v:?}: {e}"),
+                    })?;
+                    indices.push(idx - 1);
+                    values.push(val);
+                }
+                let features = SparseVector::new(self.dims, indices, values)
+                    .map_err(GdError::Linalg)?;
+                Ok(LabeledPoint::new(label, FeatureVec::Sparse(features)))
+            }
+        }
+    }
+}
+
+/// A `Transform` that mean-centers dense features using the
+/// dataset-wide statistics a [`StatsStage`] computed — the Section 6
+/// escape hatch in action: even under *lazy* transformation, transforms
+/// that need global statistics stay sound because `Stage` saw the data
+/// first ("such possible cases are handled by passing the dataset to the
+/// Stage operator beforehand").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanCenterTransform;
+
+impl TransformOp for MeanCenterTransform {
+    fn transform(&self, unit: RawUnit<'_>, ctx: &Context) -> Result<LabeledPoint, GdError> {
+        let point = match unit {
+            RawUnit::Point(p) => p.clone(),
+            RawUnit::Text(line) => CsvTransform.transform(RawUnit::Text(line), ctx)?,
+        };
+        let Some(means) = ctx.vector("feature_means") else {
+            return Err(GdError::InvalidPlan(
+                "MeanCenterTransform requires a StatsStage to compute feature_means".into(),
+            ));
+        };
+        let mut dense = point.features.to_dense();
+        debug_assert_eq!(dense.dim(), means.dim());
+        for (x, m) in dense.as_mut_slice().iter_mut().zip(means.as_slice()) {
+            *x -= m;
+        }
+        Ok(LabeledPoint::new(point.label, FeatureVec::Dense(dense)))
+    }
+}
+
+/// Reference `Stage` (Listing 4): zero weights, `step := 1.0`, `iter := 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroStage {
+    /// Model dimensionality.
+    pub dims: usize,
+}
+
+impl StageOp for ZeroStage {
+    fn stage(&self, ctx: &mut Context, _staged: &[LabeledPoint]) {
+        ctx.dims = self.dims;
+        ctx.weights = DenseVector::zeros(self.dims);
+        ctx.iteration = 0;
+        ctx.put("step", Extra::Scalar(1.0));
+    }
+}
+
+/// A `Stage` that additionally requires a full pass for global statistics
+/// (feature means), demonstrating the Section 6 escape hatch that keeps
+/// lazy transformation sound when `Transform` needs dataset-wide values.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsStage {
+    /// Model dimensionality.
+    pub dims: usize,
+}
+
+impl StageOp for StatsStage {
+    fn stage(&self, ctx: &mut Context, staged: &[LabeledPoint]) {
+        ctx.dims = self.dims;
+        ctx.weights = DenseVector::zeros(self.dims);
+        ctx.iteration = 0;
+        ctx.put("step", Extra::Scalar(1.0));
+        let mut means = DenseVector::zeros(self.dims);
+        if !staged.is_empty() {
+            for p in staged {
+                p.features.axpy_into(means.as_mut_slice(), 1.0);
+            }
+            means.scale(1.0 / staged.len() as f64);
+        }
+        ctx.put("feature_means", Extra::Vector(means));
+    }
+
+    fn needs_full_scan(&self) -> bool {
+        true
+    }
+}
+
+/// Reference `Compute` (Listing 2): accumulate the task's gradient.
+pub struct GradientCompute {
+    /// The gradient function (Table 3) or a custom UDF.
+    pub gradient: Box<dyn Gradient>,
+}
+
+impl GradientCompute {
+    /// Compute for one of the built-in tasks.
+    pub fn of(kind: GradientKind) -> Self {
+        Self {
+            gradient: Box::new(kind),
+        }
+    }
+}
+
+impl ComputeOp for GradientCompute {
+    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc) {
+        self.gradient
+            .accumulate(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
+        acc.count += 1;
+    }
+}
+
+/// Reference `Update` (Listing 3): `w ← w − α_i ( Σg / count + ∇R(w) )`.
+///
+/// The `1/count` averaging matches MLlib's mini-batch semantics, which the
+/// paper replicates so that the same step size behaves comparably across
+/// BGD/MGD/SGD (Section 8.1).
+#[derive(Debug, Clone, Copy)]
+pub struct StepUpdate {
+    /// Step schedule.
+    pub step: StepSize,
+    /// Regularizer term of Equation 1.
+    pub regularizer: Regularizer,
+}
+
+impl UpdateOp for StepUpdate {
+    fn update(&self, acc: &ComputeAcc, ctx: &mut Context) -> UpdateOutcome {
+        if acc.count == 0 {
+            return UpdateOutcome::InternalOnly;
+        }
+        let alpha = self.step.at(ctx.iteration);
+        let scale = -alpha / acc.count as f64;
+        let w = ctx.weights.as_mut_slice();
+        match self.regularizer {
+            // Fast path: no per-iteration regularizer buffer (this loop
+            // runs once per iteration over the full model vector).
+            Regularizer::None => {
+                for (wi, gi) in w.iter_mut().zip(acc.primary.as_slice()) {
+                    *wi += scale * gi;
+                }
+            }
+            Regularizer::L2 { lambda } => {
+                // The regularizer gradient `λw` applies at full strength
+                // regardless of the sample size.
+                for (wi, gi) in w.iter_mut().zip(acc.primary.as_slice()) {
+                    *wi += scale * gi - alpha * lambda * *wi;
+                }
+            }
+        }
+        UpdateOutcome::Updated
+    }
+}
+
+/// Fixed-size sampling policy for plain BGD/SGD/MGD plans.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSample {
+    /// `All` for BGD; `Units(1)` for SGD; `Units(b)` for MGD.
+    pub size: SampleSize,
+}
+
+impl SampleOp for FixedSample {
+    fn size(&self, _ctx: &Context) -> SampleSize {
+        self.size
+    }
+}
+
+/// Reference `Converge` (Listing 5): L1 norm of the weight delta.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1Converge;
+
+impl ConvergeOp for L1Converge {
+    fn converge(&self, previous: &DenseVector, ctx: &Context) -> f64 {
+        ctx.weights
+            .l1_distance(previous)
+            .expect("weights dimensionality is fixed for a run")
+    }
+}
+
+/// L2 variant of `Converge`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2Converge;
+
+impl ConvergeOp for L2Converge {
+    fn converge(&self, previous: &DenseVector, ctx: &Context) -> f64 {
+        ctx.weights
+            .l2_distance(previous)
+            .expect("weights dimensionality is fixed for a run")
+    }
+}
+
+/// Reference `Loop` (Listing 6): run until `delta < tolerance` or
+/// `max_iter` iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct ToleranceLoop {
+    /// Convergence tolerance ε.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iter: u64,
+}
+
+impl LoopOp for ToleranceLoop {
+    fn should_continue(&self, delta: f64, ctx: &Context) -> bool {
+        delta >= self.tolerance && ctx.iteration < self.max_iter
+    }
+}
+
+/// `Loop` running a fixed number of iterations (Figure 3a's `i < 100`).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLoop {
+    /// Number of iterations to run.
+    pub iterations: u64,
+}
+
+impl LoopOp for FixedLoop {
+    fn should_continue(&self, _delta: f64, ctx: &Context) -> bool {
+        ctx.iteration < self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(dims: usize) -> Context {
+        let mut c = Context::new(dims);
+        ZeroStage { dims }.stage(&mut c, &[]);
+        c
+    }
+
+    #[test]
+    fn csv_transform_parses_listing1_format() {
+        let t = CsvTransform;
+        let p = t
+            .transform(RawUnit::Text("1.0, 0.5, -2.0"), &ctx(2))
+            .unwrap();
+        assert_eq!(p.label, 1.0);
+        assert_eq!(p.features.dot(&[1.0, 0.0]), 0.5);
+        assert_eq!(p.features.dot(&[0.0, 1.0]), -2.0);
+    }
+
+    #[test]
+    fn csv_transform_rejects_garbage() {
+        let t = CsvTransform;
+        assert!(t.transform(RawUnit::Text("a,b"), &ctx(1)).is_err());
+        assert!(t.transform(RawUnit::Text("1.0"), &ctx(1)).is_err());
+    }
+
+    #[test]
+    fn libsvm_transform_parses_figure3_format() {
+        let t = LibsvmTransform { dims: 10 };
+        let p = t
+            .transform(RawUnit::Text("+1 2:0.1 4:0.4 10:0.3"), &ctx(10))
+            .unwrap();
+        assert_eq!(p.label, 1.0);
+        // 1-based file indices → 0-based storage.
+        assert_eq!(p.features.dot(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]), 0.1);
+        assert_eq!(p.features.nnz(), 3);
+    }
+
+    #[test]
+    fn libsvm_transform_rejects_zero_index_and_bad_pairs() {
+        let t = LibsvmTransform { dims: 4 };
+        assert!(t.transform(RawUnit::Text("1 0:0.5"), &ctx(4)).is_err());
+        assert!(t.transform(RawUnit::Text("1 3"), &ctx(4)).is_err());
+        assert!(t.transform(RawUnit::Text(""), &ctx(4)).is_err());
+    }
+
+    #[test]
+    fn zero_stage_initializes_listing4_state() {
+        let mut c = Context::new(0);
+        ZeroStage { dims: 3 }.stage(&mut c, &[]);
+        assert_eq!(c.weights.dim(), 3);
+        assert_eq!(c.scalar("step"), Some(1.0));
+        assert_eq!(c.iteration, 0);
+    }
+
+    #[test]
+    fn stats_stage_computes_means_and_demands_scan() {
+        let s = StatsStage { dims: 2 };
+        assert!(s.needs_full_scan());
+        let pts = vec![
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![2.0, 0.0])),
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![4.0, 2.0])),
+        ];
+        let mut c = Context::new(0);
+        s.stage(&mut c, &pts);
+        let means = c.vector("feature_means").unwrap();
+        assert_eq!(means.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_compute_accumulates_counts() {
+        let compute = GradientCompute::of(GradientKind::Svm);
+        let c = ctx(1);
+        let mut acc = ComputeAcc::new(1);
+        let p = LabeledPoint::new(1.0, FeatureVec::dense(vec![2.0]));
+        compute.compute(&p, &c, &mut acc);
+        compute.compute(&p, &c, &mut acc);
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.primary.as_slice(), &[-4.0]); // two hinge subgradients
+    }
+
+    #[test]
+    fn step_update_averages_and_steps() {
+        let update = StepUpdate {
+            step: StepSize::Constant(0.5),
+            regularizer: Regularizer::None,
+        };
+        let mut c = ctx(1);
+        c.iteration = 1;
+        let mut acc = ComputeAcc::new(1);
+        acc.primary[0] = 4.0;
+        acc.count = 2; // average gradient = 2.0
+        assert_eq!(update.update(&acc, &mut c), UpdateOutcome::Updated);
+        assert!((c.weights[0] + 1.0).abs() < 1e-12); // 0 − 0.5×2
+    }
+
+    #[test]
+    fn step_update_on_empty_sample_is_internal_only() {
+        let update = StepUpdate {
+            step: StepSize::Constant(0.5),
+            regularizer: Regularizer::None,
+        };
+        let mut c = ctx(2);
+        let acc = ComputeAcc::new(2);
+        assert_eq!(update.update(&acc, &mut c), UpdateOutcome::InternalOnly);
+        assert_eq!(c.weights.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn l2_regularized_update_shrinks_weights() {
+        let update = StepUpdate {
+            step: StepSize::Constant(0.1),
+            regularizer: Regularizer::L2 { lambda: 1.0 },
+        };
+        let mut c = ctx(1);
+        c.iteration = 1;
+        c.weights[0] = 1.0;
+        let mut acc = ComputeAcc::new(1);
+        acc.count = 1; // zero gradient, only the regularizer acts
+        update.update(&acc, &mut c);
+        assert!((c.weights[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converge_ops_measure_distance() {
+        let mut c = ctx(2);
+        c.weights[0] = 3.0;
+        c.weights[1] = -4.0;
+        let prev = DenseVector::zeros(2);
+        assert_eq!(L1Converge.converge(&prev, &c), 7.0);
+        assert!((L2Converge.converge(&prev, &c) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_loop_stops_on_either_condition() {
+        let l = ToleranceLoop {
+            tolerance: 0.01,
+            max_iter: 10,
+        };
+        let mut c = ctx(1);
+        c.iteration = 5;
+        assert!(l.should_continue(0.1, &c));
+        assert!(!l.should_continue(0.001, &c));
+        c.iteration = 10;
+        assert!(!l.should_continue(0.1, &c));
+    }
+
+    #[test]
+    fn fixed_loop_counts_iterations() {
+        let l = FixedLoop { iterations: 100 };
+        let mut c = ctx(1);
+        c.iteration = 99;
+        assert!(l.should_continue(f64::INFINITY, &c));
+        c.iteration = 100;
+        assert!(!l.should_continue(0.0, &c));
+    }
+
+    #[test]
+    fn compute_acc_reset_keeps_allocation() {
+        let mut acc = ComputeAcc::new(3);
+        acc.primary[0] = 1.0;
+        acc.scalar = 5.0;
+        acc.count = 9;
+        acc.secondary_mut()[1] = 2.0;
+        acc.reset();
+        assert_eq!(acc.primary.l1_norm(), 0.0);
+        assert_eq!(acc.scalar, 0.0);
+        assert_eq!(acc.count, 0);
+        assert_eq!(acc.secondary.as_ref().unwrap().l1_norm(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod mean_center_tests {
+    use super::*;
+
+    #[test]
+    fn mean_center_requires_stats_stage() {
+        let ctx = Context::new(2);
+        let p = LabeledPoint::new(1.0, FeatureVec::dense(vec![1.0, 2.0]));
+        assert!(matches!(
+            MeanCenterTransform.transform(RawUnit::Point(&p), &ctx),
+            Err(GdError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn mean_center_subtracts_global_means() {
+        let stage = StatsStage { dims: 2 };
+        let pts = vec![
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![2.0, 10.0])),
+            LabeledPoint::new(-1.0, FeatureVec::dense(vec![4.0, 30.0])),
+        ];
+        let mut ctx = Context::new(0);
+        stage.stage(&mut ctx, &pts); // means = [3, 20]
+        let out = MeanCenterTransform
+            .transform(RawUnit::Point(&pts[0]), &ctx)
+            .unwrap();
+        assert_eq!(out.features.to_dense().as_slice(), &[-1.0, -10.0]);
+        assert!(!MeanCenterTransform.is_identity());
+    }
+
+    #[test]
+    fn mean_center_parses_text_first() {
+        let stage = StatsStage { dims: 2 };
+        let pts = vec![LabeledPoint::new(1.0, FeatureVec::dense(vec![1.0, 1.0]))];
+        let mut ctx = Context::new(0);
+        stage.stage(&mut ctx, &pts); // means = [1, 1]
+        let out = MeanCenterTransform
+            .transform(RawUnit::Text("1.0, 3.0, 5.0"), &ctx)
+            .unwrap();
+        assert_eq!(out.features.to_dense().as_slice(), &[2.0, 4.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The GD plan vocabulary of Figure 5: algorithm variant × transformation
+//! policy × sampling strategy.
+
+use ml4all_dataflow::SamplingMethod;
+use serde::{Deserialize, Serialize};
+
+use crate::GdError;
+
+/// Which fundamental GD algorithm the plan runs (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GdVariant {
+    /// Batch GD — every iteration scans all `n` data units.
+    Batch,
+    /// Stochastic GD — one random unit per iteration.
+    Stochastic,
+    /// Mini-batch GD — `batch` random units per iteration.
+    MiniBatch {
+        /// Mini-batch size `b` (the paper uses 1 000 and 10 000).
+        batch: usize,
+    },
+}
+
+impl GdVariant {
+    /// Units consumed per iteration, given the dataset size.
+    pub fn sample_size(&self, n: u64) -> u64 {
+        match self {
+            Self::Batch => n,
+            Self::Stochastic => 1,
+            Self::MiniBatch { batch } => (*batch as u64).min(n),
+        }
+    }
+
+    /// Canonical name (`BGD`, `SGD`, `MGD`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Batch => "BGD",
+            Self::Stochastic => "SGD",
+            Self::MiniBatch { .. } => "MGD",
+        }
+    }
+}
+
+impl std::fmt::Display for GdVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MiniBatch { batch } => write!(f, "MGD(b={batch})"),
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+/// When input data units are transformed (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransformPolicy {
+    /// Transform the whole dataset up front, before the loop.
+    Eager,
+    /// Commute `Transform` inside the loop, after `Sample`: only sampled
+    /// units are ever transformed.
+    Lazy,
+}
+
+impl TransformPolicy {
+    /// Short label used in plan names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Eager => "eager",
+            Self::Lazy => "lazy",
+        }
+    }
+}
+
+/// A complete execution plan: one node of the Figure 5 tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GdPlan {
+    /// GD algorithm.
+    pub variant: GdVariant,
+    /// Eager or lazy transformation.
+    pub transform: TransformPolicy,
+    /// Sampling strategy; `None` only for BGD.
+    pub sampling: Option<SamplingMethod>,
+}
+
+impl GdPlan {
+    /// The single BGD plan (eager, no sampling).
+    pub fn bgd() -> Self {
+        Self {
+            variant: GdVariant::Batch,
+            transform: TransformPolicy::Eager,
+            sampling: None,
+        }
+    }
+
+    /// An SGD plan; validated against the Figure 5 search space.
+    pub fn sgd(transform: TransformPolicy, sampling: SamplingMethod) -> Result<Self, GdError> {
+        Self::stochastic_like(GdVariant::Stochastic, transform, sampling)
+    }
+
+    /// An MGD plan; validated against the Figure 5 search space.
+    pub fn mgd(
+        batch: usize,
+        transform: TransformPolicy,
+        sampling: SamplingMethod,
+    ) -> Result<Self, GdError> {
+        if batch == 0 {
+            return Err(GdError::InvalidPlan("mini-batch size must be positive".into()));
+        }
+        Self::stochastic_like(GdVariant::MiniBatch { batch }, transform, sampling)
+    }
+
+    fn stochastic_like(
+        variant: GdVariant,
+        transform: TransformPolicy,
+        sampling: SamplingMethod,
+    ) -> Result<Self, GdError> {
+        if transform == TransformPolicy::Lazy && sampling == SamplingMethod::Bernoulli {
+            // Discarded by the optimizer: Bernoulli scans everything anyway,
+            // so delaying transformation buys nothing (Section 6).
+            return Err(GdError::InvalidPlan(
+                "lazy transformation with Bernoulli sampling is never beneficial".into(),
+            ));
+        }
+        Ok(Self {
+            variant,
+            transform,
+            sampling: Some(sampling),
+        })
+    }
+
+    /// Plan name in the paper's notation, e.g. `SGD-lazy-shuffle`.
+    pub fn name(&self) -> String {
+        match self.sampling {
+            None => self.variant.name().to_string(),
+            Some(s) => format!(
+                "{}-{}-{}",
+                self.variant.name(),
+                self.transform.label(),
+                s.label()
+            ),
+        }
+    }
+
+    /// `true` if this plan samples (SGD/MGD).
+    pub fn is_stochastic(&self) -> bool {
+        self.sampling.is_some()
+    }
+}
+
+impl std::fmt::Display for GdPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgd_plan_has_no_sampling() {
+        let p = GdPlan::bgd();
+        assert_eq!(p.name(), "BGD");
+        assert!(!p.is_stochastic());
+        assert_eq!(p.variant.sample_size(1000), 1000);
+    }
+
+    #[test]
+    fn lazy_bernoulli_is_rejected() {
+        let err = GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::Bernoulli).unwrap_err();
+        assert!(matches!(err, GdError::InvalidPlan(_)));
+        let err =
+            GdPlan::mgd(100, TransformPolicy::Lazy, SamplingMethod::Bernoulli).unwrap_err();
+        assert!(matches!(err, GdError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn zero_batch_is_rejected() {
+        assert!(GdPlan::mgd(0, TransformPolicy::Eager, SamplingMethod::Bernoulli).is_err());
+    }
+
+    #[test]
+    fn plan_names_match_paper_notation() {
+        let p = GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::ShuffledPartition).unwrap();
+        assert_eq!(p.name(), "SGD-lazy-shuffle");
+        let p = GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap();
+        assert_eq!(p.name(), "MGD-eager-bernoulli");
+    }
+
+    #[test]
+    fn sample_sizes_follow_variant() {
+        assert_eq!(GdVariant::Stochastic.sample_size(10), 1);
+        assert_eq!(GdVariant::MiniBatch { batch: 1000 }.sample_size(10_000), 1000);
+        // Mini-batch larger than the dataset degrades to full batch.
+        assert_eq!(GdVariant::MiniBatch { batch: 1000 }.sample_size(10), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GdVariant::MiniBatch { batch: 5 }.to_string(), "MGD(b=5)");
+        assert_eq!(GdVariant::Batch.to_string(), "BGD");
+        assert_eq!(GdPlan::bgd().to_string(), "BGD");
+    }
+}

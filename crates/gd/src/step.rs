@@ -1,0 +1,106 @@
+//! Step-size (learning-rate) schedules.
+//!
+//! The paper's experiments use MLlib's hard-coded `β/√i` schedule across
+//! all systems and algorithms (Section 8.1); the iterations-estimator
+//! appendix (Figure 15) additionally exercises `1/i` and `1/i²`. Constant
+//! steps and backtracking line search (Appendix C) round out the set.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic step-size schedule `α_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSize {
+    /// `α_i = c`.
+    Constant(f64),
+    /// `α_i = β / √i` — the MLlib default the paper adopts everywhere.
+    BetaOverSqrtI {
+        /// The user-defined β (1.0 in the paper's experiments).
+        beta: f64,
+    },
+    /// `α_i = β / i`.
+    BetaOverI {
+        /// Numerator β.
+        beta: f64,
+    },
+    /// `α_i = β / i²`.
+    BetaOverISquared {
+        /// Numerator β.
+        beta: f64,
+    },
+}
+
+impl StepSize {
+    /// The paper's default schedule: `1/√i`.
+    pub fn paper_default() -> Self {
+        Self::BetaOverSqrtI { beta: 1.0 }
+    }
+
+    /// Step size at (1-based) iteration `i`.
+    pub fn at(&self, i: u64) -> f64 {
+        let i = i.max(1) as f64;
+        match self {
+            Self::Constant(c) => *c,
+            Self::BetaOverSqrtI { beta } => beta / i.sqrt(),
+            Self::BetaOverI { beta } => beta / i,
+            Self::BetaOverISquared { beta } => beta / (i * i),
+        }
+    }
+
+    /// Human-readable label for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Constant(c) => format!("const({c})"),
+            Self::BetaOverSqrtI { beta } => format!("{beta}/sqrt(i)"),
+            Self::BetaOverI { beta } => format!("{beta}/i"),
+            Self::BetaOverISquared { beta } => format!("{beta}/i^2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_decay_as_specified() {
+        let sqrt = StepSize::BetaOverSqrtI { beta: 1.0 };
+        assert_eq!(sqrt.at(1), 1.0);
+        assert_eq!(sqrt.at(4), 0.5);
+        assert_eq!(sqrt.at(100), 0.1);
+
+        let inv = StepSize::BetaOverI { beta: 2.0 };
+        assert_eq!(inv.at(1), 2.0);
+        assert_eq!(inv.at(4), 0.5);
+
+        let sq = StepSize::BetaOverISquared { beta: 1.0 };
+        assert_eq!(sq.at(1), 1.0);
+        assert_eq!(sq.at(10), 0.01);
+
+        let c = StepSize::Constant(0.3);
+        assert_eq!(c.at(1), 0.3);
+        assert_eq!(c.at(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn iteration_zero_is_clamped_to_one() {
+        assert_eq!(StepSize::BetaOverI { beta: 1.0 }.at(0), 1.0);
+    }
+
+    #[test]
+    fn schedules_are_monotone_nonincreasing() {
+        for step in [
+            StepSize::Constant(1.0),
+            StepSize::paper_default(),
+            StepSize::BetaOverI { beta: 1.0 },
+            StepSize::BetaOverISquared { beta: 1.0 },
+        ] {
+            let mut prev = f64::INFINITY;
+            for i in 1..200 {
+                let a = step.at(i);
+                assert!(a <= prev + 1e-15, "{} not monotone at {i}", step.label());
+                assert!(a > 0.0);
+                prev = a;
+            }
+        }
+    }
+}

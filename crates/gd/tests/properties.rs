@@ -1,0 +1,157 @@
+//! Property-based tests for the GD layer: gradient correctness against
+//! numerical differentiation, executor determinism, and descent behaviour.
+
+use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv};
+use ml4all_gd::{
+    dataset_loss, execute_plan, GdPlan, Gradient, GradientKind, Regularizer, StepSize,
+    TrainParams, TransformPolicy,
+};
+use ml4all_linalg::{FeatureVec, LabeledPoint};
+use proptest::prelude::*;
+
+fn arb_point(dims: usize) -> impl Strategy<Value = LabeledPoint> {
+    (
+        prop::collection::vec(-2.0f64..2.0, dims),
+        prop_oneof![Just(-1.0f64), Just(1.0f64)],
+    )
+        .prop_map(|(xs, label)| LabeledPoint::new(label, FeatureVec::dense(xs)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gradients_match_numerical_differentiation(
+        point in arb_point(4),
+        w in prop::collection::vec(-2.0f64..2.0, 4),
+        kind_ix in 0usize..2,
+    ) {
+        // Smooth losses only (hinge is non-differentiable at the margin).
+        let kind = [GradientKind::LinearRegression, GradientKind::LogisticRegression][kind_ix];
+        let eps = 1e-6;
+        let mut analytic = vec![0.0; 4];
+        kind.accumulate(&w, &point, &mut analytic);
+        for j in 0..4 {
+            let mut wp = w.clone();
+            wp[j] += eps;
+            let mut wm = w.clone();
+            wm[j] -= eps;
+            let numeric = (kind.loss(&wp, &point) - kind.loss(&wm, &point)) / (2.0 * eps);
+            prop_assert!(
+                (numeric - analytic[j]).abs() < 1e-4 * (1.0 + analytic[j].abs()),
+                "{kind:?} dim {j}: numeric {numeric} vs analytic {}",
+                analytic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn hinge_subgradient_is_valid(
+        point in arb_point(3),
+        w in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        // Subgradient inequality: ℓ(v) ≥ ℓ(w) + g·(v − w) for hinge.
+        let kind = GradientKind::Svm;
+        let mut g = vec![0.0; 3];
+        kind.accumulate(&w, &point, &mut g);
+        let lw = kind.loss(&w, &point);
+        for dv in [-0.5, 0.3, 1.0] {
+            let v: Vec<f64> = w.iter().map(|x| x + dv).collect();
+            let lv = kind.loss(&v, &point);
+            let linear: f64 = g.iter().map(|gi| gi * dv).sum();
+            prop_assert!(lv + 1e-9 >= lw + linear);
+        }
+    }
+}
+
+fn dataset(n: usize, seed: u64) -> PartitionedDataset {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<LabeledPoint> = (0..n)
+        .map(|_| {
+            let x0: f64 = rng.gen_range(-1.0..1.0);
+            let x1: f64 = rng.gen_range(-1.0..1.0);
+            let label = if x0 + 0.5 * x1 > 0.0 { 1.0 } else { -1.0 };
+            LabeledPoint::new(label, FeatureVec::dense(vec![x0, x1, 1.0]))
+        })
+        .collect();
+    PartitionedDataset::from_points(
+        "prop",
+        points,
+        PartitionScheme::RoundRobin,
+        &ClusterSpec::paper_testbed(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn executor_is_deterministic_per_seed(seed in 0u64..1000, iters in 5u64..50) {
+        let data = dataset(300, 5);
+        let plan = GdPlan::mgd(20, TransformPolicy::Eager, SamplingMethod::RandomPartition)
+            .unwrap();
+        let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+        params.seed = seed;
+        params.tolerance = 0.0;
+        params.max_iter = iters;
+
+        let mut env_a = SimEnv::new(ClusterSpec::paper_testbed());
+        let a = execute_plan(&plan, &data, &params, &mut env_a).unwrap();
+        let mut env_b = SimEnv::new(ClusterSpec::paper_testbed());
+        let b = execute_plan(&plan, &data, &params, &mut env_b).unwrap();
+        prop_assert_eq!(a.weights, b.weights);
+        prop_assert_eq!(a.sim_time_s, b.sim_time_s);
+    }
+
+    #[test]
+    fn bgd_monotonically_reduces_logistic_loss(seed in 0u64..100) {
+        // With a constant, stable step, full-batch GD on the smooth convex
+        // logistic loss must not increase the objective.
+        let data = dataset(400, seed);
+        let points: Vec<LabeledPoint> = data.iter_points().cloned().collect();
+        let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+        params.step = StepSize::Constant(0.2);
+        params.tolerance = 0.0;
+
+        let mut last = dataset_loss(
+            &GradientKind::LogisticRegression,
+            &Regularizer::None,
+            &[0.0, 0.0, 0.0],
+            &points,
+        );
+        for iters in [5u64, 15, 40] {
+            params.max_iter = iters;
+            let mut env = SimEnv::new(ClusterSpec::paper_testbed());
+            let r = execute_plan(&GdPlan::bgd(), &data, &params, &mut env).unwrap();
+            let loss = dataset_loss(
+                &GradientKind::LogisticRegression,
+                &Regularizer::None,
+                r.weights.as_slice(),
+                &points,
+            );
+            prop_assert!(loss <= last + 1e-9, "loss rose from {last} to {loss}");
+            last = loss;
+        }
+    }
+
+    #[test]
+    fn sim_time_is_positive_and_additive_in_iterations(iters in 2u64..40) {
+        let data = dataset(200, 3);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+
+        params.max_iter = iters;
+        let mut env = SimEnv::new(ClusterSpec::paper_testbed());
+        let full = execute_plan(&GdPlan::bgd(), &data, &params, &mut env).unwrap();
+
+        params.max_iter = iters / 2;
+        let mut env_half = SimEnv::new(ClusterSpec::paper_testbed());
+        let half = execute_plan(&GdPlan::bgd(), &data, &params, &mut env_half).unwrap();
+
+        prop_assert!(full.sim_time_s > half.sim_time_s);
+        prop_assert!(half.sim_time_s > 0.0);
+    }
+}

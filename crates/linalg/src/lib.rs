@@ -1,0 +1,64 @@
+//! Dense and sparse linear-algebra primitives for the ml4all gradient-descent
+//! optimizer.
+//!
+//! The gradient-descent operators of the paper (Section 4) work over *data
+//! units*: labelled feature vectors that may be dense (e.g. the synthetic
+//! `svm1`–`svm3` datasets of Table 2) or sparse (e.g. `rcv1` with density
+//! `1.5e-3`). This crate provides the two storage layouts behind a common
+//! [`FeatureVec`] interface plus the handful of kernels every GD iteration
+//! needs: dot products against a dense weight vector, scaled accumulation
+//! (`axpy`), and the norms used by the `Converge` operator.
+//!
+//! # Example
+//!
+//! ```
+//! use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, SparseVector};
+//!
+//! let w = DenseVector::zeros(4);
+//! let dense = LabeledPoint::new(1.0, FeatureVec::dense(vec![1.0, 0.0, 2.0, 0.0]));
+//! let sparse = LabeledPoint::new(-1.0, FeatureVec::Sparse(
+//!     SparseVector::new(4, vec![0, 2], vec![1.0, 2.0]).unwrap(),
+//! ));
+//! assert_eq!(dense.features.dot(w.as_slice()), sparse.features.dot(w.as_slice()));
+//! ```
+
+pub mod dense;
+pub mod point;
+pub mod sparse;
+
+pub use dense::DenseVector;
+pub use point::{FeatureVec, LabeledPoint};
+pub use sparse::SparseVector;
+
+/// Error type for shape/validity violations when constructing vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Parallel index/value arrays of a sparse vector differ in length.
+    IndexValueLengthMismatch { indices: usize, values: usize },
+    /// A sparse index is out of range for the declared dimensionality.
+    IndexOutOfBounds { index: u32, dim: usize },
+    /// Sparse indices must be strictly increasing.
+    UnsortedIndices,
+    /// Two operands disagree on dimensionality.
+    DimensionMismatch { left: usize, right: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IndexValueLengthMismatch { indices, values } => write!(
+                f,
+                "sparse vector has {indices} indices but {values} values"
+            ),
+            Self::IndexOutOfBounds { index, dim } => {
+                write!(f, "sparse index {index} out of bounds for dimension {dim}")
+            }
+            Self::UnsortedIndices => write!(f, "sparse indices must be strictly increasing"),
+            Self::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,141 @@
+//! Labelled data points — the *data units* flowing through GD plans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseVector, SparseVector};
+
+/// A feature vector in either dense or sparse storage.
+///
+/// The `Transform` operator of the paper parses raw text into exactly this
+/// shape: dense rows for comma-separated numeric files (Listing 1) and
+/// `label [indices] [values]` units for LIBSVM input (Figure 3a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureVec {
+    /// Contiguous values, one per dimension.
+    Dense(DenseVector),
+    /// Sorted `(index, value)` pairs.
+    Sparse(SparseVector),
+}
+
+impl FeatureVec {
+    /// Convenience constructor for dense features.
+    pub fn dense(values: Vec<f64>) -> Self {
+        Self::Dense(DenseVector::new(values))
+    }
+
+    /// Dimensionality of the feature space.
+    pub fn dim(&self) -> usize {
+        match self {
+            Self::Dense(v) => v.dim(),
+            Self::Sparse(v) => v.dim(),
+        }
+    }
+
+    /// Number of materialized (possibly non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Self::Dense(v) => v.dim(),
+            Self::Sparse(v) => v.nnz(),
+        }
+    }
+
+    /// Dot product against a dense weight slice.
+    #[inline]
+    pub fn dot(&self, weights: &[f64]) -> f64 {
+        match self {
+            Self::Dense(v) => crate::dense::dot(v.as_slice(), weights),
+            Self::Sparse(v) => v.dot(weights),
+        }
+    }
+
+    /// `acc += alpha * self` into a dense accumulator.
+    #[inline]
+    pub fn axpy_into(&self, acc: &mut [f64], alpha: f64) {
+        match self {
+            Self::Dense(v) => crate::dense::axpy(acc, alpha, v.as_slice()),
+            Self::Sparse(v) => v.axpy_into(acc, alpha),
+        }
+    }
+
+    /// Materialize as dense storage.
+    pub fn to_dense(&self) -> DenseVector {
+        match self {
+            Self::Dense(v) => v.clone(),
+            Self::Sparse(v) => DenseVector::new(v.to_dense()),
+        }
+    }
+}
+
+/// A labelled data point: the unit the `Compute` operator consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    /// Class label (`±1` for classification) or regression target.
+    pub label: f64,
+    /// Feature vector.
+    pub features: FeatureVec,
+}
+
+impl LabeledPoint {
+    /// Construct a point.
+    pub fn new(label: f64, features: FeatureVec) -> Self {
+        Self { label, features }
+    }
+
+    /// Dimensionality of the feature space.
+    pub fn dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Approximate in-memory/storage footprint in bytes, used by the cost
+    /// model to size data units (Table 1's `|D|_b` bookkeeping).
+    pub fn approx_bytes(&self) -> usize {
+        match &self.features {
+            FeatureVec::Dense(v) => 8 + 8 * v.dim(),
+            FeatureVec::Sparse(v) => 8 + 12 * v.nnz(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(dim: usize, idx: Vec<u32>, val: Vec<f64>) -> FeatureVec {
+        FeatureVec::Sparse(SparseVector::new(dim, idx, val).unwrap())
+    }
+
+    #[test]
+    fn dense_and_sparse_dot_agree() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let d = FeatureVec::dense(vec![0.0, 5.0, 0.0, 1.0]);
+        let s = sparse(4, vec![1, 3], vec![5.0, 1.0]);
+        assert_eq!(d.dot(&w), s.dot(&w));
+        assert_eq!(d.dot(&w), 14.0);
+    }
+
+    #[test]
+    fn dense_and_sparse_axpy_agree() {
+        let mut acc_d = vec![0.0; 3];
+        let mut acc_s = vec![0.0; 3];
+        let d = FeatureVec::dense(vec![1.0, 0.0, -2.0]);
+        let s = sparse(3, vec![0, 2], vec![1.0, -2.0]);
+        d.axpy_into(&mut acc_d, 3.0);
+        s.axpy_into(&mut acc_s, 3.0);
+        assert_eq!(acc_d, acc_s);
+        assert_eq!(acc_d, vec![3.0, 0.0, -6.0]);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_storage() {
+        let d = LabeledPoint::new(1.0, FeatureVec::dense(vec![0.0; 10]));
+        let s = LabeledPoint::new(1.0, sparse(1000, vec![3], vec![1.0]));
+        assert_eq!(d.approx_bytes(), 8 + 80);
+        assert_eq!(s.approx_bytes(), 8 + 12);
+    }
+
+    #[test]
+    fn to_dense_round_trips() {
+        let s = sparse(4, vec![0, 2], vec![1.5, 2.5]);
+        assert_eq!(s.to_dense().as_slice(), &[1.5, 0.0, 2.5, 0.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sparse vectors in coordinate (sorted index/value pair) form.
+//!
+//! This mirrors the paper's sparse data unit: "a label, a set of indices,
+//! and a set of values" (Section 4.1, Figure 3a), i.e. the LIBSVM layout of
+//! datasets like `rcv1`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LinalgError;
+
+/// A sparse `f64` vector with strictly increasing indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Build a sparse vector, validating that `indices` and `values` are
+    /// parallel, sorted strictly increasing, and within `dim`.
+    pub fn new(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Result<Self, LinalgError> {
+        if indices.len() != values.len() {
+            return Err(LinalgError::IndexValueLengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        if let Some(&max) = indices.last() {
+            if max as usize >= dim {
+                return Err(LinalgError::IndexOutOfBounds { index: max, dim });
+            }
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            // Also catches an unsorted max sneaking past the `last()` check.
+            return Err(LinalgError::UnsortedIndices);
+        }
+        if indices.iter().any(|&i| (i as usize) >= dim) {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: *indices.iter().max().expect("non-empty"),
+                dim,
+            });
+        }
+        Ok(Self {
+            dim,
+            indices,
+            values,
+        })
+    }
+
+    /// An all-zero sparse vector of dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Declared dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored indices (strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Dot product with a dense weight slice of the same dimension.
+    #[inline]
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim, dense.len());
+        self.iter().map(|(i, v)| v * dense[i as usize]).sum()
+    }
+
+    /// `acc[i] += alpha * self[i]` for every stored entry — scatter-add of a
+    /// scaled sparse gradient into a dense accumulator.
+    #[inline]
+    pub fn axpy_into(&self, acc: &mut [f64], alpha: f64) {
+        debug_assert_eq!(self.dim, acc.len());
+        for (i, v) in self.iter() {
+            acc[i as usize] += alpha * v;
+        }
+    }
+
+    /// Materialize as a dense `Vec<f64>`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Squared L2 norm of the stored entries.
+    pub fn l2_norm_squared(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Fraction of non-zero entries (the "density" column of Table 2).
+    pub fn density(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dim as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_parallel_arrays() {
+        let err = SparseVector::new(4, vec![0, 1], vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            LinalgError::IndexValueLengthMismatch {
+                indices: 2,
+                values: 1
+            }
+        );
+    }
+
+    #[test]
+    fn new_validates_bounds() {
+        let err = SparseVector::new(4, vec![0, 4], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, LinalgError::IndexOutOfBounds { index: 4, dim: 4 });
+    }
+
+    #[test]
+    fn new_validates_sortedness() {
+        let err = SparseVector::new(4, vec![2, 1], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, LinalgError::UnsortedIndices);
+        let err = SparseVector::new(4, vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, LinalgError::UnsortedIndices);
+    }
+
+    #[test]
+    fn dot_matches_dense_materialization() {
+        let s = SparseVector::new(5, vec![1, 3], vec![2.0, -1.0]).unwrap();
+        let w = [0.5, 1.0, 7.0, 2.0, 9.0];
+        let dense = s.to_dense();
+        let expect: f64 = dense.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert_eq!(s.dot(&w), expect);
+    }
+
+    #[test]
+    fn axpy_into_scatters() {
+        let s = SparseVector::new(3, vec![0, 2], vec![1.0, 3.0]).unwrap();
+        let mut acc = vec![10.0, 10.0, 10.0];
+        s.axpy_into(&mut acc, 2.0);
+        assert_eq!(acc, vec![12.0, 10.0, 16.0]);
+    }
+
+    #[test]
+    fn empty_vector_is_zero() {
+        let s = SparseVector::empty(3);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.dot(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(s.to_dense(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn density_is_nnz_over_dim() {
+        let s = SparseVector::new(10, vec![0, 5], vec![1.0, 1.0]).unwrap();
+        assert!((s.density() - 0.2).abs() < 1e-12);
+        assert_eq!(SparseVector::empty(0).density(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the linear-algebra kernels: algebraic laws that
+//! must hold for any input, plus dense/sparse agreement.
+
+use ml4all_linalg::{DenseVector, FeatureVec, SparseVector};
+use proptest::prelude::*;
+
+const DIM: usize = 16;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+/// A random sparse vector over a fixed dimension: choose a subset of indices
+/// and matching values.
+fn sparse_vec() -> impl Strategy<Value = SparseVector> {
+    prop::collection::btree_set(0u32..DIM as u32, 0..DIM)
+        .prop_flat_map(|idx_set| {
+            let indices: Vec<u32> = idx_set.into_iter().collect();
+            let n = indices.len();
+            (Just(indices), prop::collection::vec(-1e3..1e3f64, n))
+        })
+        .prop_map(|(indices, values)| SparseVector::new(DIM, indices, values).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric(a in finite_vec(DIM), b in finite_vec(DIM)) {
+        let va = DenseVector::new(a);
+        let vb = DenseVector::new(b);
+        let ab = va.dot(&vb).unwrap();
+        let ba = vb.dot(&va).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_linear_in_scaling(a in finite_vec(DIM), b in finite_vec(DIM), alpha in -100.0..100.0f64) {
+        let va = DenseVector::new(a);
+        let mut scaled = va.clone();
+        scaled.scale(alpha);
+        let vb = DenseVector::new(b);
+        let lhs = scaled.dot(&vb).unwrap();
+        let rhs = alpha * va.dot(&vb).unwrap();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn triangle_inequality_l2(a in finite_vec(DIM), b in finite_vec(DIM)) {
+        let va = DenseVector::new(a);
+        let vb = DenseVector::new(b);
+        let mut sum = va.clone();
+        sum.add_assign(&vb);
+        prop_assert!(sum.l2_norm() <= va.l2_norm() + vb.l2_norm() + 1e-9);
+    }
+
+    #[test]
+    fn l1_dominates_l2(a in finite_vec(DIM)) {
+        let v = DenseVector::new(a);
+        prop_assert!(v.l2_norm() <= v.l1_norm() + 1e-9);
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense(s in sparse_vec(), w in finite_vec(DIM)) {
+        let dense = DenseVector::new(s.to_dense());
+        let dw = DenseVector::new(w.clone());
+        let expect = dense.dot(&dw).unwrap();
+        prop_assert!((s.dot(&w) - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn sparse_axpy_matches_dense(s in sparse_vec(), acc0 in finite_vec(DIM), alpha in -10.0..10.0f64) {
+        let mut sparse_acc = acc0.clone();
+        s.axpy_into(&mut sparse_acc, alpha);
+
+        let mut dense_acc = DenseVector::new(acc0);
+        dense_acc.axpy(alpha, &DenseVector::new(s.to_dense()));
+
+        for (x, y) in sparse_acc.iter().zip(dense_acc.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn featurevec_dot_agrees_between_layouts(s in sparse_vec(), w in finite_vec(DIM)) {
+        let fs = FeatureVec::Sparse(s.clone());
+        let fd = FeatureVec::dense(s.to_dense());
+        let a = fs.dot(&w);
+        let b = fd.dot(&w);
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn axpy_then_negate_round_trips(y0 in finite_vec(DIM), x in finite_vec(DIM), alpha in -10.0..10.0f64) {
+        let vx = DenseVector::new(x);
+        let mut y = DenseVector::new(y0.clone());
+        y.axpy(alpha, &vx);
+        y.axpy(-alpha, &vx);
+        for (a, b) in y.as_slice().iter().zip(&y0) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a in finite_vec(DIM), b in finite_vec(DIM)) {
+        let va = DenseVector::new(a.clone());
+        let vb = DenseVector::new(b);
+        let mut sum = va.clone();
+        sum.add_assign(&vb);
+        let back = sum.sub(&vb).unwrap();
+        for (x, y) in back.as_slice().iter().zip(&a) {
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The `ml4all` command-line client: the paper's declarative interface as
+//! an interactive REPL (or one-shot `-e` executor).
+//!
+//! ```text
+//! $ ml4all
+//! ml4all> Q1 = run logistic() on train.csv having epsilon 0.01;
+//! [Q1] trained with SGD-lazy-shuffle: 2062 iterations, 7.2 simulated s
+//! ml4all> persist Q1 on model.txt;
+//! [persisted model.txt]
+//! ml4all> predict on test.csv with model.txt;
+//! [predictions: 600 points, mse 0.583, accuracy 85.3%]
+//! ```
+//!
+//! Options: `-e "<stmt>"` (execute and exit, repeatable),
+//! `--data-dir <dir>` (base for relative paths), `--help`.
+
+use std::io::{BufRead, Write};
+
+use ml4all::{Session, SessionOutput};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut statements: Vec<String> = Vec::new();
+    let mut data_dir = String::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" | "--execute" => match args.next() {
+                Some(stmt) => statements.push(stmt),
+                None => {
+                    eprintln!("-e requires a statement");
+                    std::process::exit(2);
+                }
+            },
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = dir,
+                None => {
+                    eprintln!("--data-dir requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                print_help();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut session = Session::new().with_data_dir(&data_dir);
+
+    if !statements.is_empty() {
+        for stmt in statements {
+            if !run_statement(&mut session, &stmt) {
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Interactive REPL.
+    println!("ml4all — cost-based gradient-descent optimizer");
+    println!("statements: run / persist / predict  (\\q to quit, \\h for help)");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!("ml4all> ");
+        std::io::stdout().flush().ok();
+        buffer.clear();
+        match stdin.lock().read_line(&mut buffer) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = buffer.trim();
+        match line {
+            "" => continue,
+            "\\q" | "quit" | "exit" => break,
+            "\\h" | "help" => {
+                print_help();
+                continue;
+            }
+            _ => {
+                run_statement(&mut session, line);
+            }
+        }
+    }
+}
+
+fn run_statement(session: &mut Session, stmt: &str) -> bool {
+    match session.execute(stmt) {
+        Ok(SessionOutput::Trained { name, summary }) => {
+            println!(
+                "[{name}] trained with {}: {} iterations, {:.1} simulated s \
+                 (converged: {}; optimizer overhead {:.1} s)",
+                summary.plan,
+                summary.iterations,
+                summary.sim_time_s,
+                summary.converged,
+                summary.speculation_s
+            );
+            true
+        }
+        Ok(SessionOutput::Persisted { path }) => {
+            println!("[persisted {}]", path.display());
+            true
+        }
+        Ok(SessionOutput::Predictions {
+            predictions,
+            mse,
+            accuracy,
+        }) => {
+            match accuracy {
+                Some(acc) => println!(
+                    "[predictions: {} points, mse {mse:.3}, accuracy {:.1}%]",
+                    predictions.len(),
+                    acc * 100.0
+                ),
+                None => println!(
+                    "[predictions: {} points, mse {mse:.3}]",
+                    predictions.len()
+                ),
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "\
+usage: ml4all [--data-dir DIR] [-e STATEMENT]...
+
+statements (Appendix A of the paper):
+  [NAME =] run <task> on <dataset> [having ...] [using ...];
+      task: classification | regression | hinge() | logistic() | squared()
+      dataset: a LIBSVM/CSV file, optionally with columns (file:2, file:4-20),
+               or a Table 2 analog by name (adult, covtype, rcv1, ...)
+      having: time 1h30m, epsilon 0.01, max iter 1000
+      using:  algorithm SGD|BGD|MGD, step 1, sampler shuffled, batch 1000
+  persist NAME on <path>;
+  [NAME =] predict on <dataset> with <model-file-or-result-name>;
+"
+    );
+}

@@ -1,0 +1,89 @@
+//! The ML4all system facade: the paper's end-to-end user experience.
+//!
+//! A [`Session`] accepts the declarative statements of Appendix A and does
+//! everything behind them — loads the named dataset (LIBSVM or CSV, with
+//! column selection), runs the cost-based optimizer, executes the chosen
+//! GD plan, keeps named results, persists models, and predicts:
+//!
+//! ```no_run
+//! use ml4all::Session;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut session = Session::new();
+//! session.execute("Q1 = run logistic() on train.txt having epsilon 0.01;")?;
+//! session.execute("persist Q1 on my_model.txt;")?;
+//! let out = session.execute("result = predict on test.txt with my_model.txt;")?;
+//! println!("{out:?}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Registered in-memory datasets (including the Table 2 analogs by name:
+//! `run classification on adult …`) work alongside files.
+
+pub mod model;
+pub mod session;
+
+pub use model::Model;
+pub use session::{Session, SessionOutput, TrainSummary};
+
+/// Errors surfaced by the session layer.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Query parse/plan failure.
+    Optimizer(ml4all_core::OptimizerError),
+    /// GD execution failure.
+    Gd(ml4all_gd::GdError),
+    /// Dataset IO/parse failure.
+    Dataset(ml4all_datasets::DatasetError),
+    /// Substrate failure.
+    Dataflow(ml4all_dataflow::DataflowError),
+    /// A name the statement references is not bound in this session.
+    UnknownName(String),
+    /// Model file problems.
+    Model(String),
+    /// Filesystem problems.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Optimizer(e) => write!(f, "{e}"),
+            Self::Gd(e) => write!(f, "{e}"),
+            Self::Dataset(e) => write!(f, "{e}"),
+            Self::Dataflow(e) => write!(f, "{e}"),
+            Self::UnknownName(n) => write!(f, "unknown result name `{n}`"),
+            Self::Model(m) => write!(f, "model error: {m}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ml4all_core::OptimizerError> for SessionError {
+    fn from(e: ml4all_core::OptimizerError) -> Self {
+        Self::Optimizer(e)
+    }
+}
+impl From<ml4all_gd::GdError> for SessionError {
+    fn from(e: ml4all_gd::GdError) -> Self {
+        Self::Gd(e)
+    }
+}
+impl From<ml4all_datasets::DatasetError> for SessionError {
+    fn from(e: ml4all_datasets::DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+impl From<ml4all_dataflow::DataflowError> for SessionError {
+    fn from(e: ml4all_dataflow::DataflowError) -> Self {
+        Self::Dataflow(e)
+    }
+}
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,175 @@
+//! Trained-model persistence: the artifact behind `persist Q1 on
+//! my_model.txt` and `predict … with my_model.txt` (Appendix A).
+//!
+//! The on-disk format is a small versioned text file — one header line,
+//! the gradient function and dimensionality, then one weight per line —
+//! so models are inspectable and diffable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use ml4all_gd::{Gradient, GradientKind};
+use ml4all_linalg::{DenseVector, LabeledPoint};
+
+use crate::SessionError;
+
+const MAGIC: &str = "ml4all-model v1";
+
+/// A trained model: weights plus the task needed to predict with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Gradient function the model was trained with.
+    pub gradient: GradientKind,
+    /// Model vector.
+    pub weights: DenseVector,
+}
+
+impl Model {
+    /// Create a model.
+    pub fn new(gradient: GradientKind, weights: DenseVector) -> Self {
+        Self { gradient, weights }
+    }
+
+    /// Predict a label for a point (sign for classification, raw score
+    /// for regression).
+    pub fn predict(&self, point: &LabeledPoint) -> f64 {
+        self.gradient.predict(self.weights.as_slice(), point)
+    }
+
+    /// Save to disk.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SessionError> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "{MAGIC}")?;
+        writeln!(out, "gradient: {}", self.gradient.function_name())?;
+        writeln!(out, "dims: {}", self.weights.dim())?;
+        for w in self.weights.as_slice() {
+            writeln!(out, "{w}")?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Load from disk, validating the header.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SessionError> {
+        let path = path.as_ref();
+        let mut lines = BufReader::new(std::fs::File::open(path)?).lines();
+        let magic = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| SessionError::Model(format!("{}: empty file", path.display())))?;
+        if magic.trim() != MAGIC {
+            return Err(SessionError::Model(format!(
+                "{}: not an ml4all model (header {magic:?})",
+                path.display()
+            )));
+        }
+        let gradient_line = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| SessionError::Model("missing gradient line".into()))?;
+        let gradient = match gradient_line.trim_start_matches("gradient:").trim() {
+            "hinge" => GradientKind::Svm,
+            "logistic" => GradientKind::LogisticRegression,
+            "squared" => GradientKind::LinearRegression,
+            other => {
+                return Err(SessionError::Model(format!(
+                    "unknown gradient function {other:?}"
+                )))
+            }
+        };
+        let dims_line = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| SessionError::Model("missing dims line".into()))?;
+        let dims: usize = dims_line
+            .trim_start_matches("dims:")
+            .trim()
+            .parse()
+            .map_err(|e| SessionError::Model(format!("bad dims: {e}")))?;
+        let mut weights = Vec::with_capacity(dims);
+        for line in lines {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            weights.push(
+                trimmed
+                    .parse::<f64>()
+                    .map_err(|e| SessionError::Model(format!("bad weight {trimmed:?}: {e}")))?,
+            );
+        }
+        if weights.len() != dims {
+            return Err(SessionError::Model(format!(
+                "expected {dims} weights, found {}",
+                weights.len()
+            )));
+        }
+        Ok(Self {
+            gradient,
+            weights: DenseVector::new(weights),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ml4all-model-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let model = Model::new(
+            GradientKind::LogisticRegression,
+            DenseVector::new(vec![1.5, -2.25, 0.0]),
+        );
+        let path = tmp("roundtrip.txt");
+        model.save(&path).unwrap();
+        let loaded = Model::load(&path).unwrap();
+        assert_eq!(model, loaded);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn all_gradient_kinds_round_trip() {
+        for kind in [
+            GradientKind::Svm,
+            GradientKind::LogisticRegression,
+            GradientKind::LinearRegression,
+        ] {
+            let path = tmp(kind.function_name());
+            Model::new(kind, DenseVector::zeros(2)).save(&path).unwrap();
+            assert_eq!(Model::load(&path).unwrap().gradient, kind);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = tmp("garbage.txt");
+        std::fs::write(&path, "not a model\n1\n2\n").unwrap();
+        assert!(matches!(Model::load(&path), Err(SessionError::Model(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_truncated_weights() {
+        let path = tmp("truncated.txt");
+        std::fs::write(&path, "ml4all-model v1\ngradient: hinge\ndims: 3\n1.0\n").unwrap();
+        assert!(matches!(Model::load(&path), Err(SessionError::Model(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn predicts_with_the_right_task_semantics() {
+        use ml4all_linalg::FeatureVec;
+        let p = LabeledPoint::new(0.0, FeatureVec::dense(vec![2.0]));
+        let svm = Model::new(GradientKind::Svm, DenseVector::new(vec![-1.0]));
+        assert_eq!(svm.predict(&p), -1.0);
+        let reg = Model::new(GradientKind::LinearRegression, DenseVector::new(vec![1.5]));
+        assert_eq!(reg.predict(&p), 3.0);
+    }
+}

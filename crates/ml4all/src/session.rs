@@ -1,0 +1,394 @@
+//! The interactive session: declarative statements in, trained models and
+//! predictions out.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_core::estimator::SpeculationConfig;
+use ml4all_core::lang::{parse_statement, plan_query, Query, RunQuery};
+use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SimEnv};
+use ml4all_datasets::csv::{read_csv_file, CsvColumns};
+use ml4all_datasets::libsvm::read_libsvm_file;
+use ml4all_gd::{execute_plan, GdPlan};
+use ml4all_linalg::LabeledPoint;
+
+use crate::model::Model;
+use crate::SessionError;
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone)]
+pub struct TrainSummary {
+    /// The plan the optimizer chose.
+    pub plan: GdPlan,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Simulated training seconds.
+    pub sim_time_s: f64,
+    /// Simulated optimizer (speculation) overhead.
+    pub speculation_s: f64,
+}
+
+/// What a statement produced.
+#[derive(Debug)]
+pub enum SessionOutput {
+    /// A `run` statement trained a model, bound to `name`.
+    Trained {
+        /// The bound result name (explicit `Q1 =` or generated).
+        name: String,
+        /// Run summary.
+        summary: TrainSummary,
+    },
+    /// A `persist` statement wrote a model file.
+    Persisted {
+        /// Destination path.
+        path: PathBuf,
+    },
+    /// A `predict` statement scored a dataset.
+    Predictions {
+        /// Per-point predictions, in input order.
+        predictions: Vec<f64>,
+        /// Mean squared error against the file's labels.
+        mse: f64,
+        /// Sign accuracy (classification models only).
+        accuracy: Option<f64>,
+    },
+}
+
+/// An ML4all session: cluster, working directory, and named results.
+pub struct Session {
+    cluster: ClusterSpec,
+    data_dir: PathBuf,
+    results: HashMap<String, Model>,
+    datasets: HashMap<String, PartitionedDataset>,
+    speculation: SpeculationConfig,
+    auto_name: u64,
+    /// Physical row cap when materializing registry analogs by name.
+    registry_cap: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session on the paper's simulated testbed, reading data files
+    /// relative to the current directory.
+    pub fn new() -> Self {
+        Self::with_cluster(ClusterSpec::paper_testbed())
+    }
+
+    /// A session on a custom cluster.
+    pub fn with_cluster(cluster: ClusterSpec) -> Self {
+        Self {
+            cluster,
+            data_dir: PathBuf::from("."),
+            results: HashMap::new(),
+            datasets: HashMap::new(),
+            speculation: SpeculationConfig::default(),
+            auto_name: 0,
+            registry_cap: 4000,
+        }
+    }
+
+    /// Resolve dataset paths relative to `dir`.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = dir.into();
+        self
+    }
+
+    /// Override the speculation settings used by `run` statements.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Register an in-memory dataset under a name usable in queries.
+    pub fn register_dataset(&mut self, name: impl Into<String>, data: PartitionedDataset) {
+        self.datasets.insert(name.into(), data);
+    }
+
+    /// A previously-trained model by name.
+    pub fn model(&self, name: &str) -> Option<&Model> {
+        self.results.get(name)
+    }
+
+    /// Execute one declarative statement.
+    pub fn execute(&mut self, statement: &str) -> Result<SessionOutput, SessionError> {
+        let parsed = parse_statement(statement)?;
+        match parsed.query {
+            Query::Run(run) => self.execute_run(parsed.name, run),
+            Query::Persist { name, path } => self.execute_persist(&name, &path),
+            Query::Predict { dataset, model } => self.execute_predict(&dataset, &model),
+        }
+    }
+
+    fn execute_run(
+        &mut self,
+        name: Option<String>,
+        run: RunQuery,
+    ) -> Result<SessionOutput, SessionError> {
+        let mut config: OptimizerConfig = plan_query(&run)?;
+        config = config.with_speculation(self.speculation.clone());
+        let data = self.resolve_dataset(&run)?;
+
+        let report = choose_plan(&data, &config, &self.cluster)?;
+        let plan = report.best().plan;
+        let params = config.train_params();
+        let mut env = SimEnv::new(self.cluster.clone());
+        let result = execute_plan(&plan, &data, &params, &mut env)?;
+
+        let name = name.unwrap_or_else(|| {
+            self.auto_name += 1;
+            format!("Q{}", self.auto_name)
+        });
+        self.results
+            .insert(name.clone(), Model::new(config.gradient, result.weights.clone()));
+        Ok(SessionOutput::Trained {
+            name,
+            summary: TrainSummary {
+                plan,
+                iterations: result.iterations,
+                converged: result.converged(),
+                sim_time_s: result.sim_time_s,
+                speculation_s: report.speculation_sim_s,
+            },
+        })
+    }
+
+    fn execute_persist(&self, name: &str, path: &str) -> Result<SessionOutput, SessionError> {
+        let model = self
+            .results
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownName(name.to_string()))?;
+        let path = self.data_dir.join(path);
+        model.save(&path)?;
+        Ok(SessionOutput::Persisted { path })
+    }
+
+    fn execute_predict(&self, dataset: &str, model: &str) -> Result<SessionOutput, SessionError> {
+        // `with <model>` may name a session result or a persisted file.
+        let model = match self.results.get(model) {
+            Some(m) => m.clone(),
+            None => Model::load(self.data_dir.join(model))?,
+        };
+        let points = self.load_points(dataset, None, Some(model.weights.dim()))?;
+        let predictions: Vec<f64> = points.iter().map(|p| model.predict(p)).collect();
+        let mse = ml4all_datasets::mean_squared_error(&predictions, &points);
+        let accuracy = if model.gradient.is_classification() {
+            Some(ml4all_datasets::accuracy(&predictions, &points))
+        } else {
+            None
+        };
+        Ok(SessionOutput::Predictions {
+            predictions,
+            mse,
+            accuracy,
+        })
+    }
+
+    /// Resolve a `run` statement's dataset: registered in-memory name,
+    /// Table 2 registry name, or a file path (LIBSVM/CSV sniffed).
+    fn resolve_dataset(&mut self, run: &RunQuery) -> Result<PartitionedDataset, SessionError> {
+        if let Some(data) = self.datasets.get(&run.dataset) {
+            return Ok(data.clone());
+        }
+        if let Some(spec) = ml4all_datasets::registry::by_name(&run.dataset) {
+            let data = spec.build(self.registry_cap, 7, &self.cluster)?;
+            return Ok(data);
+        }
+        let columns = run.columns.as_ref().map(|c| CsvColumns {
+            label: c.label,
+            features: c.features,
+        });
+        let points = self.load_points(&run.dataset, columns, None)?;
+        Ok(PartitionedDataset::from_points(
+            run.dataset.clone(),
+            points,
+            PartitionScheme::RoundRobin,
+            &self.cluster,
+        )?)
+    }
+
+    fn load_points(
+        &self,
+        dataset: &str,
+        columns: Option<CsvColumns>,
+        dims_hint: Option<usize>,
+    ) -> Result<Vec<LabeledPoint>, SessionError> {
+        let path = self.data_dir.join(dataset);
+        if looks_like_libsvm(&path)? {
+            Ok(read_libsvm_file(&path, dims_hint)?)
+        } else {
+            Ok(read_csv_file(&path, columns)?)
+        }
+    }
+}
+
+/// Sniff the file format: a LIBSVM line has `idx:val` tokens; CSV does not.
+fn looks_like_libsvm(path: &Path) -> Result<bool, SessionError> {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    for line in reader.lines().take(10) {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        return Ok(trimmed.split_whitespace().skip(1).any(|t| t.contains(':')));
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_datasets::synth::{dense_classification, DenseClassConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ml4all-session-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_session(dir: &Path) -> Session {
+        Session::new()
+            .with_data_dir(dir)
+            .with_speculation(SpeculationConfig {
+                sample_size: 300,
+                budget: std::time::Duration::from_secs(1),
+                max_iterations: 2000,
+                ..SpeculationConfig::default()
+            })
+    }
+
+    fn write_csv_dataset(dir: &Path, name: &str, n: usize) -> PathBuf {
+        let points = dense_classification(&DenseClassConfig {
+            n,
+            dims: 4,
+            noise: 0.05,
+            seed: 5,
+        });
+        let path = dir.join(name);
+        ml4all_datasets::csv::write_csv(std::fs::File::create(&path).unwrap(), &points).unwrap();
+        path
+    }
+
+    #[test]
+    fn run_persist_predict_lifecycle() {
+        let dir = tmp_dir("lifecycle");
+        write_csv_dataset(&dir, "train.csv", 1200);
+        write_csv_dataset(&dir, "test.csv", 300);
+        let mut session = quick_session(&dir);
+
+        let out = session
+            .execute("Q1 = run logistic() on train.csv having epsilon 0.01, max iter 2000;")
+            .unwrap();
+        let SessionOutput::Trained { name, summary } = out else {
+            panic!("expected Trained");
+        };
+        assert_eq!(name, "Q1");
+        assert!(summary.iterations >= 1);
+
+        let out = session.execute("persist Q1 on model.txt;").unwrap();
+        let SessionOutput::Persisted { path } = out else {
+            panic!("expected Persisted");
+        };
+        assert!(path.exists());
+
+        let out = session
+            .execute("result = predict on test.csv with model.txt;")
+            .unwrap();
+        let SessionOutput::Predictions { accuracy, .. } = out else {
+            panic!("expected Predictions");
+        };
+        assert!(accuracy.unwrap() > 0.7, "accuracy {accuracy:?}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn registry_names_resolve_as_datasets() {
+        let dir = tmp_dir("registry");
+        let mut session = quick_session(&dir);
+        let out = session
+            .execute("run logistic() on adult having max iter 50;")
+            .unwrap();
+        let SessionOutput::Trained { name, .. } = out else {
+            panic!("expected Trained")
+        };
+        assert_eq!(name, "Q1"); // auto-generated
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn predict_accepts_session_result_names() {
+        let dir = tmp_dir("byname");
+        write_csv_dataset(&dir, "train.csv", 800);
+        write_csv_dataset(&dir, "test.csv", 200);
+        let mut session = quick_session(&dir);
+        session
+            .execute("M = run logistic() on train.csv having max iter 300;")
+            .unwrap();
+        let out = session.execute("predict on test.csv with M;").unwrap();
+        assert!(matches!(out, SessionOutput::Predictions { .. }));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn persist_of_unknown_name_errors() {
+        let dir = tmp_dir("unknown");
+        let mut session = quick_session(&dir);
+        let err = session.execute("persist Q9 on out.txt;").unwrap_err();
+        assert!(matches!(err, SessionError::UnknownName(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn column_selection_flows_from_query_to_csv_reader() {
+        let dir = tmp_dir("columns");
+        // 5 columns: junk, label, junk, f1, f2.
+        let mut body = String::new();
+        for i in 0..600 {
+            let x = (i as f64 / 600.0) * 2.0 - 1.0;
+            let label = if x > 0.0 { 1.0 } else { -1.0 };
+            body.push_str(&format!("9,{label},7,{x},{}\n", -x));
+        }
+        std::fs::write(dir.join("cols.csv"), body).unwrap();
+        let mut session = quick_session(&dir);
+        let out = session
+            .execute("run logistic() on cols.csv:2, cols.csv:4-5 having max iter 500;")
+            .unwrap();
+        let SessionOutput::Trained { summary, .. } = out else {
+            panic!("expected Trained")
+        };
+        assert!(summary.iterations >= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn libsvm_files_are_sniffed() {
+        let dir = tmp_dir("sniff");
+        let points = dense_classification(&DenseClassConfig {
+            n: 500,
+            dims: 6,
+            noise: 0.05,
+            seed: 2,
+        });
+        ml4all_datasets::libsvm::write_libsvm(
+            std::fs::File::create(dir.join("train.libsvm")).unwrap(),
+            &points,
+        )
+        .unwrap();
+        let mut session = quick_session(&dir);
+        let out = session
+            .execute("run logistic() on train.libsvm having max iter 100;")
+            .unwrap();
+        assert!(matches!(out, SessionOutput::Trained { .. }));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,86 @@
+//! Determinism: identical seeds must give identical models, iteration
+//! counts, and simulated costs across the executor, the optimizer, and
+//! the baselines — the experiments are reproducible bit for bit.
+
+use ml4all_baselines::MllibRunner;
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_core::estimator::SpeculationConfig;
+use ml4all_dataflow::{ClusterSpec, SamplingMethod, SimEnv};
+use ml4all_datasets::registry;
+use ml4all_gd::{GdPlan, GdVariant, GradientKind, TrainParams, TransformPolicy};
+
+fn params() -> TrainParams {
+    let mut p = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+    p.max_iter = 100;
+    p.tolerance = 0.0;
+    p.seed = 1234;
+    p
+}
+
+#[test]
+fn executor_is_deterministic_per_seed() {
+    let cluster = ClusterSpec::paper_testbed();
+    let data = registry::adult().build(1000, 77, &cluster).unwrap();
+    let plan = GdPlan::mgd(100, TransformPolicy::Lazy, SamplingMethod::ShuffledPartition).unwrap();
+
+    let a = ml4all_bench::runs::run_plan(&plan, &data, &params(), &cluster).unwrap();
+    let b = ml4all_bench::runs::run_plan(&plan, &data, &params(), &cluster).unwrap();
+    assert_eq!(a.weights, b.weights);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.sim_time_s, b.sim_time_s);
+    assert_eq!(a.error_seq, b.error_seq);
+
+    // A different seed must actually change the sampled trajectory.
+    let mut p2 = params();
+    p2.seed = 4321;
+    let c = ml4all_bench::runs::run_plan(&plan, &data, &p2, &cluster).unwrap();
+    assert_ne!(a.weights, c.weights);
+}
+
+#[test]
+fn dataset_generation_is_deterministic_per_seed() {
+    let cluster = ClusterSpec::paper_testbed();
+    let a = registry::rcv1().build(500, 9, &cluster).unwrap();
+    let b = registry::rcv1().build(500, 9, &cluster).unwrap();
+    let pa: Vec<_> = a.iter_points().collect();
+    let pb: Vec<_> = b.iter_points().collect();
+    assert_eq!(pa, pb);
+}
+
+#[test]
+fn optimizer_choice_is_deterministic() {
+    let cluster = ClusterSpec::paper_testbed();
+    let data = registry::covtype().build(1500, 5, &cluster).unwrap();
+    let config = || {
+        OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_tolerance(0.01)
+            .with_max_iter(300)
+            .with_speculation(SpeculationConfig {
+                sample_size: 300,
+                budget: std::time::Duration::from_secs(30),
+                max_iterations: 3000,
+                ..SpeculationConfig::default()
+            })
+    };
+    let a = choose_plan(&data, &config(), &cluster).unwrap();
+    let b = choose_plan(&data, &config(), &cluster).unwrap();
+    assert_eq!(a.best().plan, b.best().plan);
+    assert_eq!(a.best().estimated_iterations, b.best().estimated_iterations);
+    assert_eq!(a.speculation_sim_s, b.speculation_sim_s);
+}
+
+#[test]
+fn baselines_are_deterministic_per_seed() {
+    let cluster = ClusterSpec::paper_testbed();
+    let data = registry::adult().build(800, 3, &cluster).unwrap();
+    let mut env_a = SimEnv::new(cluster.clone());
+    let a = MllibRunner::default()
+        .run(GdVariant::MiniBatch { batch: 50 }, &data, &params(), &mut env_a)
+        .unwrap();
+    let mut env_b = SimEnv::new(cluster);
+    let b = MllibRunner::default()
+        .run(GdVariant::MiniBatch { batch: 50 }, &data, &params(), &mut env_b)
+        .unwrap();
+    assert_eq!(a.weights, b.weights);
+    assert_eq!(a.sim_time_s, b.sim_time_s);
+}

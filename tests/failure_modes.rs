@@ -1,0 +1,119 @@
+//! Failure-injection integration tests: the error paths the paper's
+//! evaluation observes are values, not panics.
+
+use ml4all_baselines::{BaselineError, BismarckRunner, SystemmlRunner};
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_dataflow::{ClusterSpec, SimEnv};
+use ml4all_datasets::registry;
+use ml4all_gd::{GdVariant, GradientKind, StepSize, TrainParams};
+
+#[test]
+fn systemml_ooms_on_all_three_dense_synthetics() {
+    // "for all the dense synthetic datasets SystemML failed with out of
+    // memory exceptions" (Section 8.4.1).
+    let cluster = ClusterSpec::paper_testbed();
+    let runner = SystemmlRunner::default();
+    for spec in [registry::svm1(), registry::svm2(), registry::svm3()] {
+        let data = spec.build(500, 1, &cluster).expect("builds");
+        let params = TrainParams::paper_defaults(GradientKind::Svm);
+        let mut env = SimEnv::new(cluster.clone());
+        let err = runner
+            .run(GdVariant::Batch, &data, &params, &mut env)
+            .expect_err("dense synthetic must OOM");
+        assert!(
+            matches!(err, BaselineError::OutOfMemory { .. }),
+            "{}: {err}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn systemml_survives_the_real_datasets() {
+    let cluster = ClusterSpec::paper_testbed();
+    let runner = SystemmlRunner::default();
+    for spec in [registry::adult(), registry::rcv1()] {
+        let data = spec.build(500, 1, &cluster).expect("builds");
+        let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+        params.max_iter = 5;
+        params.tolerance = 0.0;
+        let mut env = SimEnv::new(cluster.clone());
+        runner
+            .run(GdVariant::MiniBatch { batch: 100 }, &data, &params, &mut env)
+            .unwrap_or_else(|e| panic!("{} should run: {e}", spec.name));
+    }
+}
+
+#[test]
+fn bismarck_failure_matrix_matches_figure_11() {
+    let cluster = ClusterSpec::paper_testbed();
+    let runner = BismarckRunner::default();
+    // (dataset, variant, expect_failure)
+    let cases = [
+        (registry::adult(), GdVariant::Batch, false),
+        (registry::adult(), GdVariant::MiniBatch { batch: 10_000 }, false),
+        (registry::rcv1(), GdVariant::MiniBatch { batch: 1_000 }, false),
+        (registry::rcv1(), GdVariant::MiniBatch { batch: 10_000 }, true),
+        (registry::rcv1(), GdVariant::Batch, true),
+        (registry::svm1(), GdVariant::Batch, true),
+        (registry::svm1(), GdVariant::MiniBatch { batch: 10_000 }, false),
+    ];
+    for (spec, variant, expect_failure) in cases {
+        let data = spec.build(400, 2, &cluster).expect("builds");
+        let mut params = TrainParams::paper_defaults(ml4all_bench::task_gradient(spec.task));
+        params.max_iter = 3;
+        params.tolerance = 0.0;
+        let mut env = SimEnv::new(cluster.clone());
+        let outcome = runner.run(variant, &data, &params, &mut env);
+        match (outcome, expect_failure) {
+            (Err(BaselineError::DriverOverflow { .. }), true) => {}
+            (Ok(_), false) => {}
+            (Err(e), false) => panic!("{} {variant:?} unexpectedly failed: {e}", spec.name),
+            (Ok(_), true) => panic!("{} {variant:?} should have overflowed", spec.name),
+            (Err(e), true) => {
+                panic!("{} {variant:?} failed with the wrong error: {e}", spec.name)
+            }
+        }
+    }
+}
+
+#[test]
+fn divergent_step_reports_diverged_not_panic() {
+    let cluster = ClusterSpec::paper_testbed();
+    let spec = registry::yearpred();
+    let data = spec.build(500, 4, &cluster).expect("builds");
+    let mut params = TrainParams::paper_defaults(GradientKind::LinearRegression);
+    params.step = StepSize::Constant(1e9);
+    let err = ml4all_bench::runs::run_plan(&ml4all_gd::GdPlan::bgd(), &data, &params, &cluster)
+        .expect_err("absurd step must diverge");
+    assert!(matches!(err, ml4all_gd::GdError::Diverged { .. }));
+}
+
+#[test]
+fn impossible_time_budget_names_the_constraint() {
+    // "If the system cannot satisfy any of these constraints, it informs
+    // the user which constraint she has to revisit" (Appendix A).
+    let cluster = ClusterSpec::paper_testbed();
+    let data = registry::svm1().build(400, 9, &cluster).expect("builds");
+    let config = OptimizerConfig::new(GradientKind::Svm)
+        .with_fixed_iterations(1000)
+        .with_time_budget(std::time::Duration::from_millis(10));
+    let err = choose_plan(&data, &config, &cluster).expect_err("budget unsatisfiable");
+    let message = err.to_string();
+    assert!(message.contains("time"), "{message}");
+}
+
+#[test]
+fn empty_and_malformed_queries_error_cleanly() {
+    use ml4all_core::lang::parse_query;
+    for bad in [
+        "",
+        ";",
+        "run",
+        "run classification",
+        "launch classification on x;",
+        "run classification on data.txt having epsilon;",
+    ] {
+        assert!(parse_query(bad).is_err(), "{bad:?} should not parse");
+    }
+}
