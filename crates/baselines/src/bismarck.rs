@@ -19,7 +19,7 @@
 
 use ml4all_dataflow::{PartitionedDataset, SimEnv, StorageMedium};
 use ml4all_gd::executor::StopReason;
-use ml4all_gd::{Gradient, GdVariant, TrainParams, TrainResult};
+use ml4all_gd::{GdVariant, Gradient, TrainParams, TrainResult};
 use ml4all_linalg::DenseVector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,9 +146,7 @@ impl BismarckRunner {
                 let alpha = params.step.at(iteration);
                 let scale = -alpha / count as f64;
                 let mut reg = vec![0.0; dims];
-                params
-                    .regularizer
-                    .accumulate(weights.as_slice(), &mut reg);
+                params.regularizer.accumulate(weights.as_slice(), &mut reg);
                 for ((wi, gi), ri) in weights
                     .as_mut_slice()
                     .iter_mut()
@@ -220,13 +218,7 @@ mod tests {
                 LabeledPoint::new(label, FeatureVec::dense(vec![x, 1.0]))
             })
             .collect();
-        let desc = DatasetDescriptor::new(
-            "bis-test",
-            n as u64,
-            dims_logical,
-            logical_bytes,
-            1.0,
-        );
+        let desc = DatasetDescriptor::new("bis-test", n as u64, dims_logical, logical_bytes, 1.0);
         PartitionedDataset::with_descriptor(
             desc,
             points,
@@ -305,7 +297,12 @@ mod tests {
         params.tolerance = 0.0;
         let mut env = SimEnv::new(ClusterSpec::paper_testbed());
         let result = BismarckRunner::default()
-            .run(GdVariant::MiniBatch { batch: 100 }, &data, &params, &mut env)
+            .run(
+                GdVariant::MiniBatch { batch: 100 },
+                &data,
+                &params,
+                &mut env,
+            )
             .unwrap();
         let correct = data
             .iter_points()

@@ -19,7 +19,7 @@
 
 use ml4all_dataflow::{PartitionedDataset, SimEnv, StorageMedium};
 use ml4all_gd::executor::StopReason;
-use ml4all_gd::{Gradient, GdVariant, TrainParams, TrainResult};
+use ml4all_gd::{GdVariant, Gradient, TrainParams, TrainResult};
 use ml4all_linalg::DenseVector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,9 +71,7 @@ impl MllibRunner {
 
         let fraction = match variant {
             GdVariant::Batch => 1.0,
-            GdVariant::Stochastic => {
-                (self.sgd_fraction_inflation / desc.n as f64).min(1.0)
-            }
+            GdVariant::Stochastic => (self.sgd_fraction_inflation / desc.n as f64).min(1.0),
             GdVariant::MiniBatch { batch } => (batch as f64 / desc.n as f64).min(1.0),
         };
         let phys_fraction = match variant {
@@ -125,9 +123,7 @@ impl MllibRunner {
                 let alpha = params.step.at(iteration);
                 let scale = -alpha / count as f64;
                 let mut reg = vec![0.0; dims];
-                params
-                    .regularizer
-                    .accumulate(weights.as_slice(), &mut reg);
+                params.regularizer.accumulate(weights.as_slice(), &mut reg);
                 for ((wi, gi), ri) in weights
                     .as_mut_slice()
                     .iter_mut()
@@ -200,13 +196,8 @@ mod tests {
                 LabeledPoint::new(label, FeatureVec::dense(vec![x0, x1, 1.0]))
             })
             .collect();
-        let desc = ml4all_dataflow::DatasetDescriptor::new(
-            "mllib-test",
-            n as u64,
-            3,
-            logical_bytes,
-            1.0,
-        );
+        let desc =
+            ml4all_dataflow::DatasetDescriptor::new("mllib-test", n as u64, 3, logical_bytes, 1.0);
         PartitionedDataset::with_descriptor(
             desc,
             points,
@@ -320,7 +311,12 @@ mod tests {
         let fits = dataset(2000, spec.cache_bytes / 2);
         let mut env_fits = SimEnv::new(spec.clone());
         let r_fits = MllibRunner::default()
-            .run(GdVariant::MiniBatch { batch: 100 }, &fits, &params, &mut env_fits)
+            .run(
+                GdVariant::MiniBatch { batch: 100 },
+                &fits,
+                &params,
+                &mut env_fits,
+            )
             .unwrap();
 
         let spills = dataset(2000, spec.cache_bytes * 2);

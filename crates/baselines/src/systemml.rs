@@ -18,7 +18,7 @@
 
 use ml4all_dataflow::{PartitionedDataset, SimEnv, StorageMedium};
 use ml4all_gd::executor::StopReason;
-use ml4all_gd::{Gradient, GdVariant, TrainParams, TrainResult};
+use ml4all_gd::{GdVariant, Gradient, TrainParams, TrainResult};
 use ml4all_linalg::DenseVector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -202,9 +202,7 @@ impl SystemmlRunner {
                 let alpha = params.step.at(iteration);
                 let scale = -alpha / count as f64;
                 let mut reg = vec![0.0; dims];
-                params
-                    .regularizer
-                    .accumulate(weights.as_slice(), &mut reg);
+                params.regularizer.accumulate(weights.as_slice(), &mut reg);
                 for ((wi, gi), ri) in weights
                     .as_mut_slice()
                     .iter_mut()
@@ -279,8 +277,7 @@ mod tests {
                 LabeledPoint::new(label, FeatureVec::dense(xs))
             })
             .collect();
-        let desc =
-            DatasetDescriptor::new("sysml-test", n as u64, dims, logical_bytes, density);
+        let desc = DatasetDescriptor::new("sysml-test", n as u64, dims, logical_bytes, density);
         PartitionedDataset::with_descriptor(
             desc,
             points,
@@ -299,13 +296,7 @@ mod tests {
         let runner = SystemmlRunner::default();
         assert!(runner.binary_bytes(&big) > runner.dense_oom_limit_bytes);
 
-        let desc = DatasetDescriptor::new(
-            "svm1",
-            5_516_800,
-            100,
-            10 * 1024 * 1024 * 1024,
-            1.0,
-        );
+        let desc = DatasetDescriptor::new("svm1", 5_516_800, 100, 10 * 1024 * 1024 * 1024, 1.0);
         let data = PartitionedDataset::with_descriptor(
             desc,
             data.iter_points().cloned().collect(),

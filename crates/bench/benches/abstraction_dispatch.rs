@@ -3,9 +3,7 @@
 //! seven-operator indirection versus calling the gradient directly.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ml4all_gd::{
-    ComputeAcc, ComputeOp, Context, Gradient, GradientKind,
-};
+use ml4all_gd::{ComputeAcc, ComputeOp, Context, Gradient, GradientKind};
 use ml4all_linalg::{FeatureVec, LabeledPoint};
 
 struct BoxedCompute {
@@ -32,7 +30,9 @@ fn bench_dispatch(c: &mut Criterion) {
         };
         let mut acc = ComputeAcc::new(100);
         b.iter(|| {
-            boxed.inner.compute(black_box(&point), black_box(&ctx), &mut acc);
+            boxed
+                .inner
+                .compute(black_box(&point), black_box(&ctx), &mut acc);
             black_box(acc.count)
         })
     });

@@ -23,8 +23,7 @@ fn dataset(n: usize) -> PartitionedDataset {
         8 * spec.partition_bytes,
         1.0,
     );
-    PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec)
-        .unwrap()
+    PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec).unwrap()
 }
 
 fn bench_samplers(c: &mut Criterion) {

@@ -11,8 +11,8 @@
 //! the winning algorithm varies across datasets.
 
 use ml4all_bench::harness::fmt_s;
-use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
 use ml4all_bench::runs::{best_plan_for_variant, paper_variants};
+use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
 use ml4all_dataflow::ClusterSpec;
 use ml4all_datasets::registry;
 use ml4all_gd::{GradientKind, TrainParams};
@@ -75,7 +75,10 @@ fn main() {
                 }
                 Err(e) => {
                     row.push(format!("fail: {e}"));
-                    cells.insert(label.to_lowercase(), serde_json::json!({"error": e.to_string()}));
+                    cells.insert(
+                        label.to_lowercase(),
+                        serde_json::json!({"error": e.to_string()}),
+                    );
                 }
             }
         }

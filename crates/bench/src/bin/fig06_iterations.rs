@@ -6,7 +6,7 @@
 //! Speculation settings per Section 8.2: tolerance 0.1, 10 s budget,
 //! 1 000-point sample.
 
-use ml4all_bench::runs::{params_for, paper_variants, run_plan, speculation_for};
+use ml4all_bench::runs::{paper_variants, params_for, run_plan, speculation_for};
 use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
 use ml4all_core::estimator::estimate_iterations;
 use ml4all_dataflow::{ClusterSpec, SamplingMethod};

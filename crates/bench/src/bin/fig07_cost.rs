@@ -108,7 +108,14 @@ fn main() {
     print_table(
         "Figure 7(b): run to convergence — real vs estimated time",
         &[
-            "dataset", "eps", "chosen plan", "real it", "est it", "real", "estimated", "error",
+            "dataset",
+            "eps",
+            "chosen plan",
+            "real it",
+            "est it",
+            "real",
+            "estimated",
+            "error",
         ],
         &rows_b,
     );

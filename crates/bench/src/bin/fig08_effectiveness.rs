@@ -65,7 +65,11 @@ fn main() {
             format!("{} ({})", fmt_s(max_s), max_plan),
             format!("{} ({})", fmt_s(chosen_total), chosen_name),
             fmt_s(speculation_s),
-            if within { "=min".into() } else { "off".to_string() },
+            if within {
+                "=min".into()
+            } else {
+                "off".to_string()
+            },
         ]);
         json.push(serde_json::json!({
             "dataset": spec.name,
@@ -86,14 +90,24 @@ fn main() {
 
     print_table(
         "Figure 8: min/max plan vs optimizer's choice (+ speculation overhead)",
-        &["dataset", "min", "max", "chosen (total)", "speculation", "verdict"],
+        &[
+            "dataset",
+            "min",
+            "max",
+            "chosen (total)",
+            "speculation",
+            "verdict",
+        ],
         &rows,
     );
     let hits = json
         .iter()
         .filter(|v| v["chose_best"].as_bool() == Some(true))
         .count();
-    println!("\noptimizer matched the best plan on {hits}/{} datasets", json.len());
+    println!(
+        "\noptimizer matched the best plan on {hits}/{} datasets",
+        json.len()
+    );
 
     ExperimentRecord::new(
         "fig08",

@@ -26,7 +26,9 @@ fn main() {
     let points_axis: &[u64] = if cfg.quick {
         &[2_758_400, 11_000_000, 88_268_800]
     } else {
-        &[2_758_400, 5_516_800, 11_000_000, 22_067_200, 44_134_400, 88_268_800]
+        &[
+            2_758_400, 5_516_800, 11_000_000, 22_067_200, 44_134_400, 88_268_800,
+        ]
     };
     let mut rows = Vec::new();
     for &points in points_axis {

@@ -74,8 +74,16 @@ fn main() {
             rows.push(vec![label.to_string(), spark_cell, ml4all_cell, bis_cell]);
         }
         print_table(
-            &format!("Figure 11: {} — abstraction overhead and benefits", spec.name),
-            &["algorithm", "Spark (hand-coded)", "ML4all", "Bismarck-Spark"],
+            &format!(
+                "Figure 11: {} — abstraction overhead and benefits",
+                spec.name
+            ),
+            &[
+                "algorithm",
+                "Spark (hand-coded)",
+                "ML4all",
+                "Bismarck-Spark",
+            ],
             &rows,
         );
     }

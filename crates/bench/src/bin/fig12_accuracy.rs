@@ -12,7 +12,7 @@ use ml4all_bench::runs::{best_plan_for_variant, params_for};
 use ml4all_bench::{print_table, BenchConfig, ExperimentRecord};
 use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SimEnv};
 use ml4all_datasets::{mean_squared_error, metrics::predict_all, registry, train_test_split};
-use ml4all_gd::{Gradient, GdVariant};
+use ml4all_gd::{GdVariant, Gradient};
 
 fn main() {
     let cfg = BenchConfig::from_env();

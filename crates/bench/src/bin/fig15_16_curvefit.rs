@@ -28,10 +28,22 @@ fn main() {
 
     // (figure, dataset, step)
     let cases: Vec<(&str, ml4all_datasets::DatasetSpec, StepSize)> = vec![
-        ("15a", registry::adult(), StepSize::BetaOverSqrtI { beta: 1.0 }),
+        (
+            "15a",
+            registry::adult(),
+            StepSize::BetaOverSqrtI { beta: 1.0 },
+        ),
         ("15b", registry::adult(), StepSize::BetaOverI { beta: 1.0 }),
-        ("15c", registry::adult(), StepSize::BetaOverISquared { beta: 1.0 }),
-        ("16a", registry::covtype(), StepSize::BetaOverI { beta: 1.0 }),
+        (
+            "15c",
+            registry::adult(),
+            StepSize::BetaOverISquared { beta: 1.0 },
+        ),
+        (
+            "16a",
+            registry::covtype(),
+            StepSize::BetaOverI { beta: 1.0 },
+        ),
         ("16b", registry::rcv1(), StepSize::BetaOverI { beta: 1.0 }),
         ("16c", registry::higgs(), StepSize::BetaOverI { beta: 1.0 }),
     ];
@@ -63,12 +75,7 @@ fn main() {
         let real = run_plan(&GdPlan::bgd(), &data, &real_params, &cluster);
 
         let (est_it, fit_a, r2, spec_pairs) = match &est {
-            Ok(e) => (
-                e.iterations,
-                e.fit.a,
-                e.fit.r_squared,
-                e.pairs.clone(),
-            ),
+            Ok(e) => (e.iterations, e.fit.a, e.fit.r_squared, e.pairs.clone()),
             Err(_) => (0, f64::NAN, f64::NAN, vec![]),
         };
         let (real_it, real_converged) = match &real {

@@ -22,8 +22,7 @@ fn main() {
         for spec in in_depth_datasets() {
             let mut row = vec![spec.name.clone()];
             for transform in [TransformPolicy::Eager, TransformPolicy::Lazy] {
-                let cell =
-                    in_depth_cell(variant, transform, sampling, &spec, &cfg, &cluster, 1e-3);
+                let cell = in_depth_cell(variant, transform, sampling, &spec, &cfg, &cluster, 1e-3);
                 let (text, value) = match cell {
                     Some(Ok(r)) => (fmt_s(r.sim_time_s), Some(r.sim_time_s)),
                     Some(Err(e)) => (format!("fail: {e}"), None),

@@ -2,7 +2,7 @@
 //! algorithm on each dataset, and the iterations the chosen plan needs to
 //! converge (tolerance 0.001, max 1 000 iterations).
 
-use ml4all_bench::runs::{best_plan_for_variant, params_for, paper_variants};
+use ml4all_bench::runs::{best_plan_for_variant, paper_variants, params_for};
 use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
 use ml4all_dataflow::ClusterSpec;
 use ml4all_datasets::registry;

@@ -109,7 +109,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -144,7 +147,11 @@ mod tests {
         let narrow = registry::adult();
         assert_eq!(cfg.physical_cap(&narrow), 8000);
         let wide = registry::svm_b(500_000);
-        assert!(cfg.physical_cap(&wide) < 300, "cap {}", cfg.physical_cap(&wide));
+        assert!(
+            cfg.physical_cap(&wide) < 300,
+            "cap {}",
+            cfg.physical_cap(&wide)
+        );
         assert!(cfg.physical_cap(&wide) >= 64);
     }
 

@@ -91,7 +91,6 @@ pub fn paper_variants() -> [GdVariant; 3] {
     ]
 }
 
-
 /// One cell of the Section 8.6 in-depth sweeps: run `variant` with a fixed
 /// transformation/sampling combination on a registry dataset; `None` when
 /// the plan is outside the search space (lazy + Bernoulli).
@@ -161,8 +160,7 @@ mod tests {
         let mut params = params_for(&registry::covtype(), &cfg, 0.05);
         params.max_iter = 50;
         let (plan, result) =
-            best_plan_for_variant(GdVariant::Stochastic, &data, &params, &cfg, &cluster)
-                .unwrap();
+            best_plan_for_variant(GdVariant::Stochastic, &data, &params, &cfg, &cluster).unwrap();
         assert_eq!(plan.variant, GdVariant::Stochastic);
         assert!(result.iterations >= 1);
     }

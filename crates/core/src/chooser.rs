@@ -1,12 +1,12 @@
 //! The cost-based plan chooser: speculation-estimated iterations × modelled
 //! cost per iteration, argmin over the Figure 5 plan space (Sections 3, 7).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use ml4all_dataflow::{ClusterSpec, PartitionedDataset};
-use ml4all_gd::{
-    GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams,
-};
+use ml4all_gd::{GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams};
+use ml4all_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
 use crate::cost::PlanCostModel;
@@ -55,6 +55,9 @@ pub struct OptimizerConfig {
     pub pinned_sampling: Option<ml4all_dataflow::SamplingMethod>,
     /// RNG seed.
     pub seed: u64,
+    /// Worker pool the per-variant speculative runs of Algorithm 1
+    /// dispatch through (defaults to the process-wide runtime).
+    pub runtime: Arc<Runtime>,
 }
 
 impl OptimizerConfig {
@@ -73,6 +76,7 @@ impl OptimizerConfig {
             pinned_variant: None,
             pinned_sampling: None,
             seed: 0,
+            runtime: Runtime::global(),
         }
     }
 
@@ -125,6 +129,12 @@ impl OptimizerConfig {
     /// Restrict the search to one sampling strategy.
     pub fn with_pinned_sampling(mut self, sampling: ml4all_dataflow::SamplingMethod) -> Self {
         self.pinned_sampling = Some(sampling);
+        self
+    }
+
+    /// Dispatch speculation through an explicit worker pool.
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -197,9 +207,7 @@ impl OptimizerReport {
     pub fn estimate_for(&self, variant: GdVariant) -> Option<&IterationsEstimate> {
         self.estimates
             .iter()
-            .find(|e| {
-                std::mem::discriminant(&e.variant) == std::mem::discriminant(&variant)
-            })
+            .find(|e| std::mem::discriminant(&e.variant) == std::mem::discriminant(&variant))
             .map(|e| &e.estimate)
     }
 }
@@ -249,33 +257,21 @@ pub fn choose_plan(
                 );
                 speculation_sim_s += collect_env.elapsed_s();
             }
-            // The three speculative runs are independent; run them on
-            // scoped threads (each with its own environment and seed).
+            // The three speculative runs are independent; dispatch them
+            // through the shared runtime worker pool (each builds its own
+            // environment and seed inside `estimate_iterations`). Results
+            // come back in variant order, independent of the worker count.
             let results: Vec<Result<IterationsEstimate, OptimizerError>> =
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = variants
-                        .iter()
-                        .map(|variant| {
-                            let params = &params;
-                            let spec_cfg = spec_cfg.clone();
-                            s.spawn(move |_| {
-                                estimate_iterations(
-                                    data,
-                                    *variant,
-                                    params,
-                                    config.tolerance,
-                                    &spec_cfg,
-                                    cluster,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("speculation thread panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope");
+                config.runtime.map_indexed(&variants, |_, variant| {
+                    estimate_iterations(
+                        data,
+                        *variant,
+                        &params,
+                        config.tolerance,
+                        spec_cfg,
+                        cluster,
+                    )
+                });
 
             let mut out = Vec::with_capacity(variants.len());
             for (variant, result) in variants.iter().zip(results) {
@@ -297,11 +293,12 @@ pub fn choose_plan(
     let mut choices: Vec<PlanChoice> = enumerate_plans(config.batch_size)
         .into_iter()
         .filter(|plan| {
-            config.pinned_variant.is_none_or(|v| {
-                std::mem::discriminant(&plan.variant) == std::mem::discriminant(&v)
-            }) && config
-                .pinned_sampling
-                .is_none_or(|s| plan.sampling.is_none() || plan.sampling == Some(s))
+            config
+                .pinned_variant
+                .is_none_or(|v| std::mem::discriminant(&plan.variant) == std::mem::discriminant(&v))
+                && config
+                    .pinned_sampling
+                    .is_none_or(|s| plan.sampling.is_none() || plan.sampling == Some(s))
         })
         .map(|plan| {
             let (_, t) = variant_iterations
@@ -321,11 +318,7 @@ pub fn choose_plan(
             }
         })
         .collect();
-    choices.sort_by(|a, b| {
-        a.total_s
-            .partial_cmp(&b.total_s)
-            .expect("costs are finite")
-    });
+    choices.sort_by(|a, b| a.total_s.partial_cmp(&b.total_s).expect("costs are finite"));
 
     if let Some(budget) = config.time_budget {
         let best = &choices[0];
@@ -383,8 +376,8 @@ mod tests {
     #[test]
     fn fixed_iterations_skip_speculation() {
         let data = dataset(1000, 1024 * 1024);
-        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
-            .with_fixed_iterations(1000);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(1000);
         let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
         assert!(report.estimates.is_empty());
         assert_eq!(report.speculation_sim_s, 0.0);
@@ -397,8 +390,8 @@ mod tests {
     #[test]
     fn report_is_sorted_cheapest_first() {
         let data = dataset(1000, 1024 * 1024);
-        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
-            .with_fixed_iterations(100);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
         let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
         for w in report.choices.windows(2) {
             assert!(w[0].total_s <= w[1].total_s);
@@ -458,8 +451,8 @@ mod tests {
     #[test]
     fn max_iter_caps_estimated_iterations() {
         let data = dataset(1000, 1024 * 1024);
-        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
-            .with_fixed_iterations(50);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(50);
         let report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
         for c in &report.choices {
             assert!(c.estimated_iterations <= 50);

@@ -224,9 +224,7 @@ mod tests {
         let small_desc = small();
         let small_costs = OperatorCosts::new(&s, &small_desc);
         // Single-partition dataset → no network either way.
-        assert!(
-            (small_costs.update_s(true) - small_costs.update_s(false)).abs() < 1e-12
-        );
+        assert!((small_costs.update_s(true) - small_costs.update_s(false)).abs() < 1e-12);
         let large_desc = large();
         let large_costs = OperatorCosts::new(&s, &large_desc);
         assert!(large_costs.update_s(true) > large_costs.update_s(false));

@@ -134,10 +134,18 @@ mod tests {
         let s = spec();
         let d = large();
         let model = PlanCostModel::new(&s, &d);
-        let eager = GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::ShuffledPartition)
-            .unwrap();
-        let lazy =
-            GdPlan::mgd(1000, TransformPolicy::Lazy, SamplingMethod::ShuffledPartition).unwrap();
+        let eager = GdPlan::mgd(
+            1000,
+            TransformPolicy::Eager,
+            SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+        let lazy = GdPlan::mgd(
+            1000,
+            TransformPolicy::Lazy,
+            SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
         assert!(model.total_s(&lazy, 5) < model.total_s(&eager, 5));
         assert!(model.total_s(&eager, 1_000_000) < model.total_s(&lazy, 1_000_000));
     }
@@ -189,12 +197,15 @@ mod tests {
         let s = spec();
         let d = small();
         let model = PlanCostModel::new(&s, &d);
-        let bernoulli = GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli)
-            .unwrap();
-        let random = GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::RandomPartition)
-            .unwrap();
-        let ratio =
-            model.per_iteration_s(&bernoulli) / model.per_iteration_s(&random);
+        let bernoulli =
+            GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap();
+        let random = GdPlan::mgd(
+            1000,
+            TransformPolicy::Eager,
+            SamplingMethod::RandomPartition,
+        )
+        .unwrap();
+        let ratio = model.per_iteration_s(&bernoulli) / model.per_iteration_s(&random);
         assert!(ratio < 10.0, "ratio {ratio}");
     }
 }

@@ -97,9 +97,7 @@ mod tests {
     #[test]
     fn recovers_exact_inverse_law() {
         let a_true = 500.0;
-        let pairs: Vec<(u64, f64)> = (1..100)
-            .map(|i| (i as u64, a_true / i as f64))
-            .collect();
+        let pairs: Vec<(u64, f64)> = (1..100).map(|i| (i as u64, a_true / i as f64)).collect();
         let fit = CurveFit::fit(&pairs).unwrap();
         assert!((fit.a - a_true).abs() < 1e-6, "a = {}", fit.a);
         assert!(fit.r_squared > 0.999);

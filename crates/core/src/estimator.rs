@@ -15,9 +15,7 @@
 
 use std::time::Duration;
 
-use ml4all_dataflow::{
-    ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv,
-};
+use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv};
 use ml4all_gd::{execute_plan, GdPlan, GdVariant, TrainParams, TransformPolicy};
 use serde::{Deserialize, Serialize};
 
@@ -143,10 +141,7 @@ pub fn estimate_iterations(
             // yields a zero delta — the effect behind the paper's 4–8
             // iteration SGD runs on dense SVM data, Table 4). Anchor the
             // inverse law on the last observed point: `a = i·εᵢ`.
-            let a = pairs
-                .last()
-                .map(|&(i, e)| i as f64 * e)
-                .unwrap_or(0.0);
+            let a = pairs.last().map(|&(i, e)| i as f64 * e).unwrap_or(0.0);
             CurveFit {
                 a,
                 r_squared: 1.0,
@@ -261,26 +256,19 @@ mod tests {
             ..Default::default()
         };
         let cluster = ClusterSpec::paper_testbed();
-        let coarse = estimate_iterations(
-            &data,
-            GdVariant::Batch,
-            &params(),
-            0.01,
-            &cfg,
-            &cluster,
-        )
-        .unwrap();
-        let fine = estimate_iterations(
-            &data,
-            GdVariant::Batch,
-            &params(),
-            0.001,
-            &cfg,
-            &cluster,
-        )
-        .unwrap();
-        // T(ε) = a/ε ⇒ 10× tighter tolerance ⇒ 10× the iterations.
-        assert_eq!(fine.iterations, coarse.iterations * 10);
+        let coarse =
+            estimate_iterations(&data, GdVariant::Batch, &params(), 0.01, &cfg, &cluster).unwrap();
+        let fine =
+            estimate_iterations(&data, GdVariant::Batch, &params(), 0.001, &cfg, &cluster).unwrap();
+        // T(ε) = a/ε ⇒ 10× tighter tolerance ⇒ 10× the iterations (up to
+        // the per-estimate ceil of `a/ε`, which skews the ratio slightly).
+        let ratio = fine.iterations as f64 / coarse.iterations as f64;
+        assert!(
+            (ratio - 10.0).abs() < 0.5,
+            "fine {} vs coarse {} (ratio {ratio:.2})",
+            fine.iterations,
+            coarse.iterations
+        );
     }
 
     #[test]
@@ -292,10 +280,7 @@ mod tests {
             ..Default::default()
         };
         let cluster = ClusterSpec::paper_testbed();
-        for variant in [
-            GdVariant::Stochastic,
-            GdVariant::MiniBatch { batch: 50 },
-        ] {
+        for variant in [GdVariant::Stochastic, GdVariant::MiniBatch { batch: 50 }] {
             let est =
                 estimate_iterations(&data, variant, &params(), 0.001, &cfg, &cluster).unwrap();
             assert!(est.iterations >= 1, "{variant:?}");

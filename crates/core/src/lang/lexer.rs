@@ -153,7 +153,10 @@ mod tests {
         let toks = tokenize(src);
         assert_eq!(toks[0].position, 0);
         assert_eq!(toks[1].position, 5);
-        assert_eq!(&src[toks[1].position..toks[1].position + 14], "classification");
+        assert_eq!(
+            &src[toks[1].position..toks[1].position + 14],
+            "classification"
+        );
     }
 
     #[test]

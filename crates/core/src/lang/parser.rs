@@ -135,7 +135,8 @@ impl Parser {
     }
 
     fn parse_run(&mut self) -> Result<Query, OptimizerError> {
-        let task_word = self.next_word("a task (classification/regression) or gradient function")?;
+        let task_word =
+            self.next_word("a task (classification/regression) or gradient function")?;
         let task = if self.eat(&TokenKind::LParen) {
             if !self.eat(&TokenKind::RParen) {
                 return Err(self.error("expected `)` after gradient function name"));
@@ -262,7 +263,8 @@ impl Parser {
 
     fn parse_using(&mut self, using: &mut UsingClause) -> Result<(), OptimizerError> {
         loop {
-            let key = self.next_word("a directive (algorithm, step, sampler, convergence, batch)")?;
+            let key =
+                self.next_word("a directive (algorithm, step, sampler, convergence, batch)")?;
             match key.to_ascii_lowercase().as_str() {
                 "algorithm" => using.algorithm = Some(self.next_word("an algorithm name")?),
                 "step" => {

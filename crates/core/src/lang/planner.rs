@@ -100,9 +100,7 @@ pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
             other => {
                 return Err(OptimizerError::Language {
                     position: 0,
-                    message: format!(
-                        "unknown sampler `{other}` (bernoulli, random, shuffled)"
-                    ),
+                    message: format!("unknown sampler `{other}` (bernoulli, random, shuffled)"),
                 })
             }
         });
@@ -135,11 +133,15 @@ mod tests {
     #[test]
     fn explicit_gradients_map_to_table3() {
         assert_eq!(
-            plan_query(&run("run logistic() on d.txt;")).unwrap().gradient,
+            plan_query(&run("run logistic() on d.txt;"))
+                .unwrap()
+                .gradient,
             GradientKind::LogisticRegression
         );
         assert_eq!(
-            plan_query(&run("run squared() on d.txt;")).unwrap().gradient,
+            plan_query(&run("run squared() on d.txt;"))
+                .unwrap()
+                .gradient,
             GradientKind::LinearRegression
         );
         assert!(plan_query(&run("run mystery() on d.txt;")).is_err());
@@ -153,10 +155,7 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.tolerance, 0.01);
         assert_eq!(cfg.max_iter, 500);
-        assert_eq!(
-            cfg.time_budget,
-            Some(std::time::Duration::from_secs(5400))
-        );
+        assert_eq!(cfg.time_budget, Some(std::time::Duration::from_secs(5400)));
         // Epsilon present → still speculative.
         assert!(matches!(cfg.iterations, IterationsSource::Speculate(_)));
     }
@@ -174,10 +173,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cfg.pinned_variant, Some(GdVariant::Stochastic));
-        assert_eq!(
-            cfg.pinned_sampling,
-            Some(SamplingMethod::ShuffledPartition)
-        );
+        assert_eq!(cfg.pinned_sampling, Some(SamplingMethod::ShuffledPartition));
         assert_eq!(cfg.step, StepSize::BetaOverSqrtI { beta: 2.0 });
         assert_eq!(cfg.batch_size, 64);
     }

@@ -88,8 +88,7 @@ mod tests {
     #[test]
     fn plans_are_distinct() {
         let plans = enumerate_plans(1000);
-        let names: std::collections::HashSet<String> =
-            plans.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<String> = plans.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), plans.len());
     }
 

@@ -69,10 +69,7 @@ impl PlatformMapping {
     /// Short report string, e.g.
     /// `transform=Spark sample=Spark compute=Java update=Java`.
     pub fn describe(&self) -> String {
-        let mut out = format!(
-            "transform={} stage={}",
-            self.transform, self.stage
-        );
+        let mut out = format!("transform={} stage={}", self.transform, self.stage);
         if let Some(s) = self.sample {
             out.push_str(&format!(" sample={s}"));
         }
@@ -85,11 +82,7 @@ impl PlatformMapping {
 }
 
 /// Compute the Appendix D mapping for a plan over a dataset.
-pub fn map_plan(
-    plan: &GdPlan,
-    desc: &DatasetDescriptor,
-    cluster: &ClusterSpec,
-) -> PlatformMapping {
+pub fn map_plan(plan: &GdPlan, desc: &DatasetDescriptor, cluster: &ClusterSpec) -> PlatformMapping {
     let distributed = !desc.fits_one_partition(cluster);
     let data_side = if distributed {
         Platform::Spark
@@ -159,11 +152,7 @@ mod tests {
     #[test]
     fn sgd_on_large_data_is_a_mix_based_plan() {
         // The paper: "ML4all indeed produces a mix-based plan for SGD".
-        let plan = GdPlan::sgd(
-            TransformPolicy::Eager,
-            SamplingMethod::ShuffledPartition,
-        )
-        .unwrap();
+        let plan = GdPlan::sgd(TransformPolicy::Eager, SamplingMethod::ShuffledPartition).unwrap();
         let m = map_plan(&plan, &large(), &cluster());
         assert!(m.is_mixed());
         assert_eq!(m.transform, Platform::Spark); // whole-dataset scan
@@ -182,16 +171,8 @@ mod tests {
 
     #[test]
     fn lazy_transform_moves_to_the_driver() {
-        let eager = GdPlan::sgd(
-            TransformPolicy::Eager,
-            SamplingMethod::RandomPartition,
-        )
-        .unwrap();
-        let lazy = GdPlan::sgd(
-            TransformPolicy::Lazy,
-            SamplingMethod::RandomPartition,
-        )
-        .unwrap();
+        let eager = GdPlan::sgd(TransformPolicy::Eager, SamplingMethod::RandomPartition).unwrap();
+        let lazy = GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::RandomPartition).unwrap();
         let d = large();
         assert_eq!(map_plan(&eager, &d, &cluster()).transform, Platform::Spark);
         assert_eq!(map_plan(&lazy, &d, &cluster()).transform, Platform::Java);
@@ -199,14 +180,17 @@ mod tests {
 
     #[test]
     fn describe_mentions_every_operator() {
-        let plan = GdPlan::mgd(
-            1000,
-            TransformPolicy::Eager,
-            SamplingMethod::Bernoulli,
-        )
-        .unwrap();
+        let plan = GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap();
         let s = map_plan(&plan, &large(), &cluster()).describe();
-        for op in ["transform", "stage", "sample", "compute", "update", "converge", "loop"] {
+        for op in [
+            "transform",
+            "stage",
+            "sample",
+            "compute",
+            "update",
+            "converge",
+            "loop",
+        ] {
             assert!(s.contains(op), "{s} missing {op}");
         }
     }

@@ -90,7 +90,9 @@ impl PartitionedDataset {
         let n_phys = points.len();
         // One physical partition per logical partition, capped; never more
         // partitions than points.
-        let p_phys = logical_p.clamp(1, Self::MAX_PHYSICAL_PARTITIONS).min(n_phys);
+        let p_phys = logical_p
+            .clamp(1, Self::MAX_PHYSICAL_PARTITIONS)
+            .min(n_phys);
         let mut partitions: Vec<Vec<LabeledPoint>> = (0..p_phys)
             .map(|i| Vec::with_capacity(n_phys / p_phys + usize::from(i < n_phys % p_phys)))
             .collect();
@@ -185,7 +187,12 @@ mod tests {
 
     fn points(n: usize) -> Vec<LabeledPoint> {
         (0..n)
-            .map(|i| LabeledPoint::new(if i % 2 == 0 { 1.0 } else { -1.0 }, FeatureVec::dense(vec![i as f64, 1.0])))
+            .map(|i| {
+                LabeledPoint::new(
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                    FeatureVec::dense(vec![i as f64, 1.0]),
+                )
+            })
             .collect()
     }
 
@@ -239,7 +246,10 @@ mod tests {
             &spec(),
         )
         .unwrap();
-        assert_eq!(ds.num_partitions(), PartitionedDataset::MAX_PHYSICAL_PARTITIONS);
+        assert_eq!(
+            ds.num_partitions(),
+            PartitionedDataset::MAX_PHYSICAL_PARTITIONS
+        );
     }
 
     #[test]

@@ -1,27 +1,47 @@
 //! The simulation environment: cluster spec + cost ledger + the charging
 //! primitives that implement Equations 3–5 of the paper.
 
+use std::sync::Arc;
+
+use ml4all_runtime::Runtime;
+
 use crate::cluster::{ClusterSpec, StorageMedium};
 use crate::descriptor::DatasetDescriptor;
 use crate::ledger::{CostBreakdown, CostLedger};
 
 /// Execution environment handed to operators: charge costs here while the
-/// computation itself runs over the physical rows.
+/// computation itself runs over the physical rows — which it does through
+/// the shared [`Runtime`] worker pool, the physical counterpart of the
+/// cost model's wave parallelism.
 #[derive(Debug, Clone)]
 pub struct SimEnv {
     /// Deployment constants.
     pub spec: ClusterSpec,
     /// Simulated clock.
     pub ledger: CostLedger,
+    /// Worker pool physical computation dispatches through.
+    runtime: Arc<Runtime>,
 }
 
 impl SimEnv {
-    /// Fresh environment at t = 0.
+    /// Fresh environment at t = 0, on the process-wide runtime.
     pub fn new(spec: ClusterSpec) -> Self {
+        Self::with_runtime(spec, Runtime::global())
+    }
+
+    /// Fresh environment at t = 0 on an explicit runtime (e.g. a
+    /// fixed-size pool for determinism tests).
+    pub fn with_runtime(spec: ClusterSpec, runtime: Arc<Runtime>) -> Self {
         Self {
             spec,
             ledger: CostLedger::new(),
+            runtime,
         }
+    }
+
+    /// The worker pool this environment executes on.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
     }
 
     /// Total simulated seconds so far.
@@ -86,7 +106,8 @@ impl SimEnv {
         }
         let packets = bytes.div_ceil(self.spec.packet_bytes);
         let effective = packets * self.spec.packet_bytes;
-        self.ledger.charge_net(effective as f64 * self.spec.net_byte_s);
+        self.ledger
+            .charge_net(effective as f64 * self.spec.net_byte_s);
     }
 
     /// One random-access seek into a dataset of `dataset_bytes`

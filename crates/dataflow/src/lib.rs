@@ -43,6 +43,7 @@ pub use dataset::{Partition, PartitionScheme, PartitionedDataset};
 pub use descriptor::DatasetDescriptor;
 pub use env::SimEnv;
 pub use ledger::{CostBreakdown, CostLedger};
+pub use ml4all_runtime::{derive_seed, Runtime};
 pub use sampling::{SamplerState, SamplingMethod};
 
 /// Errors surfaced by the dataflow substrate.

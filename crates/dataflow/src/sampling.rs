@@ -14,7 +14,7 @@
 //!   models on partition-skewed data — the paper's rcv1 caveat).
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::StorageMedium;
@@ -126,19 +126,31 @@ impl SamplerState {
         let desc = data.descriptor();
         let n_phys = data.physical_n();
         let prob = (m as f64 / n_phys as f64).min(1.0);
+        let runtime = env.runtime().clone();
         for _ in 0..Self::MAX_BERNOULLI_RETRIES {
             // Every retry scans the whole dataset again: that is the cost
             // profile that makes Bernoulli a poor fit for small samples.
             env.charge_full_scan_io(desc, StorageMedium::Auto);
             env.charge_wave_cpu(desc, env.spec.cpu_sample_test_s());
-            let mut out = Vec::with_capacity(m + m / 2 + 1);
-            for (pi, part) in data.partitions().iter().enumerate() {
-                for oi in 0..part.len() {
-                    if rng.gen::<f64>() < prob {
-                        out.push((pi, oi));
+            // The inclusion test runs as a wave over the partitions (which
+            // is exactly what the CPU charge above models). Each partition
+            // tests its units with an RNG seeded from (draw, partition
+            // index), and partitions concatenate in index order, so the
+            // drawn sample is identical at any worker count.
+            let draw_seed = rng.next_u64();
+            let per_partition: Vec<Vec<(usize, usize)>> =
+                runtime.map_indexed(data.partitions(), |pi, part| {
+                    let mut prng =
+                        StdRng::seed_from_u64(ml4all_runtime::derive_seed(draw_seed, pi as u64));
+                    let mut included = Vec::new();
+                    for oi in 0..part.len() {
+                        if prng.gen::<f64>() < prob {
+                            included.push((pi, oi));
+                        }
                     }
-                }
-            }
+                    included
+                });
+            let out: Vec<(usize, usize)> = per_partition.into_iter().flatten().collect();
             if !out.is_empty() {
                 return Ok(out);
             }
@@ -254,13 +266,7 @@ mod tests {
             .map(|i| LabeledPoint::new(1.0, FeatureVec::dense(vec![i as f64])))
             .collect();
         let spec = ClusterSpec::paper_testbed();
-        let desc = DatasetDescriptor::new(
-            "s",
-            n as u64,
-            1,
-            partitions * spec.partition_bytes,
-            1.0,
-        );
+        let desc = DatasetDescriptor::new("s", n as u64, 1, partitions * spec.partition_bytes, 1.0);
         PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec)
             .unwrap()
     }
@@ -331,7 +337,11 @@ mod tests {
         let mut offsets: Vec<usize> = s.iter().map(|(_, o)| *o).collect();
         offsets.sort_unstable();
         offsets.dedup();
-        assert_eq!(offsets.len(), 40, "each unit served exactly once per shuffle");
+        assert_eq!(
+            offsets.len(),
+            40,
+            "each unit served exactly once per shuffle"
+        );
     }
 
     #[test]

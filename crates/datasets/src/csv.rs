@@ -77,10 +77,7 @@ pub fn read_csv<R: Read>(
                         ),
                     });
                 }
-                (
-                    fields[label_ix - 1],
-                    fields[from - 1..to].to_vec(),
-                )
+                (fields[label_ix - 1], fields[from - 1..to].to_vec())
             }
         };
         out.push(LabeledPoint::new(label, FeatureVec::dense(features)));

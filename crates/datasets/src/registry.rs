@@ -63,7 +63,13 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// The logical descriptor used for all cost accounting.
     pub fn descriptor(&self) -> DatasetDescriptor {
-        DatasetDescriptor::new(self.name.clone(), self.n, self.dims, self.bytes, self.density)
+        DatasetDescriptor::new(
+            self.name.clone(),
+            self.n,
+            self.dims,
+            self.bytes,
+            self.density,
+        )
     }
 
     /// Generate physical points for this spec (at most `max_physical`).

@@ -19,8 +19,7 @@ pub fn train_test_split(
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
     let n_train = (points.len() as f64 * train_frac).round() as usize;
-    let train_set: std::collections::HashSet<usize> =
-        indices.into_iter().take(n_train).collect();
+    let train_set: std::collections::HashSet<usize> = indices.into_iter().take(n_train).collect();
     let mut train = Vec::with_capacity(n_train);
     let mut test = Vec::with_capacity(points.len() - n_train);
     for (i, p) in points.into_iter().enumerate() {

@@ -100,11 +100,12 @@ pub fn sparse_classification(cfg: &SparseClassConfig) -> Vec<LabeledPoint> {
             }
             let mut vals = vals;
             if cfg.skewed && label > 0.0 {
-                // Positive class gets systematically larger magnitudes:
-                // partition-local samples then misrepresent the global
-                // distribution.
+                // Positive class gets a shifted value distribution (not
+                // just a rescaled one — zero-mean features would leave
+                // single-class gradients directionless): partition-local
+                // samples then misrepresent the global distribution.
                 for v in &mut vals {
-                    *v *= 2.0;
+                    *v = 0.5 * *v + 1.0;
                 }
             }
             let sv = SparseVector::new(cfg.dims, idx, vals)
@@ -116,11 +117,7 @@ pub fn sparse_classification(cfg: &SparseClassConfig) -> Vec<LabeledPoint> {
     if cfg.skewed {
         // Label-sorted emission: with contiguous partitioning, whole
         // partitions end up single-class.
-        points.sort_by(|a, b| {
-            a.label
-                .partial_cmp(&b.label)
-                .expect("labels are finite")
-        });
+        points.sort_by(|a, b| a.label.partial_cmp(&b.label).expect("labels are finite"));
     }
     points
 }

@@ -5,9 +5,7 @@
 
 use std::time::{Duration, Instant};
 
-use ml4all_dataflow::{
-    CostBreakdown, PartitionedDataset, SamplerState, SimEnv, StorageMedium,
-};
+use ml4all_dataflow::{CostBreakdown, PartitionedDataset, SamplerState, SimEnv, StorageMedium};
 use ml4all_linalg::{DenseVector, LabeledPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,8 +13,8 @@ use rand::SeedableRng;
 use crate::context::Context;
 use crate::gradient::{GradientKind, Regularizer};
 use crate::operators::{
-    ComputeAcc, FixedSample, GdOperators, GradientCompute, IdentityTransform, L1Converge,
-    RawUnit, SampleSize, StepUpdate, ToleranceLoop, UpdateOutcome, ZeroStage,
+    ComputeAcc, FixedSample, GdOperators, GradientCompute, IdentityTransform, L1Converge, RawUnit,
+    SampleSize, StepUpdate, ToleranceLoop, UpdateOutcome, ZeroStage,
 };
 use crate::plan::{GdPlan, GdVariant, TransformPolicy};
 use crate::step::StepSize;
@@ -154,10 +152,17 @@ impl Store<'_> {
         }
     }
 
-    fn iter(&self) -> Box<dyn Iterator<Item = &LabeledPoint> + '_> {
+    fn num_partitions(&self) -> usize {
         match self {
-            Store::Original(d) => Box::new(d.iter_points()),
-            Store::Transformed { points } => Box::new(points.iter().flatten()),
+            Store::Original(d) => d.num_partitions(),
+            Store::Transformed { points } => points.len(),
+        }
+    }
+
+    fn partition_points(&self, pi: usize) -> &[LabeledPoint] {
+        match self {
+            Store::Original(d) => d.partitions()[pi].points(),
+            Store::Transformed { points } => &points[pi],
         }
     }
 }
@@ -206,13 +211,19 @@ pub fn execute_with_operators(
         if ops.transform.is_identity() {
             Store::Original(data)
         } else {
-            let mut points = Vec::with_capacity(data.num_partitions());
-            for part in data.partitions() {
-                let mut out = Vec::with_capacity(part.len());
-                for p in part.points() {
-                    out.push(ops.transform.transform(RawUnit::Point(p), &ctx)?);
-                }
-                points.push(out);
+            // The transform pass is a wave over the partitions (the CPU
+            // charge above models exactly that); materialize each
+            // partition's transformed copy on the shared worker pool.
+            let transformed: Vec<Result<Vec<LabeledPoint>, GdError>> =
+                env.runtime().map_indexed(data.partitions(), |_pi, part| {
+                    part.points()
+                        .iter()
+                        .map(|p| ops.transform.transform(RawUnit::Point(p), &ctx))
+                        .collect()
+                });
+            let mut points = Vec::with_capacity(transformed.len());
+            for partition in transformed {
+                points.push(partition?);
             }
             Store::Transformed { points }
         }
@@ -250,15 +261,29 @@ pub fn execute_with_operators(
                     env.charge_wave_cpu(&desc, env.spec.cpu_transform_s(avg_nnz));
                 }
                 env.charge_wave_cpu(&desc, env.spec.cpu_gradient_s(avg_nnz));
-                if plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity() {
-                    for p in store.iter() {
-                        let t = ops.transform.transform(RawUnit::Point(p), &ctx)?;
-                        ops.compute.compute(&t, &ctx, &mut acc);
-                    }
-                } else {
-                    for p in store.iter() {
-                        ops.compute.compute(p, &ctx, &mut acc);
-                    }
+                // The gradient wave the CPU charge models, executed for
+                // real: each partition computes its partial aggregate on
+                // the shared worker pool, and the partials reduce in
+                // partition order — bit-identical at any worker count.
+                let lazy_parse =
+                    plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
+                let partials: Vec<Result<ComputeAcc, GdError>> = env.runtime().run_indexed(
+                    store.num_partitions(),
+                    |pi| -> Result<ComputeAcc, GdError> {
+                        let mut partial = ComputeAcc::new(dims);
+                        for p in store.partition_points(pi) {
+                            if lazy_parse {
+                                let t = ops.transform.transform(RawUnit::Point(p), &ctx)?;
+                                ops.compute.compute(&t, &ctx, &mut partial);
+                            } else {
+                                ops.compute.compute(p, &ctx, &mut partial);
+                            }
+                        }
+                        Ok(partial)
+                    },
+                );
+                for partial in partials {
+                    acc.merge(&partial?);
                 }
                 if distributed {
                     let active = desc.partitions(&env.spec);
@@ -286,12 +311,12 @@ pub fn execute_with_operators(
                 let lazy_parse =
                     plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
                 for (pi, oi) in coords {
-                    let p = store
-                        .point(pi, oi)
-                        .ok_or(ml4all_dataflow::DataflowError::PartitionOutOfBounds {
+                    let p = store.point(pi, oi).ok_or(
+                        ml4all_dataflow::DataflowError::PartitionOutOfBounds {
                             index: pi,
                             partitions: data.num_partitions(),
-                        })?;
+                        },
+                    )?;
                     if lazy_parse {
                         let t = ops.transform.transform(RawUnit::Point(p), &ctx)?;
                         ops.compute.compute(&t, &ctx, &mut acc);
@@ -537,8 +562,16 @@ mod tests {
         params.step = StepSize::Constant(0.25);
         let mut env = env();
         let result = execute_plan(&GdPlan::bgd(), &data, &params, &mut env).unwrap();
-        assert!((result.weights[0] - 3.0).abs() < 0.05, "slope {}", result.weights[0]);
-        assert!((result.weights[1] - 1.0).abs() < 0.05, "intercept {}", result.weights[1]);
+        assert!(
+            (result.weights[0] - 3.0).abs() < 0.05,
+            "slope {}",
+            result.weights[0]
+        );
+        assert!(
+            (result.weights[1] - 1.0).abs() < 0.05,
+            "intercept {}",
+            result.weights[1]
+        );
     }
 
     #[test]
@@ -629,8 +662,7 @@ mod tests {
         let mut env_lazy = SimEnv::new(spec.clone());
         let lazy_result = execute_plan(&lazy, &data, &params, &mut env_lazy).unwrap();
 
-        let eager =
-            GdPlan::sgd(TransformPolicy::Eager, SamplingMethod::ShuffledPartition).unwrap();
+        let eager = GdPlan::sgd(TransformPolicy::Eager, SamplingMethod::ShuffledPartition).unwrap();
         let mut env_eager = SimEnv::new(spec.clone());
         let eager_result = execute_plan(&eager, &data, &params, &mut env_eager).unwrap();
 

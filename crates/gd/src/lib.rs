@@ -42,8 +42,8 @@ pub use executor::{execute_plan, TrainParams, TrainResult};
 pub use gradient::{Gradient, GradientKind, Regularizer};
 pub use objective::dataset_loss;
 pub use operators::{
-    ComputeAcc, ComputeOp, ConvergeOp, GdOperators, LoopOp, RawUnit, SampleOp, SampleSize,
-    StageOp, TransformOp, UpdateOp, UpdateOutcome,
+    ComputeAcc, ComputeOp, ConvergeOp, GdOperators, LoopOp, RawUnit, SampleOp, SampleSize, StageOp,
+    TransformOp, UpdateOp, UpdateOutcome,
 };
 pub use plan::{GdPlan, GdVariant, TransformPolicy};
 pub use step::StepSize;

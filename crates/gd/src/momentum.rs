@@ -57,7 +57,11 @@ impl UpdateOp for MomentumUpdate {
             .vector("velocity")
             .expect("MomentumStage installs velocity")
             .clone();
-        for (vi, gi) in velocity.as_mut_slice().iter_mut().zip(acc.primary.as_slice()) {
+        for (vi, gi) in velocity
+            .as_mut_slice()
+            .iter_mut()
+            .zip(acc.primary.as_slice())
+        {
             *vi = mu * *vi - alpha * gi * inv;
         }
         ctx.weights.add_assign(&velocity);

@@ -87,7 +87,21 @@ impl ComputeAcc {
     /// Lazily materialize the secondary accumulator.
     pub fn secondary_mut(&mut self) -> &mut DenseVector {
         let dims = self.primary.dim();
-        self.secondary.get_or_insert_with(|| DenseVector::zeros(dims))
+        self.secondary
+            .get_or_insert_with(|| DenseVector::zeros(dims))
+    }
+
+    /// Fold another accumulator (one partition's partial aggregate) into
+    /// this one — the reduce side of the wave-parallel executor. Partial
+    /// aggregates must be merged in partition order so the reduced sum is
+    /// identical at any worker count.
+    pub fn merge(&mut self, other: &ComputeAcc) {
+        self.primary.add_assign(&other.primary);
+        if let Some(s) = &other.secondary {
+            self.secondary_mut().add_assign(s);
+        }
+        self.scalar += other.scalar;
+        self.count += other.count;
     }
 }
 
@@ -266,8 +280,8 @@ impl TransformOp for LibsvmTransform {
                     indices.push(idx - 1);
                     values.push(val);
                 }
-                let features = SparseVector::new(self.dims, indices, values)
-                    .map_err(GdError::Linalg)?;
+                let features =
+                    SparseVector::new(self.dims, indices, values).map_err(GdError::Linalg)?;
                 Ok(LabeledPoint::new(label, FeatureVec::Sparse(features)))
             }
         }
@@ -515,7 +529,11 @@ mod tests {
             .unwrap();
         assert_eq!(p.label, 1.0);
         // 1-based file indices → 0-based storage.
-        assert_eq!(p.features.dot(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]), 0.1);
+        assert_eq!(
+            p.features
+                .dot(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            0.1
+        );
         assert_eq!(p.features.nnz(), 3);
     }
 

@@ -102,7 +102,9 @@ impl GdPlan {
         sampling: SamplingMethod,
     ) -> Result<Self, GdError> {
         if batch == 0 {
-            return Err(GdError::InvalidPlan("mini-batch size must be positive".into()));
+            return Err(GdError::InvalidPlan(
+                "mini-batch size must be positive".into(),
+            ));
         }
         Self::stochastic_like(GdVariant::MiniBatch { batch }, transform, sampling)
     }
@@ -167,8 +169,7 @@ mod tests {
     fn lazy_bernoulli_is_rejected() {
         let err = GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::Bernoulli).unwrap_err();
         assert!(matches!(err, GdError::InvalidPlan(_)));
-        let err =
-            GdPlan::mgd(100, TransformPolicy::Lazy, SamplingMethod::Bernoulli).unwrap_err();
+        let err = GdPlan::mgd(100, TransformPolicy::Lazy, SamplingMethod::Bernoulli).unwrap_err();
         assert!(matches!(err, GdError::InvalidPlan(_)));
     }
 
@@ -188,7 +189,10 @@ mod tests {
     #[test]
     fn sample_sizes_follow_variant() {
         assert_eq!(GdVariant::Stochastic.sample_size(10), 1);
-        assert_eq!(GdVariant::MiniBatch { batch: 1000 }.sample_size(10_000), 1000);
+        assert_eq!(
+            GdVariant::MiniBatch { batch: 1000 }.sample_size(10_000),
+            1000
+        );
         // Mini-batch larger than the dataset degrades to full batch.
         assert_eq!(GdVariant::MiniBatch { batch: 1000 }.sample_size(10), 10);
     }

@@ -116,7 +116,10 @@ impl UpdateOp for SvrgUpdate {
             ctx.put("mu", Extra::Vector(mu));
         } else {
             // w := w − α (∇f_i(w) − ∇f_i(w̃) + µ).
-            let mu = ctx.vector("mu").expect("anchor iteration ran first").clone();
+            let mu = ctx
+                .vector("mu")
+                .expect("anchor iteration ran first")
+                .clone();
             let inv = 1.0 / acc.count as f64;
             let secondary = acc
                 .secondary

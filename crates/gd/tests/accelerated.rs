@@ -57,7 +57,11 @@ fn svrg_converges_on_regression() {
         &pts,
     );
     assert!(loss < 0.05, "SVRG loss {loss}");
-    assert!((result.weights[0] - 2.0).abs() < 0.2, "w0 {}", result.weights[0]);
+    assert!(
+        (result.weights[0] - 2.0).abs() < 0.2,
+        "w0 {}",
+        result.weights[0]
+    );
 }
 
 #[test]

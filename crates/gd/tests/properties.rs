@@ -3,8 +3,8 @@
 
 use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv};
 use ml4all_gd::{
-    dataset_loss, execute_plan, GdPlan, Gradient, GradientKind, Regularizer, StepSize,
-    TrainParams, TransformPolicy,
+    dataset_loss, execute_plan, GdPlan, Gradient, GradientKind, Regularizer, StepSize, TrainParams,
+    TransformPolicy,
 };
 use ml4all_linalg::{FeatureVec, LabeledPoint};
 use proptest::prelude::*;

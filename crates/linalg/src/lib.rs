@@ -46,10 +46,9 @@ pub enum LinalgError {
 impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::IndexValueLengthMismatch { indices, values } => write!(
-                f,
-                "sparse vector has {indices} indices but {values} values"
-            ),
+            Self::IndexValueLengthMismatch { indices, values } => {
+                write!(f, "sparse vector has {indices} indices but {values} values")
+            }
             Self::IndexOutOfBounds { index, dim } => {
                 write!(f, "sparse index {index} out of bounds for dimension {dim}")
             }

@@ -79,7 +79,10 @@ impl SparseVector {
 
     /// Iterate over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Dot product with a dense weight slice of the same dimension.

@@ -121,10 +121,7 @@ fn run_statement(session: &mut Session, stmt: &str) -> bool {
                     predictions.len(),
                     acc * 100.0
                 ),
-                None => println!(
-                    "[predictions: {} points, mse {mse:.3}]",
-                    predictions.len()
-                ),
+                None => println!("[predictions: {} points, mse {mse:.3}]", predictions.len()),
             }
             true
         }

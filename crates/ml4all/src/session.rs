@@ -146,8 +146,10 @@ impl Session {
             self.auto_name += 1;
             format!("Q{}", self.auto_name)
         });
-        self.results
-            .insert(name.clone(), Model::new(config.gradient, result.weights.clone()));
+        self.results.insert(
+            name.clone(),
+            Model::new(config.gradient, result.weights.clone()),
+        );
         Ok(SessionOutput::Trained {
             name,
             summary: TrainSummary {

@@ -1,0 +1,368 @@
+//! The shared parallel runtime of the ml4all reproduction.
+//!
+//! The paper's cost model is *wave-parallel*: Equations 3–5 charge CPU for
+//! waves of `cap` parallel slots working over partitions. This crate is
+//! the physical counterpart — one worker pool that both the GD executor
+//! (per-partition gradient waves) and the plan chooser (the three
+//! speculative runs of Algorithm 1) dispatch through, instead of each
+//! layer spinning its own ad-hoc threads.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism at any worker count.** [`Runtime::map_indexed`]
+//!    assigns work by *item index* and returns results in item order, so a
+//!    caller that reduces the returned vector left-to-right gets
+//!    bit-identical output whether the pool has 1, 2, or 8 workers.
+//!    Per-item randomness comes from [`derive_seed`], which mixes a base
+//!    seed with the item index — never from worker identity.
+//! 2. **No deadlock under nesting.** A task may itself dispatch through
+//!    the runtime (the chooser's speculative runs execute full GD plans).
+//!    While waiting for its tasks, the submitting thread *helps*: it pops
+//!    and runs queued jobs instead of blocking, so a pool saturated with
+//!    waiting parents still makes progress.
+//! 3. **Panic transparency.** A panicking task poisons nothing: the first
+//!    payload is captured and re-thrown on the submitting thread after
+//!    the whole batch completes.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased unit of work. Lifetimes are erased on submission; safety
+/// comes from [`Runtime::map_indexed`] not returning until every job of
+/// the batch has run (see `run_batch`).
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    /// FIFO of pending jobs. One global queue keeps scheduling order
+    /// deterministic-enough for helping and makes stealing trivial.
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled on job push and job completion.
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn pop(&self) -> Option<Job> {
+        self.queue.lock().expect("runtime queue").pop_front()
+    }
+}
+
+/// Per-batch completion state, shared between the submitter and its jobs.
+struct Batch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The worker pool. Cheap to share via [`Arc`]; see [`Runtime::global`]
+/// for the process-wide instance.
+pub struct Runtime {
+    workers: usize,
+    /// `None` when `workers == 1`: everything runs inline on the caller.
+    shared: Option<Arc<Shared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// A pool of `workers` threads (clamped to at least 1). One worker
+    /// means strictly inline execution — no threads are spawned.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Self {
+                workers,
+                shared: None,
+                handles: Vec::new(),
+            };
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ml4all-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Self {
+            workers,
+            shared: Some(shared),
+            handles,
+        }
+    }
+
+    /// The process-wide runtime: `ML4ALL_WORKERS` workers if set,
+    /// otherwise the machine's available parallelism.
+    pub fn global() -> Arc<Runtime> {
+        static GLOBAL: OnceLock<Arc<Runtime>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| {
+                let workers = std::env::var("ML4ALL_WORKERS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    });
+                Arc::new(Runtime::new(workers))
+            })
+            .clone()
+    }
+
+    /// Number of worker slots (1 means inline execution).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item of `items`, in parallel, returning results
+    /// **in item order**. `f` receives `(index, &item)`.
+    ///
+    /// Work is split into contiguous index chunks (at most one per
+    /// worker); the output vector depends only on `items` and `f`, never
+    /// on the worker count — reduce it left-to-right for results that are
+    /// bit-identical at any pool size.
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Run `n` indexed tasks in parallel, returning results in index
+    /// order. Lower-level sibling of [`Runtime::map_indexed`].
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let Some(shared) = &self.shared else {
+            return (0..n).map(f).collect();
+        };
+        if n <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let chunks = self.workers.min(n);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let batch = Batch {
+            remaining: AtomicUsize::new(chunks),
+            panic: Mutex::new(None),
+        };
+
+        {
+            let mut queue = shared.queue.lock().expect("runtime queue");
+            for w in 0..chunks {
+                let lo = n * w / chunks;
+                let hi = n * (w + 1) / chunks;
+                let f = &f;
+                let results = &results;
+                let batch = &batch;
+                let shared_ref: &Shared = shared;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        (lo..hi).map(|i| (i, f(i))).collect::<Vec<_>>()
+                    }));
+                    match out {
+                        Ok(chunk) => {
+                            let mut slots = results.lock().expect("runtime results");
+                            for (i, r) in chunk {
+                                slots[i] = Some(r);
+                            }
+                        }
+                        Err(payload) => {
+                            let mut p = batch.panic.lock().expect("runtime panic slot");
+                            p.get_or_insert(payload);
+                        }
+                    }
+                    batch.remaining.fetch_sub(1, Ordering::AcqRel);
+                    shared_ref.cv.notify_all();
+                });
+                // SAFETY: `run_indexed` does not return until `remaining`
+                // hits zero, i.e. until every job above has finished
+                // executing, so the `'_` borrows of `f`, `results`,
+                // `batch`, and `shared` outlive the jobs. The transmute
+                // only erases those lifetimes.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                queue.push_back(job);
+            }
+        }
+        shared.cv.notify_all();
+
+        // Help while waiting: run queued jobs (ours or anyone's) instead
+        // of blocking, so nested dispatch cannot deadlock the pool.
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = shared.pop() {
+                job();
+                continue;
+            }
+            let guard = shared.queue.lock().expect("runtime queue");
+            if batch.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if !guard.is_empty() {
+                continue;
+            }
+            // Timed wait: completion is signalled through the same
+            // condvar, and the timeout bounds any notify/check race.
+            let _ = shared
+                .cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("runtime condvar");
+        }
+
+        if let Some(payload) = batch.panic.lock().expect("runtime panic slot").take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_inner()
+            .expect("runtime results")
+            .into_iter()
+            .map(|slot| slot.expect("every task completed"))
+            .collect()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("runtime queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.cv.wait(queue).expect("runtime condvar");
+            }
+        };
+        // Jobs catch their own panics (see `run_indexed`), so a worker
+        // thread survives any task failure.
+        job();
+    }
+}
+
+/// Mix a base seed with a partition/task index into an independent,
+/// deterministic per-item seed (SplitMix64 finalizer). Identical inputs
+/// give identical seeds on every platform and at every worker count.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_results_in_item_order() {
+        let rt = Runtime::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = rt.map_indexed(&items, |i, x| (i as u64) * 1000 + x);
+        let expect: Vec<u64> = (0..100).map(|i| i * 1000 + i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        let items: Vec<f64> = (0..57).map(|i| i as f64 * 0.1).collect();
+        let reduce = |rt: &Runtime| -> f64 {
+            rt.map_indexed(&items, |_, x| x.sin())
+                .into_iter()
+                .fold(0.0, |a, b| a + b)
+        };
+        let r1 = reduce(&Runtime::new(1));
+        let r2 = reduce(&Runtime::new(2));
+        let r8 = reduce(&Runtime::new(8));
+        assert_eq!(r1.to_bits(), r2.to_bits());
+        assert_eq!(r1.to_bits(), r8.to_bits());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let rt = Runtime::new(1);
+        assert_eq!(rt.workers(), 1);
+        let caller = std::thread::current().id();
+        let ids = rt.run_indexed(4, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        let rt = Arc::new(Runtime::new(2));
+        // More outer tasks than workers, each dispatching inner tasks.
+        let inner = Arc::clone(&rt);
+        let out = rt.run_indexed(8, move |i| {
+            inner.run_indexed(8, |j| i * j).into_iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| i * 28).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.run_indexed(8, |i| {
+                if i == 5 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives and keeps working after a panic.
+        assert_eq!(rt.run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+        assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
+        assert_ne!(derive_seed(42, 3), derive_seed(43, 3));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let rt = Runtime::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(rt.map_indexed(&empty, |_, x| *x).is_empty());
+        assert_eq!(rt.map_indexed(&[7u32], |_, x| *x * 2), vec![14]);
+    }
+}

@@ -78,11 +78,7 @@ struct TrackedUpdate {
 }
 
 impl ml4all_gd::operators::UpdateOp for TrackedUpdate {
-    fn update(
-        &self,
-        acc: &ComputeAcc,
-        ctx: &mut Context,
-    ) -> ml4all_gd::operators::UpdateOutcome {
+    fn update(&self, acc: &ComputeAcc, ctx: &mut Context) -> ml4all_gd::operators::UpdateOutcome {
         let objective = if acc.count > 0 {
             acc.scalar / acc.count as f64
         } else {

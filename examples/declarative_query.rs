@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = train_test_split(points, 0.8, 42);
     let train_path = workdir.join("training_data.txt");
     libsvm::write_libsvm(std::fs::File::create(&train_path)?, &train)?;
-    println!("wrote {} training points to {}", train.len(), train_path.display());
+    println!(
+        "wrote {} training points to {}",
+        train.len(),
+        train_path.display()
+    );
 
     // --- The query of the paper's Section 3 (with the logistic()
     // gradient function spelled out, Appendix A's Table 3 form) ------

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (registry::adult(), GradientKind::LogisticRegression, 1e-3),
         (registry::svm1(), GradientKind::Svm, 1e-3),
     ] {
-        println!("\n================= {} @ tolerance {tolerance} =================", spec.name);
+        println!(
+            "\n================= {} @ tolerance {tolerance} =================",
+            spec.name
+        );
         let data = spec.build(4000, 7, &cluster)?;
 
         let config = OptimizerConfig::new(gradient)

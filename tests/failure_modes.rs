@@ -39,7 +39,12 @@ fn systemml_survives_the_real_datasets() {
         params.tolerance = 0.0;
         let mut env = SimEnv::new(cluster.clone());
         runner
-            .run(GdVariant::MiniBatch { batch: 100 }, &data, &params, &mut env)
+            .run(
+                GdVariant::MiniBatch { batch: 100 },
+                &data,
+                &params,
+                &mut env,
+            )
             .unwrap_or_else(|e| panic!("{} should run: {e}", spec.name));
     }
 }
@@ -51,12 +56,28 @@ fn bismarck_failure_matrix_matches_figure_11() {
     // (dataset, variant, expect_failure)
     let cases = [
         (registry::adult(), GdVariant::Batch, false),
-        (registry::adult(), GdVariant::MiniBatch { batch: 10_000 }, false),
-        (registry::rcv1(), GdVariant::MiniBatch { batch: 1_000 }, false),
-        (registry::rcv1(), GdVariant::MiniBatch { batch: 10_000 }, true),
+        (
+            registry::adult(),
+            GdVariant::MiniBatch { batch: 10_000 },
+            false,
+        ),
+        (
+            registry::rcv1(),
+            GdVariant::MiniBatch { batch: 1_000 },
+            false,
+        ),
+        (
+            registry::rcv1(),
+            GdVariant::MiniBatch { batch: 10_000 },
+            true,
+        ),
         (registry::rcv1(), GdVariant::Batch, true),
         (registry::svm1(), GdVariant::Batch, true),
-        (registry::svm1(), GdVariant::MiniBatch { batch: 10_000 }, false),
+        (
+            registry::svm1(),
+            GdVariant::MiniBatch { batch: 10_000 },
+            false,
+        ),
     ];
     for (spec, variant, expect_failure) in cases {
         let data = spec.build(400, 2, &cluster).expect("builds");

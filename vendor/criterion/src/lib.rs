@@ -1,0 +1,238 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! The ml4all build environment is offline, so `cargo bench` runs on this
+//! lightweight harness instead: it warms each benchmark up, runs a fixed
+//! number of timed samples, and prints mean/min/max per benchmark. No
+//! statistical outlier analysis or HTML reports — the numbers are meant
+//! for coarse regression tracking, persisted via the `CRITERION_JSON`
+//! environment variable (one JSON object per line, appended).
+//!
+//! Environment knobs:
+//! - `CRITERION_SAMPLES`: samples per benchmark (default 10).
+//! - `CRITERION_JSON`: append `{"id", "mean_ns", "min_ns", "max_ns",
+//!   "samples"}` lines to this path.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, not used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, called once per sample after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input)); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let ns: Vec<u128> = results.iter().map(|d| d.as_nanos()).collect();
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let min = *ns.iter().min().expect("non-empty");
+    let max = *ns.iter().max().expect("non-empty");
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let line = format!(
+            "{{\"id\":\"{id}\",\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"samples\":{}}}\n",
+            ns.len()
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("warning: cannot append to {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&id, &b.results);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group (reported as `group/id`).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&full, &b.results);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut n = 0u64;
+        let mut c = Criterion { samples: 3 };
+        c.bench_function("counts", |b| b.iter(|| n += 1));
+        assert_eq!(n, 4); // warm-up + 3 samples
+    }
+
+    #[test]
+    fn groups_run_batched_bodies() {
+        let mut total = 0usize;
+        let mut c = Criterion { samples: 2 };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("b", |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| total += v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(total, 3 * 6); // warm-up + 5 samples
+    }
+}

@@ -1,0 +1,19 @@
+//! Collection strategies (`prop::collection::*`).
+
+use crate::{BTreeSetStrategy, IntoSize, Strategy, VecStrategy};
+
+/// A `Vec` of `len` elements drawn from `element`.
+pub fn vec<S: Strategy, L: IntoSize>(element: S, len: L) -> VecStrategy<S, L> {
+    crate::new_vec_strategy(element, len)
+}
+
+/// A `BTreeSet` of up to `len` elements drawn from `element` (duplicates
+/// collapse, as in upstream proptest).
+pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: IntoSize,
+{
+    crate::new_btree_set_strategy(element, len)
+}

@@ -1,0 +1,532 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The ml4all build environment is offline, so this crate implements the
+//! property-testing surface the workspace's test suites use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`Just`], [`prop_oneof!`],
+//! `prop::collection::{vec, btree_set}`, [`prop_assert!`] /
+//! [`prop_assert_eq!`], and [`ProptestConfig`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name), and failing cases are
+//! reported but **not shrunk** — acceptable for CI-style regression
+//! checking, where determinism matters more than minimal counterexamples.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+pub mod collection;
+
+/// Re-export of this crate under the name the upstream prelude exposes
+/// (`prop::collection::vec(...)`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Record a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic generator driving value generation (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from raw state.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Deterministic per-test seed derived from the test's name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.gen_value(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the [`prop_oneof!`] backend).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let ix = rng.below(self.options.len() as u64) as usize;
+        self.options[ix].gen_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String strategies from `&str` patterns, as upstream proptest's
+/// regex-based string generation — restricted to the subset this
+/// workspace uses: `.{a,b}` (a–b arbitrary characters, `.` matching any
+/// printable char plus a sprinkle of non-ASCII). Any other pattern
+/// generates itself literally.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| random_char(rng)).collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix('.')?;
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(8) {
+        // Mostly printable ASCII …
+        0..=5 => char::from(32 + rng.below(95) as u8),
+        // … some whitespace/control …
+        6 => ['\n', '\t', '\r', '\0'][rng.below(4) as usize],
+        // … and some non-ASCII.
+        _ => ['é', 'λ', '中', '🦀', 'ß'][rng.below(5) as usize],
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+/// Sizes accepted by collection strategies: a fixed `usize` or a range.
+pub trait IntoSize {
+    /// Draw a concrete size.
+    fn draw(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSize for usize {
+    fn draw(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSize for Range<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.start >= self.end {
+            self.start
+        } else {
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+}
+
+/// Vec-of-values strategy; build with [`collection::vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoSize> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.draw(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Set-of-values strategy; build with [`collection::btree_set`].
+pub struct BTreeSetStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S, L> Strategy for BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: IntoSize,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        // As upstream: aim for the drawn size; duplicates may make the set
+        // smaller, which is a valid draw.
+        let n = self.len.draw(rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.element.gen_value(rng));
+        }
+        set
+    }
+}
+
+pub(crate) fn new_vec_strategy<S, L>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+pub(crate) fn new_btree_set_strategy<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L> {
+    BTreeSetStrategy { element, len }
+}
+
+/// The property-test entry macro: each `#[test] fn name(arg in strategy)`
+/// runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("property failed at case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property; failure fails the case with the location.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assert_ne failed: both {:?}", l);
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        let strat = (0u32..10, -1.0f64..1.0);
+        for _ in 0..1000 {
+            let (a, b) = Strategy::gen_value(&strat, &mut rng);
+            assert!(a < 10);
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn collections_respect_requested_sizes() {
+        let mut rng = TestRng::for_test("sizes");
+        let v = Strategy::gen_value(&prop::collection::vec(0u64..5, 7usize), &mut rng);
+        assert_eq!(v.len(), 7);
+        let s = Strategy::gen_value(&prop::collection::btree_set(0u32..100, 0..10), &mut rng);
+        assert!(s.len() < 10);
+    }
+
+    #[test]
+    fn oneof_only_emits_listed_values() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![Just(-1.0f64), Just(1.0f64)];
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&strat, &mut rng);
+            assert!(v == -1.0 || v == 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_strategies_to_args(x in 0usize..4, ys in prop::collection::vec(0u8..3, 2usize)) {
+            prop_assert!(x < 4);
+            prop_assert_eq!(ys.len(), 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_map_compose(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u32..10, n)).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&v));
+        }
+    }
+}

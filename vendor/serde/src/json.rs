@@ -1,0 +1,438 @@
+//! The JSON data model shared by the vendored `serde` and `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A JSON number: unsigned/signed integers are kept exact, everything else
+/// is an `f64` — mirroring `serde_json::Number`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number::PosInt(v)
+    }
+
+    /// From a signed integer.
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number::Float(v)
+    }
+
+    /// As `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// As `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(u) => i64::try_from(*u).ok(),
+            Number::NegInt(i) => Some(*i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(u) => *u as f64,
+            Number::NegInt(i) => *i as f64,
+            Number::Float(f) => *f,
+        }
+    }
+}
+
+/// An order-preserving `String → Value` map (JSON object).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (replacing any existing entry with the same key); returns the
+    /// previous value, as the standard map API does.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+/// Keys usable with [`Value::get`]: object keys or array indices.
+pub trait Index {
+    /// Look `self` up in `v`.
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl Index for str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object()?.get(self)
+    }
+}
+
+impl Index for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object()?.get(self)
+    }
+}
+
+impl Index for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object()?.get(self)
+    }
+}
+
+impl Index for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array()?.get(*self)
+    }
+}
+
+impl Value {
+    /// Object-key or array-index lookup.
+    pub fn get<I: Index>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// As an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// As an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty JSON text (two-space indent, `serde_json` style).
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl<I: Index> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// `v["key"]` / `v[0]` lookup; missing entries yield `Null`, as in
+    /// upstream `serde_json`.
+    fn index(&self, index: I) -> &Value {
+        static NULL: Value = Value::Null;
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::from_f64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::from_f64(f64::from(v)))
+    }
+}
+
+macro_rules! impl_value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_u64(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_i64(v as i64))
+            }
+        }
+    )*};
+}
+
+impl_value_from_uint!(u8, u16, u32, u64, usize);
+impl_value_from_int!(i8, i16, i32, i64, isize);
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            if f.is_finite() {
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    // serde_json prints whole floats with a trailing ".0".
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                // JSON has no Inf/NaN; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_format_like_serde_json() {
+        assert_eq!(Value::Number(Number::from_u64(3)).to_json_string(), "3");
+        assert_eq!(Value::Number(Number::from_i64(-3)).to_json_string(), "-3");
+        assert_eq!(Value::Number(Number::from_f64(1.0)).to_json_string(), "1.0");
+        assert_eq!(Value::Number(Number::from_f64(1.5)).to_json_string(), "1.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Value::String("a\"b\\c\n".into()).to_json_string(),
+            r#""a\"b\\c\n""#
+        );
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Bool(true));
+        m.insert("a".into(), Value::Null);
+        m.insert("b".into(), Value::Bool(false));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let mut m = Map::new();
+        m.insert("x".into(), Value::Array(vec![Value::Bool(true)]));
+        let v = Value::Object(m);
+        assert_eq!(v.to_json_string_pretty(), "{\n  \"x\": [\n    true\n  ]\n}");
+        assert_eq!(v.to_json_string(), r#"{"x":[true]}"#);
+    }
+}

@@ -1,0 +1,488 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! macro parses the item declaration directly from the raw token stream.
+//! It supports what the ml4all workspace uses: non-generic structs (named,
+//! tuple, unit) and enums whose variants are unit, tuple, or struct-like.
+//! Enums serialize externally tagged, matching upstream serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.pos += 1; // [...]
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skip a `<...>` generics list if present (generated impls do not
+    /// support generic types; none in this workspace are generic).
+    fn skip_generics(&mut self) {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == '<' {
+                let mut depth = 0i32;
+                while let Some(t) = self.next() {
+                    if let TokenTree::Punct(p) = &t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume tokens until a top-level `,` (angle-bracket aware) or the
+    /// end of the stream. Returns `true` when a comma was consumed.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        match c.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match c.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected ':' after field, found {other:?}"),
+                }
+                if !c.skip_until_comma() {
+                    break;
+                }
+            }
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the separating comma.
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    c.skip_generics();
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            _ => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::json::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(names) => {
+                    out.push_str("let mut m = ::serde::json::Map::new();\n");
+                    for f in names {
+                        out.push_str(&format!(
+                            "m.insert(\"{f}\".to_string(), \
+                             ::serde::Serialize::to_json_value(&self.{f}));\n"
+                        ));
+                    }
+                    out.push_str("::serde::json::Value::Object(m)\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("::serde::Serialize::to_json_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    out.push_str(&format!(
+                        "::serde::json::Value::Array(vec![{}])\n",
+                        items.join(", ")
+                    ));
+                }
+                Fields::Unit => out.push_str("::serde::json::Value::Null\n"),
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::json::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), {inner});\n\
+                             ::serde::json::Value::Object(m)\n\
+                             }}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let mut body = String::from("let mut inner = ::serde::json::Map::new();\n");
+                        for f in names {
+                            body.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {body}\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), \
+                             ::serde::json::Value::Object(inner));\n\
+                             ::serde::json::Value::Object(m)\n\
+                             }}\n",
+                            binds = names.join(", "),
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    let header = |name: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::json::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+        )
+    };
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&header(name));
+            match fields {
+                Fields::Named(names) => {
+                    out.push_str(&format!(
+                        "let m = v.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n"
+                    ));
+                    for f in names {
+                        out.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_json_value(\
+                             m.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                        ));
+                    }
+                    out.push_str("})\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_json_value(v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let a = v.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name}(\n"
+                    ));
+                    for i in 0..*n {
+                        out.push_str(&format!(
+                            "::serde::Deserialize::from_json_value(\
+                             a.get({i}).unwrap_or(&::serde::json::Value::Null))?,\n"
+                        ));
+                    }
+                    out.push_str("))\n");
+                }
+                Fields::Unit => {
+                    out.push_str(&format!("::std::result::Result::Ok({name})\n"));
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&header(name));
+            out.push_str("match v {\n");
+            // Unit variants arrive as plain strings.
+            out.push_str("::serde::json::Value::String(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n}},\n"
+            ));
+            // Data variants arrive externally tagged.
+            out.push_str(
+                "::serde::json::Value::Object(m) => {\n\
+                 let (tag, inner) = m.iter().next().ok_or_else(|| \
+                 ::serde::DeError::custom(\"empty enum object\"))?;\n\
+                 match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let a = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_json_value(\
+                                 a.get({i}).unwrap_or(&::serde::json::Value::Null))?,\n"
+                            ));
+                        }
+                        out.push_str("))\n}\n");
+                    }
+                    Fields::Named(names) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let im = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in names {
+                            out.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                 im.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                            ));
+                        }
+                        out.push_str("})\n}\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected string or object for {name}\")),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,153 @@
+//! Minimal stand-in for `serde_json` over the vendored `serde` data model.
+//!
+//! Provides the surface the ml4all workspace uses: [`Value`], [`Map`],
+//! [`json!`], [`to_string`], and [`to_string_pretty`]. Output formatting
+//! matches upstream `serde_json` (compact and two-space pretty modes,
+//! whole floats printed with a trailing `.0`).
+
+pub use serde::json::{Map, Number, Value};
+
+/// Errors from serialization. The vendored model is infallible, but the
+/// type keeps call sites (`?`, `.expect`) source-compatible with upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialize `value` to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Convert any serializable value to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supports the forms this workspace uses: `null`, object literals with
+/// string-literal keys, array literals, nested object/array literals, and
+/// arbitrary serializable Rust expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_elems!([] $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_fields!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: accumulate array elements into a single `Vec::from([...])`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ([$($done:expr),*]) => {
+        ::std::vec::Vec::<$crate::Value>::from([$($done),*])
+    };
+    ([$($done:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_elems!([$($done,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    ([$($done:expr),*] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_elems!([$($done,)* $crate::json!({ $($obj)* })] $($($rest)*)?)
+    };
+    ([$($done:expr),*] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_elems!([$($done,)* $crate::json!([ $($arr)* ])] $($($rest)*)?)
+    };
+    ([$($done:expr),*] $value:expr , $($rest:tt)*) => {
+        $crate::json_elems!([$($done,)* $crate::to_value(&$value)] $($rest)*)
+    };
+    ([$($done:expr),*] $value:expr) => {
+        $crate::json_elems!([$($done,)* $crate::to_value(&$value)])
+    };
+}
+
+/// Internal: accumulate object fields.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $($crate::json_fields!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($obj)* }));
+        $($crate::json_fields!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($arr)* ]));
+        $($crate::json_fields!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::json_fields!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_structures() {
+        let name = "adult";
+        let v = json!({
+            "dataset": name,
+            "time_s": 1.5,
+            "tags": ["a", "b"],
+            "nested": { "x": 1, "none": null },
+            "rows": [{ "k": 2 }, { "k": 3 }],
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"dataset":"adult","time_s":1.5,"tags":["a","b"],"nested":{"x":1,"none":null},"rows":[{"k":2},{"k":3}]}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let xs: Vec<Value> = (0..3).map(|i| json!(i)).collect();
+        let v = json!({ "xs": xs, "s": format!("n={}", 2), "flag": true });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"xs":[0,1,2],"s":"n=2","flag":true}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&json!([])).unwrap(), "[]");
+        assert_eq!(to_string(&json!({})).unwrap(), "{}");
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let v = json!({ "a": [1] });
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+}
