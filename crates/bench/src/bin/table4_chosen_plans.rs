@@ -1,9 +1,15 @@
 //! **Table 4 (Appendix E)** — the plan the optimizer chooses for each GD
 //! algorithm on each dataset, and the iterations the chosen plan needs to
 //! converge (tolerance 0.001, max 1 000 iterations).
+//!
+//! Driven through the public typed session API: each dataset is registered
+//! in a [`Session`], `explain` dumps the full costed plan table once per
+//! dataset, and a pinned-algorithm [`TrainRequest`] produces each cell —
+//! the same path any user program takes, instead of a bespoke plan dump.
 
-use ml4all_bench::runs::{best_plan_for_variant, paper_variants, params_for};
-use ml4all_bench::{build_dataset, print_table, BenchConfig, ExperimentRecord};
+use ml4all::{DataSource, ExplainRequest, Session, TrainRequest};
+use ml4all_bench::runs::speculation_for;
+use ml4all_bench::{build_dataset, print_table, task_gradient, BenchConfig, ExperimentRecord};
 use ml4all_dataflow::ClusterSpec;
 use ml4all_datasets::registry;
 use ml4all_gd::GdVariant;
@@ -12,15 +18,55 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let cluster = ClusterSpec::paper_testbed();
     let tolerance = 1e-3;
+    let mut session =
+        Session::with_cluster(cluster.clone()).with_speculation(speculation_for(&cfg));
     let mut rows = Vec::new();
     let mut json = Vec::new();
 
     for spec in registry::table2() {
         let data = build_dataset(&spec, &cfg, &cluster);
-        let params = params_for(&spec, &cfg, tolerance);
+        session.register_dataset(&spec.name, data);
+        let request = |variant: Option<GdVariant>| {
+            let mut r =
+                TrainRequest::new(task_gradient(spec.task), DataSource::registered(&spec.name))
+                    .epsilon(tolerance)
+                    .max_iter(cfg.max_iter())
+                    .seed(cfg.seed);
+            if let Some(v) = variant {
+                r = r.algorithm(v);
+            }
+            r
+        };
+
         let mut row = vec![spec.name.clone()];
         let mut cells = serde_json::Map::new();
         cells.insert("dataset".into(), spec.name.clone().into());
+
+        // The unrestricted costed plan table (what `explain <query>;`
+        // prints), recorded for the appendix JSON.
+        match session.explain(ExplainRequest::new(request(None))) {
+            Ok(report) => {
+                let table: Vec<serde_json::Value> = report
+                    .choices
+                    .iter()
+                    .map(|c| {
+                        serde_json::json!({
+                            "plan": c.plan.name(),
+                            "estimated_iterations": c.estimated_iterations,
+                            "total_s": c.total_s,
+                            "mixed": c.mapping.is_mixed(),
+                        })
+                    })
+                    .collect();
+                cells.insert("plan_table".into(), serde_json::Value::Array(table));
+            }
+            Err(e) => {
+                cells.insert(
+                    "plan_table".into(),
+                    serde_json::json!({"error": e.to_string()}),
+                );
+            }
+        }
 
         // Table 4 columns: SGD, MGD, BGD.
         for variant in [
@@ -28,25 +74,26 @@ fn main() {
             GdVariant::MiniBatch { batch: 1000 },
             GdVariant::Batch,
         ] {
-            match best_plan_for_variant(variant, &data, &params, &cfg, &cluster) {
-                Ok((plan, result)) => {
+            match session.train(request(Some(variant))) {
+                Ok(trained) => {
+                    let summary = trained.summary;
                     let plan_label = match variant {
-                        GdVariant::Batch => format!("{}", result.iterations),
+                        GdVariant::Batch => format!("{}", summary.iterations),
                         _ => format!(
                             "{} {}-{}",
-                            result.iterations,
-                            plan.transform.label(),
-                            plan.sampling.map(|s| s.label()).unwrap_or("-")
+                            summary.iterations,
+                            summary.plan.transform.label(),
+                            summary.plan.sampling.map(|s| s.label()).unwrap_or("-")
                         ),
                     };
                     row.push(plan_label);
                     cells.insert(
                         variant.name().to_lowercase(),
                         serde_json::json!({
-                            "plan": plan.name(),
-                            "iterations": result.iterations,
-                            "converged": result.converged(),
-                            "time_s": result.sim_time_s,
+                            "plan": summary.plan.name(),
+                            "iterations": summary.iterations,
+                            "converged": summary.converged,
+                            "time_s": summary.sim_time_s,
                         }),
                     );
                 }
@@ -69,7 +116,6 @@ fn main() {
         &["dataset", "SGD", "MGD(1k)", "BGD (#iter)"],
         &rows,
     );
-    let _ = paper_variants(); // (layout helper shared with other figures)
 
     ExperimentRecord::new(
         "table4",

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::cost::PlanCostModel;
 use crate::estimator::{estimate_iterations, IterationsEstimate, SpeculationConfig};
 use crate::planspace::enumerate_plans;
+use crate::platform::{map_plan, PlatformMapping};
 use crate::OptimizerError;
 
 /// Where the iteration counts come from.
@@ -167,6 +168,9 @@ pub struct PlanChoice {
     pub per_iteration_s: f64,
     /// Total estimated cost in simulated seconds.
     pub total_s: f64,
+    /// Per-operator platform assignment (Appendix D) of this plan on this
+    /// dataset — the `EXPLAIN` surface reports it alongside the cost.
+    pub mapping: PlatformMapping,
 }
 
 /// Per-variant speculation outcome.
@@ -309,12 +313,14 @@ pub fn choose_plan(
             let t = (*t).min(config.max_iter).max(1);
             let preparation_s = model.preparation_s(&plan);
             let per_iteration_s = model.per_iteration_s(&plan);
+            let mapping = map_plan(&plan, desc, cluster);
             PlanChoice {
                 plan,
                 estimated_iterations: t,
                 preparation_s,
                 per_iteration_s,
                 total_s: preparation_s + t as f64 * per_iteration_s,
+                mapping,
             }
         })
         .collect();

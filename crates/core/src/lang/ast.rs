@@ -4,6 +4,29 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::lang::lexer::Span;
+
+/// A word together with its byte span in the statement text, for names the
+/// planner validates after parsing (algorithm, sampler) — lowering errors
+/// can then point at the offending token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpannedWord {
+    /// The word as written.
+    pub text: String,
+    /// Its byte span in the statement.
+    pub span: Span,
+}
+
+impl SpannedWord {
+    /// A spanned word.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Self {
+            text: text.into(),
+            span,
+        }
+    }
+}
+
 /// The ML task named in a `run` query, or an explicit gradient function.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TaskSpec {
@@ -32,11 +55,11 @@ pub struct Constraints {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct UsingClause {
     /// `algorithm SGD|BGD|MGD` — pin the GD algorithm.
-    pub algorithm: Option<String>,
+    pub algorithm: Option<SpannedWord>,
     /// `step 1.0` — fixed β for the step schedule.
     pub step: Option<f64>,
     /// `sampler bernoulli|random|shuffled` — pin the sampling strategy.
-    pub sampler: Option<String>,
+    pub sampler: Option<SpannedWord>,
     /// `convergence cnvg()` — named convergence UDF.
     pub convergence: Option<String>,
     /// `batch 1000` — MGD batch size.
@@ -57,6 +80,8 @@ pub struct ColumnSpec {
 pub struct RunQuery {
     /// What to learn.
     pub task: TaskSpec,
+    /// Byte span of the task word (for unknown-gradient-function errors).
+    pub task_span: Span,
     /// Input dataset path or registered name.
     pub dataset: String,
     /// Optional label/feature column selection.
@@ -72,6 +97,10 @@ pub struct RunQuery {
 pub enum Query {
     /// `run <task> on <dataset> [having …] [using …];`
     Run(RunQuery),
+    /// `explain [run] <task> on <dataset> [having …] [using …];` — report
+    /// the optimizer's full costed plan table instead of executing the
+    /// winning plan (the database `EXPLAIN` verb over Section 7's search).
+    Explain(RunQuery),
     /// `persist <name> on <path>;`
     Persist {
         /// The query result to persist.

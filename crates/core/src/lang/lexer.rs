@@ -5,11 +5,38 @@
 //! (`1h30m`), and numbers (`0.01`) are all single words; the parser
 //! interprets them contextually. Only `, ; = ( )` are punctuation.
 
-/// A token with its byte offset in the source.
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the statement text.
+///
+/// Spans flow from the lexer through the AST into parse/lowering errors so
+/// the session layer can point at the offending token when rendering an
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset where the spanned text starts.
+    pub start: usize,
+    /// Byte offset one past the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// An empty span at `at` (used for end-of-input errors).
+    pub fn empty(at: usize) -> Self {
+        Self { start: at, end: at }
+    }
+}
+
+/// A token with its byte span in the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
-    /// Byte offset where the token starts.
-    pub position: usize,
+    /// Byte span of the token in the statement text.
+    pub span: Span,
     /// Token kind.
     pub kind: TokenKind,
 }
@@ -50,7 +77,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         if c.is_whitespace() {
             chars.next();
         } else if let Some(kind) = punct(c) {
-            tokens.push(Token { position: i, kind });
+            tokens.push(Token {
+                span: Span::new(i, i + c.len_utf8()),
+                kind,
+            });
             chars.next();
         } else {
             let start = i;
@@ -63,7 +93,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 chars.next();
             }
             tokens.push(Token {
-                position: start,
+                span: Span::new(start, end),
                 kind: TokenKind::Word(input[start..end].to_string()),
             });
         }
@@ -148,15 +178,19 @@ mod tests {
     }
 
     #[test]
-    fn positions_point_into_source() {
+    fn spans_point_into_source() {
         let src = "run  classification";
         let toks = tokenize(src);
-        assert_eq!(toks[0].position, 0);
-        assert_eq!(toks[1].position, 5);
-        assert_eq!(
-            &src[toks[1].position..toks[1].position + 14],
-            "classification"
-        );
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(5, 19));
+        assert_eq!(&src[toks[1].span.start..toks[1].span.end], "classification");
+    }
+
+    #[test]
+    fn punctuation_spans_cover_one_char() {
+        let toks = tokenize("a;b");
+        assert_eq!(toks[1].span, Span::new(1, 2));
+        assert_eq!(toks[2].span, Span::new(2, 3));
     }
 
     #[test]

@@ -18,5 +18,6 @@ pub mod parser;
 pub mod planner;
 
 pub use ast::{Constraints, Query, RunQuery, TaskSpec, UsingClause};
+pub use lexer::Span;
 pub use parser::{parse_query, parse_statement, Statement};
-pub use planner::plan_query;
+pub use planner::{plan_query, train_spec, AlgorithmPin, TrainSpec};

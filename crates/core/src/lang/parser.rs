@@ -1,7 +1,9 @@
 //! Recursive-descent parser for the Appendix A language.
 
-use crate::lang::ast::{ColumnSpec, Constraints, Query, RunQuery, TaskSpec, UsingClause};
-use crate::lang::lexer::{parse_duration, tokenize, Token, TokenKind};
+use crate::lang::ast::{
+    ColumnSpec, Constraints, Query, RunQuery, SpannedWord, TaskSpec, UsingClause,
+};
+use crate::lang::lexer::{parse_duration, tokenize, Span, Token, TokenKind};
 use crate::OptimizerError;
 
 /// A parsed statement with its optional assignment name (`Q1 = run …`).
@@ -25,7 +27,20 @@ pub fn parse_statement(input: &str) -> Result<Statement, OptimizerError> {
     let mut parser = Parser::new(input);
     let name = parser.take_assignment_name();
     let query = parser.parse_statement()?;
-    Ok(Statement { name, query })
+    if let (Some((_, span)), Query::Explain(_)) = (&name, &query) {
+        // An ignored binding would surprise the user at the next
+        // `persist`; reject it while the name's span is still known.
+        return Err(OptimizerError::Language {
+            span: *span,
+            message: "`explain` reports a plan table and does not bind a result name; \
+                      drop the assignment"
+                .into(),
+        });
+    }
+    Ok(Statement {
+        name: name.map(|(n, _)| n),
+        query,
+    })
 }
 
 struct Parser {
@@ -43,15 +58,28 @@ impl Parser {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> OptimizerError {
+    fn span_at(&self, pos: usize) -> Span {
+        self.tokens
+            .get(pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::empty(self.len))
+    }
+
+    /// The span of the most recently consumed token — for "this word is
+    /// invalid" errors, which should point at the word itself.
+    fn prev_span(&self) -> Span {
+        self.span_at(self.pos.saturating_sub(1))
+    }
+
+    fn error_at(&self, span: Span, message: impl Into<String>) -> OptimizerError {
         OptimizerError::Language {
-            position: self
-                .tokens
-                .get(self.pos)
-                .map(|t| t.position)
-                .unwrap_or(self.len),
+            span,
             message: message.into(),
         }
+    }
+
+    fn error(&self, message: impl Into<String>) -> OptimizerError {
+        self.error_at(self.span_at(self.pos), message)
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -70,10 +98,11 @@ impl Parser {
         let found = self.next().cloned();
         match found {
             Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(expected) => Ok(()),
-            other => {
-                self.pos = self.pos.saturating_sub(1);
+            Some(other) => {
+                self.pos -= 1;
                 Err(self.error(format!("expected `{expected}`, found {other:?}")))
             }
+            None => Err(self.error(format!("expected `{expected}`, found end of input"))),
         }
     }
 
@@ -81,10 +110,11 @@ impl Parser {
         let found = self.next().cloned();
         match found {
             Some(TokenKind::Word(w)) => Ok(w),
-            other => {
-                self.pos = self.pos.saturating_sub(1);
+            Some(other) => {
+                self.pos -= 1;
                 Err(self.error(format!("expected {what}, found {other:?}")))
             }
+            None => Err(self.error(format!("expected {what}, found end of input"))),
         }
     }
 
@@ -101,14 +131,16 @@ impl Parser {
         matches!(self.peek(), Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case(expected))
     }
 
-    /// Consume an optional `NAME =` assignment prefix (Q1 = run …).
-    fn take_assignment_name(&mut self) -> Option<String> {
+    /// Consume an optional `NAME =` assignment prefix (Q1 = run …),
+    /// keeping the name's span for diagnostics.
+    fn take_assignment_name(&mut self) -> Option<(String, Span)> {
         if let (Some(TokenKind::Word(name)), Some(TokenKind::Eq)) =
             (self.peek(), self.tokens.get(self.pos + 1).map(|t| &t.kind))
         {
             let name = name.clone();
+            let span = self.span_at(self.pos);
             self.pos += 2;
-            Some(name)
+            Some((name, span))
         } else {
             None
         }
@@ -119,12 +151,21 @@ impl Parser {
         self.take_assignment_name();
         let head = self.next_word("a statement keyword")?.to_ascii_lowercase();
         let query = match head.as_str() {
-            "run" => self.parse_run(),
+            "run" => self.parse_run().map(Query::Run),
+            "explain" => {
+                // The `run` keyword after `explain` is optional:
+                // `explain logistic() on adult …` reads naturally.
+                if self.peek_word_is("run") {
+                    self.pos += 1;
+                }
+                self.parse_run().map(Query::Explain)
+            }
             "persist" => self.parse_persist(),
             "predict" => self.parse_predict(),
-            other => Err(self.error(format!(
-                "unknown statement `{other}` (expected run, persist, or predict)"
-            ))),
+            other => Err(self.error_at(
+                self.prev_span(),
+                format!("unknown statement `{other}` (expected run, explain, persist, or predict)"),
+            )),
         }?;
         // Optional trailing semicolon; nothing may follow.
         self.eat(&TokenKind::Semi);
@@ -134,9 +175,10 @@ impl Parser {
         Ok(query)
     }
 
-    fn parse_run(&mut self) -> Result<Query, OptimizerError> {
+    fn parse_run(&mut self) -> Result<RunQuery, OptimizerError> {
         let task_word =
             self.next_word("a task (classification/regression) or gradient function")?;
+        let task_span = self.prev_span();
         let task = if self.eat(&TokenKind::LParen) {
             if !self.eat(&TokenKind::RParen) {
                 return Err(self.error("expected `)` after gradient function name"));
@@ -147,9 +189,12 @@ impl Parser {
                 "classification" => TaskSpec::Classification,
                 "regression" => TaskSpec::Regression,
                 other => {
-                    return Err(self.error(format!(
-                        "unknown task `{other}` (classification, regression, or gradient())"
-                    )))
+                    return Err(self.error_at(
+                        self.prev_span(),
+                        format!(
+                            "unknown task `{other}` (classification, regression, or gradient())"
+                        ),
+                    ))
                 }
             }
         };
@@ -167,13 +212,14 @@ impl Parser {
             self.pos += 1;
             self.parse_using(&mut using)?;
         }
-        Ok(Query::Run(RunQuery {
+        Ok(RunQuery {
             task,
+            task_span,
             dataset,
             columns,
             having,
             using,
-        }))
+        })
     }
 
     /// `file.txt` or `file.txt:2, file.txt:4-20` (label column + feature
@@ -233,27 +279,28 @@ impl Parser {
             match key.to_ascii_lowercase().as_str() {
                 "time" => {
                     let w = self.next_word("a duration like 1h30m")?;
-                    having.time = Some(
-                        parse_duration(&w)
-                            .ok_or_else(|| self.error(format!("bad duration `{w}`")))?,
-                    );
+                    having.time = Some(parse_duration(&w).ok_or_else(|| {
+                        self.error_at(self.prev_span(), format!("bad duration `{w}`"))
+                    })?);
                 }
                 "epsilon" => {
                     let w = self.next_word("a tolerance value")?;
-                    having.epsilon = Some(
-                        w.parse()
-                            .map_err(|_| self.error(format!("bad epsilon `{w}`")))?,
-                    );
+                    having.epsilon = Some(w.parse().map_err(|_| {
+                        self.error_at(self.prev_span(), format!("bad epsilon `{w}`"))
+                    })?);
                 }
                 "max" => {
                     self.expect_word("iter")?;
                     let w = self.next_word("an iteration count")?;
-                    having.max_iter = Some(
-                        w.parse()
-                            .map_err(|_| self.error(format!("bad max iter `{w}`")))?,
-                    );
+                    having.max_iter = Some(w.parse().map_err(|_| {
+                        self.error_at(self.prev_span(), format!("bad max iter `{w}`"))
+                    })?);
                 }
-                other => return Err(self.error(format!("unknown constraint `{other}`"))),
+                other => {
+                    return Err(
+                        self.error_at(self.prev_span(), format!("unknown constraint `{other}`"))
+                    )
+                }
             }
             if !self.eat(&TokenKind::Comma) {
                 return Ok(());
@@ -266,20 +313,24 @@ impl Parser {
             let key =
                 self.next_word("a directive (algorithm, step, sampler, convergence, batch)")?;
             match key.to_ascii_lowercase().as_str() {
-                "algorithm" => using.algorithm = Some(self.next_word("an algorithm name")?),
+                "algorithm" => {
+                    let w = self.next_word("an algorithm name")?;
+                    using.algorithm = Some(SpannedWord::new(w, self.prev_span()));
+                }
                 "step" => {
                     let w = self.next_word("a step value")?;
-                    using.step = Some(
-                        w.parse()
-                            .map_err(|_| self.error(format!("bad step `{w}`")))?,
-                    );
+                    using.step =
+                        Some(w.parse().map_err(|_| {
+                            self.error_at(self.prev_span(), format!("bad step `{w}`"))
+                        })?);
                 }
                 "sampler" => {
                     let name = self.next_word("a sampler name")?;
+                    let span = self.prev_span();
                     if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
                         return Err(self.error("expected `()` after sampler name"));
                     }
-                    using.sampler = Some(name);
+                    using.sampler = Some(SpannedWord::new(name, span));
                 }
                 "convergence" => {
                     let name = self.next_word("a convergence function")?;
@@ -290,12 +341,15 @@ impl Parser {
                 }
                 "batch" => {
                     let w = self.next_word("a batch size")?;
-                    using.batch = Some(
-                        w.parse()
-                            .map_err(|_| self.error(format!("bad batch `{w}`")))?,
-                    );
+                    using.batch = Some(w.parse().map_err(|_| {
+                        self.error_at(self.prev_span(), format!("bad batch `{w}`"))
+                    })?);
                 }
-                other => return Err(self.error(format!("unknown directive `{other}`"))),
+                other => {
+                    return Err(
+                        self.error_at(self.prev_span(), format!("unknown directive `{other}`"))
+                    )
+                }
             }
             if !self.eat(&TokenKind::Comma) {
                 return Ok(());
@@ -386,10 +440,16 @@ mod tests {
         .unwrap();
         match q {
             Query::Run(r) => {
-                assert_eq!(r.using.algorithm.as_deref(), Some("SGD"));
+                assert_eq!(
+                    r.using.algorithm.as_ref().map(|a| a.text.as_str()),
+                    Some("SGD")
+                );
                 assert_eq!(r.using.convergence.as_deref(), Some("cnvg"));
                 assert_eq!(r.using.step, Some(1.0));
-                assert_eq!(r.using.sampler.as_deref(), Some("my_sampler"));
+                assert_eq!(
+                    r.using.sampler.as_ref().map(|s| s.text.as_str()),
+                    Some("my_sampler")
+                );
             }
             other => panic!("expected run, got {other:?}"),
         }
@@ -440,13 +500,84 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_positions() {
-        let err = parse_query("run classification on d.txt having zzz 1;").unwrap_err();
+    fn errors_carry_the_offending_token_span() {
+        let src = "run classification on d.txt having zzz 1;";
+        let err = parse_query(src).unwrap_err();
         match err {
-            OptimizerError::Language { position, .. } => {
-                assert!(position > 0);
+            OptimizerError::Language { span, .. } => {
+                assert_eq!(&src[span.start..span.end], "zzz");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn end_of_input_errors_point_past_the_statement() {
+        let src = "run classification";
+        let err = parse_query(src).unwrap_err();
+        match err {
+            OptimizerError::Language { span, .. } => {
+                assert_eq!(span.start, src.len());
+                assert_eq!(span.end, src.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directive_words_carry_their_spans() {
+        let src = "run classification on d.txt using algorithm SGD, sampler shuffled;";
+        let Query::Run(r) = parse_query(src).unwrap() else {
+            panic!("expected run")
+        };
+        let alg = r.using.algorithm.unwrap();
+        assert_eq!(&src[alg.span.start..alg.span.end], "SGD");
+        let sampler = r.using.sampler.unwrap();
+        assert_eq!(&src[sampler.span.start..sampler.span.end], "shuffled");
+        assert_eq!(&src[r.task_span.start..r.task_span.end], "classification");
+    }
+
+    #[test]
+    fn assignment_to_explain_is_rejected_at_the_name() {
+        let src = "R = explain logistic() on adult;";
+        let err = parse_statement(src).unwrap_err();
+        match err {
+            OptimizerError::Language { span, message } => {
+                assert_eq!(&src[span.start..span.end], "R");
+                assert!(message.contains("does not bind"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_explain_with_and_without_the_run_keyword() {
+        for src in [
+            "explain logistic() on adult having epsilon 0.01;",
+            "explain run logistic() on adult having epsilon 0.01;",
+        ] {
+            match parse_query(src).unwrap() {
+                Query::Explain(r) => {
+                    assert_eq!(r.task, TaskSpec::GradientFunction("logistic".into()));
+                    assert_eq!(r.dataset, "adult");
+                    assert_eq!(r.having.epsilon, Some(0.01));
+                }
+                other => panic!("expected explain, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explain_accepts_every_run_clause() {
+        let q = parse_query(
+            "explain classification on input.txt:2, input.txt:4-20 \
+             having max iter 100 using algorithm MGD, batch 500;",
+        )
+        .unwrap();
+        let Query::Explain(r) = q else {
+            panic!("expected explain")
+        };
+        assert_eq!(r.columns.unwrap().features, (4, 20));
+        assert_eq!(r.using.batch, Some(500));
     }
 }

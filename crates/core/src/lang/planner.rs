@@ -1,5 +1,13 @@
-//! The planner: turn a parsed `run` query into an [`OptimizerConfig`]
+//! The planner: turn a training specification into an [`OptimizerConfig`]
 //! (Section 3's "translate a declarative query into a GD plan").
+//!
+//! The typed [`TrainSpec`] is the real planning input; [`plan_query`] is
+//! the statement front-end that lowers a parsed `run` query onto it via
+//! [`train_spec`]. Programs using the typed session API build a
+//! `TrainSpec` directly and share every validation rule with the language
+//! path.
+
+use std::time::Duration;
 
 use ml4all_dataflow::SamplingMethod;
 use ml4all_gd::{GdVariant, GradientKind, StepSize};
@@ -12,13 +20,137 @@ use crate::OptimizerError;
 /// tolerance is specified, the system uses the value 10⁻³ as default").
 pub const DEFAULT_TOLERANCE: f64 = 1e-3;
 
-/// Map a `run` query to an optimizer configuration.
+/// A GD algorithm restriction (`using algorithm …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmPin {
+    /// Batch GD only.
+    Batch,
+    /// Stochastic GD only.
+    Stochastic,
+    /// Mini-batch GD only. An explicit `batch` (the typed API's
+    /// `GdVariant::MiniBatch { batch }`) is authoritative; `None` (the
+    /// language's bare `algorithm MGD`) takes the size from
+    /// [`TrainSpec::batch`] or the default — so the pin means the same
+    /// thing regardless of builder-call order.
+    MiniBatch {
+        /// Explicit mini-batch size, overriding [`TrainSpec::batch`].
+        batch: Option<u64>,
+    },
+}
+
+/// The typed training specification every front-end lowers onto: the
+/// Table 3 gradient plus the optional `having` constraints and `using`
+/// directives of Appendix A, as values instead of strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSpec {
+    /// Gradient function (Table 3 task).
+    pub gradient: GradientKind,
+    /// `having epsilon …` — tolerance ε.
+    pub epsilon: Option<f64>,
+    /// `having max iter …` — iteration cap. Without an epsilon this fixes
+    /// the iteration count and skips speculation (Section 8.3).
+    pub max_iter: Option<u64>,
+    /// `having time …` — wall training-time budget.
+    pub time_budget: Option<Duration>,
+    /// `using step …` — β for the `β/√i` schedule.
+    pub step: Option<f64>,
+    /// `using batch …` — MGD mini-batch size.
+    pub batch: Option<u64>,
+    /// `using algorithm …` — restrict the search to one GD algorithm.
+    pub algorithm: Option<AlgorithmPin>,
+    /// `using sampler …` — restrict the search to one sampling strategy.
+    pub sampler: Option<SamplingMethod>,
+}
+
+impl TrainSpec {
+    /// An unconstrained specification for `gradient`.
+    pub fn new(gradient: GradientKind) -> Self {
+        Self {
+            gradient,
+            epsilon: None,
+            max_iter: None,
+            time_budget: None,
+            step: None,
+            batch: None,
+            algorithm: None,
+            sampler: None,
+        }
+    }
+
+    /// Validate the specification and produce the optimizer configuration.
+    ///
+    /// This is the single source of planning semantics: positive-value
+    /// checks, the default 10⁻³ tolerance, and the "`max iter` without
+    /// `epsilon` fixes the iteration count" rule all live here.
+    pub fn to_config(&self) -> Result<OptimizerConfig, OptimizerError> {
+        let mut config = OptimizerConfig::new(self.gradient).with_tolerance(DEFAULT_TOLERANCE);
+
+        if let Some(eps) = self.epsilon {
+            if eps <= 0.0 {
+                return Err(OptimizerError::UnsatisfiableConstraint(
+                    "epsilon must be positive".into(),
+                ));
+            }
+            config.tolerance = eps;
+        }
+        if let Some(max_iter) = self.max_iter {
+            if max_iter == 0 {
+                return Err(OptimizerError::UnsatisfiableConstraint(
+                    "max iter must be positive".into(),
+                ));
+            }
+            config.max_iter = max_iter;
+            if self.epsilon.is_none() {
+                // Pure iteration budget: no speculation needed (Section
+                // 8.3's sub-100 ms optimization path).
+                config = config.with_fixed_iterations(max_iter);
+            }
+        }
+        if let Some(budget) = self.time_budget {
+            config.time_budget = Some(budget);
+        }
+
+        if let Some(step) = self.step {
+            if step <= 0.0 {
+                return Err(OptimizerError::UnsatisfiableConstraint(
+                    "step must be positive".into(),
+                ));
+            }
+            config.step = StepSize::BetaOverSqrtI { beta: step };
+        }
+        if let Some(batch) = self.batch {
+            config.batch_size = batch.max(1) as usize;
+        }
+        if let Some(alg) = self.algorithm {
+            config.pinned_variant = Some(match alg {
+                AlgorithmPin::Batch => GdVariant::Batch,
+                AlgorithmPin::Stochastic => GdVariant::Stochastic,
+                AlgorithmPin::MiniBatch { batch } => {
+                    // An explicit pin size wins over `using batch …`; keep
+                    // `batch_size` aligned so the enumerated MGD plans run
+                    // at the pinned size.
+                    let b = batch
+                        .map(|b| b.max(1) as usize)
+                        .unwrap_or(config.batch_size);
+                    config.batch_size = b;
+                    GdVariant::MiniBatch { batch: b }
+                }
+            });
+        }
+        if let Some(sampler) = self.sampler {
+            config.pinned_sampling = Some(sampler);
+        }
+        Ok(config)
+    }
+}
+
+/// Lower a parsed `run` query to the typed [`TrainSpec`].
 ///
 /// Task names map to Table 3 gradients: `classification` → hinge (SVM),
 /// `regression` → squared loss; explicit gradient functions (`hinge()`,
-/// `logistic()`, `squared()`) select directly. `using` directives pin the
-/// algorithm, sampler, step β, and batch size.
-pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
+/// `logistic()`, `squared()`) select directly. Algorithm and sampler names
+/// map to their enums.
+pub fn train_spec(run: &RunQuery) -> Result<TrainSpec, OptimizerError> {
     let gradient = match &run.task {
         TaskSpec::Classification => GradientKind::Svm,
         TaskSpec::Regression => GradientKind::LinearRegression,
@@ -28,7 +160,7 @@ pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
             "squared" => GradientKind::LinearRegression,
             other => {
                 return Err(OptimizerError::Language {
-                    position: 0,
+                    span: run.task_span,
                     message: format!(
                         "unknown gradient function `{other}` (hinge, logistic, squared)"
                     ),
@@ -37,61 +169,23 @@ pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
         },
     };
 
-    let mut config = OptimizerConfig::new(gradient).with_tolerance(DEFAULT_TOLERANCE);
-
-    if let Some(eps) = run.having.epsilon {
-        if eps <= 0.0 {
-            return Err(OptimizerError::UnsatisfiableConstraint(
-                "epsilon must be positive".into(),
-            ));
-        }
-        config.tolerance = eps;
-    }
-    if let Some(max_iter) = run.having.max_iter {
-        if max_iter == 0 {
-            return Err(OptimizerError::UnsatisfiableConstraint(
-                "max iter must be positive".into(),
-            ));
-        }
-        config.max_iter = max_iter;
-        if run.having.epsilon.is_none() {
-            // Pure iteration budget: no speculation needed (Section 8.3's
-            // sub-100 ms optimization path).
-            config = config.with_fixed_iterations(max_iter);
-        }
-    }
-    if let Some(budget) = run.having.time {
-        config.time_budget = Some(budget);
-    }
-
-    if let Some(step) = run.using.step {
-        if step <= 0.0 {
-            return Err(OptimizerError::UnsatisfiableConstraint(
-                "step must be positive".into(),
-            ));
-        }
-        config.step = StepSize::BetaOverSqrtI { beta: step };
-    }
-    if let Some(batch) = run.using.batch {
-        config.batch_size = batch.max(1) as usize;
-    }
-    if let Some(alg) = &run.using.algorithm {
-        config.pinned_variant = Some(match alg.to_ascii_uppercase().as_str() {
-            "BGD" | "BATCH" => GdVariant::Batch,
-            "SGD" | "STOCHASTIC" => GdVariant::Stochastic,
-            "MGD" | "MINIBATCH" | "MINI-BATCH" => GdVariant::MiniBatch {
-                batch: config.batch_size,
-            },
+    let algorithm = match &run.using.algorithm {
+        None => None,
+        Some(alg) => Some(match alg.text.to_ascii_uppercase().as_str() {
+            "BGD" | "BATCH" => AlgorithmPin::Batch,
+            "SGD" | "STOCHASTIC" => AlgorithmPin::Stochastic,
+            "MGD" | "MINIBATCH" | "MINI-BATCH" => AlgorithmPin::MiniBatch { batch: None },
             other => {
                 return Err(OptimizerError::Language {
-                    position: 0,
+                    span: alg.span,
                     message: format!("unknown algorithm `{other}` (BGD, SGD, MGD)"),
                 })
             }
-        });
-    }
-    if let Some(sampler) = &run.using.sampler {
-        config.pinned_sampling = Some(match sampler.to_ascii_lowercase().as_str() {
+        }),
+    };
+    let sampler = match &run.using.sampler {
+        None => None,
+        Some(sampler) => Some(match sampler.text.to_ascii_lowercase().as_str() {
             "bernoulli" => SamplingMethod::Bernoulli,
             "random" | "random_partition" | "random-partition" => SamplingMethod::RandomPartition,
             "shuffled" | "shuffle" | "shuffled_partition" | "shuffled-partition" => {
@@ -99,13 +193,29 @@ pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
             }
             other => {
                 return Err(OptimizerError::Language {
-                    position: 0,
+                    span: sampler.span,
                     message: format!("unknown sampler `{other}` (bernoulli, random, shuffled)"),
                 })
             }
-        });
-    }
-    Ok(config)
+        }),
+    };
+
+    Ok(TrainSpec {
+        gradient,
+        epsilon: run.having.epsilon,
+        max_iter: run.having.max_iter,
+        time_budget: run.having.time,
+        step: run.using.step,
+        batch: run.using.batch,
+        algorithm,
+        sampler,
+    })
+}
+
+/// Map a `run` query to an optimizer configuration: the statement
+/// front-end, lowering through [`train_spec`] and [`TrainSpec::to_config`].
+pub fn plan_query(run: &RunQuery) -> Result<OptimizerConfig, OptimizerError> {
+    train_spec(run)?.to_config()
 }
 
 #[cfg(test)]
@@ -176,6 +286,57 @@ mod tests {
         assert_eq!(cfg.pinned_sampling, Some(SamplingMethod::ShuffledPartition));
         assert_eq!(cfg.step, StepSize::BetaOverSqrtI { beta: 2.0 });
         assert_eq!(cfg.batch_size, 64);
+    }
+
+    #[test]
+    fn typed_spec_and_parsed_query_agree() {
+        let parsed = plan_query(&run(
+            "run logistic() on d.txt having epsilon 0.01, max iter 500 \
+             using algorithm MGD, batch 64, sampler random, step 2;",
+        ))
+        .unwrap();
+        let mut spec = TrainSpec::new(GradientKind::LogisticRegression);
+        spec.epsilon = Some(0.01);
+        spec.max_iter = Some(500);
+        spec.step = Some(2.0);
+        spec.batch = Some(64);
+        spec.algorithm = Some(AlgorithmPin::MiniBatch { batch: None });
+        spec.sampler = Some(SamplingMethod::RandomPartition);
+        let typed = spec.to_config().unwrap();
+        assert_eq!(typed.gradient, parsed.gradient);
+        assert_eq!(typed.tolerance, parsed.tolerance);
+        assert_eq!(typed.max_iter, parsed.max_iter);
+        assert_eq!(typed.step, parsed.step);
+        assert_eq!(typed.batch_size, parsed.batch_size);
+        assert_eq!(typed.pinned_variant, parsed.pinned_variant);
+        assert_eq!(typed.pinned_sampling, parsed.pinned_sampling);
+    }
+
+    #[test]
+    fn mgd_pin_expands_with_the_spec_batch_size() {
+        let mut spec = TrainSpec::new(GradientKind::Svm);
+        spec.algorithm = Some(AlgorithmPin::MiniBatch { batch: None });
+        let cfg = spec.to_config().unwrap();
+        assert_eq!(
+            cfg.pinned_variant,
+            Some(GdVariant::MiniBatch { batch: 1000 })
+        );
+        spec.batch = Some(64);
+        let cfg = spec.to_config().unwrap();
+        assert_eq!(cfg.pinned_variant, Some(GdVariant::MiniBatch { batch: 64 }));
+    }
+
+    #[test]
+    fn explicit_mgd_pin_size_wins_regardless_of_spec_batch() {
+        let mut spec = TrainSpec::new(GradientKind::Svm);
+        spec.batch = Some(64);
+        spec.algorithm = Some(AlgorithmPin::MiniBatch { batch: Some(1000) });
+        let cfg = spec.to_config().unwrap();
+        assert_eq!(
+            cfg.pinned_variant,
+            Some(GdVariant::MiniBatch { batch: 1000 })
+        );
+        assert_eq!(cfg.batch_size, 1000);
     }
 
     #[test]

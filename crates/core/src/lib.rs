@@ -72,8 +72,9 @@ pub enum OptimizerError {
     Dataflow(ml4all_dataflow::DataflowError),
     /// The declarative query is malformed.
     Language {
-        /// Byte offset in the query text.
-        position: usize,
+        /// Byte span of the offending token in the query text (empty for
+        /// semantic errors raised after parsing).
+        span: lang::lexer::Span,
         /// What went wrong.
         message: String,
     },
@@ -92,8 +93,8 @@ impl std::fmt::Display for OptimizerError {
             ),
             Self::Gd(e) => write!(f, "gd error: {e}"),
             Self::Dataflow(e) => write!(f, "dataflow error: {e}"),
-            Self::Language { position, message } => {
-                write!(f, "query error at byte {position}: {message}")
+            Self::Language { span, message } => {
+                write!(f, "query error at byte {}: {message}", span.start)
             }
             Self::UnsatisfiableConstraint(msg) => write!(f, "unsatisfiable constraint: {msg}"),
         }

@@ -54,16 +54,15 @@ impl PlatformMapping {
     /// `true` when the mapping mixes both platforms (the paper: "ML4all
     /// can produce a GD plan as a mixture of Java and Spark").
     pub fn is_mixed(&self) -> bool {
-        let mut platforms = vec![
-            self.transform,
+        let anchor = self.transform;
+        let rest = [
             self.stage,
             self.compute,
             self.update,
             self.converge,
             self.loop_op,
         ];
-        platforms.extend(self.sample);
-        platforms.windows(2).any(|w| w[0] != w[1])
+        rest.into_iter().any(|p| p != anchor) || self.sample.is_some_and(|p| p != anchor)
     }
 
     /// Short report string, e.g.
@@ -176,6 +175,30 @@ mod tests {
         let d = large();
         assert_eq!(map_plan(&eager, &d, &cluster()).transform, Platform::Spark);
         assert_eq!(map_plan(&lazy, &d, &cluster()).transform, Platform::Java);
+    }
+
+    #[test]
+    fn is_mixed_handles_the_sample_absent_case() {
+        // BGD has no Sample operator: a uniform mapping with `sample:
+        // None` is pure, and mixing must still be detected through the
+        // remaining six operators.
+        let uniform = PlatformMapping {
+            transform: Platform::Java,
+            stage: Platform::Java,
+            sample: None,
+            compute: Platform::Java,
+            update: Platform::Java,
+            converge: Platform::Java,
+            loop_op: Platform::Java,
+        };
+        assert!(!uniform.is_mixed());
+        let mut compute_remote = uniform.clone();
+        compute_remote.compute = Platform::Spark;
+        assert!(compute_remote.is_mixed());
+        // And a lone divergent Sample placement is still a mix.
+        let mut sample_remote = uniform;
+        sample_remote.sample = Some(Platform::Spark);
+        assert!(sample_remote.is_mixed());
     }
 
     #[test]

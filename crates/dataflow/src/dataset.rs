@@ -8,6 +8,8 @@
 //! paper's own Section 5 argument (error-sequence shape is preserved under
 //! sampling) is what licenses this.
 
+use std::sync::Arc;
+
 use ml4all_linalg::LabeledPoint;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -52,10 +54,15 @@ impl Partition {
 }
 
 /// A dataset partitioned across the simulated cluster.
+///
+/// Partitions are immutable after construction and shared behind an
+/// [`Arc`], so cloning a dataset (the source resolver hands out owned
+/// values; the chooser clones for speculation) is O(1) rather than a deep
+/// copy of every row.
 #[derive(Debug, Clone)]
 pub struct PartitionedDataset {
     desc: DatasetDescriptor,
-    partitions: Vec<Partition>,
+    partitions: Arc<[Partition]>,
 }
 
 impl PartitionedDataset {
@@ -114,7 +121,8 @@ impl PartitionedDataset {
             partitions: partitions
                 .into_iter()
                 .map(|points| Partition { points })
-                .collect(),
+                .collect::<Vec<_>>()
+                .into(),
         })
     }
 

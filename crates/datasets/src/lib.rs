@@ -18,11 +18,13 @@ pub mod csv;
 pub mod libsvm;
 pub mod metrics;
 pub mod registry;
+pub mod source;
 pub mod split;
 pub mod synth;
 
 pub use metrics::{accuracy, mean_squared_error};
 pub use registry::{DatasetSpec, Task};
+pub use source::{DataSource, FileFormat, SourceError, SourceResolver};
 pub use split::train_test_split;
 
 /// Errors from dataset IO and construction.

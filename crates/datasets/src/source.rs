@@ -1,0 +1,475 @@
+//! The first-class [`DataSource`] abstraction and its single resolver.
+//!
+//! Every front door of the system — typed `TrainRequest`s, `predict`
+//! requests, the `explain` path, and the Appendix A statements — names its
+//! input as a `DataSource` and resolves it through [`SourceResolver`], so
+//! registered in-memory datasets, Table 2 registry analogs, and
+//! LIBSVM/CSV files behave identically everywhere.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset};
+use ml4all_linalg::LabeledPoint;
+
+use crate::csv::{read_csv_file, CsvColumns};
+use crate::libsvm::read_libsvm_file;
+use crate::{registry, DatasetError};
+
+/// On-disk file format of a [`DataSource::File`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FileFormat {
+    /// Sniff the format: a LIBSVM line has `idx:val` tokens; CSV does not.
+    #[default]
+    Auto,
+    /// Comma-separated numeric rows.
+    Csv,
+    /// LIBSVM sparse rows (`label idx:val …`).
+    LibSvm,
+}
+
+/// Where training or test data comes from.
+#[derive(Debug, Clone)]
+pub enum DataSource {
+    /// A name resolved in precedence order: session-registered in-memory
+    /// dataset, then Table 2 registry analog, then file on disk — the
+    /// interpretation the declarative language uses for `on <dataset>`.
+    Named {
+        /// The dataset name or path as written.
+        name: String,
+        /// Optional CSV column selection (`file:2, file:4-20`).
+        columns: Option<CsvColumns>,
+    },
+    /// Only a session-registered in-memory dataset.
+    Registered(String),
+    /// Only a Table 2 registry analog (`adult`, `covtype`, …).
+    Registry(String),
+    /// A data file on disk, resolved relative to the session's data dir.
+    File {
+        /// File path.
+        path: PathBuf,
+        /// Format, or [`FileFormat::Auto`] to sniff.
+        format: FileFormat,
+        /// Optional CSV column selection.
+        columns: Option<CsvColumns>,
+    },
+    /// Data handed over directly, bypassing any catalog.
+    InMemory(PartitionedDataset),
+}
+
+impl DataSource {
+    /// A [`DataSource::Named`] source without column selection.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self::Named {
+            name: name.into(),
+            columns: None,
+        }
+    }
+
+    /// A session-registered in-memory source.
+    pub fn registered(name: impl Into<String>) -> Self {
+        Self::Registered(name.into())
+    }
+
+    /// A Table 2 registry source.
+    pub fn registry(name: impl Into<String>) -> Self {
+        Self::Registry(name.into())
+    }
+
+    /// A file source with format sniffing.
+    pub fn file(path: impl Into<PathBuf>) -> Self {
+        Self::File {
+            path: path.into(),
+            format: FileFormat::Auto,
+            columns: None,
+        }
+    }
+
+    /// Attach a CSV column selection (`Named` and `File` sources only;
+    /// other variants ignore it).
+    pub fn with_columns(mut self, selection: CsvColumns) -> Self {
+        match &mut self {
+            Self::Named { columns, .. } | Self::File { columns, .. } => {
+                *columns = Some(selection);
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
+impl From<&str> for DataSource {
+    fn from(name: &str) -> Self {
+        Self::named(name)
+    }
+}
+
+impl From<String> for DataSource {
+    fn from(name: String) -> Self {
+        Self::named(name)
+    }
+}
+
+impl From<PartitionedDataset> for DataSource {
+    fn from(data: PartitionedDataset) -> Self {
+        Self::InMemory(data)
+    }
+}
+
+/// Errors from resolving a [`DataSource`].
+#[derive(Debug)]
+pub enum SourceError {
+    /// A [`DataSource::Named`] source matched nothing: not registered, not
+    /// a registry name, and no file at the path.
+    Unresolved(String),
+    /// A [`DataSource::Registered`] source names nothing in the catalog.
+    UnknownRegistered(String),
+    /// A [`DataSource::Registry`] source names no Table 2 dataset.
+    UnknownRegistry(String),
+    /// The file exists but could not be read or parsed.
+    Dataset(DatasetError),
+    /// Substrate failure while partitioning.
+    Dataflow(ml4all_dataflow::DataflowError),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unresolved(name) => write!(
+                f,
+                "`{name}` is not a registered dataset, a Table 2 registry name, \
+                 or a readable file"
+            ),
+            Self::UnknownRegistered(name) => {
+                write!(f, "no dataset registered under `{name}`")
+            }
+            Self::UnknownRegistry(name) => {
+                write!(f, "`{name}` is not a Table 2 registry dataset")
+            }
+            Self::Dataset(e) => write!(f, "{e}"),
+            Self::Dataflow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<DatasetError> for SourceError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+impl From<ml4all_dataflow::DataflowError> for SourceError {
+    fn from(e: ml4all_dataflow::DataflowError) -> Self {
+        Self::Dataflow(e)
+    }
+}
+
+/// The single resolver every verb shares. Borrows the session's state: the
+/// base directory for relative paths, the registered-dataset catalog, and
+/// the registry materialization settings.
+pub struct SourceResolver<'a> {
+    /// Base directory for relative file paths.
+    pub data_dir: &'a Path,
+    /// Session-registered in-memory datasets.
+    pub catalog: &'a HashMap<String, PartitionedDataset>,
+    /// Physical row cap when materializing registry analogs.
+    pub registry_cap: usize,
+    /// Seed for registry analog generation.
+    pub registry_seed: u64,
+    /// Cluster the resolved dataset partitions onto.
+    pub cluster: &'a ClusterSpec,
+}
+
+impl SourceResolver<'_> {
+    /// Resolve a source to a partitioned dataset (the `run`/`explain`
+    /// input shape).
+    pub fn resolve(&self, source: &DataSource) -> Result<PartitionedDataset, SourceError> {
+        match source {
+            DataSource::InMemory(data) => Ok(data.clone()),
+            DataSource::Registered(name) => self
+                .catalog
+                .get(name)
+                .cloned()
+                .ok_or_else(|| SourceError::UnknownRegistered(name.clone())),
+            DataSource::Registry(name) => {
+                let spec = registry::by_name(name)
+                    .ok_or_else(|| SourceError::UnknownRegistry(name.clone()))?;
+                Ok(spec.build(self.registry_cap, self.registry_seed, self.cluster)?)
+            }
+            DataSource::File {
+                path,
+                format,
+                columns,
+            } => {
+                let points = self.read_file(path, *format, *columns, None)?;
+                Ok(PartitionedDataset::from_points(
+                    path.display().to_string(),
+                    points,
+                    PartitionScheme::RoundRobin,
+                    self.cluster,
+                )?)
+            }
+            DataSource::Named { name, columns } => {
+                self.resolve(&self.classify_named(name, *columns)?)
+            }
+        }
+    }
+
+    /// Resolve a source to raw labelled points (the `predict` input
+    /// shape). `dims_hint` pads sparse LIBSVM rows to the model width.
+    pub fn resolve_points(
+        &self,
+        source: &DataSource,
+        dims_hint: Option<usize>,
+    ) -> Result<Vec<LabeledPoint>, SourceError> {
+        match source {
+            DataSource::InMemory(data) => Ok(data.iter_points().cloned().collect()),
+            DataSource::Registered(name) => self
+                .catalog
+                .get(name)
+                .map(|d| d.iter_points().cloned().collect())
+                .ok_or_else(|| SourceError::UnknownRegistered(name.clone())),
+            DataSource::Registry(name) => {
+                let spec = registry::by_name(name)
+                    .ok_or_else(|| SourceError::UnknownRegistry(name.clone()))?;
+                Ok(spec.generate_points(self.registry_cap, self.registry_seed))
+            }
+            DataSource::File {
+                path,
+                format,
+                columns,
+            } => self.read_file(path, *format, *columns, dims_hint),
+            DataSource::Named { name, columns } => {
+                self.resolve_points(&self.classify_named(name, *columns)?, dims_hint)
+            }
+        }
+    }
+
+    /// Resolve a [`DataSource::Named`] reference to its concrete source,
+    /// in precedence order: session-registered catalog, Table 2 registry,
+    /// file on disk. The single place the precedence rule lives.
+    fn classify_named(
+        &self,
+        name: &str,
+        columns: Option<CsvColumns>,
+    ) -> Result<DataSource, SourceError> {
+        if self.catalog.contains_key(name) {
+            return Ok(DataSource::Registered(name.to_string()));
+        }
+        if registry::by_name(name).is_some() {
+            return Ok(DataSource::Registry(name.to_string()));
+        }
+        if !self.data_dir.join(name).is_file() {
+            return Err(SourceError::Unresolved(name.to_string()));
+        }
+        Ok(DataSource::File {
+            path: PathBuf::from(name),
+            format: FileFormat::Auto,
+            columns,
+        })
+    }
+
+    fn read_file(
+        &self,
+        path: &Path,
+        format: FileFormat,
+        columns: Option<CsvColumns>,
+        dims_hint: Option<usize>,
+    ) -> Result<Vec<LabeledPoint>, SourceError> {
+        let path = self.data_dir.join(path);
+        let format = match format {
+            FileFormat::Auto => {
+                if looks_like_libsvm(&path).map_err(DatasetError::Io)? {
+                    FileFormat::LibSvm
+                } else {
+                    FileFormat::Csv
+                }
+            }
+            other => other,
+        };
+        match format {
+            FileFormat::LibSvm => Ok(read_libsvm_file(&path, dims_hint)?),
+            _ => Ok(read_csv_file(&path, columns)?),
+        }
+    }
+}
+
+/// Sniff the file format: a LIBSVM line has `idx:val` tokens; CSV does not.
+fn looks_like_libsvm(path: &Path) -> Result<bool, std::io::Error> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    for line in reader.lines().take(10) {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        return Ok(trimmed.split_whitespace().skip(1).any(|t| t.contains(':')));
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{dense_classification, DenseClassConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ml4all-source-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn points(n: usize) -> Vec<LabeledPoint> {
+        dense_classification(&DenseClassConfig {
+            n,
+            dims: 3,
+            noise: 0.05,
+            seed: 9,
+        })
+    }
+
+    fn resolver<'a>(
+        dir: &'a Path,
+        catalog: &'a HashMap<String, PartitionedDataset>,
+        cluster: &'a ClusterSpec,
+    ) -> SourceResolver<'a> {
+        SourceResolver {
+            data_dir: dir,
+            catalog,
+            registry_cap: 500,
+            registry_seed: 7,
+            cluster,
+        }
+    }
+
+    #[test]
+    fn named_resolution_prefers_registered_over_registry() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("precedence");
+        let mut catalog = HashMap::new();
+        // Shadow the registry name `adult` with a tiny in-memory dataset.
+        let mine = PartitionedDataset::from_points(
+            "mine",
+            points(40),
+            PartitionScheme::RoundRobin,
+            &cluster,
+        )
+        .unwrap();
+        catalog.insert("adult".to_string(), mine);
+        let r = resolver(&dir, &catalog, &cluster);
+        let got = r.resolve(&DataSource::named("adult")).unwrap();
+        assert_eq!(got.physical_n(), 40);
+        // The explicit Registry variant bypasses the catalog.
+        let got = r.resolve(&DataSource::registry("adult")).unwrap();
+        assert_eq!(got.descriptor().n, 100_827);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn named_falls_through_to_registry_then_file() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("fallthrough");
+        let catalog = HashMap::new();
+        let r = resolver(&dir, &catalog, &cluster);
+        // Registry hit.
+        let got = r.resolve(&DataSource::named("covtype")).unwrap();
+        assert_eq!(got.descriptor().n, 581_012);
+        // File hit.
+        crate::csv::write_csv(
+            std::fs::File::create(dir.join("f.csv")).unwrap(),
+            &points(25),
+        )
+        .unwrap();
+        let got = r.resolve(&DataSource::named("f.csv")).unwrap();
+        assert_eq!(got.physical_n(), 25);
+        // Nothing.
+        let err = r.resolve(&DataSource::named("nope.csv")).unwrap_err();
+        assert!(matches!(err, SourceError::Unresolved(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resolve_points_covers_every_variant() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("points");
+        let mut catalog = HashMap::new();
+        let data = PartitionedDataset::from_points(
+            "reg",
+            points(30),
+            PartitionScheme::RoundRobin,
+            &cluster,
+        )
+        .unwrap();
+        catalog.insert("reg".to_string(), data.clone());
+        let r = resolver(&dir, &catalog, &cluster);
+
+        assert_eq!(
+            r.resolve_points(&DataSource::registered("reg"), None)
+                .unwrap()
+                .len(),
+            30
+        );
+        assert_eq!(
+            r.resolve_points(&DataSource::InMemory(data), None)
+                .unwrap()
+                .len(),
+            30
+        );
+        assert_eq!(
+            r.resolve_points(&DataSource::registry("adult"), None)
+                .unwrap()
+                .len(),
+            500
+        );
+        crate::libsvm::write_libsvm(
+            std::fs::File::create(dir.join("p.libsvm")).unwrap(),
+            &points(12),
+        )
+        .unwrap();
+        let pts = r
+            .resolve_points(&DataSource::file("p.libsvm"), Some(3))
+            .unwrap();
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0].dim(), 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_names_error_by_variant() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("unknown");
+        let catalog = HashMap::new();
+        let r = resolver(&dir, &catalog, &cluster);
+        assert!(matches!(
+            r.resolve(&DataSource::registered("ghost")).unwrap_err(),
+            SourceError::UnknownRegistered(_)
+        ));
+        assert!(matches!(
+            r.resolve(&DataSource::registry("mnist")).unwrap_err(),
+            SourceError::UnknownRegistry(_)
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn column_selection_applies_to_named_files() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("columns");
+        std::fs::write(dir.join("c.csv"), "9,1,7,0.5,0.25\n9,-1,7,0.1,0.9\n").unwrap();
+        let catalog = HashMap::new();
+        let r = resolver(&dir, &catalog, &cluster);
+        let src = DataSource::named("c.csv").with_columns(CsvColumns {
+            label: 2,
+            features: (4, 5),
+        });
+        let pts = r.resolve_points(&src, None).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].label, 1.0);
+        assert_eq!(pts[0].dim(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -5,6 +5,9 @@
 //! $ ml4all
 //! ml4all> Q1 = run logistic() on train.csv having epsilon 0.01;
 //! [Q1] trained with SGD-lazy-shuffle: 2062 iterations, 7.2 simulated s
+//! ml4all> explain logistic() on train.csv having epsilon 0.01;
+//! #   plan                 est.iter  prep(s)  iter(s)   total(s)  platforms
+//! 1   SGD-lazy-shuffle     2062      ...
 //! ml4all> persist Q1 on model.txt;
 //! [persisted model.txt]
 //! ml4all> predict on test.csv with model.txt;
@@ -16,7 +19,7 @@
 
 use std::io::{BufRead, Write};
 
-use ml4all::{Session, SessionOutput};
+use ml4all::{render_report, Session, SessionOutput};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -62,7 +65,7 @@ fn main() {
 
     // Interactive REPL.
     println!("ml4all — cost-based gradient-descent optimizer");
-    println!("statements: run / persist / predict  (\\q to quit, \\h for help)");
+    println!("statements: run / explain / persist / predict  (\\q to quit, \\h for help)");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -110,19 +113,29 @@ fn run_statement(session: &mut Session, stmt: &str) -> bool {
             println!("[persisted {}]", path.display());
             true
         }
-        Ok(SessionOutput::Predictions {
-            predictions,
-            mse,
-            accuracy,
-        }) => {
-            match accuracy {
+        Ok(SessionOutput::Predicted(p)) => {
+            match p.accuracy {
                 Some(acc) => println!(
-                    "[predictions: {} points, mse {mse:.3}, accuracy {:.1}%]",
-                    predictions.len(),
+                    "[predictions: {} points, mse {:.3}, accuracy {:.1}%]",
+                    p.predictions.len(),
+                    p.mse,
                     acc * 100.0
                 ),
-                None => println!("[predictions: {} points, mse {mse:.3}]", predictions.len()),
+                None => println!(
+                    "[predictions: {} points, mse {:.3}]",
+                    p.predictions.len(),
+                    p.mse
+                ),
             }
+            true
+        }
+        Ok(SessionOutput::Explained { report }) => {
+            print!("{}", render_report(&report));
+            println!(
+                "[optimizer would run {} at {:.3} estimated s]",
+                report.best().plan,
+                report.best().total_s
+            );
             true
         }
         Err(e) => {
@@ -137,13 +150,16 @@ fn print_help() {
         "\
 usage: ml4all [--data-dir DIR] [-e STATEMENT]...
 
-statements (Appendix A of the paper):
+statements (Appendix A of the paper, plus the explain verb):
   [NAME =] run <task> on <dataset> [having ...] [using ...];
       task: classification | regression | hinge() | logistic() | squared()
       dataset: a LIBSVM/CSV file, optionally with columns (file:2, file:4-20),
                or a Table 2 analog by name (adult, covtype, rcv1, ...)
       having: time 1h30m, epsilon 0.01, max iter 1000
       using:  algorithm SGD|BGD|MGD, step 1, sampler shuffled, batch 1000
+  explain [run] <task> on <dataset> [having ...] [using ...];
+      print the optimizer's full costed plan table (cost, estimated
+      iterations, Java/Spark platform mapping) instead of executing
   persist NAME on <path>;
   [NAME =] predict on <dataset> with <model-file-or-result-name>;
 "

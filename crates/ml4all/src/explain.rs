@@ -1,0 +1,98 @@
+//! Rendering of `explain` output: the optimizer's full costed plan table
+//! (the Section 7 / Table 4 surface), one row per enumerated plan,
+//! cheapest first.
+
+use ml4all_core::chooser::OptimizerReport;
+
+/// Render the report as an aligned text table: rank, plan, estimated
+/// iterations, preparation / per-iteration / total modelled cost, and the
+/// Appendix D platform mapping of every operator.
+pub fn render_report(report: &OptimizerReport) -> String {
+    let mut rows: Vec<[String; 7]> = vec![[
+        "#".into(),
+        "plan".into(),
+        "est.iter".into(),
+        "prep(s)".into(),
+        "iter(s)".into(),
+        "total(s)".into(),
+        "platforms".into(),
+    ]];
+    for (rank, choice) in report.choices.iter().enumerate() {
+        let mix = if choice.mapping.is_mixed() {
+            " (mixed)"
+        } else {
+            ""
+        };
+        rows.push([
+            format!("{}", rank + 1),
+            choice.plan.name(),
+            format!("{}", choice.estimated_iterations),
+            format!("{:.3}", choice.preparation_s),
+            format!("{:.6}", choice.per_iteration_s),
+            format!("{:.3}", choice.total_s),
+            format!("{}{mix}", choice.mapping.describe()),
+        ]);
+    }
+
+    let mut widths = [0usize; 7];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    for row in &rows {
+        for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            // The last column is left-aligned and unpadded.
+            if i + 1 < row.len() {
+                out.extend(std::iter::repeat_n(' ', w - cell.chars().count()));
+            }
+        }
+        out.push('\n');
+    }
+    if !report.estimates.is_empty() {
+        out.push_str(&format!(
+            "speculation: {:.2} simulated s across {} variant estimates\n",
+            report.speculation_sim_s,
+            report.estimates.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+    use ml4all_dataflow::ClusterSpec;
+    use ml4all_gd::GradientKind;
+
+    #[test]
+    fn table_lists_every_plan_with_costs_and_platforms() {
+        let cluster = ClusterSpec::paper_testbed();
+        let data = ml4all_datasets::registry::adult()
+            .build(800, 7, &cluster)
+            .unwrap();
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let report = choose_plan(&data, &config, &cluster).unwrap();
+        let table = render_report(&report);
+        let lines: Vec<&str> = table.lines().collect();
+        // Header + 11 plans.
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].contains("plan") && lines[0].contains("total(s)"));
+        for choice in &report.choices {
+            assert!(
+                table.contains(&choice.plan.name()),
+                "missing {}",
+                choice.plan.name()
+            );
+        }
+        assert!(table.contains("transform="), "platform column missing");
+    }
+}

@@ -1,9 +1,30 @@
 //! The ML4all system facade: the paper's end-to-end user experience.
 //!
-//! A [`Session`] accepts the declarative statements of Appendix A and does
-//! everything behind them — loads the named dataset (LIBSVM or CSV, with
-//! column selection), runs the cost-based optimizer, executes the chosen
-//! GD plan, keeps named results, persists models, and predicts:
+//! The typed request API is the real interface — [`Session::train`],
+//! [`Session::predict`], and [`Session::explain`] accept
+//! [`TrainRequest`]/[`PredictRequest`]/[`ExplainRequest`] values over a
+//! first-class [`DataSource`] (registered in-memory data, Table 2 registry
+//! analogs by name, or LIBSVM/CSV files with column selection):
+//!
+//! ```
+//! use ml4all::{DataSource, GradientKind, Session, TrainRequest};
+//!
+//! # fn main() -> Result<(), ml4all::SessionError> {
+//! let mut session = Session::new();
+//! let request = TrainRequest::new(GradientKind::LogisticRegression, "adult")
+//!     .max_iter(25)
+//!     .named("Q1");
+//! let trained = session.train(request)?;
+//! assert_eq!(trained.name, "Q1");
+//! assert!(trained.summary.iterations >= 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The declarative statements of Appendix A are a thin front-end that
+//! lowers onto the same requests — [`Session::execute`] parses, lowers,
+//! and dispatches, including the `explain` verb that reports the
+//! optimizer's full costed plan table instead of executing the winner:
 //!
 //! ```no_run
 //! use ml4all::Session;
@@ -12,49 +33,109 @@
 //! let mut session = Session::new();
 //! session.execute("Q1 = run logistic() on train.txt having epsilon 0.01;")?;
 //! session.execute("persist Q1 on my_model.txt;")?;
-//! let out = session.execute("result = predict on test.txt with my_model.txt;")?;
+//! let out = session.execute("explain logistic() on train.txt having epsilon 0.01;")?;
 //! println!("{out:?}");
 //! # Ok(())
 //! # }
 //! ```
-//!
-//! Registered in-memory datasets (including the Table 2 analogs by name:
-//! `run classification on adult …`) work alongside files.
 
+pub mod explain;
 pub mod model;
+pub mod request;
 pub mod session;
 
-pub use model::Model;
-pub use session::{Session, SessionOutput, TrainSummary};
+pub use explain::render_report;
+pub use model::{Model, ModelError};
+pub use request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
+pub use session::{Predictions, Session, SessionOutput, TrainSummary, Trained};
 
-/// Errors surfaced by the session layer.
+// The vocabulary the typed requests are written in, re-exported so facade
+// users need only the `ml4all` crate.
+pub use ml4all_core::chooser::{OptimizerReport, PlanChoice};
+pub use ml4all_core::lang::{AlgorithmPin, TrainSpec};
+pub use ml4all_core::platform::{Platform, PlatformMapping};
+pub use ml4all_core::OptimizerError;
+pub use ml4all_dataflow::SamplingMethod;
+pub use ml4all_datasets::source::{DataSource, FileFormat, SourceError};
+pub use ml4all_gd::{GdPlan, GdVariant, GradientKind};
+
+use ml4all_core::lang::Span;
+
+/// A malformed statement, carrying the statement text and the byte span of
+/// the offending token so the error can point at it.
+#[derive(Debug)]
+pub struct ParseError {
+    /// The statement as given to [`Session::execute`].
+    pub statement: String,
+    /// Byte span of the offending token (empty at end of input).
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "parse error: {}", self.message)?;
+        writeln!(f, "  {}", self.statement)?;
+        // Char-based alignment so multi-byte input keeps the caret under
+        // the offending token.
+        let start = self.span.start.min(self.statement.len());
+        let end = self.span.end.clamp(start, self.statement.len());
+        let pad = self.statement[..start].chars().count();
+        let width = self.statement[start..end].chars().count().max(1);
+        write!(f, "  {}{}", " ".repeat(pad), "^".repeat(width))
+    }
+}
+
+/// Errors surfaced by the session layer, grouped by the stage that failed.
 #[derive(Debug)]
 pub enum SessionError {
-    /// Query parse/plan failure.
+    /// The statement text is malformed ([`ParseError`] points at the
+    /// offending token).
+    Parse(ParseError),
+    /// The request is semantically invalid, its constraints are
+    /// unsatisfiable, or the optimizer itself failed.
     Optimizer(ml4all_core::OptimizerError),
+    /// The named data source could not be resolved.
+    Source(SourceError),
     /// GD execution failure.
     Gd(ml4all_gd::GdError),
-    /// Dataset IO/parse failure.
-    Dataset(ml4all_datasets::DatasetError),
     /// Substrate failure.
     Dataflow(ml4all_dataflow::DataflowError),
-    /// A name the statement references is not bound in this session.
+    /// A result name the statement references is not bound in this
+    /// session.
     UnknownName(String),
     /// Model file problems.
-    Model(String),
+    Model(ModelError),
     /// Filesystem problems.
     Io(std::io::Error),
+}
+
+impl SessionError {
+    /// Wrap a parse-stage [`OptimizerError`], attaching the statement text
+    /// to language errors so they render with a caret.
+    pub(crate) fn from_parse(statement: &str, e: ml4all_core::OptimizerError) -> Self {
+        match e {
+            ml4all_core::OptimizerError::Language { span, message } => Self::Parse(ParseError {
+                statement: statement.to_string(),
+                span,
+                message,
+            }),
+            other => Self::Optimizer(other),
+        }
+    }
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::Parse(e) => write!(f, "{e}"),
             Self::Optimizer(e) => write!(f, "{e}"),
+            Self::Source(e) => write!(f, "{e}"),
             Self::Gd(e) => write!(f, "{e}"),
-            Self::Dataset(e) => write!(f, "{e}"),
             Self::Dataflow(e) => write!(f, "{e}"),
             Self::UnknownName(n) => write!(f, "unknown result name `{n}`"),
-            Self::Model(m) => write!(f, "model error: {m}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
             Self::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -67,6 +148,11 @@ impl From<ml4all_core::OptimizerError> for SessionError {
         Self::Optimizer(e)
     }
 }
+impl From<SourceError> for SessionError {
+    fn from(e: SourceError) -> Self {
+        Self::Source(e)
+    }
+}
 impl From<ml4all_gd::GdError> for SessionError {
     fn from(e: ml4all_gd::GdError) -> Self {
         Self::Gd(e)
@@ -74,7 +160,7 @@ impl From<ml4all_gd::GdError> for SessionError {
 }
 impl From<ml4all_datasets::DatasetError> for SessionError {
     fn from(e: ml4all_datasets::DatasetError) -> Self {
-        Self::Dataset(e)
+        Self::Source(SourceError::Dataset(e))
     }
 }
 impl From<ml4all_dataflow::DataflowError> for SessionError {
@@ -82,8 +168,57 @@ impl From<ml4all_dataflow::DataflowError> for SessionError {
         Self::Dataflow(e)
     }
 }
+impl From<ModelError> for SessionError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
 impl From<std::io::Error> for SessionError {
     fn from(e: std::io::Error) -> Self {
         Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_render_a_caret_under_the_token() {
+        let src = "run classification on d.txt having zzz 1;";
+        let mut session = Session::new();
+        let err = session.execute(src).unwrap_err();
+        let SessionError::Parse(parse) = &err else {
+            panic!("expected Parse, got {err:?}");
+        };
+        assert_eq!(&src[parse.span.start..parse.span.end], "zzz");
+        let rendered = err.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1].trim(), src);
+        // The caret line underlines exactly the `zzz` token.
+        let caret_col = lines[2].find('^').unwrap();
+        let token_col = lines[1].find("zzz").unwrap();
+        assert_eq!(caret_col, token_col);
+        assert_eq!(lines[2].matches('^').count(), 3);
+    }
+
+    #[test]
+    fn end_of_input_errors_render_past_the_statement() {
+        let mut session = Session::new();
+        let err = session.execute("run classification").unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn semantic_errors_stay_typed() {
+        let mut session = Session::new();
+        let err = session
+            .execute("run classification on adult having epsilon -1;")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Optimizer(OptimizerError::UnsatisfiableConstraint(_))
+        ));
     }
 }

@@ -11,9 +11,34 @@ use std::path::Path;
 use ml4all_gd::{Gradient, GradientKind};
 use ml4all_linalg::{DenseVector, LabeledPoint};
 
-use crate::SessionError;
-
 const MAGIC: &str = "ml4all-model v1";
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The file is not a valid model (bad header, missing fields,
+    /// truncated weights).
+    Format(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "{e}"),
+            Self::Format(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
 
 /// A trained model: weights plus the task needed to predict with them.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +62,7 @@ impl Model {
     }
 
     /// Save to disk.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SessionError> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(out, "{MAGIC}")?;
         writeln!(out, "gradient: {}", self.gradient.function_name())?;
@@ -50,15 +75,15 @@ impl Model {
     }
 
     /// Load from disk, validating the header.
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, SessionError> {
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
         let path = path.as_ref();
         let mut lines = BufReader::new(std::fs::File::open(path)?).lines();
         let magic = lines
             .next()
             .transpose()?
-            .ok_or_else(|| SessionError::Model(format!("{}: empty file", path.display())))?;
+            .ok_or_else(|| ModelError::Format(format!("{}: empty file", path.display())))?;
         if magic.trim() != MAGIC {
-            return Err(SessionError::Model(format!(
+            return Err(ModelError::Format(format!(
                 "{}: not an ml4all model (header {magic:?})",
                 path.display()
             )));
@@ -66,13 +91,13 @@ impl Model {
         let gradient_line = lines
             .next()
             .transpose()?
-            .ok_or_else(|| SessionError::Model("missing gradient line".into()))?;
+            .ok_or_else(|| ModelError::Format("missing gradient line".into()))?;
         let gradient = match gradient_line.trim_start_matches("gradient:").trim() {
             "hinge" => GradientKind::Svm,
             "logistic" => GradientKind::LogisticRegression,
             "squared" => GradientKind::LinearRegression,
             other => {
-                return Err(SessionError::Model(format!(
+                return Err(ModelError::Format(format!(
                     "unknown gradient function {other:?}"
                 )))
             }
@@ -80,12 +105,12 @@ impl Model {
         let dims_line = lines
             .next()
             .transpose()?
-            .ok_or_else(|| SessionError::Model("missing dims line".into()))?;
+            .ok_or_else(|| ModelError::Format("missing dims line".into()))?;
         let dims: usize = dims_line
             .trim_start_matches("dims:")
             .trim()
             .parse()
-            .map_err(|e| SessionError::Model(format!("bad dims: {e}")))?;
+            .map_err(|e| ModelError::Format(format!("bad dims: {e}")))?;
         let mut weights = Vec::with_capacity(dims);
         for line in lines {
             let line = line?;
@@ -96,11 +121,11 @@ impl Model {
             weights.push(
                 trimmed
                     .parse::<f64>()
-                    .map_err(|e| SessionError::Model(format!("bad weight {trimmed:?}: {e}")))?,
+                    .map_err(|e| ModelError::Format(format!("bad weight {trimmed:?}: {e}")))?,
             );
         }
         if weights.len() != dims {
-            return Err(SessionError::Model(format!(
+            return Err(ModelError::Format(format!(
                 "expected {dims} weights, found {}",
                 weights.len()
             )));
@@ -151,7 +176,7 @@ mod tests {
     fn rejects_foreign_files() {
         let path = tmp("garbage.txt");
         std::fs::write(&path, "not a model\n1\n2\n").unwrap();
-        assert!(matches!(Model::load(&path), Err(SessionError::Model(_))));
+        assert!(matches!(Model::load(&path), Err(ModelError::Format(_))));
         let _ = std::fs::remove_file(path);
     }
 
@@ -159,7 +184,7 @@ mod tests {
     fn rejects_truncated_weights() {
         let path = tmp("truncated.txt");
         std::fs::write(&path, "ml4all-model v1\ngradient: hinge\ndims: 3\n1.0\n").unwrap();
-        assert!(matches!(Model::load(&path), Err(SessionError::Model(_))));
+        assert!(matches!(Model::load(&path), Err(ModelError::Format(_))));
         let _ = std::fs::remove_file(path);
     }
 

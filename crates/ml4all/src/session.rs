@@ -1,20 +1,24 @@
-//! The interactive session: declarative statements in, trained models and
-//! predictions out.
+//! The interactive session: typed requests (or declarative statements
+//! lowered onto them) in, trained models, predictions, and plan
+//! explanations out.
 
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_core::chooser::{choose_plan, IterationsSource, OptimizerConfig, OptimizerReport};
 use ml4all_core::estimator::SpeculationConfig;
-use ml4all_core::lang::{parse_statement, plan_query, Query, RunQuery};
-use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SimEnv};
-use ml4all_datasets::csv::{read_csv_file, CsvColumns};
-use ml4all_datasets::libsvm::read_libsvm_file;
+use ml4all_core::lang::{parse_statement, train_spec, Query, RunQuery};
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset, SimEnv};
+use ml4all_datasets::csv::CsvColumns;
+use ml4all_datasets::source::{DataSource, SourceResolver};
 use ml4all_gd::{execute_plan, GdPlan};
-use ml4all_linalg::LabeledPoint;
 
 use crate::model::Model;
+use crate::request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
 use crate::SessionError;
+
+/// Seed used when materializing Table 2 registry analogs by name.
+const REGISTRY_SEED: u64 = 7;
 
 /// Summary of a completed training run.
 #[derive(Debug, Clone)]
@@ -29,6 +33,26 @@ pub struct TrainSummary {
     pub sim_time_s: f64,
     /// Simulated optimizer (speculation) overhead.
     pub speculation_s: f64,
+}
+
+/// A bound training result: what [`Session::train`] returns.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    /// The bound result name (explicit or generated).
+    pub name: String,
+    /// Run summary.
+    pub summary: TrainSummary,
+}
+
+/// Scores over a test set: what [`Session::predict`] returns.
+#[derive(Debug, Clone)]
+pub struct Predictions {
+    /// Per-point predictions, in input order.
+    pub predictions: Vec<f64>,
+    /// Mean squared error against the source's labels.
+    pub mse: f64,
+    /// Sign accuracy (classification models only).
+    pub accuracy: Option<f64>,
 }
 
 /// What a statement produced.
@@ -47,13 +71,12 @@ pub enum SessionOutput {
         path: PathBuf,
     },
     /// A `predict` statement scored a dataset.
-    Predictions {
-        /// Per-point predictions, in input order.
-        predictions: Vec<f64>,
-        /// Mean squared error against the file's labels.
-        mse: f64,
-        /// Sign accuracy (classification models only).
-        accuracy: Option<f64>,
+    Predicted(Predictions),
+    /// An `explain` statement reported the optimizer's costed plan table.
+    Explained {
+        /// Every enumerated plan with modelled cost, estimated
+        /// iterations, and per-operator platform mapping, cheapest first.
+        report: OptimizerReport,
     },
 }
 
@@ -107,6 +130,12 @@ impl Session {
         self
     }
 
+    /// Cap the physical rows materialized for registry analogs.
+    pub fn with_registry_cap(mut self, cap: usize) -> Self {
+        self.registry_cap = cap;
+        self
+    }
+
     /// Register an in-memory dataset under a name usable in queries.
     pub fn register_dataset(&mut self, name: impl Into<String>, data: PartitionedDataset) {
         self.datasets.insert(name.into(), data);
@@ -117,24 +146,57 @@ impl Session {
         self.results.get(name)
     }
 
-    /// Execute one declarative statement.
+    /// Execute one declarative statement: parse it and lower onto the
+    /// typed [`train`](Self::train) / [`predict`](Self::predict) /
+    /// [`explain`](Self::explain) / [`persist`](Self::persist) verbs.
     pub fn execute(&mut self, statement: &str) -> Result<SessionOutput, SessionError> {
-        let parsed = parse_statement(statement)?;
+        let parsed =
+            parse_statement(statement).map_err(|e| SessionError::from_parse(statement, e))?;
         match parsed.query {
-            Query::Run(run) => self.execute_run(parsed.name, run),
-            Query::Persist { name, path } => self.execute_persist(&name, &path),
-            Query::Predict { dataset, model } => self.execute_predict(&dataset, &model),
+            Query::Run(run) => {
+                let request = lower_run(run, parsed.name)
+                    .map_err(|e| SessionError::from_parse(statement, e))?;
+                let trained = self.train(request)?;
+                Ok(SessionOutput::Trained {
+                    name: trained.name,
+                    summary: trained.summary,
+                })
+            }
+            Query::Explain(run) => {
+                let request =
+                    lower_run(run, None).map_err(|e| SessionError::from_parse(statement, e))?;
+                let report = self.explain(ExplainRequest::new(request))?;
+                Ok(SessionOutput::Explained { report })
+            }
+            Query::Persist { name, path } => {
+                let path = self.persist(&name, &path)?;
+                Ok(SessionOutput::Persisted { path })
+            }
+            Query::Predict { dataset, model } => {
+                let request =
+                    PredictRequest::new(DataSource::named(dataset), ModelRef::Named(model));
+                Ok(SessionOutput::Predicted(self.predict(request)?))
+            }
         }
     }
 
-    fn execute_run(
-        &mut self,
-        name: Option<String>,
-        run: RunQuery,
-    ) -> Result<SessionOutput, SessionError> {
-        let mut config: OptimizerConfig = plan_query(&run)?;
-        config = config.with_speculation(self.speculation.clone());
-        let data = self.resolve_dataset(&run)?;
+    /// Train a model: run the cost-based optimizer over the request's
+    /// source, execute the winning plan, and bind the result.
+    ///
+    /// ```
+    /// use ml4all::{GradientKind, Session, TrainRequest};
+    ///
+    /// # fn main() -> Result<(), ml4all::SessionError> {
+    /// let mut session = Session::new();
+    /// let request = TrainRequest::new(GradientKind::LogisticRegression, "adult")
+    ///     .max_iter(25);
+    /// let trained = session.train(request)?;
+    /// assert!(session.model(&trained.name).is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn train(&mut self, request: TrainRequest) -> Result<Trained, SessionError> {
+        let (config, data) = self.configured(&request)?;
 
         let report = choose_plan(&data, &config, &self.cluster)?;
         let plan = report.best().plan;
@@ -142,7 +204,7 @@ impl Session {
         let mut env = SimEnv::new(self.cluster.clone());
         let result = execute_plan(&plan, &data, &params, &mut env)?;
 
-        let name = name.unwrap_or_else(|| {
+        let name = request.name.unwrap_or_else(|| {
             self.auto_name += 1;
             format!("Q{}", self.auto_name)
         });
@@ -150,7 +212,7 @@ impl Session {
             name.clone(),
             Model::new(config.gradient, result.weights.clone()),
         );
-        Ok(SessionOutput::Trained {
+        Ok(Trained {
             name,
             summary: TrainSummary {
                 plan,
@@ -162,23 +224,67 @@ impl Session {
         })
     }
 
-    fn execute_persist(&self, name: &str, path: &str) -> Result<SessionOutput, SessionError> {
-        let model = self
-            .results
-            .get(name)
-            .ok_or_else(|| SessionError::UnknownName(name.to_string()))?;
-        let path = self.data_dir.join(path);
-        model.save(&path)?;
-        Ok(SessionOutput::Persisted { path })
+    /// Run the cost-based optimizer for a training request and report the
+    /// full costed plan table — every enumerated plan with modelled cost,
+    /// estimated iterations, and per-operator platform mapping — without
+    /// executing the winner. The best row is exactly the plan
+    /// [`train`](Self::train) would execute for the same request.
+    ///
+    /// ```
+    /// use ml4all::{ExplainRequest, GradientKind, Session, TrainRequest};
+    ///
+    /// # fn main() -> Result<(), ml4all::SessionError> {
+    /// let session = Session::new();
+    /// let request = TrainRequest::new(GradientKind::LogisticRegression, "adult")
+    ///     .max_iter(25);
+    /// let report = session.explain(ExplainRequest::new(request))?;
+    /// assert_eq!(report.choices.len(), 11);
+    /// println!("{}", ml4all::render_report(&report));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn explain(&self, request: ExplainRequest) -> Result<OptimizerReport, SessionError> {
+        let (config, data) = self.configured(&request.train)?;
+        Ok(choose_plan(&data, &config, &self.cluster)?)
     }
 
-    fn execute_predict(&self, dataset: &str, model: &str) -> Result<SessionOutput, SessionError> {
-        // `with <model>` may name a session result or a persisted file.
-        let model = match self.results.get(model) {
-            Some(m) => m.clone(),
-            None => Model::load(self.data_dir.join(model))?,
+    /// Shared `train`/`explain` prologue: validate the request into a
+    /// configuration and resolve its source. The session's speculation
+    /// settings apply only when the request actually speculates — a
+    /// `max iter`-only request keeps its `Fixed` iteration source and
+    /// skips speculation entirely (the Section 8.3 fast path).
+    fn configured(
+        &self,
+        request: &TrainRequest,
+    ) -> Result<(OptimizerConfig, PartitionedDataset), SessionError> {
+        let mut config = request.config()?;
+        if matches!(config.iterations, IterationsSource::Speculate(_)) {
+            config = config.with_speculation(self.speculation.clone());
+        }
+        let data = self.resolver().resolve(&request.source)?;
+        Ok((config, data))
+    }
+
+    /// Score a dataset with a model.
+    pub fn predict(&self, request: PredictRequest) -> Result<Predictions, SessionError> {
+        let model = match &request.model {
+            ModelRef::Named(name) => match self.results.get(name) {
+                Some(m) => m.clone(),
+                None => Model::load(self.data_dir.join(name)).map_err(|e| match e {
+                    crate::ModelError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+                        crate::SessionError::Model(crate::ModelError::Format(format!(
+                            "`{name}` is neither a session result nor a readable model file"
+                        )))
+                    }
+                    other => crate::SessionError::Model(other),
+                })?,
+            },
+            ModelRef::File(path) => Model::load(self.data_dir.join(path))?,
+            ModelRef::Inline(model) => model.clone(),
         };
-        let points = self.load_points(dataset, None, Some(model.weights.dim()))?;
+        let points = self
+            .resolver()
+            .resolve_points(&request.source, Some(model.weights.dim()))?;
         let predictions: Vec<f64> = points.iter().map(|p| model.predict(p)).collect();
         let mse = ml4all_datasets::mean_squared_error(&predictions, &points);
         let accuracy = if model.gradient.is_classification() {
@@ -186,71 +292,66 @@ impl Session {
         } else {
             None
         };
-        Ok(SessionOutput::Predictions {
+        Ok(Predictions {
             predictions,
             mse,
             accuracy,
         })
     }
 
-    /// Resolve a `run` statement's dataset: registered in-memory name,
-    /// Table 2 registry name, or a file path (LIBSVM/CSV sniffed).
-    fn resolve_dataset(&mut self, run: &RunQuery) -> Result<PartitionedDataset, SessionError> {
-        if let Some(data) = self.datasets.get(&run.dataset) {
-            return Ok(data.clone());
-        }
-        if let Some(spec) = ml4all_datasets::registry::by_name(&run.dataset) {
-            let data = spec.build(self.registry_cap, 7, &self.cluster)?;
-            return Ok(data);
-        }
-        let columns = run.columns.as_ref().map(|c| CsvColumns {
-            label: c.label,
-            features: c.features,
-        });
-        let points = self.load_points(&run.dataset, columns, None)?;
-        Ok(PartitionedDataset::from_points(
-            run.dataset.clone(),
-            points,
-            PartitionScheme::RoundRobin,
-            &self.cluster,
-        )?)
+    /// Persist the named result to a model file under the data dir.
+    pub fn persist(&self, name: &str, path: &str) -> Result<PathBuf, SessionError> {
+        let model = self
+            .results
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownName(name.to_string()))?;
+        let path = self.data_dir.join(path);
+        model.save(&path)?;
+        Ok(path)
     }
 
-    fn load_points(
-        &self,
-        dataset: &str,
-        columns: Option<CsvColumns>,
-        dims_hint: Option<usize>,
-    ) -> Result<Vec<LabeledPoint>, SessionError> {
-        let path = self.data_dir.join(dataset);
-        if looks_like_libsvm(&path)? {
-            Ok(read_libsvm_file(&path, dims_hint)?)
-        } else {
-            Ok(read_csv_file(&path, columns)?)
+    /// The single dataset resolver every verb shares.
+    fn resolver(&self) -> SourceResolver<'_> {
+        SourceResolver {
+            data_dir: &self.data_dir,
+            catalog: &self.datasets,
+            registry_cap: self.registry_cap,
+            registry_seed: REGISTRY_SEED,
+            cluster: &self.cluster,
         }
     }
 }
 
-/// Sniff the file format: a LIBSVM line has `idx:val` tokens; CSV does not.
-fn looks_like_libsvm(path: &Path) -> Result<bool, SessionError> {
-    use std::io::BufRead;
-    let file = std::fs::File::open(path)?;
-    let reader = std::io::BufReader::new(file);
-    for line in reader.lines().take(10) {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        return Ok(trimmed.split_whitespace().skip(1).any(|t| t.contains(':')));
+/// Lower a parsed `run` query to a typed [`TrainRequest`]. Language
+/// errors keep their token spans so the caller can render a caret.
+fn lower_run(
+    run: RunQuery,
+    name: Option<String>,
+) -> Result<TrainRequest, ml4all_core::OptimizerError> {
+    let spec = train_spec(&run)?;
+    let columns = run.columns.map(|c| CsvColumns {
+        label: c.label,
+        features: c.features,
+    });
+    let mut source = DataSource::named(run.dataset);
+    if let Some(columns) = columns {
+        source = source.with_columns(columns);
     }
-    Ok(false)
+    Ok(TrainRequest {
+        source,
+        spec,
+        name,
+        seed: 0,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{GradientKind, SamplingMethod};
     use ml4all_datasets::synth::{dense_classification, DenseClassConfig};
+    use ml4all_gd::GdVariant;
+    use std::path::Path;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ml4all-session-{}-{tag}", std::process::id()));
@@ -281,6 +382,22 @@ mod tests {
         path
     }
 
+    fn in_memory_dataset(n: usize, cluster: &ClusterSpec) -> PartitionedDataset {
+        let points = dense_classification(&DenseClassConfig {
+            n,
+            dims: 4,
+            noise: 0.05,
+            seed: 5,
+        });
+        PartitionedDataset::from_points(
+            "mem",
+            points,
+            ml4all_dataflow::PartitionScheme::RoundRobin,
+            cluster,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn run_persist_predict_lifecycle() {
         let dir = tmp_dir("lifecycle");
@@ -306,10 +423,10 @@ mod tests {
         let out = session
             .execute("result = predict on test.csv with model.txt;")
             .unwrap();
-        let SessionOutput::Predictions { accuracy, .. } = out else {
-            panic!("expected Predictions");
+        let SessionOutput::Predicted(p) = out else {
+            panic!("expected Predicted");
         };
-        assert!(accuracy.unwrap() > 0.7, "accuracy {accuracy:?}");
+        assert!(p.accuracy.unwrap() > 0.7, "accuracy {:?}", p.accuracy);
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -337,7 +454,130 @@ mod tests {
             .execute("M = run logistic() on train.csv having max iter 300;")
             .unwrap();
         let out = session.execute("predict on test.csv with M;").unwrap();
-        assert!(matches!(out, SessionOutput::Predictions { .. }));
+        assert!(matches!(out, SessionOutput::Predicted(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn predict_resolves_registry_names() {
+        // The PR-1 known gap: `predict on <registry-name> with M` now
+        // works through the unified resolver.
+        let dir = tmp_dir("predict-registry");
+        let mut session = quick_session(&dir);
+        session
+            .execute("M = run logistic() on adult having max iter 200;")
+            .unwrap();
+        let out = session.execute("predict on adult with M;").unwrap();
+        let SessionOutput::Predicted(p) = out else {
+            panic!("expected Predicted")
+        };
+        assert_eq!(p.predictions.len(), 4000); // the registry cap
+        assert!(p.accuracy.is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn predict_resolves_registered_in_memory_datasets() {
+        let dir = tmp_dir("predict-registered");
+        let mut session = quick_session(&dir);
+        let data = in_memory_dataset(600, &ClusterSpec::paper_testbed());
+        session.register_dataset("mydata", data);
+        session
+            .execute("M = run logistic() on mydata having max iter 300;")
+            .unwrap();
+        let out = session.execute("predict on mydata with M;").unwrap();
+        let SessionOutput::Predicted(p) = out else {
+            panic!("expected Predicted")
+        };
+        assert_eq!(p.predictions.len(), 600);
+        assert!(p.accuracy.unwrap() > 0.7, "accuracy {:?}", p.accuracy);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn explain_reports_every_plan_and_matches_run() {
+        // The acceptance bar: every enumerated plan with cost, estimated
+        // iterations, and platform mapping; the best row is the plan
+        // `run` executes for the same query and seed.
+        let dir = tmp_dir("explain");
+        let mut session = quick_session(&dir);
+        let query = "logistic() on adult having epsilon 0.01, max iter 2000";
+        let out = session.execute(&format!("explain {query};")).unwrap();
+        let SessionOutput::Explained { report } = out else {
+            panic!("expected Explained")
+        };
+        assert_eq!(report.choices.len(), 11);
+        assert_eq!(report.estimates.len(), 3);
+        for choice in &report.choices {
+            assert!(choice.total_s > 0.0);
+            assert!(choice.estimated_iterations >= 1);
+            assert!(!choice.mapping.describe().is_empty());
+        }
+        let out = session.execute(&format!("run {query};")).unwrap();
+        let SessionOutput::Trained { summary, .. } = out else {
+            panic!("expected Trained")
+        };
+        assert_eq!(summary.plan, report.best().plan);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn max_iter_only_requests_skip_speculation() {
+        // The Section 8.3 fast path: a pure iteration budget needs no
+        // speculative runs, in `train` and `explain` alike.
+        let dir = tmp_dir("fixed-iterations");
+        let mut session = quick_session(&dir);
+        let request = || {
+            TrainRequest::new(
+                GradientKind::LogisticRegression,
+                DataSource::registry("adult"),
+            )
+            .max_iter(50)
+        };
+        let trained = session.train(request()).unwrap();
+        assert_eq!(trained.summary.speculation_s, 0.0);
+        let report = session.explain(ExplainRequest::new(request())).unwrap();
+        assert!(report.estimates.is_empty());
+        assert_eq!(report.speculation_sim_s, 0.0);
+        assert!(report.choices.iter().all(|c| c.estimated_iterations <= 50));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn typed_predict_accepts_inline_models_and_sources() {
+        let dir = tmp_dir("typed-predict");
+        let cluster = ClusterSpec::paper_testbed();
+        let mut session = quick_session(&dir);
+        let data = in_memory_dataset(500, &cluster);
+        let trained = session
+            .train(TrainRequest::new(GradientKind::LogisticRegression, data.clone()).max_iter(200))
+            .unwrap();
+        let model = session.model(&trained.name).unwrap().clone();
+        let p = session.predict(PredictRequest::new(data, model)).unwrap();
+        assert_eq!(p.predictions.len(), 500);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn typed_pins_restrict_the_chosen_plan() {
+        let dir = tmp_dir("typed-pins");
+        let mut session = quick_session(&dir);
+        let trained = session
+            .train(
+                TrainRequest::new(
+                    GradientKind::LogisticRegression,
+                    DataSource::registry("adult"),
+                )
+                .max_iter(100)
+                .algorithm(GdVariant::Stochastic)
+                .sampler(SamplingMethod::ShuffledPartition),
+            )
+            .unwrap();
+        assert_eq!(trained.summary.plan.variant, GdVariant::Stochastic);
+        assert!(
+            trained.summary.plan.sampling.is_none()
+                || trained.summary.plan.sampling == Some(SamplingMethod::ShuffledPartition)
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -347,6 +587,17 @@ mod tests {
         let mut session = quick_session(&dir);
         let err = session.execute("persist Q9 on out.txt;").unwrap_err();
         assert!(matches!(err, SessionError::UnknownName(_)));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unresolvable_dataset_errors_as_source() {
+        let dir = tmp_dir("unresolved");
+        let mut session = quick_session(&dir);
+        let err = session
+            .execute("run logistic() on missing.csv having max iter 10;")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Source(_)), "{err:?}");
         let _ = std::fs::remove_dir_all(dir);
     }
 
