@@ -124,20 +124,24 @@ impl BismarckRunner {
             let mut count = 0u64;
             match variant {
                 GdVariant::Batch => {
-                    for p in data.iter_points() {
-                        params
-                            .gradient
-                            .accumulate(weights.as_slice(), p, grad_acc.as_mut_slice());
+                    for v in data.iter_views() {
+                        params.gradient.accumulate_view(
+                            weights.as_slice(),
+                            v,
+                            grad_acc.as_mut_slice(),
+                        );
                         count += 1;
                     }
                 }
                 _ => {
-                    let all: Vec<_> = data.iter_points().collect();
+                    let all: Vec<_> = data.iter_views().collect();
                     for _ in 0..m_phys.max(1) {
-                        let p = all[rng.gen_range(0..all.len())];
-                        params
-                            .gradient
-                            .accumulate(weights.as_slice(), p, grad_acc.as_mut_slice());
+                        let v = all[rng.gen_range(0..all.len())];
+                        params.gradient.accumulate_view(
+                            weights.as_slice(),
+                            v,
+                            grad_acc.as_mut_slice(),
+                        );
                         count += 1;
                     }
                 }
@@ -243,7 +247,7 @@ mod tests {
         // logical n by rebuilding with the wide descriptor.
         let wide = PartitionedDataset::with_descriptor(
             DatasetDescriptor::new("rcv1", 677_399, 47_236, 1024 * 1024 * 1024, 1.0),
-            data.iter_points().cloned().collect(),
+            data.to_points(),
             PartitionScheme::RoundRobin,
             &ClusterSpec::paper_testbed(),
         )
@@ -305,8 +309,8 @@ mod tests {
             )
             .unwrap();
         let correct = data
-            .iter_points()
-            .filter(|p| (p.features.dot(result.weights.as_slice()) >= 0.0) == (p.label > 0.0))
+            .iter_views()
+            .filter(|v| (v.features.dot(result.weights.as_slice()) >= 0.0) == (v.label > 0.0))
             .count();
         assert!(correct as f64 / data.physical_n() as f64 > 0.8);
     }

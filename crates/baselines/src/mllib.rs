@@ -111,11 +111,11 @@ impl MllibRunner {
 
             grad_acc.fill_zero();
             let mut count = 0u64;
-            for p in data.iter_points() {
+            for v in data.iter_views() {
                 if fraction >= 1.0 || rng.gen::<f64>() < phys_fraction {
                     params
                         .gradient
-                        .accumulate(weights.as_slice(), p, grad_acc.as_mut_slice());
+                        .accumulate_view(weights.as_slice(), v, grad_acc.as_mut_slice());
                     count += 1;
                 }
             }
@@ -220,8 +220,8 @@ mod tests {
         assert!(result.iterations > 1);
         // The model separates reasonably.
         let correct = data
-            .iter_points()
-            .filter(|p| (p.features.dot(result.weights.as_slice()) >= 0.0) == (p.label > 0.0))
+            .iter_views()
+            .filter(|v| (v.features.dot(result.weights.as_slice()) >= 0.0) == (v.label > 0.0))
             .count();
         assert!(correct as f64 / data.physical_n() as f64 > 0.8);
     }

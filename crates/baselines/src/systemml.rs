@@ -180,20 +180,24 @@ impl SystemmlRunner {
             let mut count = 0u64;
             match variant {
                 GdVariant::Batch => {
-                    for p in data.iter_points() {
-                        params
-                            .gradient
-                            .accumulate(weights.as_slice(), p, grad_acc.as_mut_slice());
+                    for v in data.iter_views() {
+                        params.gradient.accumulate_view(
+                            weights.as_slice(),
+                            v,
+                            grad_acc.as_mut_slice(),
+                        );
                         count += 1;
                     }
                 }
                 _ => {
-                    let all: Vec<_> = data.iter_points().collect();
+                    let all: Vec<_> = data.iter_views().collect();
                     for _ in 0..m_phys.max(1) {
-                        let p = all[rng.gen_range(0..all.len())];
-                        params
-                            .gradient
-                            .accumulate(weights.as_slice(), p, grad_acc.as_mut_slice());
+                        let v = all[rng.gen_range(0..all.len())];
+                        params.gradient.accumulate_view(
+                            weights.as_slice(),
+                            v,
+                            grad_acc.as_mut_slice(),
+                        );
                         count += 1;
                     }
                 }
@@ -299,7 +303,7 @@ mod tests {
         let desc = DatasetDescriptor::new("svm1", 5_516_800, 100, 10 * 1024 * 1024 * 1024, 1.0);
         let data = PartitionedDataset::with_descriptor(
             desc,
-            data.iter_points().cloned().collect(),
+            data.to_points(),
             PartitionScheme::RoundRobin,
             &ClusterSpec::paper_testbed(),
         )
@@ -368,7 +372,7 @@ mod tests {
         assert!(!runner.runs_locally(&desc));
         let big = PartitionedDataset::with_descriptor(
             desc,
-            physical_28d.iter_points().cloned().collect(),
+            physical_28d.to_points(),
             PartitionScheme::RoundRobin,
             &ClusterSpec::paper_testbed(),
         )

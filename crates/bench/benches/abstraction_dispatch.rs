@@ -32,7 +32,7 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| {
             boxed
                 .inner
-                .compute(black_box(&point), black_box(&ctx), &mut acc);
+                .compute(black_box(point.view()), black_box(&ctx), &mut acc);
             black_box(acc.count)
         })
     });

@@ -1,0 +1,521 @@
+//! Contiguous columnar row storage: the physical layout behind every
+//! [`crate::dataset::Partition`].
+//!
+//! The paper's Section 4.1 data units — "a label, a set of indices, and a
+//! set of values" — map directly onto two slab layouts:
+//!
+//! - **Dense**: one row-major `values` slab (`n × dims`) plus a `labels`
+//!   column. A row is a borrowed `&[f64]` slice — no per-point heap
+//!   allocation, no pointer chasing in the gradient hot loop.
+//! - **CSR**: `indptr`/`indices`/`values` compressed sparse rows plus the
+//!   `labels` column, for LIBSVM-shaped data like `rcv1`.
+//!
+//! [`ColumnarBuilder`] ingests rows in either shape and upgrades a dense
+//! slab to CSR transparently when sparse or ragged rows arrive, so loaders
+//! can stream rows without pre-classifying the dataset.
+
+use ml4all_linalg::{FeatureView, LabeledPoint, LinalgError, PointView};
+
+/// Dense slab storage: labels + a row-major value matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseColumns {
+    dims: usize,
+    labels: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// CSR storage: labels + compressed sparse rows over a shared dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrColumns {
+    dim: usize,
+    labels: Vec<f64>,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// A block of rows in contiguous columnar form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnStore {
+    /// Dense slab (`labels` + row-major `values`).
+    Dense(DenseColumns),
+    /// Compressed sparse rows.
+    Csr(CsrColumns),
+}
+
+impl ColumnStore {
+    /// An empty dense store (zero rows, zero dims).
+    pub fn empty() -> Self {
+        ColumnarBuilder::new().finish()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Dense(d) => d.labels.len(),
+            Self::Csr(c) => c.labels.len(),
+        }
+    }
+
+    /// `true` when the store holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature-space dimensionality shared by every row.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        match self {
+            Self::Dense(d) => d.dims,
+            Self::Csr(c) => c.dim,
+        }
+    }
+
+    /// Label column.
+    #[inline]
+    pub fn labels(&self) -> &[f64] {
+        match self {
+            Self::Dense(d) => &d.labels,
+            Self::Csr(c) => &c.labels,
+        }
+    }
+
+    /// Borrow row `i` as a zero-copy [`PointView`].
+    #[inline]
+    pub fn view(&self, i: usize) -> Option<PointView<'_>> {
+        match self {
+            Self::Dense(d) => {
+                let label = *d.labels.get(i)?;
+                let row = &d.values[i * d.dims..(i + 1) * d.dims];
+                Some(PointView::new(label, FeatureView::Dense(row)))
+            }
+            Self::Csr(c) => {
+                let label = *c.labels.get(i)?;
+                let (lo, hi) = (c.indptr[i], c.indptr[i + 1]);
+                Some(PointView::new(
+                    label,
+                    FeatureView::Sparse {
+                        dim: c.dim,
+                        indices: &c.indices[lo..hi],
+                        values: &c.values[lo..hi],
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Iterate over every row as a [`PointView`].
+    pub fn iter(&self) -> ColumnIter<'_> {
+        ColumnIter {
+            store: self,
+            next: 0,
+        }
+    }
+
+    /// Raw dense slab access (`labels`, row-major `values`, `dims`) — the
+    /// branch-free fast path the gradient wave runs over.
+    #[inline]
+    pub fn as_dense(&self) -> Option<(&[f64], &[f64], usize)> {
+        match self {
+            Self::Dense(d) => Some((&d.labels, &d.values, d.dims)),
+            Self::Csr(_) => None,
+        }
+    }
+
+    /// Sum of materialized (possibly non-zero) entries across all rows.
+    pub fn total_nnz(&self) -> u64 {
+        match self {
+            Self::Dense(d) => d.values.len() as u64,
+            Self::Csr(c) => c.indices.len() as u64,
+        }
+    }
+
+    /// Approximate storage footprint in bytes, matching the sum of
+    /// [`LabeledPoint::approx_bytes`] over the materialized rows.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Self::Dense(d) => (8 * d.labels.len() + 8 * d.values.len()) as u64,
+            Self::Csr(c) => (8 * c.labels.len() + 12 * c.indices.len()) as u64,
+        }
+    }
+
+    /// Materialize every row as an owned [`LabeledPoint`] (ingestion/API
+    /// boundary only — never on the hot path).
+    pub fn to_points(&self) -> Vec<LabeledPoint> {
+        self.iter().map(|v| v.to_point()).collect()
+    }
+}
+
+/// Iterator over the rows of a [`ColumnStore`].
+#[derive(Debug, Clone)]
+pub struct ColumnIter<'a> {
+    store: &'a ColumnStore,
+    next: usize,
+}
+
+impl<'a> Iterator for ColumnIter<'a> {
+    type Item = PointView<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<PointView<'a>> {
+        let v = self.store.view(self.next)?;
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.store.len().saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
+/// Streaming builder for a [`ColumnStore`].
+///
+/// Starts as a dense slab on the first dense push; upgrades to CSR the
+/// moment a sparse or ragged-width row arrives (existing dense rows are
+/// rewritten as explicit CSR rows, which is numerically identical).
+#[derive(Debug, Clone)]
+pub struct ColumnarBuilder {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Empty,
+    Dense(DenseColumns),
+    Csr(CsrColumns),
+}
+
+impl Default for ColumnarBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnarBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self { repr: Repr::Empty }
+    }
+
+    /// A builder pre-sized for `rows` rows of `dims` dense features.
+    pub fn with_dense_capacity(rows: usize, dims: usize) -> Self {
+        Self {
+            repr: Repr::Dense(DenseColumns {
+                dims,
+                labels: Vec::with_capacity(rows),
+                values: Vec::with_capacity(rows * dims),
+            }),
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Empty => 0,
+            Repr::Dense(d) => d.labels.len(),
+            Repr::Csr(c) => c.labels.len(),
+        }
+    }
+
+    /// `true` when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a dense row.
+    pub fn push_dense(&mut self, label: f64, row: &[f64]) {
+        match &mut self.repr {
+            Repr::Empty => {
+                self.repr = Repr::Dense(DenseColumns {
+                    dims: row.len(),
+                    labels: vec![label],
+                    values: row.to_vec(),
+                });
+            }
+            Repr::Dense(d) if d.dims == row.len() => {
+                d.labels.push(label);
+                d.values.extend_from_slice(row);
+            }
+            Repr::Dense(_) => {
+                // Ragged dense width: fall back to CSR.
+                self.upgrade_to_csr(row.len());
+                self.push_dense(label, row);
+            }
+            Repr::Csr(c) => {
+                c.dim = c.dim.max(row.len());
+                c.labels.push(label);
+                for (i, &v) in row.iter().enumerate() {
+                    c.indices.push(i as u32);
+                    c.values.push(v);
+                }
+                c.indptr.push(c.indices.len());
+            }
+        }
+    }
+
+    /// Append a sparse row. `indices` must be strictly increasing; the
+    /// store's dimensionality grows to cover the largest index seen (use
+    /// [`ColumnarBuilder::finish_with_dims`] to widen it further).
+    pub fn push_sparse(
+        &mut self,
+        label: f64,
+        indices: &[u32],
+        values: &[f64],
+    ) -> Result<(), LinalgError> {
+        if indices.len() != values.len() {
+            return Err(LinalgError::IndexValueLengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(LinalgError::UnsortedIndices);
+        }
+        let needed = indices.last().map_or(0, |&m| m as usize + 1);
+        if !matches!(self.repr, Repr::Csr(_)) {
+            let dims = match &self.repr {
+                Repr::Dense(d) => d.dims,
+                _ => 0,
+            };
+            self.upgrade_to_csr(dims.max(needed));
+        }
+        let Repr::Csr(c) = &mut self.repr else {
+            unreachable!("just upgraded to CSR");
+        };
+        c.dim = c.dim.max(needed);
+        c.labels.push(label);
+        c.indices.extend_from_slice(indices);
+        c.values.extend_from_slice(values);
+        c.indptr.push(c.indices.len());
+        Ok(())
+    }
+
+    /// Append an already-validated owned point.
+    pub fn push_point(&mut self, point: &LabeledPoint) {
+        self.push_view(point.view());
+    }
+
+    /// Append a borrowed row (the partition-dealing path: rows move from
+    /// one store into per-partition builders without materializing points).
+    pub fn push_view(&mut self, view: PointView<'_>) {
+        match view.features {
+            FeatureView::Dense(row) => self.push_dense(view.label, row),
+            FeatureView::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
+                self.push_sparse(view.label, indices, values)
+                    .expect("a view borrows already-validated storage");
+                if let Repr::Csr(c) = &mut self.repr {
+                    c.dim = c.dim.max(dim);
+                }
+            }
+        }
+    }
+
+    /// Finish, producing the columnar store.
+    pub fn finish(self) -> ColumnStore {
+        match self.repr {
+            Repr::Empty => ColumnStore::Dense(DenseColumns {
+                dims: 0,
+                labels: Vec::new(),
+                values: Vec::new(),
+            }),
+            Repr::Dense(d) => ColumnStore::Dense(d),
+            Repr::Csr(c) => ColumnStore::Csr(c),
+        }
+    }
+
+    /// Finish, widening a CSR store's dimensionality to at least `dims`
+    /// (LIBSVM's "pad to the model width" hint). Dense slabs keep their
+    /// exact width — their dimensionality is structural, not declared.
+    pub fn finish_with_dims(self, dims: usize) -> ColumnStore {
+        let mut store = self.finish();
+        if let ColumnStore::Csr(c) = &mut store {
+            c.dim = c.dim.max(dims);
+        }
+        store
+    }
+
+    fn upgrade_to_csr(&mut self, dim: usize) {
+        let repr = std::mem::replace(&mut self.repr, Repr::Empty);
+        self.repr = match repr {
+            Repr::Empty => Repr::Csr(CsrColumns {
+                dim,
+                labels: Vec::new(),
+                indptr: vec![0],
+                indices: Vec::new(),
+                values: Vec::new(),
+            }),
+            Repr::Dense(d) => {
+                let n = d.labels.len();
+                let mut indices = Vec::with_capacity(d.values.len());
+                let mut indptr = Vec::with_capacity(n + 1);
+                indptr.push(0);
+                for _ in 0..n {
+                    indices.extend(0..d.dims as u32);
+                    indptr.push(indices.len());
+                }
+                Repr::Csr(CsrColumns {
+                    dim: dim.max(d.dims),
+                    labels: d.labels,
+                    indptr,
+                    indices,
+                    values: d.values,
+                })
+            }
+            Repr::Csr(mut c) => {
+                c.dim = c.dim.max(dim);
+                Repr::Csr(c)
+            }
+        };
+    }
+}
+
+/// Build a store from owned points (the compatibility ingestion path).
+impl FromIterator<LabeledPoint> for ColumnStore {
+    fn from_iter<I: IntoIterator<Item = LabeledPoint>>(iter: I) -> Self {
+        let mut b = ColumnarBuilder::new();
+        let mut dim = 0usize;
+        for p in iter {
+            dim = dim.max(p.dim());
+            b.push_point(&p);
+        }
+        b.finish_with_dims(dim)
+    }
+}
+
+impl From<&LabeledPoint> for ColumnStore {
+    fn from(p: &LabeledPoint) -> Self {
+        let mut b = ColumnarBuilder::new();
+        b.push_point(p);
+        b.finish_with_dims(p.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4all_linalg::{FeatureVec, SparseVector};
+
+    #[test]
+    fn dense_rows_land_in_one_slab() {
+        let mut b = ColumnarBuilder::new();
+        b.push_dense(1.0, &[1.0, 2.0]);
+        b.push_dense(-1.0, &[3.0, 4.0]);
+        let store = b.finish();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dims(), 2);
+        let (labels, values, dims) = store.as_dense().unwrap();
+        assert_eq!(labels, &[1.0, -1.0]);
+        assert_eq!(values, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dims, 2);
+        let v = store.view(1).unwrap();
+        assert_eq!(v.label, -1.0);
+        assert_eq!(v.features.dot(&[1.0, 0.0]), 3.0);
+        assert!(store.view(2).is_none());
+    }
+
+    #[test]
+    fn sparse_rows_build_csr() {
+        let mut b = ColumnarBuilder::new();
+        b.push_sparse(1.0, &[1, 3], &[5.0, 1.0]).unwrap();
+        b.push_sparse(-1.0, &[0], &[2.0]).unwrap();
+        let store = b.finish_with_dims(6);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dims(), 6);
+        assert!(store.as_dense().is_none());
+        let v = store.view(0).unwrap();
+        assert_eq!(v.features.nnz(), 2);
+        assert_eq!(v.features.dot(&[0.0, 1.0, 0.0, 1.0, 0.0, 0.0]), 6.0);
+        assert_eq!(store.total_nnz(), 3);
+    }
+
+    #[test]
+    fn mixed_rows_upgrade_dense_to_csr_identically() {
+        let mut b = ColumnarBuilder::new();
+        b.push_dense(1.0, &[1.0, 0.0, 2.0]);
+        b.push_sparse(-1.0, &[2], &[7.0]).unwrap();
+        let store = b.finish();
+        assert_eq!(store.dims(), 3);
+        let w = [1.0, 10.0, 100.0];
+        assert_eq!(store.view(0).unwrap().features.dot(&w), 201.0);
+        assert_eq!(store.view(1).unwrap().features.dot(&w), 700.0);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_sparse_rows() {
+        let mut b = ColumnarBuilder::new();
+        assert_eq!(
+            b.push_sparse(1.0, &[2, 1], &[1.0, 1.0]).unwrap_err(),
+            LinalgError::UnsortedIndices
+        );
+        assert!(matches!(
+            b.push_sparse(1.0, &[1], &[]).unwrap_err(),
+            LinalgError::IndexValueLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn to_points_round_trips_both_layouts() {
+        let pts = vec![
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![1.0, 2.0])),
+            LabeledPoint::new(-1.0, FeatureVec::dense(vec![3.0, 4.0])),
+        ];
+        let store: ColumnStore = pts.clone().into_iter().collect();
+        assert_eq!(store.to_points(), pts);
+
+        let sparse = vec![
+            LabeledPoint::new(
+                1.0,
+                FeatureVec::Sparse(SparseVector::new(5, vec![0, 4], vec![1.0, 2.0]).unwrap()),
+            ),
+            LabeledPoint::new(
+                -1.0,
+                FeatureVec::Sparse(SparseVector::new(5, vec![2], vec![3.0]).unwrap()),
+            ),
+        ];
+        let store: ColumnStore = sparse.clone().into_iter().collect();
+        assert_eq!(store.to_points(), sparse);
+    }
+
+    #[test]
+    fn approx_bytes_matches_point_accounting() {
+        let pts = vec![
+            LabeledPoint::new(1.0, FeatureVec::dense(vec![0.0; 10])),
+            LabeledPoint::new(-1.0, FeatureVec::dense(vec![0.0; 10])),
+        ];
+        let expect: u64 = pts.iter().map(|p| p.approx_bytes() as u64).sum();
+        let store: ColumnStore = pts.into_iter().collect();
+        assert_eq!(store.approx_bytes(), expect);
+    }
+
+    #[test]
+    fn empty_store_is_well_formed() {
+        let store = ColumnStore::empty();
+        assert!(store.is_empty());
+        assert_eq!(store.iter().count(), 0);
+        assert!(store.view(0).is_none());
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let mut b = ColumnarBuilder::with_dense_capacity(3, 1);
+        for i in 0..3 {
+            b.push_dense(i as f64, &[i as f64]);
+        }
+        let store = b.finish();
+        let mut it = store.iter();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        let labels: Vec<f64> = store.iter().map(|v| v.label).collect();
+        assert_eq!(labels, vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,20 +1,22 @@
 //! Physical partitioned datasets.
 //!
 //! A [`PartitionedDataset`] pairs a logical [`DatasetDescriptor`] (the
-//! scale the cost model charges for) with physical partitions of
-//! [`LabeledPoint`] rows that the math actually runs over. For laptop-scale
-//! reproduction of the paper's multi-gigabyte datasets, the physical rows
-//! may be a deterministic down-sample of the declared logical scale — the
-//! paper's own Section 5 argument (error-sequence shape is preserved under
+//! scale the cost model charges for) with physical partitions stored in
+//! contiguous columnar form ([`ColumnStore`]): a labels column plus either
+//! a row-major dense slab or CSR, which is what the gradient hot loop
+//! iterates with zero per-point allocation. For laptop-scale reproduction
+//! of the paper's multi-gigabyte datasets, the physical rows may be a
+//! deterministic down-sample of the declared logical scale — the paper's
+//! own Section 5 argument (error-sequence shape is preserved under
 //! sampling) is what licenses this.
 
 use std::sync::Arc;
 
-use ml4all_linalg::LabeledPoint;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ml4all_linalg::{LabeledPoint, PointView};
+use rand::{Rng, SeedableRng};
 
 use crate::cluster::ClusterSpec;
+use crate::columns::{ColumnStore, ColumnarBuilder};
 use crate::descriptor::DatasetDescriptor;
 use crate::DataflowError;
 
@@ -30,26 +32,37 @@ pub enum PartitionScheme {
     Contiguous,
 }
 
-/// One physical partition (an HDFS block's worth of rows).
+/// One physical partition (an HDFS block's worth of rows) in columnar form.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    points: Vec<LabeledPoint>,
+    columns: ColumnStore,
 }
 
 impl Partition {
-    /// Rows of this partition.
-    pub fn points(&self) -> &[LabeledPoint] {
-        &self.points
+    /// The columnar storage behind this partition.
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
+    }
+
+    /// Borrow row `oi` as a zero-copy view.
+    #[inline]
+    pub fn view(&self, oi: usize) -> Option<PointView<'_>> {
+        self.columns.view(oi)
+    }
+
+    /// Iterate over the partition's rows as views.
+    pub fn iter(&self) -> crate::columns::ColumnIter<'_> {
+        self.columns.iter()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.columns.len()
     }
 
     /// `true` if the partition holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.columns.is_empty()
     }
 }
 
@@ -70,8 +83,10 @@ impl PartitionedDataset {
     /// descriptor may declare thousands of partitions.
     pub const MAX_PHYSICAL_PARTITIONS: usize = 64;
 
-    /// Build from points, deriving the logical descriptor from the physical
-    /// rows (full-scale dataset).
+    /// Build from owned points, deriving the logical descriptor from the
+    /// physical rows (full-scale dataset). Ingestion-compatibility path;
+    /// loaders that already hold columnar rows use
+    /// [`PartitionedDataset::from_columns`].
     pub fn from_points(
         name: impl Into<String>,
         points: Vec<LabeledPoint>,
@@ -79,48 +94,93 @@ impl PartitionedDataset {
         spec: &ClusterSpec,
     ) -> Result<Self, DataflowError> {
         let desc = DatasetDescriptor::from_points(name, &points);
-        Self::with_descriptor(desc, points, scheme, spec)
+        let rows: ColumnStore = points.into_iter().collect();
+        Self::with_descriptor_columns(desc, &rows, scheme, spec)
     }
 
-    /// Build from points with an explicit (possibly larger-than-physical)
-    /// logical descriptor.
+    /// Build from columnar rows, deriving the logical descriptor from the
+    /// physical rows (full-scale dataset).
+    pub fn from_columns(
+        name: impl Into<String>,
+        rows: &ColumnStore,
+        scheme: PartitionScheme,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        let desc = DatasetDescriptor::from_columns(name, rows);
+        Self::with_descriptor_columns(desc, rows, scheme, spec)
+    }
+
+    /// Build from owned points with an explicit (possibly
+    /// larger-than-physical) logical descriptor.
     pub fn with_descriptor(
         desc: DatasetDescriptor,
         points: Vec<LabeledPoint>,
         scheme: PartitionScheme,
         spec: &ClusterSpec,
     ) -> Result<Self, DataflowError> {
-        if points.is_empty() {
+        let rows: ColumnStore = points.into_iter().collect();
+        Self::with_descriptor_columns(desc, &rows, scheme, spec)
+    }
+
+    /// Build from columnar rows with an explicit logical descriptor: rows
+    /// are dealt into per-partition slabs without materializing any
+    /// [`LabeledPoint`].
+    pub fn with_descriptor_columns(
+        desc: DatasetDescriptor,
+        rows: &ColumnStore,
+        scheme: PartitionScheme,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        if rows.is_empty() {
             return Err(DataflowError::EmptyDataset);
         }
         let logical_p = desc.partitions(spec) as usize;
-        let n_phys = points.len();
+        let n_phys = rows.len();
         // One physical partition per logical partition, capped; never more
         // partitions than points.
         let p_phys = logical_p
             .clamp(1, Self::MAX_PHYSICAL_PARTITIONS)
             .min(n_phys);
-        let mut partitions: Vec<Vec<LabeledPoint>> = (0..p_phys)
-            .map(|i| Vec::with_capacity(n_phys / p_phys + usize::from(i < n_phys % p_phys)))
+        // Pre-size a dense slab only when the source rows are dense: a
+        // dense pre-allocation for CSR rows would survive the builder's
+        // layout upgrade and pin dense-equivalent memory for sparse data.
+        // Row counts follow the scheme: round-robin deals evenly, while
+        // contiguous dealing fills ceil(n/p)-sized chunks front to back.
+        let chunk = n_phys.div_ceil(p_phys);
+        let mut builders: Vec<ColumnarBuilder> = (0..p_phys)
+            .map(|i| {
+                let rows_here = match scheme {
+                    PartitionScheme::RoundRobin => {
+                        n_phys / p_phys + usize::from(i < n_phys % p_phys)
+                    }
+                    PartitionScheme::Contiguous => chunk.min(n_phys - (i * chunk).min(n_phys)),
+                };
+                if rows.as_dense().is_some() {
+                    ColumnarBuilder::with_dense_capacity(rows_here, rows.dims())
+                } else {
+                    ColumnarBuilder::new()
+                }
+            })
             .collect();
         match scheme {
             PartitionScheme::RoundRobin => {
-                for (i, pt) in points.into_iter().enumerate() {
-                    partitions[i % p_phys].push(pt);
+                for (i, v) in rows.iter().enumerate() {
+                    builders[i % p_phys].push_view(v);
                 }
             }
             PartitionScheme::Contiguous => {
-                let chunk = n_phys.div_ceil(p_phys);
-                for (i, pt) in points.into_iter().enumerate() {
-                    partitions[(i / chunk).min(p_phys - 1)].push(pt);
+                for (i, v) in rows.iter().enumerate() {
+                    builders[(i / chunk).min(p_phys - 1)].push_view(v);
                 }
             }
         }
         Ok(Self {
             desc,
-            partitions: partitions
+            partitions: builders
                 .into_iter()
-                .map(|points| Partition { points })
+                .map(|b| Partition {
+                    columns: b.finish_with_dims(rows.dims()),
+                })
                 .collect::<Vec<_>>()
                 .into(),
         })
@@ -161,30 +221,65 @@ impl PartitionedDataset {
         self.physical_n() as f64 / self.desc.n as f64
     }
 
-    /// Iterate over every physical row (partition-major order).
-    pub fn iter_points(&self) -> impl Iterator<Item = &LabeledPoint> {
-        self.partitions.iter().flat_map(|p| p.points.iter())
+    /// Iterate over every physical row as a zero-copy view
+    /// (partition-major order).
+    pub fn iter_views(&self) -> impl Iterator<Item = PointView<'_>> {
+        self.partitions.iter().flat_map(|p| p.iter())
     }
 
-    /// Look up a row by `(partition, offset)` coordinates.
-    pub fn point(&self, partition: usize, offset: usize) -> Option<&LabeledPoint> {
-        self.partitions.get(partition)?.points.get(offset)
+    /// Borrow a row by `(partition, offset)` coordinates.
+    #[inline]
+    pub fn view(&self, partition: usize, offset: usize) -> Option<PointView<'_>> {
+        self.partitions.get(partition)?.view(offset)
+    }
+
+    /// Materialize a row by `(partition, offset)` coordinates (API
+    /// boundary only — the hot loop uses [`PartitionedDataset::view`]).
+    pub fn point(&self, partition: usize, offset: usize) -> Option<LabeledPoint> {
+        Some(self.view(partition, offset)?.to_point())
+    }
+
+    /// Materialize every physical row (partition-major order).
+    pub fn to_points(&self) -> Vec<LabeledPoint> {
+        self.iter_views().map(|v| v.to_point()).collect()
     }
 
     /// A deterministic uniform sub-sample of `m` physical rows (used by the
     /// speculation-based iterations estimator, Algorithm 1 line 1). Returns
-    /// all rows if `m >= physical_n`.
+    /// all rows if `m >= physical_n`. A partial Fisher–Yates stops after
+    /// the `m` draws instead of shuffling the full index vector.
     pub fn sample_points(&self, m: usize, seed: u64) -> Vec<LabeledPoint> {
-        let all: Vec<&LabeledPoint> = self.iter_points().collect();
-        if m >= all.len() {
-            return all.into_iter().cloned().collect();
+        let n = self.physical_n();
+        if m >= n {
+            return self.to_points();
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut idx: Vec<usize> = (0..all.len()).collect();
-        idx.shuffle(&mut rng);
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
         idx.truncate(m);
         idx.sort_unstable();
-        idx.into_iter().map(|i| all[i].clone()).collect()
+
+        // Walk the sorted global indices against the partition offsets.
+        let mut out = Vec::with_capacity(m);
+        let mut pi = 0usize;
+        let mut start = 0usize;
+        for gi in idx {
+            let gi = gi as usize;
+            while gi >= start + self.partitions[pi].len() {
+                start += self.partitions[pi].len();
+                pi += 1;
+            }
+            out.push(
+                self.partitions[pi]
+                    .view(gi - start)
+                    .expect("global index within partition")
+                    .to_point(),
+            );
+        }
+        out
     }
 }
 
@@ -273,8 +368,8 @@ mod tests {
         assert_eq!(ds.num_partitions(), 4);
         // First partition holds the first chunk in order.
         let first = ds.partition(0).unwrap();
-        assert_eq!(first.points()[0].features.dot(&[1.0, 0.0]), 0.0);
-        assert_eq!(first.points()[1].features.dot(&[1.0, 0.0]), 1.0);
+        assert_eq!(first.view(0).unwrap().features.dot(&[1.0, 0.0]), 0.0);
+        assert_eq!(first.view(1).unwrap().features.dot(&[1.0, 0.0]), 1.0);
     }
 
     #[test]
@@ -293,6 +388,33 @@ mod tests {
     }
 
     #[test]
+    fn contiguous_chunking_fills_front_partitions() {
+        // n = 10, p = 4 → chunks of 3,3,3,1 (not the round-robin 3,3,2,2):
+        // the pre-sizing must match the dealing so slabs never regrow.
+        let desc = DatasetDescriptor::new("c", 10, 2, 4 * 128 * 1024 * 1024, 1.0);
+        let ds = PartitionedDataset::with_descriptor(
+            desc,
+            points(10),
+            PartitionScheme::Contiguous,
+            &spec(),
+        )
+        .unwrap();
+        let lens: Vec<usize> = ds.partitions().iter().map(Partition::len).collect();
+        assert_eq!(lens, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn dense_points_build_contiguous_slabs() {
+        let ds =
+            PartitionedDataset::from_points("d", points(10), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        let (labels, values, dims) = ds.partition(0).unwrap().columns().as_dense().unwrap();
+        assert_eq!(labels.len(), 10);
+        assert_eq!(dims, 2);
+        assert_eq!(values.len(), 20);
+    }
+
+    #[test]
     fn sample_points_is_deterministic_and_sized() {
         let ds =
             PartitionedDataset::from_points("s", points(500), PartitionScheme::RoundRobin, &spec())
@@ -305,12 +427,26 @@ mod tests {
     }
 
     #[test]
+    fn sample_points_draws_distinct_rows() {
+        let ds =
+            PartitionedDataset::from_points("u", points(200), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        let sample = ds.sample_points(80, 7);
+        let mut xs: Vec<f64> = sample.iter().map(|p| p.features.dot(&[1.0, 0.0])).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        assert_eq!(xs.len(), 80, "a uniform sample never repeats a row");
+    }
+
+    #[test]
     fn point_lookup_round_trips() {
         let ds =
             PartitionedDataset::from_points("p", points(10), PartitionScheme::RoundRobin, &spec())
                 .unwrap();
-        assert!(ds.point(0, 0).is_some());
-        assert!(ds.point(9, 0).is_none());
+        assert!(ds.view(0, 0).is_some());
+        assert!(ds.view(9, 0).is_none());
         assert!(ds.partition(3).is_err());
+        let p = ds.point(0, 0).unwrap();
+        assert_eq!(p.label, 1.0);
     }
 }

@@ -63,6 +63,26 @@ impl DatasetDescriptor {
         )
     }
 
+    /// Derive a descriptor from columnar rows: the zero-copy counterpart
+    /// of [`DatasetDescriptor::from_points`].
+    pub fn from_columns(name: impl Into<String>, rows: &crate::columns::ColumnStore) -> Self {
+        // Labels cost 8 bytes each; dense entries 8, sparse entries 12 —
+        // matching the sum of `LabeledPoint::approx_bytes` for homogeneous
+        // input. Mixed-input rows upgraded to CSR are charged at their CSR
+        // footprint (explicit zeros included): costs follow the layout the
+        // rows are actually stored in.
+        let bytes = rows.approx_bytes();
+        let dims = rows.dims();
+        let denom = (rows.len() as u64 * dims as u64).max(1);
+        Self::new(
+            name,
+            rows.len() as u64,
+            dims,
+            bytes.max(1),
+            rows.total_nnz() as f64 / denom as f64,
+        )
+    }
+
     /// Average bytes per data unit.
     pub fn unit_bytes(&self) -> f64 {
         self.bytes as f64 / self.n as f64

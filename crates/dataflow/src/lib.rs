@@ -32,6 +32,7 @@
 //!   random-partition, shuffled-partition.
 
 pub mod cluster;
+pub mod columns;
 pub mod dataset;
 pub mod descriptor;
 pub mod env;
@@ -39,6 +40,7 @@ pub mod ledger;
 pub mod sampling;
 
 pub use cluster::{ClusterSpec, StorageMedium};
+pub use columns::{ColumnStore, ColumnarBuilder};
 pub use dataset::{Partition, PartitionScheme, PartitionedDataset};
 pub use descriptor::DatasetDescriptor;
 pub use env::SimEnv;

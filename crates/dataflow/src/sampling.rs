@@ -1,8 +1,11 @@
 //! The three sampling strategies of Figure 4, with their distinct cost
 //! profiles (Section 6, "Efficient data skipping"):
 //!
-//! - **Bernoulli** — scan *every* data unit each iteration and include it
-//!   with probability `m/n` (what MLlib does). Cost: a full scan per draw.
+//! - **Bernoulli** — include every data unit with probability `m/n` (what
+//!   MLlib does). The *simulated* cost is a full scan per draw; the
+//!   machine implementation uses geometric skip sampling (jump straight
+//!   to the next included unit) so the real work is proportional to the
+//!   included count, not the dataset size.
 //! - **Random-partition** — for each of the `m` requested units, pick a
 //!   random partition, then a random unit inside it. Cost: `m` random page
 //!   reads (seek + page each).
@@ -12,6 +15,12 @@
 //!   sequential page access; the trade-off is intra-partition sample
 //!   correlation, which can increase iterations to converge (and distorts
 //!   models on partition-skewed data — the paper's rcv1 caveat).
+//!
+//! All three samplers are **index-based**: a draw yields `(partition,
+//! offset)` coordinates into the columnar storage — no point is ever
+//! cloned — and [`SamplerState::draw_into`] writes them into a
+//! caller-owned buffer so the training loop allocates nothing per
+//! iteration.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -50,7 +59,8 @@ impl std::fmt::Display for SamplingMethod {
     }
 }
 
-/// Cursor into the currently-shuffled partition.
+/// Cursor into the currently-shuffled partition. The `order` permutation
+/// buffer is reused across reshuffles.
 #[derive(Debug, Clone)]
 struct ShuffleCursor {
     partition: usize,
@@ -95,7 +105,8 @@ impl SamplerState {
 
     /// Draw (approximately, for Bernoulli; exactly, otherwise) `m` sample
     /// coordinates `(partition, offset)` from `data`, charging the
-    /// strategy's per-iteration cost to `env`.
+    /// strategy's per-iteration cost to `env`. Allocating convenience
+    /// wrapper around [`SamplerState::draw_into`].
     pub fn draw(
         &mut self,
         data: &PartitionedDataset,
@@ -103,61 +114,96 @@ impl SamplerState {
         env: &mut SimEnv,
         rng: &mut StdRng,
     ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        let mut out = Vec::new();
+        self.draw_into(data, m, env, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Draw sample coordinates into `out` (cleared first). The buffer is
+    /// caller-owned so repeated draws reuse its allocation.
+    pub fn draw_into(
+        &mut self,
+        data: &PartitionedDataset,
+        m: usize,
+        env: &mut SimEnv,
+        rng: &mut StdRng,
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), DataflowError> {
+        out.clear();
         if data.physical_n() == 0 {
             return Err(DataflowError::NothingToSample);
         }
         if m == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         match self.method {
-            SamplingMethod::Bernoulli => self.draw_bernoulli(data, m, env, rng),
-            SamplingMethod::RandomPartition => self.draw_random_partition(data, m, env, rng),
-            SamplingMethod::ShuffledPartition => self.draw_shuffled_partition(data, m, env, rng),
+            SamplingMethod::Bernoulli => self.draw_bernoulli(data, m, env, rng, out),
+            SamplingMethod::RandomPartition => self.draw_random_partition(data, m, env, rng, out),
+            SamplingMethod::ShuffledPartition => {
+                self.draw_shuffled_partition(data, m, env, rng, out)
+            }
         }
     }
 
+    /// Bernoulli via geometric skip sampling: instead of flipping a coin
+    /// per unit, jump directly to the next included unit (the skip length
+    /// is geometrically distributed with the same inclusion probability),
+    /// so a draw costs O(included) instead of O(n). Each partition tests
+    /// its units with an RNG seeded from (draw, partition index) and
+    /// partitions emit in index order, so the drawn sample is identical at
+    /// any worker count. The *simulated* cost stays a full scan — that is
+    /// the strategy's cost profile, regardless of how fast the machine
+    /// executes it.
     fn draw_bernoulli(
         &mut self,
         data: &PartitionedDataset,
         m: usize,
         env: &mut SimEnv,
         rng: &mut StdRng,
-    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), DataflowError> {
         let desc = data.descriptor();
         let n_phys = data.physical_n();
         let prob = (m as f64 / n_phys as f64).min(1.0);
-        let runtime = env.runtime().clone();
         for _ in 0..Self::MAX_BERNOULLI_RETRIES {
-            // Every retry scans the whole dataset again: that is the cost
-            // profile that makes Bernoulli a poor fit for small samples.
+            // Every retry is charged as a whole-dataset scan: that is the
+            // cost profile that makes Bernoulli a poor fit for small
+            // samples.
             env.charge_full_scan_io(desc, StorageMedium::Auto);
             env.charge_wave_cpu(desc, env.spec.cpu_sample_test_s());
-            // The inclusion test runs as a wave over the partitions (which
-            // is exactly what the CPU charge above models). Each partition
-            // tests its units with an RNG seeded from (draw, partition
-            // index), and partitions concatenate in index order, so the
-            // drawn sample is identical at any worker count.
             let draw_seed = rng.next_u64();
-            let per_partition: Vec<Vec<(usize, usize)>> =
-                runtime.map_indexed(data.partitions(), |pi, part| {
-                    let mut prng =
-                        StdRng::seed_from_u64(ml4all_runtime::derive_seed(draw_seed, pi as u64));
-                    let mut included = Vec::new();
-                    for oi in 0..part.len() {
-                        if prng.gen::<f64>() < prob {
-                            included.push((pi, oi));
-                        }
+            for (pi, part) in data.partitions().iter().enumerate() {
+                let mut prng =
+                    StdRng::seed_from_u64(ml4all_runtime::derive_seed(draw_seed, pi as u64));
+                if prob >= 1.0 {
+                    out.extend((0..part.len()).map(|oi| (pi, oi)));
+                    continue;
+                }
+                let ln_q = (1.0 - prob).ln();
+                let mut oi = 0usize;
+                loop {
+                    // `1 - u ∈ (0, 1]` keeps ln() finite; the skip length
+                    // floor(ln(u')/ln(1-p)) is Geometric(p).
+                    let u = 1.0 - prng.gen::<f64>();
+                    let skip = u.ln() / ln_q;
+                    if skip >= (part.len() - oi) as f64 {
+                        break;
                     }
-                    included
-                });
-            let out: Vec<(usize, usize)> = per_partition.into_iter().flatten().collect();
+                    oi += skip as usize;
+                    out.push((pi, oi));
+                    oi += 1;
+                    if oi >= part.len() {
+                        break;
+                    }
+                }
+            }
             if !out.is_empty() {
-                return Ok(out);
+                return Ok(());
             }
         }
         // Degenerate fallback: force one uniformly random unit.
-        let (pi, oi) = random_coordinate(data, rng);
-        Ok(vec![(pi, oi)])
+        out.push(random_coordinate(data, rng));
+        Ok(())
     }
 
     fn draw_random_partition(
@@ -166,15 +212,16 @@ impl SamplerState {
         m: usize,
         env: &mut SimEnv,
         rng: &mut StdRng,
-    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), DataflowError> {
         let desc = data.descriptor();
-        let mut out = Vec::with_capacity(m);
+        out.reserve(m);
         for _ in 0..m {
             env.charge_random_unit_read(desc, StorageMedium::Auto);
             out.push(random_coordinate(data, rng));
         }
         env.charge_serial_cpu(m as u64, env.spec.cpu_sample_test_s());
-        Ok(out)
+        Ok(())
     }
 
     fn draw_shuffled_partition(
@@ -183,7 +230,8 @@ impl SamplerState {
         m: usize,
         env: &mut SimEnv,
         rng: &mut StdRng,
-    ) -> Result<Vec<(usize, usize)>, DataflowError> {
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), DataflowError> {
         let desc = data.descriptor();
 
         // Charge the reshuffle *amortized at logical scale*: one partition
@@ -205,7 +253,7 @@ impl SamplerState {
                 .charge_io(shuffle_env.elapsed_s() * m as f64 / k as f64);
         }
 
-        let mut out = Vec::with_capacity(m);
+        out.reserve(m);
         while out.len() < m {
             let need_shuffle = match &self.cursor {
                 None => true,
@@ -213,19 +261,23 @@ impl SamplerState {
             };
             if need_shuffle {
                 // Physical reshuffle (cost already amortized above): pick a
-                // fresh partition, Fisher–Yates its rows.
+                // fresh partition, Fisher–Yates its rows into the reused
+                // permutation buffer.
                 let pi = rng.gen_range(0..data.num_partitions());
                 let part = data.partition(pi)?;
-                let mut order: Vec<u32> = (0..part.len() as u32).collect();
-                for i in (1..order.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    order.swap(i, j);
-                }
-                self.cursor = Some(ShuffleCursor {
-                    partition: pi,
-                    order,
+                let cursor = self.cursor.get_or_insert_with(|| ShuffleCursor {
+                    partition: 0,
+                    order: Vec::new(),
                     pos: 0,
                 });
+                cursor.partition = pi;
+                cursor.pos = 0;
+                cursor.order.clear();
+                cursor.order.extend(0..part.len() as u32);
+                for i in (1..cursor.order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    cursor.order.swap(i, j);
+                }
                 self.shuffles += 1;
             }
             let cursor = self.cursor.as_mut().expect("cursor just ensured");
@@ -238,7 +290,7 @@ impl SamplerState {
         let unit_bytes = desc.unit_bytes().ceil() as u64;
         env.charge_sequential_read(unit_bytes * m as u64, desc.bytes, StorageMedium::Auto);
         env.charge_serial_cpu(m as u64, env.spec.cpu_sample_test_s());
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -286,6 +338,37 @@ mod tests {
     }
 
     #[test]
+    fn bernoulli_skip_sampling_draws_m_in_expectation() {
+        // Average over many draws: the geometric-skip implementation must
+        // keep the Bernoulli mean inclusion count at m.
+        let data = dataset(5_000, 4);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = SamplerState::new(SamplingMethod::Bernoulli);
+        let m = 100usize;
+        let draws = 200;
+        let mut total = 0usize;
+        for _ in 0..draws {
+            total += sampler.draw(&data, m, &mut env, &mut rng).unwrap().len();
+        }
+        let mean = total as f64 / draws as f64;
+        assert!(
+            (mean - m as f64).abs() < 0.08 * m as f64,
+            "mean inclusion {mean} vs requested {m}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_with_m_at_least_n_includes_everything() {
+        let data = dataset(64, 4);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = SamplerState::new(SamplingMethod::Bernoulli);
+        let s = sampler.draw(&data, 64, &mut env, &mut rng).unwrap();
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
     fn bernoulli_never_returns_empty() {
         let data = dataset(5000, 1);
         let mut env = env();
@@ -298,6 +381,47 @@ mod tests {
     }
 
     #[test]
+    fn bernoulli_coordinates_are_valid_and_strictly_increasing_per_partition() {
+        let data = dataset(2000, 4);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut sampler = SamplerState::new(SamplingMethod::Bernoulli);
+        let s = sampler.draw(&data, 200, &mut env, &mut rng).unwrap();
+        for w in s.windows(2) {
+            let ((p0, o0), (p1, o1)) = (w[0], w[1]);
+            assert!(
+                p0 < p1 || (p0 == p1 && o0 < o1),
+                "skip sampling emits in order"
+            );
+        }
+        for (pi, oi) in s {
+            assert!(data.view(pi, oi).is_some());
+        }
+    }
+
+    #[test]
+    fn draw_into_reuses_the_coordinate_buffer() {
+        let data = dataset(1000, 2);
+        let mut env = env();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sampler = SamplerState::new(SamplingMethod::RandomPartition);
+        let mut buf = Vec::new();
+        sampler
+            .draw_into(&data, 64, &mut env, &mut rng, &mut buf)
+            .unwrap();
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for _ in 0..10 {
+            sampler
+                .draw_into(&data, 64, &mut env, &mut rng, &mut buf)
+                .unwrap();
+            assert_eq!(buf.len(), 64);
+        }
+        assert_eq!(buf.capacity(), cap, "no buffer growth across draws");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation across draws");
+    }
+
+    #[test]
     fn random_partition_returns_exactly_m() {
         let data = dataset(1000, 4);
         let mut env = env();
@@ -306,7 +430,7 @@ mod tests {
         let s = sampler.draw(&data, 64, &mut env, &mut rng).unwrap();
         assert_eq!(s.len(), 64);
         for (pi, oi) in s {
-            assert!(data.point(pi, oi).is_some());
+            assert!(data.view(pi, oi).is_some());
         }
     }
 

@@ -171,7 +171,7 @@ proptest! {
         let data =
             PartitionedDataset::with_descriptor(desc, points, scheme, &s).unwrap();
         prop_assert_eq!(data.physical_n(), n);
-        let mut labels: Vec<f64> = data.iter_points().map(|p| p.label).collect();
+        let mut labels: Vec<f64> = data.iter_views().map(|v| v.label).collect();
         labels.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
         prop_assert_eq!(labels, expect);

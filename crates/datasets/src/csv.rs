@@ -5,7 +5,8 @@
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 
-use ml4all_linalg::{FeatureVec, LabeledPoint};
+use ml4all_dataflow::{ColumnStore, ColumnarBuilder};
+use ml4all_linalg::LabeledPoint;
 
 use crate::DatasetError;
 
@@ -20,12 +21,14 @@ pub struct CsvColumns {
     pub features: (u32, u32),
 }
 
-/// Read CSV rows (`v1,v2,…`, all numeric) into labelled points.
-pub fn read_csv<R: Read>(
+/// Read CSV rows (`v1,v2,…`, all numeric) straight into contiguous
+/// columnar storage: each parsed row is appended to the dense slab from a
+/// reusable field buffer — no per-row point allocation.
+pub fn read_csv_columns<R: Read>(
     reader: R,
     columns: Option<CsvColumns>,
-) -> Result<Vec<LabeledPoint>, DatasetError> {
-    let mut out = Vec::new();
+) -> Result<ColumnStore, DatasetError> {
+    let mut b = ColumnarBuilder::new();
     let mut buf = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
@@ -48,7 +51,7 @@ pub fn read_csv<R: Read>(
             })?;
             fields.push(v);
         }
-        let (label, features) = match columns {
+        match columns {
             None => {
                 if fields.len() < 2 {
                     return Err(DatasetError::Parse {
@@ -56,7 +59,7 @@ pub fn read_csv<R: Read>(
                         reason: "need a label and at least one feature".into(),
                     });
                 }
-                (fields[0], fields[1..].to_vec())
+                b.push_dense(fields[0], &fields[1..]);
             }
             Some(cols) => {
                 let label_ix = cols.label as usize;
@@ -77,12 +80,28 @@ pub fn read_csv<R: Read>(
                         ),
                     });
                 }
-                (fields[label_ix - 1], fields[from - 1..to].to_vec())
+                b.push_dense(fields[label_ix - 1], &fields[from - 1..to]);
             }
-        };
-        out.push(LabeledPoint::new(label, FeatureVec::dense(features)));
+        }
     }
-    Ok(out)
+    Ok(b.finish())
+}
+
+/// Read CSV rows into owned labelled points (API-boundary convenience
+/// over [`read_csv_columns`]).
+pub fn read_csv<R: Read>(
+    reader: R,
+    columns: Option<CsvColumns>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    Ok(read_csv_columns(reader, columns)?.to_points())
+}
+
+/// Read a CSV file from disk into columnar storage.
+pub fn read_csv_file_columns(
+    path: impl AsRef<Path>,
+    columns: Option<CsvColumns>,
+) -> Result<ColumnStore, DatasetError> {
+    read_csv_columns(std::fs::File::open(path)?, columns)
 }
 
 /// Read a CSV file from disk.

@@ -7,12 +7,21 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use ml4all_linalg::{FeatureVec, LabeledPoint, SparseVector};
+use ml4all_dataflow::{ColumnStore, ColumnarBuilder};
+use ml4all_linalg::{FeatureVec, LabeledPoint};
 
 use crate::DatasetError;
 
-/// Parse one LIBSVM line. `line_no` is used for error reporting only.
-pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>), DatasetError> {
+/// Parse one LIBSVM line into reusable index/value buffers (cleared
+/// first). `line_no` is used for error reporting only.
+fn parse_line_into(
+    line: &str,
+    line_no: usize,
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f64>,
+) -> Result<f64, DatasetError> {
+    indices.clear();
+    values.clear();
     let mut parts = line.split_whitespace();
     let label: f64 = parts
         .next()
@@ -25,8 +34,6 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>
             line_no,
             reason: format!("bad label: {e}"),
         })?;
-    let mut indices = Vec::new();
-    let mut values = Vec::new();
     for tok in parts {
         let (i, v) = tok.split_once(':').ok_or_else(|| DatasetError::Parse {
             line_no,
@@ -49,20 +56,32 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>
         indices.push(idx - 1);
         values.push(val);
     }
+    Ok(label)
+}
+
+/// Parse one LIBSVM line. `line_no` is used for error reporting only.
+pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>), DatasetError> {
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let label = parse_line_into(line, line_no, &mut indices, &mut values)?;
     Ok((label, indices, values))
 }
 
-/// Read LIBSVM data from any reader. When `dims` is `None` the
-/// dimensionality is inferred as the maximum index seen.
-pub fn read_libsvm<R: Read>(
+/// Read LIBSVM data from any reader straight into CSR columnar storage:
+/// rows append to the shared `indptr`/`indices`/`values` slabs from
+/// reusable parse buffers. When `dims` is `None` the dimensionality is
+/// inferred as the maximum index seen (an explicit `dims` never shrinks
+/// below the observed maximum).
+pub fn read_libsvm_columns<R: Read>(
     reader: R,
     dims: Option<usize>,
-) -> Result<Vec<LabeledPoint>, DatasetError> {
-    let mut parsed: Vec<(f64, Vec<u32>, Vec<f64>)> = Vec::new();
-    let mut max_dim = 0usize;
+) -> Result<ColumnStore, DatasetError> {
+    let mut b = ColumnarBuilder::new();
     let mut buf = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
     loop {
         line.clear();
         if buf.read_line(&mut line)? == 0 {
@@ -73,24 +92,31 @@ pub fn read_libsvm<R: Read>(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let (label, indices, values) = parse_line(trimmed, line_no)?;
-        if let Some(&m) = indices.last() {
-            max_dim = max_dim.max(m as usize + 1);
-        }
-        parsed.push((label, indices, values));
-    }
-    let dims = dims.unwrap_or(max_dim).max(max_dim);
-    parsed
-        .into_iter()
-        .enumerate()
-        .map(|(i, (label, indices, values))| {
-            let sv = SparseVector::new(dims, indices, values).map_err(|e| DatasetError::Parse {
-                line_no: i + 1,
+        let label = parse_line_into(trimmed, line_no, &mut indices, &mut values)?;
+        b.push_sparse(label, &indices, &values)
+            .map_err(|e| DatasetError::Parse {
+                line_no,
                 reason: e.to_string(),
             })?;
-            Ok(LabeledPoint::new(label, FeatureVec::Sparse(sv)))
-        })
-        .collect()
+    }
+    Ok(b.finish_with_dims(dims.unwrap_or(0)))
+}
+
+/// Read LIBSVM data into owned labelled points (API-boundary convenience
+/// over [`read_libsvm_columns`]).
+pub fn read_libsvm<R: Read>(
+    reader: R,
+    dims: Option<usize>,
+) -> Result<Vec<LabeledPoint>, DatasetError> {
+    Ok(read_libsvm_columns(reader, dims)?.to_points())
+}
+
+/// Read a LIBSVM file from disk into CSR columnar storage.
+pub fn read_libsvm_file_columns(
+    path: impl AsRef<Path>,
+    dims: Option<usize>,
+) -> Result<ColumnStore, DatasetError> {
+    read_libsvm_columns(std::fs::File::open(path)?, dims)
 }
 
 /// Read a LIBSVM file from disk.

@@ -2,12 +2,14 @@
 //! with its logical scale (n, d, bytes, density) and a builder producing a
 //! physically capped [`PartitionedDataset`] analog.
 
-use ml4all_dataflow::{ClusterSpec, DatasetDescriptor, PartitionScheme, PartitionedDataset};
+use ml4all_dataflow::{
+    ClusterSpec, ColumnStore, DatasetDescriptor, PartitionScheme, PartitionedDataset,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::synth::{
-    dense_classification, dense_regression, sparse_classification, DenseClassConfig,
-    RegressionConfig, SparseClassConfig,
+    dense_classification_columns, dense_regression_columns, sparse_classification_columns,
+    DenseClassConfig, RegressionConfig, SparseClassConfig,
 };
 use crate::DatasetError;
 
@@ -72,15 +74,13 @@ impl DatasetSpec {
         )
     }
 
-    /// Generate physical points for this spec (at most `max_physical`).
-    pub fn generate_points(
-        &self,
-        max_physical: usize,
-        seed: u64,
-    ) -> Vec<ml4all_linalg::LabeledPoint> {
+    /// Generate physical rows for this spec (at most `max_physical`) in
+    /// contiguous columnar form — the layout the partitioner deals from
+    /// without materializing any point.
+    pub fn generate_columns(&self, max_physical: usize, seed: u64) -> ColumnStore {
         let n_phys = (self.n as usize).min(max_physical).max(2);
         match self.task {
-            Task::Svm => dense_classification(&DenseClassConfig {
+            Task::Svm => dense_classification_columns(&DenseClassConfig {
                 n: n_phys,
                 dims: self.dims,
                 noise: self.noise,
@@ -88,7 +88,7 @@ impl DatasetSpec {
             }),
             Task::LogisticRegression => {
                 if self.density < 0.5 {
-                    sparse_classification(&SparseClassConfig {
+                    sparse_classification_columns(&SparseClassConfig {
                         n: n_phys,
                         dims: self.dims,
                         density: self.density,
@@ -97,7 +97,7 @@ impl DatasetSpec {
                         seed,
                     })
                 } else {
-                    dense_classification(&DenseClassConfig {
+                    dense_classification_columns(&DenseClassConfig {
                         n: n_phys,
                         dims: self.dims,
                         noise: self.noise,
@@ -105,13 +105,22 @@ impl DatasetSpec {
                     })
                 }
             }
-            Task::LinearRegression => dense_regression(&RegressionConfig {
+            Task::LinearRegression => dense_regression_columns(&RegressionConfig {
                 n: n_phys,
                 dims: self.dims,
                 noise: self.noise,
                 seed,
             }),
         }
+    }
+
+    /// Generate physical points for this spec (at most `max_physical`).
+    pub fn generate_points(
+        &self,
+        max_physical: usize,
+        seed: u64,
+    ) -> Vec<ml4all_linalg::LabeledPoint> {
+        self.generate_columns(max_physical, seed).to_points()
     }
 
     /// Build the partitioned dataset: logical descriptor at Table 2 scale,
@@ -122,15 +131,15 @@ impl DatasetSpec {
         seed: u64,
         cluster: &ClusterSpec,
     ) -> Result<PartitionedDataset, DatasetError> {
-        let points = self.generate_points(max_physical, seed);
+        let rows = self.generate_columns(max_physical, seed);
         let scheme = if self.skewed {
             PartitionScheme::Contiguous
         } else {
             PartitionScheme::RoundRobin
         };
-        Ok(PartitionedDataset::with_descriptor(
+        Ok(PartitionedDataset::with_descriptor_columns(
             self.descriptor(),
-            points,
+            &rows,
             scheme,
             cluster,
         )?)
@@ -359,8 +368,8 @@ mod tests {
         let cluster = ClusterSpec::paper_testbed();
         let ds = rcv1().build(1_000, 1, &cluster).unwrap();
         let avg_nnz: f64 = ds
-            .iter_points()
-            .map(|p| p.features.nnz() as f64)
+            .iter_views()
+            .map(|v| v.features.nnz() as f64)
             .sum::<f64>()
             / ds.physical_n() as f64;
         // density 1.5e-3 × 47 236 dims ≈ 71 nnz
@@ -368,7 +377,7 @@ mod tests {
         // Contiguous + label-sorted: the first partition must be
         // single-class.
         let first = ds.partition(0).unwrap();
-        let first_labels: Vec<f64> = first.points().iter().map(|p| p.label).collect();
+        let first_labels: Vec<f64> = first.iter().map(|v| v.label).collect();
         assert!(first_labels.windows(2).all(|w| w[0] == w[1]));
     }
 

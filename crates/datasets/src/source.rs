@@ -10,11 +10,11 @@ use std::collections::HashMap;
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
-use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset};
+use ml4all_dataflow::{ClusterSpec, ColumnStore, PartitionScheme, PartitionedDataset};
 use ml4all_linalg::LabeledPoint;
 
-use crate::csv::{read_csv_file, CsvColumns};
-use crate::libsvm::read_libsvm_file;
+use crate::csv::{read_csv_file_columns, CsvColumns};
+use crate::libsvm::read_libsvm_file_columns;
 use crate::{registry, DatasetError};
 
 /// On-disk file format of a [`DataSource::File`].
@@ -204,10 +204,12 @@ impl SourceResolver<'_> {
                 format,
                 columns,
             } => {
-                let points = self.read_file(path, *format, *columns, None)?;
-                Ok(PartitionedDataset::from_points(
+                // Loaders hand back contiguous columnar rows; partitioning
+                // deals them without materializing any point.
+                let rows = self.read_file(path, *format, *columns, None)?;
+                Ok(PartitionedDataset::from_columns(
                     path.display().to_string(),
-                    points,
+                    &rows,
                     PartitionScheme::RoundRobin,
                     self.cluster,
                 )?)
@@ -226,11 +228,11 @@ impl SourceResolver<'_> {
         dims_hint: Option<usize>,
     ) -> Result<Vec<LabeledPoint>, SourceError> {
         match source {
-            DataSource::InMemory(data) => Ok(data.iter_points().cloned().collect()),
+            DataSource::InMemory(data) => Ok(data.to_points()),
             DataSource::Registered(name) => self
                 .catalog
                 .get(name)
-                .map(|d| d.iter_points().cloned().collect())
+                .map(|d| d.to_points())
                 .ok_or_else(|| SourceError::UnknownRegistered(name.clone())),
             DataSource::Registry(name) => {
                 let spec = registry::by_name(name)
@@ -241,7 +243,9 @@ impl SourceResolver<'_> {
                 path,
                 format,
                 columns,
-            } => self.read_file(path, *format, *columns, dims_hint),
+            } => Ok(self
+                .read_file(path, *format, *columns, dims_hint)?
+                .to_points()),
             DataSource::Named { name, columns } => {
                 self.resolve_points(&self.classify_named(name, *columns)?, dims_hint)
             }
@@ -278,7 +282,7 @@ impl SourceResolver<'_> {
         format: FileFormat,
         columns: Option<CsvColumns>,
         dims_hint: Option<usize>,
-    ) -> Result<Vec<LabeledPoint>, SourceError> {
+    ) -> Result<ColumnStore, SourceError> {
         let path = self.data_dir.join(path);
         let format = match format {
             FileFormat::Auto => {
@@ -291,8 +295,8 @@ impl SourceResolver<'_> {
             other => other,
         };
         match format {
-            FileFormat::LibSvm => Ok(read_libsvm_file(&path, dims_hint)?),
-            _ => Ok(read_csv_file(&path, columns)?),
+            FileFormat::LibSvm => Ok(read_libsvm_file_columns(&path, dims_hint)?),
+            _ => Ok(read_csv_file_columns(&path, columns)?),
         }
     }
 }

@@ -7,7 +7,8 @@
 //! shuffled-partition sampler's intra-partition bias visible, Section 8.5),
 //! and dense linear-regression data (yearpred analog).
 
-use ml4all_linalg::{FeatureVec, LabeledPoint, SparseVector};
+use ml4all_dataflow::{ColumnStore, ColumnarBuilder};
+use ml4all_linalg::LabeledPoint;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,21 +28,30 @@ pub struct DenseClassConfig {
 
 /// Dense, approximately linearly separable classification data: a hidden
 /// unit separator `w*` labels uniform `[-1, 1]^d` points, then `noise`
-/// fraction of labels are flipped.
-pub fn dense_classification(cfg: &DenseClassConfig) -> Vec<LabeledPoint> {
+/// fraction of labels are flipped. Rows are written straight into a
+/// contiguous dense slab from a reusable row buffer.
+pub fn dense_classification_columns(cfg: &DenseClassConfig) -> ColumnStore {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let w_star = random_unit_vector(cfg.dims, &mut rng);
-    (0..cfg.n)
-        .map(|_| {
-            let x: Vec<f64> = (0..cfg.dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let score: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum();
-            let mut label = if score >= 0.0 { 1.0 } else { -1.0 };
-            if rng.gen::<f64>() < cfg.noise {
-                label = -label;
-            }
-            LabeledPoint::new(label, FeatureVec::dense(x))
-        })
-        .collect()
+    let mut b = ColumnarBuilder::with_dense_capacity(cfg.n, cfg.dims);
+    let mut x = vec![0.0; cfg.dims];
+    for _ in 0..cfg.n {
+        for xi in &mut x {
+            *xi = rng.gen_range(-1.0..1.0);
+        }
+        let score: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum();
+        let mut label = if score >= 0.0 { 1.0 } else { -1.0 };
+        if rng.gen::<f64>() < cfg.noise {
+            label = -label;
+        }
+        b.push_dense(label, &x);
+    }
+    b.finish()
+}
+
+/// Owned-point convenience over [`dense_classification_columns`].
+pub fn dense_classification(cfg: &DenseClassConfig) -> Vec<LabeledPoint> {
+    dense_classification_columns(cfg).to_points()
 }
 
 /// Parameters for sparse classification data.
@@ -63,15 +73,17 @@ pub struct SparseClassConfig {
     pub seed: u64,
 }
 
-/// Sparse classification data in the rcv1 mold.
-pub fn sparse_classification(cfg: &SparseClassConfig) -> Vec<LabeledPoint> {
+/// Sparse classification data in the rcv1 mold, in CSR columnar form.
+pub fn sparse_classification_columns(cfg: &SparseClassConfig) -> ColumnStore {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let nnz_per_point = ((cfg.dims as f64 * cfg.density).round() as usize).clamp(1, cfg.dims);
     // Hidden separator over a moderate subset of active dimensions.
     let active_dims = (nnz_per_point * 8).min(cfg.dims);
     let w_star = random_unit_vector(active_dims, &mut rng);
 
-    let mut points: Vec<LabeledPoint> = (0..cfg.n)
+    // Rows stay as (label, indices, values) tuples until after the
+    // optional label sort, then stream into the CSR slabs.
+    let mut rows: Vec<(f64, Vec<u32>, Vec<f64>)> = (0..cfg.n)
         .map(|_| {
             let mut idx: Vec<u32> = Vec::with_capacity(nnz_per_point);
             // Sample distinct sorted indices, biased toward the active head
@@ -108,18 +120,26 @@ pub fn sparse_classification(cfg: &SparseClassConfig) -> Vec<LabeledPoint> {
                     *v = 0.5 * *v + 1.0;
                 }
             }
-            let sv = SparseVector::new(cfg.dims, idx, vals)
-                .expect("generated indices are sorted and in range");
-            LabeledPoint::new(label, FeatureVec::Sparse(sv))
+            (label, idx, vals)
         })
         .collect();
 
     if cfg.skewed {
         // Label-sorted emission: with contiguous partitioning, whole
         // partitions end up single-class.
-        points.sort_by(|a, b| a.label.partial_cmp(&b.label).expect("labels are finite"));
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("labels are finite"));
     }
-    points
+    let mut b = ColumnarBuilder::new();
+    for (label, idx, vals) in &rows {
+        b.push_sparse(*label, idx, vals)
+            .expect("generated indices are sorted and in range");
+    }
+    b.finish_with_dims(cfg.dims)
+}
+
+/// Owned-point convenience over [`sparse_classification_columns`].
+pub fn sparse_classification(cfg: &SparseClassConfig) -> Vec<LabeledPoint> {
+    sparse_classification_columns(cfg).to_points()
 }
 
 /// Parameters for dense regression data.
@@ -140,20 +160,26 @@ pub struct RegressionConfig {
 /// paper's `β/√i` step (β = 1) is unstable in its early iterations for
 /// wide feature spaces — the real LIBSVM regression datasets (yearpred)
 /// ship feature-normalized for the same reason.
-pub fn dense_regression(cfg: &RegressionConfig) -> Vec<LabeledPoint> {
+pub fn dense_regression_columns(cfg: &RegressionConfig) -> ColumnStore {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let w_star = random_unit_vector(cfg.dims, &mut rng);
     let scale = 1.0 / (cfg.dims.max(1) as f64).sqrt();
-    (0..cfg.n)
-        .map(|_| {
-            let x: Vec<f64> = (0..cfg.dims)
-                .map(|_| rng.gen_range(-1.0..1.0) * scale)
-                .collect();
-            let y: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum::<f64>()
-                + rng.gen_range(-cfg.noise..cfg.noise.max(f64::MIN_POSITIVE));
-            LabeledPoint::new(y, FeatureVec::dense(x))
-        })
-        .collect()
+    let mut b = ColumnarBuilder::with_dense_capacity(cfg.n, cfg.dims);
+    let mut x = vec![0.0; cfg.dims];
+    for _ in 0..cfg.n {
+        for xi in &mut x {
+            *xi = rng.gen_range(-1.0..1.0) * scale;
+        }
+        let y: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum::<f64>()
+            + rng.gen_range(-cfg.noise..cfg.noise.max(f64::MIN_POSITIVE));
+        b.push_dense(y, &x);
+    }
+    b.finish()
+}
+
+/// Owned-point convenience over [`dense_regression_columns`].
+pub fn dense_regression(cfg: &RegressionConfig) -> Vec<LabeledPoint> {
+    dense_regression_columns(cfg).to_points()
 }
 
 fn random_unit_vector(dims: usize, rng: &mut StdRng) -> Vec<f64> {

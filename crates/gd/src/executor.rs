@@ -5,8 +5,11 @@
 
 use std::time::{Duration, Instant};
 
-use ml4all_dataflow::{CostBreakdown, PartitionedDataset, SamplerState, SimEnv, StorageMedium};
-use ml4all_linalg::{DenseVector, LabeledPoint};
+use ml4all_dataflow::{
+    ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState, SimEnv,
+    StorageMedium,
+};
+use ml4all_linalg::{DenseVector, LabeledPoint, PointView};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,33 +140,122 @@ pub fn execute_plan(
     execute_with_operators(plan, data, &ops, params, env)
 }
 
-/// Transformed-view storage: either the original points or a materialized
-/// transformed copy with the same `(partition, offset)` coordinates.
+/// Transformed-view storage: either the original columnar partitions or a
+/// materialized transformed copy (also columnar) with the same
+/// `(partition, offset)` coordinates.
 enum Store<'a> {
     Original(&'a PartitionedDataset),
-    Transformed { points: Vec<Vec<LabeledPoint>> },
+    Transformed { parts: Vec<ColumnStore> },
 }
 
 impl Store<'_> {
-    fn point(&self, pi: usize, oi: usize) -> Option<&LabeledPoint> {
+    #[inline]
+    fn view(&self, pi: usize, oi: usize) -> Option<PointView<'_>> {
         match self {
-            Store::Original(d) => d.point(pi, oi),
-            Store::Transformed { points } => points.get(pi)?.get(oi),
+            Store::Original(d) => d.view(pi, oi),
+            Store::Transformed { parts } => parts.get(pi)?.view(oi),
         }
     }
 
     fn num_partitions(&self) -> usize {
         match self {
             Store::Original(d) => d.num_partitions(),
-            Store::Transformed { points } => points.len(),
+            Store::Transformed { parts } => parts.len(),
         }
     }
 
-    fn partition_points(&self, pi: usize) -> &[LabeledPoint] {
+    #[inline]
+    fn columns(&self, pi: usize) -> &ColumnStore {
         match self {
-            Store::Original(d) => d.partitions()[pi].points(),
-            Store::Transformed { points } => &points[pi],
+            Store::Original(d) => d.partitions()[pi].columns(),
+            Store::Transformed { parts } => &parts[pi],
         }
+    }
+}
+
+/// One partition's reusable compute state: the partial aggregate plus an
+/// error slot for transforms that fail mid-wave.
+struct PartialSlot {
+    acc: ComputeAcc,
+    error: Option<GdError>,
+}
+
+/// Per-partition scratch accumulators, allocated once per run and reused
+/// by every compute wave: the wave performs no per-row or per-result heap
+/// allocation for dense data (strictly allocation-free on a single-worker
+/// runtime; the pooled path boxes one job envelope per busy worker).
+struct WaveScratch {
+    slots: Vec<PartialSlot>,
+}
+
+impl WaveScratch {
+    fn new(partitions: usize, dims: usize) -> Self {
+        Self {
+            slots: (0..partitions)
+                .map(|_| PartialSlot {
+                    acc: ComputeAcc::new(dims),
+                    error: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn slots_mut(&mut self) -> &mut [PartialSlot] {
+        &mut self.slots
+    }
+
+    /// Reduce the wave: surface the first error in partition order, then
+    /// merge partials left-to-right (bit-identical at any worker count).
+    fn merge_into(&mut self, acc: &mut ComputeAcc) -> Result<(), GdError> {
+        for slot in &mut self.slots {
+            if let Some(e) = slot.error.take() {
+                return Err(e);
+            }
+        }
+        for slot in &self.slots {
+            acc.merge(&slot.acc);
+        }
+        Ok(())
+    }
+}
+
+/// Transforms must preserve the dataset's declared dimensionality: the
+/// model vector is sized from the descriptor, so a wider unit would index
+/// past the weights (and a narrower one silently drop features).
+fn check_transformed_dims(unit_dims: usize, dims: usize) -> Result<(), GdError> {
+    if unit_dims != dims {
+        return Err(GdError::InvalidPlan(format!(
+            "transform produced a {unit_dims}-dimensional unit but the dataset declares {dims}"
+        )));
+    }
+    Ok(())
+}
+
+/// Run the compute operator over every row of a columnar partition,
+/// feeding quads through [`ComputeOp::compute4`] so dense gradients
+/// overlap their dot products (bit-identical to the one-by-one loop).
+fn compute_over_columns(
+    cols: &ColumnStore,
+    ops: &GdOperators,
+    ctx: &Context,
+    acc: &mut ComputeAcc,
+) {
+    let n = cols.len();
+    let mut oi = 0usize;
+    while oi + 4 <= n {
+        let views = [
+            cols.view(oi).expect("row in range"),
+            cols.view(oi + 1).expect("row in range"),
+            cols.view(oi + 2).expect("row in range"),
+            cols.view(oi + 3).expect("row in range"),
+        ];
+        ops.compute.compute4(views, ctx, acc);
+        oi += 4;
+    }
+    while oi < n {
+        ops.compute
+            .compute(cols.view(oi).expect("row in range"), ctx, acc);
+        oi += 1;
     }
 }
 
@@ -213,19 +305,30 @@ pub fn execute_with_operators(
         } else {
             // The transform pass is a wave over the partitions (the CPU
             // charge above models exactly that); materialize each
-            // partition's transformed copy on the shared worker pool.
-            let transformed: Vec<Result<Vec<LabeledPoint>, GdError>> =
+            // partition's transformed copy — in columnar form — on the
+            // shared worker pool.
+            let transformed: Vec<Result<ColumnStore, GdError>> =
                 env.runtime().map_indexed(data.partitions(), |_pi, part| {
-                    part.points()
-                        .iter()
-                        .map(|p| ops.transform.transform(RawUnit::Point(p), &ctx))
-                        .collect()
+                    let part_dims = part.columns().dims();
+                    // Dense pre-sizing only for dense sources: a dense
+                    // pre-allocation would outlive a CSR layout upgrade.
+                    let mut b = if part.columns().as_dense().is_some() {
+                        ColumnarBuilder::with_dense_capacity(part.len(), part_dims)
+                    } else {
+                        ColumnarBuilder::new()
+                    };
+                    for v in part.iter() {
+                        let t = ops.transform.transform(RawUnit::View(v), &ctx)?;
+                        check_transformed_dims(t.dim(), dims)?;
+                        b.push_point(&t);
+                    }
+                    Ok(b.finish_with_dims(part_dims))
                 });
-            let mut points = Vec::with_capacity(transformed.len());
+            let mut parts = Vec::with_capacity(transformed.len());
             for partition in transformed {
-                points.push(partition?);
+                parts.push(partition?);
             }
-            Store::Transformed { points }
+            Store::Transformed { parts }
         }
     } else {
         Store::Original(data)
@@ -235,10 +338,19 @@ pub fn execute_with_operators(
     let mut sampler = plan.sampling.map(SamplerState::new);
     let mut prev_weights = ctx.weights.clone();
     let mut acc = ComputeAcc::new(dims);
+    // Reused across every iteration: per-partition wave scratch, the
+    // sampled-coordinate buffer, and the error sequence's backing storage
+    // — the steady-state loop allocates nothing per iteration.
+    let mut scratch = WaveScratch::new(store.num_partitions(), dims);
+    let mut coords: Vec<(usize, usize)> = Vec::new();
     let mut error_seq = Vec::new();
+    if params.record_error_seq {
+        error_seq.reserve(params.max_iter.min(8192) as usize);
+    }
     let mut final_delta = f64::INFINITY;
     let stop;
     let unit_bytes = desc.unit_bytes().ceil() as u64;
+    let lazy_parse = plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
 
     loop {
         ctx.iteration += 1;
@@ -262,29 +374,34 @@ pub fn execute_with_operators(
                 }
                 env.charge_wave_cpu(&desc, env.spec.cpu_gradient_s(avg_nnz));
                 // The gradient wave the CPU charge models, executed for
-                // real: each partition computes its partial aggregate on
-                // the shared worker pool, and the partials reduce in
-                // partition order — bit-identical at any worker count.
-                let lazy_parse =
-                    plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
-                let partials: Vec<Result<ComputeAcc, GdError>> = env.runtime().run_indexed(
-                    store.num_partitions(),
-                    |pi| -> Result<ComputeAcc, GdError> {
-                        let mut partial = ComputeAcc::new(dims);
-                        for p in store.partition_points(pi) {
-                            if lazy_parse {
-                                let t = ops.transform.transform(RawUnit::Point(p), &ctx)?;
-                                ops.compute.compute(&t, &ctx, &mut partial);
-                            } else {
-                                ops.compute.compute(p, &ctx, &mut partial);
+                // real: each partition accumulates into its reused scratch
+                // slot on the shared worker pool, and the partials reduce
+                // in partition order — bit-identical at any worker count.
+                let ctx_ref = &ctx;
+                env.runtime()
+                    .scatter_indexed(scratch.slots_mut(), |pi, slot| {
+                        slot.acc.reset();
+                        slot.error = None;
+                        let cols = store.columns(pi);
+                        if lazy_parse {
+                            for v in cols.iter() {
+                                let transformed = ops
+                                    .transform
+                                    .transform(RawUnit::View(v), ctx_ref)
+                                    .and_then(|t| check_transformed_dims(t.dim(), dims).map(|_| t));
+                                match transformed {
+                                    Ok(t) => ops.compute.compute(t.view(), ctx_ref, &mut slot.acc),
+                                    Err(e) => {
+                                        slot.error = Some(e);
+                                        return;
+                                    }
+                                }
                             }
+                        } else {
+                            compute_over_columns(cols, ops, ctx_ref, &mut slot.acc);
                         }
-                        Ok(partial)
-                    },
-                );
-                for partial in partials {
-                    acc.merge(&partial?);
-                }
+                    });
+                scratch.merge_into(&mut acc)?;
                 if distributed {
                     let active = desc.partitions(&env.spec);
                     env.charge_network(active * (dims as u64) * 8);
@@ -297,7 +414,7 @@ pub fn execute_with_operators(
                             .into(),
                     )
                 })?;
-                let coords = sampler.draw(data, m, env, &mut rng)?;
+                sampler.draw_into(data, m, env, &mut rng, &mut coords)?;
                 let drawn = coords.len();
                 if plan.transform == TransformPolicy::Lazy {
                     env.charge_serial_cpu(drawn as u64, env.spec.cpu_transform_s(avg_nnz));
@@ -308,20 +425,35 @@ pub fn execute_with_operators(
                     env.charge_network(unit_bytes * drawn as u64);
                 }
                 env.charge_serial_cpu(drawn as u64, env.spec.cpu_gradient_s(avg_nnz));
-                let lazy_parse =
-                    plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
-                for (pi, oi) in coords {
-                    let p = store.point(pi, oi).ok_or(
-                        ml4all_dataflow::DataflowError::PartitionOutOfBounds {
+                let lookup = |pi: usize, oi: usize| {
+                    store
+                        .view(pi, oi)
+                        .ok_or(ml4all_dataflow::DataflowError::PartitionOutOfBounds {
                             index: pi,
                             partitions: data.num_partitions(),
-                        },
-                    )?;
-                    if lazy_parse {
-                        let t = ops.transform.transform(RawUnit::Point(p), &ctx)?;
-                        ops.compute.compute(&t, &ctx, &mut acc);
-                    } else {
-                        ops.compute.compute(p, &ctx, &mut acc);
+                        })
+                };
+                if lazy_parse {
+                    for &(pi, oi) in &coords {
+                        let t = ops
+                            .transform
+                            .transform(RawUnit::View(lookup(pi, oi)?), &ctx)?;
+                        check_transformed_dims(t.dim(), dims)?;
+                        ops.compute.compute(t.view(), &ctx, &mut acc);
+                    }
+                } else {
+                    let mut chunks = coords.chunks_exact(4);
+                    for quad in chunks.by_ref() {
+                        let views = [
+                            lookup(quad[0].0, quad[0].1)?,
+                            lookup(quad[1].0, quad[1].1)?,
+                            lookup(quad[2].0, quad[2].1)?,
+                            lookup(quad[3].0, quad[3].1)?,
+                        ];
+                        ops.compute.compute4(views, &ctx, &mut acc);
+                    }
+                    for &(pi, oi) in chunks.remainder() {
+                        ops.compute.compute(lookup(pi, oi)?, &ctx, &mut acc);
                     }
                 }
             }
@@ -409,6 +541,52 @@ fn validate(plan: &GdPlan) -> Result<(), GdError> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod scratch_tests {
+    use super::*;
+
+    #[test]
+    fn wave_scratch_accumulators_are_reused_across_waves() {
+        let mut scratch = WaveScratch::new(4, 8);
+        let ptrs: Vec<*const f64> = scratch
+            .slots
+            .iter()
+            .map(|s| s.acc.primary.as_slice().as_ptr())
+            .collect();
+        let mut acc = ComputeAcc::new(8);
+        for wave in 0..5 {
+            for (pi, slot) in scratch.slots_mut().iter_mut().enumerate() {
+                slot.acc.reset();
+                slot.error = None;
+                slot.acc.primary[0] = (wave * 10 + pi) as f64;
+                slot.acc.count = 1;
+            }
+            acc.reset();
+            scratch.merge_into(&mut acc).unwrap();
+            assert_eq!(acc.count, 4);
+            assert_eq!(acc.primary[0], (4 * (wave * 10) + 6) as f64);
+        }
+        let after: Vec<*const f64> = scratch
+            .slots
+            .iter()
+            .map(|s| s.acc.primary.as_slice().as_ptr())
+            .collect();
+        assert_eq!(ptrs, after, "scratch accumulators must not reallocate");
+    }
+
+    #[test]
+    fn wave_scratch_surfaces_errors_in_partition_order() {
+        let mut scratch = WaveScratch::new(3, 2);
+        scratch.slots[2].error = Some(GdError::InvalidPlan("later".into()));
+        scratch.slots[1].error = Some(GdError::InvalidPlan("first".into()));
+        let mut acc = ComputeAcc::new(2);
+        match scratch.merge_into(&mut acc) {
+            Err(GdError::InvalidPlan(msg)) => assert_eq!(msg, "first"),
+            other => panic!("expected the earliest partition's error, got {other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -522,18 +700,17 @@ mod tests {
         let params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
         let mut env = env();
         let result = execute_plan(&GdPlan::bgd(), &data, &params, &mut env).unwrap();
-        let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-        let initial = crate::objective::dataset_loss(
+        let initial = crate::objective::partitioned_loss(
             &GradientKind::LogisticRegression,
             &Regularizer::None,
             &[0.0; 3],
-            &pts,
+            &data,
         );
-        let trained = crate::objective::dataset_loss(
+        let trained = crate::objective::partitioned_loss(
             &GradientKind::LogisticRegression,
             &Regularizer::None,
             result.weights.as_slice(),
-            &pts,
+            &data,
         );
         assert!(trained < initial * 0.7, "loss {initial} -> {trained}");
     }

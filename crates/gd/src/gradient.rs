@@ -1,24 +1,61 @@
 //! The gradient functions of Table 3 and the regularizers of Equation 1.
 
-use ml4all_linalg::LabeledPoint;
+use ml4all_linalg::{LabeledPoint, PointView};
 use serde::{Deserialize, Serialize};
 
 /// A per-point (sub)gradient of a convex loss: the `∇f_i(w)` of Section 2.
 ///
-/// Implementations accumulate `∇f_i(w)` into `acc` instead of allocating a
-/// vector per point — the `Compute` operator calls this once per data unit
-/// on the hot path.
+/// The required methods take zero-copy [`PointView`]s — the shape the
+/// columnar hot loop hands out — and accumulate `∇f_i(w)` into `acc`
+/// instead of allocating a vector per point. Owned-[`LabeledPoint`]
+/// conveniences are provided for API-boundary callers.
 pub trait Gradient: Send + Sync {
     /// Accumulate the gradient of the point's loss at `w` into `acc`.
-    fn accumulate(&self, w: &[f64], point: &LabeledPoint, acc: &mut [f64]);
+    fn accumulate_view(&self, w: &[f64], point: PointView<'_>, acc: &mut [f64]);
 
     /// The point's loss at `w` (used by line search, the objective-value
     /// diagnostics, and test-error reporting).
-    fn loss(&self, w: &[f64], point: &LabeledPoint) -> f64;
+    fn loss_view(&self, w: &[f64], point: PointView<'_>) -> f64;
 
     /// Predict a label for a feature vector (for test-error measurement):
     /// the raw score for regression, its sign for classification.
-    fn predict(&self, w: &[f64], point: &LabeledPoint) -> f64;
+    fn predict_view(&self, w: &[f64], point: PointView<'_>) -> f64;
+
+    /// Fused gradient + objective pass: accumulate the gradient into `acc`
+    /// and return the point's loss. Implementations that share the
+    /// `w·x` dot product between the two (all of Table 3 do) override this
+    /// to halve the hot-loop memory traffic; the default performs the two
+    /// passes separately.
+    fn accumulate_with_loss(&self, w: &[f64], point: PointView<'_>, acc: &mut [f64]) -> f64 {
+        self.accumulate_view(w, point, acc);
+        self.loss_view(w, point)
+    }
+
+    /// Accumulate four points in order — semantically identical to four
+    /// [`Gradient::accumulate_view`] calls (bit-identical results), but
+    /// batched so dense implementations can overlap the four independent
+    /// `w·x` dot products in the CPU pipeline instead of serializing on
+    /// each sum's latency chain.
+    fn accumulate_view4(&self, w: &[f64], points: [PointView<'_>; 4], acc: &mut [f64]) {
+        for p in points {
+            self.accumulate_view(w, p, acc);
+        }
+    }
+
+    /// Owned-point convenience for [`Gradient::accumulate_view`].
+    fn accumulate(&self, w: &[f64], point: &LabeledPoint, acc: &mut [f64]) {
+        self.accumulate_view(w, point.view(), acc);
+    }
+
+    /// Owned-point convenience for [`Gradient::loss_view`].
+    fn loss(&self, w: &[f64], point: &LabeledPoint) -> f64 {
+        self.loss_view(w, point.view())
+    }
+
+    /// Owned-point convenience for [`Gradient::predict_view`].
+    fn predict(&self, w: &[f64], point: &LabeledPoint) -> f64 {
+        self.predict_view(w, point.view())
+    }
 }
 
 /// The ML tasks / gradient functions the system supports out of the box
@@ -51,16 +88,18 @@ impl GradientKind {
     }
 }
 
-impl Gradient for GradientKind {
-    fn accumulate(&self, w: &[f64], point: &LabeledPoint, acc: &mut [f64]) {
+impl GradientKind {
+    /// Gradient contribution given the precomputed score `w·x`: the shared
+    /// second half of the plain and fused accumulation paths.
+    #[inline]
+    fn accumulate_scored(&self, score: f64, point: PointView<'_>, acc: &mut [f64]) {
         let y = point.label;
         match self {
             Self::LinearRegression => {
-                let pred = point.features.dot(w);
-                point.features.axpy_into(acc, 2.0 * (pred - y));
+                point.features.axpy_into(acc, 2.0 * (score - y));
             }
             Self::LogisticRegression => {
-                let margin = y * point.features.dot(w);
+                let margin = y * score;
                 // −y x / (1 + e^{margin}); guard the exponential against
                 // overflow for strongly-classified points.
                 let factor = if margin > 35.0 {
@@ -75,22 +114,23 @@ impl Gradient for GradientKind {
                 }
             }
             Self::Svm => {
-                if y * point.features.dot(w) < 1.0 {
+                if y * score < 1.0 {
                     point.features.axpy_into(acc, -y);
                 }
             }
         }
     }
 
-    fn loss(&self, w: &[f64], point: &LabeledPoint) -> f64 {
-        let y = point.label;
+    /// Loss given the precomputed score `w·x`.
+    #[inline]
+    fn loss_scored(&self, score: f64, label: f64) -> f64 {
         match self {
             Self::LinearRegression => {
-                let diff = point.features.dot(w) - y;
+                let diff = score - label;
                 diff * diff
             }
             Self::LogisticRegression => {
-                let margin = y * point.features.dot(w);
+                let margin = label * score;
                 if margin > 35.0 {
                     0.0
                 } else if margin < -35.0 {
@@ -99,11 +139,66 @@ impl Gradient for GradientKind {
                     (1.0 + (-margin).exp()).ln()
                 }
             }
-            Self::Svm => (1.0 - y * point.features.dot(w)).max(0.0),
+            Self::Svm => (1.0 - label * score).max(0.0),
+        }
+    }
+}
+
+impl Gradient for GradientKind {
+    fn accumulate_view(&self, w: &[f64], point: PointView<'_>, acc: &mut [f64]) {
+        let score = point.features.dot(w);
+        self.accumulate_scored(score, point, acc);
+    }
+
+    fn loss_view(&self, w: &[f64], point: PointView<'_>) -> f64 {
+        self.loss_scored(point.features.dot(w), point.label)
+    }
+
+    /// One `w·x` dot product feeds both the gradient and the loss.
+    fn accumulate_with_loss(&self, w: &[f64], point: PointView<'_>, acc: &mut [f64]) -> f64 {
+        let score = point.features.dot(w);
+        self.accumulate_scored(score, point, acc);
+        self.loss_scored(score, point.label)
+    }
+
+    /// Four dense rows share one pass over `w`: the four dot-product
+    /// accumulators are independent, so the loop sustains ~4× the
+    /// instruction-level parallelism of one latency-bound sum. Each score
+    /// is still the exact left-to-right sum [`ml4all_linalg::dense::dot`]
+    /// computes, so results are bit-identical to the unbatched path.
+    fn accumulate_view4(&self, w: &[f64], points: [PointView<'_>; 4], acc: &mut [f64]) {
+        use ml4all_linalg::FeatureView;
+        if let [FeatureView::Dense(r0), FeatureView::Dense(r1), FeatureView::Dense(r2), FeatureView::Dense(r3)] = [
+            points[0].features,
+            points[1].features,
+            points[2].features,
+            points[3].features,
+        ] {
+            let n = w.len();
+            if r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n {
+                // Equal-length re-slices let the compiler elide the bounds
+                // checks inside the fused loop.
+                let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for (j, &wj) in w.iter().enumerate() {
+                    s0 += r0[j] * wj;
+                    s1 += r1[j] * wj;
+                    s2 += r2[j] * wj;
+                    s3 += r3[j] * wj;
+                }
+                self.accumulate_scored(s0, points[0], acc);
+                self.accumulate_scored(s1, points[1], acc);
+                self.accumulate_scored(s2, points[2], acc);
+                self.accumulate_scored(s3, points[3], acc);
+                return;
+            }
+        }
+        for p in points {
+            self.accumulate_view(w, p, acc);
         }
     }
 
-    fn predict(&self, w: &[f64], point: &LabeledPoint) -> f64 {
+    fn predict_view(&self, w: &[f64], point: PointView<'_>) -> f64 {
         let score = point.features.dot(w);
         if self.is_classification() {
             if score >= 0.0 {
@@ -235,6 +330,27 @@ mod tests {
             let mut acc = vec![0.0; 2];
             g.accumulate(&w, &p, &mut acc);
             assert!((numeric - acc[j]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_gradient_and_loss_matches_separate_passes() {
+        let w = [0.3, -0.7];
+        for kind in [
+            GradientKind::LinearRegression,
+            GradientKind::LogisticRegression,
+            GradientKind::Svm,
+        ] {
+            for label in [1.0, -1.0] {
+                let p = pt(label, vec![0.4, 1.2]);
+                let mut acc_sep = vec![0.0; 2];
+                kind.accumulate(&w, &p, &mut acc_sep);
+                let loss_sep = kind.loss(&w, &p);
+                let mut acc_fused = vec![0.0; 2];
+                let loss_fused = kind.accumulate_with_loss(&w, p.view(), &mut acc_fused);
+                assert_eq!(acc_sep, acc_fused, "{kind:?}");
+                assert_eq!(loss_sep.to_bits(), loss_fused.to_bits(), "{kind:?}");
+            }
         }
     }
 

@@ -40,7 +40,7 @@ pub mod svrg;
 pub use context::{Context, Extra};
 pub use executor::{execute_plan, TrainParams, TrainResult};
 pub use gradient::{Gradient, GradientKind, Regularizer};
-pub use objective::dataset_loss;
+pub use objective::{dataset_loss, partitioned_loss};
 pub use operators::{
     ComputeAcc, ComputeOp, ConvergeOp, GdOperators, LoopOp, RawUnit, SampleOp, SampleSize, StageOp,
     TransformOp, UpdateOp, UpdateOutcome,

@@ -53,21 +53,26 @@ impl StageOp for LineSearchStage {
 }
 
 /// `Compute` for line-search BGD (Listing 9): gradient + objective in the
-/// gradient phase; probe objective in the step-size phase.
+/// gradient phase; probe objective in the step-size phase. The gradient
+/// phase runs the *fused* gradient+objective pass
+/// ([`Gradient::accumulate_with_loss`]), sharing one `w·x` dot product
+/// between the two outputs.
 pub struct LineSearchCompute {
     /// Underlying gradient function.
     pub gradient: Box<dyn Gradient>,
 }
 
 impl ComputeOp for LineSearchCompute {
-    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc) {
+    fn compute(&self, point: ml4all_linalg::PointView<'_>, ctx: &Context, acc: &mut ComputeAcc) {
         if ctx.flag("isStepSizeIter").unwrap_or(false) {
             let probe = ctx.vector("ls_w_probe").expect("probe weights staged");
-            acc.scalar += self.gradient.loss(probe.as_slice(), point);
+            acc.scalar += self.gradient.loss_view(probe.as_slice(), point);
         } else {
-            self.gradient
-                .accumulate(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
-            acc.scalar += self.gradient.loss(ctx.weights.as_slice(), point);
+            acc.scalar += self.gradient.accumulate_with_loss(
+                ctx.weights.as_slice(),
+                point,
+                acc.primary.as_mut_slice(),
+            );
         }
         acc.count += 1;
     }

@@ -2,7 +2,8 @@
 //! (Equation 1), used by line search, diagnostics, and test-error
 //! reporting.
 
-use ml4all_linalg::LabeledPoint;
+use ml4all_dataflow::PartitionedDataset;
+use ml4all_linalg::{LabeledPoint, PointView};
 
 use crate::gradient::{Gradient, Regularizer};
 
@@ -13,24 +14,21 @@ pub fn dataset_loss(
     w: &[f64],
     points: &[LabeledPoint],
 ) -> f64 {
-    if points.is_empty() {
-        return regularizer.penalty(w);
-    }
-    let sum: f64 = points.iter().map(|p| gradient.loss(w, p)).sum();
-    sum / points.len() as f64 + regularizer.penalty(w)
+    stream_loss(gradient, regularizer, w, points.iter().map(|p| p.view()))
 }
 
-/// Mean loss over an iterator of points (streamed, for partitioned data).
+/// Mean loss over an iterator of zero-copy views (streamed, for
+/// partitioned/columnar data).
 pub fn stream_loss<'a>(
     gradient: &dyn Gradient,
     regularizer: &Regularizer,
     w: &[f64],
-    points: impl Iterator<Item = &'a LabeledPoint>,
+    points: impl Iterator<Item = PointView<'a>>,
 ) -> f64 {
     let mut sum = 0.0;
     let mut n = 0u64;
-    for p in points {
-        sum += gradient.loss(w, p);
+    for v in points {
+        sum += gradient.loss_view(w, v);
         n += 1;
     }
     if n == 0 {
@@ -38,6 +36,17 @@ pub fn stream_loss<'a>(
     } else {
         sum / n as f64 + regularizer.penalty(w)
     }
+}
+
+/// Mean loss over every physical row of a partitioned dataset, straight
+/// off the columnar storage — no materialization.
+pub fn partitioned_loss(
+    gradient: &dyn Gradient,
+    regularizer: &Regularizer,
+    w: &[f64],
+    data: &PartitionedDataset,
+) -> f64 {
+    stream_loss(gradient, regularizer, w, data.iter_views())
 }
 
 #[cfg(test)]
@@ -80,8 +89,24 @@ mod tests {
             &GradientKind::LogisticRegression,
             &Regularizer::None,
             &[0.5],
-            points.iter(),
+            points.iter().map(|p| p.view()),
         );
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partitioned_loss_matches_materialized_loss() {
+        use ml4all_dataflow::{ClusterSpec, PartitionScheme};
+        let points = pts();
+        let data = PartitionedDataset::from_points(
+            "obj",
+            points.clone(),
+            PartitionScheme::RoundRobin,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap();
+        let a = dataset_loss(&GradientKind::Svm, &Regularizer::None, &[0.25], &points);
+        let b = partitioned_loss(&GradientKind::Svm, &Regularizer::None, &[0.25], &data);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

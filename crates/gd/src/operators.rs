@@ -3,7 +3,7 @@
 //! implementations for all the common use cases; expert users could readily
 //! customize or override them").
 
-use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, SparseVector};
+use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, PointView, SparseVector};
 
 use crate::context::{Context, Extra};
 use crate::gradient::{Gradient, GradientKind, Regularizer};
@@ -17,6 +17,10 @@ pub enum RawUnit<'a> {
     Text(&'a str),
     /// An already-materialized point (the in-memory fast path).
     Point(&'a LabeledPoint),
+    /// A zero-copy row borrowed from columnar storage — the shape the
+    /// executor's lazy-transform paths hand over without materializing a
+    /// point per row.
+    View(PointView<'a>),
 }
 
 /// **Operator 1 — `Transform(U) → U_T`**: parse/normalize one input unit.
@@ -106,9 +110,22 @@ impl ComputeAcc {
 }
 
 /// **Operator 3 — `Compute(U_T) → U_C`**: the core per-unit computation.
+/// Units arrive as zero-copy [`PointView`]s borrowed from the columnar
+/// storage — the hot loop never materializes a point.
 pub trait ComputeOp: Send + Sync {
     /// Accumulate this unit's contribution.
-    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc);
+    fn compute(&self, point: PointView<'_>, ctx: &Context, acc: &mut ComputeAcc);
+
+    /// Accumulate four units in order — bit-identical to four
+    /// [`ComputeOp::compute`] calls. The executor feeds the hot loop
+    /// through this hook so gradient implementations can overlap the
+    /// units' independent dot products (see
+    /// [`crate::gradient::Gradient::accumulate_view4`]).
+    fn compute4(&self, points: [PointView<'_>; 4], ctx: &Context, acc: &mut ComputeAcc) {
+        for p in points {
+            self.compute(p, ctx, acc);
+        }
+    }
 }
 
 /// Result of an `Update` application.
@@ -189,6 +206,7 @@ impl TransformOp for IdentityTransform {
     fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
         match unit {
             RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::View(v) => Ok(v.to_point()),
             RawUnit::Text(line) => Err(GdError::Parse {
                 line: line.to_string(),
                 reason: "identity transform cannot parse text".into(),
@@ -209,6 +227,7 @@ impl TransformOp for CsvTransform {
     fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
         match unit {
             RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::View(v) => Ok(v.to_point()),
             RawUnit::Text(line) => {
                 let mut values = Vec::new();
                 for tok in line.trim().split(',') {
@@ -243,6 +262,7 @@ impl TransformOp for LibsvmTransform {
     fn transform(&self, unit: RawUnit<'_>, _ctx: &Context) -> Result<LabeledPoint, GdError> {
         match unit {
             RawUnit::Point(p) => Ok(p.clone()),
+            RawUnit::View(v) => Ok(v.to_point()),
             RawUnit::Text(line) => {
                 let mut parts = line.split_whitespace();
                 let label: f64 = parts
@@ -299,21 +319,26 @@ pub struct MeanCenterTransform;
 
 impl TransformOp for MeanCenterTransform {
     fn transform(&self, unit: RawUnit<'_>, ctx: &Context) -> Result<LabeledPoint, GdError> {
-        let point = match unit {
-            RawUnit::Point(p) => p.clone(),
-            RawUnit::Text(line) => CsvTransform.transform(RawUnit::Text(line), ctx)?,
+        // Only the dense output buffer is allocated; borrowed views are
+        // centered without materializing an intermediate point.
+        let (label, mut dense) = match unit {
+            RawUnit::Point(p) => (p.label, p.features.to_dense()),
+            RawUnit::View(v) => (v.label, DenseVector::new(v.features.to_dense_vec())),
+            RawUnit::Text(line) => {
+                let p = CsvTransform.transform(RawUnit::Text(line), ctx)?;
+                (p.label, p.features.to_dense())
+            }
         };
         let Some(means) = ctx.vector("feature_means") else {
             return Err(GdError::InvalidPlan(
                 "MeanCenterTransform requires a StatsStage to compute feature_means".into(),
             ));
         };
-        let mut dense = point.features.to_dense();
         debug_assert_eq!(dense.dim(), means.dim());
         for (x, m) in dense.as_mut_slice().iter_mut().zip(means.as_slice()) {
             *x -= m;
         }
-        Ok(LabeledPoint::new(point.label, FeatureVec::Dense(dense)))
+        Ok(LabeledPoint::new(label, FeatureVec::Dense(dense)))
     }
 }
 
@@ -379,10 +404,16 @@ impl GradientCompute {
 }
 
 impl ComputeOp for GradientCompute {
-    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc) {
+    fn compute(&self, point: PointView<'_>, ctx: &Context, acc: &mut ComputeAcc) {
         self.gradient
-            .accumulate(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
+            .accumulate_view(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
         acc.count += 1;
+    }
+
+    fn compute4(&self, points: [PointView<'_>; 4], ctx: &Context, acc: &mut ComputeAcc) {
+        self.gradient
+            .accumulate_view4(ctx.weights.as_slice(), points, acc.primary.as_mut_slice());
+        acc.count += 4;
     }
 }
 
@@ -574,8 +605,8 @@ mod tests {
         let c = ctx(1);
         let mut acc = ComputeAcc::new(1);
         let p = LabeledPoint::new(1.0, FeatureVec::dense(vec![2.0]));
-        compute.compute(&p, &c, &mut acc);
-        compute.compute(&p, &c, &mut acc);
+        compute.compute(p.view(), &c, &mut acc);
+        compute.compute(p.view(), &c, &mut acc);
         assert_eq!(acc.count, 2);
         assert_eq!(acc.primary.as_slice(), &[-4.0]); // two hinge subgradients
     }

@@ -73,20 +73,20 @@ pub struct SvrgCompute {
 }
 
 impl ComputeOp for SvrgCompute {
-    fn compute(&self, point: &ml4all_linalg::LabeledPoint, ctx: &Context, acc: &mut ComputeAcc) {
+    fn compute(&self, point: ml4all_linalg::PointView<'_>, ctx: &Context, acc: &mut ComputeAcc) {
         let m = ctx.int("m").unwrap_or(1).max(1);
-        if (ctx.iteration % m) == 1 || m == 1 {
-            self.gradient
-                .accumulate(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
-        } else {
-            self.gradient
-                .accumulate(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
+        self.gradient
+            .accumulate_view(ctx.weights.as_slice(), point, acc.primary.as_mut_slice());
+        let anchor = (ctx.iteration % m) == 1 || m == 1;
+        if !anchor {
             let w_bar = ctx
                 .vector("weightsBar")
-                .expect("SvrgStage installs weightsBar")
-                .clone();
-            self.gradient
-                .accumulate(w_bar.as_slice(), point, acc.secondary_mut().as_mut_slice());
+                .expect("SvrgStage installs weightsBar");
+            self.gradient.accumulate_view(
+                w_bar.as_slice(),
+                point,
+                acc.secondary_mut().as_mut_slice(),
+            );
         }
         acc.count += 1;
     }

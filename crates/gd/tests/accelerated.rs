@@ -5,7 +5,7 @@
 use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv};
 use ml4all_gd::linesearch::execute_line_search_bgd;
 use ml4all_gd::svrg::execute_svrg;
-use ml4all_gd::{dataset_loss, GradientKind, Regularizer, StepSize, TrainParams};
+use ml4all_gd::{dataset_loss, partitioned_loss, GradientKind, Regularizer, StepSize, TrainParams};
 use ml4all_linalg::{FeatureVec, LabeledPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,12 +49,11 @@ fn svrg_converges_on_regression() {
         &mut env,
     )
     .unwrap();
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-    let loss = dataset_loss(
+    let loss = partitioned_loss(
         &GradientKind::LinearRegression,
         &Regularizer::None,
         result.weights.as_slice(),
-        &pts,
+        &data,
     );
     assert!(loss < 0.05, "SVRG loss {loss}");
     assert!(
@@ -89,13 +88,12 @@ fn svrg_variance_reduction_beats_plain_sgd_at_equal_steps() {
     let mut env_sgd = SimEnv::new(ClusterSpec::paper_testbed());
     let sgd = execute_plan(&plan, &data, &params, &mut env_sgd).unwrap();
 
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
     let loss = |w: &ml4all_linalg::DenseVector| {
-        dataset_loss(
+        partitioned_loss(
             &GradientKind::LinearRegression,
             &Regularizer::None,
             w.as_slice(),
-            &pts,
+            &data,
         )
     };
     assert!(
@@ -115,12 +113,11 @@ fn line_search_bgd_converges_without_tuning() {
     let mut env = SimEnv::new(ClusterSpec::paper_testbed());
     // Deliberately absurd initial step: backtracking must tame it.
     let result = execute_line_search_bgd(&data, 64.0, 0.5, &params, &mut env).unwrap();
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-    let loss = dataset_loss(
+    let loss = partitioned_loss(
         &GradientKind::LinearRegression,
         &Regularizer::None,
         result.weights.as_slice(),
-        &pts,
+        &data,
     );
     assert!(loss < 0.01, "line-search loss {loss}");
 }
@@ -163,12 +160,11 @@ fn svrg_anchor_frequency_one_degenerates_to_batch() {
         &mut env,
     )
     .unwrap();
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-    let loss = dataset_loss(
+    let loss = partitioned_loss(
         &GradientKind::LinearRegression,
         &Regularizer::None,
         result.weights.as_slice(),
-        &pts,
+        &data,
     );
     assert!(loss < 0.05, "anchored-only SVRG loss {loss}");
 }
@@ -242,12 +238,11 @@ fn momentum_sgd_trains_a_model() {
         &mut env,
     )
     .unwrap();
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-    let loss = dataset_loss(
+    let loss = partitioned_loss(
         &GradientKind::LinearRegression,
         &Regularizer::None,
         r.weights.as_slice(),
-        &pts,
+        &data,
     );
     assert!(loss < 0.05, "momentum-SGD loss {loss}");
 }
@@ -269,12 +264,11 @@ fn adagrad_converges_without_schedule_tuning() {
         &mut env,
     )
     .unwrap();
-    let pts: Vec<LabeledPoint> = data.iter_points().cloned().collect();
-    let loss = dataset_loss(
+    let loss = partitioned_loss(
         &GradientKind::LinearRegression,
         &Regularizer::None,
         r.weights.as_slice(),
-        &pts,
+        &data,
     );
     assert!(loss < 0.05, "adagrad loss {loss}");
 }

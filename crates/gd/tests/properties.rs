@@ -3,8 +3,8 @@
 
 use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset, SamplingMethod, SimEnv};
 use ml4all_gd::{
-    dataset_loss, execute_plan, GdPlan, Gradient, GradientKind, Regularizer, StepSize, TrainParams,
-    TransformPolicy,
+    execute_plan, partitioned_loss, GdPlan, Gradient, GradientKind, Regularizer, StepSize,
+    TrainParams, TransformPolicy,
 };
 use ml4all_linalg::{FeatureVec, LabeledPoint};
 use proptest::prelude::*;
@@ -111,26 +111,25 @@ proptest! {
         // With a constant, stable step, full-batch GD on the smooth convex
         // logistic loss must not increase the objective.
         let data = dataset(400, seed);
-        let points: Vec<LabeledPoint> = data.iter_points().cloned().collect();
         let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
         params.step = StepSize::Constant(0.2);
         params.tolerance = 0.0;
 
-        let mut last = dataset_loss(
+        let mut last = partitioned_loss(
             &GradientKind::LogisticRegression,
             &Regularizer::None,
             &[0.0, 0.0, 0.0],
-            &points,
+            &data,
         );
         for iters in [5u64, 15, 40] {
             params.max_iter = iters;
             let mut env = SimEnv::new(ClusterSpec::paper_testbed());
             let r = execute_plan(&GdPlan::bgd(), &data, &params, &mut env).unwrap();
-            let loss = dataset_loss(
+            let loss = partitioned_loss(
                 &GradientKind::LogisticRegression,
                 &Regularizer::None,
                 r.weights.as_slice(),
-                &points,
+                &data,
             );
             prop_assert!(loss <= last + 1e-9, "loss rose from {last} to {loss}");
             last = loss;
@@ -153,5 +152,92 @@ proptest! {
 
         prop_assert!(full.sim_time_s > half.sim_time_s);
         prop_assert!(half.sim_time_s > 0.0);
+    }
+}
+
+/// The same logical data stored as a dense slab and as CSR (explicit
+/// zeros dropped) must drive bit-identical training: the columnar layouts
+/// are storage choices, never numerics choices.
+fn check_dense_slab_vs_csr(seed: u64, sampler_ix: usize, iters: u64) {
+    use ml4all_linalg::SparseVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = 6usize;
+    let mut dense_pts = Vec::new();
+    let mut sparse_pts = Vec::new();
+    for _ in 0..240 {
+        // Roughly half the entries are exact zeros, so the CSR rows
+        // genuinely skip storage the dense slab materializes.
+        let xs: Vec<f64> = (0..dims)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0f64..1.0)
+                }
+            })
+            .collect();
+        let label = if xs.iter().sum::<f64>() > 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
+        let (idx, val): (Vec<u32>, Vec<f64>) = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, v)| (i as u32, *v))
+            .unzip();
+        dense_pts.push(LabeledPoint::new(label, FeatureVec::dense(xs)));
+        sparse_pts.push(LabeledPoint::new(
+            label,
+            FeatureVec::Sparse(SparseVector::new(dims, idx, val).unwrap()),
+        ));
+    }
+    let cluster = ClusterSpec::paper_testbed();
+    let dense_ds =
+        PartitionedDataset::from_points("dense", dense_pts, PartitionScheme::RoundRobin, &cluster)
+            .unwrap();
+    let sparse_ds = PartitionedDataset::from_points(
+        "sparse",
+        sparse_pts,
+        PartitionScheme::RoundRobin,
+        &cluster,
+    )
+    .unwrap();
+
+    let sampling = [
+        SamplingMethod::Bernoulli,
+        SamplingMethod::RandomPartition,
+        SamplingMethod::ShuffledPartition,
+    ][sampler_ix];
+    let plan = GdPlan::mgd(16, TransformPolicy::Eager, sampling).unwrap();
+    let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+    params.seed = seed ^ 0xC0FFEE;
+    params.tolerance = 0.0;
+    params.max_iter = iters;
+
+    let mut env_d = SimEnv::new(cluster.clone());
+    let d = execute_plan(&plan, &dense_ds, &params, &mut env_d).unwrap();
+    let mut env_s = SimEnv::new(cluster);
+    let s = execute_plan(&plan, &sparse_ds, &params, &mut env_s).unwrap();
+    for (a, b) in d.weights.as_slice().iter().zip(s.weights.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "dense {a} vs csr {b}");
+    }
+    assert_eq!(d.iterations, s.iterations);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dense_slab_and_csr_train_bit_identical_weights(
+        seed in 0u64..500,
+        sampler_ix in 0usize..3,
+        iters in 5u64..40,
+    ) {
+        check_dense_slab_vs_csr(seed, sampler_ix, iters);
     }
 }

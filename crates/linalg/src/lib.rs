@@ -25,10 +25,12 @@
 pub mod dense;
 pub mod point;
 pub mod sparse;
+pub mod view;
 
 pub use dense::DenseVector;
 pub use point::{FeatureVec, LabeledPoint};
 pub use sparse::SparseVector;
+pub use view::{FeatureView, PointView};
 
 /// Error type for shape/validity violations when constructing vectors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{DenseVector, SparseVector};
+use crate::{DenseVector, FeatureView, PointView, SparseVector};
 
 /// A feature vector in either dense or sparse storage.
 ///
@@ -64,6 +64,19 @@ impl FeatureVec {
             Self::Sparse(v) => DenseVector::new(v.to_dense()),
         }
     }
+
+    /// Borrow as a zero-copy [`FeatureView`].
+    #[inline]
+    pub fn view(&self) -> FeatureView<'_> {
+        match self {
+            Self::Dense(v) => FeatureView::Dense(v.as_slice()),
+            Self::Sparse(v) => FeatureView::Sparse {
+                dim: v.dim(),
+                indices: v.indices(),
+                values: v.values(),
+            },
+        }
+    }
 }
 
 /// A labelled data point: the unit the `Compute` operator consumes.
@@ -93,6 +106,12 @@ impl LabeledPoint {
             FeatureVec::Dense(v) => 8 + 8 * v.dim(),
             FeatureVec::Sparse(v) => 8 + 12 * v.nnz(),
         }
+    }
+
+    /// Borrow as a zero-copy [`PointView`].
+    #[inline]
+    pub fn view(&self) -> PointView<'_> {
+        PointView::new(self.label, self.features.view())
     }
 }
 

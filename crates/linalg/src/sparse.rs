@@ -26,20 +26,16 @@ impl SparseVector {
                 values: values.len(),
             });
         }
+        // One pass: once the indices are known strictly increasing, the
+        // last element is the maximum, so a single bound check on it
+        // validates every index.
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(LinalgError::UnsortedIndices);
+        }
         if let Some(&max) = indices.last() {
             if max as usize >= dim {
                 return Err(LinalgError::IndexOutOfBounds { index: max, dim });
             }
-        }
-        if indices.windows(2).any(|w| w[0] >= w[1]) {
-            // Also catches an unsorted max sneaking past the `last()` check.
-            return Err(LinalgError::UnsortedIndices);
-        }
-        if indices.iter().any(|&i| (i as usize) >= dim) {
-            return Err(LinalgError::IndexOutOfBounds {
-                index: *indices.iter().max().expect("non-empty"),
-                dim,
-            });
         }
         Ok(Self {
             dim,

@@ -1,0 +1,201 @@
+//! Borrowed, zero-copy views over labelled data.
+//!
+//! The columnar storage layer (contiguous dense slabs and CSR) hands the
+//! gradient hot loop [`PointView`]s: a label plus borrowed feature slices,
+//! no per-point allocation or pointer chasing. [`LabeledPoint`] remains the
+//! owned ingestion/API type; `view()` bridges the two.
+
+use crate::{DenseVector, FeatureVec, LabeledPoint, SparseVector};
+
+/// A borrowed feature vector: the zero-copy counterpart of [`FeatureVec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureView<'a> {
+    /// A dense row borrowed from a contiguous slab.
+    Dense(&'a [f64]),
+    /// A sparse row borrowed from CSR storage: parallel index/value slices
+    /// with strictly increasing indices within a declared dimensionality.
+    Sparse {
+        /// Declared dimensionality of the feature space.
+        dim: usize,
+        /// Stored indices (strictly increasing).
+        indices: &'a [u32],
+        /// Stored values, parallel to `indices`.
+        values: &'a [f64],
+    },
+}
+
+impl FeatureView<'_> {
+    /// Dimensionality of the feature space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        match self {
+            Self::Dense(v) => v.len(),
+            Self::Sparse { dim, .. } => *dim,
+        }
+    }
+
+    /// Number of materialized (possibly non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        match self {
+            Self::Dense(v) => v.len(),
+            Self::Sparse { indices, .. } => indices.len(),
+        }
+    }
+
+    /// Dot product against a dense weight slice.
+    #[inline]
+    pub fn dot(&self, weights: &[f64]) -> f64 {
+        match self {
+            Self::Dense(v) => crate::dense::dot(v, weights),
+            Self::Sparse {
+                indices, values, ..
+            } => indices
+                .iter()
+                .zip(values.iter())
+                .map(|(&i, &v)| v * weights[i as usize])
+                .sum(),
+        }
+    }
+
+    /// `acc += alpha * self` into a dense accumulator.
+    #[inline]
+    pub fn axpy_into(&self, acc: &mut [f64], alpha: f64) {
+        match self {
+            Self::Dense(v) => crate::dense::axpy(acc, alpha, v),
+            Self::Sparse {
+                indices, values, ..
+            } => {
+                for (&i, &v) in indices.iter().zip(values.iter()) {
+                    acc[i as usize] += alpha * v;
+                }
+            }
+        }
+    }
+
+    /// Materialize as a dense value vector.
+    pub fn to_dense_vec(&self) -> Vec<f64> {
+        match self {
+            Self::Dense(v) => v.to_vec(),
+            Self::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
+                let mut out = vec![0.0; *dim];
+                for (&i, &v) in indices.iter().zip(values.iter()) {
+                    out[i as usize] = v;
+                }
+                out
+            }
+        }
+    }
+
+    /// Materialize an owned [`FeatureVec`] with the same storage kind.
+    pub fn to_feature_vec(&self) -> FeatureVec {
+        match self {
+            Self::Dense(v) => FeatureVec::Dense(DenseVector::new(v.to_vec())),
+            Self::Sparse {
+                dim,
+                indices,
+                values,
+            } => FeatureVec::Sparse(
+                SparseVector::new(*dim, indices.to_vec(), values.to_vec())
+                    .expect("a view borrows already-validated storage"),
+            ),
+        }
+    }
+
+    /// Approximate storage footprint in bytes (mirrors
+    /// [`LabeledPoint::approx_bytes`]'s accounting for the feature part).
+    #[inline]
+    pub fn approx_feature_bytes(&self) -> usize {
+        match self {
+            Self::Dense(v) => 8 * v.len(),
+            Self::Sparse { indices, .. } => 12 * indices.len(),
+        }
+    }
+}
+
+/// A borrowed labelled data point: what the `Compute` operator consumes on
+/// the hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointView<'a> {
+    /// Class label (`±1` for classification) or regression target.
+    pub label: f64,
+    /// Borrowed feature vector.
+    pub features: FeatureView<'a>,
+}
+
+impl<'a> PointView<'a> {
+    /// Construct a view.
+    #[inline]
+    pub fn new(label: f64, features: FeatureView<'a>) -> Self {
+        Self { label, features }
+    }
+
+    /// Dimensionality of the feature space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Materialize an owned [`LabeledPoint`].
+    pub fn to_point(&self) -> LabeledPoint {
+        LabeledPoint::new(self.label, self.features.to_feature_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_views_agree_on_kernels() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let dense = FeatureView::Dense(&[0.0, 5.0, 0.0, 1.0]);
+        let idx = [1u32, 3];
+        let val = [5.0, 1.0];
+        let sparse = FeatureView::Sparse {
+            dim: 4,
+            indices: &idx,
+            values: &val,
+        };
+        assert_eq!(dense.dot(&w), sparse.dot(&w));
+        assert_eq!(dense.dot(&w), 14.0);
+
+        let mut acc_d = vec![0.0; 4];
+        let mut acc_s = vec![0.0; 4];
+        dense.axpy_into(&mut acc_d, 2.0);
+        sparse.axpy_into(&mut acc_s, 2.0);
+        assert_eq!(acc_d, acc_s);
+        assert_eq!(dense.dim(), 4);
+        assert_eq!(sparse.dim(), 4);
+        assert_eq!(sparse.nnz(), 2);
+    }
+
+    #[test]
+    fn views_round_trip_through_owned_points() {
+        let p = LabeledPoint::new(-1.0, FeatureVec::dense(vec![1.5, 0.0, 2.5]));
+        let v = p.view();
+        assert_eq!(v.label, -1.0);
+        assert_eq!(v.to_point(), p);
+
+        let s = LabeledPoint::new(
+            1.0,
+            FeatureVec::Sparse(SparseVector::new(5, vec![0, 4], vec![1.0, 2.0]).unwrap()),
+        );
+        assert_eq!(s.view().to_point(), s);
+    }
+
+    #[test]
+    fn approx_feature_bytes_matches_point_accounting() {
+        let d = LabeledPoint::new(1.0, FeatureVec::dense(vec![0.0; 10]));
+        assert_eq!(8 + d.view().features.approx_feature_bytes(), 8 + 80);
+        let s = LabeledPoint::new(
+            1.0,
+            FeatureVec::Sparse(SparseVector::new(1000, vec![3], vec![1.0]).unwrap()),
+        );
+        assert_eq!(8 + s.view().features.approx_feature_bytes(), 8 + 12);
+    }
+}

@@ -147,22 +147,56 @@ impl Runtime {
         self.run_indexed(items.len(), |i| f(i, &items[i]))
     }
 
-    /// Run `n` indexed tasks in parallel, returning results in index
-    /// order. Lower-level sibling of [`Runtime::map_indexed`].
-    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    /// Run `f(index, &mut slots[index])` for every slot, in parallel, each
+    /// slot visited exactly once. The scratch-buffer primitive of the GD
+    /// hot loop: per-partition accumulators live in `slots` across
+    /// iterations, so a compute wave reuses their allocations instead of
+    /// collecting a fresh result vector.
+    ///
+    /// Determinism matches [`Runtime::map_indexed`]: work is assigned by
+    /// slot index, never by worker identity.
+    pub fn scatter_indexed<T, F>(&self, slots: &mut [T], f: F)
     where
-        R: Send,
-        F: Fn(usize) -> R + Sync,
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
     {
-        let Some(shared) = &self.shared else {
-            return (0..n).map(f).collect();
-        };
-        if n <= 1 {
-            return (0..n).map(f).collect();
+        struct SendPtr<T>(*mut T);
+        // SAFETY: the pointer is only dereferenced at distinct indices
+        // (each task owns exactly one slot) while `slots` is exclusively
+        // borrowed by this call.
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+        let base = SendPtr(slots.as_mut_ptr());
+        let base = &base;
+        self.for_each_indexed(slots.len(), |i| {
+            // SAFETY: `i` is unique per task, so no two tasks alias a slot,
+            // and `for_each_indexed` returns before `slots` is released.
+            let slot = unsafe { &mut *base.0.add(i) };
+            f(i, slot);
+        });
+    }
+
+    /// Run `n` indexed tasks in parallel for their side effects only.
+    ///
+    /// The single-worker runtime executes inline with zero heap
+    /// allocation; the multi-worker path allocates nothing per task or
+    /// per result — only one job envelope per busy worker (at most
+    /// `workers` boxes per call).
+    pub fn for_each_indexed<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let run_inline = self.shared.is_none() || n <= 1;
+        if run_inline {
+            for i in 0..n {
+                f(i);
+            }
+            return;
         }
+        let shared = self.shared.as_ref().expect("multi-worker path");
 
         let chunks = self.workers.min(n);
-        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
         let batch = Batch {
             remaining: AtomicUsize::new(chunks),
             panic: Mutex::new(None),
@@ -174,33 +208,26 @@ impl Runtime {
                 let lo = n * w / chunks;
                 let hi = n * (w + 1) / chunks;
                 let f = &f;
-                let results = &results;
                 let batch = &batch;
                 let shared_ref: &Shared = shared;
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     let out = catch_unwind(AssertUnwindSafe(|| {
-                        (lo..hi).map(|i| (i, f(i))).collect::<Vec<_>>()
+                        for i in lo..hi {
+                            f(i);
+                        }
                     }));
-                    match out {
-                        Ok(chunk) => {
-                            let mut slots = results.lock().expect("runtime results");
-                            for (i, r) in chunk {
-                                slots[i] = Some(r);
-                            }
-                        }
-                        Err(payload) => {
-                            let mut p = batch.panic.lock().expect("runtime panic slot");
-                            p.get_or_insert(payload);
-                        }
+                    if let Err(payload) = out {
+                        let mut p = batch.panic.lock().expect("runtime panic slot");
+                        p.get_or_insert(payload);
                     }
                     batch.remaining.fetch_sub(1, Ordering::AcqRel);
                     shared_ref.cv.notify_all();
                 });
-                // SAFETY: `run_indexed` does not return until `remaining`
-                // hits zero, i.e. until every job above has finished
-                // executing, so the `'_` borrows of `f`, `results`,
-                // `batch`, and `shared` outlive the jobs. The transmute
-                // only erases those lifetimes.
+                // SAFETY: `for_each_indexed` does not return until
+                // `remaining` hits zero, i.e. until every job above has
+                // finished executing, so the `'_` borrows of `f`, `batch`,
+                // and `shared` outlive the jobs. The transmute only erases
+                // those lifetimes.
                 let job: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
                 queue.push_back(job);
@@ -222,20 +249,33 @@ impl Runtime {
             if !guard.is_empty() {
                 continue;
             }
-            // Timed wait: completion is signalled through the same
-            // condvar, and the timeout bounds any notify/check race.
             let _ = shared
                 .cv
                 .wait_timeout(guard, Duration::from_millis(1))
                 .expect("runtime condvar");
         }
 
-        if let Some(payload) = batch.panic.lock().expect("runtime panic slot").take() {
+        let payload = batch.panic.lock().expect("runtime panic slot").take();
+        if let Some(payload) = payload {
             resume_unwind(payload);
         }
-        results
-            .into_inner()
-            .expect("runtime results")
+    }
+
+    /// Run `n` indexed tasks in parallel, returning results in index
+    /// order. Lower-level sibling of [`Runtime::map_indexed`]; expressed
+    /// as a [`Runtime::scatter_indexed`] over per-index result slots so
+    /// the batch-dispatch machinery lives in exactly one place.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.shared.is_none() || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        self.scatter_indexed(&mut slots, |i, slot| *slot = Some(f(i)));
+        slots
             .into_iter()
             .map(|slot| slot.expect("every task completed"))
             .collect()
@@ -349,6 +389,54 @@ mod tests {
         assert!(result.is_err());
         // The pool survives and keeps working after a panic.
         assert_eq!(rt.run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scatter_indexed_visits_every_slot_exactly_once() {
+        for workers in [1, 4] {
+            let rt = Runtime::new(workers);
+            let mut slots: Vec<u64> = vec![0; 123];
+            rt.scatter_indexed(&mut slots, |i, s| *s += i as u64 + 1);
+            let expect: Vec<u64> = (0..123).map(|i| i + 1).collect();
+            assert_eq!(slots, expect, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn for_each_indexed_propagates_panics_and_recovers() {
+        let rt = Runtime::new(2);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.for_each_indexed(8, |i| {
+                if i == 3 {
+                    panic!("boom {i}");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives and keeps working after a panic.
+        let ok = std::sync::atomic::AtomicUsize::new(0);
+        rt.for_each_indexed(5, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn scatter_indexed_reuses_slot_allocations() {
+        let rt = Runtime::new(2);
+        let mut slots: Vec<Vec<f64>> = (0..8).map(|_| vec![0.0; 64]).collect();
+        let ptrs: Vec<*const f64> = slots.iter().map(|s| s.as_ptr()).collect();
+        for wave in 0..3 {
+            rt.scatter_indexed(&mut slots, |i, s| {
+                s.fill(0.0);
+                s[0] = (wave * 100 + i) as f64;
+            });
+        }
+        let after: Vec<*const f64> = slots.iter().map(|s| s.as_ptr()).collect();
+        assert_eq!(ptrs, after, "slot buffers must not reallocate");
+        assert_eq!(slots[3][0], 203.0);
     }
 
     #[test]

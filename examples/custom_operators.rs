@@ -18,7 +18,7 @@ use ml4all_gd::operators::{
     StepUpdate, ToleranceLoop, ZeroStage,
 };
 use ml4all_gd::{Context, GdPlan, GradientKind, Regularizer, StepSize, TrainParams};
-use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint};
+use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, PointView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,12 +29,7 @@ struct HuberCompute {
 }
 
 impl HuberCompute {
-    fn residual(w: &[f64], p: &LabeledPoint) -> f64 {
-        p.features.dot(w) - p.label
-    }
-
-    fn loss(&self, w: &[f64], p: &LabeledPoint) -> f64 {
-        let r = Self::residual(w, p);
+    fn loss_of_residual(&self, r: f64) -> f64 {
         if r.abs() <= self.delta {
             0.5 * r * r
         } else {
@@ -44,8 +39,8 @@ impl HuberCompute {
 }
 
 impl ComputeOp for HuberCompute {
-    fn compute(&self, point: &LabeledPoint, ctx: &Context, acc: &mut ComputeAcc) {
-        let r = Self::residual(ctx.weights.as_slice(), point);
+    fn compute(&self, point: PointView<'_>, ctx: &Context, acc: &mut ComputeAcc) {
+        let r = point.features.dot(ctx.weights.as_slice()) - point.label;
         // ∇ huber = r·x (|r| ≤ δ) or δ·sign(r)·x (|r| > δ).
         let factor = if r.abs() <= self.delta {
             r
@@ -55,7 +50,7 @@ impl ComputeOp for HuberCompute {
         point.features.axpy_into(acc.primary.as_mut_slice(), factor);
         // Carry the objective value through the scalar channel so the
         // custom Converge can use it.
-        acc.scalar += self.loss(ctx.weights.as_slice(), point);
+        acc.scalar += self.loss_of_residual(r);
         acc.count += 1;
     }
 }

@@ -49,8 +49,8 @@ fn dataset_generation_is_deterministic_per_seed() {
     let cluster = ClusterSpec::paper_testbed();
     let a = registry::rcv1().build(500, 9, &cluster).unwrap();
     let b = registry::rcv1().build(500, 9, &cluster).unwrap();
-    let pa: Vec<_> = a.iter_points().collect();
-    let pb: Vec<_> = b.iter_points().collect();
+    let pa = a.to_points();
+    let pb = b.to_points();
     assert_eq!(pa, pb);
 }
 
