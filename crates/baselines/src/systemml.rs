@@ -259,6 +259,9 @@ impl SystemmlRunner {
                 wall_time: start.elapsed(),
                 error_seq,
                 sampler_shuffles: 0,
+                usage: env.ledger.usage().clone(),
+                backend: env.backend().name(),
+                rng_stream_version: ml4all_dataflow::RNG_STREAM_VERSION,
             },
             conversion_s,
         })

@@ -1,0 +1,79 @@
+//! Golden-file snapshots with an `UPDATE_GOLDEN=1` regeneration path.
+//!
+//! Goldens live under `tests/golden/` at the workspace root and pin
+//! rendered, deterministic surfaces (the `explain` plan table, Table 4's
+//! chosen plans). A failing comparison prints the first differing line;
+//! rerunning the test with `UPDATE_GOLDEN=1` rewrites the file.
+
+use std::path::PathBuf;
+
+/// Directory holding the golden files (`<workspace>/tests/golden`).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// Compare `actual` against the golden file `name`, or rewrite it when the
+/// `UPDATE_GOLDEN` environment variable is set.
+///
+/// # Panics
+///
+/// Panics with a line-level diff when the contents differ, and with a
+/// regeneration hint when the golden file does not exist yet.
+pub fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden file");
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "golden file {} missing — regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    // Identical line sequences with unequal bytes means the difference is
+    // invisible to a line diff: trailing newline or CRLF endings (e.g. a
+    // git autocrlf checkout). Say so instead of a baffling end-of-file
+    // mismatch.
+    if expected.lines().eq(actual.lines()) {
+        panic!(
+            "golden {} matches line for line but differs in line endings or the trailing \
+             newline ({} vs {} bytes) — check git autocrlf / editor newline settings, or \
+             regenerate with UPDATE_GOLDEN=1",
+            path.display(),
+            expected.len(),
+            actual.len(),
+        );
+    }
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    let mut line = 1usize;
+    loop {
+        match (exp_lines.next(), act_lines.next()) {
+            (Some(e), Some(a)) if e == a => line += 1,
+            (e, a) => panic!(
+                "golden {} differs at line {line}:\n  expected: {:?}\n  actual:   {:?}\n\
+                 regenerate with UPDATE_GOLDEN=1 if the change is intended",
+                path.display(),
+                e.unwrap_or("<end of file>"),
+                a.unwrap_or("<end of file>"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_dir_points_at_workspace_tests() {
+        let dir = golden_dir();
+        assert!(dir.ends_with("tests/golden"), "{}", dir.display());
+    }
+}

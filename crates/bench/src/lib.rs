@@ -23,9 +23,12 @@
 //! | `table2_datasets` | Table 2 |
 //! | `table4_chosen_plans` | Table 4 (Appendix E) |
 
+pub mod conformance;
+pub mod golden;
 pub mod harness;
 pub mod report;
 pub mod runs;
 
+pub use conformance::{sweep_dataset, ConformanceReport, DatasetConformance};
 pub use harness::{build_dataset, print_table, task_gradient, BenchConfig};
 pub use report::ExperimentRecord;

@@ -4,8 +4,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ml4all_dataflow::{ClusterSpec, PartitionedDataset};
-use ml4all_gd::{GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams};
+use ml4all_dataflow::{Backend, ClusterSpec, PartitionedDataset, SimEnv};
+use ml4all_gd::{
+    execute_plan, GdError, GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams,
+    TrainResult,
+};
 use ml4all_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
@@ -171,6 +174,11 @@ pub struct PlanChoice {
     /// Per-operator platform assignment (Appendix D) of this plan on this
     /// dataset — the `EXPLAIN` surface reports it alongside the cost.
     pub mapping: PlatformMapping,
+    /// Ledger-**measured** execution cost in simulated seconds, filled
+    /// when the caller profiled the plan through its mapped backend for
+    /// the costed iteration count (`ExplainRequest::measured`); `None` on
+    /// pure cost-model reports, or when the profiled run diverged.
+    pub measured_s: Option<f64>,
 }
 
 /// Per-variant speculation outcome.
@@ -207,12 +215,65 @@ impl OptimizerReport {
         self.choices.last().expect("search space is non-empty")
     }
 
+    /// The cheapest plan under **measured** costs — what the argmin would
+    /// be if ledger-measured execution replaced the model. `None` unless
+    /// every choice carries a measurement. Ties break toward the
+    /// predicted-cheaper (earlier) choice, so a measured tie never reads
+    /// as an argmin flip.
+    pub fn measured_best(&self) -> Option<&PlanChoice> {
+        let mut best: Option<(f64, &PlanChoice)> = None;
+        for choice in &self.choices {
+            let measured = choice.measured_s?;
+            if best.is_none_or(|(b, _)| measured < b) {
+                best = Some((measured, choice));
+            }
+        }
+        best.map(|(_, choice)| choice)
+    }
+
     /// Estimated iterations for a given variant, if speculated.
     pub fn estimate_for(&self, variant: GdVariant) -> Option<&IterationsEstimate> {
         self.estimates
             .iter()
             .find(|e| std::mem::discriminant(&e.variant) == std::mem::discriminant(&variant))
             .map(|e| &e.estimate)
+    }
+}
+
+/// The backend a plan mapping executes on (the Appendix D routing rule):
+/// a mapping that places any operator on Spark runs through the simulated
+/// cluster, a pure-driver mapping stays on the local runtime.
+pub fn backend_for(mapping: &PlatformMapping, cluster: &ClusterSpec) -> Backend {
+    if mapping.uses_cluster() {
+        Backend::simulated_cluster(cluster)
+    } else {
+        Backend::Local
+    }
+}
+
+/// Profile one costed choice: execute its plan through its mapped backend
+/// — on the configuration's worker pool — for exactly the iteration count
+/// the prediction was costed with (zero tolerance pins the run, so
+/// measured and predicted cover the same work). This is the single
+/// definition of the profiling protocol shared by `EXPLAIN`'s measured
+/// column and the conformance harness. Returns `Ok(None)` when the run
+/// diverges; other execution failures propagate.
+pub fn profile_choice(
+    choice: &PlanChoice,
+    data: &PartitionedDataset,
+    config: &OptimizerConfig,
+    cluster: &ClusterSpec,
+) -> Result<Option<TrainResult>, GdError> {
+    let mut params = config.train_params();
+    params.max_iter = choice.estimated_iterations;
+    params.tolerance = 0.0;
+    let backend = backend_for(&choice.mapping, cluster);
+    let mut env =
+        SimEnv::with_runtime(cluster.clone(), Arc::clone(&config.runtime)).with_backend(backend);
+    match execute_plan(&choice.plan, data, &params, &mut env) {
+        Ok(result) => Ok(Some(result)),
+        Err(GdError::Diverged { .. }) => Ok(None),
+        Err(e) => Err(e),
     }
 }
 
@@ -321,6 +382,7 @@ pub fn choose_plan(
                 per_iteration_s,
                 total_s: preparation_s + t as f64 * per_iteration_s,
                 mapping,
+                measured_s: None,
             }
         })
         .collect();
@@ -452,6 +514,31 @@ mod tests {
             .with_time_budget(Duration::from_millis(1));
         let err = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap_err();
         assert!(matches!(err, OptimizerError::UnsatisfiableConstraint(_)));
+    }
+
+    #[test]
+    fn measured_best_requires_every_choice_profiled() {
+        let data = dataset(1000, 1024 * 1024);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let mut report = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        assert!(report.measured_best().is_none());
+        // Fill measurements that invert the predicted order: the measured
+        // argmin must follow the measurements, not the ranking.
+        let n = report.choices.len();
+        for (i, choice) in report.choices.iter_mut().enumerate() {
+            choice.measured_s = Some((n - i) as f64);
+        }
+        let best = report.measured_best().unwrap();
+        assert_eq!(best.measured_s, Some(1.0));
+        assert_eq!(best.plan, report.choices[n - 1].plan);
+        // A measured tie breaks toward the predicted-cheaper choice, so a
+        // tie never reads as an argmin flip.
+        for choice in &mut report.choices {
+            choice.measured_s = Some(7.0);
+        }
+        let best = report.measured_best().unwrap();
+        assert_eq!(best.plan, report.choices[0].plan);
     }
 
     #[test]

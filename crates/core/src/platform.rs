@@ -65,6 +65,24 @@ impl PlatformMapping {
         rest.into_iter().any(|p| p != anchor) || self.sample.is_some_and(|p| p != anchor)
     }
 
+    /// `true` when any operator of this mapping executes on the cluster —
+    /// the routing predicate for the simulated-cluster backend: a plan
+    /// whose mapping touches Spark anywhere executes (and is metered)
+    /// through it, a pure-Java plan stays on the local runtime.
+    pub fn uses_cluster(&self) -> bool {
+        let ops = [
+            self.transform,
+            self.stage,
+            self.compute,
+            self.update,
+            self.converge,
+            self.loop_op,
+        ];
+        ops.into_iter()
+            .chain(self.sample)
+            .any(|p| p == Platform::Spark)
+    }
+
     /// Short report string, e.g.
     /// `transform=Spark sample=Spark compute=Java update=Java`.
     pub fn describe(&self) -> String {
@@ -146,6 +164,27 @@ mod tests {
         let m = map_plan(&plan, &small(), &cluster());
         assert!(!m.is_mixed());
         assert_eq!(m.compute, Platform::Java);
+        assert!(!m.uses_cluster());
+    }
+
+    #[test]
+    fn uses_cluster_detects_any_spark_operator() {
+        // Every plan on a large dataset touches Spark somewhere; lazy
+        // plans only through their sampler.
+        for plan in [
+            GdPlan::bgd(),
+            GdPlan::sgd(TransformPolicy::Lazy, SamplingMethod::RandomPartition).unwrap(),
+            GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap(),
+        ] {
+            assert!(
+                map_plan(&plan, &large(), &cluster()).uses_cluster(),
+                "{plan} should map onto the cluster"
+            );
+            assert!(
+                !map_plan(&plan, &small(), &cluster()).uses_cluster(),
+                "{plan} should stay at the driver"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,84 @@ proptest! {
     }
 
     #[test]
+    fn total_cost_is_monotone_in_dataset_size(
+        n in 1_000u64..10_000_000,
+        dims in 1usize..5_000,
+        unit_bytes in 16u64..4_096,
+        density in 0.01f64..1.0,
+        factor in 1.0f64..500.0,
+        t in 1u64..10_000,
+    ) {
+        // Scale points and bytes together (fixed bytes-per-unit, so the
+        // per-partition unit count k stays put): a strictly larger dataset
+        // must never be modelled as cheaper, for any plan in the space.
+        let spec = ClusterSpec::paper_testbed();
+        let small = DatasetDescriptor::new("small", n, dims, n * unit_bytes, density);
+        let big = DatasetDescriptor::new(
+            "big",
+            (n as f64 * factor) as u64,
+            dims,
+            ((n as f64 * factor) as u64) * unit_bytes,
+            density,
+        );
+        let small_model = PlanCostModel::new(&spec, &small);
+        let big_model = PlanCostModel::new(&spec, &big);
+        for plan in enumerate_plans(1000) {
+            let c_small = small_model.total_s(&plan, t);
+            let c_big = big_model.total_s(&plan, t);
+            prop_assert!(
+                c_big >= c_small * (1.0 - 1e-9),
+                "{}: {c_small} -> {c_big} under ×{factor}",
+                plan.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_simulated_scan_cost_equals_modelled_scan_cost(
+        n in 32usize..1_500,
+        partitions in 1u64..8,
+        seed in 0u64..1_000,
+    ) {
+        // The Bernoulli sampler *simulates* a full scan per draw; its
+        // ledger charge must be identical to the cost model's Sample
+        // operator (cSP, Equation 8) — the executed and the modelled
+        // Figure 4 cost profile are the same quantity. m = n pins the
+        // inclusion probability at 1, so exactly one scan happens.
+        use ml4all_core::cost::OperatorCosts;
+        use ml4all_dataflow::{PartitionScheme, PartitionedDataset, SamplerState, SimEnv};
+        use ml4all_linalg::{FeatureVec, LabeledPoint};
+        use rand::SeedableRng;
+
+        let spec = ClusterSpec::paper_testbed();
+        let points: Vec<LabeledPoint> = (0..n)
+            .map(|i| LabeledPoint::new(1.0, FeatureVec::dense(vec![i as f64])))
+            .collect();
+        let desc = DatasetDescriptor::new(
+            "prop",
+            n as u64,
+            1,
+            partitions * spec.partition_bytes,
+            1.0,
+        );
+        let data =
+            PartitionedDataset::with_descriptor(desc, points, PartitionScheme::RoundRobin, &spec)
+                .unwrap();
+        let mut env = SimEnv::new(spec.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sampler = SamplerState::new(ml4all_dataflow::SamplingMethod::Bernoulli);
+        let drawn = sampler.draw(&data, n, &mut env, &mut rng).unwrap();
+        prop_assert_eq!(drawn.len(), n, "probability 1 includes every unit");
+        let modelled = OperatorCosts::new(&spec, data.descriptor())
+            .sample_s(ml4all_dataflow::SamplingMethod::Bernoulli, n as u64);
+        let measured = env.elapsed_s();
+        prop_assert!(
+            (measured - modelled).abs() <= 1e-12 * modelled.max(1.0),
+            "measured {measured} vs modelled {modelled}"
+        );
+    }
+
+    #[test]
     fn parser_accepts_generated_valid_queries(
         eps in 1e-6f64..1.0,
         iters in 1u64..1_000_000,

@@ -1,0 +1,123 @@
+//! Execution backends: *where* a plan's waves run, and what gets metered.
+//!
+//! The paper executes cluster-mapped plans on a 4-node Spark deployment and
+//! driver-only plans in a single JVM (Appendix D). This module makes that
+//! split explicit: a [`Backend`] value selects between the in-process
+//! [`Local`](Backend::Local) runtime and a deterministic
+//! [`SimulatedCluster`](Backend::SimulatedCluster) — N simulated nodes with
+//! round-robin partition placement and a broadcast/aggregate step per
+//! compute wave. The simulated cluster never changes *what* executes (the
+//! math and its RNG streams are backend-invariant, bit for bit); it adds a
+//! per-node **usage meter** ([`crate::ledger::UsageMeter`]) so a run yields
+//! a measured cost vector beside the modelled one — the raw material of
+//! the conformance harness.
+
+use crate::cluster::ClusterSpec;
+
+/// Deterministic placement of partitions onto simulated cluster nodes.
+///
+/// Placement is round-robin by partition index — the statistical analog of
+/// HDFS block assignment — so it depends only on the partition count and
+/// the node count, never on worker identity or execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTopology {
+    nodes: usize,
+}
+
+impl ClusterTopology {
+    /// Topology with the node count of `spec` (at least one node).
+    pub fn new(spec: &ClusterSpec) -> Self {
+        Self {
+            nodes: spec.nodes.max(1),
+        }
+    }
+
+    /// Number of simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node hosting partition `pi`.
+    pub fn node_of(&self, pi: usize) -> usize {
+        pi % self.nodes
+    }
+
+    /// Nodes that hold at least one of `partitions` partitions.
+    pub fn active_nodes(&self, partitions: usize) -> usize {
+        partitions.min(self.nodes)
+    }
+}
+
+/// Which backend executes a plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Backend {
+    /// In-process execution at the driver (the paper's "Java" side): the
+    /// shared worker pool runs the waves, nothing is metered.
+    #[default]
+    Local,
+    /// Deterministic simulated cluster (the paper's "Spark" side): waves
+    /// still execute on the shared pool — placement is an accounting
+    /// overlay, so results stay bit-identical to [`Backend::Local`] — but
+    /// every wave meters tuples scanned, bytes shuffled (model broadcast +
+    /// partial aggregation), and busy seconds per node.
+    SimulatedCluster(ClusterTopology),
+}
+
+impl Backend {
+    /// A simulated cluster with the node count of `spec`.
+    pub fn simulated_cluster(spec: &ClusterSpec) -> Self {
+        Self::SimulatedCluster(ClusterTopology::new(spec))
+    }
+
+    /// `true` for the simulated-cluster backend.
+    pub fn is_cluster(&self) -> bool {
+        matches!(self, Self::SimulatedCluster(_))
+    }
+
+    /// Stable backend label used in reports and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Local => "local",
+            Self::SimulatedCluster(_) => "simulated-cluster",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_round_robin_over_nodes() {
+        let topo = ClusterTopology::new(&ClusterSpec::paper_testbed());
+        assert_eq!(topo.nodes(), 4);
+        assert_eq!(topo.node_of(0), 0);
+        assert_eq!(topo.node_of(5), 1);
+        assert_eq!(topo.node_of(7), 3);
+        assert_eq!(topo.active_nodes(2), 2);
+        assert_eq!(topo.active_nodes(100), 4);
+    }
+
+    #[test]
+    fn single_node_spec_still_has_one_node() {
+        let topo = ClusterTopology::new(&ClusterSpec::local(4));
+        assert_eq!(topo.nodes(), 1);
+        assert_eq!(topo.node_of(9), 0);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::Local.name(), "local");
+        let cluster = Backend::simulated_cluster(&ClusterSpec::paper_testbed());
+        assert_eq!(cluster.name(), "simulated-cluster");
+        assert!(cluster.is_cluster());
+        assert!(!Backend::default().is_cluster());
+        assert_eq!(format!("{cluster}"), "simulated-cluster");
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use ml4all_runtime::Runtime;
 
+use crate::backend::Backend;
 use crate::cluster::{ClusterSpec, StorageMedium};
 use crate::descriptor::DatasetDescriptor;
 use crate::ledger::{CostBreakdown, CostLedger};
@@ -12,7 +13,9 @@ use crate::ledger::{CostBreakdown, CostLedger};
 /// Execution environment handed to operators: charge costs here while the
 /// computation itself runs over the physical rows — which it does through
 /// the shared [`Runtime`] worker pool, the physical counterpart of the
-/// cost model's wave parallelism.
+/// cost model's wave parallelism. A [`Backend`] selects whether runs are
+/// additionally metered as a simulated cluster (per-node placement,
+/// broadcast/aggregate accounting); charging is backend-invariant.
 #[derive(Debug, Clone)]
 pub struct SimEnv {
     /// Deployment constants.
@@ -21,6 +24,8 @@ pub struct SimEnv {
     pub ledger: CostLedger,
     /// Worker pool physical computation dispatches through.
     runtime: Arc<Runtime>,
+    /// Execution backend (selects cluster metering).
+    backend: Backend,
 }
 
 impl SimEnv {
@@ -36,7 +41,19 @@ impl SimEnv {
             spec,
             ledger: CostLedger::new(),
             runtime,
+            backend: Backend::Local,
         }
+    }
+
+    /// Route execution through `backend` (builder-style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this environment executes on.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     /// The worker pool this environment executes on.
@@ -156,6 +173,38 @@ impl SimEnv {
         } else {
             self.charge_random_page_read(d.bytes, medium);
         }
+    }
+
+    /// Meter one compute wave on the simulated-cluster backend:
+    /// `units[pi]` data units ran on the node hosting partition `pi` at
+    /// `per_unit_s` each, and the `model_bytes`-sized weight vector was
+    /// broadcast to — and its partial aggregates gathered from — every
+    /// active node. No-op on the local backend, where nothing crosses a
+    /// node boundary. Metering never moves the simulated clock; the
+    /// cost charges stay backend-invariant.
+    pub fn meter_cluster_wave(&mut self, units: &[u64], per_unit_s: f64, model_bytes: u64) {
+        let Backend::SimulatedCluster(topo) = &self.backend else {
+            return;
+        };
+        let active = topo.active_nodes(units.len()) as u64;
+        self.ledger.meter_wave();
+        self.ledger.meter_shuffle_bytes(2 * model_bytes * active);
+        for (pi, &u) in units.iter().enumerate() {
+            self.ledger.meter_tuples(u);
+            self.ledger
+                .meter_node_compute(topo.node_of(pi), u as f64 * per_unit_s);
+        }
+    }
+
+    /// Meter a hybrid-mode sample fetch on the simulated-cluster backend:
+    /// `drawn` units were read on the cluster and shipped to the driver.
+    /// No-op on the local backend.
+    pub fn meter_cluster_sample(&mut self, drawn: u64, unit_bytes: u64) {
+        if !self.backend.is_cluster() {
+            return;
+        }
+        self.ledger.meter_tuples(drawn);
+        self.ledger.meter_shuffle_bytes(drawn * unit_bytes);
     }
 
     /// Per-iteration scheduling overhead: a distributed stage launch when
@@ -278,5 +327,43 @@ mod tests {
         let mut e = env();
         e.charge_job_init();
         assert_eq!(e.ledger.snapshot().overhead_s, e.spec.job_init_s);
+    }
+
+    #[test]
+    fn cluster_wave_meters_per_node_without_moving_the_clock() {
+        let spec = ClusterSpec::paper_testbed();
+        let mut e =
+            SimEnv::new(spec.clone()).with_backend(crate::Backend::simulated_cluster(&spec));
+        // 6 partitions on 4 nodes: nodes 0 and 1 host two partitions each.
+        let units = [10u64, 20, 30, 40, 50, 60];
+        e.meter_cluster_wave(&units, 1.0, 80);
+        let usage = e.ledger.usage();
+        assert_eq!(usage.waves, 1);
+        assert_eq!(usage.tuples_scanned, 210);
+        // Broadcast + aggregate for 4 active nodes.
+        assert_eq!(usage.bytes_shuffled, 2 * 80 * 4);
+        assert_eq!(usage.node_compute_s, vec![60.0, 80.0, 30.0, 40.0]);
+        assert_eq!(usage.busiest_node_s(), 80.0);
+        assert_eq!(e.elapsed_s(), 0.0, "metering must not charge the ledger");
+    }
+
+    #[test]
+    fn local_backend_meters_nothing() {
+        let mut e = env();
+        assert!(!e.backend().is_cluster());
+        e.meter_cluster_wave(&[10, 20], 1.0, 80);
+        e.meter_cluster_sample(5, 100);
+        assert!(e.ledger.usage().is_empty());
+    }
+
+    #[test]
+    fn cluster_sample_meters_shipping() {
+        let spec = ClusterSpec::paper_testbed();
+        let mut e =
+            SimEnv::new(spec.clone()).with_backend(crate::Backend::simulated_cluster(&spec));
+        e.meter_cluster_sample(100, 64);
+        assert_eq!(e.ledger.usage().tuples_scanned, 100);
+        assert_eq!(e.ledger.usage().bytes_shuffled, 6400);
+        assert!(e.ledger.usage().node_compute_s.is_empty());
     }
 }

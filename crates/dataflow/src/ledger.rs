@@ -27,10 +27,48 @@ impl CostBreakdown {
     }
 }
 
+/// Physical usage metered during a run on the simulated-cluster backend:
+/// the *measured* counterpart of the modelled cost vector. Ledger seconds
+/// follow the logical dataset descriptor; these counters follow the rows
+/// this process actually pushed through the backend, so they quantify the
+/// work the cluster really performed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct UsageMeter {
+    /// Data units fed through compute waves and sample draws.
+    pub tuples_scanned: u64,
+    /// Bytes crossing the simulated interconnect: model broadcast, partial
+    /// aggregation, and sample shipping to the driver.
+    pub bytes_shuffled: u64,
+    /// Busy compute seconds per simulated node (index = node id). Empty on
+    /// the local backend, which has no nodes to attribute work to.
+    pub node_compute_s: Vec<f64>,
+    /// Broadcast/aggregate waves executed.
+    pub waves: u64,
+}
+
+impl UsageMeter {
+    /// Compute seconds of the busiest node — the wave-parallel critical
+    /// path of the measured run.
+    pub fn busiest_node_s(&self) -> f64 {
+        self.node_compute_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total compute seconds across all nodes.
+    pub fn total_node_compute_s(&self) -> f64 {
+        self.node_compute_s.iter().sum()
+    }
+
+    /// `true` when nothing was metered (local-backend runs).
+    pub fn is_empty(&self) -> bool {
+        self.tuples_scanned == 0 && self.bytes_shuffled == 0 && self.node_compute_s.is_empty()
+    }
+}
+
 /// Accumulates simulated cost. Cheap to copy out via [`CostLedger::snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
     acc: CostBreakdown,
+    meter: UsageMeter,
 }
 
 impl CostLedger {
@@ -63,6 +101,35 @@ impl CostLedger {
         self.acc.overhead_s += s;
     }
 
+    /// Meter `units` data units scanned by the cluster backend.
+    pub fn meter_tuples(&mut self, units: u64) {
+        self.meter.tuples_scanned += units;
+    }
+
+    /// Meter `bytes` moved across the simulated interconnect.
+    pub fn meter_shuffle_bytes(&mut self, bytes: u64) {
+        self.meter.bytes_shuffled += bytes;
+    }
+
+    /// Meter `s` busy compute seconds on simulated node `node`.
+    pub fn meter_node_compute(&mut self, node: usize, s: f64) {
+        debug_assert!(s >= 0.0, "negative node compute charge {s}");
+        if self.meter.node_compute_s.len() <= node {
+            self.meter.node_compute_s.resize(node + 1, 0.0);
+        }
+        self.meter.node_compute_s[node] += s;
+    }
+
+    /// Meter one broadcast/aggregate wave.
+    pub fn meter_wave(&mut self) {
+        self.meter.waves += 1;
+    }
+
+    /// Physical usage metered so far.
+    pub fn usage(&self) -> &UsageMeter {
+        &self.meter
+    }
+
     /// Current accumulated costs.
     pub fn snapshot(&self) -> CostBreakdown {
         self.acc
@@ -85,9 +152,10 @@ impl CostLedger {
         }
     }
 
-    /// Reset to t = 0.
+    /// Reset to t = 0 and clear the usage meter.
     pub fn reset(&mut self) {
         self.acc = CostBreakdown::default();
+        self.meter = UsageMeter::default();
     }
 }
 
@@ -127,7 +195,37 @@ mod tests {
     fn reset_zeroes_everything() {
         let mut l = CostLedger::new();
         l.charge_net(9.0);
+        l.meter_tuples(5);
         l.reset();
+        assert_eq!(l.total_s(), 0.0);
+        assert!(l.usage().is_empty());
+    }
+
+    #[test]
+    fn meter_accumulates_per_node_compute() {
+        let mut l = CostLedger::new();
+        l.meter_node_compute(2, 1.5);
+        l.meter_node_compute(0, 0.5);
+        l.meter_node_compute(2, 0.5);
+        let usage = l.usage();
+        assert_eq!(usage.node_compute_s, vec![0.5, 0.0, 2.0]);
+        assert_eq!(usage.busiest_node_s(), 2.0);
+        assert!((usage.total_node_compute_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_tracks_tuples_bytes_and_waves() {
+        let mut l = CostLedger::new();
+        assert!(l.usage().is_empty());
+        l.meter_tuples(100);
+        l.meter_shuffle_bytes(4096);
+        l.meter_wave();
+        l.meter_wave();
+        assert_eq!(l.usage().tuples_scanned, 100);
+        assert_eq!(l.usage().bytes_shuffled, 4096);
+        assert_eq!(l.usage().waves, 2);
+        assert!(!l.usage().is_empty());
+        // Metering never moves the simulated clock.
         assert_eq!(l.total_s(), 0.0);
     }
 }

@@ -28,9 +28,14 @@
 //!   sampling).
 //! - [`ledger::CostLedger`] / [`env::SimEnv`] — cost accounting and the
 //!   charging primitives implementing Equations 3–5.
+//! - [`backend::Backend`] — where waves run: the in-process local runtime
+//!   or a deterministic simulated cluster whose per-node placement and
+//!   broadcast/aggregate steps are metered into a
+//!   [`ledger::UsageMeter`] beside the modelled costs.
 //! - [`sampling`] — the three sampling strategies of Figure 4: Bernoulli,
 //!   random-partition, shuffled-partition.
 
+pub mod backend;
 pub mod cluster;
 pub mod columns;
 pub mod dataset;
@@ -39,13 +44,14 @@ pub mod env;
 pub mod ledger;
 pub mod sampling;
 
+pub use backend::{Backend, ClusterTopology};
 pub use cluster::{ClusterSpec, StorageMedium};
 pub use columns::{ColumnStore, ColumnarBuilder};
 pub use dataset::{Partition, PartitionScheme, PartitionedDataset};
 pub use descriptor::DatasetDescriptor;
 pub use env::SimEnv;
-pub use ledger::{CostBreakdown, CostLedger};
-pub use ml4all_runtime::{derive_seed, Runtime};
+pub use ledger::{CostBreakdown, CostLedger, UsageMeter};
+pub use ml4all_runtime::{derive_seed, Runtime, RNG_STREAM_VERSION};
 pub use sampling::{SamplerState, SamplingMethod};
 
 /// Errors surfaced by the dataflow substrate.

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use ml4all_dataflow::{
     ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState, SimEnv,
-    StorageMedium,
+    StorageMedium, UsageMeter, RNG_STREAM_VERSION,
 };
 use ml4all_linalg::{DenseVector, LabeledPoint, PointView};
 use rand::rngs::StdRng;
@@ -95,6 +95,15 @@ pub struct TrainResult {
     pub error_seq: Vec<(u64, f64)>,
     /// Partition shuffles triggered by the shuffled-partition sampler.
     pub sampler_shuffles: usize,
+    /// Physical usage metered by the backend (empty on the local backend):
+    /// tuples scanned, bytes shuffled, busy seconds per simulated node.
+    pub usage: UsageMeter,
+    /// Stable label of the backend the run executed on.
+    pub backend: &'static str,
+    /// RNG stream layout this run's seed reproduces under (see
+    /// [`ml4all_dataflow::RNG_STREAM_VERSION`]): same-seed runs are bit
+    /// identical only within one stream version.
+    pub rng_stream_version: u32,
 }
 
 impl TrainResult {
@@ -342,6 +351,13 @@ pub fn execute_with_operators(
     // sampled-coordinate buffer, and the error sequence's backing storage
     // — the steady-state loop allocates nothing per iteration.
     let mut scratch = WaveScratch::new(store.num_partitions(), dims);
+    // Physical rows per partition, fixed for the whole run: the
+    // simulated-cluster backend meters each batch wave against this
+    // placement (computed once — the loop stays allocation-free).
+    let wave_units: Vec<u64> = (0..store.num_partitions())
+        .map(|pi| store.columns(pi).len() as u64)
+        .collect();
+    let model_bytes = (dims as u64) * 8;
     let mut coords: Vec<(usize, usize)> = Vec::new();
     let mut error_seq = Vec::new();
     if params.record_error_seq {
@@ -406,6 +422,15 @@ pub fn execute_with_operators(
                     let active = desc.partitions(&env.spec);
                     env.charge_network(active * (dims as u64) * 8);
                 }
+                // One broadcast/aggregate wave on the cluster backend:
+                // meter the physical work each node just performed —
+                // including the on-the-fly transform of lazy batch waves,
+                // mirroring the CPU charges above.
+                let mut per_unit_s = env.spec.cpu_gradient_s(avg_nnz);
+                if plan.transform == TransformPolicy::Lazy {
+                    per_unit_s += env.spec.cpu_transform_s(avg_nnz);
+                }
+                env.meter_cluster_wave(&wave_units, per_unit_s, model_bytes);
             }
             SampleSize::Units(m) => {
                 let sampler = sampler.as_mut().ok_or_else(|| {
@@ -424,6 +449,7 @@ pub fn execute_with_operators(
                 if distributed {
                     env.charge_network(unit_bytes * drawn as u64);
                 }
+                env.meter_cluster_sample(drawn as u64, unit_bytes);
                 env.charge_serial_cpu(drawn as u64, env.spec.cpu_gradient_s(avg_nnz));
                 let lookup = |pi: usize, oi: usize| {
                     store
@@ -509,6 +535,9 @@ pub fn execute_with_operators(
         wall_time: start.elapsed(),
         error_seq,
         sampler_shuffles: sampler.map(|s| s.shuffles()).unwrap_or(0),
+        usage: env.ledger.usage().clone(),
+        backend: env.backend().name(),
+        rng_stream_version: RNG_STREAM_VERSION,
     })
 }
 
@@ -849,6 +878,90 @@ mod tests {
             lazy_result.sim_time_s,
             eager_result.sim_time_s
         );
+    }
+
+    #[test]
+    fn cluster_backend_meters_usage_and_stays_bit_identical_to_local() {
+        use ml4all_dataflow::Backend;
+        let spec = ClusterSpec::paper_testbed();
+        // 2 GB logical → 16 partitions → genuinely distributed waves.
+        let desc = ml4all_dataflow::DatasetDescriptor::new(
+            "big",
+            1_000_000,
+            3,
+            2 * 1024 * 1024 * 1024,
+            1.0,
+        );
+        let data = PartitionedDataset::with_descriptor(
+            desc,
+            separable_points(1000, 3),
+            PartitionScheme::RoundRobin,
+            &spec,
+        )
+        .unwrap();
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.max_iter = 5;
+        params.tolerance = 0.0;
+
+        let mut env_local = SimEnv::new(spec.clone());
+        let local = execute_plan(&GdPlan::bgd(), &data, &params, &mut env_local).unwrap();
+        let mut env_cluster =
+            SimEnv::new(spec.clone()).with_backend(Backend::simulated_cluster(&spec));
+        let cluster = execute_plan(&GdPlan::bgd(), &data, &params, &mut env_cluster).unwrap();
+
+        // The backend is an accounting overlay: math and charges identical.
+        assert_eq!(local.weights, cluster.weights);
+        assert_eq!(local.cost, cluster.cost);
+        assert_eq!(local.sim_time_s.to_bits(), cluster.sim_time_s.to_bits());
+        assert_eq!(local.backend, "local");
+        assert_eq!(cluster.backend, "simulated-cluster");
+        assert!(local.usage.is_empty());
+
+        // The cluster run measured its physical work: one wave per
+        // iteration, every physical row scanned per wave, the 3-dim model
+        // broadcast to and aggregated from all 4 nodes.
+        assert_eq!(cluster.usage.waves, 5);
+        assert_eq!(cluster.usage.tuples_scanned, 5 * 1000);
+        assert_eq!(cluster.usage.bytes_shuffled, 5 * 2 * (3 * 8) * 4);
+        assert_eq!(cluster.usage.node_compute_s.len(), 4);
+        assert!(cluster.usage.node_compute_s.iter().all(|&s| s > 0.0));
+        assert_eq!(cluster.rng_stream_version, RNG_STREAM_VERSION);
+    }
+
+    #[test]
+    fn sampled_plans_meter_driver_shipping_on_the_cluster_backend() {
+        use ml4all_dataflow::Backend;
+        let spec = ClusterSpec::paper_testbed();
+        let desc = ml4all_dataflow::DatasetDescriptor::new(
+            "big",
+            1_000_000,
+            3,
+            2 * 1024 * 1024 * 1024,
+            1.0,
+        );
+        let data = PartitionedDataset::with_descriptor(
+            desc,
+            separable_points(1000, 3),
+            PartitionScheme::RoundRobin,
+            &spec,
+        )
+        .unwrap();
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.max_iter = 10;
+        params.tolerance = 0.0;
+        let plan = GdPlan::mgd(
+            32,
+            TransformPolicy::Eager,
+            SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+        let mut env = SimEnv::new(spec.clone()).with_backend(Backend::simulated_cluster(&spec));
+        let result = execute_plan(&plan, &data, &params, &mut env).unwrap();
+        // 32 units × 10 iterations shipped to the driver; no batch waves.
+        assert_eq!(result.usage.tuples_scanned, 320);
+        assert!(result.usage.bytes_shuffled > 0);
+        assert_eq!(result.usage.waves, 0);
+        assert!(result.usage.node_compute_s.is_empty());
     }
 
     #[test]

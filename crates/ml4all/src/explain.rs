@@ -1,40 +1,60 @@
 //! Rendering of `explain` output: the optimizer's full costed plan table
 //! (the Section 7 / Table 4 surface), one row per enumerated plan,
-//! cheapest first.
+//! cheapest first — plus, on profiled reports, the ledger-measured cost
+//! beside every prediction.
 
 use ml4all_core::chooser::OptimizerReport;
+use ml4all_dataflow::RNG_STREAM_VERSION;
 
 /// Render the report as an aligned text table: rank, plan, estimated
-/// iterations, preparation / per-iteration / total modelled cost, and the
-/// Appendix D platform mapping of every operator.
+/// iterations, preparation / per-iteration / total modelled cost, the
+/// measured cost when the report was profiled (`ExplainRequest::measured`),
+/// and the Appendix D platform mapping of every operator. The footer pins
+/// the RNG stream version so the seed-compatibility contract of the run is
+/// part of the rendered surface.
 pub fn render_report(report: &OptimizerReport) -> String {
-    let mut rows: Vec<[String; 7]> = vec![[
-        "#".into(),
-        "plan".into(),
-        "est.iter".into(),
-        "prep(s)".into(),
-        "iter(s)".into(),
-        "total(s)".into(),
-        "platforms".into(),
-    ]];
+    // The measured column only appears on profiled reports; a diverged
+    // plan inside one renders a dash.
+    let measured = report.choices.iter().any(|c| c.measured_s.is_some());
+    let mut header = vec![
+        "#".to_string(),
+        "plan".to_string(),
+        "est.iter".to_string(),
+        "prep(s)".to_string(),
+        "iter(s)".to_string(),
+        "total(s)".to_string(),
+    ];
+    if measured {
+        header.push("measured(s)".to_string());
+    }
+    header.push("platforms".to_string());
+    let mut rows: Vec<Vec<String>> = vec![header];
     for (rank, choice) in report.choices.iter().enumerate() {
         let mix = if choice.mapping.is_mixed() {
             " (mixed)"
         } else {
             ""
         };
-        rows.push([
+        let mut row = vec![
             format!("{}", rank + 1),
             choice.plan.name(),
             format!("{}", choice.estimated_iterations),
             format!("{:.3}", choice.preparation_s),
             format!("{:.6}", choice.per_iteration_s),
             format!("{:.3}", choice.total_s),
-            format!("{}{mix}", choice.mapping.describe()),
-        ]);
+        ];
+        if measured {
+            row.push(match choice.measured_s {
+                Some(m) => format!("{m:.3}"),
+                None => "-".to_string(),
+            });
+        }
+        row.push(format!("{}{mix}", choice.mapping.describe()));
+        rows.push(row);
     }
 
-    let mut widths = [0usize; 7];
+    let columns = rows[0].len();
+    let mut widths = vec![0usize; columns];
     for row in &rows {
         for (w, cell) in widths.iter_mut().zip(row) {
             *w = (*w).max(cell.chars().count());
@@ -43,7 +63,7 @@ pub fn render_report(report: &OptimizerReport) -> String {
 
     let mut out = String::new();
     for row in &rows {
-        for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
             if i > 0 {
                 out.push_str("  ");
             }
@@ -62,6 +82,7 @@ pub fn render_report(report: &OptimizerReport) -> String {
             report.estimates.len()
         ));
     }
+    out.push_str(&format!("rng stream v{RNG_STREAM_VERSION}\n"));
     out
 }
 
@@ -72,20 +93,25 @@ mod tests {
     use ml4all_dataflow::ClusterSpec;
     use ml4all_gd::GradientKind;
 
-    #[test]
-    fn table_lists_every_plan_with_costs_and_platforms() {
+    fn report() -> OptimizerReport {
         let cluster = ClusterSpec::paper_testbed();
         let data = ml4all_datasets::registry::adult()
             .build(800, 7, &cluster)
             .unwrap();
         let config =
             OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
-        let report = choose_plan(&data, &config, &cluster).unwrap();
+        choose_plan(&data, &config, &cluster).unwrap()
+    }
+
+    #[test]
+    fn table_lists_every_plan_with_costs_and_platforms() {
+        let report = report();
         let table = render_report(&report);
         let lines: Vec<&str> = table.lines().collect();
-        // Header + 11 plans.
-        assert_eq!(lines.len(), 12);
+        // Header + 11 plans + rng footer.
+        assert_eq!(lines.len(), 13);
         assert!(lines[0].contains("plan") && lines[0].contains("total(s)"));
+        assert!(!lines[0].contains("measured(s)"), "no measured column");
         for choice in &report.choices {
             assert!(
                 table.contains(&choice.plan.name()),
@@ -94,5 +120,34 @@ mod tests {
             );
         }
         assert!(table.contains("transform="), "platform column missing");
+        assert_eq!(
+            lines[12],
+            format!("rng stream v{RNG_STREAM_VERSION}"),
+            "seed-compatibility footer"
+        );
+    }
+
+    #[test]
+    fn measured_column_appears_only_when_profiled() {
+        let mut report = report();
+        for choice in &mut report.choices {
+            choice.measured_s = Some(choice.total_s);
+        }
+        // A diverged plan renders a dash without dropping the column.
+        report.choices[3].measured_s = None;
+        let table = render_report(&report);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("measured(s)"));
+        assert!(lines[4].split_whitespace().any(|cell| cell == "-"));
+        // Every other row carries a numeric measurement.
+        for (i, line) in lines.iter().enumerate().skip(1).take(11) {
+            if i == 4 {
+                continue;
+            }
+            assert!(
+                line.contains('.'),
+                "row {i} should show a measured cost: {line}"
+            );
+        }
     }
 }

@@ -55,7 +55,7 @@ pub use ml4all_core::chooser::{OptimizerReport, PlanChoice};
 pub use ml4all_core::lang::{AlgorithmPin, TrainSpec};
 pub use ml4all_core::platform::{Platform, PlatformMapping};
 pub use ml4all_core::OptimizerError;
-pub use ml4all_dataflow::SamplingMethod;
+pub use ml4all_dataflow::{Backend, SamplingMethod, UsageMeter, RNG_STREAM_VERSION};
 pub use ml4all_datasets::source::{DataSource, FileFormat, SourceError};
 pub use ml4all_gd::{GdPlan, GdVariant, GradientKind};
 

@@ -172,12 +172,25 @@ impl PredictRequest {
 pub struct ExplainRequest {
     /// The training request to explain.
     pub train: TrainRequest,
+    /// Also *execute* every enumerated plan through its mapped backend for
+    /// exactly the costed iteration count and report the ledger-measured
+    /// cost beside the prediction (the conformance column).
+    pub measured: bool,
 }
 
 impl ExplainRequest {
     /// Explain `train`.
     pub fn new(train: TrainRequest) -> Self {
-        Self { train }
+        Self {
+            train,
+            measured: false,
+        }
+    }
+
+    /// Request the predicted-vs-measured column.
+    pub fn measured(mut self, measured: bool) -> Self {
+        self.measured = measured;
+        self
     }
 }
 

@@ -5,10 +5,12 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use ml4all_core::chooser::{choose_plan, IterationsSource, OptimizerConfig, OptimizerReport};
+use ml4all_core::chooser::{
+    backend_for, choose_plan, profile_choice, IterationsSource, OptimizerConfig, OptimizerReport,
+};
 use ml4all_core::estimator::SpeculationConfig;
 use ml4all_core::lang::{parse_statement, train_spec, Query, RunQuery};
-use ml4all_dataflow::{ClusterSpec, PartitionedDataset, SimEnv};
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset, SimEnv, UsageMeter};
 use ml4all_datasets::csv::CsvColumns;
 use ml4all_datasets::source::{DataSource, SourceResolver};
 use ml4all_gd::{execute_plan, GdPlan};
@@ -33,6 +35,12 @@ pub struct TrainSummary {
     pub sim_time_s: f64,
     /// Simulated optimizer (speculation) overhead.
     pub speculation_s: f64,
+    /// Backend the winning plan executed on, chosen from its platform
+    /// mapping: `"simulated-cluster"` when any operator maps to Spark,
+    /// `"local"` otherwise.
+    pub backend: &'static str,
+    /// Physical usage metered by the backend (empty for local runs).
+    pub usage: UsageMeter,
 }
 
 /// A bound training result: what [`Session::train`] returns.
@@ -201,7 +209,8 @@ impl Session {
         let report = choose_plan(&data, &config, &self.cluster)?;
         let plan = report.best().plan;
         let params = config.train_params();
-        let mut env = SimEnv::new(self.cluster.clone());
+        let backend = backend_for(&report.best().mapping, &self.cluster);
+        let mut env = SimEnv::new(self.cluster.clone()).with_backend(backend);
         let result = execute_plan(&plan, &data, &params, &mut env)?;
 
         let name = request.name.unwrap_or_else(|| {
@@ -220,6 +229,8 @@ impl Session {
                 converged: result.converged(),
                 sim_time_s: result.sim_time_s,
                 speculation_s: report.speculation_sim_s,
+                backend: result.backend,
+                usage: result.usage,
             },
         })
     }
@@ -245,7 +256,28 @@ impl Session {
     /// ```
     pub fn explain(&self, request: ExplainRequest) -> Result<OptimizerReport, SessionError> {
         let (config, data) = self.configured(&request.train)?;
-        Ok(choose_plan(&data, &config, &self.cluster)?)
+        let mut report = choose_plan(&data, &config, &self.cluster)?;
+        if request.measured {
+            self.measure_report(&mut report, &config, &data)?;
+        }
+        Ok(report)
+    }
+
+    /// Profile every enumerated plan via [`profile_choice`] (the protocol
+    /// shared with the conformance harness), filling the report's measured
+    /// column. A diverging plan keeps `None` (the table renders a dash);
+    /// any other execution failure propagates.
+    fn measure_report(
+        &self,
+        report: &mut OptimizerReport,
+        config: &OptimizerConfig,
+        data: &PartitionedDataset,
+    ) -> Result<(), SessionError> {
+        for choice in &mut report.choices {
+            choice.measured_s = profile_choice(choice, data, config, &self.cluster)?
+                .map(|result| result.sim_time_s);
+        }
+        Ok(())
     }
 
     /// Shared `train`/`explain` prologue: validate the request into a
@@ -518,6 +550,67 @@ mod tests {
             panic!("expected Trained")
         };
         assert_eq!(summary.plan, report.best().plan);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cluster_mapped_plans_route_through_the_simulated_backend() {
+        let dir = tmp_dir("backend-routing");
+        let mut session = quick_session(&dir);
+        // svm1 declares 10 GB logical: every plan maps onto the cluster.
+        let trained = session
+            .train(TrainRequest::new(GradientKind::Svm, DataSource::registry("svm1")).max_iter(10))
+            .unwrap();
+        assert_eq!(trained.summary.backend, "simulated-cluster");
+        assert!(
+            !trained.summary.usage.is_empty(),
+            "cluster runs must be metered: {:?}",
+            trained.summary.usage
+        );
+        // adult fits one partition: pure-driver mapping stays local.
+        let trained = session
+            .train(
+                TrainRequest::new(
+                    GradientKind::LogisticRegression,
+                    DataSource::registry("adult"),
+                )
+                .max_iter(10),
+            )
+            .unwrap();
+        assert_eq!(trained.summary.backend, "local");
+        assert!(trained.summary.usage.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn measured_explain_profiles_every_plan() {
+        let dir = tmp_dir("measured-explain");
+        let mut session = quick_session(&dir);
+        let request = || {
+            TrainRequest::new(
+                GradientKind::LogisticRegression,
+                DataSource::registry("adult"),
+            )
+            .max_iter(15)
+        };
+        // Plain explain leaves the measured column empty...
+        let report = session.explain(ExplainRequest::new(request())).unwrap();
+        assert!(report.choices.iter().all(|c| c.measured_s.is_none()));
+        assert!(report.measured_best().is_none());
+        // ...and the profiled form fills it for all 11 plans.
+        let report = session
+            .explain(ExplainRequest::new(request()).measured(true))
+            .unwrap();
+        assert_eq!(report.choices.len(), 11);
+        for choice in &report.choices {
+            let measured = choice.measured_s.expect("every plan profiled");
+            assert!(measured > 0.0);
+        }
+        let rendered = crate::render_report(&report);
+        assert!(rendered.contains("measured(s)"));
+        // The `run` verb still executes the predicted argmin.
+        let trained = session.train(request()).unwrap();
+        assert_eq!(trained.summary.plan, report.best().plan);
         let _ = std::fs::remove_dir_all(dir);
     }
 

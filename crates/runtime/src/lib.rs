@@ -314,6 +314,18 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Version of the deterministic RNG stream layout: the mapping from
+/// `(seed, plan)` to the sequence of sampled coordinates and generated
+/// rows. Same-seed runs reproduce bit for bit **within** one stream
+/// version; across versions only statistical behaviour is preserved.
+///
+/// History: v1 drew Bernoulli samples with a per-unit coin-flip scan;
+/// v2 switched to geometric skip sampling (same distribution, different
+/// stream). Bump this whenever a sampler, seed-derivation rule, or
+/// generator changes the consumed random stream, so that cross-build
+/// seed compatibility is explicit instead of silently broken.
+pub const RNG_STREAM_VERSION: u32 = 2;
+
 /// Mix a base seed with a partition/task index into an independent,
 /// deterministic per-item seed (SplitMix64 finalizer). Identical inputs
 /// give identical seeds on every platform and at every worker count.

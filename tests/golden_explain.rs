@@ -1,0 +1,49 @@
+//! Golden-file snapshots of the rendered `explain` plan table, with and
+//! without the measured column — the `EXPLAIN` surface is a contract, so
+//! its exact rendering (column set, cost formatting, platform mappings,
+//! RNG-stream footer) is pinned. Regenerate with `UPDATE_GOLDEN=1` after
+//! an intended change.
+
+use ml4all::{render_report, DataSource, ExplainRequest, GradientKind, Session, TrainRequest};
+use ml4all_bench::golden::assert_golden;
+
+fn request(dataset: &str) -> TrainRequest {
+    TrainRequest::new(
+        GradientKind::LogisticRegression,
+        DataSource::registry(dataset),
+    )
+    .max_iter(40)
+}
+
+#[test]
+fn explain_table_snapshot_without_measured_column() {
+    let session = Session::new();
+    let report = session
+        .explain(ExplainRequest::new(request("adult")))
+        .unwrap();
+    assert!(report.choices.iter().all(|c| c.measured_s.is_none()));
+    assert_golden("explain_adult.txt", &render_report(&report));
+}
+
+#[test]
+fn explain_table_snapshot_with_measured_column() {
+    let session = Session::new();
+    let report = session
+        .explain(ExplainRequest::new(request("adult")).measured(true))
+        .unwrap();
+    assert!(report.choices.iter().all(|c| c.measured_s.is_some()));
+    assert_golden("explain_adult_measured.txt", &render_report(&report));
+}
+
+#[test]
+fn explain_table_snapshot_for_a_cluster_mapped_dataset() {
+    // svm1 declares 10 GB: the table must show Spark placements and the
+    // measured column comes from simulated-cluster executions.
+    let session = Session::new();
+    let report = session
+        .explain(ExplainRequest::new(request("svm1")).measured(true))
+        .unwrap();
+    let rendered = render_report(&report);
+    assert!(rendered.contains("Spark"));
+    assert_golden("explain_svm1_measured.txt", &rendered);
+}
