@@ -18,8 +18,7 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let cluster = ClusterSpec::paper_testbed();
     let tolerance = 1e-3;
-    let mut session =
-        Session::with_cluster(cluster.clone()).with_speculation(speculation_for(&cfg));
+    let session = Session::with_cluster(cluster.clone()).with_speculation(speculation_for(&cfg));
     let mut rows = Vec::new();
     let mut json = Vec::new();
 

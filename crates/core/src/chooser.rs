@@ -201,6 +201,10 @@ pub struct OptimizerReport {
     pub speculation_sim_s: f64,
     /// Total real wall-clock the optimizer spent speculating.
     pub speculation_wall: Duration,
+    /// `true` when this report was served from a plan cache instead of a
+    /// fresh optimization: speculation was skipped and every field (the
+    /// speculation costs included) is the cached cold run's value.
+    pub cache_hit: bool,
 }
 
 impl OptimizerReport {
@@ -404,6 +408,7 @@ pub fn choose_plan(
         estimates,
         speculation_sim_s,
         speculation_wall,
+        cache_hit: false,
     })
 }
 

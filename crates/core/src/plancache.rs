@@ -1,0 +1,215 @@
+//! The plan cache: memoized cost-based plan decisions.
+//!
+//! The optimizer's output for a training request is a pure function of
+//! the dataset contents, the lowered [`TrainSpec`], the seed, the
+//! speculation settings, the cluster, and the RNG stream layout — so a
+//! repeated request can skip the speculative runs of Algorithm 1 entirely
+//! and reuse the costed plan table (the Section 8.3 optimization-time
+//! argument, amortized across requests the way serving-side cost-based
+//! optimizers cache repeated queries). A served report is byte-identical
+//! to what a cold optimization would produce, with
+//! [`OptimizerReport::cache_hit`] flipped so callers can observe the hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ml4all_dataflow::{ClusterSpec, RNG_STREAM_VERSION};
+
+use crate::chooser::OptimizerReport;
+use crate::estimator::SpeculationConfig;
+use crate::lang::TrainSpec;
+
+/// A fully qualified cache key: everything the optimizer's decision
+/// depends on, rendered into one deterministic string.
+///
+/// The dataset enters via its content fingerprint
+/// ([`ml4all_dataflow::PartitionedDataset::fingerprint`]), so two
+/// independently resolved but identical datasets share cache entries; the
+/// RNG stream version pins the key to the current sampler stream layout
+/// (a stream change invalidates every cached speculation outcome).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey(String);
+
+impl PlanCacheKey {
+    /// Build the key from the decision's inputs.
+    pub fn new(
+        dataset_fingerprint: u64,
+        spec: &TrainSpec,
+        seed: u64,
+        speculation: &SpeculationConfig,
+        cluster: &ClusterSpec,
+    ) -> Self {
+        // `Debug` of the constituent structs is deterministic (f64 renders
+        // via shortest-roundtrip) and covers every field, so the key
+        // cannot silently ignore a new knob.
+        Self(format!(
+            "v{RNG_STREAM_VERSION}|fp{dataset_fingerprint:016x}|seed{seed}|{spec:?}|{speculation:?}|{cluster:?}"
+        ))
+    }
+}
+
+/// A concurrent, unbounded memo of [`OptimizerReport`]s keyed by
+/// [`PlanCacheKey`], with hit/miss counters for observability.
+///
+/// Reports are small (11 costed plans plus three estimates), so no
+/// eviction is needed at realistic request diversity.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<PlanCacheKey, OptimizerReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look a decision up. On a hit, returns a clone of the cached report
+    /// with [`OptimizerReport::cache_hit`] set.
+    pub fn get(&self, key: &PlanCacheKey) -> Option<OptimizerReport> {
+        let entries = self.entries.lock().expect("plan cache");
+        match entries.get(key) {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut report = report.clone();
+                report.cache_hit = true;
+                Some(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed decision. The stored copy is normalized to
+    /// `cache_hit: false` (the marker describes how a report was *served*,
+    /// not how it is stored); concurrent duplicate computations insert the
+    /// same value, so last-write-wins is safe.
+    pub fn insert(&self, key: PlanCacheKey, report: &OptimizerReport) {
+        let mut stored = report.clone();
+        stored.cache_hit = false;
+        self.entries.lock().expect("plan cache").insert(key, stored);
+    }
+
+    /// Number of cached decisions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache").len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::{choose_plan, OptimizerConfig};
+    use ml4all_dataflow::{PartitionScheme, PartitionedDataset};
+    use ml4all_gd::GradientKind;
+    use ml4all_linalg::{FeatureVec, LabeledPoint};
+
+    fn dataset(n: usize) -> PartitionedDataset {
+        let points: Vec<LabeledPoint> = (0..n)
+            .map(|i| {
+                let x = (i as f64 / n as f64) * 2.0 - 1.0;
+                LabeledPoint::new(
+                    if x > 0.0 { 1.0 } else { -1.0 },
+                    FeatureVec::dense(vec![x, 1.0]),
+                )
+            })
+            .collect();
+        PartitionedDataset::from_points(
+            "cache-test",
+            points,
+            PartitionScheme::RoundRobin,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap()
+    }
+
+    fn key_for(data: &PartitionedDataset, seed: u64, max_iter: Option<u64>) -> PlanCacheKey {
+        let mut spec = TrainSpec::new(GradientKind::LogisticRegression);
+        spec.max_iter = max_iter;
+        PlanCacheKey::new(
+            data.fingerprint(),
+            &spec,
+            seed,
+            &SpeculationConfig::default(),
+            &ClusterSpec::paper_testbed(),
+        )
+    }
+
+    #[test]
+    fn hit_returns_the_cold_report_with_the_marker_set() {
+        let data = dataset(500);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let cold = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        assert!(!cold.cache_hit);
+
+        let cache = PlanCache::new();
+        let key = key_for(&data, 0, Some(100));
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), &cold);
+        let served = cache.get(&key).expect("cached");
+        assert!(served.cache_hit);
+        // Identical decision apart from the marker.
+        assert_eq!(
+            serde_json::to_string(&served.choices).unwrap(),
+            serde_json::to_string(&cold.choices).unwrap()
+        );
+        assert_eq!(served.speculation_sim_s, cold.speculation_sim_s);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_every_decision_input() {
+        let data = dataset(500);
+        let other = dataset(501);
+        let base = key_for(&data, 0, Some(100));
+        assert_eq!(base, key_for(&data, 0, Some(100)));
+        assert_ne!(base, key_for(&other, 0, Some(100)), "dataset fingerprint");
+        assert_ne!(base, key_for(&data, 1, Some(100)), "seed");
+        assert_ne!(base, key_for(&data, 0, Some(200)), "spec");
+        let mut spec = TrainSpec::new(GradientKind::LogisticRegression);
+        spec.max_iter = Some(100);
+        let looser = PlanCacheKey::new(
+            data.fingerprint(),
+            &spec,
+            0,
+            &SpeculationConfig {
+                sample_size: 9,
+                ..SpeculationConfig::default()
+            },
+            &ClusterSpec::paper_testbed(),
+        );
+        assert_ne!(base, looser, "speculation config");
+    }
+
+    #[test]
+    fn identical_content_shares_entries_across_instances() {
+        // Two independently built but identical datasets: same fingerprint,
+        // same key — a warmed cache serves both.
+        let a = dataset(400);
+        let b = dataset(400);
+        assert_ne!(a.storage_id(), b.storage_id());
+        assert_eq!(key_for(&a, 0, Some(50)), key_for(&b, 0, Some(50)));
+    }
+}

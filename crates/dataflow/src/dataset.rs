@@ -10,7 +10,7 @@
 //! own Section 5 argument (error-sequence shape is preserved under
 //! sampling) is what licenses this.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ml4all_linalg::{LabeledPoint, PointView};
 use rand::{Rng, SeedableRng};
@@ -76,6 +76,13 @@ impl Partition {
 pub struct PartitionedDataset {
     desc: DatasetDescriptor,
     partitions: Arc<[Partition]>,
+    /// How the input rows were dealt into partitions — recorded so
+    /// [`PartitionedDataset::iter_views_input_order`] can walk them back
+    /// in their original order.
+    scheme: PartitionScheme,
+    /// Lazily computed content fingerprint, shared by every clone (the
+    /// plan cache keys on it; computing it once per storage is enough).
+    fingerprint: Arc<OnceLock<u64>>,
 }
 
 impl PartitionedDataset {
@@ -183,6 +190,8 @@ impl PartitionedDataset {
                 })
                 .collect::<Vec<_>>()
                 .into(),
+            scheme,
+            fingerprint: Arc::new(OnceLock::new()),
         })
     }
 
@@ -227,6 +236,36 @@ impl PartitionedDataset {
         self.partitions.iter().flat_map(|p| p.iter())
     }
 
+    /// The scheme the input rows were dealt with.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Iterate over every physical row in the **original input order**
+    /// (the order the rows were dealt from): round-robin dealing is
+    /// walked back interleaved, contiguous dealing is partition-major
+    /// already. The scoring path uses this so `predictions[i]` always
+    /// corresponds to input row `i`, whatever the partitioning.
+    pub fn iter_views_input_order(&self) -> impl Iterator<Item = PointView<'_>> {
+        let p = self.partitions.len();
+        let n = self.physical_n();
+        // Mirrors the dealing rules of `with_descriptor_columns`: row `g`
+        // went to (g % p, g / p) under round-robin, and to chunk
+        // `(g / chunk).min(p - 1)` under contiguous dealing.
+        let chunk = n.div_ceil(p);
+        let scheme = self.scheme;
+        (0..n).map(move |g| {
+            let (pi, oi) = match scheme {
+                PartitionScheme::RoundRobin => (g % p, g / p),
+                PartitionScheme::Contiguous => {
+                    let q = (g / chunk).min(p - 1);
+                    (q, g - q * chunk)
+                }
+            };
+            self.view(pi, oi).expect("row in range")
+        })
+    }
+
     /// Borrow a row by `(partition, offset)` coordinates.
     #[inline]
     pub fn view(&self, partition: usize, offset: usize) -> Option<PointView<'_>> {
@@ -242,6 +281,60 @@ impl PartitionedDataset {
     /// Materialize every physical row (partition-major order).
     pub fn to_points(&self) -> Vec<LabeledPoint> {
         self.iter_views().map(|v| v.to_point()).collect()
+    }
+
+    /// A deterministic content fingerprint of this dataset: the logical
+    /// descriptor plus every physical row (labels and feature bits, in
+    /// partition order). Two datasets with identical logical scale and
+    /// identical physical rows fingerprint identically, even when built
+    /// independently; any differing row changes the value with
+    /// overwhelming probability. Computed once per underlying storage and
+    /// cached (clones share the cache), so repeated callers — the plan
+    /// cache keys on this — pay the O(rows × features) pass only once.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = Fnv64::new();
+            h.write_str(&self.desc.name);
+            h.write_u64(self.desc.n);
+            h.write_u64(self.desc.dims as u64);
+            h.write_u64(self.desc.bytes);
+            h.write_u64(self.desc.density.to_bits());
+            h.write_u64(self.partitions.len() as u64);
+            for part in self.partitions.iter() {
+                h.write_u64(part.len() as u64);
+                for v in part.iter() {
+                    h.write_u64(v.label.to_bits());
+                    match v.features {
+                        ml4all_linalg::FeatureView::Dense(values) => {
+                            for &x in values {
+                                h.write_u64(x.to_bits());
+                            }
+                        }
+                        ml4all_linalg::FeatureView::Sparse {
+                            dim,
+                            indices,
+                            values,
+                        } => {
+                            h.write_u64(dim as u64);
+                            for (&i, &x) in indices.iter().zip(values) {
+                                h.write_u64(u64::from(i));
+                                h.write_u64(x.to_bits());
+                            }
+                        }
+                    }
+                }
+            }
+            h.finish()
+        })
+    }
+
+    /// An opaque identity of the shared partition storage: equal for
+    /// clones of the same dataset (which share their `Arc`ed partitions),
+    /// different for independently built datasets even when their rows are
+    /// equal. Lets tests assert that concurrent jobs read the *same*
+    /// resolved storage instead of cloning it.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.partitions) as *const Partition as usize
     }
 
     /// A deterministic uniform sub-sample of `m` physical rows (used by the
@@ -280,6 +373,35 @@ impl PartitionedDataset {
             );
         }
         out
+    }
+}
+
+/// FNV-1a, widened to mix 8 bytes per step: dependency-free, deterministic
+/// across platforms, and fast enough for a one-time pass over the rows.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for byte in s.as_bytes() {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -436,6 +558,52 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup();
         assert_eq!(xs.len(), 80, "a uniform sample never repeats a row");
+    }
+
+    #[test]
+    fn input_order_iteration_undoes_both_dealing_schemes() {
+        // Row g carries g as its first feature, so order is observable.
+        for scheme in [PartitionScheme::RoundRobin, PartitionScheme::Contiguous] {
+            for n in [10usize, 100] {
+                let desc = DatasetDescriptor::new("o", n as u64, 2, 4 * 128 * 1024 * 1024, 1.0);
+                let ds =
+                    PartitionedDataset::with_descriptor(desc, points(n), scheme, &spec()).unwrap();
+                assert!(ds.num_partitions() > 1);
+                assert_eq!(ds.scheme(), scheme);
+                let order: Vec<f64> = ds
+                    .iter_views_input_order()
+                    .map(|v| v.features.dot(&[1.0, 0.0]))
+                    .collect();
+                let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                assert_eq!(order, expect, "{scheme:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_content_based_and_shared_by_clones() {
+        let a =
+            PartitionedDataset::from_points("f", points(200), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        // An independently built, identical dataset fingerprints equal...
+        let b =
+            PartitionedDataset::from_points("f", points(200), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.storage_id(), b.storage_id());
+        // ...a clone shares both the storage and the cached fingerprint...
+        let c = a.clone();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.storage_id(), c.storage_id());
+        // ...and any content difference (rows or name) changes the value.
+        let fewer =
+            PartitionedDataset::from_points("f", points(199), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        assert_ne!(a.fingerprint(), fewer.fingerprint());
+        let renamed =
+            PartitionedDataset::from_points("g", points(200), PartitionScheme::RoundRobin, &spec())
+                .unwrap();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use dataset::{Partition, PartitionScheme, PartitionedDataset};
 pub use descriptor::DatasetDescriptor;
 pub use env::SimEnv;
 pub use ledger::{CostBreakdown, CostLedger, UsageMeter};
-pub use ml4all_runtime::{derive_seed, Runtime, RNG_STREAM_VERSION};
+pub use ml4all_runtime::{derive_seed, CancelToken, Runtime, RNG_STREAM_VERSION};
 pub use sampling::{SamplerState, SamplingMethod};
 
 /// Errors surfaced by the dataflow substrate.

@@ -14,6 +14,7 @@
 //! execution — the paper's own Section 5 argument (error-sequence shape is
 //! preserved under sampling) licenses exactly this.
 
+pub mod catalog;
 pub mod csv;
 pub mod libsvm;
 pub mod metrics;
@@ -22,7 +23,8 @@ pub mod source;
 pub mod split;
 pub mod synth;
 
-pub use metrics::{accuracy, mean_squared_error};
+pub use catalog::{EvictedDataset, SharedResolver};
+pub use metrics::{accuracy, accuracy_labels, mean_squared_error, mean_squared_error_labels};
 pub use registry::{DatasetSpec, Task};
 pub use source::{DataSource, FileFormat, SourceError, SourceResolver};
 pub use split::train_test_split;

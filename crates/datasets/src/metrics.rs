@@ -3,41 +3,55 @@
 
 use ml4all_linalg::LabeledPoint;
 
-/// Mean squared error between per-point predictions and true labels.
-/// For ±1 classification labels this equals 4 × misclassification rate
-/// when predictions are themselves ±1 — the metric of Figure 12.
-pub fn mean_squared_error(predictions: &[f64], points: &[LabeledPoint]) -> f64 {
+/// Mean squared error between per-point predictions and true labels, as
+/// raw slices — the columnar scoring path hands the labels column straight
+/// through without materializing any [`LabeledPoint`].
+pub fn mean_squared_error_labels(predictions: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(
         predictions.len(),
-        points.len(),
+        labels.len(),
         "one prediction per test point"
     );
-    if points.is_empty() {
+    if labels.is_empty() {
         return 0.0;
     }
     predictions
         .iter()
-        .zip(points)
-        .map(|(pred, p)| {
-            let d = pred - p.label;
+        .zip(labels)
+        .map(|(pred, label)| {
+            let d = pred - label;
             d * d
         })
         .sum::<f64>()
-        / points.len() as f64
+        / labels.len() as f64
 }
 
-/// Fraction of sign-correct predictions for ±1 labels.
-pub fn accuracy(predictions: &[f64], points: &[LabeledPoint]) -> f64 {
-    assert_eq!(predictions.len(), points.len());
-    if points.is_empty() {
+/// Fraction of sign-correct predictions for ±1 labels, as raw slices.
+pub fn accuracy_labels(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len());
+    if labels.is_empty() {
         return 0.0;
     }
     let correct = predictions
         .iter()
-        .zip(points)
-        .filter(|(pred, p)| (**pred >= 0.0) == (p.label >= 0.0))
+        .zip(labels)
+        .filter(|(pred, label)| (**pred >= 0.0) == (**label >= 0.0))
         .count();
-    correct as f64 / points.len() as f64
+    correct as f64 / labels.len() as f64
+}
+
+/// Mean squared error between per-point predictions and true labels.
+/// For ±1 classification labels this equals 4 × misclassification rate
+/// when predictions are themselves ±1 — the metric of Figure 12.
+pub fn mean_squared_error(predictions: &[f64], points: &[LabeledPoint]) -> f64 {
+    let labels: Vec<f64> = points.iter().map(|p| p.label).collect();
+    mean_squared_error_labels(predictions, &labels)
+}
+
+/// Fraction of sign-correct predictions for ±1 labels.
+pub fn accuracy(predictions: &[f64], points: &[LabeledPoint]) -> f64 {
+    let labels: Vec<f64> = points.iter().map(|p| p.label).collect();
+    accuracy_labels(predictions, &labels)
 }
 
 /// Apply a model to every test point with a prediction function (typically

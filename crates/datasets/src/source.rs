@@ -283,21 +283,36 @@ impl SourceResolver<'_> {
         columns: Option<CsvColumns>,
         dims_hint: Option<usize>,
     ) -> Result<ColumnStore, SourceError> {
-        let path = self.data_dir.join(path);
-        let format = match format {
-            FileFormat::Auto => {
-                if looks_like_libsvm(&path).map_err(DatasetError::Io)? {
-                    FileFormat::LibSvm
-                } else {
-                    FileFormat::Csv
-                }
+        read_data_file(self.data_dir, path, format, columns, dims_hint)
+    }
+}
+
+/// Read a data file into columnar rows: sniff the format when `Auto`, then
+/// parse CSV (with optional column selection) or LIBSVM (with optional
+/// dimensionality hint, padding sparse rows to a model width). The single
+/// file-ingestion routine shared by [`SourceResolver`] and the concurrent
+/// [`crate::catalog::SharedResolver`].
+pub fn read_data_file(
+    data_dir: &Path,
+    path: &Path,
+    format: FileFormat,
+    columns: Option<CsvColumns>,
+    dims_hint: Option<usize>,
+) -> Result<ColumnStore, SourceError> {
+    let path = data_dir.join(path);
+    let format = match format {
+        FileFormat::Auto => {
+            if looks_like_libsvm(&path).map_err(DatasetError::Io)? {
+                FileFormat::LibSvm
+            } else {
+                FileFormat::Csv
             }
-            other => other,
-        };
-        match format {
-            FileFormat::LibSvm => Ok(read_libsvm_file_columns(&path, dims_hint)?),
-            _ => Ok(read_csv_file_columns(&path, columns)?),
         }
+        other => other,
+    };
+    match format {
+        FileFormat::LibSvm => Ok(read_libsvm_file_columns(&path, dims_hint)?),
+        _ => Ok(read_csv_file_columns(&path, columns)?),
     }
 }
 

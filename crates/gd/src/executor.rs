@@ -6,8 +6,8 @@
 use std::time::{Duration, Instant};
 
 use ml4all_dataflow::{
-    ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState, SimEnv,
-    StorageMedium, UsageMeter, RNG_STREAM_VERSION,
+    CancelToken, ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState,
+    SimEnv, StorageMedium, UsageMeter, RNG_STREAM_VERSION,
 };
 use ml4all_linalg::{DenseVector, LabeledPoint, PointView};
 use rand::rngs::StdRng;
@@ -72,6 +72,43 @@ pub enum StopReason {
     MaxIterations,
     /// The wall-clock speculation budget ran out.
     WallBudget,
+    /// A cooperative cancellation request ([`ExecHooks::cancel`]) was
+    /// observed at a wave boundary. The result carries the state as of
+    /// the last completed iteration — bit-identical to an uninterrupted
+    /// run capped at that iteration count.
+    Cancelled,
+}
+
+/// One convergence checkpoint handed to [`ExecHooks::on_tick`]: the
+/// iteration just completed, its convergence delta, and a snapshot of the
+/// simulated cost ledger at that point.
+#[derive(Debug, Clone)]
+pub struct IterationTick {
+    /// Iteration that just completed (1-based).
+    pub iteration: u64,
+    /// Convergence delta of that iteration.
+    pub delta: f64,
+    /// Simulated seconds elapsed so far.
+    pub sim_time_s: f64,
+    /// Cost ledger snapshot at the checkpoint.
+    pub cost: CostBreakdown,
+}
+
+/// Cooperative observation hooks, checked at iteration (wave) boundaries:
+/// the executor never interrupts a wave in flight, so a cancelled run
+/// stops within one wave and its result is exactly the prefix an
+/// uninterrupted run would have produced.
+#[derive(Default)]
+pub struct ExecHooks<'a> {
+    /// Cancellation token. When latched, the loop breaks at the next
+    /// iteration boundary with [`StopReason::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Emit an [`IterationTick`] every this many *converged-checked*
+    /// iterations (0 = never). Internal-only iterations (line-search
+    /// shrinks) do not tick.
+    pub tick_every: u64,
+    /// Checkpoint callback (progress streaming).
+    pub on_tick: Option<&'a (dyn Fn(IterationTick) + Sync)>,
 }
 
 /// Outcome of one training run.
@@ -144,9 +181,22 @@ pub fn execute_plan(
     params: &TrainParams,
     env: &mut SimEnv,
 ) -> Result<TrainResult, GdError> {
+    execute_plan_observed(plan, data, params, env, &ExecHooks::default())
+}
+
+/// Execute a plan with the reference operators under observation hooks:
+/// per-K-iteration convergence ticks and cooperative cancellation, both
+/// honoured at wave boundaries.
+pub fn execute_plan_observed(
+    plan: &GdPlan,
+    data: &PartitionedDataset,
+    params: &TrainParams,
+    env: &mut SimEnv,
+    hooks: &ExecHooks<'_>,
+) -> Result<TrainResult, GdError> {
     let dims = data.descriptor().dims;
     let ops = reference_operators(plan, params, dims);
-    execute_with_operators(plan, data, &ops, params, env)
+    execute_with_operators_observed(plan, data, &ops, params, env, hooks)
 }
 
 /// Transformed-view storage: either the original columnar partitions or a
@@ -276,6 +326,19 @@ pub fn execute_with_operators(
     ops: &GdOperators,
     params: &TrainParams,
     env: &mut SimEnv,
+) -> Result<TrainResult, GdError> {
+    execute_with_operators_observed(plan, data, ops, params, env, &ExecHooks::default())
+}
+
+/// [`execute_with_operators`] under observation hooks (ticks +
+/// cancellation at wave boundaries).
+pub fn execute_with_operators_observed(
+    plan: &GdPlan,
+    data: &PartitionedDataset,
+    ops: &GdOperators,
+    params: &TrainParams,
+    env: &mut SimEnv,
+    hooks: &ExecHooks<'_>,
 ) -> Result<TrainResult, GdError> {
     validate(plan)?;
     let start = Instant::now();
@@ -502,12 +565,30 @@ pub fn execute_with_operators(
                 if params.record_error_seq {
                     error_seq.push((ctx.iteration, d));
                 }
+                if hooks.tick_every > 0 && ctx.iteration.is_multiple_of(hooks.tick_every) {
+                    if let Some(on_tick) = hooks.on_tick {
+                        on_tick(IterationTick {
+                            iteration: ctx.iteration,
+                            delta: d,
+                            sim_time_s: env.elapsed_s(),
+                            cost: env.snapshot(),
+                        });
+                    }
+                }
                 d
             }
             // Internal-only iterations (line-search shrinks) skip the
             // convergence check; an infinite delta keeps the loop going.
             UpdateOutcome::InternalOnly => f64::INFINITY,
         };
+
+        // Cooperative cancellation: observed once per iteration, after
+        // the wave in flight completed — never mid-wave — so the result
+        // is the exact prefix of an uninterrupted run.
+        if hooks.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stop = StopReason::Cancelled;
+            break;
+        }
 
         if !ops.loop_op.should_continue(delta, &ctx) {
             stop = if delta < params.tolerance {
@@ -826,6 +907,102 @@ mod tests {
         assert_eq!(result.iterations, 10);
         assert_eq!(result.stop, StopReason::MaxIterations);
         assert!(!result.converged());
+    }
+
+    #[test]
+    fn ticks_fire_every_k_checked_iterations_with_ledger_snapshots() {
+        let data = dataset(500);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 25;
+        let ticks = std::sync::Mutex::new(Vec::new());
+        let on_tick = |t: IterationTick| ticks.lock().unwrap().push(t);
+        let hooks = ExecHooks {
+            cancel: None,
+            tick_every: 10,
+            on_tick: Some(&on_tick),
+        };
+        let mut env = env();
+        let result =
+            execute_plan_observed(&GdPlan::bgd(), &data, &params, &mut env, &hooks).unwrap();
+        let ticks = ticks.into_inner().unwrap();
+        assert_eq!(
+            ticks.iter().map(|t| t.iteration).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
+        // Ticks snapshot a monotonically advancing ledger, and the
+        // reported deltas are the error sequence's entries.
+        assert!(ticks[0].sim_time_s < ticks[1].sim_time_s);
+        assert!(ticks[1].sim_time_s <= result.sim_time_s);
+        for t in &ticks {
+            let (_, d) = result.error_seq[t.iteration as usize - 1];
+            assert_eq!(t.delta.to_bits(), d.to_bits());
+            assert!(t.cost.total_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_next_wave_boundary_with_an_exact_prefix() {
+        let data = dataset(800);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 50;
+
+        let mut env_full = env();
+        let full = execute_plan(&GdPlan::bgd(), &data, &params, &mut env_full).unwrap();
+
+        // Cancel from inside the tick at iteration 12: deterministic.
+        let token = CancelToken::new();
+        let tick_token = token.clone();
+        let on_tick = move |t: IterationTick| {
+            if t.iteration == 12 {
+                tick_token.cancel();
+            }
+        };
+        let hooks = ExecHooks {
+            cancel: Some(token),
+            tick_every: 1,
+            on_tick: Some(&on_tick),
+        };
+        let mut env_cancelled = env();
+        let cancelled =
+            execute_plan_observed(&GdPlan::bgd(), &data, &params, &mut env_cancelled, &hooks)
+                .unwrap();
+        assert_eq!(cancelled.stop, StopReason::Cancelled);
+        assert_eq!(cancelled.iterations, 12);
+        assert!(!cancelled.converged());
+        // The cancelled run is the exact prefix of the uninterrupted one...
+        assert_eq!(cancelled.error_seq[..], full.error_seq[..12]);
+        // ...and bit-identical to an uninterrupted run capped at the
+        // cancellation iteration.
+        let mut params_capped = params.clone();
+        params_capped.max_iter = 12;
+        let mut env_capped = env();
+        let capped = execute_plan(&GdPlan::bgd(), &data, &params_capped, &mut env_capped).unwrap();
+        assert_eq!(cancelled.weights, capped.weights);
+        assert_eq!(cancelled.error_seq, capped.error_seq);
+        assert_eq!(cancelled.cost, capped.cost);
+        assert_eq!(cancelled.sim_time_s.to_bits(), capped.sim_time_s.to_bits());
+    }
+
+    #[test]
+    fn pre_latched_token_cancels_after_the_first_wave() {
+        let data = dataset(300);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 1000;
+        let token = CancelToken::new();
+        token.cancel();
+        let hooks = ExecHooks {
+            cancel: Some(token),
+            tick_every: 0,
+            on_tick: None,
+        };
+        let mut env = env();
+        let result =
+            execute_plan_observed(&GdPlan::bgd(), &data, &params, &mut env, &hooks).unwrap();
+        assert_eq!(result.stop, StopReason::Cancelled);
+        assert_eq!(result.iterations, 1, "stops within one wave");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod step;
 pub mod svrg;
 
 pub use context::{Context, Extra};
-pub use executor::{execute_plan, TrainParams, TrainResult};
+pub use executor::{
+    execute_plan, execute_plan_observed, execute_with_operators, execute_with_operators_observed,
+    ExecHooks, IterationTick, StopReason, TrainParams, TrainResult,
+};
 pub use gradient::{Gradient, GradientKind, Regularizer};
 pub use objective::{dataset_loss, partitioned_loss};
 pub use operators::{

@@ -52,11 +52,11 @@ fn main() {
         }
     }
 
-    let mut session = Session::new().with_data_dir(&data_dir);
+    let session = Session::new().with_data_dir(&data_dir);
 
     if !statements.is_empty() {
         for stmt in statements {
-            if !run_statement(&mut session, &stmt) {
+            if !run_statement(&session, &stmt) {
                 std::process::exit(1);
             }
         }
@@ -89,13 +89,13 @@ fn main() {
                 continue;
             }
             _ => {
-                run_statement(&mut session, line);
+                run_statement(&session, line);
             }
         }
     }
 }
 
-fn run_statement(session: &mut Session, stmt: &str) -> bool {
+fn run_statement(session: &Session, stmt: &str) -> bool {
     match session.execute(stmt) {
         Ok(SessionOutput::Trained { name, summary }) => {
             println!(

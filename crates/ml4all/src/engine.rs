@@ -1,0 +1,813 @@
+//! The concurrent, job-oriented engine: the system's primary entry point.
+//!
+//! An [`Engine`] is cheap to clone and safe to share across threads: every
+//! verb takes `&self`, jobs submitted with [`Engine::submit`] multiplex
+//! onto the shared `ml4all-runtime` worker pool, and all mutable state —
+//! the model registry, the dataset catalog, the plan cache — lives behind
+//! interior locks. [`crate::Session`] is a thin statement-language wrapper
+//! over this type.
+//!
+//! Concurrency never perturbs results: each job's execution is
+//! deterministic at any worker count (see `ml4all-runtime`), so N jobs
+//! submitted concurrently produce bit-identical weights and plan tables
+//! to the same N requests run sequentially.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use ml4all_core::chooser::{
+    backend_for, choose_plan, profile_choice, IterationsSource, OptimizerConfig, OptimizerReport,
+};
+use ml4all_core::estimator::SpeculationConfig;
+use ml4all_core::plancache::{PlanCache, PlanCacheKey};
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset, Runtime, SimEnv};
+use ml4all_datasets::catalog::{EvictedDataset, SharedResolver};
+use ml4all_gd::{execute_plan_observed, ExecHooks, IterationTick, StopReason};
+
+use crate::job::{JobEvent, JobHandle, JobState, JobStatus};
+use crate::model::Model;
+use crate::request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
+use crate::session::{Predictions, TrainSummary, Trained};
+use crate::SessionError;
+
+/// Seed used when materializing Table 2 registry analogs by name.
+pub(crate) const REGISTRY_SEED: u64 = 7;
+
+/// Default progress-tick cadence (iterations per [`JobEvent::Progress`]).
+const DEFAULT_TICK_EVERY: u64 = 100;
+
+/// The engine's shared interior: everything a job needs, behind one `Arc`.
+struct EngineCore {
+    cluster: ClusterSpec,
+    speculation: SpeculationConfig,
+    registry_cap: usize,
+    tick_every: u64,
+    runtime: Arc<Runtime>,
+    resolver: SharedResolver,
+    models: Mutex<HashMap<String, Model>>,
+    plan_cache: PlanCache,
+    auto_name: AtomicU64,
+}
+
+/// The thread-safe, job-oriented entry point: submit training jobs,
+/// observe their progress, score and persist models — concurrently.
+///
+/// ```
+/// use ml4all::{Engine, GradientKind, TrainRequest};
+///
+/// # fn main() -> Result<(), ml4all::SessionError> {
+/// let engine = Engine::new();
+/// // Two concurrent jobs on the shared worker pool.
+/// let a = engine.submit(
+///     TrainRequest::new(GradientKind::LogisticRegression, "adult").max_iter(25),
+/// );
+/// let b = engine.submit(
+///     TrainRequest::new(GradientKind::LogisticRegression, "covtype").max_iter(25),
+/// );
+/// let (a, b) = (a.join()?, b.join()?);
+/// assert!(engine.model(&a.name).is_some());
+/// assert!(engine.model(&b.name).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    core: Arc<EngineCore>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine on the paper's simulated testbed, reading data files
+    /// relative to the current directory.
+    pub fn new() -> Self {
+        Self::with_cluster(ClusterSpec::paper_testbed())
+    }
+
+    /// An engine on a custom cluster.
+    ///
+    /// **Builder contract:** the `with_*` methods reconfigure the engine
+    /// in place and compose in any order, but they require exclusive
+    /// ownership — call them *before* cloning the engine, wrapping it in
+    /// another holder, or submitting jobs; afterwards they panic.
+    pub fn with_cluster(cluster: ClusterSpec) -> Self {
+        let registry_cap = 4000;
+        Self {
+            core: Arc::new(EngineCore {
+                resolver: SharedResolver::new(".", registry_cap, REGISTRY_SEED, cluster.clone()),
+                cluster,
+                speculation: SpeculationConfig::default(),
+                registry_cap,
+                tick_every: DEFAULT_TICK_EVERY,
+                runtime: Runtime::global(),
+                models: Mutex::new(HashMap::new()),
+                plan_cache: PlanCache::new(),
+                auto_name: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Exclusive access for the builder methods below.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is already shared (a clone or a submitted
+    /// job holds it): plain configuration fields are read lock-free by
+    /// concurrent jobs, so reconfiguring a shared engine is not allowed.
+    /// Configure first, share after.
+    fn configure(&mut self) -> &mut EngineCore {
+        Arc::get_mut(&mut self.core)
+            .expect("configure an Engine before sharing it (clone/submit after the builders)")
+    }
+
+    /// Resolve dataset paths relative to `dir`. Registered datasets and
+    /// memoized analogs are preserved — the builders compose in any
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.configure().resolver.set_data_dir(dir);
+        self
+    }
+
+    /// Override the speculation settings used by speculative requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.configure().speculation = speculation;
+        self
+    }
+
+    /// Cap the physical rows materialized for registry analogs. Already-
+    /// materialized analogs are re-generated at the new cap on next use;
+    /// registered datasets are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_registry_cap(mut self, cap: usize) -> Self {
+        let core = self.configure();
+        core.registry_cap = cap;
+        core.resolver.set_registry_cap(cap);
+        self
+    }
+
+    /// Cap the registered-dataset catalog (LRU eviction beyond the cap;
+    /// see [`Engine::register_dataset`]). Shrinking below the current
+    /// occupancy evicts down immediately, LRU-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_catalog_cap(mut self, cap: usize) -> Self {
+        self.configure().resolver.set_catalog_cap(cap);
+        self
+    }
+
+    /// Default progress-tick cadence for jobs that don't set their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_tick_every(mut self, every: u64) -> Self {
+        self.configure().tick_every = every;
+        self
+    }
+
+    /// Dispatch jobs and waves through an explicit worker pool instead of
+    /// the process-wide runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.configure().runtime = runtime;
+        self
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.core.cluster
+    }
+
+    /// The plan cache (hit/miss counters and size, for observability).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.core.plan_cache
+    }
+
+    /// Register an in-memory dataset under a name usable in queries.
+    ///
+    /// The catalog is capped (see [`Engine::with_catalog_cap`]); when a
+    /// new registration exceeds the cap, the least-recently-used entry —
+    /// resolution and registration both count as uses, tracked by a
+    /// strict counter, so the order is deterministic — is evicted and
+    /// returned instead of being silently dropped.
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        data: PartitionedDataset,
+    ) -> Option<EvictedDataset> {
+        self.core.resolver.register(name, data)
+    }
+
+    /// A previously-trained model by name (a clone; models are small).
+    pub fn model(&self, name: &str) -> Option<Model> {
+        self.core
+            .models
+            .lock()
+            .expect("model registry")
+            .get(name)
+            .cloned()
+    }
+
+    /// Submit a training job: returns immediately with a [`JobHandle`]
+    /// streaming the job's [`JobEvent`]s. The job runs on the shared
+    /// worker pool; any number of jobs may be in flight, and their
+    /// results are bit-identical to running the same requests
+    /// sequentially.
+    pub fn submit(&self, request: TrainRequest) -> JobHandle {
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::new(JobState::new(tx));
+        let core = Arc::clone(&self.core);
+        let job = Arc::clone(&state);
+        self.core.runtime.spawn(move || {
+            job.set_status(JobStatus::Running);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_train(&core, &request, Some(&job))
+            }))
+            .unwrap_or_else(|panic| Err(SessionError::JobPanicked(panic_message(&*panic))));
+            if let Err(e) = &outcome {
+                match e {
+                    SessionError::Cancelled { .. } => {}
+                    other => job.emit(JobEvent::Failed {
+                        message: other.to_string(),
+                    }),
+                }
+            }
+            job.finish(outcome);
+        });
+        JobHandle { state, events: rx }
+    }
+
+    /// Train synchronously on the calling thread: the exact code path of
+    /// [`Engine::submit`] without the job plumbing (bit-identical
+    /// results), blocking until the model is bound.
+    pub fn train(&self, request: TrainRequest) -> Result<Trained, SessionError> {
+        run_train(&self.core, &request, None)
+    }
+
+    /// Run the cost-based optimizer for a training request and report the
+    /// full costed plan table without executing the winner. Served from
+    /// the plan cache when an identical decision was already made
+    /// ([`OptimizerReport::cache_hit`] marks it).
+    pub fn explain(&self, request: ExplainRequest) -> Result<OptimizerReport, SessionError> {
+        let (config, data) = configured(&self.core, &request.train)?;
+        let mut report = cached_choose(&self.core, &request.train, &config, &data, None)?;
+        if request.measured {
+            for choice in &mut report.choices {
+                choice.measured_s = profile_choice(choice, &data, &config, &self.core.cluster)?
+                    .map(|result| result.sim_time_s);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Score a dataset with a model, straight off the columnar storage
+    /// (no point materialization; see [`Model::predict_batch`]).
+    pub fn predict(&self, request: PredictRequest) -> Result<Predictions, SessionError> {
+        let model = match &request.model {
+            ModelRef::Named(name) => match self.model(name) {
+                Some(m) => m,
+                None => {
+                    Model::load(self.core.resolver.data_dir().join(name)).map_err(|e| match e {
+                        crate::ModelError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+                            SessionError::Model(crate::ModelError::Format(format!(
+                                "`{name}` is neither an engine result nor a readable model file"
+                            )))
+                        }
+                        other => SessionError::Model(other),
+                    })?
+                }
+            },
+            ModelRef::File(path) => Model::load(self.core.resolver.data_dir().join(path))?,
+            ModelRef::Inline(model) => model.clone(),
+        };
+        let data = self
+            .core
+            .resolver
+            .resolve_for_predict(&request.source, Some(model.weights.dim()))?;
+        // The hint above only pads sparse LIBSVM files; any remaining
+        // width mismatch must fail typed here — the dot kernels index the
+        // weight slice by feature position and would panic (sparse) or
+        // silently truncate (dense).
+        let dims = data.descriptor().dims;
+        if dims != model.weights.dim() {
+            return Err(SessionError::DimensionMismatch {
+                model: model.weights.dim(),
+                data: dims,
+            });
+        }
+        let predictions = model.predict_batch(&data);
+        let labels: Vec<f64> = data.iter_views_input_order().map(|v| v.label).collect();
+        let mse = ml4all_datasets::mean_squared_error_labels(&predictions, &labels);
+        let accuracy = if model.gradient.is_classification() {
+            Some(ml4all_datasets::accuracy_labels(&predictions, &labels))
+        } else {
+            None
+        };
+        Ok(Predictions {
+            predictions,
+            mse,
+            accuracy,
+        })
+    }
+
+    /// Persist the named result to a model file under the data dir.
+    pub fn persist(&self, name: &str, path: &str) -> Result<PathBuf, SessionError> {
+        let model = self
+            .model(name)
+            .ok_or_else(|| SessionError::UnknownName(name.to_string()))?;
+        let path = self.core.resolver.data_dir().join(path);
+        model.save(&path)?;
+        Ok(path)
+    }
+}
+
+fn bind_auto_name(core: &EngineCore) -> String {
+    format!("Q{}", core.auto_name.fetch_add(1, Ordering::Relaxed) + 1)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Shared `train`/`explain` prologue: validate the request into a
+/// configuration (with the engine's speculation settings when the request
+/// actually speculates — a `max iter`-only request keeps its `Fixed`
+/// path, Section 8.3) and resolve its source through the shared catalog.
+fn configured(
+    core: &EngineCore,
+    request: &TrainRequest,
+) -> Result<(OptimizerConfig, PartitionedDataset), SessionError> {
+    let mut config = request.config()?;
+    if matches!(config.iterations, IterationsSource::Speculate(_)) {
+        config = config.with_speculation(core.speculation.clone());
+    }
+    config = config.with_runtime(Arc::clone(&core.runtime));
+    let data = core.resolver.resolve(&request.source)?;
+    Ok((config, data))
+}
+
+/// The single plan-decision path: serve from the cache, or optimize cold
+/// and populate it. Emits [`JobEvent::SpeculationStarted`] only when a
+/// cold decision actually speculates.
+fn cached_choose(
+    core: &EngineCore,
+    request: &TrainRequest,
+    config: &OptimizerConfig,
+    data: &PartitionedDataset,
+    job: Option<&JobState>,
+) -> Result<OptimizerReport, SessionError> {
+    let key = PlanCacheKey::new(
+        data.fingerprint(),
+        &request.spec,
+        request.seed,
+        &core.speculation,
+        &core.cluster,
+    );
+    if let Some(report) = core.plan_cache.get(&key) {
+        return Ok(report);
+    }
+    if matches!(config.iterations, IterationsSource::Speculate(_)) {
+        if let Some(job) = job {
+            job.emit(JobEvent::SpeculationStarted);
+        }
+    }
+    let report = choose_plan(data, config, &core.cluster)?;
+    core.plan_cache.insert(key, &report);
+    Ok(report)
+}
+
+/// One training job, start to finish: resolve, decide (cached), execute
+/// under hooks, bind. Shared verbatim by the synchronous
+/// [`Engine::train`] (`job == None`) and submitted jobs, so the two are
+/// bit-identical by construction.
+fn run_train(
+    core: &Arc<EngineCore>,
+    request: &TrainRequest,
+    job: Option<&JobState>,
+) -> Result<Trained, SessionError> {
+    let (config, data) = configured(core, request)?;
+    let report = cached_choose(core, request, &config, &data, job)?;
+    let best = report.best();
+    let plan = best.plan;
+    let backend = backend_for(&best.mapping, &core.cluster);
+    if let Some(job) = job {
+        job.emit(JobEvent::PlanChosen {
+            plan,
+            estimated_iterations: best.estimated_iterations,
+            preparation_s: best.preparation_s,
+            per_iteration_s: best.per_iteration_s,
+            total_s: best.total_s,
+            cache_hit: report.cache_hit,
+            backend: backend.name(),
+        });
+    }
+
+    let mut params = config.train_params();
+    params.wall_budget = request.wall_limit;
+    let mut env =
+        SimEnv::with_runtime(core.cluster.clone(), Arc::clone(&core.runtime)).with_backend(backend);
+    let on_tick = |tick: IterationTick| {
+        if let Some(job) = job {
+            job.emit(JobEvent::Progress {
+                iteration: tick.iteration,
+                delta: tick.delta,
+                sim_time_s: tick.sim_time_s,
+                cost: tick.cost,
+            });
+        }
+    };
+    let hooks = ExecHooks {
+        cancel: job.map(|j| j.cancel.clone()),
+        tick_every: request.progress_every.unwrap_or(core.tick_every),
+        on_tick: if job.is_some() { Some(&on_tick) } else { None },
+    };
+    let result = execute_plan_observed(&plan, &data, &params, &mut env, &hooks)?;
+
+    if result.stop == StopReason::Cancelled {
+        if let Some(job) = job {
+            job.emit(JobEvent::Cancelled {
+                iterations: result.iterations,
+            });
+        }
+        return Err(SessionError::Cancelled {
+            iterations: result.iterations,
+        });
+    }
+
+    let name = request.name.clone().unwrap_or_else(|| bind_auto_name(core));
+    core.models.lock().expect("model registry").insert(
+        name.clone(),
+        Model::new(config.gradient, result.weights.clone()),
+    );
+    if let Some(job) = job {
+        job.emit(JobEvent::Completed {
+            name: name.clone(),
+            iterations: result.iterations,
+            stop: result.stop,
+            converged: result.converged(),
+            sim_time_s: result.sim_time_s,
+        });
+    }
+    Ok(Trained {
+        name,
+        summary: TrainSummary {
+            plan,
+            iterations: result.iterations,
+            converged: result.converged(),
+            sim_time_s: result.sim_time_s,
+            speculation_s: report.speculation_sim_s,
+            backend: result.backend,
+            usage: result.usage,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GradientKind;
+    use ml4all_datasets::synth::{dense_classification, DenseClassConfig};
+    use std::time::Duration;
+
+    fn quick_engine() -> Engine {
+        Engine::new()
+            .with_registry_cap(1000)
+            .with_speculation(SpeculationConfig {
+                sample_size: 300,
+                budget: Duration::from_secs(1),
+                max_iterations: 2000,
+                ..SpeculationConfig::default()
+            })
+    }
+
+    fn mem(n: usize, seed: u64) -> PartitionedDataset {
+        let points = dense_classification(&DenseClassConfig {
+            n,
+            dims: 4,
+            noise: 0.05,
+            seed,
+        });
+        PartitionedDataset::from_points(
+            format!("mem-{seed}"),
+            points,
+            ml4all_dataflow::PartitionScheme::RoundRobin,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap()
+    }
+
+    fn adult_request() -> TrainRequest {
+        TrainRequest::new(
+            GradientKind::LogisticRegression,
+            crate::DataSource::registry("adult"),
+        )
+        .max_iter(60)
+    }
+
+    #[test]
+    fn submitted_jobs_match_synchronous_train_bit_for_bit() {
+        let concurrent = quick_engine();
+        let serial = quick_engine();
+        let handle = concurrent.submit(adult_request().named("J").seed(3));
+        let job = handle.join().unwrap();
+        let sync = serial.train(adult_request().named("J").seed(3)).unwrap();
+        assert_eq!(job.name, sync.name);
+        assert_eq!(job.summary.plan, sync.summary.plan);
+        assert_eq!(job.summary.iterations, sync.summary.iterations);
+        assert_eq!(
+            job.summary.sim_time_s.to_bits(),
+            sync.summary.sim_time_s.to_bits()
+        );
+        assert_eq!(
+            concurrent.model("J").unwrap().weights,
+            serial.model("J").unwrap().weights
+        );
+    }
+
+    #[test]
+    fn job_events_stream_in_lifecycle_order() {
+        let engine = quick_engine();
+        let request = TrainRequest::new(
+            GradientKind::LogisticRegression,
+            crate::DataSource::registry("adult"),
+        )
+        .epsilon(0.01)
+        .max_iter(500)
+        .progress_every(50)
+        .named("evt");
+        let handle = engine.submit(request);
+        let events: Vec<JobEvent> = handle.progress().collect();
+        assert!(matches!(events[0], JobEvent::SpeculationStarted));
+        let JobEvent::PlanChosen {
+            cache_hit, total_s, ..
+        } = &events[1]
+        else {
+            panic!("expected PlanChosen, got {:?}", events[1]);
+        };
+        assert!(!cache_hit);
+        assert!(*total_s > 0.0);
+        let JobEvent::Completed { name, .. } = events.last().unwrap() else {
+            panic!("expected Completed, got {:?}", events.last());
+        };
+        assert_eq!(name, "evt");
+        // Ticks (if any) sit between PlanChosen and Completed, in order.
+        let ticks: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::Progress { iteration, .. } => Some(*iteration),
+                _ => None,
+            })
+            .collect();
+        assert!(ticks.windows(2).all(|w| w[0] < w[1]));
+        assert!(ticks.iter().all(|i| i % 50 == 0));
+        assert_eq!(handle.status(), JobStatus::Completed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn train_serves_repeated_requests_from_the_plan_cache() {
+        let engine = quick_engine();
+        let request = || {
+            TrainRequest::new(
+                GradientKind::LogisticRegression,
+                crate::DataSource::registry("adult"),
+            )
+            .epsilon(0.01)
+            .max_iter(400)
+        };
+        let cold = engine.train(request()).unwrap();
+        assert_eq!(engine.plan_cache().misses(), 1);
+        assert_eq!(engine.plan_cache().hits(), 0);
+        let warm = engine.train(request()).unwrap();
+        assert_eq!(engine.plan_cache().hits(), 1);
+        assert_eq!(warm.summary.plan, cold.summary.plan);
+        assert_eq!(
+            warm.summary.sim_time_s.to_bits(),
+            cold.summary.sim_time_s.to_bits()
+        );
+        // The cache-hit marker surfaces on the job's PlanChosen event.
+        let handle = engine.submit(request());
+        let events: Vec<JobEvent> = handle.progress().collect();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                JobEvent::PlanChosen {
+                    cache_hit: true,
+                    ..
+                }
+            )),
+            "{events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, JobEvent::SpeculationStarted)),
+            "cache hits skip speculation"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn explain_cache_hits_return_the_cold_plan_choice() {
+        let engine = quick_engine();
+        let request = || ExplainRequest::new(adult_request().epsilon(0.01).max_iter(700));
+        let cold = engine.explain(request()).unwrap();
+        let warm = engine.explain(request()).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(
+            serde_json::to_string(&warm.choices).unwrap(),
+            serde_json::to_string(&cold.choices).unwrap(),
+            "a hit returns the same PlanChoice table as the cold run"
+        );
+    }
+
+    #[test]
+    fn distinct_seeds_and_specs_miss_the_cache() {
+        let engine = quick_engine();
+        engine.train(adult_request().seed(1)).unwrap();
+        engine.train(adult_request().seed(2)).unwrap();
+        engine.train(adult_request().seed(1).max_iter(61)).unwrap();
+        assert_eq!(engine.plan_cache().hits(), 0);
+        assert_eq!(engine.plan_cache().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_one_resolved_dataset_storage() {
+        let engine = quick_engine();
+        let a = engine
+            .core
+            .resolver
+            .resolve(&crate::DataSource::registry("adult"))
+            .unwrap();
+        let jobs: Vec<JobHandle> = (0..4)
+            .map(|seed| engine.submit(adult_request().seed(seed)))
+            .collect();
+        for job in jobs {
+            job.join().unwrap();
+        }
+        let b = engine
+            .core
+            .resolver
+            .resolve(&crate::DataSource::registry("adult"))
+            .unwrap();
+        assert_eq!(
+            a.storage_id(),
+            b.storage_id(),
+            "jobs resolve the shared materialized analog, never a copy"
+        );
+    }
+
+    #[test]
+    fn cancelled_jobs_report_cancellation_and_leave_clean_state() {
+        let engine = quick_engine();
+        engine.register_dataset("train", mem(2000, 5));
+        // A tolerance far below reach keeps the loop running until the
+        // cancellation lands.
+        let request = || {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-12)
+                .max_iter(100_000)
+                .progress_every(1)
+                .seed(9)
+        };
+        let handle = engine.submit(request().named("C"));
+        // Cancel as soon as the first tick proves the loop is running.
+        for event in handle.progress() {
+            if matches!(event, JobEvent::Progress { .. }) {
+                handle.cancel();
+                break;
+            }
+        }
+        let err = handle.join().unwrap_err();
+        let SessionError::Cancelled { iterations } = err else {
+            panic!("expected Cancelled, got {err:?}");
+        };
+        assert!(iterations >= 1);
+        assert!(
+            engine.model("C").is_none(),
+            "a cancelled job binds no model"
+        );
+        // No poisoned shared state: the same engine trains the same
+        // request to completion afterwards, identically to a fresh one.
+        let rerun = engine.train(request().max_iter(200).named("R")).unwrap();
+        let fresh_engine = quick_engine();
+        fresh_engine.register_dataset("train", mem(2000, 5));
+        let fresh = fresh_engine
+            .train(request().max_iter(200).named("R"))
+            .unwrap();
+        assert_eq!(rerun.summary.plan, fresh.summary.plan);
+        assert_eq!(
+            engine.model("R").unwrap().weights,
+            fresh_engine.model("R").unwrap().weights
+        );
+    }
+
+    #[test]
+    fn wall_limit_stops_jobs_at_a_wave_boundary() {
+        let engine = quick_engine();
+        engine.register_dataset("train", mem(2000, 5));
+        let trained = engine
+            .train(
+                TrainRequest::new(GradientKind::LogisticRegression, "train")
+                    .epsilon(1e-12)
+                    .max_iter(10_000_000)
+                    .wall_limit(Duration::from_millis(50)),
+            )
+            .unwrap();
+        assert!(!trained.summary.converged);
+        assert!(trained.summary.iterations >= 1);
+        // The engine stays healthy for subsequent work.
+        assert!(engine.model(&trained.name).is_some());
+    }
+
+    #[test]
+    fn failed_jobs_surface_the_error_through_join_and_events() {
+        let engine = quick_engine();
+        let handle = engine.submit(TrainRequest::new(
+            GradientKind::LogisticRegression,
+            "no-such-dataset",
+        ));
+        let events: Vec<JobEvent> = handle.progress().collect();
+        assert!(
+            events.iter().any(|e| matches!(e, JobEvent::Failed { .. })),
+            "{events:?}"
+        );
+        assert_eq!(handle.status(), JobStatus::Failed);
+        assert!(matches!(
+            handle.join().unwrap_err(),
+            SessionError::Source(_)
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatched_predict_errors_instead_of_panicking() {
+        let engine = quick_engine();
+        engine.register_dataset("train", mem(400, 5)); // 4 features
+        let trained = engine
+            .train(TrainRequest::new(GradientKind::LogisticRegression, "train").max_iter(20))
+            .unwrap();
+        let model = engine.model(&trained.name).unwrap();
+        // Scoring 123-feature adult with a 4-weight model must fail typed.
+        let err = engine
+            .predict(crate::PredictRequest::new(
+                crate::DataSource::registry("adult"),
+                model,
+            ))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::DimensionMismatch {
+                    model: 4,
+                    data: 123
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn catalog_eviction_surfaces_through_the_engine() {
+        let engine = Engine::new().with_catalog_cap(2);
+        assert!(engine.register_dataset("a", mem(20, 1)).is_none());
+        assert!(engine.register_dataset("b", mem(20, 2)).is_none());
+        let evicted = engine.register_dataset("c", mem(20, 3)).expect("at cap");
+        assert_eq!(evicted.name, "a");
+        assert_eq!(evicted.dataset.physical_n(), 20);
+    }
+}

@@ -82,6 +82,9 @@ pub fn render_report(report: &OptimizerReport) -> String {
             report.estimates.len()
         ));
     }
+    if report.cache_hit {
+        out.push_str("plan cache: hit (speculation skipped)\n");
+    }
     out.push_str(&format!("rng stream v{RNG_STREAM_VERSION}\n"));
     out
 }
@@ -125,6 +128,16 @@ mod tests {
             format!("rng stream v{RNG_STREAM_VERSION}"),
             "seed-compatibility footer"
         );
+    }
+
+    #[test]
+    fn cache_hits_render_a_marker_line_cold_reports_do_not() {
+        let mut report = report();
+        let cold = render_report(&report);
+        assert!(!cold.contains("plan cache"));
+        report.cache_hit = true;
+        let warm = render_report(&report);
+        assert!(warm.contains("plan cache: hit (speculation skipped)"));
     }
 
     #[test]

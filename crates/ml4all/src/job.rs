@@ -1,0 +1,255 @@
+//! Jobs: the observable unit of work an [`crate::Engine`] runs.
+//!
+//! [`Engine::submit`](crate::Engine::submit) returns a [`JobHandle`]
+//! immediately; the training runs on the shared worker pool. The handle
+//! streams [`JobEvent`]s (`progress()`), supports cooperative
+//! cancellation (`cancel()`), and joins the final result (`join()`).
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+
+use ml4all_dataflow::{CancelToken, CostBreakdown};
+use ml4all_gd::{GdPlan, StopReason};
+
+use crate::session::Trained;
+use crate::SessionError;
+
+/// A job's lifecycle state, observable via [`JobHandle::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Submitted; not yet picked up by a worker.
+    Queued,
+    /// Running (resolving data, optimizing, or iterating).
+    Running,
+    /// Finished successfully; [`JobHandle::join`] returns `Ok`.
+    Completed,
+    /// Stopped by [`JobHandle::cancel`]; `join` returns
+    /// [`SessionError::Cancelled`].
+    Cancelled,
+    /// Failed; `join` returns the error.
+    Failed,
+}
+
+/// One event of a job's progress stream.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The optimizer started its speculative runs (Algorithm 1). Not
+    /// emitted for fixed-iteration requests or plan-cache hits.
+    SpeculationStarted,
+    /// The optimizer committed to a plan, with its cost vector.
+    PlanChosen {
+        /// The winning plan.
+        plan: GdPlan,
+        /// Iterations the optimizer expects.
+        estimated_iterations: u64,
+        /// One-time preparation cost (simulated seconds).
+        preparation_s: f64,
+        /// Expected per-iteration cost (simulated seconds).
+        per_iteration_s: f64,
+        /// Total estimated cost (simulated seconds).
+        total_s: f64,
+        /// `true` when the decision came from the plan cache (speculation
+        /// skipped).
+        cache_hit: bool,
+        /// Backend the plan executes on (`"local"` /
+        /// `"simulated-cluster"`).
+        backend: &'static str,
+    },
+    /// A per-K-iteration convergence checkpoint.
+    Progress {
+        /// Iteration just completed (1-based).
+        iteration: u64,
+        /// Convergence delta at that iteration.
+        delta: f64,
+        /// Simulated seconds elapsed.
+        sim_time_s: f64,
+        /// Cost ledger snapshot.
+        cost: CostBreakdown,
+    },
+    /// The job finished and its model was bound.
+    Completed {
+        /// Bound result name.
+        name: String,
+        /// Iterations executed.
+        iterations: u64,
+        /// Why the run stopped.
+        stop: StopReason,
+        /// Whether the tolerance was reached.
+        converged: bool,
+        /// Simulated training seconds.
+        sim_time_s: f64,
+    },
+    /// The job observed its cancellation token and stopped.
+    Cancelled {
+        /// Iterations completed before the stop.
+        iterations: u64,
+    },
+    /// The job failed.
+    Failed {
+        /// Rendered error.
+        message: String,
+    },
+}
+
+/// Render a job's event stream as a deterministic text trace (no wall
+/// clock, stable float formatting) — the surface pinned by the golden
+/// trace snapshot.
+pub fn render_trace(events: &[JobEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            JobEvent::SpeculationStarted => out.push_str("speculation started\n"),
+            JobEvent::PlanChosen {
+                plan,
+                estimated_iterations,
+                preparation_s,
+                per_iteration_s,
+                total_s,
+                cache_hit,
+                backend,
+            } => out.push_str(&format!(
+                "plan chosen: {plan}  cache={}  est.iter {estimated_iterations}  \
+                 prep {preparation_s:.3}s  iter {per_iteration_s:.6}s  total {total_s:.3}s  \
+                 on {backend}\n",
+                if *cache_hit { "hit" } else { "miss" },
+            )),
+            JobEvent::Progress {
+                iteration,
+                delta,
+                sim_time_s,
+                ..
+            } => out.push_str(&format!(
+                "tick: iter {iteration}  delta {delta:.6}  sim {sim_time_s:.3}s\n"
+            )),
+            JobEvent::Completed {
+                name,
+                iterations,
+                stop,
+                converged,
+                sim_time_s,
+            } => out.push_str(&format!(
+                "completed [{name}]: {iterations} iterations  stop {stop:?}  \
+                 converged {converged}  sim {sim_time_s:.3}s\n"
+            )),
+            JobEvent::Cancelled { iterations } => {
+                out.push_str(&format!("cancelled after {iterations} iterations\n"));
+            }
+            JobEvent::Failed { message } => out.push_str(&format!("failed: {message}\n")),
+        }
+    }
+    out
+}
+
+/// Shared state between a [`JobHandle`] and the worker running the job.
+pub(crate) struct JobState {
+    pub(crate) cancel: CancelToken,
+    status: Mutex<JobStatus>,
+    events: Mutex<Option<Sender<JobEvent>>>,
+    outcome: Mutex<Option<Result<Trained, SessionError>>>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new(events: Sender<JobEvent>) -> Self {
+        Self {
+            cancel: CancelToken::new(),
+            status: Mutex::new(JobStatus::Queued),
+            events: Mutex::new(Some(events)),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn set_status(&self, status: JobStatus) {
+        *self.status.lock().expect("job status") = status;
+    }
+
+    /// Send an event to the (possibly dropped) progress stream.
+    pub(crate) fn emit(&self, event: JobEvent) {
+        if let Some(tx) = self.events.lock().expect("job events").as_ref() {
+            let _ = tx.send(event);
+        }
+    }
+
+    /// Record the final outcome, set the terminal status, close the event
+    /// stream, and wake every joiner.
+    pub(crate) fn finish(&self, outcome: Result<Trained, SessionError>) {
+        let status = match &outcome {
+            Ok(_) => JobStatus::Completed,
+            Err(SessionError::Cancelled { .. }) => JobStatus::Cancelled,
+            Err(_) => JobStatus::Failed,
+        };
+        self.set_status(status);
+        *self.outcome.lock().expect("job outcome") = Some(outcome);
+        // Dropping the sender ends `progress()` iteration.
+        self.events.lock().expect("job events").take();
+        self.done.notify_all();
+    }
+}
+
+/// A handle on a submitted job: observe progress, cancel cooperatively,
+/// and join the result.
+///
+/// ```
+/// use ml4all::{Engine, GradientKind, JobEvent, TrainRequest};
+///
+/// # fn main() -> Result<(), ml4all::SessionError> {
+/// let engine = Engine::new();
+/// let handle = engine.submit(
+///     TrainRequest::new(GradientKind::LogisticRegression, "adult")
+///         .max_iter(25)
+///         .progress_every(10),
+/// );
+/// // Stream progress while the job runs on the shared pool.
+/// for event in handle.progress() {
+///     if let JobEvent::PlanChosen { plan, .. } = &event {
+///         println!("optimizer picked {plan}");
+///     }
+/// }
+/// let trained = handle.join()?;
+/// assert!(trained.summary.iterations >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct JobHandle {
+    pub(crate) state: std::sync::Arc<JobState>,
+    pub(crate) events: Receiver<JobEvent>,
+}
+
+impl JobHandle {
+    /// The job's current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        *self.state.status.lock().expect("job status")
+    }
+
+    /// Request cooperative cancellation: the executor observes the token
+    /// at the next wave boundary and stops there, keeping all shared
+    /// state consistent. Idempotent; a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+    }
+
+    /// Iterate the job's event stream. Blocks between events while the
+    /// job runs and ends once the job finishes (events already emitted
+    /// are buffered, so iterating after `join`-readiness yields the full
+    /// trace).
+    pub fn progress(&self) -> impl Iterator<Item = JobEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Drain the events emitted so far without blocking.
+    pub fn drain_events(&self) -> Vec<JobEvent> {
+        self.events.try_iter().collect()
+    }
+
+    /// Block until the job finishes and return its result. A cancelled
+    /// job returns [`SessionError::Cancelled`] with the iterations it
+    /// completed.
+    pub fn join(self) -> Result<Trained, SessionError> {
+        let mut outcome = self.state.outcome.lock().expect("job outcome");
+        while outcome.is_none() {
+            outcome = self.state.done.wait(outcome).expect("job join");
+        }
+        outcome.take().expect("outcome present")
+    }
+}

@@ -10,7 +10,7 @@
 //! use ml4all::{DataSource, GradientKind, Session, TrainRequest};
 //!
 //! # fn main() -> Result<(), ml4all::SessionError> {
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! let request = TrainRequest::new(GradientKind::LogisticRegression, "adult")
 //!     .max_iter(25)
 //!     .named("Q1");
@@ -30,7 +30,7 @@
 //! use ml4all::Session;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! session.execute("Q1 = run logistic() on train.txt having epsilon 0.01;")?;
 //! session.execute("persist Q1 on my_model.txt;")?;
 //! let out = session.execute("explain logistic() on train.txt having epsilon 0.01;")?;
@@ -39,12 +39,16 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod explain;
+pub mod job;
 pub mod model;
 pub mod request;
 pub mod session;
 
+pub use engine::Engine;
 pub use explain::render_report;
+pub use job::{render_trace, JobEvent, JobHandle, JobStatus};
 pub use model::{Model, ModelError};
 pub use request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
 pub use session::{Predictions, Session, SessionOutput, TrainSummary, Trained};
@@ -53,11 +57,15 @@ pub use session::{Predictions, Session, SessionOutput, TrainSummary, Trained};
 // users need only the `ml4all` crate.
 pub use ml4all_core::chooser::{OptimizerReport, PlanChoice};
 pub use ml4all_core::lang::{AlgorithmPin, TrainSpec};
+pub use ml4all_core::plancache::PlanCache;
 pub use ml4all_core::platform::{Platform, PlatformMapping};
 pub use ml4all_core::OptimizerError;
-pub use ml4all_dataflow::{Backend, SamplingMethod, UsageMeter, RNG_STREAM_VERSION};
+pub use ml4all_dataflow::{
+    Backend, CancelToken, Runtime, SamplingMethod, UsageMeter, RNG_STREAM_VERSION,
+};
+pub use ml4all_datasets::catalog::EvictedDataset;
 pub use ml4all_datasets::source::{DataSource, FileFormat, SourceError};
-pub use ml4all_gd::{GdPlan, GdVariant, GradientKind};
+pub use ml4all_gd::{GdPlan, GdVariant, GradientKind, StopReason};
 
 use ml4all_core::lang::Span;
 
@@ -109,6 +117,22 @@ pub enum SessionError {
     Model(ModelError),
     /// Filesystem problems.
     Io(std::io::Error),
+    /// A predict request paired a model with data of a different
+    /// dimensionality (previously an index panic deep in the dot kernel).
+    DimensionMismatch {
+        /// Weights in the model.
+        model: usize,
+        /// Features in the resolved data.
+        data: usize,
+    },
+    /// The job observed its cancellation token and stopped cooperatively
+    /// at a wave boundary, after completing `iterations` iterations.
+    Cancelled {
+        /// Iterations completed before the stop.
+        iterations: u64,
+    },
+    /// A submitted job panicked; the payload is preserved as text.
+    JobPanicked(String),
 }
 
 impl SessionError {
@@ -137,6 +161,14 @@ impl std::fmt::Display for SessionError {
             Self::UnknownName(n) => write!(f, "unknown result name `{n}`"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Io(e) => write!(f, "io error: {e}"),
+            Self::DimensionMismatch { model, data } => write!(
+                f,
+                "cannot score: the model has {model} weights but the data has {data} features"
+            ),
+            Self::Cancelled { iterations } => {
+                write!(f, "job cancelled after {iterations} iterations")
+            }
+            Self::JobPanicked(m) => write!(f, "job panicked: {m}"),
         }
     }
 }
@@ -186,7 +218,7 @@ mod tests {
     #[test]
     fn parse_errors_render_a_caret_under_the_token() {
         let src = "run classification on d.txt having zzz 1;";
-        let mut session = Session::new();
+        let session = Session::new();
         let err = session.execute(src).unwrap_err();
         let SessionError::Parse(parse) = &err else {
             panic!("expected Parse, got {err:?}");
@@ -204,7 +236,7 @@ mod tests {
 
     #[test]
     fn end_of_input_errors_render_past_the_statement() {
-        let mut session = Session::new();
+        let session = Session::new();
         let err = session.execute("run classification").unwrap_err();
         let rendered = err.to_string();
         assert!(rendered.contains('^'), "{rendered}");
@@ -212,7 +244,7 @@ mod tests {
 
     #[test]
     fn semantic_errors_stay_typed() {
-        let mut session = Session::new();
+        let session = Session::new();
         let err = session
             .execute("run classification on adult having epsilon -1;")
             .unwrap_err();

@@ -8,8 +8,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
+use ml4all_dataflow::PartitionedDataset;
 use ml4all_gd::{Gradient, GradientKind};
-use ml4all_linalg::{DenseVector, LabeledPoint};
+use ml4all_linalg::{DenseVector, LabeledPoint, PointView};
 
 const MAGIC: &str = "ml4all-model v1";
 
@@ -59,6 +60,24 @@ impl Model {
     /// for regression).
     pub fn predict(&self, point: &LabeledPoint) -> f64 {
         self.gradient.predict(self.weights.as_slice(), point)
+    }
+
+    /// Predict a label for a borrowed columnar row — the zero-copy
+    /// counterpart of [`Model::predict`].
+    #[inline]
+    pub fn predict_view(&self, point: PointView<'_>) -> f64 {
+        self.gradient.predict_view(self.weights.as_slice(), point)
+    }
+
+    /// Score every row of a partitioned dataset, in the dataset's
+    /// original input order (`predictions[i]` corresponds to input row
+    /// `i`, whatever the partitioning), straight off the columnar
+    /// storage: no [`LabeledPoint`] is ever materialized. This is the
+    /// scoring path behind the `predict` verb.
+    pub fn predict_batch(&self, data: &PartitionedDataset) -> Vec<f64> {
+        let mut out = Vec::with_capacity(data.physical_n());
+        out.extend(data.iter_views_input_order().map(|v| self.predict_view(v)));
+        out
     }
 
     /// Save to disk.
@@ -196,5 +215,38 @@ mod tests {
         assert_eq!(svm.predict(&p), -1.0);
         let reg = Model::new(GradientKind::LinearRegression, DenseVector::new(vec![1.5]));
         assert_eq!(reg.predict(&p), 3.0);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_predictions() {
+        use ml4all_dataflow::{ClusterSpec, PartitionScheme};
+        use ml4all_linalg::FeatureVec;
+        let points: Vec<LabeledPoint> = (0..64)
+            .map(|i| {
+                let x = i as f64 / 32.0 - 1.0;
+                LabeledPoint::new(
+                    if x > 0.0 { 1.0 } else { -1.0 },
+                    FeatureVec::dense(vec![x, 1.0]),
+                )
+            })
+            .collect();
+        let data = PartitionedDataset::from_points(
+            "pb",
+            points.clone(),
+            PartitionScheme::RoundRobin,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap();
+        let model = Model::new(
+            GradientKind::LogisticRegression,
+            DenseVector::new(vec![2.0, -0.5]),
+        );
+        let batched = model.predict_batch(&data);
+        let one_by_one: Vec<f64> = data
+            .iter_views()
+            .map(|v| model.predict(&v.to_point()))
+            .collect();
+        assert_eq!(batched, one_by_one);
+        assert_eq!(batched.len(), 64);
     }
 }

@@ -19,7 +19,7 @@ use ml4all_gd::{GdVariant, GradientKind};
 use crate::Model;
 
 /// A typed training request: what `run` statements lower onto and what
-/// [`crate::Session::train`] consumes directly.
+/// [`crate::Engine::submit`] / [`crate::Session::train`] consume directly.
 #[derive(Debug, Clone)]
 pub struct TrainRequest {
     /// Where the training data comes from.
@@ -30,6 +30,14 @@ pub struct TrainRequest {
     pub name: Option<String>,
     /// RNG seed for training and sampling.
     pub seed: u64,
+    /// Optional real wall-clock limit on the execution phase: the run is
+    /// stopped cooperatively at the next wave boundary once it expires
+    /// (distinct from [`TrainSpec::time_budget`], which constrains the
+    /// *simulated* cost the optimizer accepts).
+    pub wall_limit: Option<Duration>,
+    /// Emit a [`crate::JobEvent::Progress`] tick every this many
+    /// iterations; `None` uses the engine's default cadence.
+    pub progress_every: Option<u64>,
 }
 
 impl TrainRequest {
@@ -41,6 +49,8 @@ impl TrainRequest {
             spec: TrainSpec::new(gradient),
             name: None,
             seed: 0,
+            wall_limit: None,
+            progress_every: None,
         }
     }
 
@@ -104,6 +114,20 @@ impl TrainRequest {
     /// Set the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Stop execution cooperatively once `limit` of real wall-clock has
+    /// elapsed (checked at wave boundaries; the partial result is kept).
+    pub fn wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Emit a progress tick every `every` iterations (overrides the
+    /// engine's default cadence; 0 disables ticks for this job).
+    pub fn progress_every(mut self, every: u64) -> Self {
+        self.progress_every = Some(every);
         self
     }
 

@@ -1,26 +1,29 @@
-//! The interactive session: typed requests (or declarative statements
-//! lowered onto them) in, trained models, predictions, and plan
-//! explanations out.
+//! The interactive session: a thin statement-language wrapper over the
+//! concurrent [`Engine`] — declarative statements in, trained models,
+//! predictions, and plan explanations out.
+//!
+//! Every verb delegates to the engine, so the Appendix A path, the CLI,
+//! and the examples all ride the same concurrent machinery (shared
+//! dataset catalog, plan cache, model registry) as programmatic
+//! [`Engine`] users. Statements execute synchronously; programs that want
+//! concurrency, progress streaming, or cancellation use
+//! [`Session::engine`] / [`Engine::submit`] directly.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 
-use ml4all_core::chooser::{
-    backend_for, choose_plan, profile_choice, IterationsSource, OptimizerConfig, OptimizerReport,
-};
+use ml4all_core::chooser::OptimizerReport;
 use ml4all_core::estimator::SpeculationConfig;
 use ml4all_core::lang::{parse_statement, train_spec, Query, RunQuery};
-use ml4all_dataflow::{ClusterSpec, PartitionedDataset, SimEnv, UsageMeter};
+use ml4all_dataflow::{ClusterSpec, PartitionedDataset, UsageMeter};
+use ml4all_datasets::catalog::EvictedDataset;
 use ml4all_datasets::csv::CsvColumns;
-use ml4all_datasets::source::{DataSource, SourceResolver};
-use ml4all_gd::{execute_plan, GdPlan};
+use ml4all_datasets::source::DataSource;
+use ml4all_gd::GdPlan;
 
+use crate::engine::Engine;
 use crate::model::Model;
 use crate::request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
 use crate::SessionError;
-
-/// Seed used when materializing Table 2 registry analogs by name.
-const REGISTRY_SEED: u64 = 7;
 
 /// Summary of a completed training run.
 #[derive(Debug, Clone)]
@@ -88,16 +91,10 @@ pub enum SessionOutput {
     },
 }
 
-/// An ML4all session: cluster, working directory, and named results.
+/// An ML4all session: the declarative statement front-end over a private
+/// [`Engine`].
 pub struct Session {
-    cluster: ClusterSpec,
-    data_dir: PathBuf,
-    results: HashMap<String, Model>,
-    datasets: HashMap<String, PartitionedDataset>,
-    speculation: SpeculationConfig,
-    auto_name: u64,
-    /// Physical row cap when materializing registry analogs by name.
-    registry_cap: usize,
+    engine: Engine,
 }
 
 impl Default for Session {
@@ -116,48 +113,66 @@ impl Session {
     /// A session on a custom cluster.
     pub fn with_cluster(cluster: ClusterSpec) -> Self {
         Self {
-            cluster,
-            data_dir: PathBuf::from("."),
-            results: HashMap::new(),
-            datasets: HashMap::new(),
-            speculation: SpeculationConfig::default(),
-            auto_name: 0,
-            registry_cap: 4000,
+            engine: Engine::with_cluster(cluster),
         }
+    }
+
+    /// Wrap an existing engine: statements and typed verbs share its
+    /// catalogs, plan cache, and model registry with every other holder.
+    ///
+    /// Configure the engine *before* wrapping a shared clone: the
+    /// session's `with_*` builders delegate to the engine's and therefore
+    /// panic on an engine that is already shared (see the builder
+    /// contract on [`Engine::with_cluster`]).
+    pub fn over(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// The engine behind this session — the concurrent API
+    /// ([`Engine::submit`], progress streaming, cancellation) over the
+    /// same state.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Resolve dataset paths relative to `dir`.
     pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.data_dir = dir.into();
+        self.engine = self.engine.with_data_dir(dir);
         self
     }
 
     /// Override the speculation settings used by `run` statements.
     pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
-        self.speculation = speculation;
+        self.engine = self.engine.with_speculation(speculation);
         self
     }
 
     /// Cap the physical rows materialized for registry analogs.
     pub fn with_registry_cap(mut self, cap: usize) -> Self {
-        self.registry_cap = cap;
+        self.engine = self.engine.with_registry_cap(cap);
         self
     }
 
     /// Register an in-memory dataset under a name usable in queries.
-    pub fn register_dataset(&mut self, name: impl Into<String>, data: PartitionedDataset) {
-        self.datasets.insert(name.into(), data);
+    /// Returns the least-recently-used entry this registration evicted,
+    /// if the catalog was at capacity (see [`Engine::register_dataset`]).
+    pub fn register_dataset(
+        &self,
+        name: impl Into<String>,
+        data: PartitionedDataset,
+    ) -> Option<EvictedDataset> {
+        self.engine.register_dataset(name, data)
     }
 
     /// A previously-trained model by name.
-    pub fn model(&self, name: &str) -> Option<&Model> {
-        self.results.get(name)
+    pub fn model(&self, name: &str) -> Option<Model> {
+        self.engine.model(name)
     }
 
     /// Execute one declarative statement: parse it and lower onto the
     /// typed [`train`](Self::train) / [`predict`](Self::predict) /
     /// [`explain`](Self::explain) / [`persist`](Self::persist) verbs.
-    pub fn execute(&mut self, statement: &str) -> Result<SessionOutput, SessionError> {
+    pub fn execute(&self, statement: &str) -> Result<SessionOutput, SessionError> {
         let parsed =
             parse_statement(statement).map_err(|e| SessionError::from_parse(statement, e))?;
         match parsed.query {
@@ -195,7 +210,7 @@ impl Session {
     /// use ml4all::{GradientKind, Session, TrainRequest};
     ///
     /// # fn main() -> Result<(), ml4all::SessionError> {
-    /// let mut session = Session::new();
+    /// let session = Session::new();
     /// let request = TrainRequest::new(GradientKind::LogisticRegression, "adult")
     ///     .max_iter(25);
     /// let trained = session.train(request)?;
@@ -203,43 +218,17 @@ impl Session {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn train(&mut self, request: TrainRequest) -> Result<Trained, SessionError> {
-        let (config, data) = self.configured(&request)?;
-
-        let report = choose_plan(&data, &config, &self.cluster)?;
-        let plan = report.best().plan;
-        let params = config.train_params();
-        let backend = backend_for(&report.best().mapping, &self.cluster);
-        let mut env = SimEnv::new(self.cluster.clone()).with_backend(backend);
-        let result = execute_plan(&plan, &data, &params, &mut env)?;
-
-        let name = request.name.unwrap_or_else(|| {
-            self.auto_name += 1;
-            format!("Q{}", self.auto_name)
-        });
-        self.results.insert(
-            name.clone(),
-            Model::new(config.gradient, result.weights.clone()),
-        );
-        Ok(Trained {
-            name,
-            summary: TrainSummary {
-                plan,
-                iterations: result.iterations,
-                converged: result.converged(),
-                sim_time_s: result.sim_time_s,
-                speculation_s: report.speculation_sim_s,
-                backend: result.backend,
-                usage: result.usage,
-            },
-        })
+    pub fn train(&self, request: TrainRequest) -> Result<Trained, SessionError> {
+        self.engine.train(request)
     }
 
     /// Run the cost-based optimizer for a training request and report the
     /// full costed plan table — every enumerated plan with modelled cost,
     /// estimated iterations, and per-operator platform mapping — without
     /// executing the winner. The best row is exactly the plan
-    /// [`train`](Self::train) would execute for the same request.
+    /// [`train`](Self::train) would execute for the same request, and a
+    /// repeated request is served from the engine's plan cache
+    /// ([`OptimizerReport::cache_hit`]).
     ///
     /// ```
     /// use ml4all::{ExplainRequest, GradientKind, Session, TrainRequest};
@@ -255,102 +244,17 @@ impl Session {
     /// # }
     /// ```
     pub fn explain(&self, request: ExplainRequest) -> Result<OptimizerReport, SessionError> {
-        let (config, data) = self.configured(&request.train)?;
-        let mut report = choose_plan(&data, &config, &self.cluster)?;
-        if request.measured {
-            self.measure_report(&mut report, &config, &data)?;
-        }
-        Ok(report)
-    }
-
-    /// Profile every enumerated plan via [`profile_choice`] (the protocol
-    /// shared with the conformance harness), filling the report's measured
-    /// column. A diverging plan keeps `None` (the table renders a dash);
-    /// any other execution failure propagates.
-    fn measure_report(
-        &self,
-        report: &mut OptimizerReport,
-        config: &OptimizerConfig,
-        data: &PartitionedDataset,
-    ) -> Result<(), SessionError> {
-        for choice in &mut report.choices {
-            choice.measured_s = profile_choice(choice, data, config, &self.cluster)?
-                .map(|result| result.sim_time_s);
-        }
-        Ok(())
-    }
-
-    /// Shared `train`/`explain` prologue: validate the request into a
-    /// configuration and resolve its source. The session's speculation
-    /// settings apply only when the request actually speculates — a
-    /// `max iter`-only request keeps its `Fixed` iteration source and
-    /// skips speculation entirely (the Section 8.3 fast path).
-    fn configured(
-        &self,
-        request: &TrainRequest,
-    ) -> Result<(OptimizerConfig, PartitionedDataset), SessionError> {
-        let mut config = request.config()?;
-        if matches!(config.iterations, IterationsSource::Speculate(_)) {
-            config = config.with_speculation(self.speculation.clone());
-        }
-        let data = self.resolver().resolve(&request.source)?;
-        Ok((config, data))
+        self.engine.explain(request)
     }
 
     /// Score a dataset with a model.
     pub fn predict(&self, request: PredictRequest) -> Result<Predictions, SessionError> {
-        let model = match &request.model {
-            ModelRef::Named(name) => match self.results.get(name) {
-                Some(m) => m.clone(),
-                None => Model::load(self.data_dir.join(name)).map_err(|e| match e {
-                    crate::ModelError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
-                        crate::SessionError::Model(crate::ModelError::Format(format!(
-                            "`{name}` is neither a session result nor a readable model file"
-                        )))
-                    }
-                    other => crate::SessionError::Model(other),
-                })?,
-            },
-            ModelRef::File(path) => Model::load(self.data_dir.join(path))?,
-            ModelRef::Inline(model) => model.clone(),
-        };
-        let points = self
-            .resolver()
-            .resolve_points(&request.source, Some(model.weights.dim()))?;
-        let predictions: Vec<f64> = points.iter().map(|p| model.predict(p)).collect();
-        let mse = ml4all_datasets::mean_squared_error(&predictions, &points);
-        let accuracy = if model.gradient.is_classification() {
-            Some(ml4all_datasets::accuracy(&predictions, &points))
-        } else {
-            None
-        };
-        Ok(Predictions {
-            predictions,
-            mse,
-            accuracy,
-        })
+        self.engine.predict(request)
     }
 
     /// Persist the named result to a model file under the data dir.
     pub fn persist(&self, name: &str, path: &str) -> Result<PathBuf, SessionError> {
-        let model = self
-            .results
-            .get(name)
-            .ok_or_else(|| SessionError::UnknownName(name.to_string()))?;
-        let path = self.data_dir.join(path);
-        model.save(&path)?;
-        Ok(path)
-    }
-
-    /// The single dataset resolver every verb shares.
-    fn resolver(&self) -> SourceResolver<'_> {
-        SourceResolver {
-            data_dir: &self.data_dir,
-            catalog: &self.datasets,
-            registry_cap: self.registry_cap,
-            registry_seed: REGISTRY_SEED,
-            cluster: &self.cluster,
-        }
+        self.engine.persist(name, path)
     }
 }
 
@@ -369,12 +273,10 @@ fn lower_run(
     if let Some(columns) = columns {
         source = source.with_columns(columns);
     }
-    Ok(TrainRequest {
-        source,
-        spec,
-        name,
-        seed: 0,
-    })
+    let mut request = TrainRequest::new(spec.gradient, source);
+    request.spec = spec;
+    request.name = name;
+    Ok(request)
 }
 
 #[cfg(test)]
@@ -435,7 +337,7 @@ mod tests {
         let dir = tmp_dir("lifecycle");
         write_csv_dataset(&dir, "train.csv", 1200);
         write_csv_dataset(&dir, "test.csv", 300);
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
 
         let out = session
             .execute("Q1 = run logistic() on train.csv having epsilon 0.01, max iter 2000;")
@@ -465,7 +367,7 @@ mod tests {
     #[test]
     fn registry_names_resolve_as_datasets() {
         let dir = tmp_dir("registry");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let out = session
             .execute("run logistic() on adult having max iter 50;")
             .unwrap();
@@ -481,7 +383,7 @@ mod tests {
         let dir = tmp_dir("byname");
         write_csv_dataset(&dir, "train.csv", 800);
         write_csv_dataset(&dir, "test.csv", 200);
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         session
             .execute("M = run logistic() on train.csv having max iter 300;")
             .unwrap();
@@ -495,7 +397,7 @@ mod tests {
         // The PR-1 known gap: `predict on <registry-name> with M` now
         // works through the unified resolver.
         let dir = tmp_dir("predict-registry");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         session
             .execute("M = run logistic() on adult having max iter 200;")
             .unwrap();
@@ -511,7 +413,7 @@ mod tests {
     #[test]
     fn predict_resolves_registered_in_memory_datasets() {
         let dir = tmp_dir("predict-registered");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let data = in_memory_dataset(600, &ClusterSpec::paper_testbed());
         session.register_dataset("mydata", data);
         session
@@ -532,7 +434,7 @@ mod tests {
         // iterations, and platform mapping; the best row is the plan
         // `run` executes for the same query and seed.
         let dir = tmp_dir("explain");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let query = "logistic() on adult having epsilon 0.01, max iter 2000";
         let out = session.execute(&format!("explain {query};")).unwrap();
         let SessionOutput::Explained { report } = out else {
@@ -540,6 +442,7 @@ mod tests {
         };
         assert_eq!(report.choices.len(), 11);
         assert_eq!(report.estimates.len(), 3);
+        assert!(!report.cache_hit, "first decision is cold");
         for choice in &report.choices {
             assert!(choice.total_s > 0.0);
             assert!(choice.estimated_iterations >= 1);
@@ -554,9 +457,26 @@ mod tests {
     }
 
     #[test]
+    fn repeated_statements_hit_the_plan_cache() {
+        let dir = tmp_dir("statement-cache");
+        let session = quick_session(&dir);
+        let query = "explain logistic() on adult having epsilon 0.01, max iter 500;";
+        let SessionOutput::Explained { report: cold } = session.execute(query).unwrap() else {
+            panic!("expected Explained")
+        };
+        let SessionOutput::Explained { report: warm } = session.execute(query).unwrap() else {
+            panic!("expected Explained")
+        };
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.best().plan, cold.best().plan);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn cluster_mapped_plans_route_through_the_simulated_backend() {
         let dir = tmp_dir("backend-routing");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         // svm1 declares 10 GB logical: every plan maps onto the cluster.
         let trained = session
             .train(TrainRequest::new(GradientKind::Svm, DataSource::registry("svm1")).max_iter(10))
@@ -585,7 +505,7 @@ mod tests {
     #[test]
     fn measured_explain_profiles_every_plan() {
         let dir = tmp_dir("measured-explain");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let request = || {
             TrainRequest::new(
                 GradientKind::LogisticRegression,
@@ -597,10 +517,12 @@ mod tests {
         let report = session.explain(ExplainRequest::new(request())).unwrap();
         assert!(report.choices.iter().all(|c| c.measured_s.is_none()));
         assert!(report.measured_best().is_none());
-        // ...and the profiled form fills it for all 11 plans.
+        // ...and the profiled form fills it for all 11 plans (also on a
+        // plan-cache hit: measurement happens per request).
         let report = session
             .explain(ExplainRequest::new(request()).measured(true))
             .unwrap();
+        assert!(report.cache_hit);
         assert_eq!(report.choices.len(), 11);
         for choice in &report.choices {
             let measured = choice.measured_s.expect("every plan profiled");
@@ -619,7 +541,7 @@ mod tests {
         // The Section 8.3 fast path: a pure iteration budget needs no
         // speculative runs, in `train` and `explain` alike.
         let dir = tmp_dir("fixed-iterations");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let request = || {
             TrainRequest::new(
                 GradientKind::LogisticRegression,
@@ -640,12 +562,12 @@ mod tests {
     fn typed_predict_accepts_inline_models_and_sources() {
         let dir = tmp_dir("typed-predict");
         let cluster = ClusterSpec::paper_testbed();
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let data = in_memory_dataset(500, &cluster);
         let trained = session
             .train(TrainRequest::new(GradientKind::LogisticRegression, data.clone()).max_iter(200))
             .unwrap();
-        let model = session.model(&trained.name).unwrap().clone();
+        let model = session.model(&trained.name).unwrap();
         let p = session.predict(PredictRequest::new(data, model)).unwrap();
         assert_eq!(p.predictions.len(), 500);
         let _ = std::fs::remove_dir_all(dir);
@@ -654,7 +576,7 @@ mod tests {
     #[test]
     fn typed_pins_restrict_the_chosen_plan() {
         let dir = tmp_dir("typed-pins");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let trained = session
             .train(
                 TrainRequest::new(
@@ -677,7 +599,7 @@ mod tests {
     #[test]
     fn persist_of_unknown_name_errors() {
         let dir = tmp_dir("unknown");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let err = session.execute("persist Q9 on out.txt;").unwrap_err();
         assert!(matches!(err, SessionError::UnknownName(_)));
         let _ = std::fs::remove_dir_all(dir);
@@ -686,7 +608,7 @@ mod tests {
     #[test]
     fn unresolvable_dataset_errors_as_source() {
         let dir = tmp_dir("unresolved");
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let err = session
             .execute("run logistic() on missing.csv having max iter 10;")
             .unwrap_err();
@@ -705,7 +627,7 @@ mod tests {
             body.push_str(&format!("9,{label},7,{x},{}\n", -x));
         }
         std::fs::write(dir.join("cols.csv"), body).unwrap();
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let out = session
             .execute("run logistic() on cols.csv:2, cols.csv:4-5 having max iter 500;")
             .unwrap();
@@ -730,11 +652,27 @@ mod tests {
             &points,
         )
         .unwrap();
-        let mut session = quick_session(&dir);
+        let session = quick_session(&dir);
         let out = session
             .execute("run logistic() on train.libsvm having max iter 100;")
             .unwrap();
         assert!(matches!(out, SessionOutput::Trained { .. }));
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sessions_share_engine_state_when_wrapping_one() {
+        let engine = Engine::new().with_speculation(SpeculationConfig {
+            sample_size: 200,
+            max_iterations: 1000,
+            ..SpeculationConfig::default()
+        });
+        let session = Session::over(engine.clone());
+        session
+            .execute("M = run logistic() on adult having max iter 50;")
+            .unwrap();
+        // The model bound by the statement is visible on the engine.
+        assert!(engine.model("M").is_some());
+        let _ = session;
     }
 }

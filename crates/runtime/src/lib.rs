@@ -36,10 +36,22 @@ use std::time::Duration;
 /// the batch has run (see `run_batch`).
 type Job = Box<dyn FnOnce() + Send>;
 
+/// The two job tiers behind one lock (one lock, one condvar: pushes and
+/// pops can never miss a wakeup).
+#[derive(Default)]
+struct Queues {
+    /// FIFO of pending batch (wave) tasks. One global queue keeps
+    /// scheduling order deterministic-enough for helping and makes
+    /// stealing trivial.
+    batch: VecDeque<Job>,
+    /// FIFO of detached jobs ([`Runtime::spawn`]): long-lived work that
+    /// only otherwise-idle workers pick up, so a whole submitted job never
+    /// delays the wave tasks of a batch already in flight.
+    detached: VecDeque<Job>,
+}
+
 struct Shared {
-    /// FIFO of pending jobs. One global queue keeps scheduling order
-    /// deterministic-enough for helping and makes stealing trivial.
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<Queues>,
     /// Signalled on job push and job completion.
     cv: Condvar,
     shutdown: AtomicBool,
@@ -47,7 +59,7 @@ struct Shared {
 
 impl Shared {
     fn pop(&self) -> Option<Job> {
-        self.queue.lock().expect("runtime queue").pop_front()
+        self.queue.lock().expect("runtime queue").batch.pop_front()
     }
 }
 
@@ -87,7 +99,7 @@ impl Runtime {
             };
         }
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queues::default()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -230,13 +242,15 @@ impl Runtime {
                 // those lifetimes.
                 let job: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-                queue.push_back(job);
+                queue.batch.push_back(job);
             }
         }
         shared.cv.notify_all();
 
-        // Help while waiting: run queued jobs (ours or anyone's) instead
-        // of blocking, so nested dispatch cannot deadlock the pool.
+        // Help while waiting: run queued batch jobs (ours or anyone's)
+        // instead of blocking, so nested dispatch cannot deadlock the
+        // pool. Helping never picks up a *detached* job — a whole
+        // submitted training job must not run inside someone's wave wait.
         while batch.remaining.load(Ordering::Acquire) > 0 {
             if let Some(job) = shared.pop() {
                 job();
@@ -246,7 +260,7 @@ impl Runtime {
             if batch.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
-            if !guard.is_empty() {
+            if !guard.batch.is_empty() {
                 continue;
             }
             let _ = shared
@@ -258,6 +272,43 @@ impl Runtime {
         let payload = batch.panic.lock().expect("runtime panic slot").take();
         if let Some(payload) = payload {
             resume_unwind(payload);
+        }
+    }
+
+    /// Submit a detached, job-scoped unit of work: `job` runs to
+    /// completion on the pool (or, for the single-worker inline runtime,
+    /// on a dedicated thread) and the call returns immediately.
+    ///
+    /// Scheduling rules keep whole jobs from starving fine-grained waves:
+    /// detached jobs sit in their own FIFO that only otherwise-idle
+    /// workers pop — batch tasks from [`Runtime::for_each_indexed`]
+    /// always take priority, and the helping loop of a waiting submitter
+    /// never picks up a detached job. A detached job may itself dispatch
+    /// waves through the runtime; the nesting guarantees of the batch
+    /// path apply unchanged.
+    ///
+    /// Panics inside `job` are contained by the worker loop (the pool
+    /// survives); callers that need to observe failure should catch
+    /// panics themselves and record the outcome.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        match &self.shared {
+            Some(shared) => {
+                shared
+                    .queue
+                    .lock()
+                    .expect("runtime queue")
+                    .detached
+                    .push_back(Box::new(job));
+                shared.cv.notify_all();
+            }
+            // The inline runtime has no pool threads to host a detached
+            // job; a dedicated thread keeps `spawn` non-blocking.
+            None => {
+                std::thread::Builder::new()
+                    .name("ml4all-detached".into())
+                    .spawn(job)
+                    .expect("spawn detached job thread");
+            }
         }
     }
 
@@ -299,7 +350,12 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut queue = shared.queue.lock().expect("runtime queue");
             loop {
-                if let Some(job) = queue.pop_front() {
+                // Batch (wave) tasks always take priority; an otherwise-
+                // idle worker hosts the next detached job.
+                if let Some(job) = queue.batch.pop_front() {
+                    break job;
+                }
+                if let Some(job) = queue.detached.pop_front() {
                     break job;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -308,9 +364,36 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.cv.wait(queue).expect("runtime condvar");
             }
         };
-        // Jobs catch their own panics (see `run_indexed`), so a worker
+        // Batch jobs catch their own panics (see `run_indexed`) and
+        // detached jobs are wrapped by their submitters, so a worker
         // thread survives any task failure.
-        job();
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// A cooperative cancellation token shared between a job's owner and its
+/// executor. Cancellation is a one-way latch: once set it stays set, and
+/// executors observe it at wave (iteration) boundaries — a cancelled run
+/// finishes the wave in flight, then stops.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latch the token: every holder observes the request from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -456,6 +539,51 @@ mod tests {
         assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
         assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
         assert_ne!(derive_seed(42, 3), derive_seed(43, 3));
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs_on_pooled_and_inline_runtimes() {
+        for workers in [1usize, 4] {
+            let rt = Arc::new(Runtime::new(workers));
+            let (tx, rx) = std::sync::mpsc::channel();
+            for i in 0..8u32 {
+                let tx = tx.clone();
+                let inner = Arc::clone(&rt);
+                rt.spawn(move || {
+                    // A detached job may itself dispatch waves.
+                    let sum: u32 = inner.run_indexed(4, |j| i * j as u32).into_iter().sum();
+                    tx.send(sum).unwrap();
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            let mut expect: Vec<u32> = (0..8).map(|i| i * 6).collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn detached_panic_does_not_kill_the_pool() {
+        let rt = Runtime::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        rt.spawn(|| panic!("detached boom"));
+        rt.spawn(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
+        // Batch dispatch still works afterwards.
+        assert_eq!(rt.run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancel_token_latches_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
     }
 
     #[test]

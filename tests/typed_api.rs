@@ -27,7 +27,7 @@ fn dataset() -> PartitionedDataset {
 }
 
 fn quick_session() -> Session {
-    let mut session = Session::new().with_speculation(SpeculationConfig {
+    let session = Session::new().with_speculation(SpeculationConfig {
         sample_size: 150,
         budget: std::time::Duration::from_secs(1),
         max_iterations: 400,
@@ -121,7 +121,7 @@ proptest! {
     ) {
         let stmt = statement(epsilon, max_iter, algorithm, sampler, step, batch);
 
-        let mut parsed_session = quick_session();
+        let parsed_session = quick_session();
         let out = parsed_session
             .execute(&stmt)
             .unwrap_or_else(|e| panic!("{stmt}: {e}"));
@@ -130,7 +130,7 @@ proptest! {
         };
         prop_assert_eq!(&name, "M");
 
-        let mut typed_session = quick_session();
+        let typed_session = quick_session();
         let Trained { summary: typed, .. } = typed_session
             .train(typed_request(epsilon, max_iter, algorithm, sampler, step, batch))
             .unwrap_or_else(|e| panic!("typed twin of {stmt}: {e}"));
@@ -169,7 +169,7 @@ fn explain_best_row_matches_run_across_constraint_space() {
         let stmt_body = statement(epsilon, 40, algorithm, None, None, None);
         let explain_stmt = format!("explain {}", stmt_body.trim_start_matches("M = run "));
 
-        let mut session = quick_session();
+        let session = quick_session();
         let SessionOutput::Explained { report } = session.execute(&explain_stmt).unwrap() else {
             panic!("{explain_stmt}: expected Explained");
         };
