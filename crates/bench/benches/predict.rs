@@ -1,0 +1,89 @@
+//! Microbenchmarks of batch scoring: [`ml4all::Model::predict_batch`]
+//! over dense and CSR columnar storage. This is the inference-side
+//! counterpart of the `executor/*` training benches — same zero-copy
+//! `PointView` path, same 8-wide SIMD kernels, no training loop around it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ml4all::Model;
+use ml4all_dataflow::{ClusterSpec, PartitionScheme, PartitionedDataset};
+use ml4all_gd::GradientKind;
+use ml4all_linalg::{DenseVector, FeatureVec, LabeledPoint, SparseVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_dataset(n: usize, dims: usize) -> PartitionedDataset {
+    let mut rng = StdRng::seed_from_u64(7);
+    let points: Vec<LabeledPoint> = (0..n)
+        .map(|_| {
+            let xs: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let label = if xs[0] > 0.0 { 1.0 } else { -1.0 };
+            LabeledPoint::new(label, FeatureVec::dense(xs))
+        })
+        .collect();
+    PartitionedDataset::from_points(
+        "predict-dense",
+        points,
+        PartitionScheme::RoundRobin,
+        &ClusterSpec::paper_testbed(),
+    )
+    .unwrap()
+}
+
+fn csr_dataset(n: usize, dims: usize, nnz_per_row: usize) -> PartitionedDataset {
+    let mut rng = StdRng::seed_from_u64(9);
+    let points: Vec<LabeledPoint> = (0..n)
+        .map(|_| {
+            let mut taken = vec![false; dims];
+            let mut idx: Vec<u32> = Vec::with_capacity(nnz_per_row);
+            while idx.len() < nnz_per_row {
+                let i = rng.gen_range(0..dims);
+                if !taken[i] {
+                    taken[i] = true;
+                    idx.push(i as u32);
+                }
+            }
+            idx.sort_unstable();
+            let val: Vec<f64> = idx.iter().map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let label = if val[0] > 0.0 { 1.0 } else { -1.0 };
+            LabeledPoint::new(
+                label,
+                FeatureVec::Sparse(SparseVector::new(dims, idx, val).unwrap()),
+            )
+        })
+        .collect();
+    PartitionedDataset::from_points(
+        "predict-csr",
+        points,
+        PartitionScheme::RoundRobin,
+        &ClusterSpec::paper_testbed(),
+    )
+    .unwrap()
+}
+
+fn model(dims: usize) -> Model {
+    let mut rng = StdRng::seed_from_u64(11);
+    let w: Vec<f64> = (0..dims).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    Model::new(GradientKind::LogisticRegression, DenseVector::new(w))
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict");
+    group.sample_size(30);
+
+    let dense = dense_dataset(20_000, 50);
+    let m = model(50);
+    group.bench_function("batch_20k_dense_50d", |b| {
+        b.iter(|| black_box(m.predict_batch(&dense)).len())
+    });
+
+    let csr = csr_dataset(20_000, 2_000, 25);
+    let m = model(2_000);
+    group.bench_function("batch_20k_csr_2000d_25nnz", |b| {
+        b.iter(|| black_box(m.predict_batch(&csr)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -10,28 +10,190 @@
 //! - **CSR**: `indptr`/`indices`/`values` compressed sparse rows plus the
 //!   `labels` column, for LIBSVM-shaped data like `rcv1`.
 //!
+//! Each column lives in a `SlabBuf`: either an owned `Vec` or a
+//! zero-copy window into a memory-mapped slab file (see [`crate::slab`]).
+//! The gradient executor reads both through identical slices, so
+//! out-of-core datasets run the same hot loop as in-memory ones.
+//!
 //! [`ColumnarBuilder`] ingests rows in either shape and upgrades a dense
 //! slab to CSR transparently when sparse or ragged rows arrive, so loaders
 //! can stream rows without pre-classifying the dataset.
 
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
 use ml4all_linalg::{FeatureView, LabeledPoint, LinalgError, PointView};
+
+use crate::slab::MappedSlab;
+
+/// Element types a [`SlabBuf`] can hold: plain old data whose bytes can be
+/// reinterpreted straight out of a mapped file.
+pub(crate) trait SlabElem:
+    Copy + std::fmt::Debug + PartialEq + Send + Sync + 'static
+{
+}
+
+impl SlabElem for f64 {}
+impl SlabElem for u64 {}
+impl SlabElem for u32 {}
+
+/// A column buffer: an owned `Vec<T>` or a typed window into a shared
+/// memory-mapped slab file. Both read as plain slices (via `Deref`), so
+/// everything downstream of the builder is storage-agnostic.
+pub(crate) struct SlabBuf<T: SlabElem> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Owned(Vec<T>),
+    Mapped {
+        map: Arc<MappedSlab>,
+        byte_offset: usize,
+        len: usize,
+    },
+}
+
+impl<T: SlabElem> SlabBuf<T> {
+    fn new() -> Self {
+        Self {
+            inner: Inner::Owned(Vec::new()),
+        }
+    }
+
+    /// A window of `len` elements at `byte_offset` into a mapping. The
+    /// offset must be aligned for `T` and the window must lie inside the
+    /// mapping — both hold by construction for slab-file sections, which
+    /// start on page boundaries.
+    pub(crate) fn mapped(map: Arc<MappedSlab>, byte_offset: usize, len: usize) -> Self {
+        assert_eq!(
+            byte_offset % std::mem::align_of::<T>(),
+            0,
+            "slab section offset must be aligned for its element type"
+        );
+        assert!(
+            byte_offset + len * std::mem::size_of::<T>() <= map.len(),
+            "slab section must lie inside the mapping"
+        );
+        Self {
+            inner: Inner::Mapped {
+                map,
+                byte_offset,
+                len,
+            },
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match &self.inner {
+            Inner::Owned(v) => v,
+            Inner::Mapped {
+                map,
+                byte_offset,
+                len,
+            } => unsafe {
+                std::slice::from_raw_parts(map.bytes().as_ptr().add(*byte_offset) as *const T, *len)
+            },
+        }
+    }
+
+    /// A sub-buffer over `range`. Zero-copy (an `Arc` bump) when mapped;
+    /// an owned copy otherwise.
+    fn window(&self, range: Range<usize>) -> Self {
+        match &self.inner {
+            Inner::Owned(v) => Self {
+                inner: Inner::Owned(v[range].to_vec()),
+            },
+            Inner::Mapped {
+                map, byte_offset, ..
+            } => Self::mapped(
+                Arc::clone(map),
+                byte_offset + range.start * std::mem::size_of::<T>(),
+                range.len(),
+            ),
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        matches!(self.inner, Inner::Mapped { .. })
+    }
+}
+
+impl<T: SlabElem> Deref for SlabBuf<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SlabElem> From<Vec<T>> for SlabBuf<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self {
+            inner: Inner::Owned(v),
+        }
+    }
+}
+
+impl<T: SlabElem> Clone for SlabBuf<T> {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            Inner::Owned(v) => Self {
+                inner: Inner::Owned(v.clone()),
+            },
+            Inner::Mapped {
+                map,
+                byte_offset,
+                len,
+            } => Self {
+                inner: Inner::Mapped {
+                    map: Arc::clone(map),
+                    byte_offset: *byte_offset,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: SlabElem> std::fmt::Debug for SlabBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_mapped() {
+            write!(f, "mapped:")?;
+        }
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: SlabElem> PartialEq for SlabBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
 
 /// Dense slab storage: labels + a row-major value matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseColumns {
     dims: usize,
-    labels: Vec<f64>,
-    values: Vec<f64>,
+    labels: SlabBuf<f64>,
+    values: SlabBuf<f64>,
 }
 
 /// CSR storage: labels + compressed sparse rows over a shared dimension.
+///
+/// `indptr` offsets are **absolute** positions into `indices`/`values`. A
+/// full store has `indptr[0] == 0`; a [`ColumnStore::window`] keeps the
+/// complete `indices`/`values` buffers (shared zero-copy when mapped) and
+/// narrows only `labels` and `indptr`, so its first offset is generally
+/// non-zero.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrColumns {
     dim: usize,
-    labels: Vec<f64>,
-    indptr: Vec<usize>,
-    indices: Vec<u32>,
-    values: Vec<f64>,
+    labels: SlabBuf<f64>,
+    indptr: SlabBuf<u64>,
+    indices: SlabBuf<u32>,
+    values: SlabBuf<f64>,
 }
 
 /// A block of rows in contiguous columnar form.
@@ -93,7 +255,7 @@ impl ColumnStore {
             }
             Self::Csr(c) => {
                 let label = *c.labels.get(i)?;
-                let (lo, hi) = (c.indptr[i], c.indptr[i + 1]);
+                let (lo, hi) = (c.indptr[i] as usize, c.indptr[i + 1] as usize);
                 Some(PointView::new(
                     label,
                     FeatureView::Sparse {
@@ -124,11 +286,26 @@ impl ColumnStore {
         }
     }
 
+    /// Raw CSR access (`labels`, `indptr`, `indices`, `values`, `dim`).
+    /// `indptr` offsets are absolute into `indices`/`values`; a window's
+    /// first offset is generally non-zero (see [`CsrColumns`]).
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn as_csr(&self) -> Option<(&[f64], &[u64], &[u32], &[f64], usize)> {
+        match self {
+            Self::Dense(_) => None,
+            Self::Csr(c) => Some((&c.labels, &c.indptr, &c.indices, &c.values, c.dim)),
+        }
+    }
+
     /// Sum of materialized (possibly non-zero) entries across all rows.
     pub fn total_nnz(&self) -> u64 {
         match self {
             Self::Dense(d) => d.values.len() as u64,
-            Self::Csr(c) => c.indices.len() as u64,
+            Self::Csr(c) => match (c.indptr.first(), c.indptr.last()) {
+                (Some(&lo), Some(&hi)) => hi - lo,
+                _ => 0,
+            },
         }
     }
 
@@ -137,8 +314,82 @@ impl ColumnStore {
     pub fn approx_bytes(&self) -> u64 {
         match self {
             Self::Dense(d) => (8 * d.labels.len() + 8 * d.values.len()) as u64,
-            Self::Csr(c) => (8 * c.labels.len() + 12 * c.indices.len()) as u64,
+            Self::Csr(c) => 8 * c.labels.len() as u64 + 12 * self.total_nnz(),
         }
+    }
+
+    /// `true` when the store's columns borrow a memory-mapped slab file
+    /// rather than owning heap buffers.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            Self::Dense(d) => d.labels.is_mapped(),
+            Self::Csr(c) => c.labels.is_mapped(),
+        }
+    }
+
+    /// Rows `start..end` as a store sharing this one's storage. For a
+    /// mapped store this is zero-copy (the window borrows the same
+    /// mapping), which is how partitions of an out-of-core dataset avoid
+    /// duplicating data; for an owned dense store the rows are copied, and
+    /// an owned CSR store additionally clones its full `indices`/`values`
+    /// buffers — partitioning owned stores should keep using the builder
+    /// dealing path instead.
+    pub fn window(&self, start: usize, end: usize) -> ColumnStore {
+        assert!(
+            start <= end && end <= self.len(),
+            "window {start}..{end} out of bounds for {} rows",
+            self.len()
+        );
+        match self {
+            Self::Dense(d) => Self::Dense(DenseColumns {
+                dims: d.dims,
+                labels: d.labels.window(start..end),
+                values: d.values.window(start * d.dims..end * d.dims),
+            }),
+            Self::Csr(c) => Self::Csr(CsrColumns {
+                dim: c.dim,
+                labels: c.labels.window(start..end),
+                indptr: c.indptr.window(start..end + 1),
+                indices: c.indices.clone(),
+                values: c.values.clone(),
+            }),
+        }
+    }
+
+    /// A dense store borrowing sections of a mapped slab file.
+    pub(crate) fn from_mapped_dense(
+        map: Arc<MappedSlab>,
+        rows: usize,
+        dims: usize,
+        labels_off: usize,
+        values_off: usize,
+    ) -> Self {
+        Self::Dense(DenseColumns {
+            dims,
+            labels: SlabBuf::mapped(Arc::clone(&map), labels_off, rows),
+            values: SlabBuf::mapped(map, values_off, rows * dims),
+        })
+    }
+
+    /// A CSR store borrowing sections of a mapped slab file.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_mapped_csr(
+        map: Arc<MappedSlab>,
+        rows: usize,
+        dim: usize,
+        nnz: usize,
+        labels_off: usize,
+        indptr_off: usize,
+        indices_off: usize,
+        values_off: usize,
+    ) -> Self {
+        Self::Csr(CsrColumns {
+            dim,
+            labels: SlabBuf::mapped(Arc::clone(&map), labels_off, rows),
+            indptr: SlabBuf::mapped(Arc::clone(&map), indptr_off, rows + 1),
+            indices: SlabBuf::mapped(Arc::clone(&map), indices_off, nnz),
+            values: SlabBuf::mapped(map, values_off, nnz),
+        })
     }
 
     /// Materialize every row as an owned [`LabeledPoint`] (ingestion/API
@@ -183,11 +434,23 @@ pub struct ColumnarBuilder {
     repr: Repr,
 }
 
+/// Builders always own plain `Vec`s; conversion to [`SlabBuf`] happens
+/// once at [`ColumnarBuilder::finish`].
 #[derive(Debug, Clone)]
 enum Repr {
     Empty,
-    Dense(DenseColumns),
-    Csr(CsrColumns),
+    Dense {
+        dims: usize,
+        labels: Vec<f64>,
+        values: Vec<f64>,
+    },
+    Csr {
+        dim: usize,
+        labels: Vec<f64>,
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    },
 }
 
 impl Default for ColumnarBuilder {
@@ -205,11 +468,11 @@ impl ColumnarBuilder {
     /// A builder pre-sized for `rows` rows of `dims` dense features.
     pub fn with_dense_capacity(rows: usize, dims: usize) -> Self {
         Self {
-            repr: Repr::Dense(DenseColumns {
+            repr: Repr::Dense {
                 dims,
                 labels: Vec::with_capacity(rows),
                 values: Vec::with_capacity(rows * dims),
-            }),
+            },
         }
     }
 
@@ -217,8 +480,7 @@ impl ColumnarBuilder {
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Empty => 0,
-            Repr::Dense(d) => d.labels.len(),
-            Repr::Csr(c) => c.labels.len(),
+            Repr::Dense { labels, .. } | Repr::Csr { labels, .. } => labels.len(),
         }
     }
 
@@ -227,33 +489,56 @@ impl ColumnarBuilder {
         self.len() == 0
     }
 
+    /// Approximate in-memory footprint of the rows pushed so far, in the
+    /// same accounting as [`ColumnStore::approx_bytes`]. This is what a
+    /// spilling ingester budgets against.
+    pub fn approx_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Empty => 0,
+            Repr::Dense { labels, values, .. } => (8 * labels.len() + 8 * values.len()) as u64,
+            Repr::Csr {
+                labels, indices, ..
+            } => (8 * labels.len() + 12 * indices.len()) as u64,
+        }
+    }
+
     /// Append a dense row.
     pub fn push_dense(&mut self, label: f64, row: &[f64]) {
         match &mut self.repr {
             Repr::Empty => {
-                self.repr = Repr::Dense(DenseColumns {
+                self.repr = Repr::Dense {
                     dims: row.len(),
                     labels: vec![label],
                     values: row.to_vec(),
-                });
+                };
             }
-            Repr::Dense(d) if d.dims == row.len() => {
-                d.labels.push(label);
-                d.values.extend_from_slice(row);
+            Repr::Dense {
+                dims,
+                labels,
+                values,
+            } if *dims == row.len() => {
+                labels.push(label);
+                values.extend_from_slice(row);
             }
-            Repr::Dense(_) => {
+            Repr::Dense { .. } => {
                 // Ragged dense width: fall back to CSR.
                 self.upgrade_to_csr(row.len());
                 self.push_dense(label, row);
             }
-            Repr::Csr(c) => {
-                c.dim = c.dim.max(row.len());
-                c.labels.push(label);
+            Repr::Csr {
+                dim,
+                labels,
+                indptr,
+                indices,
+                values,
+            } => {
+                *dim = (*dim).max(row.len());
+                labels.push(label);
                 for (i, &v) in row.iter().enumerate() {
-                    c.indices.push(i as u32);
-                    c.values.push(v);
+                    indices.push(i as u32);
+                    values.push(v);
                 }
-                c.indptr.push(c.indices.len());
+                indptr.push(indices.len() as u64);
             }
         }
     }
@@ -277,21 +562,28 @@ impl ColumnarBuilder {
             return Err(LinalgError::UnsortedIndices);
         }
         let needed = indices.last().map_or(0, |&m| m as usize + 1);
-        if !matches!(self.repr, Repr::Csr(_)) {
+        if !matches!(self.repr, Repr::Csr { .. }) {
             let dims = match &self.repr {
-                Repr::Dense(d) => d.dims,
+                Repr::Dense { dims, .. } => *dims,
                 _ => 0,
             };
             self.upgrade_to_csr(dims.max(needed));
         }
-        let Repr::Csr(c) = &mut self.repr else {
+        let Repr::Csr {
+            dim,
+            labels,
+            indptr,
+            indices: all_indices,
+            values: all_values,
+        } = &mut self.repr
+        else {
             unreachable!("just upgraded to CSR");
         };
-        c.dim = c.dim.max(needed);
-        c.labels.push(label);
-        c.indices.extend_from_slice(indices);
-        c.values.extend_from_slice(values);
-        c.indptr.push(c.indices.len());
+        *dim = (*dim).max(needed);
+        labels.push(label);
+        all_indices.extend_from_slice(indices);
+        all_values.extend_from_slice(values);
+        indptr.push(all_indices.len() as u64);
         Ok(())
     }
 
@@ -312,8 +604,8 @@ impl ColumnarBuilder {
             } => {
                 self.push_sparse(view.label, indices, values)
                     .expect("a view borrows already-validated storage");
-                if let Repr::Csr(c) = &mut self.repr {
-                    c.dim = c.dim.max(dim);
+                if let Repr::Csr { dim: d, .. } = &mut self.repr {
+                    *d = (*d).max(dim);
                 }
             }
         }
@@ -324,11 +616,31 @@ impl ColumnarBuilder {
         match self.repr {
             Repr::Empty => ColumnStore::Dense(DenseColumns {
                 dims: 0,
-                labels: Vec::new(),
-                values: Vec::new(),
+                labels: SlabBuf::new(),
+                values: SlabBuf::new(),
             }),
-            Repr::Dense(d) => ColumnStore::Dense(d),
-            Repr::Csr(c) => ColumnStore::Csr(c),
+            Repr::Dense {
+                dims,
+                labels,
+                values,
+            } => ColumnStore::Dense(DenseColumns {
+                dims,
+                labels: labels.into(),
+                values: values.into(),
+            }),
+            Repr::Csr {
+                dim,
+                labels,
+                indptr,
+                indices,
+                values,
+            } => ColumnStore::Csr(CsrColumns {
+                dim,
+                labels: labels.into(),
+                indptr: indptr.into(),
+                indices: indices.into(),
+                values: values.into(),
+            }),
         }
     }
 
@@ -346,34 +658,47 @@ impl ColumnarBuilder {
     fn upgrade_to_csr(&mut self, dim: usize) {
         let repr = std::mem::replace(&mut self.repr, Repr::Empty);
         self.repr = match repr {
-            Repr::Empty => Repr::Csr(CsrColumns {
+            Repr::Empty => Repr::Csr {
                 dim,
                 labels: Vec::new(),
                 indptr: vec![0],
                 indices: Vec::new(),
                 values: Vec::new(),
-            }),
-            Repr::Dense(d) => {
-                let n = d.labels.len();
-                let mut indices = Vec::with_capacity(d.values.len());
+            },
+            Repr::Dense {
+                dims,
+                labels,
+                values,
+            } => {
+                let n = labels.len();
+                let mut indices = Vec::with_capacity(values.len());
                 let mut indptr = Vec::with_capacity(n + 1);
                 indptr.push(0);
                 for _ in 0..n {
-                    indices.extend(0..d.dims as u32);
-                    indptr.push(indices.len());
+                    indices.extend(0..dims as u32);
+                    indptr.push(indices.len() as u64);
                 }
-                Repr::Csr(CsrColumns {
-                    dim: dim.max(d.dims),
-                    labels: d.labels,
+                Repr::Csr {
+                    dim: dim.max(dims),
+                    labels,
                     indptr,
                     indices,
-                    values: d.values,
-                })
+                    values,
+                }
             }
-            Repr::Csr(mut c) => {
-                c.dim = c.dim.max(dim);
-                Repr::Csr(c)
-            }
+            Repr::Csr {
+                dim: d,
+                labels,
+                indptr,
+                indices,
+                values,
+            } => Repr::Csr {
+                dim: d.max(dim),
+                labels,
+                indptr,
+                indices,
+                values,
+            },
         };
     }
 }
@@ -502,6 +827,7 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.iter().count(), 0);
         assert!(store.view(0).is_none());
+        assert!(!store.is_mapped());
     }
 
     #[test]
@@ -517,5 +843,50 @@ mod tests {
         assert_eq!(it.len(), 2);
         let labels: Vec<f64> = store.iter().map(|v| v.label).collect();
         assert_eq!(labels, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_window_selects_the_right_rows() {
+        let mut b = ColumnarBuilder::new();
+        for i in 0..10 {
+            b.push_dense(i as f64, &[i as f64, -(i as f64)]);
+        }
+        let store = b.finish();
+        let w = store.window(3, 7);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.dims(), 2);
+        assert_eq!(w.labels(), &[3.0, 4.0, 5.0, 6.0]);
+        for (k, v) in w.iter().enumerate() {
+            assert_eq!(v.to_point(), store.view(3 + k).unwrap().to_point());
+        }
+    }
+
+    #[test]
+    fn csr_window_keeps_absolute_indptr() {
+        let mut b = ColumnarBuilder::new();
+        for i in 0..8u32 {
+            b.push_sparse(i as f64, &[i, i + 10], &[1.0, 2.0]).unwrap();
+        }
+        let store = b.finish_with_dims(20);
+        let w = store.window(2, 5);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.dims(), 20);
+        assert_eq!(w.total_nnz(), 6);
+        assert_eq!(w.approx_bytes(), 8 * 3 + 12 * 6);
+        let (_, indptr, ..) = w.as_csr().unwrap();
+        assert_eq!(indptr, &[4, 6, 8, 10]);
+        for (k, v) in w.iter().enumerate() {
+            assert_eq!(v.to_point(), store.view(2 + k).unwrap().to_point());
+        }
+    }
+
+    #[test]
+    fn empty_window_is_well_formed() {
+        let mut b = ColumnarBuilder::new();
+        b.push_sparse(1.0, &[0], &[1.0]).unwrap();
+        let store = b.finish();
+        let w = store.window(1, 1);
+        assert!(w.is_empty());
+        assert_eq!(w.total_nnz(), 0);
     }
 }

@@ -195,6 +195,54 @@ impl PartitionedDataset {
         })
     }
 
+    /// Build from columnar rows **without re-dealing them**: partitions
+    /// are contiguous row windows sharing the source storage. This is the
+    /// out-of-core ingestion path — for a memory-mapped [`ColumnStore`]
+    /// (see [`crate::slab`]) every partition borrows the same mapping
+    /// zero-copy, so a dataset larger than RAM is never duplicated into
+    /// per-partition slabs. The windowing reproduces
+    /// [`PartitionScheme::Contiguous`] dealing exactly (`ceil(n/p)`-sized
+    /// chunks, front-filled), so the result is row-for-row identical to
+    /// [`PartitionedDataset::from_columns`] with the contiguous scheme —
+    /// same views, same iteration order, same fingerprint.
+    pub fn from_mapped(
+        name: impl Into<String>,
+        rows: &ColumnStore,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        let desc = DatasetDescriptor::from_columns(name, rows);
+        Self::with_descriptor_mapped(desc, rows, spec)
+    }
+
+    /// [`PartitionedDataset::from_mapped`] with an explicit logical
+    /// descriptor.
+    pub fn with_descriptor_mapped(
+        desc: DatasetDescriptor,
+        rows: &ColumnStore,
+        spec: &ClusterSpec,
+    ) -> Result<Self, DataflowError> {
+        if rows.is_empty() {
+            return Err(DataflowError::EmptyDataset);
+        }
+        let logical_p = desc.partitions(spec) as usize;
+        let n_phys = rows.len();
+        let p_phys = logical_p
+            .clamp(1, Self::MAX_PHYSICAL_PARTITIONS)
+            .min(n_phys);
+        let chunk = n_phys.div_ceil(p_phys);
+        let partitions: Vec<Partition> = (0..p_phys)
+            .map(|i| Partition {
+                columns: rows.window((i * chunk).min(n_phys), ((i + 1) * chunk).min(n_phys)),
+            })
+            .collect();
+        Ok(Self {
+            desc,
+            partitions: partitions.into(),
+            scheme: PartitionScheme::Contiguous,
+            fingerprint: Arc::new(OnceLock::new()),
+        })
+    }
+
     /// The logical descriptor used for all cost accounting.
     pub fn descriptor(&self) -> &DatasetDescriptor {
         &self.desc
@@ -604,6 +652,36 @@ mod tests {
             PartitionedDataset::from_points("g", points(200), PartitionScheme::RoundRobin, &spec())
                 .unwrap();
         assert_ne!(a.fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn window_partitioning_matches_contiguous_dealing() {
+        // The zero-copy mapped path must agree with builder dealing in
+        // every observable: lengths, row content, and fingerprint (so the
+        // plan cache hits across the two ingestion paths).
+        let desc = || DatasetDescriptor::new("w", 10, 2, 4 * 128 * 1024 * 1024, 1.0);
+        let rows: ColumnStore = points(10).into_iter().collect();
+        let dealt = PartitionedDataset::with_descriptor(
+            desc(),
+            points(10),
+            PartitionScheme::Contiguous,
+            &spec(),
+        )
+        .unwrap();
+        let windowed = PartitionedDataset::with_descriptor_mapped(desc(), &rows, &spec()).unwrap();
+        assert_eq!(windowed.scheme(), PartitionScheme::Contiguous);
+        let lens = |ds: &PartitionedDataset| -> Vec<usize> {
+            ds.partitions().iter().map(Partition::len).collect()
+        };
+        assert_eq!(lens(&windowed), lens(&dealt));
+        assert_eq!(lens(&windowed), vec![3, 3, 3, 1]);
+        assert_eq!(windowed.to_points(), dealt.to_points());
+        assert_eq!(windowed.fingerprint(), dealt.fingerprint());
+        let in_order: Vec<f64> = windowed
+            .iter_views_input_order()
+            .map(|v| v.features.dot(&[1.0, 0.0]))
+            .collect();
+        assert_eq!(in_order, (0..10).map(|i| i as f64).collect::<Vec<_>>());
     }
 
     #[test]

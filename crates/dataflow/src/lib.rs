@@ -34,6 +34,8 @@
 //!   [`ledger::UsageMeter`] beside the modelled costs.
 //! - [`sampling`] — the three sampling strategies of Figure 4: Bernoulli,
 //!   random-partition, shuffled-partition.
+//! - [`slab`] — out-of-core columnar slab files: memory-mapped storage and
+//!   a budget-bounded spilling builder for datasets larger than RAM.
 
 pub mod backend;
 pub mod cluster;
@@ -43,6 +45,7 @@ pub mod descriptor;
 pub mod env;
 pub mod ledger;
 pub mod sampling;
+pub mod slab;
 
 pub use backend::{Backend, ClusterTopology};
 pub use cluster::{ClusterSpec, StorageMedium};
@@ -53,6 +56,7 @@ pub use env::SimEnv;
 pub use ledger::{CostBreakdown, CostLedger, UsageMeter};
 pub use ml4all_runtime::{derive_seed, CancelToken, Runtime, RNG_STREAM_VERSION};
 pub use sampling::{SamplerState, SamplingMethod};
+pub use slab::{open_slab, write_slab, MappedSlab, SlabError, SpillingBuilder};
 
 /// Errors surfaced by the dataflow substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -59,8 +59,10 @@ impl std::fmt::Display for SamplingMethod {
     }
 }
 
-/// Cursor into the currently-shuffled partition. The `order` permutation
-/// buffer is reused across reshuffles.
+/// Cursor into the currently-shuffled partition. `order[..pos]` holds the
+/// units served so far (in served order); `order[pos..]` the not-yet-served
+/// remainder, permuted lazily by one forward Fisher–Yates step per serve.
+/// The buffer is reused across reshuffles.
 #[derive(Debug, Clone)]
 struct ShuffleCursor {
     partition: usize,
@@ -261,8 +263,12 @@ impl SamplerState {
             };
             if need_shuffle {
                 // Physical reshuffle (cost already amortized above): pick a
-                // fresh partition, Fisher–Yates its rows into the reused
-                // permutation buffer.
+                // fresh partition and reset the cursor to the identity
+                // order. The permutation itself is produced *incrementally*
+                // below — one forward Fisher–Yates step per served unit —
+                // so a reshuffle costs O(partition) cheap sequential writes
+                // and zero RNG draws, and a draw of `m` units costs exactly
+                // `m` `gen_range` calls however large the partition is.
                 let pi = rng.gen_range(0..data.num_partitions());
                 let part = data.partition(pi)?;
                 let cursor = self.cursor.get_or_insert_with(|| ShuffleCursor {
@@ -274,14 +280,17 @@ impl SamplerState {
                 cursor.pos = 0;
                 cursor.order.clear();
                 cursor.order.extend(0..part.len() as u32);
-                for i in (1..cursor.order.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    cursor.order.swap(i, j);
-                }
                 self.shuffles += 1;
             }
             let cursor = self.cursor.as_mut().expect("cursor just ensured");
             while out.len() < m && cursor.pos < cursor.order.len() {
+                // Forward Fisher–Yates step: every not-yet-served unit is
+                // equally likely to be served next, so a full epoch walks a
+                // uniformly random permutation — exactly the distribution
+                // of the old upfront shuffle (RNG stream v3; the upfront
+                // variant was v2).
+                let j = rng.gen_range(cursor.pos..cursor.order.len());
+                cursor.order.swap(cursor.pos, j);
                 out.push((cursor.partition, cursor.order[cursor.pos] as usize));
                 cursor.pos += 1;
             }

@@ -313,12 +313,17 @@ impl SharedResolver {
         scheme: PartitionScheme,
     ) -> Result<PartitionedDataset, SourceError> {
         let rows = read_data_file(&self.data_dir, path, format, columns, dims_hint)?;
-        Ok(PartitionedDataset::from_columns(
-            path.display().to_string(),
-            &rows,
-            scheme,
-            &self.cluster,
-        )?)
+        let name = path.display().to_string();
+        // An over-budget file (see `source::MEMORY_BUDGET_ENV`) comes back
+        // memory-mapped: partition it into zero-copy contiguous windows
+        // instead of re-dealing, which would copy it onto the heap. Mapped
+        // datasets are therefore always contiguous — identical to the
+        // predict scheme, and row-order-preserving either way.
+        Ok(if rows.is_mapped() {
+            PartitionedDataset::from_mapped(name, &rows, &self.cluster)?
+        } else {
+            PartitionedDataset::from_columns(name, &rows, scheme, &self.cluster)?
+        })
     }
 }
 

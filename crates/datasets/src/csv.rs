@@ -21,14 +21,16 @@ pub struct CsvColumns {
     pub features: (u32, u32),
 }
 
-/// Read CSV rows (`v1,v2,…`, all numeric) straight into contiguous
-/// columnar storage: each parsed row is appended to the dense slab from a
-/// reusable field buffer — no per-row point allocation.
-pub fn read_csv_columns<R: Read>(
+/// Stream CSV rows (`v1,v2,…`, all numeric) into a row sink: each parsed
+/// `(label, features)` row is handed to `sink` from a reusable field
+/// buffer — no per-row allocation, and nothing beyond the current row is
+/// held in memory. This is the primitive both the in-memory reader and
+/// the out-of-core spilling ingester are built on.
+pub fn for_each_csv_row<R: Read>(
     reader: R,
     columns: Option<CsvColumns>,
-) -> Result<ColumnStore, DatasetError> {
-    let mut b = ColumnarBuilder::new();
+    mut sink: impl FnMut(f64, &[f64]) -> Result<(), DatasetError>,
+) -> Result<(), DatasetError> {
     let mut buf = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
@@ -59,7 +61,7 @@ pub fn read_csv_columns<R: Read>(
                         reason: "need a label and at least one feature".into(),
                     });
                 }
-                b.push_dense(fields[0], &fields[1..]);
+                sink(fields[0], &fields[1..])?;
             }
             Some(cols) => {
                 let label_ix = cols.label as usize;
@@ -80,10 +82,24 @@ pub fn read_csv_columns<R: Read>(
                         ),
                     });
                 }
-                b.push_dense(fields[label_ix - 1], &fields[from - 1..to]);
+                sink(fields[label_ix - 1], &fields[from - 1..to])?;
             }
         }
     }
+    Ok(())
+}
+
+/// Read CSV rows straight into contiguous columnar storage: each parsed
+/// row is appended to the dense slab via [`for_each_csv_row`].
+pub fn read_csv_columns<R: Read>(
+    reader: R,
+    columns: Option<CsvColumns>,
+) -> Result<ColumnStore, DatasetError> {
+    let mut b = ColumnarBuilder::new();
+    for_each_csv_row(reader, columns, |label, features| {
+        b.push_dense(label, features);
+        Ok(())
+    })?;
     Ok(b.finish())
 }
 

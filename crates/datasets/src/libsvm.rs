@@ -67,16 +67,16 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<(f64, Vec<u32>, Vec<f64>
     Ok((label, indices, values))
 }
 
-/// Read LIBSVM data from any reader straight into CSR columnar storage:
-/// rows append to the shared `indptr`/`indices`/`values` slabs from
-/// reusable parse buffers. When `dims` is `None` the dimensionality is
-/// inferred as the maximum index seen (an explicit `dims` never shrinks
-/// below the observed maximum).
-pub fn read_libsvm_columns<R: Read>(
+/// Stream LIBSVM rows into a row sink: each parsed
+/// `(label, indices, values)` row (0-based, strictly increasing indices)
+/// is handed to `sink` from reusable parse buffers — no per-row
+/// allocation, nothing beyond the current row in memory. This is the
+/// primitive both the in-memory reader and the out-of-core spilling
+/// ingester are built on.
+pub fn for_each_libsvm_row<R: Read>(
     reader: R,
-    dims: Option<usize>,
-) -> Result<ColumnStore, DatasetError> {
-    let mut b = ColumnarBuilder::new();
+    mut sink: impl FnMut(usize, f64, &[u32], &[f64]) -> Result<(), DatasetError>,
+) -> Result<(), DatasetError> {
     let mut buf = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
@@ -93,12 +93,28 @@ pub fn read_libsvm_columns<R: Read>(
             continue;
         }
         let label = parse_line_into(trimmed, line_no, &mut indices, &mut values)?;
-        b.push_sparse(label, &indices, &values)
+        sink(line_no, label, &indices, &values)?;
+    }
+    Ok(())
+}
+
+/// Read LIBSVM data from any reader straight into CSR columnar storage:
+/// rows append to the shared `indptr`/`indices`/`values` slabs via
+/// [`for_each_libsvm_row`]. When `dims` is `None` the dimensionality is
+/// inferred as the maximum index seen (an explicit `dims` never shrinks
+/// below the observed maximum).
+pub fn read_libsvm_columns<R: Read>(
+    reader: R,
+    dims: Option<usize>,
+) -> Result<ColumnStore, DatasetError> {
+    let mut b = ColumnarBuilder::new();
+    for_each_libsvm_row(reader, |line_no, label, indices, values| {
+        b.push_sparse(label, indices, values)
             .map_err(|e| DatasetError::Parse {
                 line_no,
                 reason: e.to_string(),
-            })?;
-    }
+            })
+    })?;
     Ok(b.finish_with_dims(dims.unwrap_or(0)))
 }
 

@@ -10,12 +10,20 @@ use std::collections::HashMap;
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
+use ml4all_dataflow::slab::{fresh_spill_dir, SlabError, SpillingBuilder};
 use ml4all_dataflow::{ClusterSpec, ColumnStore, PartitionScheme, PartitionedDataset};
 use ml4all_linalg::LabeledPoint;
 
-use crate::csv::{read_csv_file_columns, CsvColumns};
-use crate::libsvm::read_libsvm_file_columns;
+use crate::csv::{for_each_csv_row, read_csv_file_columns, CsvColumns};
+use crate::libsvm::{for_each_libsvm_row, read_libsvm_file_columns};
 use crate::{registry, DatasetError};
+
+/// Environment variable bounding ingestion memory: when a data file is
+/// larger than this many bytes (suffixes `k`/`m`/`g` accepted), it is
+/// streamed through a spilling builder into a memory-mapped slab instead
+/// of being materialized on the heap. Unset (the default) means
+/// everything loads in memory.
+pub const MEMORY_BUDGET_ENV: &str = "ML4ALL_MEMORY_BUDGET";
 
 /// On-disk file format of a [`DataSource::File`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -205,14 +213,22 @@ impl SourceResolver<'_> {
                 columns,
             } => {
                 // Loaders hand back contiguous columnar rows; partitioning
-                // deals them without materializing any point.
+                // deals them without materializing any point. An over-budget
+                // file comes back memory-mapped and is partitioned into
+                // zero-copy contiguous windows instead of re-dealt (dealing
+                // would copy the whole dataset onto the heap).
                 let rows = self.read_file(path, *format, *columns, None)?;
-                Ok(PartitionedDataset::from_columns(
-                    path.display().to_string(),
-                    &rows,
-                    PartitionScheme::RoundRobin,
-                    self.cluster,
-                )?)
+                let name = path.display().to_string();
+                Ok(if rows.is_mapped() {
+                    PartitionedDataset::from_mapped(name, &rows, self.cluster)?
+                } else {
+                    PartitionedDataset::from_columns(
+                        name,
+                        &rows,
+                        PartitionScheme::RoundRobin,
+                        self.cluster,
+                    )?
+                })
             }
             DataSource::Named { name, columns } => {
                 self.resolve(&self.classify_named(name, *columns)?)
@@ -287,17 +303,68 @@ impl SourceResolver<'_> {
     }
 }
 
+/// Parse a memory-budget string: raw bytes, or a number with a
+/// case-insensitive `k`/`m`/`g` suffix (`"512m"` → 512 MiB). Returns
+/// `None` for anything unparseable.
+pub fn parse_memory_budget(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(|v| v.saturating_mul(mult))
+}
+
+/// The ingestion memory budget configured via [`MEMORY_BUDGET_ENV`], if
+/// any.
+pub fn memory_budget_from_env() -> Option<u64> {
+    std::env::var(MEMORY_BUDGET_ENV)
+        .ok()
+        .and_then(|v| parse_memory_budget(&v))
+}
+
 /// Read a data file into columnar rows: sniff the format when `Auto`, then
 /// parse CSV (with optional column selection) or LIBSVM (with optional
 /// dimensionality hint, padding sparse rows to a model width). The single
 /// file-ingestion routine shared by [`SourceResolver`] and the concurrent
-/// [`crate::catalog::SharedResolver`].
+/// [`crate::catalog::SharedResolver`]; honours [`MEMORY_BUDGET_ENV`].
 pub fn read_data_file(
     data_dir: &Path,
     path: &Path,
     format: FileFormat,
     columns: Option<CsvColumns>,
     dims_hint: Option<usize>,
+) -> Result<ColumnStore, SourceError> {
+    read_data_file_with_budget(
+        data_dir,
+        path,
+        format,
+        columns,
+        dims_hint,
+        memory_budget_from_env(),
+    )
+}
+
+/// [`read_data_file`] with an explicit memory budget. A file whose on-disk
+/// size exceeds `budget` bytes is streamed row-by-row through a
+/// [`SpillingBuilder`] and comes back as a memory-mapped [`ColumnStore`]
+/// ([`ColumnStore::is_mapped`] is `true`); peak heap usage stays bounded
+/// by the budget however large the file. Under-budget files (or
+/// `budget: None`) load in memory exactly as before. The two paths
+/// produce bit-identical rows in identical order.
+pub fn read_data_file_with_budget(
+    data_dir: &Path,
+    path: &Path,
+    format: FileFormat,
+    columns: Option<CsvColumns>,
+    dims_hint: Option<usize>,
+    budget: Option<u64>,
 ) -> Result<ColumnStore, SourceError> {
     let path = data_dir.join(path);
     let format = match format {
@@ -310,10 +377,52 @@ pub fn read_data_file(
         }
         other => other,
     };
+    if let Some(budget) = budget {
+        let file_len = std::fs::metadata(&path).map_err(DatasetError::Io)?.len();
+        if file_len > budget {
+            return read_spilled(&path, format, columns, dims_hint, budget);
+        }
+    }
     match format {
         FileFormat::LibSvm => Ok(read_libsvm_file_columns(&path, dims_hint)?),
         _ => Ok(read_csv_file_columns(&path, columns)?),
     }
+}
+
+/// Carry a slab failure across the [`DatasetError`] boundary (its row
+/// variant is handled separately, where a line number is known).
+fn slab_err(e: SlabError) -> DatasetError {
+    match e {
+        SlabError::Io(io) => DatasetError::Io(io),
+        other => DatasetError::Io(std::io::Error::other(other.to_string())),
+    }
+}
+
+/// Stream a file through a [`SpillingBuilder`] into a memory-mapped slab.
+fn read_spilled(
+    path: &Path,
+    format: FileFormat,
+    columns: Option<CsvColumns>,
+    dims_hint: Option<usize>,
+    budget: u64,
+) -> Result<ColumnStore, SourceError> {
+    let mut sb = SpillingBuilder::new(fresh_spill_dir(), budget).map_err(slab_err)?;
+    let file = std::fs::File::open(path).map_err(DatasetError::Io)?;
+    match format {
+        FileFormat::LibSvm => for_each_libsvm_row(file, |line_no, label, indices, values| {
+            sb.push_sparse(label, indices, values).map_err(|e| match e {
+                SlabError::Row(le) => DatasetError::Parse {
+                    line_no,
+                    reason: le.to_string(),
+                },
+                other => slab_err(other),
+            })
+        })?,
+        _ => for_each_csv_row(file, columns, |label, features| {
+            sb.push_dense(label, features).map_err(slab_err)
+        })?,
+    }
+    Ok(sb.finish(dims_hint.unwrap_or(0)).map_err(slab_err)?)
 }
 
 /// Sniff the file format: a LIBSVM line has `idx:val` tokens; CSV does not.
@@ -471,6 +580,108 @@ mod tests {
             r.resolve(&DataSource::registry("mnist")).unwrap_err(),
             SourceError::UnknownRegistry(_)
         ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn memory_budget_parses_bytes_and_suffixes() {
+        assert_eq!(parse_memory_budget("4096"), Some(4096));
+        assert_eq!(parse_memory_budget("2k"), Some(2048));
+        assert_eq!(parse_memory_budget(" 3M "), Some(3 << 20));
+        assert_eq!(parse_memory_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_memory_budget("1G"), Some(1 << 30));
+        assert_eq!(parse_memory_budget(""), None);
+        assert_eq!(parse_memory_budget("lots"), None);
+        assert_eq!(parse_memory_budget("-1"), None);
+    }
+
+    #[test]
+    fn over_budget_files_come_back_mapped_with_identical_rows() {
+        let dir = tmp_dir("budget-read");
+        let pts = points(400);
+        crate::csv::write_csv(std::fs::File::create(dir.join("big.csv")).unwrap(), &pts).unwrap();
+        crate::libsvm::write_libsvm(std::fs::File::create(dir.join("big.libsvm")).unwrap(), &pts)
+            .unwrap();
+        for (file, dims_hint) in [("big.csv", None), ("big.libsvm", Some(3))] {
+            let in_mem = read_data_file_with_budget(
+                &dir,
+                Path::new(file),
+                FileFormat::Auto,
+                None,
+                dims_hint,
+                None,
+            )
+            .unwrap();
+            let mapped = read_data_file_with_budget(
+                &dir,
+                Path::new(file),
+                FileFormat::Auto,
+                None,
+                dims_hint,
+                Some(1024),
+            )
+            .unwrap();
+            assert!(!in_mem.is_mapped(), "{file}");
+            assert!(mapped.is_mapped(), "{file}");
+            assert_eq!(mapped.dims(), in_mem.dims(), "{file}");
+            assert_eq!(mapped.to_points(), in_mem.to_points(), "{file}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn under_budget_files_stay_in_memory() {
+        let dir = tmp_dir("budget-small");
+        crate::csv::write_csv(
+            std::fs::File::create(dir.join("small.csv")).unwrap(),
+            &points(10),
+        )
+        .unwrap();
+        let rows = read_data_file_with_budget(
+            &dir,
+            Path::new("small.csv"),
+            FileFormat::Auto,
+            None,
+            None,
+            Some(1 << 30),
+        )
+        .unwrap();
+        assert!(!rows.is_mapped());
+        assert_eq!(rows.len(), 10);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn budget_env_resolves_files_into_mapped_window_partitions() {
+        let cluster = ClusterSpec::paper_testbed();
+        let dir = tmp_dir("budget-resolve");
+        crate::csv::write_csv(
+            std::fs::File::create(dir.join("big.csv")).unwrap(),
+            &points(300),
+        )
+        .unwrap();
+        let catalog = HashMap::new();
+        let r = resolver(&dir, &catalog, &cluster);
+        std::env::set_var(MEMORY_BUDGET_ENV, "1k");
+        let resolved = r.resolve(&DataSource::named("big.csv"));
+        std::env::remove_var(MEMORY_BUDGET_ENV);
+        let mapped = resolved.unwrap();
+        assert!(mapped.partitions().iter().all(|p| p.columns().is_mapped()));
+        assert_eq!(mapped.scheme(), PartitionScheme::Contiguous);
+        // Row-for-row identical (content and fingerprint) to an owned
+        // contiguously-partitioned dataset over the same file.
+        let rows =
+            read_data_file(&dir, Path::new("big.csv"), FileFormat::Auto, None, None).unwrap();
+        assert!(!rows.is_mapped());
+        let owned = PartitionedDataset::from_columns(
+            "big.csv",
+            &rows,
+            PartitionScheme::Contiguous,
+            &cluster,
+        )
+        .unwrap();
+        assert_eq!(mapped.to_points(), owned.to_points());
+        assert_eq!(mapped.fingerprint(), owned.fingerprint());
         let _ = std::fs::remove_dir_all(dir);
     }
 

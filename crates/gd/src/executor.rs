@@ -9,9 +9,13 @@ use ml4all_dataflow::{
     CancelToken, ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState,
     SimEnv, StorageMedium, UsageMeter, RNG_STREAM_VERSION,
 };
-use ml4all_linalg::{DenseVector, LabeledPoint, PointView};
+use ml4all_linalg::{DenseVector, FeatureView, LabeledPoint, PointView};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Placeholder for initializing fixed-size view batches before they are
+/// filled from sampled coordinates.
+const EMPTY_FEATURES: FeatureView<'static> = FeatureView::Dense(&[]);
 
 use crate::context::Context;
 use crate::gradient::{GradientKind, Regularizer};
@@ -291,8 +295,12 @@ fn check_transformed_dims(unit_dims: usize, dims: usize) -> Result<(), GdError> 
 }
 
 /// Run the compute operator over every row of a columnar partition,
-/// feeding quads through [`ComputeOp::compute4`] so dense gradients
-/// overlap their dot products (bit-identical to the one-by-one loop).
+/// feeding 8-row batches through [`ComputeOp::compute8`] (the SIMD batch
+/// width of the dense gradient kernels), a final quad through
+/// [`ComputeOp::compute4`], and the remainder one by one. The batch
+/// boundaries depend only on the partition's row count, so the pass is
+/// deterministic and worker-count-independent; batched dense rows are
+/// scored in the fixed blocked order (see [`crate::gradient`]).
 fn compute_over_columns(
     cols: &ColumnStore,
     ops: &GdOperators,
@@ -301,13 +309,28 @@ fn compute_over_columns(
 ) {
     let n = cols.len();
     let mut oi = 0usize;
-    while oi + 4 <= n {
-        let views = [
-            cols.view(oi).expect("row in range"),
-            cols.view(oi + 1).expect("row in range"),
-            cols.view(oi + 2).expect("row in range"),
-            cols.view(oi + 3).expect("row in range"),
-        ];
+    // Dense slabs build the batch views straight off the raw columns —
+    // one enum match per partition instead of one per row.
+    if let Some((labels, values, dims)) = cols.as_dense() {
+        while oi + 8 <= n {
+            let views = std::array::from_fn(|k| {
+                let i = oi + k;
+                PointView::new(
+                    labels[i],
+                    FeatureView::Dense(&values[i * dims..(i + 1) * dims]),
+                )
+            });
+            ops.compute.compute8(views, ctx, acc);
+            oi += 8;
+        }
+    }
+    while oi + 8 <= n {
+        let views = std::array::from_fn(|k| cols.view(oi + k).expect("row in range"));
+        ops.compute.compute8(views, ctx, acc);
+        oi += 8;
+    }
+    if oi + 4 <= n {
+        let views = std::array::from_fn(|k| cols.view(oi + k).expect("row in range"));
         ops.compute.compute4(views, ctx, acc);
         oi += 4;
     }
@@ -531,17 +554,28 @@ pub fn execute_with_operators_observed(
                         ops.compute.compute(t.view(), &ctx, &mut acc);
                     }
                 } else {
-                    let mut chunks = coords.chunks_exact(4);
-                    for quad in chunks.by_ref() {
-                        let views = [
-                            lookup(quad[0].0, quad[0].1)?,
-                            lookup(quad[1].0, quad[1].1)?,
-                            lookup(quad[2].0, quad[2].1)?,
-                            lookup(quad[3].0, quad[3].1)?,
-                        ];
+                    // Fused sampler→gradient pass: the freshly drawn
+                    // coordinates feed straight into batched gradient
+                    // accumulation — 8-row SIMD batches, one quad, then
+                    // singles — with no intermediate materialization.
+                    let mut octets = coords.chunks_exact(8);
+                    for oct in octets.by_ref() {
+                        let mut views = [PointView::new(0.0, EMPTY_FEATURES); 8];
+                        for (v, &(pi, oi)) in views.iter_mut().zip(oct) {
+                            *v = lookup(pi, oi)?;
+                        }
+                        ops.compute.compute8(views, &ctx, &mut acc);
+                    }
+                    let rest = octets.remainder();
+                    let mut quads = rest.chunks_exact(4);
+                    for quad in quads.by_ref() {
+                        let mut views = [PointView::new(0.0, EMPTY_FEATURES); 4];
+                        for (v, &(pi, oi)) in views.iter_mut().zip(quad) {
+                            *v = lookup(pi, oi)?;
+                        }
                         ops.compute.compute4(views, &ctx, &mut acc);
                     }
-                    for &(pi, oi) in chunks.remainder() {
+                    for &(pi, oi) in quads.remainder() {
                         ops.compute.compute(lookup(pi, oi)?, &ctx, &mut acc);
                     }
                 }

@@ -31,15 +31,95 @@ pub trait Gradient: Send + Sync {
         self.loss_view(w, point)
     }
 
-    /// Accumulate four points in order — semantically identical to four
-    /// [`Gradient::accumulate_view`] calls (bit-identical results), but
-    /// batched so dense implementations can overlap the four independent
-    /// `w·x` dot products in the CPU pipeline instead of serializing on
-    /// each sum's latency chain.
+    /// Accumulate four points in order. The default performs exactly four
+    /// [`Gradient::accumulate_view`] calls; batched implementations may
+    /// instead score all four dense rows with the fixed blocked reduction
+    /// order of [`ml4all_linalg::simd::dot_blocked`] — deterministic and
+    /// ISA-independent, but rounded differently from the sequential
+    /// single-row dot. Everything after scoring runs in row order.
     fn accumulate_view4(&self, w: &[f64], points: [PointView<'_>; 4], acc: &mut [f64]) {
         for p in points {
             self.accumulate_view(w, p, acc);
         }
+    }
+
+    /// Accumulate eight points in order — the wider sibling of
+    /// [`Gradient::accumulate_view4`], sized for 2×4-lane SIMD
+    /// accumulators, with the same scoring-order caveat.
+    fn accumulate_view8(&self, w: &[f64], points: [PointView<'_>; 8], acc: &mut [f64]) {
+        let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+        self.accumulate_view4(w, [p0, p1, p2, p3], acc);
+        self.accumulate_view4(w, [p4, p5, p6, p7], acc);
+    }
+
+    /// Sum four point losses into `loss_acc` in order. The accumulator is
+    /// threaded through (rather than returning a batch total) so the
+    /// batched path adds each loss to the running sum in exactly the
+    /// sequential order; per-row scores may use the batched dense order
+    /// (see [`Gradient::accumulate_view4`]).
+    fn loss_view4(&self, w: &[f64], points: [PointView<'_>; 4], loss_acc: &mut f64) {
+        for p in points {
+            *loss_acc += self.loss_view(w, p);
+        }
+    }
+
+    /// Eight-point sibling of [`Gradient::loss_view4`].
+    fn loss_view8(&self, w: &[f64], points: [PointView<'_>; 8], loss_acc: &mut f64) {
+        let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+        self.loss_view4(w, [p0, p1, p2, p3], loss_acc);
+        self.loss_view4(w, [p4, p5, p6, p7], loss_acc);
+    }
+
+    /// Fused batched gradient + objective pass over four points: the
+    /// batched analogue of `for p in points { *loss_acc +=
+    /// self.accumulate_with_loss(w, p, acc) }`, where implementations can
+    /// share one batched `w·x` pass between both outputs.
+    fn accumulate_with_loss4(
+        &self,
+        w: &[f64],
+        points: [PointView<'_>; 4],
+        acc: &mut [f64],
+        loss_acc: &mut f64,
+    ) {
+        for p in points {
+            *loss_acc += self.accumulate_with_loss(w, p, acc);
+        }
+    }
+
+    /// Eight-point sibling of [`Gradient::accumulate_with_loss4`].
+    fn accumulate_with_loss8(
+        &self,
+        w: &[f64],
+        points: [PointView<'_>; 8],
+        acc: &mut [f64],
+        loss_acc: &mut f64,
+    ) {
+        let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+        self.accumulate_with_loss4(w, [p0, p1, p2, p3], acc, loss_acc);
+        self.accumulate_with_loss4(w, [p4, p5, p6, p7], acc, loss_acc);
+    }
+
+    /// Predict labels for four points at once — four
+    /// [`Gradient::predict_view`] calls, except that batched dense scoring
+    /// may round raw regression scores differently (classification signs
+    /// are unaffected for any non-degenerate margin).
+    fn predict_view4(&self, w: &[f64], points: [PointView<'_>; 4]) -> [f64; 4] {
+        let [p0, p1, p2, p3] = points;
+        [
+            self.predict_view(w, p0),
+            self.predict_view(w, p1),
+            self.predict_view(w, p2),
+            self.predict_view(w, p3),
+        ]
+    }
+
+    /// Predict labels for eight points at once — the wider sibling of
+    /// [`Gradient::predict_view4`].
+    fn predict_view8(&self, w: &[f64], points: [PointView<'_>; 8]) -> [f64; 8] {
+        let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+        let lo = self.predict_view4(w, [p0, p1, p2, p3]);
+        let hi = self.predict_view4(w, [p4, p5, p6, p7]);
+        [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
     }
 
     /// Owned-point convenience for [`Gradient::accumulate_view`].
@@ -121,6 +201,90 @@ impl GradientKind {
         }
     }
 
+    /// Batched `w·x` for four rows when a uniform batched kernel applies:
+    /// all-dense rows of matching length go through the runtime-dispatched
+    /// [`ml4all_linalg::simd::dot4`], all-sparse rows of matching
+    /// dimensionality through the lockstep
+    /// [`ml4all_linalg::simd::sparse_dot4`]. `None` means the caller must
+    /// fall back to per-point processing (mixed storage or shape
+    /// mismatch). Dense lanes follow the fixed blocked reduction order of
+    /// [`ml4all_linalg::simd::dot_blocked`] — identical across ISAs, but
+    /// not the sequential single-row order; sparse lanes stay bit-identical
+    /// to the sequential [`ml4all_linalg::FeatureView::dot`].
+    #[inline]
+    fn scores4(w: &[f64], feats: [ml4all_linalg::FeatureView<'_>; 4]) -> Option<[f64; 4]> {
+        use ml4all_linalg::{simd, FeatureView};
+        match feats {
+            [FeatureView::Dense(r0), FeatureView::Dense(r1), FeatureView::Dense(r2), FeatureView::Dense(r3)] =>
+            {
+                let n = w.len();
+                (r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n)
+                    // Equal-length re-slices let the compiler elide bounds
+                    // checks inside the fused loop.
+                    .then(|| simd::dot4([&r0[..n], &r1[..n], &r2[..n], &r3[..n]], w))
+            }
+            [FeatureView::Sparse {
+                dim: d0,
+                indices: i0,
+                values: v0,
+            }, FeatureView::Sparse {
+                dim: d1,
+                indices: i1,
+                values: v1,
+            }, FeatureView::Sparse {
+                dim: d2,
+                indices: i2,
+                values: v2,
+            }, FeatureView::Sparse {
+                dim: d3,
+                indices: i3,
+                values: v3,
+            }] => {
+                let n = w.len();
+                (d0 == n && d1 == n && d2 == n && d3 == n)
+                    .then(|| simd::sparse_dot4([i0, i1, i2, i3], [v0, v1, v2, v3], w))
+            }
+            _ => None,
+        }
+    }
+
+    /// Eight-row sibling of [`GradientKind::scores4`]: all-dense batches
+    /// use the 2×4-lane [`ml4all_linalg::simd::dot8`] (one pass over `w`
+    /// for all eight rows); anything else composes two four-row batches.
+    #[inline]
+    fn scores8(w: &[f64], feats: [ml4all_linalg::FeatureView<'_>; 8]) -> Option<[f64; 8]> {
+        use ml4all_linalg::{simd, FeatureView};
+        let n = w.len();
+        if feats
+            .iter()
+            .all(|f| matches!(f, FeatureView::Dense(r) if r.len() == n))
+        {
+            let rows: [&[f64]; 8] = std::array::from_fn(|k| match feats[k] {
+                FeatureView::Dense(r) => &r[..n],
+                FeatureView::Sparse { .. } => unreachable!("checked all-dense"),
+            });
+            return Some(simd::dot8(rows, w));
+        }
+        let lo = Self::scores4(w, [feats[0], feats[1], feats[2], feats[3]])?;
+        let hi = Self::scores4(w, [feats[4], feats[5], feats[6], feats[7]])?;
+        Some([lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]])
+    }
+
+    /// Predicted label given the precomputed score `w·x`: the score's sign
+    /// for classification, the raw score for regression.
+    #[inline]
+    fn score_to_prediction(&self, score: f64) -> f64 {
+        if self.is_classification() {
+            if score >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        } else {
+            score
+        }
+    }
+
     /// Loss given the precomputed score `w·x`.
     #[inline]
     fn loss_scored(&self, score: f64, label: f64) -> f64 {
@@ -161,54 +325,137 @@ impl Gradient for GradientKind {
         self.loss_scored(score, point.label)
     }
 
-    /// Four dense rows share one pass over `w`: the four dot-product
-    /// accumulators are independent, so the loop sustains ~4× the
-    /// instruction-level parallelism of one latency-bound sum. Each score
-    /// is still the exact left-to-right sum [`ml4all_linalg::dense::dot`]
-    /// computes, so results are bit-identical to the unbatched path.
+    /// Four rows share one batched scoring pass (runtime-dispatched SIMD
+    /// for dense, lockstep ILP for CSR); the per-row post-score logic runs
+    /// scalar in row order. Dense scores use the fixed blocked reduction
+    /// order, so the batch is deterministic but rounds differently from
+    /// four unbatched calls.
     fn accumulate_view4(&self, w: &[f64], points: [PointView<'_>; 4], acc: &mut [f64]) {
-        use ml4all_linalg::FeatureView;
-        if let [FeatureView::Dense(r0), FeatureView::Dense(r1), FeatureView::Dense(r2), FeatureView::Dense(r3)] = [
-            points[0].features,
-            points[1].features,
-            points[2].features,
-            points[3].features,
-        ] {
-            let n = w.len();
-            if r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n {
-                // Equal-length re-slices let the compiler elide the bounds
-                // checks inside the fused loop.
-                let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for (j, &wj) in w.iter().enumerate() {
-                    s0 += r0[j] * wj;
-                    s1 += r1[j] * wj;
-                    s2 += r2[j] * wj;
-                    s3 += r3[j] * wj;
+        match Self::scores4(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..4 {
+                    self.accumulate_scored(s[k], points[k], acc);
                 }
-                self.accumulate_scored(s0, points[0], acc);
-                self.accumulate_scored(s1, points[1], acc);
-                self.accumulate_scored(s2, points[2], acc);
-                self.accumulate_scored(s3, points[3], acc);
-                return;
+            }
+            None => {
+                for p in points {
+                    self.accumulate_view(w, p, acc);
+                }
             }
         }
-        for p in points {
-            self.accumulate_view(w, p, acc);
+    }
+
+    /// Eight rows per batched scoring pass — the SIMD sweet spot for the
+    /// dense kernels (two 4-lane accumulators hide the add latency).
+    fn accumulate_view8(&self, w: &[f64], points: [PointView<'_>; 8], acc: &mut [f64]) {
+        match Self::scores8(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..8 {
+                    self.accumulate_scored(s[k], points[k], acc);
+                }
+            }
+            None => {
+                let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+                self.accumulate_view4(w, [p0, p1, p2, p3], acc);
+                self.accumulate_view4(w, [p4, p5, p6, p7], acc);
+            }
+        }
+    }
+
+    fn loss_view4(&self, w: &[f64], points: [PointView<'_>; 4], loss_acc: &mut f64) {
+        match Self::scores4(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..4 {
+                    *loss_acc += self.loss_scored(s[k], points[k].label);
+                }
+            }
+            None => {
+                for p in points {
+                    *loss_acc += self.loss_view(w, p);
+                }
+            }
+        }
+    }
+
+    fn loss_view8(&self, w: &[f64], points: [PointView<'_>; 8], loss_acc: &mut f64) {
+        match Self::scores8(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..8 {
+                    *loss_acc += self.loss_scored(s[k], points[k].label);
+                }
+            }
+            None => {
+                let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+                self.loss_view4(w, [p0, p1, p2, p3], loss_acc);
+                self.loss_view4(w, [p4, p5, p6, p7], loss_acc);
+            }
+        }
+    }
+
+    /// One batched `w·x` pass feeds both the gradient and the loss for
+    /// four rows.
+    fn accumulate_with_loss4(
+        &self,
+        w: &[f64],
+        points: [PointView<'_>; 4],
+        acc: &mut [f64],
+        loss_acc: &mut f64,
+    ) {
+        match Self::scores4(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..4 {
+                    self.accumulate_scored(s[k], points[k], acc);
+                    *loss_acc += self.loss_scored(s[k], points[k].label);
+                }
+            }
+            None => {
+                for p in points {
+                    *loss_acc += self.accumulate_with_loss(w, p, acc);
+                }
+            }
+        }
+    }
+
+    /// One batched `w·x` pass feeds both the gradient and the loss for
+    /// eight rows.
+    fn accumulate_with_loss8(
+        &self,
+        w: &[f64],
+        points: [PointView<'_>; 8],
+        acc: &mut [f64],
+        loss_acc: &mut f64,
+    ) {
+        match Self::scores8(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => {
+                for k in 0..8 {
+                    self.accumulate_scored(s[k], points[k], acc);
+                    *loss_acc += self.loss_scored(s[k], points[k].label);
+                }
+            }
+            None => {
+                let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+                self.accumulate_with_loss4(w, [p0, p1, p2, p3], acc, loss_acc);
+                self.accumulate_with_loss4(w, [p4, p5, p6, p7], acc, loss_acc);
+            }
+        }
+    }
+
+    fn predict_view4(&self, w: &[f64], points: [PointView<'_>; 4]) -> [f64; 4] {
+        match Self::scores4(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => std::array::from_fn(|k| self.score_to_prediction(s[k])),
+            None => std::array::from_fn(|k| self.predict_view(w, points[k])),
+        }
+    }
+
+    fn predict_view8(&self, w: &[f64], points: [PointView<'_>; 8]) -> [f64; 8] {
+        match Self::scores8(w, std::array::from_fn(|k| points[k].features)) {
+            Some(s) => std::array::from_fn(|k| self.score_to_prediction(s[k])),
+            None => std::array::from_fn(|k| self.predict_view(w, points[k])),
         }
     }
 
     fn predict_view(&self, w: &[f64], point: PointView<'_>) -> f64 {
-        let score = point.features.dot(w);
-        if self.is_classification() {
-            if score >= 0.0 {
-                1.0
-            } else {
-                -1.0
-            }
-        } else {
-            score
-        }
+        self.score_to_prediction(point.features.dot(w))
     }
 }
 

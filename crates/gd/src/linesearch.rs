@@ -76,6 +76,54 @@ impl ComputeOp for LineSearchCompute {
         }
         acc.count += 1;
     }
+
+    /// Batched line-search compute: probe iterations evaluate four losses
+    /// per batched `w·x` pass, gradient iterations run the fused batched
+    /// gradient+objective kernel. Bit-identical to four sequential
+    /// [`ComputeOp::compute`] calls.
+    fn compute4(
+        &self,
+        points: [ml4all_linalg::PointView<'_>; 4],
+        ctx: &Context,
+        acc: &mut ComputeAcc,
+    ) {
+        if ctx.flag("isStepSizeIter").unwrap_or(false) {
+            let probe = ctx.vector("ls_w_probe").expect("probe weights staged");
+            self.gradient
+                .loss_view4(probe.as_slice(), points, &mut acc.scalar);
+        } else {
+            self.gradient.accumulate_with_loss4(
+                ctx.weights.as_slice(),
+                points,
+                acc.primary.as_mut_slice(),
+                &mut acc.scalar,
+            );
+        }
+        acc.count += 4;
+    }
+
+    /// Eight-row sibling of [`LineSearchCompute::compute4`] — the SIMD
+    /// batch width the executor's full-scan waves feed.
+    fn compute8(
+        &self,
+        points: [ml4all_linalg::PointView<'_>; 8],
+        ctx: &Context,
+        acc: &mut ComputeAcc,
+    ) {
+        if ctx.flag("isStepSizeIter").unwrap_or(false) {
+            let probe = ctx.vector("ls_w_probe").expect("probe weights staged");
+            self.gradient
+                .loss_view8(probe.as_slice(), points, &mut acc.scalar);
+        } else {
+            self.gradient.accumulate_with_loss8(
+                ctx.weights.as_slice(),
+                points,
+                acc.primary.as_mut_slice(),
+                &mut acc.scalar,
+            );
+        }
+        acc.count += 8;
+    }
 }
 
 /// `Update` for line-search BGD (Listing 10).

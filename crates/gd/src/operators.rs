@@ -116,15 +116,24 @@ pub trait ComputeOp: Send + Sync {
     /// Accumulate this unit's contribution.
     fn compute(&self, point: PointView<'_>, ctx: &Context, acc: &mut ComputeAcc);
 
-    /// Accumulate four units in order — bit-identical to four
-    /// [`ComputeOp::compute`] calls. The executor feeds the hot loop
+    /// Accumulate four units in order. The default performs exactly four
+    /// [`ComputeOp::compute`] calls; the executor feeds the hot loop
     /// through this hook so gradient implementations can overlap the
-    /// units' independent dot products (see
-    /// [`crate::gradient::Gradient::accumulate_view4`]).
+    /// units' independent dot products, with the batched dense scoring
+    /// order of [`crate::gradient::Gradient::accumulate_view4`].
     fn compute4(&self, points: [PointView<'_>; 4], ctx: &Context, acc: &mut ComputeAcc) {
         for p in points {
             self.compute(p, ctx, acc);
         }
+    }
+
+    /// Accumulate eight units in order — the wider sibling of
+    /// [`ComputeOp::compute4`], sized for the 2×4-lane SIMD batch of
+    /// [`crate::gradient::Gradient::accumulate_view8`].
+    fn compute8(&self, points: [PointView<'_>; 8], ctx: &Context, acc: &mut ComputeAcc) {
+        let [p0, p1, p2, p3, p4, p5, p6, p7] = points;
+        self.compute4([p0, p1, p2, p3], ctx, acc);
+        self.compute4([p4, p5, p6, p7], ctx, acc);
     }
 }
 
@@ -414,6 +423,12 @@ impl ComputeOp for GradientCompute {
         self.gradient
             .accumulate_view4(ctx.weights.as_slice(), points, acc.primary.as_mut_slice());
         acc.count += 4;
+    }
+
+    fn compute8(&self, points: [PointView<'_>; 8], ctx: &Context, acc: &mut ComputeAcc) {
+        self.gradient
+            .accumulate_view8(ctx.weights.as_slice(), points, acc.primary.as_mut_slice());
+        acc.count += 8;
     }
 }
 

@@ -156,8 +156,12 @@ proptest! {
 }
 
 /// The same logical data stored as a dense slab and as CSR (explicit
-/// zeros dropped) must drive bit-identical training: the columnar layouts
-/// are storage choices, never numerics choices.
+/// zeros dropped) trains to equivalent weights. Not bit-identical: the
+/// batched dense kernels score rows in the fixed blocked reduction order
+/// (`ml4all_linalg::simd::dot_blocked`), while CSR rows keep the
+/// sequential stored-entry order — the two layouts round identically-
+/// valued real sums differently. The layouts must still agree to within
+/// rounding noise, and must run the same number of iterations.
 fn check_dense_slab_vs_csr(seed: u64, sampler_ix: usize, iters: u64) {
     use ml4all_linalg::SparseVector;
     use rand::rngs::StdRng;
@@ -224,7 +228,11 @@ fn check_dense_slab_vs_csr(seed: u64, sampler_ix: usize, iters: u64) {
     let mut env_s = SimEnv::new(cluster);
     let s = execute_plan(&plan, &sparse_ds, &params, &mut env_s).unwrap();
     for (a, b) in d.weights.as_slice().iter().zip(s.weights.as_slice()) {
-        assert_eq!(a.to_bits(), b.to_bits(), "dense {a} vs csr {b}");
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= 1e-9 * scale,
+            "dense {a} vs csr {b} diverged beyond rounding noise"
+        );
     }
     assert_eq!(d.iterations, s.iterations);
 }
@@ -233,11 +241,183 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn dense_slab_and_csr_train_bit_identical_weights(
+    fn dense_slab_and_csr_train_equivalent_weights(
         seed in 0u64..500,
         sampler_ix in 0usize..3,
         iters in 5u64..40,
     ) {
         check_dense_slab_vs_csr(seed, sampler_ix, iters);
+    }
+}
+
+/// Restores the default SIMD dispatch even if an assertion unwinds, so a
+/// failure in one combination cannot leak forced-scalar mode into the rest
+/// of the test binary.
+struct ScalarGuard;
+
+impl ScalarGuard {
+    fn engage() -> Self {
+        ml4all_linalg::simd::force_scalar(true);
+        ScalarGuard
+    }
+}
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        ml4all_linalg::simd::force_scalar(false);
+    }
+}
+
+/// Two small datasets with the same rows in dense and CSR storage.
+fn paired_datasets(n: usize, dims: usize, seed: u64) -> (PartitionedDataset, PartitionedDataset) {
+    use ml4all_linalg::SparseVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dense_pts = Vec::with_capacity(n);
+    let mut sparse_pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let xs: Vec<f64> = (0..dims)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let label = if xs.iter().sum::<f64>() > 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
+        let (idx, val): (Vec<u32>, Vec<f64>) = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, v)| (i as u32, *v))
+            .unzip();
+        dense_pts.push(LabeledPoint::new(label, FeatureVec::dense(xs)));
+        sparse_pts.push(LabeledPoint::new(
+            label,
+            FeatureVec::Sparse(SparseVector::new(dims, idx, val).unwrap()),
+        ));
+    }
+    let cluster = ClusterSpec::paper_testbed();
+    let dense =
+        PartitionedDataset::from_points("d", dense_pts, PartitionScheme::RoundRobin, &cluster)
+            .unwrap();
+    let sparse =
+        PartitionedDataset::from_points("s", sparse_pts, PartitionScheme::RoundRobin, &cluster)
+            .unwrap();
+    (dense, sparse)
+}
+
+/// The SIMD kernels use fixed, ISA-independent reduction orders, so a model
+/// trained with the active ISA (AVX2 here, NEON on aarch64) must reproduce
+/// the forced-scalar weights **bit for bit** — across storage layouts,
+/// samplers, and worker counts. This is the contract that makes
+/// `ML4ALL_FORCE_SCALAR=1` a valid debugging switch: it changes speed,
+/// never results.
+#[test]
+fn simd_and_forced_scalar_weights_are_bit_identical() {
+    use ml4all_dataflow::Runtime;
+    use std::sync::Arc;
+
+    let (dense, sparse) = paired_datasets(400, 12, 11);
+    let cluster = ClusterSpec::paper_testbed();
+    let samplers = [
+        SamplingMethod::Bernoulli,
+        SamplingMethod::RandomPartition,
+        SamplingMethod::ShuffledPartition,
+    ];
+    for data in [&dense, &sparse] {
+        for sampling in samplers {
+            for workers in [1usize, 2, 8] {
+                let plan = GdPlan::mgd(24, TransformPolicy::Eager, sampling).unwrap();
+                let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+                params.seed = 7;
+                params.tolerance = 0.0;
+                params.max_iter = 25;
+
+                let mut env =
+                    SimEnv::with_runtime(cluster.clone(), Arc::new(Runtime::new(workers)));
+                let vector = execute_plan(&plan, data, &params, &mut env).unwrap();
+
+                let scalar = {
+                    let _guard = ScalarGuard::engage();
+                    let mut env =
+                        SimEnv::with_runtime(cluster.clone(), Arc::new(Runtime::new(workers)));
+                    execute_plan(&plan, data, &params, &mut env).unwrap()
+                };
+
+                assert_eq!(
+                    vector.weights,
+                    scalar.weights,
+                    "simd/scalar divergence: layout={} sampler={sampling:?} workers={workers}",
+                    data.descriptor().name
+                );
+                assert_eq!(vector.iterations, scalar.iterations);
+            }
+        }
+    }
+}
+
+/// Training on a memory-mapped slab file must be indistinguishable from
+/// training on the same rows held in RAM: identical fingerprint (so the
+/// plan cache may share entries) and bit-identical weights.
+#[test]
+fn mapped_slab_training_matches_in_memory() {
+    use ml4all_dataflow::{open_slab, write_slab, ColumnarBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut builder = ColumnarBuilder::new();
+    let dims = 8;
+    let mut row = vec![0.0f64; dims];
+    for _ in 0..600 {
+        for v in row.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let label = if row.iter().sum::<f64>() > 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
+        builder.push_dense(label, &row);
+    }
+    let rows = builder.finish();
+
+    let path = std::env::temp_dir().join(format!("ml4all-prop-slab-{}.slab", std::process::id()));
+    write_slab(&path, &rows).unwrap();
+    let mapped = open_slab(&path).unwrap();
+    // The mapping keeps its pages alive after the unlink (unix) or owns a
+    // heap copy (elsewhere), so the file itself can go away immediately.
+    let _ = std::fs::remove_file(&path);
+    assert!(mapped.is_mapped() || cfg!(not(unix)));
+
+    let cluster = ClusterSpec::paper_testbed();
+    let in_mem =
+        PartitionedDataset::from_columns("slab-prop", &rows, PartitionScheme::Contiguous, &cluster)
+            .unwrap();
+    let on_disk = PartitionedDataset::from_mapped("slab-prop", &mapped, &cluster).unwrap();
+    assert_eq!(in_mem.fingerprint(), on_disk.fingerprint());
+
+    for sampling in [SamplingMethod::Bernoulli, SamplingMethod::ShuffledPartition] {
+        let plan = GdPlan::mgd(32, TransformPolicy::Eager, sampling).unwrap();
+        let mut params = TrainParams::paper_defaults(GradientKind::LogisticRegression);
+        params.seed = 41;
+        params.tolerance = 0.0;
+        params.max_iter = 30;
+
+        let mut env_m = SimEnv::new(cluster.clone());
+        let mem = execute_plan(&plan, &in_mem, &params, &mut env_m).unwrap();
+        let mut env_d = SimEnv::new(cluster.clone());
+        let disk = execute_plan(&plan, &on_disk, &params, &mut env_d).unwrap();
+
+        assert_eq!(mem.weights, disk.weights, "sampler {sampling:?}");
+        assert_eq!(mem.iterations, disk.iterations);
+        assert_eq!(mem.sim_time_s, disk.sim_time_s);
     }
 }

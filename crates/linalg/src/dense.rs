@@ -180,12 +180,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// `y += alpha * x` over raw slices.
+///
+/// Elementwise, so the runtime-dispatched vector arm in [`crate::simd`]
+/// produces bit-identical results to scalar code; it only changes speed.
 #[inline]
 pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     debug_assert_eq!(y.len(), x.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(y, alpha, x);
 }
 
 #[cfg(test)]

@@ -24,11 +24,13 @@
 
 pub mod dense;
 pub mod point;
+pub mod simd;
 pub mod sparse;
 pub mod view;
 
 pub use dense::DenseVector;
 pub use point::{FeatureVec, LabeledPoint};
+pub use simd::Isa;
 pub use sparse::SparseVector;
 pub use view::{FeatureView, PointView};
 

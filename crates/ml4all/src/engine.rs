@@ -738,6 +738,71 @@ mod tests {
     }
 
     #[test]
+    fn over_budget_files_train_through_the_mapped_slab_path_identically() {
+        use ml4all_dataflow::PartitionScheme;
+        use ml4all_datasets::MEMORY_BUDGET_ENV;
+
+        // A CSV file several times larger than the memory budget: the
+        // resolver must spill it to a memory-mapped slab and train on
+        // zero-copy windows, producing bit-identical weights to the same
+        // rows held in memory with the same (contiguous) partitioning.
+        let dir = std::env::temp_dir().join(format!("ml4all-engine-ooc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let points = dense_classification(&DenseClassConfig {
+            n: 2000,
+            dims: 4,
+            noise: 0.05,
+            seed: 11,
+        });
+        ml4all_datasets::csv::write_csv(
+            std::fs::File::create(dir.join("big.csv")).unwrap(),
+            &points,
+        )
+        .unwrap();
+        let file_len = std::fs::metadata(dir.join("big.csv")).unwrap().len();
+
+        let engine = quick_engine().with_data_dir(&dir);
+        let request = |name: &str, source: crate::DataSource| {
+            TrainRequest::new(GradientKind::LogisticRegression, source)
+                .max_iter(80)
+                .seed(3)
+                .named(name)
+        };
+        std::env::set_var(MEMORY_BUDGET_ENV, "16k");
+        assert!(file_len > 16 * 1024, "file must exceed the budget");
+        let mapped = engine.train(request("ooc", crate::DataSource::named("big.csv")));
+        std::env::remove_var(MEMORY_BUDGET_ENV);
+        let mapped = mapped.unwrap();
+
+        // The same rows in memory, partitioned with the same scheme and
+        // logical name as the mapped dataset (window partitioning matches
+        // contiguous dealing row for row).
+        let rows: ml4all_dataflow::ColumnStore = points.into_iter().collect();
+        let owned = PartitionedDataset::from_columns(
+            "big.csv",
+            &rows,
+            PartitionScheme::Contiguous,
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap();
+        let in_mem = engine
+            .train(request("mem", crate::DataSource::InMemory(owned)))
+            .unwrap();
+
+        // Same content fingerprint → the second job reuses the first
+        // job's cached plan; training over the mapped windows is
+        // bit-identical to training over the heap store.
+        assert!(engine.plan_cache().hits() >= 1);
+        assert_eq!(mapped.summary.plan, in_mem.summary.plan);
+        assert_eq!(mapped.summary.iterations, in_mem.summary.iterations);
+        assert_eq!(
+            engine.model("ooc").unwrap().weights,
+            engine.model("mem").unwrap().weights
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn wall_limit_stops_jobs_at_a_wave_boundary() {
         let engine = quick_engine();
         engine.register_dataset("train", mem(2000, 5));

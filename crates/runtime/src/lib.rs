@@ -404,10 +404,14 @@ impl CancelToken {
 ///
 /// History: v1 drew Bernoulli samples with a per-unit coin-flip scan;
 /// v2 switched to geometric skip sampling (same distribution, different
-/// stream). Bump this whenever a sampler, seed-derivation rule, or
-/// generator changes the consumed random stream, so that cross-build
-/// seed compatibility is explicit instead of silently broken.
-pub const RNG_STREAM_VERSION: u32 = 2;
+/// stream); v3 made the shuffled-partition sampler serve draws through an
+/// incremental forward Fisher–Yates cursor (one `gen_range` per served
+/// unit instead of a whole-partition permutation upfront — same uniform
+/// permutation distribution, different stream). Bump this whenever a
+/// sampler, seed-derivation rule, or generator changes the consumed
+/// random stream, so that cross-build seed compatibility is explicit
+/// instead of silently broken.
+pub const RNG_STREAM_VERSION: u32 = 3;
 
 /// Mix a base seed with a partition/task index into an independent,
 /// deterministic per-item seed (SplitMix64 finalizer). Identical inputs

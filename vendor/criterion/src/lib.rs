@@ -165,8 +165,16 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Override the per-benchmark sample count.
+    ///
+    /// `CRITERION_SAMPLES` is the operator's explicit ask and always wins:
+    /// when the variable is set, this call is a no-op, so a hardcoded
+    /// in-bench override can never silently inflate (or deflate) a run
+    /// that was pinned from the command line. The JSON report records the
+    /// count actually used per entry either way.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        if std::env::var_os("CRITERION_SAMPLES").is_none() {
+            self.samples = n.max(1);
+        }
         self
     }
 
@@ -234,5 +242,21 @@ mod tests {
         });
         g.finish();
         assert_eq!(total, 3 * 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn env_samples_override_in_bench_sample_size() {
+        // The test harness runs single-threaded here, so mutating the
+        // process environment cannot race the other tests.
+        std::env::set_var("CRITERION_SAMPLES", "7");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50);
+        assert_eq!(g.samples, 7);
+        std::env::remove_var("CRITERION_SAMPLES");
+        let mut c = Criterion { samples: 2 };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        assert_eq!(g.samples, 5);
     }
 }
