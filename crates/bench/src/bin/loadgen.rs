@@ -1,0 +1,232 @@
+//! `loadgen`: a closed-loop load generator for the `ml4all-serve`
+//! network front end.
+//!
+//! For each tenant count in `--tenants`, it runs one connection per
+//! tenant, each submitting and joining `--requests` small cached
+//! training jobs back to back, and records throughput and the
+//! p50/p99 request latency to `BENCH_serving.json`.
+//!
+//! ```sh
+//! cargo run --release -p ml4all-bench --bin loadgen            # in-process server
+//! cargo run --release -p ml4all-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --tenants 1,4 --requests 200       # external server
+//! ```
+//!
+//! `busy` backpressure is retried after the server's hint and counted;
+//! any other client error is fatal (non-zero exit), which is what the
+//! CI serving-smoke job asserts on.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ml4all::Engine;
+use ml4all_serve::{Client, ClientError, ServeConfig, Server, WireSource, WireTrain};
+use serde::Serialize;
+
+/// One measured scenario: `tenants` closed-loop connections.
+#[derive(Debug, Serialize)]
+struct Scenario {
+    tenants: usize,
+    requests_per_tenant: usize,
+    total_requests: usize,
+    busy_retries: u64,
+    elapsed_s: f64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    note: String,
+    server: String,
+    scenarios: Vec<Scenario>,
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut tenants: Vec<usize> = vec![1, 4];
+    let mut requests: usize = 100;
+    let mut out = String::from("BENCH_serving.json");
+    let mut args = std::env::args().skip(1);
+    let bad = |flag: &str, what: &str| -> ! {
+        eprintln!("{flag} requires {what}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = Some(a),
+                None => bad("--addr", "host:port"),
+            },
+            "--tenants" => match args.next().and_then(|t| parse_tenants(&t)) {
+                Some(t) => tenants = t,
+                None => bad("--tenants", "a comma-separated list like 1,4"),
+            },
+            "--requests" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) => requests = r,
+                None => bad("--requests", "a count"),
+            },
+            "--out" => match args.next() {
+                Some(o) => out = o,
+                None => bad("--out", "a path"),
+            },
+            "-h" | "--help" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--tenants 1,4] \
+                     [--requests N] [--out BENCH_serving.json]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Either drive an external server (--addr) or boot one in process on
+    // an ephemeral port.
+    let server;
+    let (target, label) = match addr {
+        Some(addr) => (addr.clone(), addr),
+        None => {
+            server = Server::start(Engine::new(), ServeConfig::default())
+                .unwrap_or_else(|e| fatal(&format!("cannot boot in-process server: {e}")));
+            let addr = server.local_addr().to_string();
+            (addr, "in-process".to_string())
+        }
+    };
+    println!("loadgen against {label} ({target})");
+
+    let mut scenarios = Vec::new();
+    for &n in &tenants {
+        let scenario = run_scenario(&target, n, requests);
+        println!(
+            "  {:>2} tenant(s): {:>8.1} req/s   p50 {:>6} us   p99 {:>6} us   \
+             ({} requests, {} busy retries)",
+            scenario.tenants,
+            scenario.qps,
+            scenario.p50_us,
+            scenario.p99_us,
+            scenario.total_requests,
+            scenario.busy_retries,
+        );
+        scenarios.push(scenario);
+    }
+
+    let report = Report {
+        note: "Closed-loop serving throughput: per tenant, one connection submits and \
+               joins small cached training jobs (logistic on the adult analog, 5 fixed \
+               iterations) back to back, so the numbers measure serving overhead — \
+               framing, admission, dispatch, event pump — not gradient descent. \
+               Regenerate with `cargo run --release -p ml4all-bench --bin loadgen`."
+            .to_string(),
+        server: label,
+        scenarios,
+    };
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    match std::fs::File::create(&out) {
+        Ok(mut f) => {
+            f.write_all(body.as_bytes())
+                .and_then(|()| f.write_all(b"\n"))
+                .unwrap_or_else(|e| fatal(&format!("cannot write {out}: {e}")));
+            println!("[written {out}]");
+        }
+        Err(e) => fatal(&format!("cannot create {out}: {e}")),
+    }
+}
+
+fn parse_tenants(spec: &str) -> Option<Vec<usize>> {
+    let parsed: Option<Vec<usize>> = spec.split(',').map(|t| t.trim().parse().ok()).collect();
+    parsed.filter(|t| !t.is_empty())
+}
+
+fn fatal(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(1);
+}
+
+/// Run `tenants` closed-loop connections of `requests` submit+join pairs
+/// each; returns the aggregated scenario record.
+fn run_scenario(target: &str, tenants: usize, requests: usize) -> Scenario {
+    let busy_retries = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..tenants)
+        .map(|t| {
+            let target = target.to_string();
+            let busy_retries = Arc::clone(&busy_retries);
+            std::thread::spawn(move || drive_tenant(&target, t, requests, &busy_retries))
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(tenants * requests);
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(mut tenant_latencies)) => latencies.append(&mut tenant_latencies),
+            Ok(Err(e)) => fatal(&format!("tenant worker failed: {e}")),
+            Err(_) => fatal("tenant worker panicked"),
+        }
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    Scenario {
+        tenants,
+        requests_per_tenant: requests,
+        total_requests: latencies.len(),
+        busy_retries: busy_retries.load(Ordering::Relaxed),
+        elapsed_s,
+        qps: latencies.len() as f64 / elapsed_s,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        max_us: *latencies.last().expect("at least one request"),
+    }
+}
+
+/// One tenant's closed loop; returns per-request latencies in
+/// microseconds. Every request reuses the same name and seed, so after
+/// the first decision the plan cache serves every job.
+fn drive_tenant(
+    target: &str,
+    tenant: usize,
+    requests: usize,
+    busy_retries: &AtomicU64,
+) -> Result<Vec<u64>, ClientError> {
+    let mut client = Client::connect(target)?;
+    client.hello(&format!("t{tenant}"))?;
+    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+    train.max_iter = Some(5);
+    train.seed = Some(0);
+    train.name = Some("bench".into());
+
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let started = Instant::now();
+        let job = loop {
+            match client.submit(&train) {
+                Ok(job) => break job,
+                Err(ClientError::Server(e)) if e.code == ml4all_serve::code::BUSY => {
+                    busy_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = e.retry_after_ms.unwrap_or(25);
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let outcome = client.join(job)?;
+        if outcome.status != "completed" {
+            return Err(ClientError::Protocol(format!(
+                "job {job} ended {} instead of completed",
+                outcome.status
+            )));
+        }
+        latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    Ok(latencies)
+}

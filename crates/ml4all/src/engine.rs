@@ -26,7 +26,7 @@ use ml4all_dataflow::{ClusterSpec, PartitionedDataset, Runtime, SimEnv};
 use ml4all_datasets::catalog::{EvictedDataset, SharedResolver};
 use ml4all_gd::{execute_plan_observed, ExecHooks, IterationTick, StopReason};
 
-use crate::job::{JobEvent, JobHandle, JobState, JobStatus};
+use crate::job::{JobEvent, JobHandle, JobInfo, JobState, JobStatus};
 use crate::model::Model;
 use crate::request::{ExplainRequest, ModelRef, PredictRequest, TrainRequest};
 use crate::session::{Predictions, TrainSummary, Trained};
@@ -37,6 +37,23 @@ pub(crate) const REGISTRY_SEED: u64 = 7;
 
 /// Default progress-tick cadence (iterations per [`JobEvent::Progress`]).
 const DEFAULT_TICK_EVERY: u64 = 100;
+
+/// Tenant tag for jobs submitted through plain [`Engine::submit`].
+const LOCAL_TENANT: &str = "local";
+
+/// Terminal job records retained in the [`Engine::jobs`] table: beyond
+/// this, the oldest finished records are pruned on submission so a
+/// long-lived serving engine's table stays bounded. Live jobs are never
+/// pruned.
+const JOB_HISTORY_CAP: usize = 1024;
+
+/// One entry of the engine's job table.
+struct JobRecord {
+    id: u64,
+    name: Option<String>,
+    tenant: String,
+    state: Arc<JobState>,
+}
 
 /// The engine's shared interior: everything a job needs, behind one `Arc`.
 struct EngineCore {
@@ -49,6 +66,8 @@ struct EngineCore {
     models: Mutex<HashMap<String, Model>>,
     plan_cache: PlanCache,
     auto_name: AtomicU64,
+    jobs: Mutex<Vec<JobRecord>>,
+    next_job: AtomicU64,
 }
 
 /// The thread-safe, job-oriented entry point: submit training jobs,
@@ -109,6 +128,8 @@ impl Engine {
                 models: Mutex::new(HashMap::new()),
                 plan_cache: PlanCache::new(),
                 auto_name: AtomicU64::new(0),
+                jobs: Mutex::new(Vec::new()),
+                next_job: AtomicU64::new(0),
             }),
         }
     }
@@ -240,13 +261,50 @@ impl Engine {
     /// streaming the job's [`JobEvent`]s. The job runs on the shared
     /// worker pool; any number of jobs may be in flight, and their
     /// results are bit-identical to running the same requests
-    /// sequentially.
+    /// sequentially. Tagged `"local"` in the [`Engine::jobs`] table.
     pub fn submit(&self, request: TrainRequest) -> JobHandle {
+        self.submit_tagged(request, LOCAL_TENANT)
+    }
+
+    /// [`Engine::submit`] under a tenant tag: the job is recorded against
+    /// `tenant` in the [`Engine::jobs`] table and dispatched through the
+    /// runtime's per-tenant fairness lane
+    /// ([`Runtime::spawn_in_lane`]), so one tenant queueing a burst of
+    /// jobs cannot starve another tenant's submission. Results are
+    /// unaffected by the tag — execution is bit-identical either way.
+    pub fn submit_tagged(&self, request: TrainRequest, tenant: &str) -> JobHandle {
         let (tx, rx) = mpsc::channel();
         let state = Arc::new(JobState::new(tx));
+        let id = self.core.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut jobs = self.core.jobs.lock().expect("engine job table");
+            // Keep the table bounded for long-lived serving engines:
+            // prune oldest *terminal* records beyond the history cap.
+            let mut over = jobs.len().saturating_sub(JOB_HISTORY_CAP);
+            if over > 0 {
+                jobs.retain(|record| {
+                    let terminal = matches!(
+                        record.state.status(),
+                        JobStatus::Completed | JobStatus::Cancelled | JobStatus::Failed
+                    );
+                    if terminal && over > 0 {
+                        over -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            jobs.push(JobRecord {
+                id,
+                name: request.name.clone(),
+                tenant: tenant.to_string(),
+                state: Arc::clone(&state),
+            });
+        }
         let core = Arc::clone(&self.core);
         let job = Arc::clone(&state);
-        self.core.runtime.spawn(move || {
+        self.core.runtime.spawn_in_lane(tenant, move || {
             job.set_status(JobStatus::Running);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 run_train(&core, &request, Some(&job))
@@ -262,7 +320,31 @@ impl Engine {
             }
             job.finish(outcome);
         });
-        JobHandle { state, events: rx }
+        JobHandle {
+            id,
+            state,
+            events: rx,
+        }
+    }
+
+    /// A snapshot of the engine's job table: every job submitted through
+    /// [`Engine::submit`] / [`Engine::submit_tagged`] with its id,
+    /// requested name, tenant tag, and current status, in submission
+    /// order. Terminal records older than the history cap are pruned, so
+    /// the snapshot is bounded on long-lived engines.
+    pub fn jobs(&self) -> Vec<JobInfo> {
+        self.core
+            .jobs
+            .lock()
+            .expect("engine job table")
+            .iter()
+            .map(|record| JobInfo {
+                id: record.id,
+                name: record.name.clone(),
+                tenant: record.tenant.clone(),
+                status: record.state.status(),
+            })
+            .collect()
     }
 
     /// Train synchronously on the calling thread: the exact code path of
@@ -863,6 +945,53 @@ mod tests {
                 }
             ),
             "{err:?}"
+        );
+    }
+
+    #[test]
+    fn jobs_snapshot_reports_ids_tenants_and_statuses() {
+        let engine = quick_engine();
+        let a = engine.submit_tagged(adult_request().named("A").seed(1), "tenant-a");
+        let b = engine.submit_tagged(adult_request().seed(2), "tenant-b");
+        let c = engine.submit(adult_request().named("C").seed(3));
+        assert!(a.id() < b.id() && b.id() < c.id(), "ids are monotonic");
+        for handle in [&a, &b, &c] {
+            handle.wait();
+        }
+        let jobs = engine.jobs();
+        assert_eq!(jobs.len(), 3);
+        let row = |id: u64| jobs.iter().find(|j| j.id == id).unwrap();
+        assert_eq!(row(a.id()).tenant, "tenant-a");
+        assert_eq!(row(a.id()).name.as_deref(), Some("A"));
+        assert_eq!(row(b.id()).tenant, "tenant-b");
+        assert_eq!(row(b.id()).name, None);
+        assert_eq!(row(c.id()).tenant, "local");
+        for job in &jobs {
+            assert_eq!(job.status, JobStatus::Completed);
+        }
+        // `wait` does not consume the outcome: join still works after.
+        a.join().unwrap();
+        b.join().unwrap();
+        c.join().unwrap();
+    }
+
+    #[test]
+    fn tagged_submission_is_bit_identical_to_untagged() {
+        let tagged = quick_engine();
+        let untagged = quick_engine();
+        let t = tagged
+            .submit_tagged(adult_request().named("J").seed(3), "tenant-x")
+            .join()
+            .unwrap();
+        let u = untagged
+            .submit(adult_request().named("J").seed(3))
+            .join()
+            .unwrap();
+        assert_eq!(t.summary.plan, u.summary.plan);
+        assert_eq!(t.summary.iterations, u.summary.iterations);
+        assert_eq!(
+            tagged.model("J").unwrap().weights,
+            untagged.model("J").unwrap().weights
         );
     }
 

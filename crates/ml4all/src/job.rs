@@ -140,6 +140,23 @@ pub fn render_trace(events: &[JobEvent]) -> String {
     out
 }
 
+/// One row of an [`Engine::jobs`](crate::Engine::jobs) snapshot: enough
+/// for a serving front end's `stats` verb or a dashboard without any
+/// bookkeeping outside the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// Engine-assigned job id (monotonic per engine, never reused).
+    pub id: u64,
+    /// The requested result name (`None` for auto-named requests).
+    pub name: Option<String>,
+    /// Tenant tag the job was submitted under
+    /// ([`Engine::submit_tagged`](crate::Engine::submit_tagged));
+    /// plain [`Engine::submit`](crate::Engine::submit) tags `"local"`.
+    pub tenant: String,
+    /// Lifecycle state at snapshot time.
+    pub status: JobStatus,
+}
+
 /// Shared state between a [`JobHandle`] and the worker running the job.
 pub(crate) struct JobState {
     pub(crate) cancel: CancelToken,
@@ -162,6 +179,10 @@ impl JobState {
 
     pub(crate) fn set_status(&self, status: JobStatus) {
         *self.status.lock().expect("job status") = status;
+    }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        *self.status.lock().expect("job status")
     }
 
     /// Send an event to the (possibly dropped) progress stream.
@@ -212,11 +233,17 @@ impl JobState {
 /// # }
 /// ```
 pub struct JobHandle {
+    pub(crate) id: u64,
     pub(crate) state: std::sync::Arc<JobState>,
     pub(crate) events: Receiver<JobEvent>,
 }
 
 impl JobHandle {
+    /// The engine-assigned job id (the one [`JobInfo::id`] reports).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The job's current lifecycle state.
     pub fn status(&self) -> JobStatus {
         *self.state.status.lock().expect("job status")
@@ -227,6 +254,25 @@ impl JobHandle {
     /// state consistent. Idempotent; a no-op once the job finished.
     pub fn cancel(&self) {
         self.state.cancel.cancel();
+    }
+
+    /// A clone of the job's cancellation token, so an owner that hands
+    /// the handle off (e.g. to an event-pump thread) keeps the ability to
+    /// cancel.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
+    }
+
+    /// Block until the job reaches a terminal state and return it,
+    /// *without* consuming the handle or the outcome (unlike
+    /// [`JobHandle::join`]).
+    pub fn wait(&self) -> JobStatus {
+        let mut outcome = self.state.outcome.lock().expect("job outcome");
+        while outcome.is_none() {
+            outcome = self.state.done.wait(outcome).expect("job wait");
+        }
+        drop(outcome);
+        self.status()
     }
 
     /// Iterate the job's event stream. Blocks between events while the

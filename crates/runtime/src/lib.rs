@@ -44,10 +44,77 @@ struct Queues {
     /// scheduling order deterministic-enough for helping and makes
     /// stealing trivial.
     batch: VecDeque<Job>,
-    /// FIFO of detached jobs ([`Runtime::spawn`]): long-lived work that
-    /// only otherwise-idle workers pick up, so a whole submitted job never
-    /// delays the wave tasks of a batch already in flight.
-    detached: VecDeque<Job>,
+    /// Detached jobs ([`Runtime::spawn`] /
+    /// [`Runtime::spawn_in_lane`]): long-lived work that only
+    /// otherwise-idle workers pick up, so a whole submitted job never
+    /// delays the wave tasks of a batch already in flight. Jobs are
+    /// grouped into per-lane FIFOs drained round-robin — the fairness
+    /// hook a multi-tenant front end keys by tenant, so one lane queueing
+    /// a burst cannot starve another lane's single job.
+    lanes: Vec<(String, VecDeque<Job>)>,
+    /// Next lane to serve (round-robin cursor over `lanes`).
+    next_lane: usize,
+}
+
+impl Queues {
+    /// Append a detached job to `lane`, creating the lane on first use
+    /// (lane order is creation order, so scheduling stays deterministic
+    /// for a fixed submission sequence).
+    fn push_detached(&mut self, lane: &str, job: Job) {
+        match self.lanes.iter_mut().find(|(name, _)| name == lane) {
+            Some((_, queue)) => queue.push_back(job),
+            None => {
+                let mut queue = VecDeque::new();
+                queue.push_back(job);
+                self.lanes.push((lane.to_string(), queue));
+            }
+        }
+    }
+
+    /// Pop the next detached job, round-robin across non-empty lanes:
+    /// each pop serves the cursor's lane and advances it, so a lane with
+    /// a deep backlog yields to every other waiting lane between its own
+    /// jobs. Empty lanes are retired (their slot — and cursor fairness —
+    /// is reclaimed; a returning tenant simply re-registers at the tail).
+    fn pop_detached(&mut self) -> Option<Job> {
+        while !self.lanes.is_empty() {
+            let idx = self.next_lane % self.lanes.len();
+            match self.lanes[idx].1.pop_front() {
+                Some(job) => {
+                    if self.lanes[idx].1.is_empty() {
+                        // Retire the drained lane; the lane that shifts
+                        // into its slot is served next, which preserves
+                        // the rotation order.
+                        self.lanes.remove(idx);
+                        self.next_lane = if self.lanes.is_empty() {
+                            0
+                        } else {
+                            idx % self.lanes.len()
+                        };
+                    } else {
+                        self.next_lane = (idx + 1) % self.lanes.len();
+                    }
+                    return Some(job);
+                }
+                // Defensive: an empty lane should have been retired on
+                // its last pop; drop it and keep scanning.
+                None => {
+                    self.lanes.remove(idx);
+                    self.next_lane = if self.lanes.is_empty() {
+                        0
+                    } else {
+                        idx % self.lanes.len()
+                    };
+                }
+            }
+        }
+        None
+    }
+
+    /// Total queued detached jobs (for observability).
+    fn detached_len(&self) -> usize {
+        self.lanes.iter().map(|(_, q)| q.len()).sum()
+    }
 }
 
 struct Shared {
@@ -141,6 +208,17 @@ impl Runtime {
     /// Number of worker slots (1 means inline execution).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Detached jobs queued across all lanes and not yet picked up (0 for
+    /// the inline runtime, whose detached jobs start immediately on
+    /// dedicated threads). Snapshot for observability — stale by the time
+    /// the caller reads it.
+    pub fn detached_queued(&self) -> usize {
+        match &self.shared {
+            Some(shared) => shared.queue.lock().expect("runtime queue").detached_len(),
+            None => 0,
+        }
     }
 
     /// Apply `f` to every item of `items`, in parallel, returning results
@@ -291,14 +369,22 @@ impl Runtime {
     /// survives); callers that need to observe failure should catch
     /// panics themselves and record the outcome.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.spawn_in_lane("", job);
+    }
+
+    /// [`Runtime::spawn`] into a named fairness lane. Detached jobs are
+    /// popped round-robin across lanes — one pop per lane per rotation —
+    /// so a lane that queues a burst of jobs cannot starve another lane's
+    /// single job: the fairness hook a serving front end keys by tenant.
+    /// The empty lane name is the default lane [`Runtime::spawn`] uses.
+    pub fn spawn_in_lane(&self, lane: &str, job: impl FnOnce() + Send + 'static) {
         match &self.shared {
             Some(shared) => {
                 shared
                     .queue
                     .lock()
                     .expect("runtime queue")
-                    .detached
-                    .push_back(Box::new(job));
+                    .push_detached(lane, Box::new(job));
                 shared.cv.notify_all();
             }
             // The inline runtime has no pool threads to host a detached
@@ -355,7 +441,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(job) = queue.batch.pop_front() {
                     break job;
                 }
-                if let Some(job) = queue.detached.pop_front() {
+                if let Some(job) = queue.pop_detached() {
                     break job;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -566,6 +652,81 @@ mod tests {
             expect.sort_unstable();
             assert_eq!(got, expect, "at {workers} workers");
         }
+    }
+
+    #[test]
+    fn lanes_are_served_round_robin_not_fifo() {
+        // Single-worker semantics via direct queue manipulation: queue a
+        // deep backlog in lane A, then one job in lane B. Round-robin
+        // must serve B's job second, not after A's whole backlog.
+        let mut queues = Queues::default();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let push = |queues: &mut Queues, lane: &str, tag: &'static str| {
+            let order = Arc::clone(&order);
+            queues.push_detached(lane, Box::new(move || order.lock().unwrap().push(tag)));
+        };
+        for _ in 0..4 {
+            push(&mut queues, "A", "A");
+        }
+        push(&mut queues, "B", "B");
+        push(&mut queues, "C", "C");
+        assert_eq!(queues.detached_len(), 6);
+        while let Some(job) = queues.pop_detached() {
+            job();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            ["A", "B", "C", "A", "A", "A"],
+            "each rotation serves every waiting lane once"
+        );
+        assert_eq!(queues.detached_len(), 0);
+    }
+
+    #[test]
+    fn lane_fairness_holds_under_a_live_pool() {
+        // Saturate a 1-worker pool's detached tier: the first job holds
+        // the only worker while lane "hog" queues a backlog and lane
+        // "small" queues one job. The pool must run the small lane's job
+        // before the hog's backlog drains.
+        let rt = Runtime::new(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        // Pin both workers so later spawns definitely queue.
+        let gate = Arc::new(Mutex::new(gate_rx));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            rt.spawn_in_lane("pin", move || {
+                gate.lock().unwrap().recv().unwrap();
+            });
+        }
+        for i in 0..5 {
+            let order = Arc::clone(&order);
+            let done = done_tx.clone();
+            rt.spawn_in_lane("hog", move || {
+                order.lock().unwrap().push(format!("hog{i}"));
+                done.send(()).unwrap();
+            });
+        }
+        let small_order = Arc::clone(&order);
+        let done = done_tx.clone();
+        rt.spawn_in_lane("small", move || {
+            small_order.lock().unwrap().push("small".to_string());
+            done.send(()).unwrap();
+        });
+        // Release the pinned workers; all six queued jobs now drain.
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        for _ in 0..6 {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let order = order.lock().unwrap();
+        let small_at = order.iter().position(|t| t == "small").unwrap();
+        assert!(
+            small_at <= 2,
+            "lane `small` must be served within one rotation of the hog \
+             backlog, got order {order:?}"
+        );
     }
 
     #[test]

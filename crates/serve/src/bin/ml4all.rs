@@ -1,5 +1,6 @@
-//! The `ml4all` command-line client: the paper's declarative interface as
-//! an interactive REPL (or one-shot `-e` executor).
+//! The `ml4all` command line: the paper's declarative interface as an
+//! interactive REPL (or one-shot `-e` executor), plus the `serve`
+//! subcommand that exposes an engine over TCP.
 //!
 //! ```text
 //! $ ml4all
@@ -12,17 +13,28 @@
 //! [persisted model.txt]
 //! ml4all> predict on test.csv with model.txt;
 //! [predictions: 600 points, mse 0.583, accuracy 85.3%]
+//!
+//! $ ml4all serve --addr 127.0.0.1:7878 --workers 4
+//! ml4all-serve listening on 127.0.0.1:7878 (protocol 1, rng stream 3)
 //! ```
 //!
 //! Options: `-e "<stmt>"` (execute and exit, repeatable),
-//! `--data-dir <dir>` (base for relative paths), `--help`.
+//! `--data-dir <dir>` (base for relative paths), `--help`; see
+//! `ml4all serve --help` for the server flags.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use ml4all::{render_report, Session, SessionOutput};
+use ml4all::{render_report, Engine, Runtime, Session, SessionOutput, RNG_STREAM_VERSION};
+use ml4all_serve::{ServeConfig, Server, TenantQuota, PROTOCOL_VERSION};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        serve_main(args);
+        return;
+    }
     let mut statements: Vec<String> = Vec::new();
     let mut data_dir = String::from(".");
     while let Some(arg) = args.next() {
@@ -95,6 +107,95 @@ fn main() {
     }
 }
 
+/// `ml4all serve`: boot a serving front end and block until killed.
+fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
+    let mut config = ServeConfig::default();
+    let mut workers: Option<usize> = None;
+    let mut data_dir = String::from(".");
+    let bad = |flag: &str, what: &str| -> ! {
+        eprintln!("{flag} requires {what}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => bad("--addr", "host:port"),
+            },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = Some(w),
+                None => bad("--workers", "a thread count"),
+            },
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = dir,
+                None => bad("--data-dir", "a path"),
+            },
+            "--max-frame" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_frame = v,
+                None => bad("--max-frame", "a byte count"),
+            },
+            "--global-in-flight" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.global_in_flight = v,
+                None => bad("--global-in-flight", "a job count"),
+            },
+            "--max-in-flight" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.default_quota.max_in_flight = v,
+                None => bad("--max-in-flight", "a job count"),
+            },
+            "--max-queued-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.default_quota.max_queued_bytes = v,
+                None => bad("--max-queued-bytes", "a byte count"),
+            },
+            // --quota TENANT=IN_FLIGHT:QUEUED_BYTES, repeatable.
+            "--quota" => match args.next().as_deref().and_then(parse_quota) {
+                Some((tenant, quota)) => config.tenant_quotas.push((tenant, quota)),
+                None => bad("--quota", "TENANT=IN_FLIGHT:QUEUED_BYTES"),
+            },
+            "-h" | "--help" => {
+                print_serve_help();
+                return;
+            }
+            other => {
+                eprintln!("unknown serve argument {other:?}; try `ml4all serve --help`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut engine = Engine::new().with_data_dir(&data_dir);
+    if let Some(workers) = workers {
+        engine = engine.with_runtime(Arc::new(Runtime::new(workers)));
+    }
+    match Server::start(engine, config) {
+        Ok(server) => {
+            println!(
+                "ml4all-serve listening on {} (protocol {PROTOCOL_VERSION}, \
+                 rng stream {RNG_STREAM_VERSION})",
+                server.local_addr()
+            );
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_quota(spec: &str) -> Option<(String, TenantQuota)> {
+    let (tenant, rest) = spec.split_once('=')?;
+    let (in_flight, queued_bytes) = rest.split_once(':')?;
+    Some((
+        tenant.to_string(),
+        TenantQuota {
+            max_in_flight: in_flight.parse().ok()?,
+            max_queued_bytes: queued_bytes.parse().ok()?,
+        },
+    ))
+}
+
 fn run_statement(session: &Session, stmt: &str) -> bool {
     match session.execute(stmt) {
         Ok(SessionOutput::Trained { name, summary }) => {
@@ -149,6 +250,7 @@ fn print_help() {
     println!(
         "\
 usage: ml4all [--data-dir DIR] [-e STATEMENT]...
+       ml4all serve [--addr HOST:PORT] [--workers N] ...
 
 statements (Appendix A of the paper, plus the explain verb):
   [NAME =] run <task> on <dataset> [having ...] [using ...];
@@ -162,6 +264,24 @@ statements (Appendix A of the paper, plus the explain verb):
       iterations, Java/Spark platform mapping) instead of executing
   persist NAME on <path>;
   [NAME =] predict on <dataset> with <model-file-or-result-name>;
+"
+    );
+}
+
+fn print_serve_help() {
+    println!(
+        "\
+usage: ml4all serve [options]
+
+options:
+  --addr HOST:PORT       bind address (default 127.0.0.1:0, ephemeral)
+  --workers N            engine worker threads (default: process-wide pool)
+  --data-dir DIR         base directory for dataset/model paths
+  --max-frame BYTES      frame payload cap (default 1 MiB)
+  --global-in-flight N   max concurrent jobs across tenants (default 8)
+  --max-in-flight N      default per-tenant in-flight quota (default 4)
+  --max-queued-bytes N   default per-tenant queued-byte quota (default 256 KiB)
+  --quota T=N:BYTES      per-tenant override, repeatable
 "
     );
 }

@@ -1,0 +1,834 @@
+//! The serving wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one **frame**: a 4-byte
+//! big-endian `u32` payload length followed by exactly that many bytes of
+//! UTF-8 JSON. Requests are the externally-tagged [`Request`] enum;
+//! responses are [`Response`], either `{"Ok": …}` or `{"Err": {code,
+//! message, retry_after_ms}}`. A connection is a strict
+//! request/response sequence, except `Observe`, which streams one
+//! `{"Ok":{"Event":…}}` frame per job event and terminates with
+//! `{"Ok":{"ObserveEnd":…}}`.
+//!
+//! Two framing rules keep malformed clients from hurting anyone else:
+//!
+//! - an **oversized** frame (length above the server's `max_frame`) is
+//!   drained from the socket without buffering and answered with a typed
+//!   `oversized_frame` error — the connection survives;
+//! - a frame whose payload is not valid JSON for [`Request`] is answered
+//!   with `bad_frame` — the connection survives, because the framing
+//!   layer already knows where the next frame starts.
+//!
+//! Floats cross the wire twice: as plain JSON numbers (readable, and
+//! round-trip-exact under Rust's shortest-representation formatting) and
+//! as 16-hex-digit IEEE-754 bit patterns (`*_bits` fields), which are the
+//! authoritative values for bit-exactness checks.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use ml4all::{
+    AlgorithmPin, DataSource, GdVariant, GradientKind, JobEvent, SamplingMethod, TrainRequest,
+};
+use serde::{Deserialize, Serialize};
+
+/// Version of this wire protocol. `Hello` reports it; a client asking for
+/// a different version is refused with `unsupported_protocol`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on a single frame's payload bytes (1 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Typed error codes a server can answer with ([`WireError::code`]).
+pub mod code {
+    /// The payload was not valid JSON for the expected type, or the
+    /// frame length was zero.
+    pub const BAD_FRAME: &str = "bad_frame";
+    /// The frame length exceeded the server's `max_frame`; the payload
+    /// was drained and ignored.
+    pub const OVERSIZED_FRAME: &str = "oversized_frame";
+    /// A verb other than `Hello` arrived before `Hello` on this
+    /// connection.
+    pub const HELLO_REQUIRED: &str = "hello_required";
+    /// The client asked for a protocol version this server does not
+    /// speak.
+    pub const UNSUPPORTED_PROTOCOL: &str = "unsupported_protocol";
+    /// The request was well-formed JSON but semantically invalid
+    /// (unknown gradient, non-positive epsilon, …).
+    pub const INVALID_REQUEST: &str = "invalid_request";
+    /// Admission refused the job: the tenant's queue-byte quota is full.
+    /// [`super::WireError::retry_after_ms`] carries a backoff hint —
+    /// never a silent drop.
+    pub const BUSY: &str = "busy";
+    /// The job id is not known to this server.
+    pub const UNKNOWN_JOB: &str = "unknown_job";
+    /// The job belongs to a different tenant.
+    pub const FORBIDDEN: &str = "forbidden";
+    /// The verb itself failed (train/explain/predict error); the message
+    /// carries the rendered error.
+    pub const FAILED: &str = "failed";
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// One framing-layer read outcome.
+#[derive(Debug)]
+pub enum FrameIn {
+    /// A complete payload within the size cap.
+    Frame(Vec<u8>),
+    /// The announced length exceeded the cap; the payload has already
+    /// been drained off the socket, so the stream is still in sync.
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+    },
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Eof,
+}
+
+/// Read one frame. EOF mid-frame (after any header byte) is an
+/// `UnexpectedEof` error; EOF exactly at a frame boundary is
+/// [`FrameIn::Eof`].
+pub fn read_frame(reader: &mut impl Read, max_frame: usize) -> io::Result<FrameIn> {
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (zero bytes) from a truncated header.
+    let mut filled = 0;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(FrameIn::Eof),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len as usize > max_frame {
+        // Drain without buffering so the connection stays usable.
+        let drained = io::copy(&mut reader.take(len as u64), &mut io::sink())?;
+        if drained < len as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside oversized frame",
+            ));
+        }
+        return Ok(FrameIn::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(FrameIn::Frame(payload))
+}
+
+/// Write one frame (length header + payload). The caller flushes.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Serialize a value and write it as one frame. The caller flushes.
+pub fn write_message(writer: &mut impl Write, message: &impl Serialize) -> io::Result<()> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(writer, text.as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A client request, externally tagged: `{"Submit": {"train": …}}`,
+/// `"Stats"`, ….
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Open the conversation: authenticate as `tenant` and negotiate the
+    /// protocol. Required before any other verb.
+    Hello {
+        /// Tenant id this connection acts as.
+        tenant: String,
+        /// Protocol version the client speaks; `null` accepts the
+        /// server's.
+        protocol: Option<u32>,
+    },
+    /// Enqueue a training job; answers `Submitted` with the job id
+    /// immediately (admission permitting).
+    Submit {
+        /// The training request.
+        train: WireTrain,
+    },
+    /// Stream the job's events from sequence number `from` (default 0)
+    /// until the job finishes. Replayable: a reconnecting observer gets
+    /// the full buffered prefix.
+    Observe {
+        /// Job id from `Submitted`.
+        job: u64,
+        /// First event sequence number to deliver (resume point).
+        from: Option<u64>,
+    },
+    /// Request cooperative cancellation of a job this tenant owns.
+    Cancel {
+        /// Job id from `Submitted`.
+        job: u64,
+    },
+    /// Block until the job finishes and return its outcome (with
+    /// bit-exact weights on success).
+    Join {
+        /// Job id from `Submitted`.
+        job: u64,
+    },
+    /// Run the cost-based optimizer and return the costed plan table
+    /// without executing the winner.
+    Explain {
+        /// The training request to explain.
+        train: WireTrain,
+        /// Also profile every plan for the conformance column.
+        measured: Option<bool>,
+    },
+    /// Score a dataset with one of this tenant's bound models.
+    Predict {
+        /// Model name as given at submit time.
+        model: String,
+        /// Test data.
+        source: WireSource,
+    },
+    /// This tenant's admission counters, quotas, and job table.
+    Stats,
+}
+
+/// Where a wire request's data comes from (the catalog-resolvable subset
+/// of [`DataSource`]; in-memory handover cannot cross a socket).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireSource {
+    /// Resolve by name: registered dataset, then registry analog, then
+    /// file — `{"Named": "adult"}`.
+    Named(String),
+    /// A Table 2 registry analog only.
+    Registry(String),
+    /// A data file under the server's data dir.
+    File(String),
+}
+
+impl From<&WireSource> for DataSource {
+    fn from(source: &WireSource) -> Self {
+        match source {
+            WireSource::Named(name) => DataSource::Named {
+                name: name.clone(),
+                columns: None,
+            },
+            WireSource::Registry(name) => DataSource::Registry(name.clone()),
+            WireSource::File(path) => DataSource::File {
+                path: path.into(),
+                format: ml4all::FileFormat::Auto,
+                columns: None,
+            },
+        }
+    }
+}
+
+/// A training request as JSON: the wire analog of [`TrainRequest`].
+/// Only `gradient` and `source` are required.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireTrain {
+    /// Gradient function: `"logistic"`, `"squared"`, or `"hinge"`.
+    pub gradient: String,
+    /// Training data.
+    pub source: WireSource,
+    /// Convergence tolerance ε.
+    pub epsilon: Option<f64>,
+    /// Iteration cap (fixed iterations when no epsilon).
+    pub max_iter: Option<u64>,
+    /// Step size β for the `β/√i` schedule.
+    pub step: Option<f64>,
+    /// MGD mini-batch size.
+    pub batch: Option<u64>,
+    /// Pin the GD algorithm: `"bgd"`, `"sgd"`, or `"mgd"`.
+    pub algorithm: Option<String>,
+    /// Pin the sampler: `"bernoulli"`, `"random"`, or `"shuffle"`.
+    pub sampler: Option<String>,
+    /// RNG seed (default 0; part of the plan-cache key).
+    pub seed: Option<u64>,
+    /// Result name to bind (namespaced per tenant by the server).
+    pub name: Option<String>,
+    /// Progress-tick cadence in iterations.
+    pub progress_every: Option<u64>,
+    /// Real wall-clock execution limit in milliseconds.
+    pub wall_limit_ms: Option<u64>,
+    /// Simulated-cost budget in milliseconds (`having time …`).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl WireTrain {
+    /// A minimal wire request: `gradient` on `source`, everything else
+    /// at the defaults.
+    pub fn new(gradient: &str, source: WireSource) -> Self {
+        Self {
+            gradient: gradient.to_string(),
+            source,
+            epsilon: None,
+            max_iter: None,
+            step: None,
+            batch: None,
+            algorithm: None,
+            sampler: None,
+            seed: None,
+            name: None,
+            progress_every: None,
+            wall_limit_ms: None,
+            time_budget_ms: None,
+        }
+    }
+
+    /// Lower onto a typed [`TrainRequest`], validating eagerly so a bad
+    /// request is refused at the door instead of failing inside a job.
+    pub fn to_request(&self) -> Result<TrainRequest, WireError> {
+        let invalid = |message: String| WireError {
+            code: code::INVALID_REQUEST.to_string(),
+            message,
+            retry_after_ms: None,
+        };
+        let gradient = match self.gradient.as_str() {
+            "squared" | "linear" => GradientKind::LinearRegression,
+            "logistic" | "classification" => GradientKind::LogisticRegression,
+            "hinge" | "svm" => GradientKind::Svm,
+            other => {
+                return Err(invalid(format!(
+                    "unknown gradient `{other}` (expected `logistic`, `squared`, or `hinge`)"
+                )))
+            }
+        };
+        let mut request = TrainRequest::new(gradient, DataSource::from(&self.source));
+        if let Some(epsilon) = self.epsilon {
+            request = request.epsilon(epsilon);
+        }
+        if let Some(max_iter) = self.max_iter {
+            request = request.max_iter(max_iter);
+        }
+        if let Some(step) = self.step {
+            request = request.step(step);
+        }
+        if let Some(batch) = self.batch {
+            request = request.batch(batch);
+        }
+        if let Some(algorithm) = &self.algorithm {
+            match algorithm.as_str() {
+                "bgd" | "batch" => request = request.algorithm(GdVariant::Batch),
+                "sgd" | "stochastic" => request = request.algorithm(GdVariant::Stochastic),
+                // Pin MGD while letting the planner default the batch
+                // size when the request leaves it out.
+                "mgd" | "minibatch" => {
+                    request.spec.algorithm = Some(AlgorithmPin::MiniBatch { batch: self.batch })
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "unknown algorithm `{other}` (expected `bgd`, `sgd`, or `mgd`)"
+                    )))
+                }
+            }
+        }
+        if let Some(sampler) = &self.sampler {
+            let sampler = match sampler.as_str() {
+                "bernoulli" => SamplingMethod::Bernoulli,
+                "random" | "random-partition" => SamplingMethod::RandomPartition,
+                "shuffle" | "shuffled-partition" => SamplingMethod::ShuffledPartition,
+                other => {
+                    return Err(invalid(format!(
+                        "unknown sampler `{other}` (expected `bernoulli`, `random`, or `shuffle`)"
+                    )))
+                }
+            };
+            request = request.sampler(sampler);
+        }
+        if let Some(seed) = self.seed {
+            request = request.seed(seed);
+        }
+        if let Some(name) = &self.name {
+            request = request.named(name.clone());
+        }
+        if let Some(every) = self.progress_every {
+            request = request.progress_every(every);
+        }
+        if let Some(ms) = self.wall_limit_ms {
+            request = request.wall_limit(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.time_budget_ms {
+            request = request.time_budget(Duration::from_millis(ms));
+        }
+        request.config().map_err(|e| invalid(e.to_string()))?;
+        Ok(request)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// A server response: `{"Ok": <payload>}` or `{"Err": <error>}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// The verb succeeded.
+    Ok(Payload),
+    /// The verb was refused or failed; typed, never a silent drop.
+    Err(WireError),
+}
+
+/// A typed server-side refusal or failure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireError {
+    /// One of the [`code`] constants.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `busy`: suggested client backoff before retrying.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// Build an error with no backoff hint.
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        Self {
+            code: code.to_string(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms}ms)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Success payloads, one variant per verb (plus the observe stream).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Payload {
+    /// Answer to `Hello`.
+    Hello {
+        /// Server name and version (`ml4all-serve x.y.z`).
+        server: String,
+        /// Wire protocol version in effect.
+        protocol: u32,
+        /// The deterministic RNG stream version — two servers reporting
+        /// the same value produce bit-identical results for the same
+        /// request.
+        rng_stream_version: u32,
+        /// The server's frame payload cap in bytes.
+        max_frame: u64,
+    },
+    /// Answer to `Submit`: the job was admitted (queued or dispatched).
+    Submitted {
+        /// Server-assigned job id; the handle for
+        /// observe/cancel/join/stats.
+        job: u64,
+    },
+    /// One observe-stream element.
+    Event {
+        /// Sequence number (0-based, dense) — the resume cursor for
+        /// `Observe.from`.
+        seq: u64,
+        /// The event.
+        event: WireEvent,
+    },
+    /// Observe-stream terminator: no more events will ever come.
+    ObserveEnd {
+        /// The job observed.
+        job: u64,
+        /// Terminal status: `completed` / `cancelled` / `failed`.
+        status: String,
+    },
+    /// Answer to `Cancel`: the cancellation request was delivered (the
+    /// job still stops only at its next wave boundary).
+    Cancelled {
+        /// The job.
+        job: u64,
+    },
+    /// Answer to `Join`.
+    Joined(WireTrained),
+    /// Answer to `Explain`.
+    Explained(WireReport),
+    /// Answer to `Predict`.
+    Predicted {
+        /// Number of points scored.
+        n: u64,
+        /// Mean squared error against the source labels.
+        mse: f64,
+        /// Sign accuracy (classification models only).
+        accuracy: Option<f64>,
+    },
+    /// Answer to `Stats`.
+    Stats(WireStats),
+}
+
+/// A job event as JSON (the wire analog of [`JobEvent`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireEvent {
+    /// The optimizer started speculative runs.
+    SpeculationStarted,
+    /// The optimizer committed to a plan.
+    PlanChosen {
+        /// Rendered plan (`mgd(1000)/shuffle/…`).
+        plan: String,
+        /// Iterations the optimizer expects.
+        estimated_iterations: u64,
+        /// One-time preparation cost (simulated seconds).
+        preparation_s: f64,
+        /// Per-iteration cost (simulated seconds).
+        per_iteration_s: f64,
+        /// Total estimated cost (simulated seconds).
+        total_s: f64,
+        /// Served from the plan cache.
+        cache_hit: bool,
+        /// Backend the plan executes on.
+        backend: String,
+    },
+    /// A convergence checkpoint.
+    Progress {
+        /// Iteration just completed (1-based).
+        iteration: u64,
+        /// Convergence delta.
+        delta: f64,
+        /// IEEE-754 bits of `delta` (authoritative).
+        delta_bits: String,
+        /// Simulated seconds elapsed.
+        sim_time_s: f64,
+        /// IEEE-754 bits of `sim_time_s` (authoritative).
+        sim_time_bits: String,
+    },
+    /// The job finished and its model was bound.
+    Completed {
+        /// Bound result name (tenant-visible, unprefixed).
+        name: String,
+        /// Iterations executed.
+        iterations: u64,
+        /// Why the run stopped (`Converged`, `MaxIterations`, …).
+        stop: String,
+        /// Whether the tolerance was reached.
+        converged: bool,
+        /// Simulated training seconds.
+        sim_time_s: f64,
+    },
+    /// The job stopped at its cancellation token.
+    Cancelled {
+        /// Iterations completed before the stop.
+        iterations: u64,
+    },
+    /// The job failed.
+    Failed {
+        /// Rendered error.
+        message: String,
+    },
+}
+
+impl WireEvent {
+    /// Lower an engine [`JobEvent`], stripping `prefix` from bound names
+    /// so tenants see their own namespace.
+    pub fn from_job_event(event: &JobEvent, prefix: &str) -> Self {
+        match event {
+            JobEvent::SpeculationStarted => Self::SpeculationStarted,
+            JobEvent::PlanChosen {
+                plan,
+                estimated_iterations,
+                preparation_s,
+                per_iteration_s,
+                total_s,
+                cache_hit,
+                backend,
+            } => Self::PlanChosen {
+                plan: plan.to_string(),
+                estimated_iterations: *estimated_iterations,
+                preparation_s: *preparation_s,
+                per_iteration_s: *per_iteration_s,
+                total_s: *total_s,
+                cache_hit: *cache_hit,
+                backend: (*backend).to_string(),
+            },
+            JobEvent::Progress {
+                iteration,
+                delta,
+                sim_time_s,
+                ..
+            } => Self::Progress {
+                iteration: *iteration,
+                delta: *delta,
+                delta_bits: f64_to_bits_hex(*delta),
+                sim_time_s: *sim_time_s,
+                sim_time_bits: f64_to_bits_hex(*sim_time_s),
+            },
+            JobEvent::Completed {
+                name,
+                iterations,
+                stop,
+                converged,
+                sim_time_s,
+            } => Self::Completed {
+                name: name.strip_prefix(prefix).unwrap_or(name).to_string(),
+                iterations: *iterations,
+                stop: format!("{stop:?}"),
+                converged: *converged,
+                sim_time_s: *sim_time_s,
+            },
+            JobEvent::Cancelled { iterations } => Self::Cancelled {
+                iterations: *iterations,
+            },
+            JobEvent::Failed { message } => Self::Failed {
+                message: message.clone(),
+            },
+        }
+    }
+}
+
+/// A finished job's outcome (the wire analog of
+/// [`Trained`](ml4all::Trained) plus the bound weights).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireTrained {
+    /// The job.
+    pub job: u64,
+    /// Terminal status: `completed` / `cancelled` / `failed`.
+    pub status: String,
+    /// Bound result name (tenant-visible), on success.
+    pub name: Option<String>,
+    /// Rendered winning plan, on success.
+    pub plan: Option<String>,
+    /// Iterations executed (success or cancellation).
+    pub iterations: Option<u64>,
+    /// Whether the tolerance was reached, on success.
+    pub converged: Option<bool>,
+    /// Simulated training seconds, on success.
+    pub sim_time_s: Option<f64>,
+    /// Model weights as JSON numbers (round-trip-exact), on success.
+    pub weights: Option<Vec<f64>>,
+    /// Model weights as IEEE-754 bit patterns (authoritative), on
+    /// success.
+    pub weights_bits: Option<Vec<String>>,
+    /// Rendered error, on failure.
+    pub error: Option<String>,
+}
+
+/// The optimizer's costed plan table (the wire analog of
+/// [`OptimizerReport`](ml4all::OptimizerReport)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireReport {
+    /// Served from the plan cache.
+    pub cache_hit: bool,
+    /// Rendered winning (cheapest) plan.
+    pub best: String,
+    /// Simulated optimizer overhead (speculation runs).
+    pub speculation_sim_s: f64,
+    /// Every enumerated plan, cheapest first.
+    pub choices: Vec<WireChoice>,
+}
+
+/// One row of the plan table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireChoice {
+    /// Rendered plan.
+    pub plan: String,
+    /// Iterations the optimizer expects.
+    pub estimated_iterations: u64,
+    /// One-time preparation cost (simulated seconds).
+    pub preparation_s: f64,
+    /// Per-iteration cost (simulated seconds).
+    pub per_iteration_s: f64,
+    /// Total estimated cost (simulated seconds).
+    pub total_s: f64,
+    /// Ledger-measured cost, when profiled (`Explain.measured`).
+    pub measured_s: Option<f64>,
+}
+
+/// Answer to `Stats`: this tenant's admission state and jobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireStats {
+    /// The tenant these stats are for.
+    pub tenant: String,
+    /// This tenant's jobs currently dispatched and unfinished.
+    pub in_flight: u64,
+    /// This tenant's jobs waiting in the admission queue.
+    pub queued: u64,
+    /// Bytes of queued request frames counted against the byte quota.
+    pub queued_bytes: u64,
+    /// Quota: max dispatched-and-unfinished jobs.
+    pub quota_max_in_flight: u64,
+    /// Quota: max queued request bytes before `busy`.
+    pub quota_max_queued_bytes: u64,
+    /// Dispatched-and-unfinished jobs across all tenants.
+    pub global_in_flight: u64,
+    /// The server's global in-flight cap.
+    pub global_capacity: u64,
+    /// Engine plan-cache hits since boot (shared across tenants).
+    pub plan_cache_hits: u64,
+    /// Engine plan-cache misses since boot.
+    pub plan_cache_misses: u64,
+    /// Engine plan-cache entries.
+    pub plan_cache_len: u64,
+    /// This tenant's jobs, submission order.
+    pub jobs: Vec<WireJob>,
+}
+
+/// One row of a tenant's job table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireJob {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Engine-assigned id once dispatched (`null` while queued).
+    pub engine_id: Option<u64>,
+    /// Requested result name (tenant-visible).
+    pub name: Option<String>,
+    /// `queued` / `running` / `completed` / `cancelled` / `failed`.
+    pub status: String,
+}
+
+// ---------------------------------------------------------------------
+// Bit-exact float transport
+// ---------------------------------------------------------------------
+
+/// The authoritative wire form of an `f64`: its IEEE-754 bit pattern as
+/// 16 lowercase hex digits.
+pub fn f64_to_bits_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Parse [`f64_to_bits_hex`]'s output back to the identical float.
+pub fn f64_from_bits_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Encode a weight vector in both wire forms (numbers + bit patterns).
+pub fn encode_weights(weights: &[f64]) -> (Vec<f64>, Vec<String>) {
+    (
+        weights.to_vec(),
+        weights.iter().copied().map(f64_to_bits_hex).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut reader = io::Cursor::new(buf);
+        let FrameIn::Frame(first) = read_frame(&mut reader, 64).unwrap() else {
+            panic!("expected frame");
+        };
+        assert_eq!(first, b"{\"a\":1}");
+        let FrameIn::Frame(second) = read_frame(&mut reader, 64).unwrap() else {
+            panic!("expected frame");
+        };
+        assert!(second.is_empty());
+        assert!(matches!(read_frame(&mut reader, 64).unwrap(), FrameIn::Eof));
+    }
+
+    #[test]
+    fn oversized_frames_are_drained_and_the_stream_stays_in_sync() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[b'x'; 100]).unwrap();
+        write_frame(&mut buf, b"ok").unwrap();
+        let mut reader = io::Cursor::new(buf);
+        let FrameIn::Oversized { len } = read_frame(&mut reader, 10).unwrap() else {
+            panic!("expected oversized");
+        };
+        assert_eq!(len, 100);
+        // The next frame is intact: the oversized payload was drained.
+        let FrameIn::Frame(next) = read_frame(&mut reader, 10).unwrap() else {
+            panic!("expected frame");
+        };
+        assert_eq!(next, b"ok");
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_hanging_state() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // header + 2 of 5 payload bytes
+        let mut reader = io::Cursor::new(buf);
+        let err = read_frame(&mut reader, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = [
+            Request::Hello {
+                tenant: "acme".into(),
+                protocol: Some(PROTOCOL_VERSION),
+            },
+            Request::Submit {
+                train: WireTrain::new("logistic", WireSource::Registry("adult".into())),
+            },
+            Request::Observe { job: 7, from: None },
+            Request::Cancel { job: 7 },
+            Request::Stats,
+        ];
+        for request in &requests {
+            let text = serde_json::to_string(request).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            // Round-trip sameness via re-serialization (no PartialEq on
+            // the wire types).
+            assert_eq!(text, serde_json::to_string(&back).unwrap());
+        }
+    }
+
+    #[test]
+    fn unit_verbs_serialize_as_plain_strings() {
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+    }
+
+    #[test]
+    fn bits_hex_is_exact_for_awkward_floats() {
+        for x in [
+            0.1f64,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.5e-300,
+            -0.0,
+            6.02214076e23,
+        ] {
+            let hex = f64_to_bits_hex(x);
+            assert_eq!(hex.len(), 16);
+            let back = f64_from_bits_hex(&hex).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        assert_eq!(f64_from_bits_hex("xyz"), None);
+        assert_eq!(f64_from_bits_hex("3ff"), None);
+    }
+
+    #[test]
+    fn wire_train_lowers_onto_a_validated_request() {
+        let mut wire = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+        wire.max_iter = Some(25);
+        wire.algorithm = Some("mgd".into());
+        wire.sampler = Some("shuffle".into());
+        wire.seed = Some(42);
+        let request = wire.to_request().unwrap();
+        assert_eq!(request.seed, 42);
+        assert!(matches!(
+            request.spec.algorithm,
+            Some(AlgorithmPin::MiniBatch { batch: None })
+        ));
+
+        // Bad values are refused at the door with a typed code.
+        let mut bad = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+        bad.epsilon = Some(-1.0);
+        assert_eq!(bad.to_request().unwrap_err().code, code::INVALID_REQUEST);
+        let unknown = WireTrain::new("quadratic", WireSource::Registry("adult".into()));
+        assert_eq!(
+            unknown.to_request().unwrap_err().code,
+            code::INVALID_REQUEST
+        );
+    }
+}

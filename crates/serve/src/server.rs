@@ -1,0 +1,672 @@
+//! The TCP serving front end: connection handling, verb dispatch, and
+//! the admission → engine pipeline.
+//!
+//! One thread per connection (requests are small and jobs run on the
+//! engine's worker pool, so connection threads only parse, route, and
+//! stream), plus one dispatcher thread draining the admission
+//! controller into [`Engine::submit_tagged`] and one short-lived pump
+//! thread per dispatched job mirroring its [`ml4all::JobEvent`] stream
+//! into a replayable per-job buffer.
+//!
+//! Determinism: the server adds no randomness and no wall-clock values
+//! to any response — a wire-submitted job runs the exact
+//! [`Engine::submit`] code path (same plan-cache key, same RNG
+//! streams), so its weights are bit-identical to the same request
+//! submitted in process.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ml4all::{CancelToken, Engine, JobStatus, ModelRef, PredictRequest, TrainRequest};
+use ml4all::{ExplainRequest, SessionError, RNG_STREAM_VERSION};
+
+use crate::admission::{Admission, TenantQuota};
+use crate::protocol::{
+    self, code, read_frame, write_message, FrameIn, Payload, Request, Response, WireError,
+    WireEvent, WireJob, WireReport, WireStats, WireTrained, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+
+/// Server configuration: address, framing cap, and admission policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Frame payload cap in bytes; larger frames are drained and
+    /// refused with `oversized_frame`.
+    pub max_frame: usize,
+    /// Max jobs dispatched-and-unfinished across all tenants.
+    pub global_in_flight: usize,
+    /// Deficit-round-robin credit per lane visit, in bytes.
+    pub drr_quantum: usize,
+    /// Quota for tenants without an explicit entry.
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(String, TenantQuota)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_frame: DEFAULT_MAX_FRAME,
+            global_in_flight: 8,
+            drr_quantum: 4096,
+            default_quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
+        }
+    }
+}
+
+/// A job's server-side progress record: the replayable event buffer and
+/// terminal outcome, shared by the pump thread and any observers.
+struct JobProgress {
+    engine_id: Option<u64>,
+    cancel: Option<CancelToken>,
+    cancel_requested: bool,
+    events: Vec<WireEvent>,
+    outcome: Option<WireTrained>,
+}
+
+/// One wire-submitted job.
+struct ServedJob {
+    id: u64,
+    tenant: String,
+    /// Tenant-visible result name (always set; the engine sees it
+    /// prefixed with `tenant:`).
+    name: String,
+    state: Mutex<JobProgress>,
+    changed: Condvar,
+}
+
+impl ServedJob {
+    /// Finalize with `outcome`, waking observers and joiners. The
+    /// outcome is set *after* the last event, so `outcome.is_some()`
+    /// implies the event buffer is complete.
+    fn finish(&self, outcome: WireTrained) {
+        let mut state = self.state.lock().expect("job state");
+        state.outcome = Some(outcome);
+        drop(state);
+        self.changed.notify_all();
+    }
+}
+
+/// A queued, admitted job waiting for the dispatcher.
+struct Pending {
+    job: Arc<ServedJob>,
+    request: TrainRequest,
+}
+
+struct Shared {
+    engine: Engine,
+    config: ServeConfig,
+    admission: Admission<Pending>,
+    jobs: Mutex<HashMap<u64, Arc<ServedJob>>>,
+    next_job: AtomicU64,
+    protocol_errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running serving front end. Dropping it shuts the listener and the
+/// dispatcher down (connection threads exit as their clients hang up).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and serve `engine` until
+    /// [`Server::shutdown`] or drop.
+    pub fn start(engine: Engine, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let admission = Admission::new(
+            config.drr_quantum,
+            config.global_in_flight,
+            config.default_quota,
+        );
+        for (tenant, quota) in &config.tenant_quotas {
+            admission.set_quota(tenant, *quota);
+        }
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            admission,
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound address (with the resolved port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Framing-layer violations seen so far (bad or oversized frames) —
+    /// each was answered with a typed error, never a dropped
+    /// connection.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and dispatching. Idempotent; also runs on drop.
+    /// Jobs already handed to the engine run to completion.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.admission.shutdown();
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they exit on client EOF or
+        // write failure.
+        std::thread::spawn(move || {
+            let _ = handle_connection(&shared, stream);
+        });
+    }
+}
+
+/// Drain the admission controller into the engine until shutdown.
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    while let Some(dispatch) = shared.admission.next() {
+        let Pending { job, request } = dispatch.item;
+        dispatch_job(shared, job, request);
+    }
+}
+
+/// Hand one admitted job to the engine and start its event pump, or
+/// finalize it immediately if it was cancelled while queued.
+fn dispatch_job(shared: &Arc<Shared>, job: Arc<ServedJob>, request: TrainRequest) {
+    let mut state = job.state.lock().expect("job state");
+    if state.cancel_requested {
+        state.events.push(WireEvent::Cancelled { iterations: 0 });
+        drop(state);
+        job.finish(WireTrained {
+            job: job.id,
+            status: "cancelled".to_string(),
+            name: None,
+            plan: None,
+            iterations: Some(0),
+            converged: None,
+            sim_time_s: None,
+            weights: None,
+            weights_bits: None,
+            error: None,
+        });
+        shared.admission.complete(&job.tenant);
+        return;
+    }
+    // Submit under the job lock so a concurrent `Cancel` either sets
+    // `cancel_requested` before this check or finds the token after.
+    let handle = shared.engine.submit_tagged(request, &job.tenant);
+    state.engine_id = Some(handle.id());
+    state.cancel = Some(handle.cancel_token());
+    drop(state);
+
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let prefix = format!("{}:", job.tenant);
+        for event in handle.progress() {
+            let wire = WireEvent::from_job_event(&event, &prefix);
+            job.state.lock().expect("job state").events.push(wire);
+            job.changed.notify_all();
+        }
+        let outcome = match handle.join() {
+            Ok(trained) => {
+                let (weights, weights_bits) = shared
+                    .engine
+                    .model(&trained.name)
+                    .map(|model| protocol::encode_weights(model.weights.as_slice()))
+                    .map(|(w, b)| (Some(w), Some(b)))
+                    .unwrap_or((None, None));
+                WireTrained {
+                    job: job.id,
+                    status: "completed".to_string(),
+                    name: Some(job.name.clone()),
+                    plan: Some(trained.summary.plan.to_string()),
+                    iterations: Some(trained.summary.iterations),
+                    converged: Some(trained.summary.converged),
+                    sim_time_s: Some(trained.summary.sim_time_s),
+                    weights,
+                    weights_bits,
+                    error: None,
+                }
+            }
+            Err(SessionError::Cancelled { iterations }) => WireTrained {
+                job: job.id,
+                status: "cancelled".to_string(),
+                name: None,
+                plan: None,
+                iterations: Some(iterations),
+                converged: None,
+                sim_time_s: None,
+                weights: None,
+                weights_bits: None,
+                error: None,
+            },
+            Err(other) => WireTrained {
+                job: job.id,
+                status: "failed".to_string(),
+                name: None,
+                plan: None,
+                iterations: None,
+                converged: None,
+                sim_time_s: None,
+                weights: None,
+                weights_bits: None,
+                error: Some(other.to_string()),
+            },
+        };
+        job.finish(outcome);
+        shared.admission.complete(&job.tenant);
+    });
+}
+
+/// Serve one connection: a strict request/response loop (observe
+/// streams multiple response frames) that survives malformed and
+/// oversized frames with typed errors.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut tenant: Option<String> = None;
+    loop {
+        let frame = match read_frame(&mut reader, shared.config.max_frame) {
+            Ok(FrameIn::Eof) | Err(_) => return Ok(()),
+            Ok(FrameIn::Oversized { len }) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut writer,
+                    &Response::Err(WireError::new(
+                        code::OVERSIZED_FRAME,
+                        format!(
+                            "frame of {len} bytes exceeds the {} byte cap",
+                            shared.config.max_frame
+                        ),
+                    )),
+                )?;
+                continue;
+            }
+            Ok(FrameIn::Frame(payload)) => payload,
+        };
+        let request: Request = match serde_json::from_slice(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut writer,
+                    &Response::Err(WireError::new(code::BAD_FRAME, e.to_string())),
+                )?;
+                continue;
+            }
+        };
+        // The admission byte cost of this request: its frame, header
+        // included.
+        let cost = frame.len() + 4;
+        match request {
+            Request::Hello {
+                tenant: who,
+                protocol,
+            } => {
+                if let Some(asked) = protocol {
+                    if asked != PROTOCOL_VERSION {
+                        send(
+                            &mut writer,
+                            &Response::Err(WireError::new(
+                                code::UNSUPPORTED_PROTOCOL,
+                                format!("server speaks protocol {PROTOCOL_VERSION}, not {asked}"),
+                            )),
+                        )?;
+                        continue;
+                    }
+                }
+                tenant = Some(who);
+                send(
+                    &mut writer,
+                    &Response::Ok(Payload::Hello {
+                        server: concat!("ml4all-serve ", env!("CARGO_PKG_VERSION")).to_string(),
+                        protocol: PROTOCOL_VERSION,
+                        rng_stream_version: RNG_STREAM_VERSION,
+                        max_frame: shared.config.max_frame as u64,
+                    }),
+                )?;
+            }
+            other => {
+                let Some(tenant) = tenant.clone() else {
+                    send(
+                        &mut writer,
+                        &Response::Err(WireError::new(
+                            code::HELLO_REQUIRED,
+                            "send Hello with your tenant id first",
+                        )),
+                    )?;
+                    continue;
+                };
+                handle_verb(shared, &mut writer, &tenant, other, cost)?;
+            }
+        }
+    }
+}
+
+/// Dispatch one authenticated verb.
+fn handle_verb(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    tenant: &str,
+    request: Request,
+    cost: usize,
+) -> io::Result<()> {
+    match request {
+        Request::Hello { .. } => unreachable!("handled by the connection loop"),
+        Request::Submit { train } => {
+            let response = submit(shared, tenant, &train, cost);
+            send(writer, &response)
+        }
+        Request::Observe { job, from } => {
+            let job = match owned_job(shared, tenant, job) {
+                Ok(job) => job,
+                Err(e) => return send(writer, &Response::Err(e)),
+            };
+            observe(writer, &job, from.unwrap_or(0))
+        }
+        Request::Cancel { job } => {
+            let job = match owned_job(shared, tenant, job) {
+                Ok(job) => job,
+                Err(e) => return send(writer, &Response::Err(e)),
+            };
+            let mut state = job.state.lock().expect("job state");
+            if state.outcome.is_none() {
+                match &state.cancel {
+                    Some(token) => token.cancel(),
+                    // Still queued: the dispatcher finalizes it as
+                    // cancelled when its turn comes.
+                    None => state.cancel_requested = true,
+                }
+            }
+            drop(state);
+            send(writer, &Response::Ok(Payload::Cancelled { job: job.id }))
+        }
+        Request::Join { job } => {
+            let job = match owned_job(shared, tenant, job) {
+                Ok(job) => job,
+                Err(e) => return send(writer, &Response::Err(e)),
+            };
+            let mut state = job.state.lock().expect("job state");
+            while state.outcome.is_none() {
+                state = job.changed.wait(state).expect("job wait");
+            }
+            let outcome = state.outcome.clone().expect("outcome present");
+            drop(state);
+            send(writer, &Response::Ok(Payload::Joined(outcome)))
+        }
+        Request::Explain { train, measured } => {
+            let response = match train.to_request() {
+                Err(e) => Response::Err(e),
+                Ok(request) => {
+                    match shared
+                        .engine
+                        .explain(ExplainRequest::new(request).measured(measured.unwrap_or(false)))
+                    {
+                        Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
+                        Ok(report) => Response::Ok(Payload::Explained(WireReport {
+                            cache_hit: report.cache_hit,
+                            best: report.best().plan.to_string(),
+                            speculation_sim_s: report.speculation_sim_s,
+                            choices: report
+                                .choices
+                                .iter()
+                                .map(|c| protocol::WireChoice {
+                                    plan: c.plan.to_string(),
+                                    estimated_iterations: c.estimated_iterations,
+                                    preparation_s: c.preparation_s,
+                                    per_iteration_s: c.per_iteration_s,
+                                    total_s: c.total_s,
+                                    measured_s: c.measured_s,
+                                })
+                                .collect(),
+                        })),
+                    }
+                }
+            };
+            send(writer, &response)
+        }
+        Request::Predict { model, source } => {
+            // Model names resolve inside the tenant's namespace only.
+            let namespaced = format!("{tenant}:{model}");
+            let request = PredictRequest::new(
+                ml4all::DataSource::from(&source),
+                ModelRef::Named(namespaced),
+            );
+            let response = match shared.engine.predict(request) {
+                Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
+                Ok(p) => Response::Ok(Payload::Predicted {
+                    n: p.predictions.len() as u64,
+                    mse: p.mse,
+                    accuracy: p.accuracy,
+                }),
+            };
+            send(writer, &response)
+        }
+        Request::Stats => send(writer, &Response::Ok(Payload::Stats(stats(shared, tenant)))),
+    }
+}
+
+/// Admit one training job: namespace its name, register it, and queue
+/// it (or refuse with typed `busy` backpressure).
+fn submit(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    train: &protocol::WireTrain,
+    cost: usize,
+) -> Response {
+    let mut request = match train.to_request() {
+        Ok(request) => request,
+        Err(e) => return Response::Err(e),
+    };
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+    // Every wire job gets an explicit, tenant-prefixed result name so
+    // tenants cannot observe (or shadow) each other's models.
+    let visible = request.name.clone().unwrap_or_else(|| format!("j{id}"));
+    request = request.named(format!("{tenant}:{visible}"));
+    let job = Arc::new(ServedJob {
+        id,
+        tenant: tenant.to_string(),
+        name: visible,
+        state: Mutex::new(JobProgress {
+            engine_id: None,
+            cancel: None,
+            cancel_requested: false,
+            events: Vec::new(),
+            outcome: None,
+        }),
+        changed: Condvar::new(),
+    });
+    shared
+        .jobs
+        .lock()
+        .expect("job table")
+        .insert(id, Arc::clone(&job));
+    let pending = Pending {
+        job: Arc::clone(&job),
+        request,
+    };
+    match shared.admission.offer(tenant, cost, pending) {
+        Ok(()) => Response::Ok(Payload::Submitted { job: id }),
+        Err(busy) => {
+            // Refused at the door: forget the job id again.
+            shared.jobs.lock().expect("job table").remove(&id);
+            Response::Err(WireError {
+                code: code::BUSY.to_string(),
+                message: format!("tenant `{tenant}` queued-byte quota is full"),
+                retry_after_ms: Some(busy.retry_after_ms),
+            })
+        }
+    }
+}
+
+/// Stream a job's events from `from` until its terminal outcome.
+fn observe(writer: &mut BufWriter<TcpStream>, job: &ServedJob, from: u64) -> io::Result<()> {
+    let mut seq = from;
+    loop {
+        let (batch, done) = {
+            let mut state = job.state.lock().expect("job state");
+            loop {
+                if (state.events.len() as u64) > seq || state.outcome.is_some() {
+                    let start = (seq as usize).min(state.events.len());
+                    // The outcome is recorded only after the final
+                    // event, so `done` means the batch is the rest.
+                    break (state.events[start..].to_vec(), state.outcome.is_some());
+                }
+                state = job.changed.wait(state).expect("observe wait");
+            }
+        };
+        for event in batch {
+            send(writer, &Response::Ok(Payload::Event { seq, event }))?;
+            seq += 1;
+        }
+        if done {
+            let state = job.state.lock().expect("job state");
+            let status = state
+                .outcome
+                .as_ref()
+                .map(|o| o.status.clone())
+                .expect("done implies outcome");
+            drop(state);
+            return send(
+                writer,
+                &Response::Ok(Payload::ObserveEnd {
+                    job: job.id,
+                    status,
+                }),
+            );
+        }
+    }
+}
+
+/// This tenant's stats: admission counters plus its job table. Job
+/// statuses come from the [`Engine::jobs`] snapshot — the engine is the
+/// single source of truth for dispatched jobs.
+fn stats(shared: &Arc<Shared>, tenant: &str) -> WireStats {
+    let lane = shared.admission.stats(tenant);
+    let engine_status: HashMap<u64, JobStatus> = shared
+        .engine
+        .jobs()
+        .into_iter()
+        .map(|info| (info.id, info.status))
+        .collect();
+    let mut jobs: Vec<WireJob> = shared
+        .jobs
+        .lock()
+        .expect("job table")
+        .values()
+        .filter(|job| job.tenant == tenant)
+        .map(|job| {
+            let state = job.state.lock().expect("job state");
+            let status = match (&state.outcome, state.engine_id) {
+                (Some(outcome), _) => outcome.status.clone(),
+                (None, Some(engine_id)) => engine_status
+                    .get(&engine_id)
+                    .map(|status| status_name(*status).to_string())
+                    .unwrap_or_else(|| "running".to_string()),
+                (None, None) => "queued".to_string(),
+            };
+            WireJob {
+                job: job.id,
+                engine_id: state.engine_id,
+                name: Some(job.name.clone()),
+                status,
+            }
+        })
+        .collect();
+    jobs.sort_by_key(|j| j.job);
+    let cache = shared.engine.plan_cache();
+    WireStats {
+        tenant: tenant.to_string(),
+        in_flight: lane.in_flight as u64,
+        queued: lane.queued as u64,
+        queued_bytes: lane.queued_bytes as u64,
+        quota_max_in_flight: lane.quota.max_in_flight as u64,
+        quota_max_queued_bytes: lane.quota.max_queued_bytes as u64,
+        global_in_flight: lane.global_in_flight as u64,
+        global_capacity: lane.global_capacity as u64,
+        plan_cache_hits: cache.hits(),
+        plan_cache_misses: cache.misses(),
+        plan_cache_len: cache.len() as u64,
+        jobs,
+    }
+}
+
+fn status_name(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Completed => "completed",
+        JobStatus::Cancelled => "cancelled",
+        JobStatus::Failed => "failed",
+    }
+}
+
+/// Look a job up and enforce tenant ownership.
+fn owned_job(shared: &Arc<Shared>, tenant: &str, id: u64) -> Result<Arc<ServedJob>, WireError> {
+    let jobs = shared.jobs.lock().expect("job table");
+    let job = jobs
+        .get(&id)
+        .ok_or_else(|| WireError::new(code::UNKNOWN_JOB, format!("no job {id}")))?;
+    if job.tenant != tenant {
+        // Jobs are tenant-private: existence is not confirmed either.
+        return Err(WireError::new(
+            code::FORBIDDEN,
+            format!("job {id} is not owned by tenant `{tenant}`"),
+        ));
+    }
+    Ok(Arc::clone(job))
+}
+
+/// Write one response frame and flush it (responses must not sit in the
+/// buffer while the connection loop blocks on the next read).
+fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
+    write_message(writer, response)?;
+    writer.flush()
+}

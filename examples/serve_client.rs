@@ -1,0 +1,77 @@
+//! Talk to a serving front end over the wire: boot an in-process server,
+//! submit a training job, stream its events, score the bound model, and
+//! read the tenant's stats.
+//!
+//! ```sh
+//! cargo run --example serve_client
+//! ```
+
+use ml4all::Engine;
+use ml4all_serve::{Client, ServeConfig, Server, WireEvent, WireSource, WireTrain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // In production this would be `ml4all serve --addr …` in another
+    // process; here the server runs in-process on an ephemeral port.
+    let server = Server::start(Engine::new(), ServeConfig::default())?;
+    println!("server on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr())?;
+    let hello = client.hello("acme")?;
+    println!(
+        "connected to {} (protocol {}, rng stream {})",
+        hello.server, hello.protocol, hello.rng_stream_version
+    );
+
+    // Submit: logistic regression on the adult registry analog.
+    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+    train.max_iter = Some(200);
+    train.name = Some("census".into());
+    train.progress_every = Some(50);
+    let job = client.submit(&train)?;
+    println!("submitted job {job}");
+
+    // Stream its events as they happen.
+    let status = client.observe(job, 0, |seq, event| match event {
+        WireEvent::PlanChosen {
+            plan, cache_hit, ..
+        } => println!("  [{seq}] optimizer picked {plan} (cache hit: {cache_hit})"),
+        WireEvent::Progress {
+            iteration, delta, ..
+        } => println!("  [{seq}] iter {iteration}: delta {delta:.6}"),
+        WireEvent::Completed { iterations, .. } => {
+            println!("  [{seq}] completed after {iterations} iterations")
+        }
+        other => println!("  [{seq}] {other:?}"),
+    })?;
+    println!("job finished: {status}");
+
+    // Join returns the outcome with bit-exact weights.
+    let outcome = client.join(job)?;
+    let weights = outcome.weights.as_deref().unwrap_or(&[]);
+    println!(
+        "model `{}`: {} weights, first = {:?}",
+        outcome.name.as_deref().unwrap_or("?"),
+        weights.len(),
+        weights.first()
+    );
+
+    // Score the training set with the bound model (by its wire name).
+    let scores = client.predict("census", &WireSource::Registry("adult".into()))?;
+    println!(
+        "predictions: {} points, mse {:.3}, accuracy {:.1}%",
+        scores.n,
+        scores.mse,
+        scores.accuracy.unwrap_or(0.0) * 100.0
+    );
+
+    // Tenant-scoped stats: quotas, in-flight counters, the job table.
+    let stats = client.stats()?;
+    println!(
+        "tenant {}: {} job(s), plan cache {} hit(s) / {} miss(es)",
+        stats.tenant,
+        stats.jobs.len(),
+        stats.plan_cache_hits,
+        stats.plan_cache_misses
+    );
+    Ok(())
+}

@@ -1,0 +1,455 @@
+//! Integration tests for the `ml4all-serve` network front end: wire/
+//! in-process bit-identity, tenant isolation, cancellation prefix
+//! exactness, framing robustness, and the golden wire-frame snapshot
+//! (`tests/golden/wire_frames.txt`, regenerate with `UPDATE_GOLDEN=1`).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+
+use ml4all::{DataSource, Engine, GradientKind, JobEvent, TrainRequest};
+use ml4all_bench::golden::assert_golden;
+use ml4all_serve::{
+    code, f64_to_bits_hex, protocol, Client, ClientError, Request, Response, ServeConfig, Server,
+    TenantQuota, WireEvent, WireSource, WireTrain,
+};
+
+fn serve(engine: Engine, config: ServeConfig) -> Server {
+    Server::start(engine, config).expect("bind ephemeral port")
+}
+
+fn connect(server: &Server, tenant: &str) -> Client {
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.hello(tenant).expect("hello");
+    client
+}
+
+fn adult_train(max_iter: u64, seed: u64, name: &str) -> WireTrain {
+    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+    train.max_iter = Some(max_iter);
+    train.seed = Some(seed);
+    train.name = Some(name.into());
+    train
+}
+
+#[test]
+fn wire_weights_are_bit_identical_to_in_process_and_share_the_plan_cache() {
+    let engine = Engine::new();
+    let server = serve(engine.clone(), ServeConfig::default());
+    let mut client = connect(&server, "acme");
+
+    let job = client.submit(&adult_train(40, 9, "wired")).expect("submit");
+    let outcome = client.join(job).expect("join");
+    assert_eq!(outcome.status, "completed");
+    let wire_bits = outcome.weights_bits.expect("weights over the wire");
+    assert_eq!(engine.plan_cache().misses(), 1);
+    assert_eq!(engine.plan_cache().hits(), 0);
+
+    // The same request submitted in process on the same engine: the
+    // plan-cache key matches (the result name is not part of it), so
+    // this is a cache hit — and the weights are bit-identical.
+    let trained = engine
+        .train(
+            TrainRequest::new(
+                GradientKind::LogisticRegression,
+                DataSource::Registry("adult".into()),
+            )
+            .max_iter(40)
+            .seed(9)
+            .named("local"),
+        )
+        .expect("in-process train");
+    assert_eq!(engine.plan_cache().hits(), 1, "second decision must hit");
+    assert_eq!(trained.name, "local");
+    let local_bits: Vec<String> = engine
+        .model("local")
+        .expect("bound model")
+        .weights
+        .as_slice()
+        .iter()
+        .map(|w| f64_to_bits_hex(*w))
+        .collect();
+    assert_eq!(wire_bits, local_bits, "wire weights must be bit-identical");
+
+    // The decimal JSON numbers round-trip to the same bits too — the
+    // hex form is authoritative, the float form must agree.
+    let wire_floats = outcome.weights.expect("float weights");
+    let float_bits: Vec<String> = wire_floats.iter().map(|w| f64_to_bits_hex(*w)).collect();
+    assert_eq!(float_bits, wire_bits);
+
+    // The wire model is bound under the tenant's namespace and
+    // scoreable over the wire.
+    let scores = client
+        .predict("wired", &WireSource::Registry("adult".into()))
+        .expect("predict");
+    assert!(scores.n > 0);
+    assert!(scores.accuracy.is_some(), "logistic is classification");
+}
+
+#[test]
+fn tenants_cannot_observe_cancel_join_or_score_each_others_jobs() {
+    let server = serve(Engine::new(), ServeConfig::default());
+    let mut alpha = connect(&server, "tenant-a");
+    let mut beta = connect(&server, "tenant-b");
+
+    let job = alpha
+        .submit(&adult_train(30, 0, "secret"))
+        .expect("submit as a");
+
+    let forbidden = |r: Result<(), ClientError>| match r {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, code::FORBIDDEN),
+        other => panic!("expected forbidden, got {other:?}"),
+    };
+    forbidden(beta.cancel(job));
+    forbidden(beta.join(job).map(|_| ()));
+    forbidden(beta.observe(job, 0, |_, _| {}).map(|_| ()));
+
+    // An id that does not exist is a distinct typed error.
+    match alpha.cancel(999) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, code::UNKNOWN_JOB),
+        other => panic!("expected unknown_job, got {other:?}"),
+    }
+
+    // Stats are tenant-scoped: beta sees no jobs, alpha sees exactly one.
+    assert!(beta.stats().expect("stats").jobs.is_empty());
+    let outcome = alpha.join(job).expect("join as a");
+    assert_eq!(outcome.status, "completed");
+    let stats = alpha.stats().expect("stats");
+    assert_eq!(stats.tenant, "tenant-a");
+    assert_eq!(stats.jobs.len(), 1);
+    assert_eq!(stats.jobs[0].job, job);
+    assert_eq!(stats.jobs[0].status, "completed");
+
+    // Models are namespaced: beta cannot score alpha's result by name,
+    // alpha can.
+    match beta.predict("secret", &WireSource::Registry("adult".into())) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, code::FAILED),
+        other => panic!("expected failed, got {other:?}"),
+    }
+    alpha
+        .predict("secret", &WireSource::Registry("adult".into()))
+        .expect("owner can score");
+}
+
+#[test]
+fn wire_cancellation_reports_a_bit_identical_prefix_of_the_uncancelled_run() {
+    let engine = Engine::new();
+
+    // Reference trajectory: the same request run in process, uncancelled
+    // to its iteration cap, ticks recorded per iteration.
+    let spec = |name: &str| {
+        TrainRequest::new(
+            GradientKind::LogisticRegression,
+            DataSource::Registry("adult".into()),
+        )
+        .epsilon(1e-12)
+        .max_iter(60_000)
+        .seed(3)
+        .progress_every(25)
+        .named(name)
+    };
+    let reference = engine.submit(spec("ref"));
+    let mut reference_ticks: HashMap<u64, String> = HashMap::new();
+    for event in reference.progress() {
+        if let JobEvent::Progress {
+            iteration, delta, ..
+        } = event
+        {
+            reference_ticks.insert(iteration, f64_to_bits_hex(delta));
+        }
+    }
+    reference.join().expect("reference run completes");
+
+    // The same request over the wire, cancelled after the third tick by
+    // a second connection of the same tenant.
+    let server = serve(engine.clone(), ServeConfig::default());
+    let mut observer = connect(&server, "acme");
+    let mut controller = connect(&server, "acme");
+    let mut train = adult_train(60_000, 3, "cut");
+    train.epsilon = Some(1e-12);
+    train.progress_every = Some(25);
+    let job = observer.submit(&train).expect("submit");
+
+    let mut wire_ticks: Vec<(u64, String)> = Vec::new();
+    let mut cancel_sent = false;
+    let mut saw_cancelled_event = false;
+    let status = observer
+        .observe(job, 0, |_, event| match event {
+            WireEvent::Progress {
+                iteration,
+                delta_bits,
+                ..
+            } => {
+                wire_ticks.push((*iteration, delta_bits.clone()));
+                if wire_ticks.len() == 3 && !cancel_sent {
+                    cancel_sent = true;
+                    controller.cancel(job).expect("cancel over the wire");
+                }
+            }
+            WireEvent::Cancelled { iterations } => {
+                saw_cancelled_event = true;
+                assert!(*iterations > 0, "partial progress must be reported");
+            }
+            _ => {}
+        })
+        .expect("observe");
+    assert_eq!(status, "cancelled");
+    assert!(saw_cancelled_event);
+    assert!(wire_ticks.len() >= 3);
+
+    let outcome = observer.join(job).expect("join");
+    assert_eq!(outcome.status, "cancelled");
+    let iterations = outcome.iterations.expect("partial iteration count");
+    assert!(
+        iterations > 0 && iterations < 60_000,
+        "cancellation must land mid-run, got {iterations}"
+    );
+    assert!(outcome.weights.is_none(), "no model for a cancelled job");
+    assert!(engine.model("acme:cut").is_none());
+
+    // Prefix exactness: every tick the cancelled wire run emitted is
+    // bit-identical to the uncancelled reference at that iteration.
+    for (iteration, bits) in &wire_ticks {
+        assert_eq!(
+            Some(bits),
+            reference_ticks.get(iteration),
+            "tick at iteration {iteration} must match the reference"
+        );
+    }
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_typed_errors_and_the_connection_survives() {
+    let config = ServeConfig {
+        max_frame: 4096,
+        ..ServeConfig::default()
+    };
+    let server = serve(Engine::new(), config);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let expect_err = |client: &mut Client, expected: &str| match client
+        .read_response()
+        .expect("typed response, live socket")
+    {
+        Response::Err(e) => assert_eq!(e.code, expected),
+        Response::Ok(p) => panic!("expected {expected}, got {p:?}"),
+    };
+
+    // A fuzz batch of malformed payloads: every one must be answered
+    // with `bad_frame` on a connection that stays alive.
+    let malformed: [&[u8]; 8] = [
+        b"",
+        b"not json at all",
+        b"42",
+        b"\"NoSuchVerb\"",
+        b"{\"Submit\":{}}",
+        b"{\"Hello\":{\"tenant\":7}}",
+        b"[1,2",
+        b"\xff\xfe\x00garbage",
+    ];
+    for payload in malformed {
+        client.send_raw(payload).expect("send");
+        expect_err(&mut client, code::BAD_FRAME);
+    }
+    // Hostile nesting beyond the parser's depth cap is a typed refusal
+    // too, not a stack overflow.
+    let deep = "[".repeat(2_000);
+    client.send_raw(deep.as_bytes()).expect("send");
+    expect_err(&mut client, code::BAD_FRAME);
+
+    // An oversized frame is drained and refused; the stream stays in
+    // sync.
+    client.send_raw(&vec![b'x'; 8192]).expect("send oversized");
+    expect_err(&mut client, code::OVERSIZED_FRAME);
+
+    assert_eq!(server.protocol_errors(), 10);
+
+    // The same connection still serves real traffic afterwards.
+    client.hello("acme").expect("hello after fuzz");
+    let job = client.submit(&adult_train(10, 0, "ok")).expect("submit");
+    assert_eq!(client.join(job).expect("join").status, "completed");
+}
+
+#[test]
+fn hello_gates_verbs_and_reports_the_rng_stream_version() {
+    let server = serve(Engine::new(), ServeConfig::default());
+
+    // Verbs before Hello are refused with hello_required.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    match client.stats() {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, code::HELLO_REQUIRED),
+        other => panic!("expected hello_required, got {other:?}"),
+    }
+
+    // A protocol version mismatch is refused with unsupported_protocol.
+    match client.call(&Request::Hello {
+        tenant: "acme".into(),
+        protocol: Some(99),
+    }) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, code::UNSUPPORTED_PROTOCOL),
+        other => panic!("expected unsupported_protocol, got {other:?}"),
+    }
+
+    // A proper hello reports the server, protocol, and the RNG stream
+    // version that pins bit-level reproducibility.
+    let hello = client.hello("acme").expect("hello");
+    assert!(hello.server.starts_with("ml4all-serve "));
+    assert_eq!(hello.protocol, ml4all_serve::PROTOCOL_VERSION);
+    assert_eq!(hello.rng_stream_version, ml4all::RNG_STREAM_VERSION);
+    assert_eq!(hello.max_frame, ml4all_serve::DEFAULT_MAX_FRAME as u64);
+    client.stats().expect("stats after hello");
+}
+
+#[test]
+fn admission_refuses_over_quota_submissions_with_typed_busy_backpressure() {
+    let config = ServeConfig {
+        global_in_flight: 1,
+        default_quota: TenantQuota {
+            max_in_flight: 1,
+            max_queued_bytes: 700,
+        },
+        ..ServeConfig::default()
+    };
+    let server = serve(Engine::new(), config);
+    let mut client = connect(&server, "acme");
+
+    // A long-running job occupies the single in-flight slot…
+    let mut hog = adult_train(5_000_000, 0, "hog");
+    hog.epsilon = Some(1e-12);
+    hog.progress_every = Some(1);
+    let hog_job = client.submit(&hog).expect("submit hog");
+    // …wait until it is actually dispatched (its slot held, queue
+    // empty), so the byte quota below fills deterministically.
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.in_flight == 1 && stats.queued == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // …then small submissions queue until the byte quota fills, at
+    // which point the server answers typed `busy` with a retry hint.
+    let mut queued = Vec::new();
+    let busy = loop {
+        match client.submit(&adult_train(5, 0, &format!("q{}", queued.len()))) {
+            Ok(job) => queued.push(job),
+            Err(e) => break e,
+        }
+        assert!(queued.len() < 50, "quota never filled");
+    };
+    assert!(busy.is_busy(), "expected busy, got {busy:?}");
+    match busy {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, code::BUSY);
+            assert!(e.retry_after_ms.unwrap_or(0) > 0, "hint required");
+        }
+        other => panic!("expected server busy, got {other:?}"),
+    }
+    assert!(!queued.is_empty(), "some submissions fit the quota");
+
+    // Nothing admitted was dropped: cancel the hog and every queued job
+    // runs to completion.
+    client.cancel(hog_job).expect("cancel hog");
+    assert_eq!(client.join(hog_job).expect("join hog").status, "cancelled");
+    for job in queued {
+        assert_eq!(client.join(job).expect("join queued").status, "completed");
+    }
+}
+
+#[test]
+fn golden_wire_frame_conversation() {
+    let server = serve(Engine::new(), ServeConfig::default());
+    let mut transcript = String::new();
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = std::io::BufWriter::new(stream);
+
+    let send_raw =
+        |writer: &mut std::io::BufWriter<TcpStream>, transcript: &mut String, payload: &str| {
+            transcript.push_str("C: ");
+            transcript.push_str(payload);
+            transcript.push('\n');
+            protocol::write_frame(writer, payload.as_bytes()).expect("write");
+            writer.flush().expect("flush");
+        };
+    let recv = |reader: &mut std::io::BufReader<TcpStream>, transcript: &mut String| -> String {
+        match protocol::read_frame(reader, 16 << 20).expect("read") {
+            protocol::FrameIn::Frame(payload) => {
+                let text = String::from_utf8(payload).expect("utf8 frame");
+                transcript.push_str("S: ");
+                transcript.push_str(&text);
+                transcript.push('\n');
+                text
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    };
+    let send =
+        |writer: &mut std::io::BufWriter<TcpStream>, transcript: &mut String, request: &Request| {
+            let payload = serde_json::to_string(request).expect("serialize");
+            transcript.push_str("C: ");
+            transcript.push_str(&payload);
+            transcript.push('\n');
+            protocol::write_frame(writer, payload.as_bytes()).expect("write");
+            writer.flush().expect("flush");
+        };
+
+    // Hello, then a tiny fixed-iteration job — every response below is
+    // deterministic (simulated time only, no wall clock on the wire).
+    send(
+        &mut writer,
+        &mut transcript,
+        &Request::Hello {
+            tenant: "acme".into(),
+            protocol: Some(ml4all_serve::PROTOCOL_VERSION),
+        },
+    );
+    recv(&mut reader, &mut transcript);
+    let mut train = adult_train(4, 0, "g");
+    train.progress_every = Some(2);
+    send(&mut writer, &mut transcript, &Request::Submit { train });
+    recv(&mut reader, &mut transcript);
+
+    // Observe replays the full buffered stream: PlanChosen, two ticks,
+    // Completed, then the terminator.
+    send(
+        &mut writer,
+        &mut transcript,
+        &Request::Observe {
+            job: 1,
+            from: Some(0),
+        },
+    );
+    loop {
+        let text = recv(&mut reader, &mut transcript);
+        if text.contains("ObserveEnd") {
+            break;
+        }
+    }
+
+    // Cancelling a finished job is an idempotent no-op.
+    send(&mut writer, &mut transcript, &Request::Cancel { job: 1 });
+    recv(&mut reader, &mut transcript);
+
+    // A malformed frame gets a typed error on the same connection.
+    send_raw(&mut writer, &mut transcript, "{oops");
+    recv(&mut reader, &mut transcript);
+
+    // Wait for the in-flight slot to clear so the stats frame is
+    // deterministic (the event pump frees it just after ObserveEnd).
+    {
+        let mut poller = connect(&server, "acme");
+        loop {
+            let stats = poller.stats().expect("stats");
+            if stats.global_in_flight == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    send(&mut writer, &mut transcript, &Request::Stats);
+    recv(&mut reader, &mut transcript);
+
+    assert_golden("wire_frames.txt", &transcript);
+}

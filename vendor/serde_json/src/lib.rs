@@ -35,6 +35,23 @@ pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
     value.to_json_value()
 }
 
+/// Parse JSON text into any deserializable value.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text).map_err(|e| Error(e.to_string()))?;
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse JSON bytes (must be UTF-8) into any deserializable value.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(text)
+}
+
+/// Reconstruct any deserializable value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json_value(value).map_err(|e| Error(e.to_string()))
+}
+
 /// Build a [`Value`] from JSON-like syntax.
 ///
 /// Supports the forms this workspace uses: `null`, object literals with
@@ -149,5 +166,83 @@ mod tests {
             to_string_pretty(&v).unwrap(),
             "{\n  \"a\": [\n    1\n  ]\n}"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty_output() {
+        let v = json!({
+            "dataset": "adult",
+            "time_s": 1.5,
+            "whole": 2.0,
+            "neg": -7,
+            "big": 9007199254740993u64,
+            "tags": ["a", "b\"c\\d\ne"],
+            "nested": { "x": 1, "none": null, "flag": false },
+        });
+        let compact: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v: Value = from_str(r#""a\u0041\n\t\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\té😀"));
+        let v: Value = from_str(r#"{"k":"v\/w"}"#).unwrap();
+        assert_eq!(v["k"].as_str(), Some("v/w"));
+    }
+
+    #[test]
+    fn parse_numbers_keep_integer_exactness_and_float_bits() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v: Value = from_str("-42").unwrap();
+        assert_eq!(v, json!(-42));
+        for f in [0.1f64, 1.5e-300, -2.75e18, 123456.789] {
+            let text = to_string(&json!(f)).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "01e",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_hostile_nesting_depth() {
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(from_str::<Value>(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_from_str_and_from_value() {
+        let xs: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, [1, 2, 3]);
+        let s: Option<String> = from_str("null").unwrap();
+        assert_eq!(s, None);
+        let pair: (String, f64) = from_value(&json!(["a", 2.5])).unwrap();
+        assert_eq!(pair, ("a".to_string(), 2.5));
+        assert!(from_slice::<Vec<u64>>(b"[1,2]").is_ok());
+        assert!(from_slice::<Vec<u64>>(&[0xff, 0xfe]).is_err());
     }
 }
