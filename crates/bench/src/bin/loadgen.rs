@@ -1,33 +1,58 @@
-//! `loadgen`: a closed-loop load generator for the `ml4all-serve`
-//! network front end.
+//! `loadgen`: a load generator for the `ml4all-serve` network front end.
 //!
 //! For each tenant count in `--tenants`, it runs one connection per
 //! tenant, each submitting and joining `--requests` small cached
-//! training jobs back to back, and records throughput and the
-//! p50/p99 request latency to `BENCH_serving.json`.
+//! training jobs, and records throughput and the p50/p99 request
+//! latency to `BENCH_serving.json`.
+//!
+//! Two arrival models:
+//!
+//! - `--mode closed` (default): each tenant submits the next request the
+//!   moment the previous one finishes — measures peak sustainable
+//!   throughput.
+//! - `--mode open --rate R`: each tenant fires on a fixed schedule of
+//!   `R` requests per second regardless of completions. When the server
+//!   falls behind, the *queueing delay* (how late a request started
+//!   relative to its schedule) is recorded separately from the *service
+//!   time*, so coordinated omission cannot hide a stall.
+//!
+//! `--observers N` appends an idle-observer scenario: `N` raw sockets
+//! (no client threads) attach `Observe` streams to one long-running job,
+//! then a closed-loop burst runs while they sit idle. The server's
+//! thread count before/with observers is recorded from
+//! `/proc/self/status` when the server is in process — the reactor
+//! multiplexes all of them onto one event loop, so the delta must be
+//! zero.
 //!
 //! ```sh
 //! cargo run --release -p ml4all-bench --bin loadgen            # in-process server
 //! cargo run --release -p ml4all-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:7878 --tenants 1,4 --requests 200       # external server
+//! cargo run --release -p ml4all-bench --bin loadgen -- \
+//!     --mode open --rate 200 --observers 1000
 //! ```
 //!
 //! `busy` backpressure is retried after the server's hint and counted;
 //! any other client error is fatal (non-zero exit), which is what the
 //! CI serving-smoke job asserts on.
 
-use std::io::Write as _;
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ml4all::Engine;
-use ml4all_serve::{Client, ClientError, ServeConfig, Server, WireSource, WireTrain};
+use ml4all_serve::{
+    protocol, Client, ClientError, Request, ServeConfig, Server, WireSource, WireTrain,
+    PROTOCOL_VERSION,
+};
 use serde::Serialize;
 
-/// One measured scenario: `tenants` closed-loop connections.
+/// One measured scenario: `tenants` connections under one arrival model.
 #[derive(Debug, Serialize)]
 struct Scenario {
+    mode: String,
     tenants: usize,
     requests_per_tenant: usize,
     total_requests: usize,
@@ -37,6 +62,35 @@ struct Scenario {
     p50_us: u64,
     p99_us: u64,
     max_us: u64,
+    /// Open-loop only: the scheduled per-tenant arrival rate.
+    rate_per_tenant: Option<f64>,
+    /// Open-loop only: how late requests started vs their schedule.
+    queue_p50_us: Option<u64>,
+    queue_p99_us: Option<u64>,
+    queue_max_us: Option<u64>,
+}
+
+/// The idle-observer scenario: N parked `Observe` streams while
+/// closed-loop traffic runs.
+#[derive(Debug, Serialize)]
+struct ObserverScenario {
+    observers: usize,
+    /// Server process threads before the observers attach (linux,
+    /// in-process server only).
+    server_threads_before: Option<u64>,
+    /// …and with every observer attached. Equal to `before` when the
+    /// reactor is doing its job.
+    server_threads_with_observers: Option<u64>,
+    /// Connections the reactor reported registered while the observers
+    /// were parked.
+    active_connections: u64,
+    /// Readiness backend the server compiled in.
+    backend: String,
+    /// Closed-loop throughput measured while the observers sat idle.
+    qps_with_observers: f64,
+    /// Events one observer drained after the watched job was cancelled —
+    /// proves push-mode delivery reaches parked streams.
+    events_pushed_to_observer: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -44,6 +98,13 @@ struct Report {
     note: String,
     server: String,
     scenarios: Vec<Scenario>,
+    idle_observers: Option<ObserverScenario>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Closed,
+    Open,
 }
 
 fn main() {
@@ -51,6 +112,9 @@ fn main() {
     let mut tenants: Vec<usize> = vec![1, 4];
     let mut requests: usize = 100;
     let mut out = String::from("BENCH_serving.json");
+    let mut mode = Mode::Closed;
+    let mut rate: f64 = 100.0;
+    let mut observers: usize = 0;
     let mut args = std::env::args().skip(1);
     let bad = |flag: &str, what: &str| -> ! {
         eprintln!("{flag} requires {what}");
@@ -70,14 +134,28 @@ fn main() {
                 Some(r) => requests = r,
                 None => bad("--requests", "a count"),
             },
+            "--mode" => match args.next().as_deref() {
+                Some("closed") => mode = Mode::Closed,
+                Some("open") => mode = Mode::Open,
+                _ => bad("--mode", "closed or open"),
+            },
+            "--rate" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0.0 => rate = r,
+                _ => bad("--rate", "requests per second per tenant"),
+            },
+            "--observers" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(n) => observers = n,
+                None => bad("--observers", "a connection count"),
+            },
             "--out" => match args.next() {
                 Some(o) => out = o,
                 None => bad("--out", "a path"),
             },
             "-h" | "--help" => {
                 println!(
-                    "usage: loadgen [--addr HOST:PORT] [--tenants 1,4] \
-                     [--requests N] [--out BENCH_serving.json]"
+                    "usage: loadgen [--addr HOST:PORT] [--tenants 1,4] [--requests N]\n\
+                     \x20              [--mode closed|open] [--rate R] [--observers N]\n\
+                     \x20              [--out BENCH_serving.json]"
                 );
                 return;
             }
@@ -91,6 +169,7 @@ fn main() {
     // Either drive an external server (--addr) or boot one in process on
     // an ephemeral port.
     let server;
+    let in_process = addr.is_none();
     let (target, label) = match addr {
         Some(addr) => (addr.clone(), addr),
         None => {
@@ -104,29 +183,64 @@ fn main() {
 
     let mut scenarios = Vec::new();
     for &n in &tenants {
-        let scenario = run_scenario(&target, n, requests);
-        println!(
-            "  {:>2} tenant(s): {:>8.1} req/s   p50 {:>6} us   p99 {:>6} us   \
-             ({} requests, {} busy retries)",
-            scenario.tenants,
-            scenario.qps,
-            scenario.p50_us,
-            scenario.p99_us,
-            scenario.total_requests,
-            scenario.busy_retries,
-        );
+        let scenario = run_scenario(&target, n, requests, mode, rate);
+        match mode {
+            Mode::Closed => println!(
+                "  {:>2} tenant(s): {:>8.1} req/s   p50 {:>6} us   p99 {:>6} us   \
+                 ({} requests, {} busy retries)",
+                scenario.tenants,
+                scenario.qps,
+                scenario.p50_us,
+                scenario.p99_us,
+                scenario.total_requests,
+                scenario.busy_retries,
+            ),
+            Mode::Open => println!(
+                "  {:>2} tenant(s) @ {:>6.1}/s: service p99 {:>6} us   queue p99 {:>6} us   \
+                 ({} requests, {} busy retries)",
+                scenario.tenants,
+                rate,
+                scenario.p99_us,
+                scenario.queue_p99_us.unwrap_or(0),
+                scenario.total_requests,
+                scenario.busy_retries,
+            ),
+        }
         scenarios.push(scenario);
     }
 
+    let idle_observers = (observers > 0).then(|| {
+        let s = run_observer_scenario(&target, observers, in_process);
+        println!(
+            "  {} idle observers: threads {} -> {}   {} active conns   \
+             {:>8.1} req/s alongside   {} events pushed",
+            s.observers,
+            s.server_threads_before
+                .map_or("?".into(), |t| t.to_string()),
+            s.server_threads_with_observers
+                .map_or("?".into(), |t| t.to_string()),
+            s.active_connections,
+            s.qps_with_observers,
+            s.events_pushed_to_observer,
+        );
+        s
+    });
+
     let report = Report {
-        note: "Closed-loop serving throughput: per tenant, one connection submits and \
-               joins small cached training jobs (logistic on the adult analog, 5 fixed \
-               iterations) back to back, so the numbers measure serving overhead — \
-               framing, admission, dispatch, event pump — not gradient descent. \
-               Regenerate with `cargo run --release -p ml4all-bench --bin loadgen`."
+        note: "Serving throughput over the reactor front end: per tenant, one connection \
+               submits and joins small cached training jobs (logistic on the adult analog, \
+               5 fixed iterations), so the numbers measure serving overhead — framing, \
+               admission, dispatch, event fan-out — not gradient descent. Open-loop \
+               scenarios fire on a fixed schedule and report queueing delay separately \
+               from service time. The idle-observer scenario parks N Observe streams on \
+               one long job and shows the server thread count stays flat. Regenerate with \
+               `cargo run --release -p ml4all-bench --bin loadgen -- --tenants 1,2,4,8 \
+               --requests 200 --observers 1000` (closed loop + observers) and `-- \
+               --tenants 4,8 --requests 200 --mode open --rate 100` (open loop)."
             .to_string(),
         server: label,
         scenarios,
+        idle_observers,
     };
     let body = serde_json::to_string_pretty(&report).expect("report serializes");
     match std::fs::File::create(&out) {
@@ -150,48 +264,101 @@ fn fatal(message: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Run `tenants` closed-loop connections of `requests` submit+join pairs
-/// each; returns the aggregated scenario record.
-fn run_scenario(target: &str, tenants: usize, requests: usize) -> Scenario {
+/// The benchmark request: after the first decision the plan cache
+/// serves every job.
+fn bench_train() -> WireTrain {
+    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+    train.max_iter = Some(5);
+    train.seed = Some(0);
+    train.name = Some("bench".into());
+    train
+}
+
+/// Run `tenants` connections of `requests` submit+join pairs each under
+/// the given arrival model; returns the aggregated scenario record.
+fn run_scenario(target: &str, tenants: usize, requests: usize, mode: Mode, rate: f64) -> Scenario {
     let busy_retries = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let workers: Vec<_> = (0..tenants)
         .map(|t| {
             let target = target.to_string();
             let busy_retries = Arc::clone(&busy_retries);
-            std::thread::spawn(move || drive_tenant(&target, t, requests, &busy_retries))
+            std::thread::spawn(move || match mode {
+                Mode::Closed => {
+                    drive_tenant(&target, t, requests, &busy_retries).map(|l| (l, Vec::new()))
+                }
+                Mode::Open => drive_tenant_open(&target, t, requests, rate, &busy_retries),
+            })
         })
         .collect();
     let mut latencies: Vec<u64> = Vec::with_capacity(tenants * requests);
+    let mut queue_delays: Vec<u64> = Vec::new();
     for worker in workers {
         match worker.join() {
-            Ok(Ok(mut tenant_latencies)) => latencies.append(&mut tenant_latencies),
+            Ok(Ok((mut service, mut queued))) => {
+                latencies.append(&mut service);
+                queue_delays.append(&mut queued);
+            }
             Ok(Err(e)) => fatal(&format!("tenant worker failed: {e}")),
             Err(_) => fatal("tenant worker panicked"),
         }
     }
     let elapsed_s = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
-    let percentile = |p: f64| -> u64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
+    queue_delays.sort_unstable();
+    let percentile = |sorted: &[u64], p: f64| -> u64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
     };
+    let open = mode == Mode::Open;
     Scenario {
+        mode: if open { "open" } else { "closed" }.to_string(),
         tenants,
         requests_per_tenant: requests,
         total_requests: latencies.len(),
         busy_retries: busy_retries.load(Ordering::Relaxed),
         elapsed_s,
         qps: latencies.len() as f64 / elapsed_s,
-        p50_us: percentile(0.50),
-        p99_us: percentile(0.99),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
         max_us: *latencies.last().expect("at least one request"),
+        rate_per_tenant: open.then_some(rate),
+        queue_p50_us: open.then(|| percentile(&queue_delays, 0.50)),
+        queue_p99_us: open.then(|| percentile(&queue_delays, 0.99)),
+        queue_max_us: open.then(|| *queue_delays.last().expect("at least one request")),
     }
 }
 
-/// One tenant's closed loop; returns per-request latencies in
-/// microseconds. Every request reuses the same name and seed, so after
-/// the first decision the plan cache serves every job.
+/// One submit+join with `busy` retry; returns the elapsed service time.
+fn one_request(
+    client: &mut Client,
+    train: &WireTrain,
+    busy_retries: &AtomicU64,
+) -> Result<u64, ClientError> {
+    let started = Instant::now();
+    let job = loop {
+        match client.submit(train) {
+            Ok(job) => break job,
+            Err(ClientError::Server(e)) if e.code == ml4all_serve::code::BUSY => {
+                busy_retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = e.retry_after_ms.unwrap_or(25);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let outcome = client.join(job)?;
+    if outcome.status != "completed" {
+        return Err(ClientError::Protocol(format!(
+            "job {job} ended {} instead of completed",
+            outcome.status
+        )));
+    }
+    Ok(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX))
+}
+
+/// One tenant's closed loop; returns per-request service latencies in
+/// microseconds.
 fn drive_tenant(
     target: &str,
     tenant: usize,
@@ -200,33 +367,149 @@ fn drive_tenant(
 ) -> Result<Vec<u64>, ClientError> {
     let mut client = Client::connect(target)?;
     client.hello(&format!("t{tenant}"))?;
-    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
-    train.max_iter = Some(5);
-    train.seed = Some(0);
-    train.name = Some("bench".into());
-
+    let train = bench_train();
     let mut latencies = Vec::with_capacity(requests);
     for _ in 0..requests {
-        let started = Instant::now();
-        let job = loop {
-            match client.submit(&train) {
-                Ok(job) => break job,
-                Err(ClientError::Server(e)) if e.code == ml4all_serve::code::BUSY => {
-                    busy_retries.fetch_add(1, Ordering::Relaxed);
-                    let backoff = e.retry_after_ms.unwrap_or(25);
-                    std::thread::sleep(std::time::Duration::from_millis(backoff));
-                }
-                Err(e) => return Err(e),
-            }
-        };
-        let outcome = client.join(job)?;
-        if outcome.status != "completed" {
-            return Err(ClientError::Protocol(format!(
-                "job {job} ended {} instead of completed",
-                outcome.status
-            )));
-        }
-        latencies.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        latencies.push(one_request(&mut client, &train, busy_retries)?);
     }
     Ok(latencies)
+}
+
+/// One tenant's open loop at a fixed arrival rate; returns
+/// `(service_times, queue_delays)` in microseconds. A request's queue
+/// delay is how late it started relative to its schedule — nonzero only
+/// when the serial connection fell behind the arrival process.
+fn drive_tenant_open(
+    target: &str,
+    tenant: usize,
+    requests: usize,
+    rate: f64,
+    busy_retries: &AtomicU64,
+) -> Result<(Vec<u64>, Vec<u64>), ClientError> {
+    let mut client = Client::connect(target)?;
+    client.hello(&format!("t{tenant}"))?;
+    let train = bench_train();
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut service = Vec::with_capacity(requests);
+    let mut queued = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let scheduled = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if now < scheduled {
+            std::thread::sleep(scheduled - now);
+        }
+        let begun = Instant::now();
+        queued.push(
+            u64::try_from(begun.saturating_duration_since(scheduled).as_micros())
+                .unwrap_or(u64::MAX),
+        );
+        service.push(one_request(&mut client, &train, busy_retries)?);
+    }
+    Ok((service, queued))
+}
+
+/// Server process thread count from `/proc/self/status` — meaningful
+/// only when the server runs in this process on linux.
+fn proc_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Park `observers` raw `Observe` streams (no client threads) on one
+/// long-running job, measure the server's thread count and throughput
+/// alongside them, then cancel the job and drain one stream to prove
+/// push-mode delivery.
+fn run_observer_scenario(target: &str, observers: usize, in_process: bool) -> ObserverScenario {
+    let run = || -> Result<ObserverScenario, Box<dyn std::error::Error>> {
+        let mut control = Client::connect(target)?;
+        control.hello("watch")?;
+
+        // A job that runs until cancelled and emits almost no progress
+        // events — observers attach and then sit idle.
+        let mut hog = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+        hog.max_iter = Some(2_000_000_000);
+        hog.epsilon = Some(1e-12);
+        hog.progress_every = Some(1_000_000_000);
+        hog.seed = Some(0);
+        hog.name = Some("watched".into());
+        let job = control.submit(&hog)?;
+        loop {
+            let stats = control.stats()?;
+            if stats.in_flight >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let server_threads_before = in_process.then(proc_threads).flatten();
+
+        // Each observer is a bare socket: Hello, read the response,
+        // send Observe, then never read again until the drain below.
+        // No per-observer thread exists anywhere in this process.
+        let mut sockets: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(observers);
+        for _ in 0..observers {
+            let stream = TcpStream::connect(target)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            protocol::write_message(
+                &mut (&stream),
+                &Request::Hello {
+                    tenant: "watch".into(),
+                    protocol: Some(PROTOCOL_VERSION),
+                },
+            )?;
+            protocol::read_frame(&mut reader, 1 << 20)?;
+            protocol::write_message(&mut (&stream), &Request::Observe { job, from: Some(0) })?;
+            sockets.push((stream, reader));
+        }
+        // Let the reactor register the tail of the swarm.
+        std::thread::sleep(Duration::from_millis(200));
+
+        let server_threads_with_observers = in_process.then(proc_threads).flatten();
+        let server_stats = control.server_stats()?;
+
+        // Closed-loop traffic alongside the parked swarm.
+        let busy_retries = AtomicU64::new(0);
+        let burst_started = Instant::now();
+        let mut burst = Client::connect(target)?;
+        burst.hello("alongside")?;
+        let train = bench_train();
+        let burst_requests = 50;
+        for _ in 0..burst_requests {
+            one_request(&mut burst, &train, &busy_retries)?;
+        }
+        let qps_with_observers = burst_requests as f64 / burst_started.elapsed().as_secs_f64();
+
+        // End the watched job; every parked stream gets the terminal
+        // frames pushed. Drain one to the end as proof.
+        control.cancel(job)?;
+        control.join(job)?;
+        let mut events_pushed = 0u64;
+        let (_stream, reader) = &mut sockets[0];
+        loop {
+            match protocol::read_frame(reader, 1 << 20)? {
+                protocol::FrameIn::Frame(payload) => {
+                    events_pushed += 1;
+                    if String::from_utf8_lossy(&payload).contains("ObserveEnd") {
+                        break;
+                    }
+                }
+                other => return Err(format!("observer stream broke: {other:?}").into()),
+            }
+        }
+
+        Ok(ObserverScenario {
+            observers,
+            server_threads_before,
+            server_threads_with_observers,
+            active_connections: server_stats.active_connections,
+            backend: server_stats.backend,
+            qps_with_observers,
+            events_pushed_to_observer: events_pushed,
+        })
+    };
+    run().unwrap_or_else(|e| fatal(&format!("observer scenario failed: {e}")))
 }

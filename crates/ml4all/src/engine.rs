@@ -274,7 +274,37 @@ impl Engine {
     /// unaffected by the tag — execution is bit-identical either way.
     pub fn submit_tagged(&self, request: TrainRequest, tenant: &str) -> JobHandle {
         let (tx, rx) = mpsc::channel();
-        let state = Arc::new(JobState::new(tx));
+        self.submit_inner(request, tenant, Arc::new(JobState::new(tx)), rx)
+    }
+
+    /// [`Engine::submit_tagged`] with the event stream routed to a
+    /// push-mode [`EventSink`](crate::EventSink) instead of the handle's
+    /// `progress()` channel: `sink.event` fires per event and
+    /// `sink.finished` once the outcome is final, both on the worker
+    /// thread running the job — so a serving front end can fan events
+    /// out to any number of observers without parking a pump thread per
+    /// job. The returned handle's `progress()` iterator is empty;
+    /// `cancel`/`join`/`wait` work unchanged. Execution is bit-identical
+    /// to [`Engine::submit`].
+    pub fn submit_with_sink(
+        &self,
+        request: TrainRequest,
+        tenant: &str,
+        sink: Arc<dyn crate::EventSink>,
+    ) -> JobHandle {
+        // An inert receiver keeps the handle shape uniform; nothing is
+        // ever sent on it.
+        let (_tx, rx) = mpsc::channel();
+        self.submit_inner(request, tenant, Arc::new(JobState::with_sink(sink)), rx)
+    }
+
+    fn submit_inner(
+        &self,
+        request: TrainRequest,
+        tenant: &str,
+        state: Arc<JobState>,
+        rx: mpsc::Receiver<JobEvent>,
+    ) -> JobHandle {
         let id = self.core.next_job.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut jobs = self.core.jobs.lock().expect("engine job table");

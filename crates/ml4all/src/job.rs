@@ -157,21 +157,58 @@ pub struct JobInfo {
     pub status: JobStatus,
 }
 
+/// A push-mode consumer of a job's event stream, for callers (like a
+/// serving front end's reactor) that must not park a thread per job.
+///
+/// [`Engine::submit_with_sink`](crate::Engine::submit_with_sink) routes
+/// the job's events here instead of the [`JobHandle::progress`] channel.
+/// Both callbacks run **on the worker thread executing the job**, so
+/// they must be quick and must never block on the job itself (calling
+/// [`JobHandle::join`] from inside `event` would deadlock; from inside
+/// `finished` it would merely be redundant — the outcome is already in
+/// hand as an argument).
+pub trait EventSink: Send + Sync + 'static {
+    /// One progress event, in emission order. Terminal events
+    /// (`Completed` / `Cancelled` / `Failed`) arrive here *before*
+    /// `finished` fires.
+    fn event(&self, event: JobEvent);
+    /// The job reached a terminal state: every event has been delivered
+    /// and the outcome is final. Runs *before* joiners blocked in
+    /// [`JobHandle::join`] / [`JobHandle::wait`] wake, so state the sink
+    /// publishes here is visible to anyone the join unblocks.
+    fn finished(&self, outcome: &Result<Trained, SessionError>);
+}
+
+/// Where a job's events go: the pull-mode channel behind
+/// [`JobHandle::progress`], or a push-mode [`EventSink`].
+enum EventRoute {
+    Channel(Option<Sender<JobEvent>>),
+    Sink(std::sync::Arc<dyn EventSink>),
+}
+
 /// Shared state between a [`JobHandle`] and the worker running the job.
 pub(crate) struct JobState {
     pub(crate) cancel: CancelToken,
     status: Mutex<JobStatus>,
-    events: Mutex<Option<Sender<JobEvent>>>,
+    events: Mutex<EventRoute>,
     outcome: Mutex<Option<Result<Trained, SessionError>>>,
     done: Condvar,
 }
 
 impl JobState {
     pub(crate) fn new(events: Sender<JobEvent>) -> Self {
+        Self::with_route(EventRoute::Channel(Some(events)))
+    }
+
+    pub(crate) fn with_sink(sink: std::sync::Arc<dyn EventSink>) -> Self {
+        Self::with_route(EventRoute::Sink(sink))
+    }
+
+    fn with_route(route: EventRoute) -> Self {
         Self {
             cancel: CancelToken::new(),
             status: Mutex::new(JobStatus::Queued),
-            events: Mutex::new(Some(events)),
+            events: Mutex::new(route),
             outcome: Mutex::new(None),
             done: Condvar::new(),
         }
@@ -185,15 +222,24 @@ impl JobState {
         *self.status.lock().expect("job status")
     }
 
-    /// Send an event to the (possibly dropped) progress stream.
+    /// Send an event to the (possibly dropped) progress stream or the
+    /// attached push-mode sink.
     pub(crate) fn emit(&self, event: JobEvent) {
-        if let Some(tx) = self.events.lock().expect("job events").as_ref() {
-            let _ = tx.send(event);
-        }
+        // Clone the sink out of the lock so a sink callback can never
+        // deadlock against another emitter.
+        let sink = match &*self.events.lock().expect("job events") {
+            EventRoute::Channel(Some(tx)) => {
+                let _ = tx.send(event);
+                return;
+            }
+            EventRoute::Channel(None) => return,
+            EventRoute::Sink(sink) => std::sync::Arc::clone(sink),
+        };
+        sink.event(event);
     }
 
     /// Record the final outcome, set the terminal status, close the event
-    /// stream, and wake every joiner.
+    /// stream, and wake every joiner (then notify a push-mode sink).
     pub(crate) fn finish(&self, outcome: Result<Trained, SessionError>) {
         let status = match &outcome {
             Ok(_) => JobStatus::Completed,
@@ -201,9 +247,25 @@ impl JobState {
             Err(_) => JobStatus::Failed,
         };
         self.set_status(status);
+        let sink = {
+            let mut events = self.events.lock().expect("job events");
+            match &mut *events {
+                // Dropping the sender ends `progress()` iteration.
+                EventRoute::Channel(tx) => {
+                    tx.take();
+                    None
+                }
+                EventRoute::Sink(sink) => Some(std::sync::Arc::clone(sink)),
+            }
+        };
+        // Notify the sink before publishing the outcome, outside every
+        // lock: a `finished` implementation can therefore take its own
+        // locks freely, and anything it publishes is visible before
+        // joiners wake.
+        if let Some(sink) = &sink {
+            sink.finished(&outcome);
+        }
         *self.outcome.lock().expect("job outcome") = Some(outcome);
-        // Dropping the sender ends `progress()` iteration.
-        self.events.lock().expect("job events").take();
         self.done.notify_all();
     }
 }

@@ -43,9 +43,18 @@ impl Default for TenantQuota {
 }
 
 /// Typed backpressure: the submit was refused, retry later.
+///
+/// The hint is `base + jitter` where `base = min(25ms × (queue+1), 2s)`
+/// scales with queue depth and the jitter is uniform over `[0, base/2]`
+/// — so the hint always lands in **[base, 1.5×base]**. Without jitter,
+/// every client refused in the same busy spike would sleep the same
+/// hint and stampede back in lockstep; the spread desynchronizes them.
+/// The jitter comes from a seeded xorshift stream (no wall clock, no
+/// OS entropy), so a single-threaded test sequence is reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Busy {
-    /// Suggested backoff before retrying, scaled by queue depth.
+    /// Suggested backoff before retrying, scaled by queue depth and
+    /// jittered within `[base, 1.5×base]`.
     pub retry_after_ms: u64,
 }
 
@@ -95,6 +104,8 @@ struct State<T> {
     cursor: usize,
     global_in_flight: usize,
     shutdown: bool,
+    /// xorshift64 state for the busy-hint jitter.
+    rng: u64,
 }
 
 /// The admission controller: thread-safe; producers call
@@ -120,6 +131,7 @@ impl<T> Admission<T> {
                 cursor: 0,
                 global_in_flight: 0,
                 shutdown: false,
+                rng: 0x9E37_79B9_7F4A_7C15,
             }),
             changed: Condvar::new(),
             quantum: quantum.max(1),
@@ -145,9 +157,12 @@ impl<T> Admission<T> {
         let lane = lane_mut(&mut state, tenant, default_quota);
         if lane.queued_bytes + cost > lane.quota.max_queued_bytes {
             // Backoff scaled by how deep the queue already is: a fuller
-            // queue suggests a longer wait before room opens up.
+            // queue suggests a longer wait before room opens up. See
+            // [`Busy`] for the jitter band.
+            let base = (25 * (lane.queue.len() as u64 + 1)).min(2_000);
+            let jitter = xorshift64(&mut state.rng) % (base / 2 + 1);
             return Err(Busy {
-                retry_after_ms: (25 * (lane.queue.len() as u64 + 1)).min(2_000),
+                retry_after_ms: base + jitter,
             });
         }
         lane.queue.push_back((cost, item));
@@ -265,6 +280,17 @@ impl<T> Admission<T> {
     }
 }
 
+/// Marsaglia xorshift64: three shifts, period 2^64−1, no external
+/// entropy — enough to decorrelate backoff hints.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
 /// The tenant's lane, created on first contact (registration order is
 /// the initial DRR visiting order).
 fn lane_mut<'a, T>(
@@ -316,6 +342,31 @@ mod tests {
             adm.complete("a");
         }
         assert_eq!(drained, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn busy_hints_are_jittered_within_the_documented_band() {
+        let adm = controller(1);
+        // Fill the queue: 10 items of 100 bytes exhaust the 1000-byte
+        // quota, so every further offer is refused at queue length 10.
+        for i in 0..10 {
+            adm.offer("a", 100, i).unwrap();
+        }
+        let base = 25 * (10 + 1);
+        let hints: Vec<u64> = (0..64)
+            .map(|_| adm.offer("a", 100, 99).unwrap_err().retry_after_ms)
+            .collect();
+        for hint in &hints {
+            assert!(
+                (base..=base + base / 2).contains(hint),
+                "hint {hint} outside [{base}, {}]",
+                base + base / 2
+            );
+        }
+        // Jitter actually varies: identical refusals must not all carry
+        // the same hint (that is the stampede the jitter prevents).
+        let distinct: std::collections::HashSet<u64> = hints.iter().copied().collect();
+        assert!(distinct.len() >= 2, "no jitter: all hints {hints:?}");
     }
 
     #[test]

@@ -26,13 +26,18 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use ml4all::{render_report, Engine, Runtime, Session, SessionOutput, RNG_STREAM_VERSION};
-use ml4all_serve::{ServeConfig, Server, TenantQuota, PROTOCOL_VERSION};
+use ml4all_serve::{Client, ServeConfig, Server, TenantQuota, PROTOCOL_VERSION};
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("serve") {
         args.next();
         serve_main(args);
+        return;
+    }
+    if args.peek().map(String::as_str) == Some("stats") {
+        args.next();
+        stats_main(args);
         return;
     }
     let mut statements: Vec<String> = Vec::new();
@@ -151,6 +156,14 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
                 Some((tenant, quota)) => config.tenant_quotas.push((tenant, quota)),
                 None => bad("--quota", "TENANT=IN_FLIGHT:QUEUED_BYTES"),
             },
+            "--max-write-buffer" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_write_buffer = v,
+                None => bad("--max-write-buffer", "a byte count"),
+            },
+            "--verb-workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.verb_workers = v,
+                None => bad("--verb-workers", "a thread count"),
+            },
             "-h" | "--help" => {
                 print_serve_help();
                 return;
@@ -181,6 +194,92 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
             eprintln!("failed to bind: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `ml4all stats`: connect to a running server and print the tenant's
+/// admission/job table plus the process-wide reactor counters.
+fn stats_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut tenant = String::from("default");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr requires host:port");
+                    std::process::exit(2);
+                }
+            },
+            "--tenant" => match args.next() {
+                Some(t) => tenant = t,
+                None => {
+                    eprintln!("--tenant requires a name");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "usage: ml4all stats [--addr HOST:PORT] [--tenant NAME]\n\n\
+                     prints the tenant's admission counters and job table, then\n\
+                     the server-wide reactor counters (ServerStats verb)."
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown stats argument {other:?}; try `ml4all stats --help`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        let mut client = Client::connect(&addr)?;
+        client.hello(&tenant)?;
+        let stats = client.stats()?;
+        println!("tenant {tenant:?} @ {addr}");
+        println!(
+            "  admission: {} in flight (quota {}), {} queued ({} of {} queued bytes); \
+             global {} of {}",
+            stats.in_flight,
+            stats.quota_max_in_flight,
+            stats.queued,
+            stats.queued_bytes,
+            stats.quota_max_queued_bytes,
+            stats.global_in_flight,
+            stats.global_capacity
+        );
+        println!(
+            "  plan cache: {} hits, {} misses, {} entries",
+            stats.plan_cache_hits, stats.plan_cache_misses, stats.plan_cache_len
+        );
+        if stats.jobs.is_empty() {
+            println!("  jobs: none");
+        } else {
+            println!("  jobs:");
+            for job in &stats.jobs {
+                println!(
+                    "    #{:<6} {:<10} {}",
+                    job.job,
+                    job.status,
+                    job.name.as_deref().unwrap_or("-")
+                );
+            }
+        }
+        let server = client.server_stats()?;
+        println!("server ({} backend)", server.backend);
+        println!(
+            "  connections: {} active / {} total; {} slow-consumer disconnects",
+            server.active_connections, server.total_connections, server.slow_consumer_disconnects
+        );
+        println!(
+            "  reactor: {} wakeups, {} partial writes, {} bytes in, {} bytes out",
+            server.wakeups, server.partial_writes, server.bytes_in, server.bytes_out
+        );
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("stats failed: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -251,6 +350,7 @@ fn print_help() {
         "\
 usage: ml4all [--data-dir DIR] [-e STATEMENT]...
        ml4all serve [--addr HOST:PORT] [--workers N] ...
+       ml4all stats [--addr HOST:PORT] [--tenant NAME]
 
 statements (Appendix A of the paper, plus the explain verb):
   [NAME =] run <task> on <dataset> [having ...] [using ...];
@@ -282,6 +382,10 @@ options:
   --max-in-flight N      default per-tenant in-flight quota (default 4)
   --max-queued-bytes N   default per-tenant queued-byte quota (default 256 KiB)
   --quota T=N:BYTES      per-tenant override, repeatable
+  --max-write-buffer N   per-connection outbound buffer cap before the peer
+                         is dropped as a slow consumer (default 4 MiB)
+  --verb-workers N       threads for synchronous verbs (explain/predict)
+                         so they never stall the event loop (default 2)
 "
     );
 }

@@ -6,7 +6,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
     code, read_frame, write_frame, write_message, FrameIn, Payload, Request, Response, WireError,
-    WireEvent, WireReport, WireSource, WireStats, WireTrain, WireTrained, PROTOCOL_VERSION,
+    WireEvent, WireReport, WireServerStats, WireSource, WireStats, WireTrain, WireTrained,
+    PROTOCOL_VERSION,
 };
 
 /// Client-side cap on a response frame (joins carry whole weight
@@ -86,6 +87,9 @@ impl Client {
     /// Connect (no `Hello` yet — call [`Client::hello`] next).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // Request/response RPC: a Nagle-delayed request write stalls the
+        // whole round trip, so always send eagerly.
+        stream.set_nodelay(true)?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -199,6 +203,16 @@ impl Client {
         match self.call(&Request::Stats)? {
             Payload::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// The server's process-wide reactor counters (connections, bytes,
+    /// wakeups, slow-consumer disconnects) — operational telemetry, not
+    /// part of any deterministic surface.
+    pub fn server_stats(&mut self) -> Result<WireServerStats, ClientError> {
+        match self.call(&Request::ServerStats)? {
+            Payload::ServerStats(stats) => Ok(stats),
+            other => Err(unexpected("ServerStats", &other)),
         }
     }
 

@@ -10,9 +10,13 @@
 //! blocking [`client`] used by the CLI, the load generator, and the
 //! tests.
 //!
-//! Everything is `std::net` + threads: the workspace is offline-vendored
-//! and the engine's worker pool does the heavy lifting, so connection
-//! handling stays deliberately boring.
+//! Connection handling is a single-threaded [`reactor`]: nonblocking
+//! sockets multiplexed over raw `epoll`/`kqueue`/`poll` syscall wrappers
+//! (the workspace is offline-vendored, so no `mio`), an incremental
+//! frame decoder, and push-mode event fan-out — a thousand idle
+//! observers cost file descriptors, not threads. The engine's worker
+//! pool still does the heavy lifting; see [`server`] for the
+//! architecture sketch.
 //!
 //! ```no_run
 //! use ml4all::Engine;
@@ -34,13 +38,14 @@
 pub mod admission;
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use admission::{Admission, Busy, TenantQuota};
 pub use client::{Client, ClientError, HelloInfo, PredictInfo};
 pub use protocol::{
     code, f64_from_bits_hex, f64_to_bits_hex, Payload, Request, Response, WireError, WireEvent,
-    WireJob, WireReport, WireSource, WireStats, WireTrain, WireTrained, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    WireJob, WireReport, WireServerStats, WireSource, WireStats, WireTrain, WireTrained,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};

@@ -66,6 +66,12 @@ pub mod code {
     /// The verb itself failed (train/explain/predict error); the message
     /// carries the rendered error.
     pub const FAILED: &str = "failed";
+    /// The connection's outbound buffer hit the server's per-connection
+    /// write cap (the peer stopped reading while the server kept
+    /// producing). The server sends this as a final frame — preceded
+    /// only by frames that were already fully buffered — and closes the
+    /// connection once it drains.
+    pub const SLOW_CONSUMER: &str = "slow_consumer";
 }
 
 // ---------------------------------------------------------------------
@@ -138,6 +144,135 @@ pub fn write_message(writer: &mut impl Write, message: &impl Serialize) -> io::R
     write_frame(writer, text.as_bytes())
 }
 
+/// Serialize a value into a complete frame (header + payload) as owned
+/// bytes. This is what the reactor shares between observers: one event
+/// serialized once, the identical bytes fanned out to every stream.
+pub fn encode_frame(message: &impl Serialize) -> io::Result<Vec<u8>> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut frame = Vec::with_capacity(4 + text.len());
+    write_frame(&mut frame, text.as_bytes())?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------
+// Incremental decoding (nonblocking sockets)
+// ---------------------------------------------------------------------
+
+/// One complete item out of the [`FrameDecoder`].
+#[derive(Debug)]
+pub enum Decoded {
+    /// A complete payload within the size cap.
+    Frame(Vec<u8>),
+    /// A frame whose announced length exceeded the cap. Emitted once the
+    /// payload has been fully consumed (and discarded), so the stream is
+    /// back in sync at the next frame boundary.
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+    },
+}
+
+enum DecodeState {
+    /// Accumulating the 4-byte big-endian length header.
+    Header { buf: [u8; 4], filled: usize },
+    /// Accumulating `buf.capacity()` payload bytes.
+    Body { buf: Vec<u8> },
+    /// Discarding an oversized payload without buffering it.
+    Drain { len: u32, remaining: u64 },
+}
+
+/// The nonblocking analog of [`read_frame`]: a push-driven state machine
+/// that accepts bytes in whatever slices the socket yields — one byte at
+/// a time, or several frames at once — and emits complete items.
+///
+/// The oversized rule matches the blocking path: the payload is counted
+/// off and discarded without allocation, and [`Decoded::Oversized`] is
+/// emitted at the next frame boundary.
+pub struct FrameDecoder {
+    max_frame: usize,
+    state: DecodeState,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` payload bytes.
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            max_frame,
+            state: DecodeState::Header {
+                buf: [0; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// Consume a prefix of `input`, returning how many bytes were used
+    /// and at most one completed item. Call in a loop until it reports
+    /// `(input.len(), None)` — everything consumed, mid-item, needs more
+    /// bytes from the socket.
+    pub fn advance(&mut self, input: &[u8]) -> (usize, Option<Decoded>) {
+        match &mut self.state {
+            DecodeState::Header { buf, filled } => {
+                let take = (4 - *filled).min(input.len());
+                buf[*filled..*filled + take].copy_from_slice(&input[..take]);
+                *filled += take;
+                if *filled < 4 {
+                    return (take, None);
+                }
+                let len = u32::from_be_bytes(*buf);
+                if len as usize > self.max_frame {
+                    self.state = DecodeState::Drain {
+                        len,
+                        remaining: u64::from(len),
+                    };
+                } else if len == 0 {
+                    self.reset();
+                    return (take, Some(Decoded::Frame(Vec::new())));
+                } else {
+                    self.state = DecodeState::Body {
+                        buf: Vec::with_capacity(len as usize),
+                    };
+                }
+                (take, None)
+            }
+            DecodeState::Body { buf } => {
+                let want = buf.capacity() - buf.len();
+                let take = want.min(input.len());
+                buf.extend_from_slice(&input[..take]);
+                if buf.len() < buf.capacity() {
+                    return (take, None);
+                }
+                let frame = std::mem::take(buf);
+                self.reset();
+                (take, Some(Decoded::Frame(frame)))
+            }
+            DecodeState::Drain { len, remaining } => {
+                let take = (*remaining).min(input.len() as u64) as usize;
+                *remaining -= take as u64;
+                if *remaining > 0 {
+                    return (take, None);
+                }
+                let len = *len;
+                self.reset();
+                (take, Some(Decoded::Oversized { len }))
+            }
+        }
+    }
+
+    /// `true` when the decoder is mid-item — a clean EOF here means the
+    /// peer died inside a frame rather than at a boundary.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, DecodeState::Header { filled: 0, .. })
+    }
+
+    fn reset(&mut self) {
+        self.state = DecodeState::Header {
+            buf: [0; 4],
+            filled: 0,
+        };
+    }
+}
+
 // ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
@@ -198,6 +333,10 @@ pub enum Request {
     },
     /// This tenant's admission counters, quotas, and job table.
     Stats,
+    /// The reactor's transport-level counters (connections, wake-ups,
+    /// bytes, slow-consumer disconnects). Unlike `Stats`, these are
+    /// server-wide, not per-tenant.
+    ServerStats,
 }
 
 /// Where a wire request's data comes from (the catalog-resolvable subset
@@ -466,6 +605,8 @@ pub enum Payload {
     },
     /// Answer to `Stats`.
     Stats(WireStats),
+    /// Answer to `ServerStats`.
+    ServerStats(WireServerStats),
 }
 
 /// A job event as JSON (the wire analog of [`JobEvent`]).
@@ -673,6 +814,33 @@ pub struct WireStats {
     pub jobs: Vec<WireJob>,
 }
 
+/// Answer to `ServerStats`: the reactor's transport counters since boot.
+/// All counters are monotone except `active_connections`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireServerStats {
+    /// The readiness backend compiled in: `epoll` / `kqueue` / `poll` /
+    /// `tick`.
+    pub backend: String,
+    /// Connections currently registered with the reactor (including the
+    /// one asking).
+    pub active_connections: u64,
+    /// Connections ever accepted.
+    pub total_connections: u64,
+    /// Times the event loop woke from its poller (readiness, wake-up
+    /// pipe, or timeout).
+    pub wakeups: u64,
+    /// Payload + header bytes read off sockets.
+    pub bytes_in: u64,
+    /// Payload + header bytes written to sockets.
+    pub bytes_out: u64,
+    /// Writes that could not flush a connection's full buffer in one
+    /// syscall (backpressure events, not errors).
+    pub partial_writes: u64,
+    /// Connections dropped for exceeding the per-connection write-buffer
+    /// cap (`slow_consumer`).
+    pub slow_consumer_disconnects: u64,
+}
+
 /// One row of a tenant's job table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WireJob {
@@ -758,6 +926,89 @@ mod tests {
         let mut reader = io::Cursor::new(buf);
         let err = read_frame(&mut reader, 64).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Feed `input` to `decoder` in `chunk`-byte slices, collecting
+    /// every completed item.
+    fn drive(decoder: &mut FrameDecoder, input: &[u8], chunk: usize) -> Vec<Decoded> {
+        let mut out = Vec::new();
+        for piece in input.chunks(chunk) {
+            let mut offset = 0;
+            while offset < piece.len() {
+                let (used, item) = decoder.advance(&piece[offset..]);
+                assert!(used > 0, "decoder must always make progress");
+                offset += used;
+                out.extend(item);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reads_at_every_chunk_size() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"{\"a\":1}").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[b'x'; 100]).unwrap(); // oversized at cap 64
+        write_frame(&mut stream, b"after").unwrap();
+        for chunk in [1, 2, 3, 5, 7, stream.len()] {
+            let mut decoder = FrameDecoder::new(64);
+            let items = drive(&mut decoder, &stream, chunk);
+            assert_eq!(items.len(), 4, "chunk={chunk}");
+            assert!(matches!(&items[0], Decoded::Frame(f) if f == b"{\"a\":1}"));
+            assert!(matches!(&items[1], Decoded::Frame(f) if f.is_empty()));
+            assert!(matches!(items[2], Decoded::Oversized { len: 100 }));
+            assert!(matches!(&items[3], Decoded::Frame(f) if f == b"after"));
+            assert!(!decoder.mid_frame(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn decoder_reports_mid_frame_for_half_open_peers() {
+        let mut decoder = FrameDecoder::new(64);
+        assert!(!decoder.mid_frame());
+        // Two header bytes, then silence: mid-frame.
+        decoder.advance(&[0, 0]);
+        assert!(decoder.mid_frame());
+        // The rest of the header announcing 5 bytes, 2 of 5 delivered:
+        // still mid-frame.
+        decoder.advance(&[0, 5]);
+        decoder.advance(b"he");
+        assert!(decoder.mid_frame());
+        let (_, item) = decoder.advance(b"llo");
+        assert!(matches!(item, Some(Decoded::Frame(f)) if f == b"hello"));
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn decoder_never_buffers_oversized_payloads() {
+        let mut decoder = FrameDecoder::new(16);
+        let huge = u32::MAX;
+        let (used, item) = decoder.advance(&huge.to_be_bytes());
+        assert_eq!(used, 4);
+        assert!(item.is_none());
+        // 4 GiB announced, fed in 1 KiB slices: constant memory, and the
+        // item surfaces exactly when the count runs out.
+        let junk = [0u8; 1024];
+        let mut remaining = u64::from(huge);
+        loop {
+            let (used, item) = decoder.advance(&junk[..junk.len().min(remaining as usize)]);
+            remaining -= used as u64;
+            if let Some(item) = item {
+                assert!(matches!(item, Decoded::Oversized { len } if len == huge));
+                break;
+            }
+        }
+        assert_eq!(remaining, 0);
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn encode_frame_bytes_equal_write_message_bytes() {
+        let message = Response::Ok(Payload::Submitted { job: 9 });
+        let mut written = Vec::new();
+        write_message(&mut written, &message).unwrap();
+        assert_eq!(encode_frame(&message).unwrap(), written);
     }
 
     #[test]

@@ -1,34 +1,68 @@
-//! The TCP serving front end: connection handling, verb dispatch, and
-//! the admission → engine pipeline.
+//! The TCP serving front end: a reactor-driven event loop multiplexing
+//! every connection on one thread.
 //!
-//! One thread per connection (requests are small and jobs run on the
-//! engine's worker pool, so connection threads only parse, route, and
-//! stream), plus one dispatcher thread draining the admission
-//! controller into [`Engine::submit_tagged`] and one short-lived pump
-//! thread per dispatched job mirroring its [`ml4all::JobEvent`] stream
-//! into a replayable per-job buffer.
+//! ## Architecture
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────┐
+//!  TCP clients ──▶│ reactor thread (epoll/kqueue/poll, 1 thread)│
+//!                 │  accept · decode · verbs · admission drain  │
+//!                 │  observer fan-out · bounded write buffers   │
+//!                 └───────┬───────────────▲────────────────────┘
+//!                         │ Explain/Predict│ Action queue + waker
+//!                 ┌───────▼───────┐ ┌──────┴──────────────────┐
+//!                 │ verb pool     │ │ engine worker pool      │
+//!                 │ (2 threads)   │ │ (jobs; EventSink pushes │
+//!                 └───────────────┘ │  pre-framed events)     │
+//!                                   └─────────────────────────┘
+//! ```
+//!
+//! The reactor ([`crate::reactor`]) owns every socket: nonblocking
+//! reads feed an incremental [`FrameDecoder`], verbs that answer from
+//! in-memory state (`Hello`, `Submit`, `Cancel`, `Join`, `Observe`,
+//! `Stats`, `ServerStats`) run inline, and the two verbs that do real
+//! compute (`Explain`, `Predict`) ship to a small verb pool so they
+//! cannot stall the loop. Training jobs run on the engine's worker
+//! pool as before; the worker pushes each [`ml4all::JobEvent`] through
+//! an [`EventSink`] that serializes it **once** into a length-prefixed
+//! frame shared (`Arc<[u8]>`) by every observer — a thousand idle
+//! observers cost file descriptors and buffer space, not threads, and
+//! replay from any sequence number is a buffer copy.
+//!
+//! Outbound data sits in a per-connection write buffer capped at
+//! [`ServeConfig::max_write_buffer`] bytes. A peer that stops reading
+//! while the server produces (a stalled observer, typically) has its
+//! undelivered whole frames dropped, receives a final typed
+//! `slow_consumer` error frame, and is disconnected once that drains —
+//! the partially-written head frame is always completed first so the
+//! stream stays frame-aligned to the end.
 //!
 //! Determinism: the server adds no randomness and no wall-clock values
 //! to any response — a wire-submitted job runs the exact
 //! [`Engine::submit`] code path (same plan-cache key, same RNG
 //! streams), so its weights are bit-identical to the same request
-//! submitted in process.
+//! submitted in process. Transport-level counters (wake-ups, bytes)
+//! are nondeterministic and therefore live in the separate
+//! `ServerStats` verb, never in `Stats`.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use ml4all::{CancelToken, Engine, JobStatus, ModelRef, PredictRequest, TrainRequest};
-use ml4all::{ExplainRequest, SessionError, RNG_STREAM_VERSION};
+use ml4all::{CancelToken, Engine, EventSink, JobEvent, JobStatus, ModelRef, PredictRequest};
+use ml4all::{ExplainRequest, SessionError, TrainRequest, Trained, RNG_STREAM_VERSION};
 
 use crate::admission::{Admission, TenantQuota};
 use crate::protocol::{
-    self, code, read_frame, write_message, FrameIn, Payload, Request, Response, WireError,
-    WireEvent, WireJob, WireReport, WireStats, WireTrained, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    self, code, encode_frame, Decoded, FrameDecoder, Payload, Request, Response, WireError,
+    WireEvent, WireJob, WireServerStats, WireStats, WireTrained, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
+use crate::reactor::{source_of, source_of_listener, Event, Interest, Poller, Waker};
 
 /// Server configuration: address, framing cap, and admission policy.
 #[derive(Debug, Clone)]
@@ -46,6 +80,12 @@ pub struct ServeConfig {
     pub default_quota: TenantQuota,
     /// Per-tenant quota overrides.
     pub tenant_quotas: Vec<(String, TenantQuota)>,
+    /// Cap on a connection's buffered outbound bytes; exceeding it is a
+    /// `slow_consumer` disconnect (see the module docs).
+    pub max_write_buffer: usize,
+    /// Threads in the verb pool running `Explain` and `Predict` off the
+    /// reactor.
+    pub verb_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,18 +97,48 @@ impl Default for ServeConfig {
             drr_quantum: 4096,
             default_quota: TenantQuota::default(),
             tenant_quotas: Vec::new(),
+            max_write_buffer: 4 << 20,
+            verb_workers: 2,
         }
     }
 }
 
-/// A job's server-side progress record: the replayable event buffer and
-/// terminal outcome, shared by the pump thread and any observers.
-struct JobProgress {
+/// Served jobs kept for replay after they finish. Terminal jobs beyond
+/// this count are pruned oldest-first on submit (running and queued
+/// jobs are never pruned).
+const SERVED_HISTORY_CAP: usize = 4096;
+
+/// Parsed requests a connection may queue while a verb is pending;
+/// beyond this the reactor stops reading from it (TCP backpressure).
+const INBOX_PAUSE: usize = 32;
+
+/// Event deliveries an observer may sit out — write buffer saturated,
+/// cursor not advancing — before it is disconnected as a slow
+/// consumer. Replay is paced by the write cap, so a reader that merely
+/// lags a large backlog keeps its cursor moving and never strikes out;
+/// only a peer whose socket absorbs nothing while the stream keeps
+/// producing accumulates strikes.
+const OBSERVER_STALL_STRIKES: u32 = 4;
+
+/// The listener's poller token; connections count up from
+/// [`FIRST_CONN_TOKEN`].
+const LISTENER_TOKEN: u64 = 0;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// A job's server-side progress record. Events are stored pre-framed —
+/// serialized exactly once, shared by every observer, indexed by
+/// sequence number.
+struct Progress {
     engine_id: Option<u64>,
     cancel: Option<CancelToken>,
     cancel_requested: bool,
-    events: Vec<WireEvent>,
+    /// `frames[seq]` is the complete `Event{seq, …}` response frame.
+    frames: Vec<Arc<[u8]>>,
     outcome: Option<WireTrained>,
+    /// Pre-framed `Joined(outcome)` response.
+    outcome_frame: Option<Arc<[u8]>>,
+    /// Pre-framed `ObserveEnd` response.
+    end_frame: Option<Arc<[u8]>>,
 }
 
 /// One wire-submitted job.
@@ -78,45 +148,73 @@ struct ServedJob {
     /// Tenant-visible result name (always set; the engine sees it
     /// prefixed with `tenant:`).
     name: String,
-    state: Mutex<JobProgress>,
-    changed: Condvar,
+    state: Mutex<Progress>,
+    /// Coalesces [`Action::JobDirty`] postings: the sink only enqueues
+    /// when it flips this false→true; the reactor clears it before
+    /// reading the frame buffer.
+    dirty: AtomicBool,
 }
 
-impl ServedJob {
-    /// Finalize with `outcome`, waking observers and joiners. The
-    /// outcome is set *after* the last event, so `outcome.is_some()`
-    /// implies the event buffer is complete.
-    fn finish(&self, outcome: WireTrained) {
-        let mut state = self.state.lock().expect("job state");
-        state.outcome = Some(outcome);
-        drop(state);
-        self.changed.notify_all();
-    }
-}
-
-/// A queued, admitted job waiting for the dispatcher.
+/// A queued, admitted job waiting for dispatch.
 struct Pending {
     job: Arc<ServedJob>,
     request: TrainRequest,
+}
+
+/// Work other threads hand to the reactor (paired with a waker nudge).
+enum Action {
+    /// A verb-pool result: queue `frame` on connection `token`.
+    Respond { token: u64, frame: Arc<[u8]> },
+    /// The job gained events or finished; fan out to its waiters.
+    JobDirty(Arc<ServedJob>),
+    /// Admission capacity may have freed; drain dispatchable jobs.
+    Dispatch,
+}
+
+/// Transport counters behind the `ServerStats` verb.
+#[derive(Default)]
+struct Counters {
+    active_connections: AtomicU64,
+    total_connections: AtomicU64,
+    wakeups: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    partial_writes: AtomicU64,
+    slow_consumer_disconnects: AtomicU64,
 }
 
 struct Shared {
     engine: Engine,
     config: ServeConfig,
     admission: Admission<Pending>,
-    jobs: Mutex<HashMap<u64, Arc<ServedJob>>>,
+    jobs: Mutex<BTreeMap<u64, Arc<ServedJob>>>,
     next_job: AtomicU64,
     protocol_errors: AtomicU64,
     shutdown: AtomicBool,
+    actions: Mutex<VecDeque<Action>>,
+    waker: Waker,
+    counters: Counters,
+    backend: &'static str,
 }
 
-/// A running serving front end. Dropping it shuts the listener and the
-/// dispatcher down (connection threads exit as their clients hang up).
+impl Shared {
+    /// Queue actions for the reactor and nudge it awake (one wake per
+    /// batch; wakes coalesce in the poller).
+    fn post(&self, actions: impl IntoIterator<Item = Action>) {
+        let mut queue = self.actions.lock().expect("action queue");
+        queue.extend(actions);
+        drop(queue);
+        self.waker.wake();
+    }
+}
+
+/// A running serving front end. Dropping it shuts the reactor and verb
+/// pool down; jobs already handed to the engine run to completion.
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    dispatcher: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    verb_pool: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -124,7 +222,14 @@ impl Server {
     /// [`Server::shutdown`] or drop.
     pub fn start(engine: Engine, config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let mut poller = Poller::new()?;
+        poller.register(
+            source_of_listener(&listener, LISTENER_TOKEN),
+            LISTENER_TOKEN,
+            Interest::READ,
+        )?;
         let admission = Admission::new(
             config.drr_quantum,
             config.global_in_flight,
@@ -133,28 +238,51 @@ impl Server {
         for (tenant, quota) in &config.tenant_quotas {
             admission.set_quota(tenant, *quota);
         }
+        let backend = poller.backend();
+        let waker = poller.waker();
+        let verb_workers = config.verb_workers.max(1);
         let shared = Arc::new(Shared {
             engine,
             config,
             admission,
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(BTreeMap::new()),
             next_job: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            actions: Mutex::new(VecDeque::new()),
+            waker,
+            counters: Counters::default(),
+            backend,
         });
-        let dispatcher = {
+        let (verb_tx, verb_rx) = mpsc::channel::<VerbTask>();
+        let verb_rx = Arc::new(Mutex::new(verb_rx));
+        let verb_pool = (0..verb_workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&verb_rx);
+                std::thread::spawn(move || verb_worker(&shared, &rx))
+            })
+            .collect();
+        let reactor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatcher_loop(&shared))
-        };
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&shared, listener))
+            std::thread::spawn(move || {
+                Reactor {
+                    shared,
+                    poller,
+                    listener,
+                    conns: HashMap::new(),
+                    waiters: HashMap::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    verb_tx,
+                }
+                .run();
+            })
         };
         Ok(Self {
             shared,
             local_addr,
-            accept: Some(accept),
-            dispatcher: Some(dispatcher),
+            reactor: Some(reactor),
+            verb_pool,
         })
     }
 
@@ -170,20 +298,19 @@ impl Server {
         self.shared.protocol_errors.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and dispatching. Idempotent; also runs on drop.
-    /// Jobs already handed to the engine run to completion.
+    /// Stop accepting, serving, and dispatching. Idempotent; also runs
+    /// on drop. Jobs already handed to the engine run to completion.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.shared.admission.shutdown();
-        // Unblock the accept loop with a wake-up connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        self.shared.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        if let Some(dispatcher) = self.dispatcher.take() {
-            let _ = dispatcher.join();
+        for worker in self.verb_pool.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -194,78 +321,48 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        // Connection threads are detached: they exit on client EOF or
-        // write failure.
-        std::thread::spawn(move || {
-            let _ = handle_connection(&shared, stream);
-        });
-    }
+// ---------------------------------------------------------------------
+// The event sink: engine worker → pre-framed event buffer → reactor
+// ---------------------------------------------------------------------
+
+/// Runs on the engine worker executing the job: serializes each event
+/// into the job's shared frame buffer and nudges the reactor. No pump
+/// thread exists per job — this *is* the push path.
+struct JobSink {
+    shared: Arc<Shared>,
+    job: Arc<ServedJob>,
+    /// `"{tenant}:"`, stripped from bound names on the wire.
+    prefix: String,
 }
 
-/// Drain the admission controller into the engine until shutdown.
-fn dispatcher_loop(shared: &Arc<Shared>) {
-    while let Some(dispatch) = shared.admission.next() {
-        let Pending { job, request } = dispatch.item;
-        dispatch_job(shared, job, request);
-    }
-}
-
-/// Hand one admitted job to the engine and start its event pump, or
-/// finalize it immediately if it was cancelled while queued.
-fn dispatch_job(shared: &Arc<Shared>, job: Arc<ServedJob>, request: TrainRequest) {
-    let mut state = job.state.lock().expect("job state");
-    if state.cancel_requested {
-        state.events.push(WireEvent::Cancelled { iterations: 0 });
+impl EventSink for JobSink {
+    fn event(&self, event: JobEvent) {
+        let wire = WireEvent::from_job_event(&event, &self.prefix);
+        let mut state = self.job.state.lock().expect("job state");
+        let seq = state.frames.len() as u64;
+        let frame = encode_frame(&Response::Ok(Payload::Event { seq, event: wire }))
+            .expect("serialize event");
+        state.frames.push(frame.into());
         drop(state);
-        job.finish(WireTrained {
-            job: job.id,
-            status: "cancelled".to_string(),
-            name: None,
-            plan: None,
-            iterations: Some(0),
-            converged: None,
-            sim_time_s: None,
-            weights: None,
-            weights_bits: None,
-            error: None,
-        });
-        shared.admission.complete(&job.tenant);
-        return;
-    }
-    // Submit under the job lock so a concurrent `Cancel` either sets
-    // `cancel_requested` before this check or finds the token after.
-    let handle = shared.engine.submit_tagged(request, &job.tenant);
-    state.engine_id = Some(handle.id());
-    state.cancel = Some(handle.cancel_token());
-    drop(state);
-
-    let shared = Arc::clone(shared);
-    std::thread::spawn(move || {
-        let prefix = format!("{}:", job.tenant);
-        for event in handle.progress() {
-            let wire = WireEvent::from_job_event(&event, &prefix);
-            job.state.lock().expect("job state").events.push(wire);
-            job.changed.notify_all();
+        if !self.job.dirty.swap(true, Ordering::AcqRel) {
+            self.shared.post([Action::JobDirty(Arc::clone(&self.job))]);
         }
-        let outcome = match handle.join() {
+    }
+
+    fn finished(&self, outcome: &Result<Trained, SessionError>) {
+        let outcome = match outcome {
             Ok(trained) => {
-                let (weights, weights_bits) = shared
+                let (weights, weights_bits) = self
+                    .shared
                     .engine
                     .model(&trained.name)
                     .map(|model| protocol::encode_weights(model.weights.as_slice()))
                     .map(|(w, b)| (Some(w), Some(b)))
                     .unwrap_or((None, None));
                 WireTrained {
-                    job: job.id,
+                    job: self.job.id,
                     status: "completed".to_string(),
-                    name: Some(job.name.clone()),
+                    name: Some(self.job.name.clone()),
                     plan: Some(trained.summary.plan.to_string()),
                     iterations: Some(trained.summary.iterations),
                     converged: Some(trained.summary.converged),
@@ -275,20 +372,11 @@ fn dispatch_job(shared: &Arc<Shared>, job: Arc<ServedJob>, request: TrainRequest
                     error: None,
                 }
             }
-            Err(SessionError::Cancelled { iterations }) => WireTrained {
-                job: job.id,
-                status: "cancelled".to_string(),
-                name: None,
-                plan: None,
-                iterations: Some(iterations),
-                converged: None,
-                sim_time_s: None,
-                weights: None,
-                weights_bits: None,
-                error: None,
-            },
+            Err(SessionError::Cancelled { iterations }) => {
+                cancelled_outcome(self.job.id, *iterations)
+            }
             Err(other) => WireTrained {
-                job: job.id,
+                job: self.job.id,
                 status: "failed".to_string(),
                 name: None,
                 plan: None,
@@ -300,51 +388,445 @@ fn dispatch_job(shared: &Arc<Shared>, job: Arc<ServedJob>, request: TrainRequest
                 error: Some(other.to_string()),
             },
         };
-        job.finish(outcome);
-        shared.admission.complete(&job.tenant);
-    });
+        finalize(&self.shared, &self.job, outcome);
+        self.shared
+            .post([Action::JobDirty(Arc::clone(&self.job)), Action::Dispatch]);
+    }
 }
 
-/// Serve one connection: a strict request/response loop (observe
-/// streams multiple response frames) that survives malformed and
-/// oversized frames with typed errors.
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut tenant: Option<String> = None;
+/// The terminal record of a job cancelled after `iterations`.
+fn cancelled_outcome(job: u64, iterations: u64) -> WireTrained {
+    WireTrained {
+        job,
+        status: "cancelled".to_string(),
+        name: None,
+        plan: None,
+        iterations: Some(iterations),
+        converged: None,
+        sim_time_s: None,
+        weights: None,
+        weights_bits: None,
+        error: None,
+    }
+}
+
+/// Store a job's outcome and its pre-framed `Joined`/`ObserveEnd`
+/// responses, then free its admission slot. The outcome is recorded
+/// *after* the last event frame, so `outcome.is_some()` implies the
+/// event buffer is complete.
+fn finalize(shared: &Shared, job: &ServedJob, outcome: WireTrained) {
+    let mut state = job.state.lock().expect("job state");
+    state.outcome_frame = Some(
+        encode_frame(&Response::Ok(Payload::Joined(outcome.clone())))
+            .expect("serialize")
+            .into(),
+    );
+    state.end_frame = Some(
+        encode_frame(&Response::Ok(Payload::ObserveEnd {
+            job: job.id,
+            status: outcome.status.clone(),
+        }))
+        .expect("serialize")
+        .into(),
+    );
+    state.outcome = Some(outcome);
+    drop(state);
+    job.dirty.store(true, Ordering::Release);
+    shared.admission.complete(&job.tenant);
+}
+
+// ---------------------------------------------------------------------
+// The verb pool: Explain/Predict off the reactor thread
+// ---------------------------------------------------------------------
+
+enum VerbTask {
+    Explain {
+        token: u64,
+        train: protocol::WireTrain,
+        measured: bool,
+    },
+    Predict {
+        token: u64,
+        tenant: String,
+        model: String,
+        source: protocol::WireSource,
+    },
+}
+
+fn verb_worker(shared: &Shared, rx: &Mutex<mpsc::Receiver<VerbTask>>) {
     loop {
-        let frame = match read_frame(&mut reader, shared.config.max_frame) {
-            Ok(FrameIn::Eof) | Err(_) => return Ok(()),
-            Ok(FrameIn::Oversized { len }) => {
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut writer,
-                    &Response::Err(WireError::new(
-                        code::OVERSIZED_FRAME,
-                        format!(
-                            "frame of {len} bytes exceeds the {} byte cap",
-                            shared.config.max_frame
-                        ),
-                    )),
-                )?;
-                continue;
-            }
-            Ok(FrameIn::Frame(payload)) => payload,
+        let task = {
+            let rx = rx.lock().expect("verb queue");
+            rx.recv()
         };
-        let request: Request = match serde_json::from_slice(&frame) {
-            Ok(request) => request,
-            Err(e) => {
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut writer,
-                    &Response::Err(WireError::new(code::BAD_FRAME, e.to_string())),
-                )?;
-                continue;
-            }
+        let Ok(task) = task else { return };
+        let (token, response) = match task {
+            VerbTask::Explain {
+                token,
+                train,
+                measured,
+            } => (token, explain(shared, &train, measured)),
+            VerbTask::Predict {
+                token,
+                tenant,
+                model,
+                source,
+            } => (token, predict(shared, &tenant, &model, &source)),
         };
-        // The admission byte cost of this request: its frame, header
-        // included.
-        let cost = frame.len() + 4;
+        let frame: Arc<[u8]> = encode_frame(&response).expect("serialize response").into();
+        shared.post([Action::Respond { token, frame }]);
+    }
+}
+
+fn explain(shared: &Shared, train: &protocol::WireTrain, measured: bool) -> Response {
+    match train.to_request() {
+        Err(e) => Response::Err(e),
+        Ok(request) => match shared
+            .engine
+            .explain(ExplainRequest::new(request).measured(measured))
+        {
+            Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
+            Ok(report) => Response::Ok(Payload::Explained(protocol::WireReport {
+                cache_hit: report.cache_hit,
+                best: report.best().plan.to_string(),
+                speculation_sim_s: report.speculation_sim_s,
+                choices: report
+                    .choices
+                    .iter()
+                    .map(|c| protocol::WireChoice {
+                        plan: c.plan.to_string(),
+                        estimated_iterations: c.estimated_iterations,
+                        preparation_s: c.preparation_s,
+                        per_iteration_s: c.per_iteration_s,
+                        total_s: c.total_s,
+                        measured_s: c.measured_s,
+                    })
+                    .collect(),
+            })),
+        },
+    }
+}
+
+fn predict(shared: &Shared, tenant: &str, model: &str, source: &protocol::WireSource) -> Response {
+    // Model names resolve inside the tenant's namespace only.
+    let namespaced = format!("{tenant}:{model}");
+    let request = PredictRequest::new(
+        ml4all::DataSource::from(source),
+        ModelRef::Named(namespaced),
+    );
+    match shared.engine.predict(request) {
+        Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
+        Ok(p) => Response::Ok(Payload::Predicted {
+            n: p.predictions.len() as u64,
+            mse: p.mse,
+            accuracy: p.accuracy,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------
+
+/// What a connection is waiting on (strict request/response sequencing:
+/// further parsed requests sit in the inbox until this resolves).
+enum PendingVerb {
+    /// Streaming a job's events until `ObserveEnd`.
+    Observe {
+        job: Arc<ServedJob>,
+        cursor: usize,
+        /// Consecutive event deliveries that moved `cursor` by nothing
+        /// because the write buffer stayed saturated (see
+        /// [`OBSERVER_STALL_STRIKES`]).
+        stalls: u32,
+    },
+    /// Waiting for the job's outcome.
+    Join { job: Arc<ServedJob> },
+    /// Waiting for a verb-pool result.
+    Worker,
+}
+
+impl PendingVerb {
+    /// The job this verb waits on, if any (for waiter cleanup).
+    fn job_id(&self) -> Option<u64> {
+        match self {
+            Self::Observe { job, .. } | Self::Join { job } => Some(job.id),
+            Self::Worker => None,
+        }
+    }
+}
+
+/// One connection: a readiness-driven state machine.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    tenant: Option<String>,
+    decoder: FrameDecoder,
+    /// Outbound frames; the head may be partially written.
+    wbuf: VecDeque<Arc<[u8]>>,
+    /// Bytes of `wbuf[0]` already written.
+    wbuf_off: usize,
+    /// Total unwritten bytes across `wbuf`.
+    wbuf_bytes: usize,
+    /// Parsed requests deferred behind `pending`, with the byte cost
+    /// (frame length) each arrived under.
+    inbox: VecDeque<(Request, usize)>,
+    pending: Option<PendingVerb>,
+    /// Close once the write buffer drains (slow consumer).
+    doomed: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64, max_frame: usize) -> Self {
+        Self {
+            stream,
+            token,
+            tenant: None,
+            decoder: FrameDecoder::new(max_frame),
+            wbuf: VecDeque::new(),
+            wbuf_off: 0,
+            wbuf_bytes: 0,
+            inbox: VecDeque::new(),
+            pending: None,
+            doomed: false,
+            interest: Interest::READ,
+        }
+    }
+
+    /// The interest this connection's state calls for.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            read: !self.doomed && self.inbox.len() < INBOX_PAUSE,
+            write: !self.wbuf.is_empty(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    /// job id → tokens of connections observing or joining it.
+    waiters: HashMap<u64, Vec<u64>>,
+    next_token: u64,
+    verb_tx: mpsc::Sender<VerbTask>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // The timeout is a lost-wakeup backstop, not a schedule —
+            // every real transition arrives as readiness or a wake.
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .is_err()
+            {
+                return;
+            }
+            self.shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            self.drain_actions();
+            for &event in &events {
+                if event.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(event);
+                }
+            }
+        }
+    }
+
+    fn drain_actions(&mut self) {
+        loop {
+            let action = self
+                .shared
+                .actions
+                .lock()
+                .expect("action queue")
+                .pop_front();
+            let Some(action) = action else { return };
+            match action {
+                Action::Respond { token, frame } => {
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        continue; // the connection died while the verb ran
+                    };
+                    if matches!(conn.pending, Some(PendingVerb::Worker)) {
+                        conn.pending = None;
+                    }
+                    self.queue_frame(token, frame);
+                    self.service(token);
+                }
+                Action::JobDirty(job) => self.deliver_job(&job),
+                Action::Dispatch => self.drain_dispatch(),
+            }
+        }
+    }
+
+    // -- accept path --------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Small request/response frames: never Nagle-delay
+                    // them behind an un-ACKed segment.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(source_of(&stream, token), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn::new(stream, token, self.shared.config.max_frame),
+                    );
+                    self.shared
+                        .counters
+                        .total_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    // -- per-connection readiness -------------------------------------
+
+    fn conn_ready(&mut self, event: Event) {
+        if event.readable || event.hangup {
+            self.readable(event.token);
+        }
+        if self.conns.contains_key(&event.token) && event.writable {
+            self.service(event.token);
+        }
+    }
+
+    /// Read until `WouldBlock` (bounded per wake-up; level-triggered
+    /// readiness re-fires if data remains), decode, and process.
+    fn readable(&mut self, token: u64) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut items: Vec<Decoded> = Vec::new();
+        let mut closed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            'reads: for _ in 0..8 {
+                match conn.stream.read(&mut scratch) {
+                    // EOF (including a peer's half-close) ends the
+                    // conversation; buffered responses are abandoned
+                    // with the socket.
+                    Ok(0) => {
+                        closed = true;
+                        break 'reads;
+                    }
+                    Ok(n) => {
+                        self.shared
+                            .counters
+                            .bytes_in
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        let mut offset = 0;
+                        while offset < n {
+                            let (used, item) = conn.decoder.advance(&scratch[offset..n]);
+                            offset += used;
+                            items.extend(item);
+                        }
+                        if n < scratch.len() {
+                            break 'reads;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'reads,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        closed = true;
+                        break 'reads;
+                    }
+                }
+            }
+        }
+        for item in items {
+            if !self.conns.contains_key(&token) {
+                return; // a response path closed it mid-batch
+            }
+            match item {
+                Decoded::Oversized { len } => {
+                    self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let max = self.shared.config.max_frame;
+                    self.respond(
+                        token,
+                        &Response::Err(WireError::new(
+                            code::OVERSIZED_FRAME,
+                            format!("frame of {len} bytes exceeds the {max} byte cap"),
+                        )),
+                    );
+                }
+                Decoded::Frame(payload) => match serde_json::from_slice::<Request>(&payload) {
+                    Ok(request) => {
+                        // The admission byte cost of this request: its
+                        // frame as received, header included.
+                        let cost = payload.len() + 4;
+                        let conn = self.conns.get_mut(&token).expect("checked above");
+                        if conn.pending.is_some() {
+                            conn.inbox.push_back((request, cost));
+                        } else {
+                            self.handle_request(token, request, cost);
+                        }
+                    }
+                    Err(e) => {
+                        self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        self.respond(
+                            token,
+                            &Response::Err(WireError::new(code::BAD_FRAME, e.to_string())),
+                        );
+                    }
+                },
+            }
+        }
+        if closed {
+            self.close(token);
+        } else {
+            self.service(token);
+        }
+    }
+
+    // -- verb handling ------------------------------------------------
+
+    /// Dispatch one parsed request. Only called when nothing is
+    /// pending on the connection.
+    fn handle_request(&mut self, token: u64, request: Request, cost: usize) {
+        let tenant = {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            conn.tenant.clone()
+        };
         match request {
             Request::Hello {
                 tenant: who,
@@ -352,155 +834,582 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
             } => {
                 if let Some(asked) = protocol {
                     if asked != PROTOCOL_VERSION {
-                        send(
-                            &mut writer,
+                        self.respond(
+                            token,
                             &Response::Err(WireError::new(
                                 code::UNSUPPORTED_PROTOCOL,
                                 format!("server speaks protocol {PROTOCOL_VERSION}, not {asked}"),
                             )),
-                        )?;
-                        continue;
+                        );
+                        return;
                     }
                 }
-                tenant = Some(who);
-                send(
-                    &mut writer,
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.tenant = Some(who);
+                }
+                let max_frame = self.shared.config.max_frame as u64;
+                self.respond(
+                    token,
                     &Response::Ok(Payload::Hello {
                         server: concat!("ml4all-serve ", env!("CARGO_PKG_VERSION")).to_string(),
                         protocol: PROTOCOL_VERSION,
                         rng_stream_version: RNG_STREAM_VERSION,
-                        max_frame: shared.config.max_frame as u64,
+                        max_frame,
                     }),
-                )?;
+                );
             }
             other => {
-                let Some(tenant) = tenant.clone() else {
-                    send(
-                        &mut writer,
+                let Some(tenant) = tenant else {
+                    self.respond(
+                        token,
                         &Response::Err(WireError::new(
                             code::HELLO_REQUIRED,
                             "send Hello with your tenant id first",
                         )),
-                    )?;
-                    continue;
+                    );
+                    return;
                 };
-                handle_verb(shared, &mut writer, &tenant, other, cost)?;
+                self.handle_verb(token, &tenant, other, cost);
             }
         }
+    }
+
+    fn handle_verb(&mut self, token: u64, tenant: &str, request: Request, cost: usize) {
+        match request {
+            Request::Hello { .. } => unreachable!("handled by handle_request"),
+            Request::Submit { train } => {
+                let response = submit(&self.shared, tenant, &train, cost);
+                let admitted = matches!(response, Response::Ok(_));
+                self.respond(token, &response);
+                if admitted {
+                    self.drain_dispatch();
+                }
+            }
+            Request::Observe { job, from } => match owned_job(&self.shared, tenant, job) {
+                Err(e) => self.respond(token, &Response::Err(e)),
+                Ok(job) => self.start_observe(token, job, from.unwrap_or(0)),
+            },
+            Request::Cancel { job } => match owned_job(&self.shared, tenant, job) {
+                Err(e) => self.respond(token, &Response::Err(e)),
+                Ok(job) => {
+                    let mut state = job.state.lock().expect("job state");
+                    if state.outcome.is_none() {
+                        match &state.cancel {
+                            Some(cancel) => cancel.cancel(),
+                            // Still queued: dispatch finalizes it as
+                            // cancelled when its turn comes.
+                            None => state.cancel_requested = true,
+                        }
+                    }
+                    drop(state);
+                    self.respond(token, &Response::Ok(Payload::Cancelled { job: job.id }));
+                }
+            },
+            Request::Join { job } => match owned_job(&self.shared, tenant, job) {
+                Err(e) => self.respond(token, &Response::Err(e)),
+                Ok(job) => {
+                    let ready = job.state.lock().expect("job state").outcome_frame.clone();
+                    match ready {
+                        Some(frame) => {
+                            self.queue_frame(token, frame);
+                            self.service(token);
+                        }
+                        None => {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.pending = Some(PendingVerb::Join {
+                                    job: Arc::clone(&job),
+                                });
+                                self.waiters.entry(job.id).or_default().push(token);
+                            }
+                        }
+                    }
+                }
+            },
+            Request::Explain { train, measured } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending = Some(PendingVerb::Worker);
+                    let _ = self.verb_tx.send(VerbTask::Explain {
+                        token,
+                        train,
+                        measured: measured.unwrap_or(false),
+                    });
+                }
+            }
+            Request::Predict { model, source } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending = Some(PendingVerb::Worker);
+                    let _ = self.verb_tx.send(VerbTask::Predict {
+                        token,
+                        tenant: tenant.to_string(),
+                        model,
+                        source,
+                    });
+                }
+            }
+            Request::Stats => {
+                let response = Response::Ok(Payload::Stats(stats(&self.shared, tenant)));
+                self.respond(token, &response);
+            }
+            Request::ServerStats => {
+                let c = &self.shared.counters;
+                let response = Response::Ok(Payload::ServerStats(WireServerStats {
+                    backend: self.shared.backend.to_string(),
+                    active_connections: c.active_connections.load(Ordering::Relaxed),
+                    total_connections: c.total_connections.load(Ordering::Relaxed),
+                    wakeups: c.wakeups.load(Ordering::Relaxed),
+                    bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                    partial_writes: c.partial_writes.load(Ordering::Relaxed),
+                    slow_consumer_disconnects: c.slow_consumer_disconnects.load(Ordering::Relaxed),
+                }));
+                self.respond(token, &response);
+            }
+        }
+    }
+
+    /// Begin an observe stream: register the connection as an observer
+    /// at cursor `from` and let the paced top-up in [`Reactor::service`]
+    /// replay what the write cap allows now. A backlog larger than the
+    /// cap drains incrementally as the socket accepts it — attaching
+    /// late to a large stream is lag, not a protocol violation.
+    fn start_observe(&mut self, token: u64, job: Arc<ServedJob>, from: u64) {
+        let cursor = usize::try_from(from).unwrap_or(usize::MAX);
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.doomed {
+                return;
+            }
+            conn.pending = Some(PendingVerb::Observe {
+                job: Arc::clone(&job),
+                cursor,
+                stalls: 0,
+            });
+        }
+        self.waiters.entry(job.id).or_default().push(token);
+        // Replays what fits, flushes, and — if the job was already
+        // terminal and the whole stream fit — completes the verb.
+        self.service(token);
+    }
+
+    // -- job fan-out --------------------------------------------------
+
+    /// Push a dirty job's new frames to its observers and resolve its
+    /// joiners if terminal.
+    fn deliver_job(&mut self, job: &Arc<ServedJob>) {
+        // Clear before snapshotting: a concurrent event after the
+        // snapshot re-marks and re-posts.
+        job.dirty.store(false, Ordering::Release);
+        let Some(tokens) = self.waiters.remove(&job.id) else {
+            return;
+        };
+        let (outcome_frame, done) = {
+            let state = job.state.lock().expect("job state");
+            (state.outcome_frame.clone(), state.outcome.is_some())
+        };
+        let mut still_waiting = Vec::new();
+        for token in tokens {
+            let Some(conn) = self.conns.get(&token) else {
+                continue;
+            };
+            match &conn.pending {
+                Some(PendingVerb::Observe { cursor, .. }) => {
+                    let before = *cursor;
+                    // service() runs the paced top-up/flush loop; it may
+                    // complete the stream, block on the socket, or close
+                    // the connection outright.
+                    self.service(token);
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let strike_out = match &mut conn.pending {
+                        Some(PendingVerb::Observe { cursor, stalls, .. }) if !conn.doomed => {
+                            if *cursor > before {
+                                *stalls = 0;
+                                false
+                            } else {
+                                // Saturated and absorbing nothing while
+                                // the stream keeps producing.
+                                *stalls += 1;
+                                *stalls >= OBSERVER_STALL_STRIKES
+                            }
+                        }
+                        // Stream completed (or verb already torn down).
+                        _ => continue,
+                    };
+                    if strike_out {
+                        self.doom_slow_consumer(token);
+                        self.service(token);
+                    } else {
+                        still_waiting.push(token);
+                    }
+                }
+                Some(PendingVerb::Join { .. }) => match (&outcome_frame, done) {
+                    (Some(frame), true) => {
+                        let frame = Arc::clone(frame);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.pending = None;
+                        }
+                        self.queue_frame(token, frame);
+                        self.service(token);
+                    }
+                    _ => still_waiting.push(token),
+                },
+                _ => continue,
+            }
+        }
+        if !still_waiting.is_empty() {
+            self.waiters
+                .entry(job.id)
+                .or_default()
+                .extend(still_waiting);
+        }
+    }
+
+    /// Feed an observer connection from its job's frame buffer, pacing
+    /// by write-buffer occupancy: frames are queued only while the
+    /// buffer stays under the cap, so a reader catching up on a large
+    /// backlog is drip-fed at the rate its socket drains instead of
+    /// tripping the slow-consumer cap on attach. Completes the verb
+    /// (queues `ObserveEnd`, unregisters the waiter) once a terminal
+    /// stream is fully delivered. Returns whether anything was queued.
+    fn top_up_observer(&mut self, token: u64) -> bool {
+        let max = self.shared.config.max_write_buffer;
+        let (job, cursor_now, wbuf_bytes, wbuf_empty) = {
+            let Some(conn) = self.conns.get(&token) else {
+                return false;
+            };
+            if conn.doomed {
+                return false;
+            }
+            let Some(PendingVerb::Observe { job, cursor, .. }) = &conn.pending else {
+                return false;
+            };
+            (
+                Arc::clone(job),
+                *cursor,
+                conn.wbuf_bytes,
+                conn.wbuf.is_empty(),
+            )
+        };
+        let (batch, end_frame, done, head) = {
+            let state = job.state.lock().expect("job state");
+            let head = state.frames.len();
+            let mut budget = max.saturating_sub(wbuf_bytes);
+            let mut batch: Vec<Arc<[u8]>> = Vec::new();
+            let mut at = cursor_now;
+            while at < head {
+                let frame = &state.frames[at];
+                // A single frame larger than the whole cap still goes
+                // out when the buffer is empty: progress beats a
+                // livelock, and the overshoot is one frame deep.
+                if frame.len() > budget && !(batch.is_empty() && wbuf_empty) {
+                    break;
+                }
+                budget = budget.saturating_sub(frame.len());
+                batch.push(Arc::clone(frame));
+                at += 1;
+            }
+            (
+                batch,
+                state.end_frame.clone(),
+                state.outcome.is_some(),
+                head,
+            )
+        };
+        let new_cursor = cursor_now + batch.len();
+        // Frames are never appended after a job turns terminal, so the
+        // snapshot's head is final once `done` is set.
+        let finished = done && new_cursor >= head;
+        if batch.is_empty() && !finished {
+            return false;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        for frame in batch {
+            conn.wbuf_bytes += frame.len();
+            conn.wbuf.push_back(frame);
+        }
+        if finished {
+            conn.pending = None;
+            if let Some(end) = end_frame {
+                conn.wbuf_bytes += end.len();
+                conn.wbuf.push_back(end);
+            }
+            self.unwait(job.id, token);
+        } else if let Some(PendingVerb::Observe { cursor, .. }) = &mut conn.pending {
+            *cursor = new_cursor;
+        }
+        true
+    }
+
+    /// Drop one token from a job's waiter list.
+    fn unwait(&mut self, job_id: u64, token: u64) {
+        if let Some(waiting) = self.waiters.get_mut(&job_id) {
+            waiting.retain(|t| *t != token);
+            if waiting.is_empty() {
+                self.waiters.remove(&job_id);
+            }
+        }
+    }
+
+    // -- dispatch -----------------------------------------------------
+
+    /// Hand every currently-dispatchable admitted job to the engine.
+    fn drain_dispatch(&mut self) {
+        while let Some(dispatched) = self.shared.admission.try_next() {
+            let Pending { job, request } = dispatched.item;
+            let sink = Arc::new(JobSink {
+                shared: Arc::clone(&self.shared),
+                job: Arc::clone(&job),
+                prefix: format!("{}:", job.tenant),
+            });
+            // Submit under the job lock so a concurrent `Cancel` either
+            // sets `cancel_requested` before this check or finds the
+            // token after.
+            let mut state = job.state.lock().expect("job state");
+            if state.cancel_requested {
+                let seq = state.frames.len() as u64;
+                state.frames.push(
+                    encode_frame(&Response::Ok(Payload::Event {
+                        seq,
+                        event: WireEvent::Cancelled { iterations: 0 },
+                    }))
+                    .expect("serialize")
+                    .into(),
+                );
+                drop(state);
+                finalize(&self.shared, &job, cancelled_outcome(job.id, 0));
+                self.deliver_job(&job);
+                continue;
+            }
+            let handle = self
+                .shared
+                .engine
+                .submit_with_sink(request, &job.tenant, sink);
+            state.engine_id = Some(handle.id());
+            state.cancel = Some(handle.cancel_token());
+        }
+    }
+
+    // -- write path ---------------------------------------------------
+
+    /// Serialize, queue, and flush one response frame.
+    fn respond(&mut self, token: u64, response: &Response) {
+        let frame: Arc<[u8]> = encode_frame(response).expect("serialize response").into();
+        self.queue_frame(token, frame);
+        self.service(token);
+    }
+
+    /// Queue `frame` on the connection, enforcing the write cap. Does
+    /// not flush — callers batch frames, then [`Reactor::service`]
+    /// flushes them in one vectored write.
+    fn queue_frame(&mut self, token: u64, frame: Arc<[u8]>) {
+        let max = self.shared.config.max_write_buffer;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.doomed {
+            return;
+        }
+        if conn.wbuf_bytes + frame.len() > max {
+            self.doom_slow_consumer(token);
+        } else {
+            conn.wbuf_bytes += frame.len();
+            conn.wbuf.push_back(frame);
+        }
+    }
+
+    /// Declare a connection a slow consumer: drop every frame not yet
+    /// on the wire — except the partially-written head, which must
+    /// complete for the stream to stay frame-aligned — then say why
+    /// and hang up once it drains.
+    fn doom_slow_consumer(&mut self, token: u64) {
+        let max = self.shared.config.max_write_buffer;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.doomed {
+            return;
+        }
+        self.shared
+            .counters
+            .slow_consumer_disconnects
+            .fetch_add(1, Ordering::Relaxed);
+        if conn.wbuf_off > 0 {
+            let head = conn.wbuf.front().cloned();
+            conn.wbuf.clear();
+            if let Some(head) = head {
+                conn.wbuf_bytes = head.len() - conn.wbuf_off;
+                conn.wbuf.push_back(head);
+            }
+        } else {
+            conn.wbuf.clear();
+            conn.wbuf_bytes = 0;
+        }
+        let goodbye: Arc<[u8]> = encode_frame(&Response::Err(WireError::new(
+            code::SLOW_CONSUMER,
+            format!("outbound buffer exceeded {max} bytes; undelivered frames dropped"),
+        )))
+        .expect("serialize")
+        .into();
+        conn.wbuf_bytes += goodbye.len();
+        conn.wbuf.push_back(goodbye);
+        conn.doomed = true;
+        if let Some(job_id) = conn.pending.as_ref().and_then(PendingVerb::job_id) {
+            let token = conn.token;
+            conn.pending = None;
+            if let Some(waiting) = self.waiters.get_mut(&job_id) {
+                waiting.retain(|t| *t != token);
+            }
+        }
+    }
+
+    /// Flush what the socket will take, then reconcile poller interest
+    /// — the single place a connection's registration is kept in step
+    /// with its state. Closes the connection on write failure or a
+    /// drained doomed buffer.
+    fn service(&mut self, token: u64) {
+        // Alternate flushing with observer top-up: every byte the
+        // socket absorbs frees cap budget, which pulls the next slice
+        // of a lagging observer's backlog — replay pacing without
+        // timers. The first iteration always tops up so fresh event
+        // frames flow even when nothing was buffered.
+        let mut first = true;
+        loop {
+            let flushed = self.flush_wbuf(token);
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            let saturated = conn.wbuf_bytes >= self.shared.config.max_write_buffer;
+            if (!first && !flushed) || saturated || !self.top_up_observer(token) {
+                break;
+            }
+            first = false;
+        }
+        // A resolved verb unblocks the inbox.
+        while self
+            .conns
+            .get(&token)
+            .is_some_and(|c| c.pending.is_none() && !c.doomed && !c.inbox.is_empty())
+        {
+            let (request, cost) = self
+                .conns
+                .get_mut(&token)
+                .expect("checked")
+                .inbox
+                .pop_front()
+                .expect("checked");
+            self.handle_request(token, request, cost);
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = conn.desired_interest();
+        if want != conn.interest
+            && self
+                .poller
+                .update(source_of(&conn.stream, token), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// Write as much of the buffered outbound data as the socket will
+    /// take. Returns whether any bytes left. Closes the connection on
+    /// write failure or a drained doomed buffer.
+    fn flush_wbuf(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let mut dead = false;
+        let mut wrote = false;
+        'flush: while !conn.wbuf.is_empty() {
+            // Vectored write: an observer batch of many small event
+            // frames leaves in one syscall.
+            let mut slices: Vec<IoSlice> = Vec::with_capacity(conn.wbuf.len().min(64));
+            for (i, frame) in conn.wbuf.iter().take(64).enumerate() {
+                let start = if i == 0 { conn.wbuf_off } else { 0 };
+                slices.push(IoSlice::new(&frame[start..]));
+            }
+            match conn.stream.write_vectored(&slices) {
+                Ok(0) => {
+                    dead = true;
+                    break 'flush;
+                }
+                Ok(mut n) => {
+                    wrote = true;
+                    self.shared
+                        .counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    while n > 0 {
+                        let head_left =
+                            conn.wbuf.front().expect("non-empty wbuf").len() - conn.wbuf_off;
+                        if n >= head_left {
+                            n -= head_left;
+                            conn.wbuf_bytes -= head_left;
+                            conn.wbuf.pop_front();
+                            conn.wbuf_off = 0;
+                        } else {
+                            conn.wbuf_off += n;
+                            conn.wbuf_bytes -= n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.shared
+                        .counters
+                        .partial_writes
+                        .fetch_add(1, Ordering::Relaxed);
+                    break 'flush;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break 'flush;
+                }
+            }
+        }
+        if dead || (conn.doomed && conn.wbuf.is_empty()) {
+            self.close(token);
+            return false;
+        }
+        wrote
+    }
+
+    /// Tear a connection down: poller, waiter lists, counters.
+    fn close(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(source_of(&conn.stream, token));
+        if let Some(job_id) = conn.pending.as_ref().and_then(PendingVerb::job_id) {
+            if let Some(waiting) = self.waiters.get_mut(&job_id) {
+                waiting.retain(|t| *t != token);
+                if waiting.is_empty() {
+                    self.waiters.remove(&job_id);
+                }
+            }
+        }
+        self.shared
+            .counters
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// Dispatch one authenticated verb.
-fn handle_verb(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    tenant: &str,
-    request: Request,
-    cost: usize,
-) -> io::Result<()> {
-    match request {
-        Request::Hello { .. } => unreachable!("handled by the connection loop"),
-        Request::Submit { train } => {
-            let response = submit(shared, tenant, &train, cost);
-            send(writer, &response)
-        }
-        Request::Observe { job, from } => {
-            let job = match owned_job(shared, tenant, job) {
-                Ok(job) => job,
-                Err(e) => return send(writer, &Response::Err(e)),
-            };
-            observe(writer, &job, from.unwrap_or(0))
-        }
-        Request::Cancel { job } => {
-            let job = match owned_job(shared, tenant, job) {
-                Ok(job) => job,
-                Err(e) => return send(writer, &Response::Err(e)),
-            };
-            let mut state = job.state.lock().expect("job state");
-            if state.outcome.is_none() {
-                match &state.cancel {
-                    Some(token) => token.cancel(),
-                    // Still queued: the dispatcher finalizes it as
-                    // cancelled when its turn comes.
-                    None => state.cancel_requested = true,
-                }
-            }
-            drop(state);
-            send(writer, &Response::Ok(Payload::Cancelled { job: job.id }))
-        }
-        Request::Join { job } => {
-            let job = match owned_job(shared, tenant, job) {
-                Ok(job) => job,
-                Err(e) => return send(writer, &Response::Err(e)),
-            };
-            let mut state = job.state.lock().expect("job state");
-            while state.outcome.is_none() {
-                state = job.changed.wait(state).expect("job wait");
-            }
-            let outcome = state.outcome.clone().expect("outcome present");
-            drop(state);
-            send(writer, &Response::Ok(Payload::Joined(outcome)))
-        }
-        Request::Explain { train, measured } => {
-            let response = match train.to_request() {
-                Err(e) => Response::Err(e),
-                Ok(request) => {
-                    match shared
-                        .engine
-                        .explain(ExplainRequest::new(request).measured(measured.unwrap_or(false)))
-                    {
-                        Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
-                        Ok(report) => Response::Ok(Payload::Explained(WireReport {
-                            cache_hit: report.cache_hit,
-                            best: report.best().plan.to_string(),
-                            speculation_sim_s: report.speculation_sim_s,
-                            choices: report
-                                .choices
-                                .iter()
-                                .map(|c| protocol::WireChoice {
-                                    plan: c.plan.to_string(),
-                                    estimated_iterations: c.estimated_iterations,
-                                    preparation_s: c.preparation_s,
-                                    per_iteration_s: c.per_iteration_s,
-                                    total_s: c.total_s,
-                                    measured_s: c.measured_s,
-                                })
-                                .collect(),
-                        })),
-                    }
-                }
-            };
-            send(writer, &response)
-        }
-        Request::Predict { model, source } => {
-            // Model names resolve inside the tenant's namespace only.
-            let namespaced = format!("{tenant}:{model}");
-            let request = PredictRequest::new(
-                ml4all::DataSource::from(&source),
-                ModelRef::Named(namespaced),
-            );
-            let response = match shared.engine.predict(request) {
-                Err(e) => Response::Err(WireError::new(code::FAILED, e.to_string())),
-                Ok(p) => Response::Ok(Payload::Predicted {
-                    n: p.predictions.len() as u64,
-                    mse: p.mse,
-                    accuracy: p.accuracy,
-                }),
-            };
-            send(writer, &response)
-        }
-        Request::Stats => send(writer, &Response::Ok(Payload::Stats(stats(shared, tenant)))),
-    }
-}
+// ---------------------------------------------------------------------
+// Verb helpers shared with the verb pool
+// ---------------------------------------------------------------------
 
 /// Admit one training job: namespace its name, register it, and queue
 /// it (or refuse with typed `busy` backpressure).
-fn submit(
-    shared: &Arc<Shared>,
-    tenant: &str,
-    train: &protocol::WireTrain,
-    cost: usize,
-) -> Response {
+fn submit(shared: &Shared, tenant: &str, train: &protocol::WireTrain, cost: usize) -> Response {
     let mut request = match train.to_request() {
         Ok(request) => request,
         Err(e) => return Response::Err(e),
@@ -514,20 +1423,36 @@ fn submit(
         id,
         tenant: tenant.to_string(),
         name: visible,
-        state: Mutex::new(JobProgress {
+        state: Mutex::new(Progress {
             engine_id: None,
             cancel: None,
             cancel_requested: false,
-            events: Vec::new(),
+            frames: Vec::new(),
             outcome: None,
+            outcome_frame: None,
+            end_frame: None,
         }),
-        changed: Condvar::new(),
+        dirty: AtomicBool::new(false),
     });
-    shared
-        .jobs
-        .lock()
-        .expect("job table")
-        .insert(id, Arc::clone(&job));
+    {
+        let mut jobs = shared.jobs.lock().expect("job table");
+        jobs.insert(id, Arc::clone(&job));
+        // Bounded history: prune the oldest *terminal* jobs beyond the
+        // cap (a running or queued job is never pruned, so an observer
+        // of a live job cannot lose it).
+        if jobs.len() > SERVED_HISTORY_CAP {
+            let excess = jobs.len() - SERVED_HISTORY_CAP;
+            let prunable: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.state.lock().expect("job state").outcome.is_some())
+                .map(|(id, _)| *id)
+                .take(excess)
+                .collect();
+            for id in prunable {
+                jobs.remove(&id);
+            }
+        }
+    }
     let pending = Pending {
         job: Arc::clone(&job),
         request,
@@ -546,49 +1471,10 @@ fn submit(
     }
 }
 
-/// Stream a job's events from `from` until its terminal outcome.
-fn observe(writer: &mut BufWriter<TcpStream>, job: &ServedJob, from: u64) -> io::Result<()> {
-    let mut seq = from;
-    loop {
-        let (batch, done) = {
-            let mut state = job.state.lock().expect("job state");
-            loop {
-                if (state.events.len() as u64) > seq || state.outcome.is_some() {
-                    let start = (seq as usize).min(state.events.len());
-                    // The outcome is recorded only after the final
-                    // event, so `done` means the batch is the rest.
-                    break (state.events[start..].to_vec(), state.outcome.is_some());
-                }
-                state = job.changed.wait(state).expect("observe wait");
-            }
-        };
-        for event in batch {
-            send(writer, &Response::Ok(Payload::Event { seq, event }))?;
-            seq += 1;
-        }
-        if done {
-            let state = job.state.lock().expect("job state");
-            let status = state
-                .outcome
-                .as_ref()
-                .map(|o| o.status.clone())
-                .expect("done implies outcome");
-            drop(state);
-            return send(
-                writer,
-                &Response::Ok(Payload::ObserveEnd {
-                    job: job.id,
-                    status,
-                }),
-            );
-        }
-    }
-}
-
 /// This tenant's stats: admission counters plus its job table. Job
 /// statuses come from the [`Engine::jobs`] snapshot — the engine is the
 /// single source of truth for dispatched jobs.
-fn stats(shared: &Arc<Shared>, tenant: &str) -> WireStats {
+fn stats(shared: &Shared, tenant: &str) -> WireStats {
     let lane = shared.admission.stats(tenant);
     let engine_status: HashMap<u64, JobStatus> = shared
         .engine
@@ -649,7 +1535,7 @@ fn status_name(status: JobStatus) -> &'static str {
 }
 
 /// Look a job up and enforce tenant ownership.
-fn owned_job(shared: &Arc<Shared>, tenant: &str, id: u64) -> Result<Arc<ServedJob>, WireError> {
+fn owned_job(shared: &Shared, tenant: &str, id: u64) -> Result<Arc<ServedJob>, WireError> {
     let jobs = shared.jobs.lock().expect("job table");
     let job = jobs
         .get(&id)
@@ -662,11 +1548,4 @@ fn owned_job(shared: &Arc<Shared>, tenant: &str, id: u64) -> Result<Arc<ServedJo
         ));
     }
     Ok(Arc::clone(job))
-}
-
-/// Write one response frame and flush it (responses must not sit in the
-/// buffer while the connection loop blocks on the next read).
-fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
-    write_message(writer, response)?;
-    writer.flush()
 }

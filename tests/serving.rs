@@ -4,14 +4,15 @@
 //! (`tests/golden/wire_frames.txt`, regenerate with `UPDATE_GOLDEN=1`).
 
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use ml4all::{DataSource, Engine, GradientKind, JobEvent, TrainRequest};
 use ml4all_bench::golden::assert_golden;
 use ml4all_serve::{
     code, f64_to_bits_hex, protocol, Client, ClientError, Request, Response, ServeConfig, Server,
-    TenantQuota, WireEvent, WireSource, WireTrain,
+    TenantQuota, WireEvent, WireSource, WireTrain, PROTOCOL_VERSION,
 };
 
 fn serve(engine: Engine, config: ServeConfig) -> Server {
@@ -355,6 +356,364 @@ fn admission_refuses_over_quota_submissions_with_typed_busy_backpressure() {
     for job in queued {
         assert_eq!(client.join(job).expect("join queued").status, "completed");
     }
+}
+
+/// Raw-socket peer: complete the Hello handshake without a
+/// [`Client`] so the test controls every byte on the wire afterwards.
+fn raw_hello(server: &Server, tenant: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    protocol::write_message(
+        &mut (&stream),
+        &Request::Hello {
+            tenant: tenant.into(),
+            protocol: Some(PROTOCOL_VERSION),
+        },
+    )
+    .expect("hello");
+    match protocol::read_frame(&mut reader, 1 << 20).expect("hello response") {
+        protocol::FrameIn::Frame(_) => {}
+        other => panic!("expected hello frame, got {other:?}"),
+    }
+    (stream, reader)
+}
+
+/// Read one response frame a single byte at a time.
+fn read_response_byte_by_byte(stream: &mut TcpStream) -> Response {
+    let mut header = [0u8; 4];
+    for byte in header.iter_mut() {
+        stream
+            .read_exact(std::slice::from_mut(byte))
+            .expect("header byte");
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    for byte in payload.iter_mut() {
+        stream
+            .read_exact(std::slice::from_mut(byte))
+            .expect("payload byte");
+    }
+    serde_json::from_slice(&payload).expect("parse response")
+}
+
+/// A long-running, nearly silent job: occupies its slot until cancelled
+/// and emits almost no progress events.
+fn hog_train(name: &str) -> WireTrain {
+    let mut train = adult_train(2_000_000_000, 0, name);
+    train.epsilon = Some(1e-12);
+    train.progress_every = Some(1_000_000_000);
+    train
+}
+
+#[test]
+fn byte_at_a_time_and_pipelined_frames_get_correct_responses() {
+    let server = serve(Engine::new(), ServeConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Dribble the Hello frame one byte per syscall — the incremental
+    // decoder must assemble it across arbitrarily small reads.
+    let hello = protocol::encode_frame(&Request::Hello {
+        tenant: "dribble".into(),
+        protocol: Some(PROTOCOL_VERSION),
+    })
+    .expect("encode");
+    for (i, byte) in hello.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).expect("write");
+        if i % 7 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    match read_response_byte_by_byte(&mut stream) {
+        Response::Ok(ml4all_serve::Payload::Hello { .. }) => {}
+        other => panic!("expected hello, got {other:?}"),
+    }
+
+    // Two pipelined requests in ONE write: a fresh server assigns job 1,
+    // so Submit and Join{1} can cross a frame boundary in one segment.
+    // The server must answer both, in order.
+    let mut pipelined = protocol::encode_frame(&Request::Submit {
+        train: adult_train(5, 0, "dribble"),
+    })
+    .expect("encode submit");
+    pipelined.extend_from_slice(
+        &protocol::encode_frame(&Request::Join { job: 1 }).expect("encode join"),
+    );
+    stream.write_all(&pipelined).expect("pipelined write");
+    match read_response_byte_by_byte(&mut stream) {
+        Response::Ok(ml4all_serve::Payload::Submitted { job: 1 }) => {}
+        other => panic!("expected submitted job 1, got {other:?}"),
+    }
+    match read_response_byte_by_byte(&mut stream) {
+        Response::Ok(ml4all_serve::Payload::Joined(outcome)) => {
+            assert_eq!(outcome.status, "completed");
+        }
+        other => panic!("expected joined, got {other:?}"),
+    }
+}
+
+#[test]
+fn half_open_connections_are_reaped_without_protocol_errors() {
+    let server = serve(Engine::new(), ServeConfig::default());
+    let mut control = connect(&server, "ops");
+    let baseline = control.server_stats().expect("stats").active_connections;
+
+    // Eight peers send a partial frame header and then vanish. The
+    // partial header is not a protocol error — the peer is simply gone
+    // mid-frame — but the reactor must notice the close and reap them.
+    let half_open: Vec<TcpStream> = (0..8)
+        .map(|_| {
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            stream.write_all(&[0x00, 0x01]).expect("partial header");
+            stream
+        })
+        .collect();
+    let wait_for = |control: &mut Client, expected: u64| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let active = control.server_stats().expect("stats").active_connections;
+            if active == expected {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "active_connections stuck at {active}, wanted {expected}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    wait_for(&mut control, baseline + 8);
+    drop(half_open);
+    wait_for(&mut control, baseline);
+    assert_eq!(
+        server.protocol_errors(),
+        0,
+        "half-open is not a protocol error"
+    );
+}
+
+#[test]
+fn observer_swarm_shares_the_reactor_and_replays_bit_identically() {
+    let server = serve(Engine::new(), ServeConfig::default());
+    let mut control = connect(&server, "watch");
+    let job = control.submit(&hog_train("watched")).expect("submit");
+    loop {
+        if control.stats().expect("stats").in_flight >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let threads = || -> Option<u64> {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()?
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    };
+    let threads_before = threads();
+
+    // 256 observers attach as raw sockets — no client threads, and
+    // (the point of the reactor) no server threads either.
+    const SWARM: usize = 256;
+    let mut swarm: Vec<(TcpStream, BufReader<TcpStream>)> = (0..SWARM)
+        .map(|_| {
+            let (stream, reader) = raw_hello(&server, "watch");
+            protocol::write_message(&mut (&stream), &Request::Observe { job, from: Some(0) })
+                .expect("observe");
+            (stream, reader)
+        })
+        .collect();
+    let baseline = control.server_stats().expect("stats").active_connections;
+    assert!(baseline > SWARM as u64, "swarm registered: {baseline}");
+
+    if let (Some(before), Some(after)) = (threads_before, threads()) {
+        // Tolerance absorbs unrelated tests starting servers in this
+        // process; a thread-per-connection server would add 256 here.
+        assert!(
+            after < before + 8,
+            "observer swarm grew the thread count {before} -> {after}"
+        );
+    }
+
+    // Terminate the watched job; every parked stream gets the terminal
+    // frames pushed, and all of them see byte-identical sequences.
+    control.cancel(job).expect("cancel");
+    assert_eq!(control.join(job).expect("join").status, "cancelled");
+
+    let drain = |reader: &mut BufReader<TcpStream>| -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        loop {
+            match protocol::read_frame(reader, 1 << 20).expect("frame") {
+                protocol::FrameIn::Frame(payload) => {
+                    let done = String::from_utf8_lossy(&payload).contains("ObserveEnd");
+                    frames.push(payload);
+                    if done {
+                        return frames;
+                    }
+                }
+                other => panic!("observer stream broke: {other:?}"),
+            }
+        }
+    };
+    let reference: Vec<Vec<u8>> = drain(&mut swarm[0].1);
+    assert!(
+        reference
+            .iter()
+            .any(|f| String::from_utf8_lossy(f).contains("Cancelled")),
+        "terminal event must be pushed"
+    );
+    for (i, (_stream, reader)) in swarm.iter_mut().enumerate().skip(1) {
+        assert_eq!(
+            drain(reader),
+            reference,
+            "observer {i} saw different bytes than observer 0"
+        );
+    }
+
+    // A latecomer replaying the now-terminal job gets the same bytes.
+    let (stream, mut reader) = raw_hello(&server, "watch");
+    protocol::write_message(&mut (&stream), &Request::Observe { job, from: Some(0) })
+        .expect("late observe");
+    assert_eq!(
+        drain(&mut reader),
+        reference,
+        "replay must be bit-identical"
+    );
+}
+
+#[test]
+fn stalled_readers_are_disconnected_as_slow_consumers() {
+    // A tight write-buffer cap so a stalled reader trips it quickly.
+    let config = ServeConfig {
+        max_write_buffer: 16 << 10,
+        ..ServeConfig::default()
+    };
+    let server = serve(Engine::new(), config);
+    let mut control = connect(&server, "firehose");
+
+    // A chatty job: one event per iteration, ~30 MB of event frames —
+    // far more than the kernel socket buffers plus the 16 KiB cap.
+    let mut chatty = adult_train(200_000, 0, "chatty");
+    chatty.epsilon = Some(1e-12);
+    chatty.progress_every = Some(1);
+    let job = control.submit(&chatty).expect("submit");
+
+    // The observer attaches and then never reads.
+    let (stream, mut reader) = raw_hello(&server, "firehose");
+    protocol::write_message(&mut (&stream), &Request::Observe { job, from: Some(0) })
+        .expect("observe");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = control.server_stats().expect("stats");
+        if stats.slow_consumer_disconnects >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled reader never tripped the write-buffer cap"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Now drain what the server managed to send: a contiguous prefix of
+    // event frames, then exactly one `slow_consumer` error, then EOF —
+    // frame alignment is preserved even at the cut.
+    let mut next_seq = 0u64;
+    let mut saw_error = false;
+    loop {
+        match protocol::read_frame(&mut reader, 1 << 20).expect("frame") {
+            protocol::FrameIn::Frame(payload) => {
+                assert!(!saw_error, "no frames may follow the slow_consumer error");
+                let response: Response = serde_json::from_slice(&payload).expect("parse");
+                match response {
+                    Response::Ok(ml4all_serve::Payload::Event { seq, .. }) => {
+                        assert_eq!(seq, next_seq, "delivered events must be a prefix");
+                        next_seq += 1;
+                    }
+                    Response::Err(e) => {
+                        assert_eq!(e.code, code::SLOW_CONSUMER);
+                        saw_error = true;
+                    }
+                    other => panic!("unexpected frame: {other:?}"),
+                }
+            }
+            protocol::FrameIn::Eof => break,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(
+        saw_error,
+        "the disconnect must carry a typed slow_consumer error"
+    );
+    assert!(next_seq > 0, "some events were delivered before the stall");
+    assert_eq!(
+        control
+            .server_stats()
+            .expect("stats")
+            .slow_consumer_disconnects,
+        1
+    );
+
+    // The job itself is unaffected by its slow observer.
+    assert_eq!(control.join(job).expect("join").status, "completed");
+}
+
+#[test]
+fn late_observer_drains_a_backlog_larger_than_the_write_cap() {
+    // Same tight cap as the stalled-reader test — but this reader keeps
+    // reading, so replay must be paced through the cap, not refused by
+    // it. (A slow-consumer disconnect here would mean attach-time
+    // backlog size is being confused with reader stalling.)
+    let config = ServeConfig {
+        max_write_buffer: 16 << 10,
+        ..ServeConfig::default()
+    };
+    let server = serve(Engine::new(), config);
+    let mut control = connect(&server, "archive");
+
+    // ~2k buffered event frames (~300 KB) on a finished job: twenty
+    // times the write cap.
+    let mut chatty = adult_train(2_000, 0, "archived");
+    chatty.epsilon = Some(1e-12);
+    chatty.progress_every = Some(1);
+    let job = control.submit(&chatty).expect("submit");
+    assert_eq!(control.join(job).expect("join").status, "completed");
+
+    let (stream, mut reader) = raw_hello(&server, "archive");
+    protocol::write_message(&mut (&stream), &Request::Observe { job, from: Some(0) })
+        .expect("observe");
+    let mut next_seq = 0u64;
+    loop {
+        match protocol::read_frame(&mut reader, 1 << 20).expect("frame") {
+            protocol::FrameIn::Frame(payload) => {
+                if String::from_utf8_lossy(&payload).contains("ObserveEnd") {
+                    break;
+                }
+                let response: Response = serde_json::from_slice(&payload).expect("parse");
+                match response {
+                    Response::Ok(ml4all_serve::Payload::Event { seq, .. }) => {
+                        assert_eq!(seq, next_seq, "replay must be gapless");
+                        next_seq += 1;
+                    }
+                    other => panic!("unexpected frame: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(
+        next_seq >= 2_000,
+        "full backlog must replay, got {next_seq} frames"
+    );
+    assert_eq!(
+        control
+            .server_stats()
+            .expect("stats")
+            .slow_consumer_disconnects,
+        0,
+        "a reader that keeps up is not a slow consumer"
+    );
 }
 
 #[test]

@@ -451,8 +451,40 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
+        // Fast path: a contiguous run of plain bytes (no quote, escape,
+        // or control character) is copied in one slice append instead of
+        // scalar by scalar — most strings on the wire (keys, hex weight
+        // bits) are exactly this shape and never hit the escape loop.
+        let run_start = self.pos;
+        let mut scan = self.pos;
+        while let Some(&b) = self.bytes.get(scan) {
+            if b == b'"' || b == b'\\' || b < 0x20 {
+                break;
+            }
+            scan += 1;
+        }
+        if self.bytes.get(scan) == Some(&b'"') {
+            let text = std::str::from_utf8(&self.bytes[run_start..scan])
+                .map_err(|_| self.err("invalid utf-8"))?;
+            self.pos = scan + 1;
+            return Ok(text.to_string());
+        }
         let mut out = String::new();
         loop {
+            // Bulk-copy the plain run before the next special byte.
+            let run_start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?,
+                );
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -671,13 +703,34 @@ fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
     }
 }
 
+/// Manual decimal formatting: skips the `core::fmt` padding/alignment
+/// machinery, which shows up on profiles when a response carries
+/// hundreds of integer fields. Output is identical to `{u}`.
+fn write_u64_decimal(out: &mut String, mut u: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (u % 10) as u8;
+        u /= 10;
+        if u == 0 {
+            break;
+        }
+    }
+    // Digits are pure ASCII, so this never fails.
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+}
+
 fn write_number(out: &mut String, n: &Number) {
     match n {
         Number::PosInt(u) => {
-            let _ = write!(out, "{u}");
+            write_u64_decimal(out, *u);
         }
         Number::NegInt(i) => {
-            let _ = write!(out, "{i}");
+            if *i < 0 {
+                out.push('-');
+            }
+            write_u64_decimal(out, i.unsigned_abs());
         }
         Number::Float(f) => {
             if f.is_finite() {
@@ -697,18 +750,32 @@ fn write_number(out: &mut String, n: &Number) {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    // Copy maximal runs of bytes that need no escaping in one append.
+    // Every byte that does need escaping is ASCII, so slicing at those
+    // positions always lands on a char boundary.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        if start < i {
+            out.push_str(&s[start..i]);
+        }
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            b => {
+                let _ = write!(out, "\\u{b:04x}");
+            }
+        }
+        start = i + 1;
+    }
+    if start < bytes.len() {
+        out.push_str(&s[start..]);
     }
     out.push('"');
 }
