@@ -53,7 +53,7 @@ pub mod platform;
 pub use chooser::{choose_plan, OptimizerConfig, OptimizerReport, PlanChoice};
 pub use curvefit::CurveFit;
 pub use estimator::{estimate_iterations, IterationsEstimate, SpeculationConfig};
-pub use plancache::{PlanCache, PlanCacheKey};
+pub use plancache::{PlanCache, PlanCacheEntry, PlanCacheKey};
 pub use planspace::{enumerate_plans, enumerate_plans_for_variants};
 pub use platform::{map_plan, Platform, PlatformMapping};
 

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use ml4all_dataflow::{ClusterSpec, RNG_STREAM_VERSION};
+use serde::{Deserialize, Serialize};
 
 use crate::chooser::OptimizerReport;
 use crate::estimator::SpeculationConfig;
@@ -47,6 +48,30 @@ impl PlanCacheKey {
             "v{RNG_STREAM_VERSION}|fp{dataset_fingerprint:016x}|seed{seed}|{spec:?}|{speculation:?}|{cluster:?}"
         ))
     }
+
+    /// The rendered key string (stable across processes — the engine hashes
+    /// it to name checkpoint files, and persisted cache entries carry it).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Rebuild a key from its rendered string (the inverse of
+    /// [`PlanCacheKey::as_str`], used when importing persisted entries).
+    pub fn from_string(key: String) -> Self {
+        Self(key)
+    }
+}
+
+/// One persisted cache entry: the rendered key plus its report. A
+/// [`PlanCache`] exports to and imports from a list of these, giving the
+/// cache a process-death-surviving on-disk form without tying this crate
+/// to a storage location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanCacheEntry {
+    /// Rendered [`PlanCacheKey`] string.
+    pub key: String,
+    /// The cached optimizer decision.
+    pub report: OptimizerReport,
 }
 
 /// A concurrent, unbounded memo of [`OptimizerReport`]s keyed by
@@ -113,6 +138,32 @@ impl PlanCache {
     /// Lookups that missed so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Export every entry, sorted by key so the persisted form is
+    /// deterministic.
+    pub fn export(&self) -> Vec<PlanCacheEntry> {
+        let entries = self.entries.lock().expect("plan cache");
+        let mut out: Vec<PlanCacheEntry> = entries
+            .iter()
+            .map(|(k, report)| PlanCacheEntry {
+                key: k.0.clone(),
+                report: report.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Import previously exported entries (e.g. read back from disk).
+    /// Stored reports are normalized to `cache_hit: false`, exactly as
+    /// [`PlanCache::insert`] would; counters are untouched.
+    pub fn import(&self, entries: Vec<PlanCacheEntry>) {
+        let mut map = self.entries.lock().expect("plan cache");
+        for mut e in entries {
+            e.report.cache_hit = false;
+            map.insert(PlanCacheKey(e.key), e.report);
+        }
     }
 }
 
@@ -201,6 +252,34 @@ mod tests {
             &ClusterSpec::paper_testbed(),
         );
         assert_ne!(base, looser, "speculation config");
+    }
+
+    #[test]
+    fn export_import_round_trips_decisions_across_cache_instances() {
+        let data = dataset(500);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let cold = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        let cache = PlanCache::new();
+        let key = key_for(&data, 0, Some(100));
+        cache.insert(key.clone(), &cold);
+
+        let exported = cache.export();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].key, key.as_str());
+        // Through JSON and back into a fresh cache: the served report is
+        // identical to what the original cache would serve.
+        let json = serde_json::to_string(&exported).unwrap();
+        let parsed: Vec<PlanCacheEntry> = serde_json::from_str(&json).unwrap();
+        let warmed = PlanCache::new();
+        warmed.import(parsed);
+        assert_eq!(warmed.len(), 1);
+        let served = warmed.get(&key).expect("imported entry");
+        assert!(served.cache_hit);
+        assert_eq!(
+            serde_json::to_string(&served.choices).unwrap(),
+            serde_json::to_string(&cold.choices).unwrap()
+        );
     }
 
     #[test]

@@ -14,14 +14,85 @@
 
 use crate::cluster::ClusterSpec;
 
+/// Deterministic fault injection for the simulated cluster: scripted
+/// node losses and stragglers, applied as an accounting overlay by
+/// [`crate::SimEnv::meter_cluster_wave`]. Faults never change *what*
+/// executes — the math and RNG streams stay bit-identical to a
+/// fault-free run — they change where partitions are placed and what the
+/// usage meter records, so `explain`'s measured column shows what a
+/// failure costs. An empty schedule meters exactly like before.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// `(wave, node)`: the node dies during that 1-based compute wave.
+    /// Its in-flight work is lost and its partitions re-place onto the
+    /// survivors from that wave onward.
+    node_losses: Vec<(u64, usize)>,
+    /// `(node, slowdown)`: the node computes `slowdown`× slower than its
+    /// peers for the whole run.
+    stragglers: Vec<(usize, u32)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Script node `node` to die during 1-based wave `wave`.
+    pub fn lose_node(mut self, wave: u64, node: usize) -> Self {
+        self.node_losses.push((wave.max(1), node));
+        self
+    }
+
+    /// Script node `node` as a straggler computing `slowdown`× slower.
+    pub fn straggler(mut self, node: usize, slowdown: u32) -> Self {
+        self.stragglers.push((node, slowdown.max(1)));
+        self
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.node_losses.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// Nodes scripted to die during exactly wave `wave`.
+    pub fn losses_at(&self, wave: u64) -> Vec<usize> {
+        self.node_losses
+            .iter()
+            .filter(|(w, _)| *w == wave)
+            .map(|(_, n)| *n)
+            .collect()
+    }
+
+    /// `true` when `node` is dead as of wave `wave` (it died during this
+    /// wave or an earlier one).
+    pub fn is_dead_at(&self, node: usize, wave: u64) -> bool {
+        self.node_losses
+            .iter()
+            .any(|(w, n)| *n == node && *w <= wave)
+    }
+
+    /// The straggler slowdown factor for `node` (1 when not a straggler).
+    pub fn straggler_factor(&self, node: usize) -> u32 {
+        self.stragglers
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map_or(1, |(_, s)| *s)
+    }
+}
+
 /// Deterministic placement of partitions onto simulated cluster nodes.
 ///
 /// Placement is round-robin by partition index — the statistical analog of
 /// HDFS block assignment — so it depends only on the partition count and
-/// the node count, never on worker identity or execution order.
+/// the node count, never on worker identity or execution order. With a
+/// [`FaultSchedule`] attached, partitions of dead nodes re-place
+/// round-robin over the survivors — still a pure function of `(partition,
+/// wave)`, so fault-injected runs stay deterministic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterTopology {
     nodes: usize,
+    faults: FaultSchedule,
 }
 
 impl ClusterTopology {
@@ -29,7 +100,19 @@ impl ClusterTopology {
     pub fn new(spec: &ClusterSpec) -> Self {
         Self {
             nodes: spec.nodes.max(1),
+            faults: FaultSchedule::default(),
         }
+    }
+
+    /// Attach a fault schedule (builder-style).
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault schedule (empty by default).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// Number of simulated nodes.
@@ -37,9 +120,27 @@ impl ClusterTopology {
         self.nodes
     }
 
-    /// The node hosting partition `pi`.
+    /// The node hosting partition `pi` in a fault-free cluster.
     pub fn node_of(&self, pi: usize) -> usize {
         pi % self.nodes
+    }
+
+    /// The node hosting partition `pi` as of 1-based wave `wave`, with
+    /// the fault schedule applied: partitions of dead nodes re-place
+    /// round-robin over the surviving nodes. Falls back to the fault-free
+    /// placement when no nodes survive (a degenerate schedule).
+    pub fn node_of_at(&self, pi: usize, wave: u64) -> usize {
+        let base = self.node_of(pi);
+        if self.faults.node_losses.is_empty() || !self.faults.is_dead_at(base, wave) {
+            return base;
+        }
+        let survivors: Vec<usize> = (0..self.nodes)
+            .filter(|&n| !self.faults.is_dead_at(n, wave))
+            .collect();
+        if survivors.is_empty() {
+            return base;
+        }
+        survivors[pi % survivors.len()]
     }
 
     /// Nodes that hold at least one of `partitions` partitions.
@@ -67,6 +168,11 @@ impl Backend {
     /// A simulated cluster with the node count of `spec`.
     pub fn simulated_cluster(spec: &ClusterSpec) -> Self {
         Self::SimulatedCluster(ClusterTopology::new(spec))
+    }
+
+    /// A simulated cluster with a [`FaultSchedule`] attached.
+    pub fn simulated_cluster_with_faults(spec: &ClusterSpec, faults: FaultSchedule) -> Self {
+        Self::SimulatedCluster(ClusterTopology::new(spec).with_faults(faults))
     }
 
     /// `true` for the simulated-cluster backend.

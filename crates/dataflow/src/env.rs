@@ -187,12 +187,46 @@ impl SimEnv {
             return;
         };
         let active = topo.active_nodes(units.len()) as u64;
+        // 1-based index of the wave being metered (the meter counts it
+        // below), used to position the fault schedule.
+        let wave = self.ledger.usage().waves + 1;
         self.ledger.meter_wave();
         self.ledger.meter_shuffle_bytes(2 * model_bytes * active);
+        let faults = topo.faults();
+        if faults.is_empty() {
+            for (pi, &u) in units.iter().enumerate() {
+                self.ledger.meter_tuples(u);
+                self.ledger
+                    .meter_node_compute(topo.node_of(pi), u as f64 * per_unit_s);
+            }
+            return;
+        }
+        // Node losses scheduled for this wave: the dying node's in-flight
+        // attempt is lost (metered as recovery waste plus one extra
+        // broadcast/aggregate round per lost node), and the re-execution
+        // lands on the survivors via the re-placed `node_of_at` below.
+        for node in faults.losses_at(wave) {
+            let lost_units: u64 = units
+                .iter()
+                .enumerate()
+                .filter(|(pi, _)| topo.node_of_at(*pi, wave.saturating_sub(1)) == node)
+                .map(|(_, &u)| u)
+                .sum();
+            self.ledger.meter_node_loss(
+                lost_units,
+                2 * model_bytes,
+                lost_units as f64 * per_unit_s,
+            );
+        }
         for (pi, &u) in units.iter().enumerate() {
+            let node = topo.node_of_at(pi, wave);
+            let s = u as f64 * per_unit_s;
+            let slowdown = faults.straggler_factor(node) as f64;
             self.ledger.meter_tuples(u);
-            self.ledger
-                .meter_node_compute(topo.node_of(pi), u as f64 * per_unit_s);
+            self.ledger.meter_node_compute(node, s * slowdown);
+            if slowdown > 1.0 {
+                self.ledger.meter_straggler_delay(s * (slowdown - 1.0));
+            }
         }
     }
 

@@ -44,6 +44,19 @@ pub struct UsageMeter {
     pub node_compute_s: Vec<f64>,
     /// Broadcast/aggregate waves executed.
     pub waves: u64,
+    /// Node-loss events injected by the fault schedule.
+    pub nodes_lost: u64,
+    /// Data units re-processed because their node died mid-wave.
+    pub recovery_tuples: u64,
+    /// Bytes re-shuffled to recover lost partials (model re-broadcast and
+    /// re-aggregation for the recovery round).
+    pub recovery_bytes: u64,
+    /// Compute seconds wasted on dying nodes' lost attempts (the re-spent
+    /// seconds land in [`UsageMeter::node_compute_s`] of the survivors
+    /// that took over).
+    pub recovery_compute_s: f64,
+    /// Extra critical-path seconds induced by injected stragglers.
+    pub straggler_delay_s: f64,
 }
 
 impl UsageMeter {
@@ -60,7 +73,16 @@ impl UsageMeter {
 
     /// `true` when nothing was metered (local-backend runs).
     pub fn is_empty(&self) -> bool {
-        self.tuples_scanned == 0 && self.bytes_shuffled == 0 && self.node_compute_s.is_empty()
+        self.tuples_scanned == 0
+            && self.bytes_shuffled == 0
+            && self.node_compute_s.is_empty()
+            && self.nodes_lost == 0
+            && self.straggler_delay_s == 0.0
+    }
+
+    /// `true` when the fault schedule injected failures into this run.
+    pub fn saw_faults(&self) -> bool {
+        self.nodes_lost > 0 || self.straggler_delay_s > 0.0
     }
 }
 
@@ -125,6 +147,23 @@ impl CostLedger {
         self.meter.waves += 1;
     }
 
+    /// Meter one injected node-loss event with its recovery footprint:
+    /// `tuples` data units re-executed, `bytes` re-shuffled, and `s`
+    /// compute seconds wasted-plus-respent.
+    pub fn meter_node_loss(&mut self, tuples: u64, bytes: u64, s: f64) {
+        debug_assert!(s >= 0.0, "negative recovery charge {s}");
+        self.meter.nodes_lost += 1;
+        self.meter.recovery_tuples += tuples;
+        self.meter.recovery_bytes += bytes;
+        self.meter.recovery_compute_s += s;
+    }
+
+    /// Meter `s` extra critical-path seconds caused by a straggler.
+    pub fn meter_straggler_delay(&mut self, s: f64) {
+        debug_assert!(s >= 0.0, "negative straggler delay {s}");
+        self.meter.straggler_delay_s += s;
+    }
+
     /// Physical usage metered so far.
     pub fn usage(&self) -> &UsageMeter {
         &self.meter
@@ -156,6 +195,16 @@ impl CostLedger {
     pub fn reset(&mut self) {
         self.acc = CostBreakdown::default();
         self.meter = UsageMeter::default();
+    }
+
+    /// Restore the ledger to a previously captured state — the resume
+    /// counterpart of [`CostLedger::snapshot`] / [`CostLedger::usage`].
+    /// Charges and metering continue from exactly where the checkpointed
+    /// run left off, so a resumed job's totals stay bit-identical to the
+    /// uninterrupted run's.
+    pub fn restore(&mut self, acc: CostBreakdown, meter: UsageMeter) {
+        self.acc = acc;
+        self.meter = meter;
     }
 }
 

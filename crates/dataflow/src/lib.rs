@@ -38,6 +38,7 @@
 //!   a budget-bounded spilling builder for datasets larger than RAM.
 
 pub mod backend;
+pub mod checkpoint;
 pub mod cluster;
 pub mod columns;
 pub mod dataset;
@@ -47,7 +48,10 @@ pub mod ledger;
 pub mod sampling;
 pub mod slab;
 
-pub use backend::{Backend, ClusterTopology};
+pub use backend::{Backend, ClusterTopology, FaultSchedule};
+pub use checkpoint::{
+    fnv1a64, read_checkpoint, write_checkpoint, Checkpoint, CheckpointError, ExecState,
+};
 pub use cluster::{ClusterSpec, StorageMedium};
 pub use columns::{ColumnStore, ColumnarBuilder};
 pub use dataset::{Partition, PartitionScheme, PartitionedDataset};
@@ -55,8 +59,8 @@ pub use descriptor::DatasetDescriptor;
 pub use env::SimEnv;
 pub use ledger::{CostBreakdown, CostLedger, UsageMeter};
 pub use ml4all_runtime::{derive_seed, CancelToken, Runtime, RNG_STREAM_VERSION};
-pub use sampling::{SamplerState, SamplingMethod};
-pub use slab::{open_slab, write_slab, MappedSlab, SlabError, SpillingBuilder};
+pub use sampling::{SamplerSnapshot, SamplerState, SamplingMethod};
+pub use slab::{atomic_write, open_slab, write_slab, MappedSlab, SlabError, SpillingBuilder};
 
 /// Errors surfaced by the dataflow substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -80,6 +80,21 @@ pub struct SamplerState {
     shuffles: usize,
 }
 
+/// A serializable snapshot of a [`SamplerState`] mid-run, captured for
+/// checkpointing. Restoring it (plus the RNG stream position) puts the
+/// sampler back exactly where the snapshot interrupted it, so the
+/// resumed draw sequence is bit-identical to the uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplerSnapshot {
+    /// The strategy in use.
+    pub method: SamplingMethod,
+    /// Partitions shuffled so far.
+    pub shuffles: u64,
+    /// Shuffled-partition cursor, when one exists: `(partition, pos,
+    /// order)` with `order[..pos]` already served.
+    pub cursor: Option<(u64, u64, Vec<u32>)>,
+}
+
 impl SamplerState {
     /// Bernoulli retries before force-picking a unit (an empty Bernoulli
     /// sample would otherwise stall the iteration — the paper discusses
@@ -103,6 +118,34 @@ impl SamplerState {
     /// Number of partition shuffles performed so far.
     pub fn shuffles(&self) -> usize {
         self.shuffles
+    }
+
+    /// Capture the sampler's full mutable state for a checkpoint.
+    pub fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            method: self.method,
+            shuffles: self.shuffles as u64,
+            cursor: self
+                .cursor
+                .as_ref()
+                .map(|c| (c.partition as u64, c.pos as u64, c.order.clone())),
+        }
+    }
+
+    /// Rebuild a sampler at a previously captured state.
+    pub fn restore(snapshot: &SamplerSnapshot) -> Self {
+        Self {
+            method: snapshot.method,
+            cursor: snapshot
+                .cursor
+                .as_ref()
+                .map(|(partition, pos, order)| ShuffleCursor {
+                    partition: *partition as usize,
+                    order: order.clone(),
+                    pos: *pos as usize,
+                }),
+            shuffles: snapshot.shuffles as usize,
+        }
     }
 
     /// Draw (approximately, for Bernoulli; exactly, otherwise) `m` sample

@@ -142,7 +142,16 @@ unsafe impl Sync for MappedSlab {}
 impl MappedSlab {
     /// Map the whole of `file` (its current length) read-only.
     pub fn from_file(file: &mut File) -> std::io::Result<Self> {
-        let len = file.metadata()?.len() as usize;
+        // `u64 → usize` must be checked, not truncated: on a 32-bit
+        // target a >4 GiB file would otherwise map a silently wrapped
+        // length and every section offset computed from the header would
+        // read out of bounds.
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            )
+        })?;
         #[cfg(unix)]
         {
             use std::os::unix::io::AsRawFd;
@@ -224,23 +233,83 @@ fn align_up(off: u64) -> u64 {
     off.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
 }
 
+/// Counter making temp-file names unique within the process.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A process-unique temp path in the same directory as `path` (same
+/// filesystem, so the final rename is atomic).
+fn temp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".into());
+    path.with_file_name(format!("{name}.{}-{seq}.tmp", std::process::id()))
+}
+
+/// Best-effort fsync of the directory holding `path`, so the rename that
+/// published `path` is itself durable. Failures are ignored: directory
+/// handles are not syncable on every platform, and the data file is
+/// already synced.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        }) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Write `bytes` to `path` crash-safely: the bytes go to a temp file in
+/// the same directory, are fsynced, and the temp file is renamed over
+/// `path`. A crash at any point leaves either the previous file or the
+/// complete new one, never a loadable half-write. Shared by slab spills,
+/// checkpoint files, the persistent plan cache, and model persistence.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    } else {
+        sync_parent_dir(path);
+    }
+    result
+}
+
 /// Sequential slab-file writer tracking the running offset so sections can
-/// be padded to page boundaries.
+/// be padded to page boundaries. Writes land in a temp sibling that
+/// [`SectionWriter::finish`] fsyncs and renames into place, so a crash
+/// mid-write can never leave a loadable half-slab at the destination.
 struct SectionWriter {
-    out: BufWriter<File>,
+    out: Option<BufWriter<File>>,
     offset: u64,
+    tmp: PathBuf,
+    dest: PathBuf,
 }
 
 impl SectionWriter {
     fn create(path: &Path) -> std::io::Result<Self> {
+        let tmp = temp_sibling(path);
         Ok(Self {
-            out: BufWriter::new(File::create(path)?),
+            out: Some(BufWriter::new(File::create(&tmp)?)),
             offset: 0,
+            tmp,
+            dest: path.to_path_buf(),
         })
     }
 
     fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.out.write_all(bytes)?;
+        self.out.as_mut().expect("writer open").write_all(bytes)?;
         self.offset += bytes.len() as u64;
         Ok(())
     }
@@ -257,11 +326,39 @@ impl SectionWriter {
         Ok(())
     }
 
-    fn finish(self) -> std::io::Result<()> {
-        self.out
-            .into_inner()
-            .map_err(|e| e.into_error())?
-            .sync_all()
+    fn finish(mut self) -> std::io::Result<()> {
+        let result = (|| {
+            let file = self
+                .out
+                .take()
+                .expect("writer open")
+                .into_inner()
+                .map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&self.tmp, &self.dest)
+        })();
+        match result {
+            Ok(()) => {
+                sync_parent_dir(&self.dest);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&self.tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for SectionWriter {
+    /// An abandoned writer (error mid-write) removes its temp file; the
+    /// destination path was never touched.
+    fn drop(&mut self) {
+        if self.out.is_some() {
+            self.out = None;
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 
@@ -397,6 +494,29 @@ fn read_u64(b: &[u8], off: usize) -> u64 {
     u64::from_ne_bytes(b[off..off + 8].try_into().expect("8 bytes"))
 }
 
+/// Checked arithmetic over header-declared sizes: any overflow means the
+/// header is corrupt, which must surface as a typed error rather than a
+/// wrapped offset that reads out of bounds.
+fn sec_add(a: u64, b: u64) -> Result<u64, SlabError> {
+    a.checked_add(b)
+        .ok_or_else(|| SlabError::Format("declared section sizes overflow".into()))
+}
+
+fn sec_mul(a: u64, b: u64) -> Result<u64, SlabError> {
+    a.checked_mul(b)
+        .ok_or_else(|| SlabError::Format("declared section sizes overflow".into()))
+}
+
+fn sec_align(off: u64) -> Result<u64, SlabError> {
+    off.checked_next_multiple_of(SECTION_ALIGN)
+        .ok_or_else(|| SlabError::Format("declared section sizes overflow".into()))
+}
+
+fn sec_usize(v: u64, what: &str) -> Result<usize, SlabError> {
+    usize::try_from(v)
+        .map_err(|_| SlabError::Format(format!("declared {what} too large for this platform")))
+}
+
 fn open_impl(path: &Path, delete_after_map: bool) -> Result<ColumnStore, SlabError> {
     let mut file = File::open(path)?;
     let mut header = [0u8; 40];
@@ -412,24 +532,19 @@ fn open_impl(path: &Path, delete_after_map: bool) -> Result<ColumnStore, SlabErr
         )));
     }
     let kind = read_u32(&header, 12);
-    let rows = read_u64(&header, 16) as usize;
-    let dims = read_u64(&header, 24) as usize;
-    let nnz = read_u64(&header, 32) as usize;
+    let rows64 = read_u64(&header, 16);
+    let dims64 = read_u64(&header, 24);
+    let nnz64 = read_u64(&header, 32);
 
-    if rows == 0 {
+    if rows64 == 0 {
         return Ok(ColumnStore::empty());
     }
 
-    let labels_off = SECTION_ALIGN;
-    let map = Arc::new(MappedSlab::from_file(&mut file)?);
-    drop(file);
-    if delete_after_map {
-        // On Unix the mapping keeps the pages alive after the unlink, so
-        // spill files free their directory entry immediately; elsewhere the
-        // bytes are already in memory.
-        let _ = std::fs::remove_file(path);
-    }
-    let file_len = map.len() as u64;
+    // Validate the declared geometry against the *actual* file length,
+    // in checked u64 arithmetic, before anything is mapped: a truncated
+    // or corrupt slab must return a typed error, never an out-of-bounds
+    // read through the mapping.
+    let file_len = file.metadata()?.len();
     let need = |end: u64| -> Result<(), SlabError> {
         if end > file_len {
             Err(SlabError::Format(format!(
@@ -439,27 +554,48 @@ fn open_impl(path: &Path, delete_after_map: bool) -> Result<ColumnStore, SlabErr
             Ok(())
         }
     };
-
-    match kind {
+    let labels_off = SECTION_ALIGN;
+    let labels_end = sec_add(labels_off, sec_mul(8, rows64)?)?;
+    let (values_off, indptr_off, indices_off) = match kind {
         KIND_DENSE => {
-            if nnz != rows * dims {
+            if nnz64 != sec_mul(rows64, dims64)? {
                 return Err(SlabError::Format("dense nnz must equal rows × dims".into()));
             }
-            let values_off = align_up(labels_off + 8 * rows as u64);
-            need(values_off + 8 * (rows as u64) * dims as u64)?;
-            Ok(ColumnStore::from_mapped_dense(
-                map,
-                rows,
-                dims,
-                labels_off as usize,
-                values_off as usize,
-            ))
+            let values_off = sec_align(labels_end)?;
+            need(sec_add(values_off, sec_mul(8, nnz64)?)?)?;
+            (values_off, 0, 0)
         }
         KIND_CSR => {
-            let indptr_off = align_up(labels_off + 8 * rows as u64);
-            let indices_off = align_up(indptr_off + 8 * (rows as u64 + 1));
-            let values_off = align_up(indices_off + 4 * nnz as u64);
-            need(values_off + 8 * nnz as u64)?;
+            let indptr_off = sec_align(labels_end)?;
+            let indices_off = sec_align(sec_add(indptr_off, sec_mul(8, sec_add(rows64, 1)?)?)?)?;
+            let values_off = sec_align(sec_add(indices_off, sec_mul(4, nnz64)?)?)?;
+            need(sec_add(values_off, sec_mul(8, nnz64)?)?)?;
+            (values_off, indptr_off, indices_off)
+        }
+        other => return Err(SlabError::Format(format!("unknown kind {other}"))),
+    };
+    let rows = sec_usize(rows64, "rows")?;
+    let dims = sec_usize(dims64, "dims")?;
+    let nnz = sec_usize(nnz64, "nnz")?;
+
+    let map = Arc::new(MappedSlab::from_file(&mut file)?);
+    drop(file);
+    if delete_after_map {
+        // On Unix the mapping keeps the pages alive after the unlink, so
+        // spill files free their directory entry immediately; elsewhere the
+        // bytes are already in memory.
+        let _ = std::fs::remove_file(path);
+    }
+
+    match kind {
+        KIND_DENSE => Ok(ColumnStore::from_mapped_dense(
+            map,
+            rows,
+            dims,
+            labels_off as usize,
+            values_off as usize,
+        )),
+        KIND_CSR => {
             let store = ColumnStore::from_mapped_csr(
                 map,
                 rows,

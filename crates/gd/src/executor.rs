@@ -6,8 +6,8 @@
 use std::time::{Duration, Instant};
 
 use ml4all_dataflow::{
-    CancelToken, ColumnStore, ColumnarBuilder, CostBreakdown, PartitionedDataset, SamplerState,
-    SimEnv, StorageMedium, UsageMeter, RNG_STREAM_VERSION,
+    CancelToken, ColumnStore, ColumnarBuilder, CostBreakdown, ExecState, PartitionedDataset,
+    SamplerState, SimEnv, StorageMedium, UsageMeter, RNG_STREAM_VERSION,
 };
 use ml4all_linalg::{DenseVector, FeatureView, LabeledPoint, PointView};
 use rand::rngs::StdRng;
@@ -113,6 +113,22 @@ pub struct ExecHooks<'a> {
     pub tick_every: u64,
     /// Checkpoint callback (progress streaming).
     pub on_tick: Option<&'a (dyn Fn(IterationTick) + Sync)>,
+    /// Capture an [`ExecState`] durability checkpoint every this many
+    /// converge-checked iterations (0 = never). Checkpoints are taken at
+    /// wave boundaries, after the iteration's update and tick.
+    pub checkpoint_every: u64,
+    /// Durability-checkpoint callback: receives the full executor state at
+    /// the boundary, sufficient to resume the run bit-identically.
+    pub on_checkpoint: Option<&'a (dyn Fn(ExecState) + Sync)>,
+    /// Resume from a previously captured [`ExecState`] instead of starting
+    /// at iteration 0. The preparation phase (stage/transform) re-runs —
+    /// it is deterministic — and then the ledger, RNG, sampler, and model
+    /// state are restored to the boundary, so the continued run is
+    /// bit-identical to the uninterrupted one. A cancel latched before the
+    /// first resumed wave returns the checkpoint's exact prefix
+    /// (iteration count unchanged), unlike a cold start which always runs
+    /// one wave first.
+    pub resume: Option<ExecState>,
 }
 
 /// Outcome of one training run.
@@ -433,6 +449,26 @@ pub fn execute_with_operators_observed(
     let mut sampler = plan.sampling.map(SamplerState::new);
     let mut prev_weights = ctx.weights.clone();
     let mut acc = ComputeAcc::new(dims);
+    // Resume: the deterministic preparation above re-ran from scratch;
+    // now jump the mutable loop state to the checkpointed boundary. The
+    // restored ledger already contains the original run's preparation
+    // charges, so totals continue bit-identically.
+    if let Some(rs) = &hooks.resume {
+        if rs.weights.len() != dims {
+            return Err(GdError::InvalidPlan(format!(
+                "resume state has {} weights but the dataset declares {dims} dims",
+                rs.weights.len()
+            )));
+        }
+        ctx.iteration = rs.iteration;
+        ctx.weights = DenseVector::new(rs.weights.clone());
+        prev_weights = DenseVector::new(rs.prev_weights.clone());
+        rng = StdRng::from_state(rs.rng_state);
+        if let Some(snap) = &rs.sampler {
+            sampler = Some(SamplerState::restore(snap));
+        }
+        env.ledger.restore(rs.cost, rs.usage.clone());
+    }
     // Reused across every iteration: per-partition wave scratch, the
     // sampled-coordinate buffer, and the error sequence's backing storage
     // — the steady-state loop allocates nothing per iteration.
@@ -450,11 +486,37 @@ pub fn execute_with_operators_observed(
         error_seq.reserve(params.max_iter.min(8192) as usize);
     }
     let mut final_delta = f64::INFINITY;
+    if let Some(rs) = &hooks.resume {
+        final_delta = rs.final_delta;
+        if params.record_error_seq {
+            error_seq.extend_from_slice(&rs.error_seq);
+        }
+    }
+    // A resumed run re-checks the boundary conditions *before* running a
+    // wave: a cancel latched between restore and the first wave yields the
+    // checkpoint's exact prefix, and a checkpoint taken at a stopping
+    // condition does not run extra iterations.
+    let mut resume_boundary = hooks.resume.is_some();
     let stop;
     let unit_bytes = desc.unit_bytes().ceil() as u64;
     let lazy_parse = plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
 
     loop {
+        if resume_boundary {
+            resume_boundary = false;
+            if hooks.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                stop = StopReason::Cancelled;
+                break;
+            }
+            if !ops.loop_op.should_continue(final_delta, &ctx) {
+                stop = if final_delta < params.tolerance {
+                    StopReason::Converged
+                } else {
+                    StopReason::MaxIterations
+                };
+                break;
+            }
+        }
         ctx.iteration += 1;
         let size = ops.sample.size(&ctx);
         // On multi-partition data every iteration drives at least one
@@ -606,6 +668,26 @@ pub fn execute_with_operators_observed(
                             delta: d,
                             sim_time_s: env.elapsed_s(),
                             cost: env.snapshot(),
+                        });
+                    }
+                }
+                // Durability checkpoint at the wave boundary: everything
+                // the loop mutates, captured after this iteration's
+                // update, tick, and convergence bookkeeping.
+                if hooks.checkpoint_every > 0
+                    && ctx.iteration.is_multiple_of(hooks.checkpoint_every)
+                {
+                    if let Some(on_checkpoint) = hooks.on_checkpoint {
+                        on_checkpoint(ExecState {
+                            iteration: ctx.iteration,
+                            weights: ctx.weights.as_slice().to_vec(),
+                            prev_weights: prev_weights.as_slice().to_vec(),
+                            final_delta: d,
+                            error_seq: error_seq.clone(),
+                            rng_state: rng.state(),
+                            sampler: sampler.as_ref().map(SamplerState::snapshot),
+                            cost: env.snapshot(),
+                            usage: env.ledger.usage().clone(),
                         });
                     }
                 }
@@ -955,6 +1037,7 @@ mod tests {
             cancel: None,
             tick_every: 10,
             on_tick: Some(&on_tick),
+            ..Default::default()
         };
         let mut env = env();
         let result =
@@ -997,6 +1080,7 @@ mod tests {
             cancel: Some(token),
             tick_every: 1,
             on_tick: Some(&on_tick),
+            ..Default::default()
         };
         let mut env_cancelled = env();
         let cancelled =
@@ -1031,12 +1115,110 @@ mod tests {
             cancel: Some(token),
             tick_every: 0,
             on_tick: None,
+            ..Default::default()
         };
         let mut env = env();
         let result =
             execute_plan_observed(&GdPlan::bgd(), &data, &params, &mut env, &hooks).unwrap();
         assert_eq!(result.stop, StopReason::Cancelled);
         assert_eq!(result.iterations, 1, "stops within one wave");
+    }
+
+    #[test]
+    fn checkpointed_runs_resume_bit_identically_from_every_boundary() {
+        // Mini-batch + shuffled-partition sampling exercises the hardest
+        // state to restore: the training RNG stream and the shuffle
+        // cursor, on top of weights and the ledger.
+        let data = dataset(800);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 40;
+        for plan in [
+            GdPlan::bgd(),
+            GdPlan::mgd(
+                32,
+                TransformPolicy::Eager,
+                SamplingMethod::ShuffledPartition,
+            )
+            .unwrap(),
+            GdPlan::mgd(16, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap(),
+        ] {
+            let mut env_full = env();
+            let full = execute_plan(&plan, &data, &params, &mut env_full).unwrap();
+
+            let captured = std::sync::Mutex::new(Vec::new());
+            let on_checkpoint = |s: ExecState| captured.lock().unwrap().push(s);
+            let hooks = ExecHooks {
+                checkpoint_every: 7,
+                on_checkpoint: Some(&on_checkpoint),
+                ..Default::default()
+            };
+            let mut env_chk = env();
+            let chk = execute_plan_observed(&plan, &data, &params, &mut env_chk, &hooks).unwrap();
+            assert_eq!(chk.weights, full.weights, "capturing must not perturb");
+            let captured = captured.into_inner().unwrap();
+            assert_eq!(captured.len(), 5, "40 iterations / every 7");
+
+            for state in captured {
+                let hooks = ExecHooks {
+                    resume: Some(state),
+                    ..Default::default()
+                };
+                let mut env_res = env();
+                let resumed =
+                    execute_plan_observed(&plan, &data, &params, &mut env_res, &hooks).unwrap();
+                assert_eq!(resumed.iterations, full.iterations);
+                assert_eq!(resumed.weights, full.weights);
+                assert_eq!(resumed.error_seq, full.error_seq);
+                assert_eq!(resumed.cost, full.cost);
+                assert_eq!(resumed.sim_time_s.to_bits(), full.sim_time_s.to_bits());
+                assert_eq!(resumed.sampler_shuffles, full.sampler_shuffles);
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_latched_before_the_first_resumed_wave_returns_the_exact_prefix() {
+        let data = dataset(600);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 30;
+        let plan = GdPlan::mgd(
+            32,
+            TransformPolicy::Eager,
+            SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+        let captured = std::sync::Mutex::new(Vec::new());
+        let on_checkpoint = |s: ExecState| captured.lock().unwrap().push(s);
+        let hooks = ExecHooks {
+            checkpoint_every: 10,
+            on_checkpoint: Some(&on_checkpoint),
+            ..Default::default()
+        };
+        let mut env_chk = env();
+        execute_plan_observed(&plan, &data, &params, &mut env_chk, &hooks).unwrap();
+        let state = captured.into_inner().unwrap().remove(0);
+        assert_eq!(state.iteration, 10);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let hooks = ExecHooks {
+            cancel: Some(token),
+            resume: Some(state.clone()),
+            ..Default::default()
+        };
+        let mut env_res = env();
+        let resumed = execute_plan_observed(&plan, &data, &params, &mut env_res, &hooks).unwrap();
+        // Unlike a cold pre-latched start (which runs one wave), a resumed
+        // run re-checks the token at the restored boundary: not a single
+        // extra iteration runs, and the state is the checkpoint's, bit for
+        // bit.
+        assert_eq!(resumed.stop, StopReason::Cancelled);
+        assert_eq!(resumed.iterations, 10);
+        assert_eq!(resumed.weights.as_slice(), state.weights.as_slice());
+        assert_eq!(resumed.final_delta.to_bits(), state.final_delta.to_bits());
+        assert_eq!(resumed.cost, state.cost);
     }
 
     #[test]

@@ -21,8 +21,12 @@ use ml4all_core::chooser::{
     backend_for, choose_plan, profile_choice, IterationsSource, OptimizerConfig, OptimizerReport,
 };
 use ml4all_core::estimator::SpeculationConfig;
-use ml4all_core::plancache::{PlanCache, PlanCacheKey};
-use ml4all_dataflow::{ClusterSpec, PartitionedDataset, Runtime, SimEnv};
+use ml4all_core::plancache::{PlanCache, PlanCacheEntry, PlanCacheKey};
+use ml4all_dataflow::checkpoint::{fnv1a64, read_checkpoint, write_checkpoint, Checkpoint};
+use ml4all_dataflow::{
+    atomic_write, CheckpointError, ClusterSpec, ExecState, PartitionedDataset, Runtime, SimEnv,
+    RNG_STREAM_VERSION,
+};
 use ml4all_datasets::catalog::{EvictedDataset, SharedResolver};
 use ml4all_gd::{execute_plan_observed, ExecHooks, IterationTick, StopReason};
 
@@ -68,6 +72,12 @@ struct EngineCore {
     auto_name: AtomicU64,
     jobs: Mutex<Vec<JobRecord>>,
     next_job: AtomicU64,
+    /// Durability root ([`Engine::with_state_dir`]): plan cache, model
+    /// registry, and job checkpoints persist under it. `None` keeps the
+    /// engine fully in-memory.
+    state_dir: Option<PathBuf>,
+    checkpoints_written: AtomicU64,
+    jobs_resumed: AtomicU64,
 }
 
 /// The thread-safe, job-oriented entry point: submit training jobs,
@@ -130,6 +140,9 @@ impl Engine {
                 auto_name: AtomicU64::new(0),
                 jobs: Mutex::new(Vec::new()),
                 next_job: AtomicU64::new(0),
+                state_dir: None,
+                checkpoints_written: AtomicU64::new(0),
+                jobs_resumed: AtomicU64::new(0),
             }),
         }
     }
@@ -222,9 +235,70 @@ impl Engine {
         self
     }
 
+    /// Make the engine durable: plan-cache decisions, bound models, and
+    /// job checkpoints persist under `dir` (created on first use) and are
+    /// reloaded here, so a fresh engine pointed at the same directory
+    /// resumes where a killed process stopped. Every file under the state
+    /// directory is written crash-safely (temp sibling + fsync + rename).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]), or if the state directory cannot be
+    /// created or read — a serving engine must not come up silently
+    /// non-durable.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("checkpoints")).expect("create state dir");
+        std::fs::create_dir_all(dir.join("models")).expect("create state dir");
+        let core = self.configure();
+        // Rehydrate the plan cache: any persisted decision is served as a
+        // hit by this engine, bit-identical to the engine that made it.
+        let cache_path = dir.join("plancache.json");
+        if let Ok(text) = std::fs::read_to_string(&cache_path) {
+            let entries: Vec<PlanCacheEntry> =
+                serde_json::from_str(&text).expect("corrupt plancache.json in state dir");
+            core.plan_cache.import(entries);
+        }
+        // Rehydrate the model registry from `models/<hex-of-name>.txt`.
+        let mut models = HashMap::new();
+        for entry in std::fs::read_dir(dir.join("models")).expect("read state dir") {
+            let path = entry.expect("read state dir").path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some(name) = unhex_name(stem) else {
+                continue;
+            };
+            models.insert(
+                name,
+                Model::load(&path).expect("corrupt model in state dir"),
+            );
+        }
+        *core.models.get_mut().expect("model registry") = models;
+        core.state_dir = Some(dir);
+        self
+    }
+
     /// The cluster this engine simulates.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.core.cluster
+    }
+
+    /// The durability root configured with [`Engine::with_state_dir`], if
+    /// any.
+    pub fn state_dir(&self) -> Option<&std::path::Path> {
+        self.core.state_dir.as_deref()
+    }
+
+    /// Durability checkpoints written by this engine instance.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.core.checkpoints_written.load(Ordering::Relaxed)
+    }
+
+    /// Jobs this engine instance restored from a persisted checkpoint.
+    pub fn jobs_resumed(&self) -> u64 {
+        self.core.jobs_resumed.load(Ordering::Relaxed)
     }
 
     /// The plan cache (hit/miss counters and size, for observability).
@@ -475,6 +549,62 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Filename-safe encoding of a model name: lowercase hex of its UTF-8
+/// bytes, so arbitrary result names (`Q1`, `训练`, `a/b`) map to flat
+/// files under `models/`.
+fn hex_name(name: &str) -> String {
+    name.bytes().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Inverse of [`hex_name`]; `None` for file stems that are not an
+/// even-length hex rendering of valid UTF-8 (foreign files are skipped,
+/// not fatal).
+fn unhex_name(stem: &str) -> Option<String> {
+    if !stem.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = (0..stem.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&stem[i..i + 2], 16).ok())
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+/// The one place a request is rendered into its plan-cache key: shared by
+/// the decision path and the checkpoint path, so a checkpoint's identity
+/// is exactly the identity the plan cache uses.
+fn cache_key(core: &EngineCore, request: &TrainRequest, data: &PartitionedDataset) -> PlanCacheKey {
+    PlanCacheKey::new(
+        data.fingerprint(),
+        &request.spec,
+        request.seed,
+        &core.speculation,
+        &core.cluster,
+    )
+}
+
+/// Where the checkpoint for `key` lives under the state directory: the
+/// key string is unbounded, so the filename is its FNV-1a hash while the
+/// full identity travels inside the checkpoint itself (`key_hash`, plan,
+/// RNG stream version) and is re-validated on resume.
+fn checkpoint_path(state_dir: &std::path::Path, key: &PlanCacheKey) -> PathBuf {
+    state_dir
+        .join("checkpoints")
+        .join(format!("{:016x}.ckpt", fnv1a64(key.as_str().as_bytes())))
+}
+
+/// Best-effort persistence of the plan cache after a cold decision.
+/// Failure to persist never fails the job — the decision is still correct,
+/// merely not durable.
+fn persist_plan_cache(core: &EngineCore) {
+    let Some(dir) = &core.state_dir else {
+        return;
+    };
+    if let Ok(json) = serde_json::to_string_pretty(&core.plan_cache.export()) {
+        let _ = atomic_write(dir.join("plancache.json"), json.as_bytes());
+    }
+}
+
 /// Shared `train`/`explain` prologue: validate the request into a
 /// configuration (with the engine's speculation settings when the request
 /// actually speculates — a `max iter`-only request keeps its `Fixed`
@@ -502,13 +632,7 @@ fn cached_choose(
     data: &PartitionedDataset,
     job: Option<&JobState>,
 ) -> Result<OptimizerReport, SessionError> {
-    let key = PlanCacheKey::new(
-        data.fingerprint(),
-        &request.spec,
-        request.seed,
-        &core.speculation,
-        &core.cluster,
-    );
+    let key = cache_key(core, request, data);
     if let Some(report) = core.plan_cache.get(&key) {
         return Ok(report);
     }
@@ -519,6 +643,7 @@ fn cached_choose(
     }
     let report = choose_plan(data, config, &core.cluster)?;
     core.plan_cache.insert(key, &report);
+    persist_plan_cache(core);
     Ok(report)
 }
 
@@ -548,7 +673,55 @@ fn run_train(
         });
     }
 
+    // Durability: a checkpoint's identity is the full plan-cache key (as
+    // a hash — the key string is unbounded) plus the chosen plan and the
+    // RNG stream version, re-validated on resume so a checkpoint can
+    // never silently seed a different job.
+    let plan_string = plan.to_string();
+    let durable = core.state_dir.as_deref().map(|dir| {
+        let key = cache_key(core, request, &data);
+        let key_hash = fnv1a64(key.as_str().as_bytes());
+        (checkpoint_path(dir, &key), key_hash)
+    });
+    let mut resume_state: Option<ExecState> = None;
+    if request.resume {
+        if let Some((path, key_hash)) = &durable {
+            match read_checkpoint(path) {
+                Ok(ckpt) => {
+                    if ckpt.key_hash != *key_hash
+                        || ckpt.plan != plan_string
+                        || ckpt.rng_stream_version != RNG_STREAM_VERSION
+                    {
+                        return Err(CheckpointError::Mismatch(format!(
+                            "checkpoint {} was written by a different job \
+                             (key/plan/rng-stream mismatch)",
+                            path.display()
+                        ))
+                        .into());
+                    }
+                    core.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(job) = job {
+                        job.emit(JobEvent::Resumed {
+                            iteration: ckpt.state.iteration,
+                        });
+                    }
+                    resume_state = Some(ckpt.state);
+                }
+                // No checkpoint on disk: a resume request simply starts
+                // cold — restart scripts need no existence probe.
+                Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    let checkpoint_every = match &durable {
+        Some(_) => request.checkpoint_every.unwrap_or(0),
+        None => 0,
+    };
+
     let mut params = config.train_params();
+    // A wall limit budgets the segment actually executed: a resumed job
+    // gets the full limit again for its continuation.
     params.wall_budget = request.wall_limit;
     let mut env =
         SimEnv::with_runtime(core.cluster.clone(), Arc::clone(&core.runtime)).with_backend(backend);
@@ -562,14 +735,44 @@ fn run_train(
             });
         }
     };
+    let on_checkpoint = {
+        let durable = durable.clone();
+        let core = Arc::clone(core);
+        let plan_string = plan_string.clone();
+        move |state: ExecState| {
+            let Some((path, key_hash)) = &durable else {
+                return;
+            };
+            let ckpt = Checkpoint {
+                key_hash: *key_hash,
+                plan: plan_string.clone(),
+                rng_stream_version: RNG_STREAM_VERSION,
+                state,
+            };
+            // Best-effort by construction (the wave must not fail on a
+            // full disk); unwritten checkpoints only shorten the resume.
+            if write_checkpoint(path, &ckpt).is_ok() {
+                core.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
     let hooks = ExecHooks {
         cancel: job.map(|j| j.cancel.clone()),
         tick_every: request.progress_every.unwrap_or(core.tick_every),
         on_tick: if job.is_some() { Some(&on_tick) } else { None },
+        checkpoint_every,
+        on_checkpoint: if checkpoint_every > 0 {
+            Some(&on_checkpoint)
+        } else {
+            None
+        },
+        resume: resume_state,
     };
     let result = execute_plan_observed(&plan, &data, &params, &mut env, &hooks)?;
 
     if result.stop == StopReason::Cancelled {
+        // The checkpoint (if any) stays on disk: a cancelled job is
+        // exactly the resumable case.
         if let Some(job) = job {
             job.emit(JobEvent::Cancelled {
                 iterations: result.iterations,
@@ -579,12 +782,23 @@ fn run_train(
             iterations: result.iterations,
         });
     }
+    // A finished job's checkpoint is spent; a wall-budget stop keeps its
+    // checkpoint so the remainder can be resumed with a fresh budget.
+    if result.stop != StopReason::WallBudget {
+        if let Some((path, _)) = &durable {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 
     let name = request.name.clone().unwrap_or_else(|| bind_auto_name(core));
-    core.models.lock().expect("model registry").insert(
-        name.clone(),
-        Model::new(config.gradient, result.weights.clone()),
-    );
+    let model = Model::new(config.gradient, result.weights.clone());
+    if let Some(dir) = &core.state_dir {
+        model.save(dir.join("models").join(format!("{}.txt", hex_name(&name))))?;
+    }
+    core.models
+        .lock()
+        .expect("model registry")
+        .insert(name.clone(), model);
     if let Some(job) = job {
         job.emit(JobEvent::Completed {
             name: name.clone(),
@@ -1023,6 +1237,147 @@ mod tests {
             tagged.model("J").unwrap().weights,
             untagged.model("J").unwrap().weights
         );
+    }
+
+    fn state_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ml4all-engine-state-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn state_dir_persists_models_and_plan_decisions_across_engines() {
+        let dir = state_dir("persist");
+        let first = quick_engine().with_state_dir(&dir);
+        let trained = first.train(adult_request().named("Q").seed(3)).unwrap();
+        assert_eq!(first.plan_cache().misses(), 1);
+        drop(first);
+
+        // A fresh engine on the same directory — as after a process death
+        // — serves the model and the plan decision from disk.
+        let second = quick_engine().with_state_dir(&dir);
+        let reloaded = second.model("Q").expect("model survives process death");
+        assert_eq!(reloaded.weights, second.model("Q").unwrap().weights);
+        let warm = second.train(adult_request().named("Q2").seed(3)).unwrap();
+        assert_eq!(second.plan_cache().hits(), 1);
+        assert_eq!(second.plan_cache().misses(), 0);
+        assert_eq!(warm.summary.plan, trained.summary.plan);
+        assert_eq!(
+            warm.summary.sim_time_s.to_bits(),
+            trained.summary.sim_time_s.to_bits()
+        );
+        assert_eq!(
+            second.model("Q2").unwrap().weights,
+            reloaded.weights,
+            "the persisted decision replays to identical weights"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn model_names_round_trip_through_their_on_disk_encoding() {
+        for name in ["Q1", "weird name/with:stuff", "训练", ""] {
+            assert_eq!(unhex_name(&hex_name(name)).as_deref(), Some(name));
+        }
+        // Foreign stems are skipped, not fatal.
+        assert_eq!(unhex_name("odd"), None);
+        assert_eq!(unhex_name("zz"), None);
+    }
+
+    #[test]
+    fn completed_jobs_spend_their_checkpoint_cancelled_jobs_keep_it() {
+        let dir = state_dir("spend");
+        let engine = quick_engine().with_state_dir(&dir);
+        engine.register_dataset("train", mem(2000, 5));
+        let request = || {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-12)
+                .max_iter(40)
+                .checkpoint_every(10)
+                .seed(9)
+        };
+        engine.train(request().named("done")).unwrap();
+        assert!(engine.checkpoints_written() >= 1);
+        let ckpts = || std::fs::read_dir(dir.join("checkpoints")).unwrap().count();
+        assert_eq!(ckpts(), 0, "a finished job's checkpoint is deleted");
+
+        // Cancel mid-run: the checkpoint stays for resumption.
+        let handle = engine.submit(request().max_iter(100_000).progress_every(1).named("C"));
+        for event in handle.progress() {
+            if matches!(event, JobEvent::Progress { iteration, .. } if iteration >= 10) {
+                handle.cancel();
+                break;
+            }
+        }
+        handle.join().unwrap_err();
+        assert_eq!(ckpts(), 1, "a cancelled job's checkpoint survives");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resuming_a_foreign_checkpoint_fails_typed() {
+        use ml4all_dataflow::checkpoint::{read_checkpoint, write_checkpoint};
+        let dir = state_dir("foreign");
+        let engine = quick_engine().with_state_dir(&dir);
+        engine.register_dataset("train", mem(2000, 5));
+        let request = || {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-12)
+                .max_iter(100_000)
+                .progress_every(1)
+                .checkpoint_every(10)
+                .seed(9)
+        };
+        let handle = engine.submit(request().named("C"));
+        for event in handle.progress() {
+            if matches!(event, JobEvent::Progress { iteration, .. } if iteration >= 10) {
+                handle.cancel();
+                break;
+            }
+        }
+        handle.join().unwrap_err();
+        // Rewrite the checkpoint as if another job had produced it.
+        let path = std::fs::read_dir(dir.join("checkpoints"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut ckpt = read_checkpoint(&path).unwrap();
+        ckpt.key_hash ^= 1;
+        write_checkpoint(&path, &ckpt).unwrap();
+        let err = engine.train(request().resume(true)).unwrap_err();
+        assert!(
+            matches!(&err, SessionError::Checkpoint(CheckpointError::Mismatch(_))),
+            "{err:?}"
+        );
+        // A corrupted file fails the checksum, typed, no panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let err = engine.train(request().resume(true)).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SessionError::Checkpoint(CheckpointError::Checksum { .. })
+            ),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resume_without_a_checkpoint_starts_cold() {
+        let dir = state_dir("cold");
+        let engine = quick_engine().with_state_dir(&dir);
+        let trained = engine
+            .train(adult_request().named("Q").seed(3).resume(true))
+            .unwrap();
+        assert_eq!(engine.jobs_resumed(), 0);
+        assert!(trained.summary.iterations >= 1);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

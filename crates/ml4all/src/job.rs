@@ -55,6 +55,14 @@ pub enum JobEvent {
         /// `"simulated-cluster"`).
         backend: &'static str,
     },
+    /// The job restored a persisted durability checkpoint instead of
+    /// starting at iteration 0: execution continues from `iteration`,
+    /// bit-identical to the run that was interrupted. Emitted right after
+    /// [`JobEvent::PlanChosen`].
+    Resumed {
+        /// Iterations already completed by the checkpointed run.
+        iteration: u64,
+    },
     /// A per-K-iteration convergence checkpoint.
     Progress {
         /// Iteration just completed (1-based).
@@ -113,6 +121,11 @@ pub fn render_trace(events: &[JobEvent]) -> String {
                  on {backend}\n",
                 if *cache_hit { "hit" } else { "miss" },
             )),
+            JobEvent::Resumed { iteration } => {
+                out.push_str(&format!(
+                    "resumed from checkpoint at iteration {iteration}\n"
+                ));
+            }
             JobEvent::Progress {
                 iteration,
                 delta,

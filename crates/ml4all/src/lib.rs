@@ -61,7 +61,8 @@ pub use ml4all_core::plancache::PlanCache;
 pub use ml4all_core::platform::{Platform, PlatformMapping};
 pub use ml4all_core::OptimizerError;
 pub use ml4all_dataflow::{
-    Backend, CancelToken, Runtime, SamplingMethod, UsageMeter, RNG_STREAM_VERSION,
+    Backend, CancelToken, Checkpoint, CheckpointError, ExecState, FaultSchedule, Runtime,
+    SamplingMethod, UsageMeter, RNG_STREAM_VERSION,
 };
 pub use ml4all_datasets::catalog::EvictedDataset;
 pub use ml4all_datasets::source::{DataSource, FileFormat, SourceError};
@@ -133,6 +134,9 @@ pub enum SessionError {
     },
     /// A submitted job panicked; the payload is preserved as text.
     JobPanicked(String),
+    /// A durability checkpoint could not be written, read, or matched to
+    /// its job (corrupted file, checksum failure, foreign checkpoint).
+    Checkpoint(CheckpointError),
 }
 
 impl SessionError {
@@ -169,6 +173,7 @@ impl std::fmt::Display for SessionError {
                 write!(f, "job cancelled after {iterations} iterations")
             }
             Self::JobPanicked(m) => write!(f, "job panicked: {m}"),
+            Self::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -208,6 +213,11 @@ impl From<ModelError> for SessionError {
 impl From<std::io::Error> for SessionError {
     fn from(e: std::io::Error) -> Self {
         Self::Io(e)
+    }
+}
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
     }
 }
 

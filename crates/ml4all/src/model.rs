@@ -5,7 +5,7 @@
 //! the gradient function and dimensionality, then one weight per line —
 //! so models are inspectable and diffable.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use ml4all_dataflow::PartitionedDataset;
@@ -100,16 +100,19 @@ impl Model {
         out
     }
 
-    /// Save to disk.
+    /// Save to disk, crash-safely: the file is staged to a temp sibling,
+    /// fsynced, and renamed into place, so a crash mid-save can never
+    /// leave a truncated model where a good one (or nothing) stood.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(out, "{MAGIC}")?;
-        writeln!(out, "gradient: {}", self.gradient.function_name())?;
-        writeln!(out, "dims: {}", self.weights.dim())?;
+        let mut text = format!(
+            "{MAGIC}\ngradient: {}\ndims: {}\n",
+            self.gradient.function_name(),
+            self.weights.dim()
+        );
         for w in self.weights.as_slice() {
-            writeln!(out, "{w}")?;
+            text.push_str(&format!("{w}\n"));
         }
-        out.flush()?;
+        ml4all_dataflow::atomic_write(path, text.as_bytes())?;
         Ok(())
     }
 

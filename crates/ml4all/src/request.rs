@@ -38,6 +38,15 @@ pub struct TrainRequest {
     /// Emit a [`crate::JobEvent::Progress`] tick every this many
     /// iterations; `None` uses the engine's default cadence.
     pub progress_every: Option<u64>,
+    /// Write a durability checkpoint every this many iterations (engines
+    /// with a state directory only; `None` disables checkpointing). A
+    /// checkpointed job killed mid-run can be resubmitted with
+    /// [`TrainRequest::resume`] and continues bit-identically.
+    pub checkpoint_every: Option<u64>,
+    /// Resume from the persisted checkpoint of this same logical request
+    /// when one exists (engines with a state directory only); a missing
+    /// checkpoint falls back to a cold run.
+    pub resume: bool,
 }
 
 impl TrainRequest {
@@ -51,6 +60,8 @@ impl TrainRequest {
             seed: 0,
             wall_limit: None,
             progress_every: None,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 
@@ -128,6 +139,23 @@ impl TrainRequest {
     /// engine's default cadence; 0 disables ticks for this job).
     pub fn progress_every(mut self, every: u64) -> Self {
         self.progress_every = Some(every);
+        self
+    }
+
+    /// Write a durability checkpoint every `every` iterations (0 disables
+    /// checkpointing). Takes effect on engines configured with
+    /// [`crate::Engine::with_state_dir`]; ignored otherwise.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = if every == 0 { None } else { Some(every) };
+        self
+    }
+
+    /// Resume from this request's persisted checkpoint when one exists.
+    /// The continued run is bit-identical — weights, ledger, and event
+    /// suffix — to the run that was interrupted; with no checkpoint on
+    /// disk the job simply starts cold.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 

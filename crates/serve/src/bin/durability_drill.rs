@@ -1,0 +1,149 @@
+//! CI durability drill: the client half of the kill-and-resume check.
+//!
+//! `durability_drill start --addr A` submits a per-iteration-checkpointed
+//! training job to a `--state-dir` server and exits as soon as the event
+//! stream proves the loop is deep in flight — the harness then SIGKILLs
+//! the server mid-job. `durability_drill finish --addr A` submits the
+//! identical spec with resume on, requires the resumed path (or forbids
+//! it with `--cold`, the uninterrupted reference), streams the job to
+//! completion, and prints the final weights as IEEE-754 bit patterns —
+//! one line the harness diffs between the restarted server and a fresh
+//! reference server.
+
+use ml4all_serve::{Client, Payload, Request, WireEvent, WireSource, WireTrain};
+
+/// Tolerance far out of reach + a deep iteration cap: the job runs long
+/// enough to be killed mid-flight, yet finishes in seconds once resumed.
+const MAX_ITER: u64 = 20_000;
+/// The `start` phase exits once the stream reaches this iteration.
+const KILL_DEPTH: u64 = 100;
+
+fn die(msg: &str) -> ! {
+    eprintln!("durability_drill: {msg}");
+    std::process::exit(1);
+}
+
+/// The one logical job every phase speaks about: identical spec, so the
+/// plan-cache key — and therefore the checkpoint identity — matches
+/// across server restarts.
+fn spec() -> WireTrain {
+    let mut train = WireTrain::new("logistic", WireSource::Registry("adult".into()));
+    train.epsilon = Some(1e-12);
+    train.max_iter = Some(MAX_ITER);
+    train.seed = Some(11);
+    train.name = Some("drill".into());
+    train.progress_every = Some(50);
+    train.resume = Some(true);
+    train
+}
+
+fn connect(addr: &str) -> Client {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+    client
+        .hello("drill")
+        .unwrap_or_else(|e| die(&format!("hello: {e}")));
+    client
+}
+
+/// Submit the checkpointed job and return once it is provably mid-flight,
+/// leaving it running server-side for the harness to kill.
+fn start(addr: &str) {
+    let mut client = connect(addr);
+    let mut train = spec();
+    // A checkpoint at every boundary: wherever the SIGKILL lands, the
+    // last completed iteration survives.
+    train.checkpoint_every = Some(1);
+    let job = client
+        .submit(&train)
+        .unwrap_or_else(|e| die(&format!("submit: {e}")));
+    let mut next = client
+        .call(&Request::Observe { job, from: Some(0) })
+        .unwrap_or_else(|e| die(&format!("observe: {e}")));
+    loop {
+        match next {
+            Payload::Event {
+                event: WireEvent::Progress { iteration, .. },
+                ..
+            } if iteration >= KILL_DEPTH => {
+                println!("job {job} mid-flight at iteration {iteration}: ready for the kill");
+                return; // the dropped connection leaves the job running
+            }
+            Payload::Event { .. } => {}
+            Payload::ObserveEnd { status, .. } => die(&format!(
+                "job finished ({status}) before it could be killed"
+            )),
+            other => die(&format!("unexpected observe payload {other:?}")),
+        }
+        next = match client.read_response() {
+            Ok(ml4all_serve::Response::Ok(payload)) => payload,
+            Ok(ml4all_serve::Response::Err(e)) => die(&format!("observe: {}", e.message)),
+            Err(e) => die(&format!("observe: {e}")),
+        };
+    }
+}
+
+/// Run the job to completion and print the final weights bit-exactly.
+/// `cold` flips the resume expectation: the reference server has no
+/// checkpoint and must start at iteration 0.
+fn finish(addr: &str, cold: bool) {
+    let mut client = connect(addr);
+    let mut train = spec();
+    // Checkpoint cadence is not part of the job's identity; keep the
+    // finishing segment light on fsync.
+    train.checkpoint_every = Some(200);
+    let job = client
+        .submit(&train)
+        .unwrap_or_else(|e| die(&format!("submit: {e}")));
+    let mut resumed_at = None;
+    let status = client
+        .observe(job, 0, |_seq, event| {
+            if let WireEvent::Resumed { iteration } = event {
+                resumed_at = Some(*iteration);
+            }
+        })
+        .unwrap_or_else(|e| die(&format!("observe: {e}")));
+    if status != "completed" {
+        die(&format!("job ended {status}, expected completed"));
+    }
+    match (cold, resumed_at) {
+        (false, None) => die("expected the job to resume from the killed run's checkpoint"),
+        (true, Some(at)) => die(&format!("reference run unexpectedly resumed at {at}")),
+        (false, Some(at)) => println!("resumed at iteration {at}"),
+        (true, None) => println!("cold run, no checkpoint"),
+    }
+    let outcome = client
+        .join(job)
+        .unwrap_or_else(|e| die(&format!("join: {e}")));
+    if outcome.iterations != Some(MAX_ITER) {
+        die(&format!(
+            "expected {MAX_ITER} iterations, got {:?}",
+            outcome.iterations
+        ));
+    }
+    let bits = outcome
+        .weights_bits
+        .unwrap_or_else(|| die("completed job carried no weights"));
+    println!("weights {}", bits.join(" "));
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_default();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut cold = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => die("--addr requires host:port"),
+            },
+            "--cold" => cold = true,
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    match mode.as_str() {
+        "start" => start(&addr),
+        "finish" => finish(&addr, cold),
+        _ => die("usage: durability_drill <start|finish> [--addr host:port] [--cold]"),
+    }
+}

@@ -117,6 +117,7 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
     let mut config = ServeConfig::default();
     let mut workers: Option<usize> = None;
     let mut data_dir = String::from(".");
+    let mut state_dir: Option<String> = None;
     let bad = |flag: &str, what: &str| -> ! {
         eprintln!("{flag} requires {what}");
         std::process::exit(2);
@@ -134,6 +135,10 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
             "--data-dir" => match args.next() {
                 Some(dir) => data_dir = dir,
                 None => bad("--data-dir", "a path"),
+            },
+            "--state-dir" => match args.next() {
+                Some(dir) => state_dir = Some(dir),
+                None => bad("--state-dir", "a path"),
             },
             "--max-frame" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => config.max_frame = v,
@@ -175,6 +180,9 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
         }
     }
     let mut engine = Engine::new().with_data_dir(&data_dir);
+    if let Some(dir) = &state_dir {
+        engine = engine.with_state_dir(dir);
+    }
     if let Some(workers) = workers {
         engine = engine.with_runtime(Arc::new(Runtime::new(workers)));
     }
@@ -377,6 +385,8 @@ options:
   --addr HOST:PORT       bind address (default 127.0.0.1:0, ephemeral)
   --workers N            engine worker threads (default: process-wide pool)
   --data-dir DIR         base directory for dataset/model paths
+  --state-dir DIR        durability root: plan cache, bound models, and job
+                         checkpoints persist here and survive restarts
   --max-frame BYTES      frame payload cap (default 1 MiB)
   --global-in-flight N   max concurrent jobs across tenants (default 8)
   --max-in-flight N      default per-tenant in-flight quota (default 4)

@@ -399,6 +399,13 @@ pub struct WireTrain {
     pub wall_limit_ms: Option<u64>,
     /// Simulated-cost budget in milliseconds (`having time …`).
     pub time_budget_ms: Option<u64>,
+    /// Write a durability checkpoint every this many iterations (servers
+    /// started with `--state-dir` only; absent or 0 disables).
+    pub checkpoint_every: Option<u64>,
+    /// Resume from this request's persisted checkpoint when one exists
+    /// (servers started with `--state-dir` only; a missing checkpoint
+    /// starts cold).
+    pub resume: Option<bool>,
 }
 
 impl WireTrain {
@@ -419,6 +426,8 @@ impl WireTrain {
             progress_every: None,
             wall_limit_ms: None,
             time_budget_ms: None,
+            checkpoint_every: None,
+            resume: None,
         }
     }
 
@@ -496,6 +505,12 @@ impl WireTrain {
         }
         if let Some(ms) = self.time_budget_ms {
             request = request.time_budget(Duration::from_millis(ms));
+        }
+        if let Some(every) = self.checkpoint_every {
+            request = request.checkpoint_every(every);
+        }
+        if let Some(resume) = self.resume {
+            request = request.resume(resume);
         }
         request.config().map_err(|e| invalid(e.to_string()))?;
         Ok(request)
@@ -631,6 +646,13 @@ pub enum WireEvent {
         /// Backend the plan executes on.
         backend: String,
     },
+    /// The job restored a persisted durability checkpoint and continues
+    /// from it (bit-identically to the interrupted run).
+    Resumed {
+        /// Iteration the checkpoint was taken at; execution continues at
+        /// the next one.
+        iteration: u64,
+    },
     /// A convergence checkpoint.
     Progress {
         /// Iteration just completed (1-based).
@@ -691,6 +713,9 @@ impl WireEvent {
                 total_s: *total_s,
                 cache_hit: *cache_hit,
                 backend: (*backend).to_string(),
+            },
+            JobEvent::Resumed { iteration } => Self::Resumed {
+                iteration: *iteration,
             },
             JobEvent::Progress {
                 iteration,
@@ -810,6 +835,11 @@ pub struct WireStats {
     pub plan_cache_misses: u64,
     /// Engine plan-cache entries.
     pub plan_cache_len: u64,
+    /// Durability checkpoints written by the engine since boot (0 when
+    /// the server runs without `--state-dir`).
+    pub checkpoints_written: u64,
+    /// Jobs the engine restored from a persisted checkpoint since boot.
+    pub jobs_resumed: u64,
     /// This tenant's jobs, submission order.
     pub jobs: Vec<WireJob>,
 }

@@ -442,7 +442,7 @@ fn finalize(shared: &Shared, job: &ServedJob, outcome: WireTrained) {
 enum VerbTask {
     Explain {
         token: u64,
-        train: protocol::WireTrain,
+        train: Box<protocol::WireTrain>,
         measured: bool,
     },
     Predict {
@@ -930,7 +930,7 @@ impl Reactor {
                     conn.pending = Some(PendingVerb::Worker);
                     let _ = self.verb_tx.send(VerbTask::Explain {
                         token,
-                        train,
+                        train: Box::new(train),
                         measured: measured.unwrap_or(false),
                     });
                 }
@@ -1520,6 +1520,8 @@ fn stats(shared: &Shared, tenant: &str) -> WireStats {
         plan_cache_hits: cache.hits(),
         plan_cache_misses: cache.misses(),
         plan_cache_len: cache.len() as u64,
+        checkpoints_written: shared.engine.checkpoints_written(),
+        jobs_resumed: shared.engine.jobs_resumed(),
         jobs,
     }
 }

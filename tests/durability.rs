@@ -1,0 +1,339 @@
+//! Durability tier: jobs killed mid-run resume bit-identically to the
+//! uninterrupted run — across backends, worker counts, and repeated
+//! interruptions — and corrupted persisted artifacts (checkpoints, slabs)
+//! are rejected typed, never resumed from and never a panic.
+//!
+//! The "kill" here is a wall-budget stop plus engine teardown: the engine
+//! is dropped and a fresh one is pointed at the same state directory, so
+//! every resumed segment exercises the full cold path — plan cache from
+//! `plancache.json`, checkpoint from `checkpoints/`, model registry from
+//! `models/` — exactly as after a process death.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ml4all::{
+    CheckpointError, DataSource, Engine, GradientKind, JobEvent, Runtime, SessionError,
+    TrainRequest,
+};
+use ml4all_core::estimator::SpeculationConfig;
+use ml4all_dataflow::CostBreakdown;
+
+/// Iteration cap: every run's trajectory has exactly this length because
+/// the tolerance is far out of reach.
+const MAX_ITER: u64 = 400;
+const SEED: u64 = 41;
+
+fn engine(workers: usize) -> Engine {
+    Engine::new()
+        .with_registry_cap(1000)
+        .with_speculation(SpeculationConfig {
+            sample_size: 300,
+            budget: Duration::from_secs(1),
+            max_iterations: 2000,
+            ..SpeculationConfig::default()
+        })
+        .with_runtime(Arc::new(Runtime::new(workers)))
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ml4all-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The job under test: a tolerance below reach keeps the loop running to
+/// the iteration cap, so interrupted and uninterrupted runs share one
+/// fixed-length trajectory to compare bit for bit.
+fn request(dataset: &str) -> TrainRequest {
+    TrainRequest::new(
+        GradientKind::LogisticRegression,
+        DataSource::registry(dataset),
+    )
+    .epsilon(1e-12)
+    .max_iter(MAX_ITER)
+    .seed(SEED)
+}
+
+/// One progress tick, captured bit-exactly.
+#[derive(Debug, PartialEq)]
+struct Tick {
+    delta: u64,
+    sim_time: u64,
+    cost: CostBreakdown,
+}
+
+/// The uninterrupted run: final state plus the full per-iteration
+/// trajectory, the yardstick every resumed run is held against.
+struct Reference {
+    trained: ml4all::Trained,
+    model: ml4all::Model,
+    ticks: HashMap<u64, Tick>,
+}
+
+fn run_reference(dataset: &str) -> Reference {
+    let eng = engine(1);
+    let handle = eng.submit(request(dataset).progress_every(1).named("ref"));
+    let mut ticks = HashMap::new();
+    for event in handle.progress() {
+        if let JobEvent::Progress {
+            iteration,
+            delta,
+            sim_time_s,
+            cost,
+        } = event
+        {
+            ticks.insert(
+                iteration,
+                Tick {
+                    delta: delta.to_bits(),
+                    sim_time: sim_time_s.to_bits(),
+                    cost,
+                },
+            );
+        }
+    }
+    let trained = handle.join().unwrap();
+    let model = eng.model("ref").unwrap();
+    Reference {
+        trained,
+        model,
+        ticks,
+    }
+}
+
+/// The tentpole acceptance sweep: a job interrupted twice — each time the
+/// engine is torn down and rebuilt on the state directory — finishes
+/// bit-identical to the uninterrupted run, on the driver-resident dataset
+/// (local backend) and the cluster-mapped one (simulated cluster), at 1,
+/// 2, and 8 workers.
+#[test]
+fn killed_jobs_resume_bit_identically_across_backends_and_workers() {
+    for dataset in ["adult", "svm1"] {
+        let reference = run_reference(dataset);
+        let expected_backend = if dataset == "svm1" {
+            "simulated-cluster"
+        } else {
+            "local"
+        };
+        assert_eq!(reference.trained.summary.iterations, MAX_ITER);
+        assert_eq!(reference.trained.summary.backend, expected_backend);
+
+        for workers in [1usize, 2, 8] {
+            let label = format!("{dataset} at {workers} workers");
+            let dir = state_dir(&format!("sweep-{dataset}-{workers}"));
+
+            // Segment 1: a tiny wall budget interrupts the job after a
+            // few iterations; `checkpoint_every(1)` guarantees the last
+            // completed boundary survives the "crash".
+            let eng1 = engine(workers).with_state_dir(&dir);
+            let seg1 = eng1
+                .train(
+                    request(dataset)
+                        .checkpoint_every(1)
+                        .wall_limit(Duration::from_millis(2))
+                        .named("seg1"),
+                )
+                .unwrap();
+            assert!(!seg1.summary.converged, "{label}");
+            let it1 = seg1.summary.iterations;
+            assert!(
+                (1..MAX_ITER).contains(&it1),
+                "{label}: segment 1 must stop on its wall budget mid-run, stopped at {it1}"
+            );
+            drop(eng1);
+
+            // Segment 2: a fresh engine resumes and is interrupted again.
+            // Its wall budget covers this segment only — progress past
+            // `it1` proves the limit is not charged against the time the
+            // checkpointed prefix already consumed.
+            let eng2 = engine(workers).with_state_dir(&dir);
+            let seg2 = eng2
+                .train(
+                    request(dataset)
+                        .resume(true)
+                        .checkpoint_every(1)
+                        .wall_limit(Duration::from_millis(6))
+                        .named("seg2"),
+                )
+                .unwrap();
+            assert_eq!(eng2.jobs_resumed(), 1, "{label}");
+            let it2 = seg2.summary.iterations;
+            assert!(
+                it2 > it1,
+                "{label}: a resumed wall budget covers the new segment only ({it1} -> {it2})"
+            );
+            assert!(
+                it2 < MAX_ITER,
+                "{label}: segment 2 must stop on its wall budget mid-run"
+            );
+            drop(eng2);
+
+            // Segment 3: resume once more and run to completion, replaying
+            // the plan decision from disk and streaming every tick.
+            let eng3 = engine(workers).with_state_dir(&dir);
+            let handle = eng3.submit(request(dataset).resume(true).progress_every(1).named("fin"));
+            let mut resumed_at = None;
+            let mut cache_hit = false;
+            let mut ticks = HashMap::new();
+            for event in handle.progress() {
+                match event {
+                    JobEvent::PlanChosen { cache_hit: hit, .. } => cache_hit = hit,
+                    JobEvent::Resumed { iteration } => resumed_at = Some(iteration),
+                    JobEvent::Progress {
+                        iteration,
+                        delta,
+                        sim_time_s,
+                        cost,
+                    } => {
+                        ticks.insert(
+                            iteration,
+                            Tick {
+                                delta: delta.to_bits(),
+                                sim_time: sim_time_s.to_bits(),
+                                cost,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            let fin = handle.join().unwrap();
+            assert!(
+                cache_hit,
+                "{label}: the persisted plan decision replays from disk"
+            );
+            assert_eq!(
+                resumed_at,
+                Some(it2),
+                "{label}: segment 3 resumes at segment 2's last boundary"
+            );
+            assert_eq!(eng3.jobs_resumed(), 1, "{label}");
+
+            // The resumed tail retraces the uninterrupted trajectory tick
+            // for tick, bit for bit.
+            assert_eq!(ticks.len() as u64, MAX_ITER - it2, "{label}");
+            for (iteration, tick) in &ticks {
+                assert_eq!(
+                    Some(tick),
+                    reference.ticks.get(iteration),
+                    "{label}: tick {iteration} diverged from the uninterrupted run"
+                );
+            }
+
+            // Terminal state: identical to the uninterrupted run — model,
+            // simulated clock, and cumulative usage across all segments.
+            assert_eq!(fin.summary.iterations, MAX_ITER, "{label}");
+            assert_eq!(fin.summary.plan, reference.trained.summary.plan, "{label}");
+            assert_eq!(fin.summary.backend, expected_backend, "{label}");
+            assert_eq!(
+                fin.summary.sim_time_s.to_bits(),
+                reference.trained.summary.sim_time_s.to_bits(),
+                "{label}: simulated clock"
+            );
+            assert_eq!(
+                fin.summary.usage, reference.trained.summary.usage,
+                "{label}: usage metered across segments must sum to the uninterrupted run's"
+            );
+            assert_eq!(
+                eng3.model("fin").unwrap().weights,
+                reference.model.weights,
+                "{label}: final weights"
+            );
+
+            // Completion spends the checkpoint.
+            assert_eq!(
+                std::fs::read_dir(dir.join("checkpoints")).unwrap().count(),
+                0,
+                "{label}: a finished job leaves no checkpoint behind"
+            );
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// A corrupted or truncated checkpoint is rejected with a typed error —
+/// never resumed from, never a panic — and leaves the engine healthy: once
+/// the artifact is restored, the same request resumes and completes.
+#[test]
+fn damaged_checkpoints_are_rejected_typed_and_never_resumed() {
+    let dir = state_dir("damaged-ckpt");
+    let eng = engine(2).with_state_dir(&dir);
+    eng.train(
+        request("adult")
+            .checkpoint_every(1)
+            .wall_limit(Duration::from_millis(2))
+            .named("seg1"),
+    )
+    .unwrap();
+    let ckpt = std::fs::read_dir(dir.join("checkpoints"))
+        .unwrap()
+        .next()
+        .expect("the interrupted job left a checkpoint")
+        .unwrap()
+        .path();
+    let original = std::fs::read(&ckpt).unwrap();
+
+    let resume = || eng.train(request("adult").resume(true).named("fin"));
+    for damaged in [
+        &original[..original.len() - 5], // truncated mid-payload
+        &original[..12],                 // truncated inside the header
+        b"garbage, not a checkpoint\n".as_slice(),
+        b"".as_slice(),
+    ] {
+        std::fs::write(&ckpt, damaged).unwrap();
+        let err = resume().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SessionError::Checkpoint(
+                    CheckpointError::Format(_) | CheckpointError::Checksum { .. }
+                )
+            ),
+            "{} damaged bytes: expected a typed rejection, got {err:?}",
+            damaged.len()
+        );
+    }
+
+    // Restoring the artifact restores the job: it resumes and completes.
+    std::fs::write(&ckpt, &original).unwrap();
+    let fin = resume().unwrap();
+    assert_eq!(fin.summary.iterations, MAX_ITER);
+    assert_eq!(eng.jobs_resumed(), 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Truncating a persisted slab — any amount, down to an empty file — is a
+/// typed `SlabError::Format`, caught by header validation before anything
+/// is mapped.
+#[test]
+fn truncated_slabs_are_rejected_typed() {
+    use ml4all_dataflow::{open_slab, write_slab, ColumnStore, SlabError};
+    use ml4all_datasets::synth::{dense_classification, DenseClassConfig};
+
+    let dir = state_dir("damaged-slab");
+    std::fs::create_dir_all(&dir).unwrap();
+    let points = dense_classification(&DenseClassConfig {
+        n: 200,
+        dims: 4,
+        noise: 0.05,
+        seed: 11,
+    });
+    let store: ColumnStore = points.into_iter().collect();
+    let slab = dir.join("data.slab");
+    write_slab(&slab, &store).unwrap();
+    let intact = open_slab(&slab).unwrap();
+    assert_eq!(intact.len(), 200);
+
+    let bytes = std::fs::read(&slab).unwrap();
+    for keep in [bytes.len() - 1, bytes.len() / 2, 16, 0] {
+        std::fs::write(&slab, &bytes[..keep]).unwrap();
+        assert!(
+            matches!(open_slab(&slab), Err(SlabError::Format(_))),
+            "a slab truncated to {keep} bytes must fail header validation"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -17,6 +17,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The generator's full internal state: the four xoshiro256++ state
+    /// words. Together with [`StdRng::from_state`] this makes the stream
+    /// position serializable — a restored generator continues the exact
+    /// sequence the snapshot interrupted, bit for bit.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at a previously captured stream position.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
