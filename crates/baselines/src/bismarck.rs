@@ -205,6 +205,7 @@ impl BismarckRunner {
             usage: env.ledger.usage().clone(),
             backend: env.backend().name(),
             rng_stream_version: ml4all_dataflow::RNG_STREAM_VERSION,
+            resume_state: None,
         })
     }
 }

@@ -178,6 +178,7 @@ impl MllibRunner {
             usage: env.ledger.usage().clone(),
             backend: env.backend().name(),
             rng_stream_version: ml4all_dataflow::RNG_STREAM_VERSION,
+            resume_state: None,
         })
     }
 }

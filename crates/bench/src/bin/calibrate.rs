@@ -1,0 +1,195 @@
+//! `calibrate`: choose-time overhead and accuracy gain of the calibrated
+//! cost model, recorded as `BENCH_calibration.json`.
+//!
+//! For each conformance dataset the binary fits a calibrator from one
+//! cold plan-space sweep (the same single-pass fit the conformance tier
+//! uses), then times `choose_plan` over the full 11-plan space with and
+//! without the fitted snapshot. Calibrated pricing adds one vector
+//! rescale and one residual lookup per plan, so the overhead should stay
+//! in the microseconds; the accuracy side of the trade is the cold vs
+//! calibrated aggregate conformance error, recorded alongside.
+//!
+//! ```sh
+//! cargo run --release -p ml4all-bench --bin calibrate
+//! cargo run --release -p ml4all-bench --bin calibrate -- \
+//!     --rounds 500 --out BENCH_calibration.json
+//! ```
+
+use std::time::Instant;
+
+use ml4all_bench::conformance::{conformance_fit, sweep_with};
+use ml4all_bench::harness::task_gradient;
+use ml4all_calibrate::Calibrator;
+use ml4all_core::calibration::CalibrationSnapshot;
+use ml4all_core::chooser::{choose_plan, OptimizerConfig};
+use ml4all_dataflow::ClusterSpec;
+use ml4all_datasets::registry;
+use ml4all_datasets::registry::DatasetSpec;
+use serde::Serialize;
+
+/// Mirrors the conformance tier's sweep shape (tests/conformance.rs).
+const MAX_PHYSICAL: usize = 1500;
+const ITERATIONS: u64 = 25;
+const SEED: u64 = 17;
+
+/// One dataset's overhead/accuracy record.
+#[derive(Debug, Serialize)]
+struct DatasetRecord {
+    dataset: String,
+    plans: usize,
+    iterations: u64,
+    /// Calibration generation after the fitting sweep (= plans observed).
+    generation: u64,
+    /// Median wall micros of a cold `choose_plan` over the plan space.
+    cold_choose_p50_us: f64,
+    /// Median wall micros of the same choice under the fitted snapshot.
+    calibrated_choose_p50_us: f64,
+    /// Absolute choose-time overhead of calibrated pricing.
+    overhead_us: f64,
+    /// `calibrated / cold` choose time.
+    overhead_ratio: f64,
+    /// Mean relative conformance error of the static model.
+    cold_aggregate_error: f64,
+    /// Mean relative conformance error under the fitted snapshot.
+    calibrated_aggregate_error: f64,
+}
+
+/// The whole `BENCH_calibration.json` artifact.
+#[derive(Debug, Serialize)]
+struct CalibrationBench {
+    note: String,
+    rounds: usize,
+    datasets: Vec<DatasetRecord>,
+}
+
+/// Median wall micros of `rounds` repetitions of `f`.
+fn median_us(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_dataset(spec: &DatasetSpec, rounds: usize, cluster: &ClusterSpec) -> DatasetRecord {
+    // Fit: one cold sweep feeding every executed plan into the calibrator
+    // (identity-priced, so its predictions are the static model's), then a
+    // calibrated sweep for the accuracy comparison.
+    let mut calibrator = Calibrator::new(conformance_fit());
+    let cold = sweep_with(
+        spec,
+        MAX_PHYSICAL,
+        ITERATIONS,
+        SEED,
+        cluster,
+        Some(CalibrationSnapshot::identity()),
+        Some(&mut calibrator),
+    );
+    let snapshot = calibrator.snapshot();
+    let calibrated = sweep_with(
+        spec,
+        MAX_PHYSICAL,
+        ITERATIONS,
+        SEED,
+        cluster,
+        Some(snapshot.clone()),
+        None,
+    );
+    let aggregate = |sweep: &ml4all_bench::DatasetConformance| {
+        sweep
+            .rows
+            .iter()
+            .map(|r| (r.predicted_s - r.measured_s).abs() / r.measured_s)
+            .sum::<f64>()
+            / sweep.rows.len().max(1) as f64
+    };
+
+    // Overhead: the same fixed-iteration choice the sweeps price, timed
+    // with and without the snapshot. No speculation either way, so the
+    // delta isolates the calibrated-pricing arithmetic.
+    let data = spec
+        .build(MAX_PHYSICAL, SEED, cluster)
+        .expect("registry dataset builds");
+    let mut config =
+        OptimizerConfig::new(task_gradient(spec.task)).with_fixed_iterations(ITERATIONS);
+    config.seed = SEED;
+    let calibrated_config = config.clone().with_calibration(snapshot.clone());
+    let cold_us = median_us(rounds, || {
+        choose_plan(&data, &config, cluster).expect("plan space is costable");
+    });
+    let calibrated_us = median_us(rounds, || {
+        choose_plan(&data, &calibrated_config, cluster).expect("plan space is costable");
+    });
+
+    DatasetRecord {
+        dataset: spec.name.to_string(),
+        plans: cold.rows.len(),
+        iterations: ITERATIONS,
+        generation: snapshot.generation,
+        cold_choose_p50_us: cold_us,
+        calibrated_choose_p50_us: calibrated_us,
+        overhead_us: calibrated_us - cold_us,
+        overhead_ratio: calibrated_us / cold_us,
+        cold_aggregate_error: aggregate(&cold),
+        calibrated_aggregate_error: aggregate(&calibrated),
+    }
+}
+
+fn main() {
+    let mut rounds = 200usize;
+    let mut out = String::from("BENCH_calibration.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => rounds = args.next().expect("--rounds N").parse().expect("a count"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--help" | "-h" => {
+                eprintln!("usage: calibrate [--rounds N] [--out BENCH_calibration.json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cluster = ClusterSpec::paper_testbed();
+    let datasets: Vec<DatasetRecord> = [registry::adult(), registry::covtype(), registry::svm1()]
+        .iter()
+        .map(|spec| bench_dataset(spec, rounds, &cluster))
+        .collect();
+
+    println!(
+        "{:<8}  {:>14}  {:>20}  {:>11}  {:>12}  {:>12}",
+        "dataset", "cold-choose", "calibrated-choose", "overhead", "cold-err", "calib-err"
+    );
+    for d in &datasets {
+        println!(
+            "{:<8}  {:>12.1}us  {:>18.1}us  {:>9.1}us  {:>12.3e}  {:>12.3e}",
+            d.dataset,
+            d.cold_choose_p50_us,
+            d.calibrated_choose_p50_us,
+            d.overhead_us,
+            d.cold_aggregate_error,
+            d.calibrated_aggregate_error
+        );
+    }
+
+    let bench = CalibrationBench {
+        note: format!(
+            "choose_plan wall-time medians over {rounds} rounds per dataset, cold vs under a \
+             conformance-fitted calibration snapshot; aggregate errors are the mean relative \
+             predicted-vs-measured error of the 11-plan conformance sweep"
+        ),
+        rounds,
+        datasets,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("bench record serializes");
+    std::fs::write(&out, json).expect("write BENCH_calibration.json");
+    println!("[written {out}]");
+}

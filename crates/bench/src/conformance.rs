@@ -17,6 +17,8 @@
 //!    the same plan if it could observe real executions (Table 4's chosen
 //!    plans as executable goldens).
 
+use ml4all_calibrate::{Calibrator, CalibratorConfig, JobObservation};
+use ml4all_core::calibration::{plan_feature_key, CalibrationSnapshot};
 use ml4all_core::chooser::{choose_plan, profile_choice, OptimizerConfig};
 use ml4all_dataflow::{ClusterSpec, SamplingMethod, RNG_STREAM_VERSION};
 use ml4all_datasets::registry::DatasetSpec;
@@ -141,12 +143,33 @@ pub fn sweep_dataset(
     seed: u64,
     cluster: &ClusterSpec,
 ) -> DatasetConformance {
+    sweep_with(spec, max_physical, iterations, seed, cluster, None, None)
+}
+
+/// The general sweep: optionally price the plan table under a
+/// [`CalibrationSnapshot`] (the calibrated pass of the double sweep), and
+/// optionally feed every (prediction, measurement) pair into a
+/// [`Calibrator`] as it executes (the fitting pass). `predicted_s` is the
+/// chooser's ranking cost — the calibrated total when a snapshot was
+/// supplied, the static model's otherwise.
+pub fn sweep_with(
+    spec: &DatasetSpec,
+    max_physical: usize,
+    iterations: u64,
+    seed: u64,
+    cluster: &ClusterSpec,
+    calibration: Option<CalibrationSnapshot>,
+    mut observer: Option<&mut Calibrator>,
+) -> DatasetConformance {
     let data = spec
         .build(max_physical, seed, cluster)
         .expect("registry dataset builds");
     let mut config =
         OptimizerConfig::new(task_gradient(spec.task)).with_fixed_iterations(iterations);
     config.seed = seed;
+    if let Some(snapshot) = calibration {
+        config = config.with_calibration(snapshot);
+    }
     let mut report = choose_plan(&data, &config, cluster).expect("plan space is costable");
 
     let mut rows = Vec::with_capacity(report.choices.len());
@@ -158,12 +181,33 @@ pub fn sweep_dataset(
             .expect("plan executes")
             .unwrap_or_else(|| panic!("{} diverged during conformance profiling", choice.plan));
         choice.measured_s = Some(result.sim_time_s);
-        let ratio = result.sim_time_s / choice.total_s;
+        let predicted_s = choice.ranking_s();
+        let ratio = result.sim_time_s / predicted_s;
         let band = band_for(&choice.plan);
+        if let Some(cal) = observer.as_deref_mut() {
+            // Feed the executed point to the fitting calibrator exactly as
+            // the engine's post-job hook would: the analytical cost vector
+            // at the executed iteration count against the run's ledger.
+            let prep = choice.prep_cost.unwrap_or_default();
+            let iter = choice.iter_cost.unwrap_or_default();
+            cal.observe(&JobObservation {
+                key: plan_feature_key(
+                    &format!("{:?}", config.gradient),
+                    &choice.plan,
+                    result.backend,
+                    data.descriptor(),
+                ),
+                predicted: prep.plus(&iter.times(iterations as f64)),
+                predicted_total_s: choice.total_s,
+                measured: result.cost,
+                measured_total_s: result.sim_time_s,
+                usage: result.usage.clone(),
+            });
+        }
         rows.push(ConformanceRow {
             plan: choice.plan.name(),
             backend: result.backend.to_string(),
-            predicted_s: choice.total_s,
+            predicted_s,
             measured_s: result.sim_time_s,
             ratio,
             band,
@@ -185,6 +229,182 @@ pub fn sweep_dataset(
             .expect("every choice was profiled")
             .plan
             .name(),
+    }
+}
+
+/// Calibrator settings for the conformance double sweep: a **single-pass
+/// fit**, not an online tracker. `alpha = 0` freezes the unit-cost scales
+/// at identity so every plan's residual is measured against the same
+/// rescaled baseline it is later applied to (an EWMA-drifting scale would
+/// reprice early observations against a baseline that no longer exists),
+/// and `min_observations = 1` opens the confidence gate after the one
+/// observation per plan shape the sweep produces.
+pub fn conformance_fit() -> CalibratorConfig {
+    CalibratorConfig {
+        alpha: 0.0,
+        min_observations: 1,
+        ..CalibratorConfig::default()
+    }
+}
+
+/// One plan of the cold/calibrated comparison: the same measurement
+/// against both predictions, with relative errors.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibratedPlanRow {
+    /// Plan name.
+    pub plan: String,
+    /// Ledger-measured execution cost (bit-identical across both sweeps —
+    /// calibration changes pricing, never execution).
+    pub measured_s: f64,
+    /// The static model's prediction (sweep 1).
+    pub cold_predicted_s: f64,
+    /// The calibrated prediction (sweep 2).
+    pub calibrated_predicted_s: f64,
+    /// `|cold_predicted_s - measured_s| / measured_s`.
+    pub cold_error: f64,
+    /// `|calibrated_predicted_s - measured_s| / measured_s`.
+    pub calibrated_error: f64,
+}
+
+/// The cold/calibrated double sweep over one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationConformance {
+    /// Registry dataset name.
+    pub dataset: String,
+    /// Fixed iteration count of both sweeps.
+    pub iterations: u64,
+    /// Calibration generation after the fitting pass (= plans observed).
+    pub generation: u64,
+    /// Residual-table confidence of the applied snapshot.
+    pub residual_confidence: f64,
+    /// Per-plan comparison, cold-cheapest first.
+    pub rows: Vec<CalibratedPlanRow>,
+    /// Mean relative error of the static model.
+    pub cold_aggregate_error: f64,
+    /// Mean relative error of the calibrated model.
+    pub calibrated_aggregate_error: f64,
+}
+
+impl CalibrationConformance {
+    /// `true` when calibration strictly tightened the aggregate error.
+    pub fn strictly_tighter(&self) -> bool {
+        self.calibrated_aggregate_error < self.cold_aggregate_error
+    }
+}
+
+/// Run the double sweep on one dataset: sweep cold while fitting a
+/// [`Calibrator`] from each executed plan, snapshot it, sweep again under
+/// the snapshot, and pair the two predictions per plan. The fitting pass
+/// prices under the identity snapshot — bit-identical to the static model
+/// ([`CalibrationSnapshot::identity`]) but carrying the per-plan cost
+/// vectors the observations need.
+pub fn calibration_sweep(
+    spec: &DatasetSpec,
+    max_physical: usize,
+    iterations: u64,
+    seed: u64,
+    cluster: &ClusterSpec,
+) -> CalibrationConformance {
+    let mut calibrator = Calibrator::new(conformance_fit());
+    let cold = sweep_with(
+        spec,
+        max_physical,
+        iterations,
+        seed,
+        cluster,
+        Some(CalibrationSnapshot::identity()),
+        Some(&mut calibrator),
+    );
+    let snapshot = calibrator.snapshot();
+    let calibrated = sweep_with(
+        spec,
+        max_physical,
+        iterations,
+        seed,
+        cluster,
+        Some(snapshot.clone()),
+        None,
+    );
+
+    let rows: Vec<CalibratedPlanRow> = cold
+        .rows
+        .iter()
+        .map(|c| {
+            // The calibrated chooser may re-rank the table; pair by plan.
+            let k = calibrated
+                .rows
+                .iter()
+                .find(|r| r.plan == c.plan)
+                .unwrap_or_else(|| panic!("{} missing from the calibrated sweep", c.plan));
+            assert_eq!(
+                c.measured_s.to_bits(),
+                k.measured_s.to_bits(),
+                "{}: calibration must not perturb execution",
+                c.plan
+            );
+            CalibratedPlanRow {
+                plan: c.plan.clone(),
+                measured_s: c.measured_s,
+                cold_predicted_s: c.predicted_s,
+                calibrated_predicted_s: k.predicted_s,
+                cold_error: (c.predicted_s - c.measured_s).abs() / c.measured_s,
+                calibrated_error: (k.predicted_s - k.measured_s).abs() / k.measured_s,
+            }
+        })
+        .collect();
+
+    let mean = |f: fn(&CalibratedPlanRow) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+    };
+    CalibrationConformance {
+        dataset: cold.dataset,
+        iterations,
+        generation: snapshot.generation,
+        residual_confidence: snapshot.residual_confidence(),
+        cold_aggregate_error: mean(|r| r.cold_error),
+        calibrated_aggregate_error: mean(|r| r.calibrated_error),
+        rows,
+    }
+}
+
+/// The CI artifact of the calibration double sweep (`CALIBRATION_JSON`).
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationReport {
+    /// RNG stream version the measurements reproduce under.
+    pub rng_stream_version: u32,
+    /// Mean cold relative error across every dataset's plans.
+    pub cold_total_error: f64,
+    /// Mean calibrated relative error across every dataset's plans.
+    pub calibrated_total_error: f64,
+    /// Per-dataset double sweeps.
+    pub datasets: Vec<CalibrationConformance>,
+}
+
+impl CalibrationReport {
+    /// Build a report over per-dataset double sweeps.
+    pub fn new(datasets: Vec<CalibrationConformance>) -> Self {
+        let rows: Vec<&CalibratedPlanRow> = datasets.iter().flat_map(|d| d.rows.iter()).collect();
+        let n = rows.len().max(1) as f64;
+        Self {
+            rng_stream_version: RNG_STREAM_VERSION,
+            cold_total_error: rows.iter().map(|r| r.cold_error).sum::<f64>() / n,
+            calibrated_total_error: rows.iter().map(|r| r.calibrated_error).sum::<f64>() / n,
+            datasets,
+        }
+    }
+
+    /// Serialize to pretty JSON for the CI artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("calibration report serializes")
+    }
+
+    /// Write the JSON artifact to the path named by the `CALIBRATION_JSON`
+    /// environment variable, if set. Returns the path written.
+    pub fn write_if_requested(&self) -> Option<std::path::PathBuf> {
+        let path = std::env::var_os("CALIBRATION_JSON")?;
+        let path = std::path::PathBuf::from(path);
+        std::fs::write(&path, self.to_json()).expect("write calibration JSON");
+        Some(path)
     }
 }
 
@@ -218,6 +438,54 @@ mod tests {
         assert_eq!(band_for(&sgd_b), BERNOULLI_SGD_BAND);
         let mgd_b = GdPlan::mgd(100, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap();
         assert_eq!(band_for(&mgd_b), BERNOULLI_MGD_BAND);
+    }
+
+    #[test]
+    fn the_double_sweep_tightens_every_plan_and_the_aggregate() {
+        let cluster = ClusterSpec::paper_testbed();
+        let cal = calibration_sweep(&registry::adult(), 600, 10, 3, &cluster);
+        assert_eq!(cal.rows.len(), 11);
+        assert_eq!(cal.generation, 11, "one observation per plan");
+        assert_eq!(cal.residual_confidence, 1.0, "the fit gate is open");
+        for row in &cal.rows {
+            assert!(
+                row.calibrated_error <= row.cold_error + 1e-6,
+                "{}: calibrated {} vs cold {}",
+                row.plan,
+                row.calibrated_error,
+                row.cold_error
+            );
+        }
+        assert!(
+            cal.strictly_tighter(),
+            "aggregate {} !< {}",
+            cal.calibrated_aggregate_error,
+            cal.cold_aggregate_error
+        );
+        // The one-shot fit repriced each observed shape onto its own
+        // measurement, so the calibrated error is numerically tiny.
+        assert!(cal.calibrated_aggregate_error < 1e-9);
+    }
+
+    #[test]
+    fn the_identity_priced_fitting_pass_matches_the_cold_sweep() {
+        let cluster = ClusterSpec::paper_testbed();
+        let cold = sweep_dataset(&registry::adult(), 600, 10, 3, &cluster);
+        let identity = sweep_with(
+            &registry::adult(),
+            600,
+            10,
+            3,
+            &cluster,
+            Some(CalibrationSnapshot::identity()),
+            None,
+        );
+        for (a, b) in cold.rows.iter().zip(&identity.rows) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+            assert_eq!(a.measured_s.to_bits(), b.measured_s.to_bits());
+        }
+        assert_eq!(cold.predicted_argmin, identity.predicted_argmin);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub mod harness;
 pub mod report;
 pub mod runs;
 
-pub use conformance::{sweep_dataset, ConformanceReport, DatasetConformance};
+pub use conformance::{
+    calibration_sweep, conformance_fit, sweep_dataset, sweep_with, CalibrationConformance,
+    CalibrationReport, ConformanceReport, DatasetConformance,
+};
 pub use harness::{build_dataset, print_table, task_gradient, BenchConfig};
 pub use report::ExperimentRecord;

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ml4all_dataflow::{Backend, ClusterSpec, PartitionedDataset, SimEnv};
+use ml4all_dataflow::{Backend, ClusterSpec, CostBreakdown, PartitionedDataset, SimEnv};
 use ml4all_gd::{
     execute_plan, GdError, GdPlan, GdVariant, GradientKind, Regularizer, StepSize, TrainParams,
     TrainResult,
@@ -12,6 +12,7 @@ use ml4all_gd::{
 use ml4all_runtime::Runtime;
 use serde::{Deserialize, Serialize};
 
+use crate::calibration::{plan_feature_key, CalibrationSnapshot, CalibrationStamp};
 use crate::cost::PlanCostModel;
 use crate::estimator::{estimate_iterations, IterationsEstimate, SpeculationConfig};
 use crate::planspace::enumerate_plans;
@@ -62,6 +63,11 @@ pub struct OptimizerConfig {
     /// Worker pool the per-variant speculative runs of Algorithm 1
     /// dispatch through (defaults to the process-wide runtime).
     pub runtime: Arc<Runtime>,
+    /// Calibration state to price plans with ([`CalibrationSnapshot`]):
+    /// per-category unit-cost scales plus the learned residual table.
+    /// `None` (the default) and the identity snapshot price identically —
+    /// bit for bit — to the static paper model.
+    pub calibration: Option<CalibrationSnapshot>,
 }
 
 impl OptimizerConfig {
@@ -81,6 +87,7 @@ impl OptimizerConfig {
             pinned_sampling: None,
             seed: 0,
             runtime: Runtime::global(),
+            calibration: None,
         }
     }
 
@@ -142,6 +149,12 @@ impl OptimizerConfig {
         self
     }
 
+    /// Price plans with this calibration snapshot.
+    pub fn with_calibration(mut self, snapshot: CalibrationSnapshot) -> Self {
+        self.calibration = Some(snapshot);
+        self
+    }
+
     /// The training parameters implied by this configuration.
     pub fn train_params(&self) -> TrainParams {
         TrainParams {
@@ -179,6 +192,26 @@ pub struct PlanChoice {
     /// the costed iteration count (`ExplainRequest::measured`); `None` on
     /// pure cost-model reports, or when the profiled run diverged.
     pub measured_s: Option<f64>,
+    /// Total cost after calibration (unit-cost scales + residual factor),
+    /// filled when the optimizer ran with a [`CalibrationSnapshot`]. This
+    /// is the quantity the calibrated chooser ranks by; under the identity
+    /// snapshot it equals [`PlanChoice::total_s`] bit for bit.
+    pub calibrated_s: Option<f64>,
+    /// Predicted one-time preparation cost as a per-category vector,
+    /// filled on calibrated reports (the observation the calibrator
+    /// compares against the measured ledger).
+    pub prep_cost: Option<CostBreakdown>,
+    /// Predicted per-iteration cost as a per-category vector, filled on
+    /// calibrated reports.
+    pub iter_cost: Option<CostBreakdown>,
+}
+
+impl PlanChoice {
+    /// The cost the chooser ranks this plan by: calibrated when priced
+    /// under a snapshot, the static model's total otherwise.
+    pub fn ranking_s(&self) -> f64 {
+        self.calibrated_s.unwrap_or(self.total_s)
+    }
 }
 
 /// Per-variant speculation outcome.
@@ -205,6 +238,10 @@ pub struct OptimizerReport {
     /// fresh optimization: speculation was skipped and every field (the
     /// speculation costs included) is the cached cold run's value.
     pub cache_hit: bool,
+    /// Present when the report was priced under a calibration snapshot:
+    /// the generation and residual confidence `explain` renders in its
+    /// footer. `None` on static-model reports.
+    pub calibration: Option<CalibrationStamp>,
 }
 
 impl OptimizerReport {
@@ -379,29 +416,67 @@ pub fn choose_plan(
             let preparation_s = model.preparation_s(&plan);
             let per_iteration_s = model.per_iteration_s(&plan);
             let mapping = map_plan(&plan, desc, cluster);
+            let total_s = preparation_s + t as f64 * per_iteration_s;
+            // Calibrated pricing: rescale the predicted cost vector by the
+            // learned unit-cost scales, apply the residual factor for this
+            // plan's feature key, and keep the vectors on the choice so
+            // the post-execution observation can compare like with like.
+            let (calibrated_s, prep_cost, iter_cost) = match &config.calibration {
+                Some(snapshot) => {
+                    let prep = model.preparation_cost(&plan);
+                    let iter = model.per_iteration_cost(&plan);
+                    let backend = if mapping.uses_cluster() {
+                        "simulated-cluster"
+                    } else {
+                        "local"
+                    };
+                    let key =
+                        plan_feature_key(&format!("{:?}", config.gradient), &plan, backend, desc);
+                    let calibrated = snapshot.calibrate_total(total_s, &prep, &iter, t, &key);
+                    (Some(calibrated), Some(prep), Some(iter))
+                }
+                None => (None, None, None),
+            };
             PlanChoice {
                 plan,
                 estimated_iterations: t,
                 preparation_s,
                 per_iteration_s,
-                total_s: preparation_s + t as f64 * per_iteration_s,
+                total_s,
                 mapping,
                 measured_s: None,
+                calibrated_s,
+                prep_cost,
+                iter_cost,
             }
         })
         .collect();
-    choices.sort_by(|a, b| a.total_s.partial_cmp(&b.total_s).expect("costs are finite"));
+    // Rank by the calibrated cost when one was computed; under the
+    // identity snapshot `ranking_s() == total_s` bit for bit, so cold
+    // calibrated runs sort exactly like the static model.
+    choices.sort_by(|a, b| {
+        a.ranking_s()
+            .partial_cmp(&b.ranking_s())
+            .expect("costs are finite")
+    });
 
     if let Some(budget) = config.time_budget {
         let best = &choices[0];
-        if best.total_s > budget.as_secs_f64() {
+        if best.ranking_s() > budget.as_secs_f64() {
             return Err(OptimizerError::UnsatisfiableConstraint(format!(
                 "even the best plan ({}, {:.1}s estimated) exceeds the time budget of {:?}; \
                  revisit the `time` constraint",
-                best.plan, best.total_s, budget
+                best.plan,
+                best.ranking_s(),
+                budget
             )));
         }
     }
+
+    let calibration = config.calibration.as_ref().map(|s| CalibrationStamp {
+        generation: s.generation,
+        residual_confidence: s.residual_confidence(),
+    });
 
     Ok(OptimizerReport {
         choices,
@@ -409,6 +484,7 @@ pub fn choose_plan(
         speculation_sim_s,
         speculation_wall,
         cache_hit: false,
+        calibration,
     })
 }
 
@@ -544,6 +620,70 @@ mod tests {
         }
         let best = report.measured_best().unwrap();
         assert_eq!(best.plan, report.choices[0].plan);
+    }
+
+    #[test]
+    fn identity_calibration_prices_bit_identically() {
+        use crate::calibration::CalibrationSnapshot;
+        let data = dataset(1000, 1024 * 1024);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let cold = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        let calibrated = choose_plan(
+            &data,
+            &config
+                .clone()
+                .with_calibration(CalibrationSnapshot::identity()),
+            &ClusterSpec::paper_testbed(),
+        )
+        .unwrap();
+        assert_eq!(calibrated.choices.len(), cold.choices.len());
+        for (a, b) in cold.choices.iter().zip(&calibrated.choices) {
+            assert_eq!(a.plan, b.plan, "identity snapshot must not reorder");
+            assert_eq!(
+                a.total_s.to_bits(),
+                b.calibrated_s.unwrap().to_bits(),
+                "{}: identity calibration must be bitwise invisible",
+                a.plan
+            );
+            assert!(b.prep_cost.is_some() && b.iter_cost.is_some());
+        }
+        let stamp = calibrated.calibration.unwrap();
+        assert_eq!(stamp.generation, 0);
+        assert_eq!(stamp.residual_confidence, 0.0);
+        assert!(cold.calibration.is_none());
+    }
+
+    #[test]
+    fn residual_factors_can_flip_the_argmin() {
+        use crate::calibration::{plan_feature_key, CalibrationSnapshot, ResidualEntry};
+        let data = dataset(1000, 1024 * 1024);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let cluster = ClusterSpec::paper_testbed();
+        let cold = choose_plan(&data, &config, &cluster).unwrap();
+        let (first, second) = (cold.choices[0].plan, cold.choices[1].plan);
+        // Teach the model that the static winner actually runs 100× its
+        // prediction; a confident residual must demote it.
+        let key = plan_feature_key(
+            &format!("{:?}", config.gradient),
+            &first,
+            "local",
+            data.descriptor(),
+        );
+        let mut snapshot = CalibrationSnapshot::identity();
+        snapshot.generation = 7;
+        snapshot.residuals = vec![ResidualEntry {
+            key,
+            factor: 100.0,
+            observations: 10,
+        }];
+        snapshot.residuals.sort_by(|a, b| a.key.cmp(&b.key));
+        let calibrated =
+            choose_plan(&data, &config.clone().with_calibration(snapshot), &cluster).unwrap();
+        assert_ne!(calibrated.best().plan, first, "the mispriced plan loses");
+        assert_eq!(calibrated.best().plan, second);
+        assert_eq!(calibrated.calibration.unwrap().generation, 7);
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! `Compute`, `Sample`, `Converge` and `Loop` involve IO and CPU only;
 //! `Update` is the only operator with a network term (the aggregated
 //! compute outputs travel to a single node); `Stage` is CPU-only.
+//!
+//! Every operator is costed twice over: the `*_s` methods return the total
+//! simulated seconds (the quantity Equations 7–9 compose), and the `*_cost`
+//! methods return the full per-category [`CostBreakdown`] the charge left
+//! in the scratch ledger — the vector online calibration rescales. The two
+//! views are the same ledger read (`elapsed_s()` *is* the snapshot total),
+//! so the scalar path is bit-identical with calibration compiled in or out.
 
-use ml4all_dataflow::{ClusterSpec, DatasetDescriptor, SamplingMethod, SimEnv, StorageMedium};
+use ml4all_dataflow::{
+    ClusterSpec, CostBreakdown, DatasetDescriptor, SamplingMethod, SimEnv, StorageMedium,
+};
 
 /// Cost calculator for one dataset on one cluster.
 #[derive(Debug, Clone)]
@@ -40,72 +49,115 @@ impl<'a> OperatorCosts<'a> {
         self.spec.job_init_s
     }
 
+    /// One-time job initialization as a cost vector (pure overhead).
+    pub fn job_init_cost(&self) -> CostBreakdown {
+        CostBreakdown {
+            overhead_s: self.spec.job_init_s,
+            ..CostBreakdown::default()
+        }
+    }
+
     /// `Stage` (`cS`): CPU-only parameter initialization.
-    pub fn stage_s(&self) -> f64 {
+    pub fn stage_cost(&self) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_serial_cpu(1, env.spec.cpu_stage_s(self.desc.dims));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Stage` total seconds.
+    pub fn stage_s(&self) -> f64 {
+        self.stage_cost().total_s()
     }
 
     /// `Transform` over the full dataset (`cT(D)`): first read comes from
     /// disk, plus wave-parallel parse CPU.
-    pub fn transform_full_s(&self) -> f64 {
+    pub fn transform_full_cost(&self) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_full_scan_io(self.desc, StorageMedium::Disk);
         env.charge_wave_cpu(self.desc, env.spec.cpu_transform_s(self.desc.avg_nnz()));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Transform` over the full dataset, total seconds.
+    pub fn transform_full_s(&self) -> f64 {
+        self.transform_full_cost().total_s()
     }
 
     /// `Transform` over `m` sampled units (`cT(mᵢ)`), driver-side.
-    pub fn transform_units_s(&self, m: u64) -> f64 {
+    pub fn transform_units_cost(&self, m: u64) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_serial_cpu(m, env.spec.cpu_transform_s(self.desc.avg_nnz()));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Transform` over `m` sampled units, total seconds.
+    pub fn transform_units_s(&self, m: u64) -> f64 {
+        self.transform_units_cost(m).total_s()
     }
 
     /// `Compute` over the full dataset (`cC(D)`): a cache-aware scan plus
     /// wave-parallel gradient CPU.
-    pub fn compute_full_s(&self) -> f64 {
+    pub fn compute_full_cost(&self) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_full_scan_io(self.desc, StorageMedium::Auto);
         env.charge_wave_cpu(self.desc, env.spec.cpu_gradient_s(self.desc.avg_nnz()));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Compute` over the full dataset, total seconds.
+    pub fn compute_full_s(&self) -> f64 {
+        self.compute_full_cost().total_s()
     }
 
     /// `Compute` over `m` sampled units (`cC(mᵢ)`): the sample is shipped
     /// to the driver (hybrid execution) and processed serially.
-    pub fn compute_units_s(&self, m: u64) -> f64 {
+    pub fn compute_units_cost(&self, m: u64) -> CostBreakdown {
         let mut env = self.scratch();
         if self.distributed() {
             env.charge_network(self.desc.unit_bytes().ceil() as u64 * m);
         }
         env.charge_serial_cpu(m, env.spec.cpu_gradient_s(self.desc.avg_nnz()));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Compute` over `m` sampled units, total seconds.
+    pub fn compute_units_s(&self, m: u64) -> f64 {
+        self.compute_units_cost(m).total_s()
     }
 
     /// `Update` (`cU`): the only operator with a network term — every
     /// active partition ships its partial aggregate (a `d`-vector) to one
     /// node, which then applies the step.
-    pub fn update_s(&self, batch_aggregation: bool) -> f64 {
+    pub fn update_cost(&self, batch_aggregation: bool) -> CostBreakdown {
         let mut env = self.scratch();
         if batch_aggregation && self.distributed() {
             let active = self.desc.partitions(self.spec);
             env.charge_network(active * self.desc.dims as u64 * 8);
         }
         env.charge_serial_cpu(1, env.spec.cpu_update_s(self.desc.dims));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Update` total seconds.
+    pub fn update_s(&self, batch_aggregation: bool) -> f64 {
+        self.update_cost(batch_aggregation).total_s()
     }
 
     /// `Converge` + `Loop` (`cCV + cL`): single-node model-vector pass.
-    pub fn converge_loop_s(&self) -> f64 {
+    pub fn converge_loop_cost(&self) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_serial_cpu(1, env.spec.cpu_converge_s(self.desc.dims));
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Converge` + `Loop` total seconds.
+    pub fn converge_loop_s(&self) -> f64 {
+        self.converge_loop_cost().total_s()
     }
 
     /// `Sample` (`cSP`): expected per-iteration cost of drawing `m` units
     /// with the given strategy (Figure 4 semantics).
-    pub fn sample_s(&self, method: SamplingMethod, m: u64) -> f64 {
+    pub fn sample_cost(&self, method: SamplingMethod, m: u64) -> CostBreakdown {
         let mut env = self.scratch();
         match method {
             SamplingMethod::Bernoulli => {
@@ -146,15 +198,25 @@ impl<'a> OperatorCosts<'a> {
                 env.charge_serial_cpu(m, env.spec.cpu_sample_test_s());
             }
         }
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// `Sample` total seconds.
+    pub fn sample_s(&self, method: SamplingMethod, m: u64) -> f64 {
+        self.sample_cost(method, m).total_s()
     }
 
     /// Per-iteration scheduling overhead: a stage launch on distributed
     /// data, the driver loop otherwise.
-    pub fn iteration_overhead_s(&self) -> f64 {
+    pub fn iteration_overhead_cost(&self) -> CostBreakdown {
         let mut env = self.scratch();
         env.charge_iteration_overhead(self.distributed());
-        env.elapsed_s()
+        env.ledger.snapshot()
+    }
+
+    /// Per-iteration scheduling overhead, total seconds.
+    pub fn iteration_overhead_s(&self) -> f64 {
+        self.iteration_overhead_cost().total_s()
     }
 }
 
@@ -193,6 +255,34 @@ mod tests {
         // Not exactly equal (unit bytes differ → shipping cost) but within
         // two orders of magnitude of each other, vs ~1000× for full scans.
         assert!(large_cost < small_cost * 100.0);
+    }
+
+    #[test]
+    fn breakdown_totals_match_the_scalar_view_bitwise() {
+        let s = spec();
+        let d = large();
+        let costs = OperatorCosts::new(&s, &d);
+        assert_eq!(
+            costs.compute_full_cost().total_s().to_bits(),
+            costs.compute_full_s().to_bits()
+        );
+        assert_eq!(
+            costs
+                .sample_cost(SamplingMethod::Bernoulli, 10)
+                .total_s()
+                .to_bits(),
+            costs.sample_s(SamplingMethod::Bernoulli, 10).to_bits()
+        );
+        assert_eq!(
+            costs.update_cost(true).total_s().to_bits(),
+            costs.update_s(true).to_bits()
+        );
+        // The update network term lands in the net category.
+        assert!(costs.update_cost(true).net_s > 0.0);
+        assert_eq!(costs.update_cost(false).net_s, 0.0);
+        // Job init is pure overhead.
+        assert_eq!(costs.job_init_cost().total_s(), costs.job_init_s());
+        assert_eq!(costs.job_init_cost().overhead_s, costs.job_init_s());
     }
 
     #[test]

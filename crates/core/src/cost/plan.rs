@@ -9,7 +9,7 @@
 //! plus the fixed job-initialization overhead and the per-iteration
 //! scheduling overhead the substrate charges.
 
-use ml4all_dataflow::{ClusterSpec, DatasetDescriptor};
+use ml4all_dataflow::{ClusterSpec, CostBreakdown, DatasetDescriptor};
 use ml4all_gd::{GdPlan, GdVariant, TransformPolicy};
 
 use super::operator::OperatorCosts;
@@ -75,6 +75,47 @@ impl<'a> PlanCostModel<'a> {
         self.preparation_s(plan) + iterations as f64 * self.per_iteration_s(plan)
     }
 
+    /// One-time preparation cost as a per-category vector — the same
+    /// composition as [`PlanCostModel::preparation_s`], kept category-wise
+    /// so online calibration can rescale IO/CPU/net/overhead separately.
+    pub fn preparation_cost(&self, plan: &GdPlan) -> CostBreakdown {
+        let mut total = self.costs.job_init_cost().plus(&self.costs.stage_cost());
+        if plan.transform == TransformPolicy::Eager {
+            total = total.plus(&self.costs.transform_full_cost());
+        }
+        total
+    }
+
+    /// Expected cost of one iteration as a per-category vector.
+    pub fn per_iteration_cost(&self, plan: &GdPlan) -> CostBreakdown {
+        let tail = self.costs.converge_loop_cost();
+        match plan.variant {
+            GdVariant::Batch => self
+                .costs
+                .iteration_overhead_cost()
+                .plus(&self.costs.compute_full_cost())
+                .plus(&self.costs.update_cost(true))
+                .plus(&tail),
+            GdVariant::Stochastic | GdVariant::MiniBatch { .. } => {
+                let m = plan.variant.sample_size(self.costs_desc().n);
+                let sampling = plan
+                    .sampling
+                    .expect("stochastic plans carry a sampling strategy");
+                let mut iter = self
+                    .costs
+                    .iteration_overhead_cost()
+                    .plus(&self.costs.sample_cost(sampling, m))
+                    .plus(&self.costs.compute_units_cost(m))
+                    .plus(&self.costs.update_cost(false))
+                    .plus(&tail);
+                if plan.transform == TransformPolicy::Lazy {
+                    iter = iter.plus(&self.costs.transform_units_cost(m));
+                }
+                iter
+            }
+        }
+    }
+
     fn costs_desc(&self) -> &DatasetDescriptor {
         // OperatorCosts holds the descriptor; expose it for sample sizing.
         self.costs.descriptor()
@@ -113,6 +154,34 @@ mod tests {
         let c200 = model.total_s(&plan, 200);
         let per_iter = model.per_iteration_s(&plan);
         assert!((c200 - c100 - 100.0 * per_iter).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_vectors_total_to_the_scalar_model() {
+        let s = spec();
+        let d = large();
+        let model = PlanCostModel::new(&s, &d);
+        for plan in [
+            GdPlan::bgd(),
+            sgd(TransformPolicy::Lazy, SamplingMethod::ShuffledPartition).unwrap(),
+            GdPlan::mgd(1000, TransformPolicy::Eager, SamplingMethod::Bernoulli).unwrap(),
+        ] {
+            let prep = model.preparation_cost(&plan);
+            let iter = model.per_iteration_cost(&plan);
+            // The vectors are the same ledger charges; only float
+            // association differs from the scalar composition.
+            assert!(
+                (prep.total_s() - model.preparation_s(&plan)).abs()
+                    < 1e-9 * model.preparation_s(&plan).max(1.0),
+                "{plan}: prep vector diverged"
+            );
+            assert!(
+                (iter.total_s() - model.per_iteration_s(&plan)).abs()
+                    < 1e-9 * model.per_iteration_s(&plan).max(1.0),
+                "{plan}: per-iteration vector diverged"
+            );
+            assert!(iter.cpu_s > 0.0, "{plan}: every plan computes");
+        }
     }
 
     #[test]

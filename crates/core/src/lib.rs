@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod calibration;
 pub mod chooser;
 pub mod cost;
 pub mod curvefit;
@@ -50,6 +51,9 @@ pub mod plancache;
 pub mod planspace;
 pub mod platform;
 
+pub use calibration::{
+    plan_feature_key, CalibrationSnapshot, CalibrationStamp, CostScales, ResidualEntry,
+};
 pub use chooser::{choose_plan, OptimizerConfig, OptimizerReport, PlanChoice};
 pub use curvefit::CurveFit;
 pub use estimator::{estimate_iterations, IterationsEstimate, SpeculationConfig};
@@ -84,6 +88,13 @@ pub enum OptimizerError {
     /// system cannot satisfy any of these constraints, it informs the
     /// user which constraint she has to revisit").
     UnsatisfiableConstraint(String),
+    /// A persisted plan-cache entry predates calibration-generation
+    /// keying (or lost its generation to hand editing) and cannot be
+    /// trusted to price plans correctly — refused on load, never replayed.
+    StalePlanCache {
+        /// The offending entry's cache key.
+        key: String,
+    },
 }
 
 impl std::fmt::Display for OptimizerError {
@@ -99,6 +110,10 @@ impl std::fmt::Display for OptimizerError {
                 write!(f, "query error at byte {}: {message}", span.start)
             }
             Self::UnsatisfiableConstraint(msg) => write!(f, "unsatisfiable constraint: {msg}"),
+            Self::StalePlanCache { key } => write!(
+                f,
+                "stale plan-cache entry (no calibration generation): {key}"
+            ),
         }
     }
 }

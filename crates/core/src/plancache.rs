@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::chooser::OptimizerReport;
 use crate::estimator::SpeculationConfig;
 use crate::lang::TrainSpec;
+use crate::OptimizerError;
 
 /// A fully qualified cache key: everything the optimizer's decision
 /// depends on, rendered into one deterministic string.
@@ -30,35 +31,75 @@ use crate::lang::TrainSpec;
 /// RNG stream version pins the key to the current sampler stream layout
 /// (a stream change invalidates every cached speculation outcome).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct PlanCacheKey(String);
+pub struct PlanCacheKey {
+    rendered: String,
+    /// Length of the generation-independent prefix of `rendered` (the
+    /// [`PlanCacheKey::durable_identity`]).
+    base_len: usize,
+    generation: u64,
+}
 
 impl PlanCacheKey {
-    /// Build the key from the decision's inputs.
+    /// Build the key from the decision's inputs. `calibration_generation`
+    /// is the engine's monotone calibration counter (0 with calibration
+    /// off): every observed job bumps it, so cached choices priced under
+    /// older unit costs can never replay.
     pub fn new(
         dataset_fingerprint: u64,
         spec: &TrainSpec,
         seed: u64,
         speculation: &SpeculationConfig,
         cluster: &ClusterSpec,
+        calibration_generation: u64,
     ) -> Self {
         // `Debug` of the constituent structs is deterministic (f64 renders
         // via shortest-roundtrip) and covers every field, so the key
         // cannot silently ignore a new knob.
-        Self(format!(
+        let base = format!(
             "v{RNG_STREAM_VERSION}|fp{dataset_fingerprint:016x}|seed{seed}|{spec:?}|{speculation:?}|{cluster:?}"
-        ))
+        );
+        let base_len = base.len();
+        Self {
+            rendered: format!("{base}|gen{calibration_generation}"),
+            base_len,
+            generation: calibration_generation,
+        }
     }
 
-    /// The rendered key string (stable across processes — the engine hashes
-    /// it to name checkpoint files, and persisted cache entries carry it).
+    /// The rendered key string (stable across processes — persisted cache
+    /// entries carry it).
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.rendered
     }
 
-    /// Rebuild a key from its rendered string (the inverse of
-    /// [`PlanCacheKey::as_str`], used when importing persisted entries).
-    pub fn from_string(key: String) -> Self {
-        Self(key)
+    /// The generation-independent prefix of the key: everything a *job's*
+    /// identity depends on, minus the calibration generation. Checkpoints
+    /// are named by this — a calibration bump must invalidate cached plan
+    /// *decisions*, but never orphan an in-flight job's resume state.
+    pub fn durable_identity(&self) -> &str {
+        &self.rendered[..self.base_len]
+    }
+
+    /// The calibration generation baked into this key.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebuild a key from its rendered string plus the generation the
+    /// persisted entry recorded (the inverse of [`PlanCacheKey::as_str`],
+    /// used when importing persisted entries).
+    pub fn from_string(key: String, generation: u64) -> Self {
+        let suffix = format!("|gen{generation}");
+        let base_len = if key.ends_with(&suffix) {
+            key.len() - suffix.len()
+        } else {
+            key.len()
+        };
+        Self {
+            rendered: key,
+            base_len,
+            generation,
+        }
     }
 }
 
@@ -70,6 +111,11 @@ impl PlanCacheKey {
 pub struct PlanCacheEntry {
     /// Rendered [`PlanCacheKey`] string.
     pub key: String,
+    /// Calibration generation the decision was priced under. `None` marks
+    /// an entry persisted before calibration-generation keying (or hand
+    /// edited); [`PlanCache::import`] refuses such entries with a typed
+    /// error instead of replaying a potentially mispriced plan.
+    pub calibration_generation: Option<u64>,
     /// The cached optimizer decision.
     pub report: OptimizerReport,
 }
@@ -147,7 +193,8 @@ impl PlanCache {
         let mut out: Vec<PlanCacheEntry> = entries
             .iter()
             .map(|(k, report)| PlanCacheEntry {
-                key: k.0.clone(),
+                key: k.rendered.clone(),
+                calibration_generation: Some(k.generation),
                 report: report.clone(),
             })
             .collect();
@@ -158,12 +205,25 @@ impl PlanCache {
     /// Import previously exported entries (e.g. read back from disk).
     /// Stored reports are normalized to `cache_hit: false`, exactly as
     /// [`PlanCache::insert`] would; counters are untouched.
-    pub fn import(&self, entries: Vec<PlanCacheEntry>) {
+    ///
+    /// An entry without a calibration generation is **refused** with
+    /// [`OptimizerError::StalePlanCache`] — it predates generation keying
+    /// (or was hand edited) and replaying it could serve a plan priced
+    /// under unit costs that no longer exist. Nothing is imported when any
+    /// entry is stale, so a damaged file never partially warms the cache.
+    pub fn import(&self, entries: Vec<PlanCacheEntry>) -> Result<(), OptimizerError> {
+        if let Some(stale) = entries.iter().find(|e| e.calibration_generation.is_none()) {
+            return Err(OptimizerError::StalePlanCache {
+                key: stale.key.clone(),
+            });
+        }
         let mut map = self.entries.lock().expect("plan cache");
         for mut e in entries {
             e.report.cache_hit = false;
-            map.insert(PlanCacheKey(e.key), e.report);
+            let generation = e.calibration_generation.expect("checked above");
+            map.insert(PlanCacheKey::from_string(e.key, generation), e.report);
         }
+        Ok(())
     }
 }
 
@@ -203,6 +263,7 @@ mod tests {
             seed,
             &SpeculationConfig::default(),
             &ClusterSpec::paper_testbed(),
+            0,
         )
     }
 
@@ -250,8 +311,28 @@ mod tests {
                 ..SpeculationConfig::default()
             },
             &ClusterSpec::paper_testbed(),
+            0,
         );
         assert_ne!(base, looser, "speculation config");
+        // A calibration-generation bump invalidates every prior decision.
+        let recalibrated = PlanCacheKey::new(
+            data.fingerprint(),
+            &spec,
+            0,
+            &SpeculationConfig::default(),
+            &ClusterSpec::paper_testbed(),
+            1,
+        );
+        assert_ne!(base, recalibrated, "calibration generation");
+        assert_eq!(recalibrated.generation(), 1);
+        assert!(recalibrated.as_str().ends_with("|gen1"));
+        // The durable identity ignores the generation: a recalibration
+        // invalidates cached decisions without orphaning checkpoints.
+        assert_eq!(base.durable_identity(), recalibrated.durable_identity());
+        assert_ne!(base.durable_identity(), base.as_str());
+        // And it survives the persisted-string round trip.
+        let round = PlanCacheKey::from_string(recalibrated.as_str().to_string(), 1);
+        assert_eq!(round.durable_identity(), recalibrated.durable_identity());
     }
 
     #[test]
@@ -271,8 +352,11 @@ mod tests {
         // identical to what the original cache would serve.
         let json = serde_json::to_string(&exported).unwrap();
         let parsed: Vec<PlanCacheEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0].calibration_generation, Some(0));
         let warmed = PlanCache::new();
-        warmed.import(parsed);
+        warmed
+            .import(parsed)
+            .expect("entries carry their generation");
         assert_eq!(warmed.len(), 1);
         let served = warmed.get(&key).expect("imported entry");
         assert!(served.cache_hit);
@@ -280,6 +364,29 @@ mod tests {
             serde_json::to_string(&served.choices).unwrap(),
             serde_json::to_string(&cold.choices).unwrap()
         );
+    }
+
+    #[test]
+    fn entries_without_a_generation_are_refused_typed() {
+        let data = dataset(500);
+        let config =
+            OptimizerConfig::new(GradientKind::LogisticRegression).with_fixed_iterations(100);
+        let cold = choose_plan(&data, &config, &ClusterSpec::paper_testbed()).unwrap();
+        let cache = PlanCache::new();
+        let key = key_for(&data, 0, Some(100));
+        cache.insert(key.clone(), &cold);
+        let mut exported = cache.export();
+        exported[0].calibration_generation = None;
+
+        let warmed = PlanCache::new();
+        let err = warmed.import(exported).unwrap_err();
+        assert!(
+            matches!(&err, OptimizerError::StalePlanCache { key: k } if k == key.as_str()),
+            "expected StalePlanCache, got {err:?}"
+        );
+        // Nothing was imported: the damaged file cannot partially warm.
+        assert!(warmed.is_empty());
+        assert!(warmed.get(&key).is_none());
     }
 
     #[test]

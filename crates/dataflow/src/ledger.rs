@@ -25,6 +25,43 @@ impl CostBreakdown {
     pub fn total_s(&self) -> f64 {
         self.io_s + self.cpu_s + self.net_s + self.overhead_s
     }
+
+    /// Category-wise sum of two breakdowns.
+    pub fn plus(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            io_s: self.io_s + other.io_s,
+            cpu_s: self.cpu_s + other.cpu_s,
+            net_s: self.net_s + other.net_s,
+            overhead_s: self.overhead_s + other.overhead_s,
+        }
+    }
+
+    /// Every category multiplied by `k` (e.g. per-iteration × iterations).
+    pub fn times(&self, k: f64) -> CostBreakdown {
+        CostBreakdown {
+            io_s: self.io_s * k,
+            cpu_s: self.cpu_s * k,
+            net_s: self.net_s * k,
+            overhead_s: self.overhead_s * k,
+        }
+    }
+
+    /// Total seconds after applying per-category multiplicative unit-cost
+    /// scales `[io, cpu, net, overhead]`.
+    ///
+    /// Written as `total_s() + Σ catᵢ·(scaleᵢ − 1)` rather than
+    /// `Σ catᵢ·scaleᵢ` so that identity scales (all 1.0) reproduce
+    /// [`CostBreakdown::total_s`] **bit for bit**: each correction term is
+    /// exactly `cat·0.0 = 0.0` and adding `+0.0` to a finite non-negative
+    /// float is an identity. Calibration at generation 0 therefore cannot
+    /// perturb any decision the static model would make.
+    pub fn rescaled_total_s(&self, scales: [f64; 4]) -> f64 {
+        self.total_s()
+            + self.io_s * (scales[0] - 1.0)
+            + self.cpu_s * (scales[1] - 1.0)
+            + self.net_s * (scales[2] - 1.0)
+            + self.overhead_s * (scales[3] - 1.0)
+    }
 }
 
 /// Physical usage metered during a run on the simulated-cluster backend:
@@ -260,6 +297,39 @@ mod tests {
         assert_eq!(usage.node_compute_s, vec![0.5, 0.0, 2.0]);
         assert_eq!(usage.busiest_node_s(), 2.0);
         assert!((usage.total_node_compute_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_scales_reproduce_total_bit_for_bit() {
+        let b = CostBreakdown {
+            io_s: 0.1 + 0.2, // deliberately non-representable sums
+            cpu_s: 1.0 / 3.0,
+            net_s: 2.0 / 7.0,
+            overhead_s: 1e-9,
+        };
+        assert_eq!(
+            b.rescaled_total_s([1.0; 4]).to_bits(),
+            b.total_s().to_bits(),
+            "identity calibration must be invisible at the bit level"
+        );
+        // Non-identity scales actually rescale.
+        let scaled = b.rescaled_total_s([2.0, 1.0, 1.0, 1.0]);
+        assert!((scaled - (b.total_s() + b.io_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plus_and_times_compose_categorywise() {
+        let a = CostBreakdown {
+            io_s: 1.0,
+            cpu_s: 2.0,
+            net_s: 3.0,
+            overhead_s: 4.0,
+        };
+        let b = a.times(2.0).plus(&a);
+        assert_eq!(b.io_s, 3.0);
+        assert_eq!(b.cpu_s, 6.0);
+        assert_eq!(b.net_s, 9.0);
+        assert_eq!(b.overhead_s, 12.0);
     }
 
     #[test]

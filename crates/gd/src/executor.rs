@@ -81,6 +81,14 @@ pub enum StopReason {
     /// the last completed iteration — bit-identical to an uninterrupted
     /// run capped at that iteration count.
     Cancelled,
+    /// The replan predicate ([`ExecHooks::replan`]) requested a yield at a
+    /// tick boundary: the caller wants to re-run the plan chooser with
+    /// fresh cost observations and possibly continue under a different
+    /// plan. The result carries the full resume state
+    /// ([`TrainResult::resume_state`]) of the boundary, so the continued
+    /// run — same plan or not — is bit-identical to one that had chosen
+    /// that continuation from the start.
+    Replan,
 }
 
 /// One convergence checkpoint handed to [`ExecHooks::on_tick`]: the
@@ -129,6 +137,14 @@ pub struct ExecHooks<'a> {
     /// (iteration count unchanged), unlike a cold start which always runs
     /// one wave first.
     pub resume: Option<ExecState>,
+    /// Mid-flight replanning predicate, evaluated on exactly the ticks
+    /// [`ExecHooks::on_tick`] sees (so the decision is a pure function of
+    /// the tick stream — deterministic across worker counts, backends, and
+    /// kill/resume). Returning `true` stops the loop at that wave boundary
+    /// with [`StopReason::Replan`] and the boundary's full
+    /// [`ExecState`] in [`TrainResult::resume_state`]. Cancellation and
+    /// natural convergence take precedence over a pending replan.
+    pub replan: Option<&'a (dyn Fn(&IterationTick) -> bool + Sync)>,
 }
 
 /// Outcome of one training run.
@@ -161,6 +177,11 @@ pub struct TrainResult {
     /// [`ml4all_dataflow::RNG_STREAM_VERSION`]): same-seed runs are bit
     /// identical only within one stream version.
     pub rng_stream_version: u32,
+    /// Full resume state of the final wave boundary, captured only when
+    /// the run yielded with [`StopReason::Replan`]: hand it back via
+    /// [`ExecHooks::resume`] (under the same or a different plan) to
+    /// continue bit-identically from the yield point.
+    pub resume_state: Option<Box<ExecState>>,
 }
 
 impl TrainResult {
@@ -497,6 +518,8 @@ pub fn execute_with_operators_observed(
     // checkpoint's exact prefix, and a checkpoint taken at a stopping
     // condition does not run extra iterations.
     let mut resume_boundary = hooks.resume.is_some();
+    let mut replan_requested = false;
+    let mut resume_state: Option<Box<ExecState>> = None;
     let stop;
     let unit_bytes = desc.unit_bytes().ceil() as u64;
     let lazy_parse = plan.transform == TransformPolicy::Lazy && !ops.transform.is_identity();
@@ -662,13 +685,20 @@ pub fn execute_with_operators_observed(
                     error_seq.push((ctx.iteration, d));
                 }
                 if hooks.tick_every > 0 && ctx.iteration.is_multiple_of(hooks.tick_every) {
+                    let tick = IterationTick {
+                        iteration: ctx.iteration,
+                        delta: d,
+                        sim_time_s: env.elapsed_s(),
+                        cost: env.snapshot(),
+                    };
                     if let Some(on_tick) = hooks.on_tick {
-                        on_tick(IterationTick {
-                            iteration: ctx.iteration,
-                            delta: d,
-                            sim_time_s: env.elapsed_s(),
-                            cost: env.snapshot(),
-                        });
+                        on_tick(tick.clone());
+                    }
+                    // The replan predicate sees exactly the tick stream,
+                    // so its verdict is identical on every worker count,
+                    // backend, and resumed continuation of this run.
+                    if let Some(replan) = hooks.replan {
+                        replan_requested = replan(&tick);
                     }
                 }
                 // Durability checkpoint at the wave boundary: everything
@@ -714,6 +744,25 @@ pub fn execute_with_operators_observed(
             };
             break;
         }
+        // Replan yield: only after cancellation and natural stopping have
+        // had their say — a converged run never replans. The captured
+        // state is exactly what a durability checkpoint at this boundary
+        // would hold.
+        if replan_requested {
+            resume_state = Some(Box::new(ExecState {
+                iteration: ctx.iteration,
+                weights: ctx.weights.as_slice().to_vec(),
+                prev_weights: prev_weights.as_slice().to_vec(),
+                final_delta,
+                error_seq: error_seq.clone(),
+                rng_state: rng.state(),
+                sampler: sampler.as_ref().map(SamplerState::snapshot),
+                cost: env.snapshot(),
+                usage: env.ledger.usage().clone(),
+            }));
+            stop = StopReason::Replan;
+            break;
+        }
         if let Some(budget) = params.wall_budget {
             if start.elapsed() >= budget {
                 stop = StopReason::WallBudget;
@@ -735,6 +784,7 @@ pub fn execute_with_operators_observed(
         usage: env.ledger.usage().clone(),
         backend: env.backend().name(),
         rng_stream_version: RNG_STREAM_VERSION,
+        resume_state,
     })
 }
 
@@ -1101,6 +1151,73 @@ mod tests {
         assert_eq!(cancelled.error_seq, capped.error_seq);
         assert_eq!(cancelled.cost, capped.cost);
         assert_eq!(cancelled.sim_time_s.to_bits(), capped.sim_time_s.to_bits());
+    }
+
+    #[test]
+    fn replan_yield_resumes_bit_identically_under_the_same_plan() {
+        let data = dataset(800);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.0;
+        params.max_iter = 40;
+        let plan = GdPlan::mgd(
+            32,
+            TransformPolicy::Eager,
+            SamplingMethod::ShuffledPartition,
+        )
+        .unwrap();
+
+        let mut env_full = env();
+        let full = execute_plan(&plan, &data, &params, &mut env_full).unwrap();
+        assert!(full.resume_state.is_none(), "no yield without a predicate");
+
+        let trigger = |t: &IterationTick| t.iteration == 12;
+        let hooks = ExecHooks {
+            tick_every: 4,
+            replan: Some(&trigger),
+            ..Default::default()
+        };
+        let mut env_yield = env();
+        let yielded = execute_plan_observed(&plan, &data, &params, &mut env_yield, &hooks).unwrap();
+        assert_eq!(yielded.stop, StopReason::Replan);
+        assert_eq!(yielded.iterations, 12);
+        let state = *yielded.resume_state.expect("replan carries resume state");
+        assert_eq!(state.iteration, 12);
+
+        // Continuing from the yield (no predicate this time) is the
+        // uninterrupted run, bit for bit.
+        let hooks = ExecHooks {
+            resume: Some(state),
+            ..Default::default()
+        };
+        let mut env_res = env();
+        let resumed = execute_plan_observed(&plan, &data, &params, &mut env_res, &hooks).unwrap();
+        assert_eq!(resumed.weights, full.weights);
+        assert_eq!(resumed.error_seq, full.error_seq);
+        assert_eq!(resumed.cost, full.cost);
+        assert_eq!(resumed.sim_time_s.to_bits(), full.sim_time_s.to_bits());
+    }
+
+    #[test]
+    fn convergence_beats_a_pending_replan() {
+        let data = dataset(2000);
+        let mut params = TrainParams::paper_defaults(GradientKind::Svm);
+        params.tolerance = 0.01;
+        params.max_iter = 2000;
+        // A predicate that always fires: the run must still converge
+        // normally on the iteration where the tolerance is hit.
+        let mut env_full = env();
+        let full = execute_plan(&GdPlan::bgd(), &data, &params, &mut env_full).unwrap();
+        assert!(full.converged());
+        let trigger = |t: &IterationTick| t.iteration == full.iterations;
+        let hooks = ExecHooks {
+            tick_every: 1,
+            replan: Some(&trigger),
+            ..Default::default()
+        };
+        let mut env_r = env();
+        let r = execute_plan_observed(&GdPlan::bgd(), &data, &params, &mut env_r, &hooks).unwrap();
+        assert_eq!(r.stop, StopReason::Converged);
+        assert!(r.resume_state.is_none());
     }
 
     #[test]

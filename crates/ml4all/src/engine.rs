@@ -17,6 +17,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+use ml4all_calibrate::{profile_path, Calibrator, CalibratorConfig, JobObservation, ReplanPolicy};
+use ml4all_core::calibration::{plan_feature_key, CalibrationSnapshot};
 use ml4all_core::chooser::{
     backend_for, choose_plan, profile_choice, IterationsSource, OptimizerConfig, OptimizerReport,
 };
@@ -44,6 +46,11 @@ const DEFAULT_TICK_EVERY: u64 = 100;
 
 /// Tenant tag for jobs submitted through plain [`Engine::submit`].
 const LOCAL_TENANT: &str = "local";
+
+/// Environment pin: when set to `1`, [`Engine::with_calibration`] is a
+/// no-op and every decision uses the static Eq. 3–9 cost model — the
+/// escape hatch when a learned profile must be ruled out.
+pub const ML4ALL_NO_CALIBRATION: &str = "ML4ALL_NO_CALIBRATION";
 
 /// Terminal job records retained in the [`Engine::jobs`] table: beyond
 /// this, the oldest finished records are pruned on submission so a
@@ -78,6 +85,14 @@ struct EngineCore {
     state_dir: Option<PathBuf>,
     checkpoints_written: AtomicU64,
     jobs_resumed: AtomicU64,
+    /// Online cost-model calibrator ([`Engine::with_calibration`]).
+    /// `None` keeps every estimate exactly as the static Eq. 3–9 model
+    /// prices it — the cold-start path is bit-identical to an engine
+    /// built before calibration existed.
+    calibration: Option<Mutex<Calibrator>>,
+    /// Mid-flight replanning policy ([`Engine::with_replanning`]).
+    replan: Option<ReplanPolicy>,
+    replans: AtomicU64,
 }
 
 /// The thread-safe, job-oriented entry point: submit training jobs,
@@ -143,6 +158,9 @@ impl Engine {
                 state_dir: None,
                 checkpoints_written: AtomicU64::new(0),
                 jobs_resumed: AtomicU64::new(0),
+                calibration: None,
+                replan: None,
+                replans: AtomicU64::new(0),
             }),
         }
     }
@@ -246,8 +264,27 @@ impl Engine {
     /// Panics if the engine is already shared (see the builder contract
     /// on [`Engine::with_cluster`]), or if the state directory cannot be
     /// created or read — a serving engine must not come up silently
-    /// non-durable.
-    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+    /// non-durable — or if its persisted plan cache is stale (see
+    /// [`Engine::try_with_state_dir`] for the typed variant).
+    pub fn with_state_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.try_with_state_dir(dir)
+            .expect("load state dir (use try_with_state_dir for a typed error)")
+    }
+
+    /// [`Engine::with_state_dir`] with typed errors: a persisted plan
+    /// cache whose entries predate calibration generations (or were
+    /// hand-edited to drop them) is refused with
+    /// [`OptimizerError::StalePlanCache`](ml4all_core::OptimizerError::StalePlanCache)
+    /// instead of silently serving decisions whose pricing provenance is
+    /// unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]), or on unreadable state (I/O and
+    /// malformed-JSON problems stay panics: they mean the directory is
+    /// not a state dir at all).
+    pub fn try_with_state_dir(mut self, dir: impl Into<PathBuf>) -> Result<Self, SessionError> {
         let dir = dir.into();
         std::fs::create_dir_all(dir.join("checkpoints")).expect("create state dir");
         std::fs::create_dir_all(dir.join("models")).expect("create state dir");
@@ -258,7 +295,7 @@ impl Engine {
         if let Ok(text) = std::fs::read_to_string(&cache_path) {
             let entries: Vec<PlanCacheEntry> =
                 serde_json::from_str(&text).expect("corrupt plancache.json in state dir");
-            core.plan_cache.import(entries);
+            core.plan_cache.import(entries)?;
         }
         // Rehydrate the model registry from `models/<hex-of-name>.txt`.
         let mut models = HashMap::new();
@@ -276,7 +313,69 @@ impl Engine {
             );
         }
         *core.models.get_mut().expect("model registry") = models;
+        // A calibrator installed before the state dir reloads its
+        // persisted profile now (the builders compose in any order).
+        if let Some(cal) = &mut core.calibration {
+            if let Some(loaded) = Calibrator::load(&profile_path(&dir), CalibratorConfig::default())
+                .expect("corrupt calibration profile in state dir")
+            {
+                *cal.get_mut().expect("calibrator") = loaded;
+            }
+        }
         core.state_dir = Some(dir);
+        Ok(self)
+    }
+
+    /// Turn on online cost-model calibration: after every completed job
+    /// the engine feeds (predicted cost vector, measured ledger) into a
+    /// robust per-operator EWMA that refits unit-cost scales and a
+    /// residual model keyed on plan features. Subsequent decisions price
+    /// plans with the calibrated estimator; each refit bumps a monotone
+    /// *calibration generation* that is part of the plan-cache key, so
+    /// stale decisions are never served. With a state dir, the profile
+    /// persists to `calibration.json` (atomic rename) and reloads here.
+    ///
+    /// A cold calibrator (zero observations) is exactly the identity:
+    /// decisions, keys, and weights are bit-identical to an uncalibrated
+    /// engine. Set `ML4ALL_NO_CALIBRATION=1` to pin the static model —
+    /// this builder becomes a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]), or if a persisted calibration
+    /// profile exists but cannot be parsed.
+    pub fn with_calibration(mut self) -> Self {
+        if std::env::var(ML4ALL_NO_CALIBRATION).as_deref() == Ok("1") {
+            return self;
+        }
+        let core = self.configure();
+        let config = CalibratorConfig::default();
+        let calibrator = match &core.state_dir {
+            Some(dir) => Calibrator::load(&profile_path(dir), config)
+                .expect("corrupt calibration profile in state dir")
+                .unwrap_or_else(|| Calibrator::new(config)),
+            None => Calibrator::new(config),
+        };
+        core.calibration = Some(Mutex::new(calibrator));
+        self
+    }
+
+    /// Turn on deterministic mid-flight replanning: when a job's observed
+    /// per-iteration convergence diverges from the curve-fit estimate
+    /// beyond `policy`'s band, the executor yields at a wave boundary,
+    /// the chooser re-runs with calibrated costs and the revised
+    /// iteration estimate, and the job switches plans —
+    /// [`JobEvent::Replanned`] records the switch. The trigger is a pure
+    /// function of the progress-tick stream, so the decision is
+    /// bit-identical at any worker count and across kill/resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already shared (see the builder contract
+    /// on [`Engine::with_cluster`]).
+    pub fn with_replanning(mut self, policy: ReplanPolicy) -> Self {
+        self.configure().replan = Some(policy);
         self
     }
 
@@ -304,6 +403,21 @@ impl Engine {
     /// The plan cache (hit/miss counters and size, for observability).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.core.plan_cache
+    }
+
+    /// The current calibration state, if calibration is on: generation,
+    /// per-operator scales, learned residuals. `None` on an uncalibrated
+    /// engine.
+    pub fn calibration(&self) -> Option<CalibrationSnapshot> {
+        self.core
+            .calibration
+            .as_ref()
+            .map(|cal| cal.lock().expect("calibrator").snapshot())
+    }
+
+    /// Mid-flight plan switches performed by this engine instance.
+    pub fn replans(&self) -> u64 {
+        self.core.replans.load(Ordering::Relaxed)
     }
 
     /// Register an in-memory dataset under a name usable in queries.
@@ -572,25 +686,42 @@ fn unhex_name(stem: &str) -> Option<String> {
 
 /// The one place a request is rendered into its plan-cache key: shared by
 /// the decision path and the checkpoint path, so a checkpoint's identity
-/// is exactly the identity the plan cache uses.
-fn cache_key(core: &EngineCore, request: &TrainRequest, data: &PartitionedDataset) -> PlanCacheKey {
+/// is exactly the identity the plan cache uses. The calibration
+/// generation comes from the *config's* snapshot (injected once per job
+/// in [`configured`]), so the key and the pricing always agree even if
+/// another job bumps the calibrator concurrently.
+fn cache_key(
+    core: &EngineCore,
+    request: &TrainRequest,
+    data: &PartitionedDataset,
+    config: &OptimizerConfig,
+) -> PlanCacheKey {
     PlanCacheKey::new(
         data.fingerprint(),
         &request.spec,
         request.seed,
         &core.speculation,
         &core.cluster,
+        config
+            .calibration
+            .as_ref()
+            .map(|snapshot| snapshot.generation)
+            .unwrap_or(0),
     )
 }
 
 /// Where the checkpoint for `key` lives under the state directory: the
 /// key string is unbounded, so the filename is its FNV-1a hash while the
 /// full identity travels inside the checkpoint itself (`key_hash`, plan,
-/// RNG stream version) and is re-validated on resume.
+/// RNG stream version) and is re-validated on resume. The hash covers
+/// only the key's *durable identity* — the generation-independent prefix
+/// — so a calibration refit between a crash and its restart never
+/// orphans an in-flight checkpoint.
 fn checkpoint_path(state_dir: &std::path::Path, key: &PlanCacheKey) -> PathBuf {
-    state_dir
-        .join("checkpoints")
-        .join(format!("{:016x}.ckpt", fnv1a64(key.as_str().as_bytes())))
+    state_dir.join("checkpoints").join(format!(
+        "{:016x}.ckpt",
+        fnv1a64(key.durable_identity().as_bytes())
+    ))
 }
 
 /// Best-effort persistence of the plan cache after a cold decision.
@@ -618,6 +749,11 @@ fn configured(
         config = config.with_speculation(core.speculation.clone());
     }
     config = config.with_runtime(Arc::clone(&core.runtime));
+    // Snapshot the calibrator exactly once per job: every use downstream
+    // (cache key, pricing, replanning) sees the same generation.
+    if let Some(cal) = &core.calibration {
+        config = config.with_calibration(cal.lock().expect("calibrator").snapshot());
+    }
     let data = core.resolver.resolve(&request.source)?;
     Ok((config, data))
 }
@@ -632,7 +768,7 @@ fn cached_choose(
     data: &PartitionedDataset,
     job: Option<&JobState>,
 ) -> Result<OptimizerReport, SessionError> {
-    let key = cache_key(core, request, data);
+    let key = cache_key(core, request, data, config);
     if let Some(report) = core.plan_cache.get(&key) {
         return Ok(report);
     }
@@ -659,11 +795,11 @@ fn run_train(
     let (config, data) = configured(core, request)?;
     let report = cached_choose(core, request, &config, &data, job)?;
     let best = report.best();
-    let plan = best.plan;
-    let backend = backend_for(&best.mapping, &core.cluster);
+    let mut current_plan = best.plan;
+    let mut backend = backend_for(&best.mapping, &core.cluster);
     if let Some(job) = job {
         job.emit(JobEvent::PlanChosen {
-            plan,
+            plan: current_plan,
             estimated_iterations: best.estimated_iterations,
             preparation_s: best.preparation_s,
             per_iteration_s: best.per_iteration_s,
@@ -673,24 +809,42 @@ fn run_train(
         });
     }
 
-    // Durability: a checkpoint's identity is the full plan-cache key (as
-    // a hash — the key string is unbounded) plus the chosen plan and the
-    // RNG stream version, re-validated on resume so a checkpoint can
-    // never silently seed a different job.
-    let plan_string = plan.to_string();
+    // Durability: a checkpoint's identity is the plan-cache key's durable
+    // identity (as a hash — the key string is unbounded) plus the chosen
+    // plan and the RNG stream version, re-validated on resume so a
+    // checkpoint can never silently seed a different job.
+    let mut plan_string = current_plan.to_string();
     let durable = core.state_dir.as_deref().map(|dir| {
-        let key = cache_key(core, request, &data);
-        let key_hash = fnv1a64(key.as_str().as_bytes());
+        let key = cache_key(core, request, &data, &config);
+        let key_hash = fnv1a64(key.durable_identity().as_bytes());
         (checkpoint_path(dir, &key), key_hash)
     });
+    // True when a resumed checkpoint carried a plan the chooser did not
+    // pick now — the earlier run switched mid-flight. The continuation
+    // honors the switch and never replans again.
+    let mut adopted_plan = false;
     let mut resume_state: Option<ExecState> = None;
     if request.resume {
         if let Some((path, key_hash)) = &durable {
             match read_checkpoint(path) {
                 Ok(ckpt) => {
+                    // Under replanning a checkpoint may legitimately carry
+                    // a different plan than today's argmin: the earlier
+                    // run switched mid-flight, or a calibration refit
+                    // moved the argmin between runs. Any plan from this
+                    // request's own costed table is acceptable — same
+                    // data, spec, seed, and cluster by construction.
+                    let adopted = if ckpt.plan == plan_string || core.replan.is_none() {
+                        None
+                    } else {
+                        report
+                            .choices
+                            .iter()
+                            .find(|choice| choice.plan.to_string() == ckpt.plan)
+                    };
                     if ckpt.key_hash != *key_hash
-                        || ckpt.plan != plan_string
                         || ckpt.rng_stream_version != RNG_STREAM_VERSION
+                        || (ckpt.plan != plan_string && adopted.is_none())
                     {
                         return Err(CheckpointError::Mismatch(format!(
                             "checkpoint {} was written by a different job \
@@ -698,6 +852,12 @@ fn run_train(
                             path.display()
                         ))
                         .into());
+                    }
+                    if let Some(row) = adopted {
+                        current_plan = row.plan;
+                        plan_string = ckpt.plan.clone();
+                        backend = backend_for(&row.mapping, &core.cluster);
+                        adopted_plan = true;
                     }
                     core.jobs_resumed.fetch_add(1, Ordering::Relaxed);
                     if let Some(job) = job {
@@ -723,8 +883,6 @@ fn run_train(
     // A wall limit budgets the segment actually executed: a resumed job
     // gets the full limit again for its continuation.
     params.wall_budget = request.wall_limit;
-    let mut env =
-        SimEnv::with_runtime(core.cluster.clone(), Arc::clone(&core.runtime)).with_backend(backend);
     let on_tick = |tick: IterationTick| {
         if let Some(job) = job {
             job.emit(JobEvent::Progress {
@@ -735,40 +893,118 @@ fn run_train(
             });
         }
     };
-    let on_checkpoint = {
-        let durable = durable.clone();
-        let core = Arc::clone(core);
-        let plan_string = plan_string.clone();
-        move |state: ExecState| {
-            let Some((path, key_hash)) = &durable else {
-                return;
-            };
-            let ckpt = Checkpoint {
-                key_hash: *key_hash,
-                plan: plan_string.clone(),
-                rng_stream_version: RNG_STREAM_VERSION,
-                state,
-            };
-            // Best-effort by construction (the wave must not fail on a
-            // full disk); unwritten checkpoints only shorten the resume.
-            if write_checkpoint(path, &ckpt).is_ok() {
-                core.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+
+    // Mid-flight replanning arms only when a policy is installed AND the
+    // winner has a curve fit to diverge from (fixed-iteration jobs have
+    // no estimate, hence nothing to contradict). The trigger is a pure
+    // function of the progress-tick stream — bit-identical at any worker
+    // count and across kill/resume.
+    let fit_a = report
+        .estimate_for(current_plan.variant)
+        .map(|estimate| estimate.fit.a);
+    let mut replan_armed = core.replan.is_some() && fit_a.is_some() && !adopted_plan;
+    let policy = core.replan.unwrap_or_default();
+    let fit_a = fit_a.unwrap_or(0.0);
+    let replan_trigger = move |tick: &IterationTick| policy.should_replan(fit_a, tick);
+
+    let mut did_replan = false;
+    let mut segment_resume = resume_state;
+    let result = loop {
+        let mut env = SimEnv::with_runtime(core.cluster.clone(), Arc::clone(&core.runtime))
+            .with_backend(backend.clone());
+        let on_checkpoint = {
+            let durable = durable.clone();
+            let core = Arc::clone(core);
+            // Captured per segment: a post-switch checkpoint carries the
+            // NEW plan, so resume re-validates against what actually ran.
+            let plan_string = plan_string.clone();
+            move |state: ExecState| {
+                let Some((path, key_hash)) = &durable else {
+                    return;
+                };
+                let ckpt = Checkpoint {
+                    key_hash: *key_hash,
+                    plan: plan_string.clone(),
+                    rng_stream_version: RNG_STREAM_VERSION,
+                    state,
+                };
+                // Best-effort by construction (the wave must not fail on a
+                // full disk); unwritten checkpoints only shorten the resume.
+                if write_checkpoint(path, &ckpt).is_ok() {
+                    core.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                }
             }
+        };
+        let hooks = ExecHooks {
+            cancel: job.map(|j| j.cancel.clone()),
+            tick_every: request.progress_every.unwrap_or(core.tick_every),
+            on_tick: if job.is_some() { Some(&on_tick) } else { None },
+            checkpoint_every,
+            on_checkpoint: if checkpoint_every > 0 {
+                Some(&on_checkpoint)
+            } else {
+                None
+            },
+            resume: segment_resume.take(),
+            replan: if replan_armed {
+                Some(&replan_trigger)
+            } else {
+                None
+            },
+        };
+        let result = execute_plan_observed(&current_plan, &data, &params, &mut env, &hooks)?;
+        if result.stop != StopReason::Replan {
+            break result;
         }
+        // The executor yielded at a wave boundary: re-run the chooser
+        // with freshly calibrated costs and the convergence actually
+        // observed, then continue — possibly under a different plan —
+        // from the carried state. At most one replan per job.
+        replan_armed = false;
+        let mut state = *result
+            .resume_state
+            .expect("a replan yield carries its resume state");
+        let revised =
+            policy.revised_iterations(state.iteration, state.final_delta, params.tolerance);
+        let remaining = revised.saturating_sub(state.iteration).max(1);
+        let mut reconfig = config.clone().with_fixed_iterations(remaining);
+        if let Some(cal) = &core.calibration {
+            reconfig = reconfig.with_calibration(cal.lock().expect("calibrator").snapshot());
+        }
+        // Cache deliberately bypassed: the revised iteration count is
+        // job-local knowledge, not a reusable decision.
+        let revision = choose_plan(&data, &reconfig, &core.cluster)?;
+        let new_best = revision.best();
+        let new_plan = new_best.plan;
+        if new_plan != current_plan {
+            let old_row = revision
+                .choices
+                .iter()
+                .find(|choice| choice.plan == current_plan)
+                .expect("the executing plan is in the revised table");
+            let cost_delta = new_best.ranking_s() - old_row.ranking_s();
+            if let Some(job) = job {
+                job.emit(JobEvent::Replanned {
+                    iteration: state.iteration,
+                    from: current_plan,
+                    to: new_plan,
+                    cost_delta,
+                });
+            }
+            core.replans.fetch_add(1, Ordering::Relaxed);
+            did_replan = true;
+            // A different sampling operator cannot adopt the old
+            // sampler's cursor; it starts fresh (deterministically
+            // seeded). Same-sampler switches carry the cursor.
+            if new_plan.sampling != current_plan.sampling {
+                state.sampler = None;
+            }
+            backend = backend_for(&new_best.mapping, &core.cluster);
+            current_plan = new_plan;
+            plan_string = current_plan.to_string();
+        }
+        segment_resume = Some(state);
     };
-    let hooks = ExecHooks {
-        cancel: job.map(|j| j.cancel.clone()),
-        tick_every: request.progress_every.unwrap_or(core.tick_every),
-        on_tick: if job.is_some() { Some(&on_tick) } else { None },
-        checkpoint_every,
-        on_checkpoint: if checkpoint_every > 0 {
-            Some(&on_checkpoint)
-        } else {
-            None
-        },
-        resume: resume_state,
-    };
-    let result = execute_plan_observed(&plan, &data, &params, &mut env, &hooks)?;
 
     if result.stop == StopReason::Cancelled {
         // The checkpoint (if any) stays on disk: a cancelled job is
@@ -787,6 +1023,44 @@ fn run_train(
     if result.stop != StopReason::WallBudget {
         if let Some((path, _)) = &durable {
             let _ = std::fs::remove_file(path);
+        }
+    }
+
+    // Close the loop: feed (predicted cost vector, measured ledger) into
+    // the calibrator so the NEXT decision prices plans better. Skipped
+    // when the job replanned (the measured ledger spans two plans) or
+    // stopped on its wall budget (the job is incomplete). Each
+    // observation bumps the calibration generation; persistence is
+    // best-effort, like the plan cache.
+    if !did_replan && !adopted_plan && result.stop != StopReason::WallBudget {
+        if let Some(cal) = &core.calibration {
+            if let Some(row) = report
+                .choices
+                .iter()
+                .find(|choice| choice.plan == current_plan)
+            {
+                if let (Some(prep), Some(iter)) = (&row.prep_cost, &row.iter_cost) {
+                    let iters = result.iterations as f64;
+                    let observation = JobObservation {
+                        key: plan_feature_key(
+                            &format!("{:?}", config.gradient),
+                            &current_plan,
+                            result.backend,
+                            data.descriptor(),
+                        ),
+                        predicted: prep.plus(&iter.times(iters)),
+                        predicted_total_s: row.preparation_s + iters * row.per_iteration_s,
+                        measured: result.cost,
+                        measured_total_s: result.sim_time_s,
+                        usage: result.usage.clone(),
+                    };
+                    let mut guard = cal.lock().expect("calibrator");
+                    guard.observe(&observation);
+                    if let Some(dir) = &core.state_dir {
+                        let _ = guard.save(&profile_path(dir));
+                    }
+                }
+            }
         }
     }
 
@@ -811,7 +1085,7 @@ fn run_train(
     Ok(Trained {
         name,
         summary: TrainSummary {
-            plan,
+            plan: current_plan,
             iterations: result.iterations,
             converged: result.converged(),
             sim_time_s: result.sim_time_s,
@@ -1388,5 +1662,185 @@ mod tests {
         let evicted = engine.register_dataset("c", mem(20, 3)).expect("at cap");
         assert_eq!(evicted.name, "a");
         assert_eq!(evicted.dataset.physical_n(), 20);
+    }
+
+    #[test]
+    fn a_cold_calibrator_prices_and_trains_bit_identically() {
+        let plain = quick_engine();
+        let calibrated = quick_engine().with_calibration();
+        plain.register_dataset("train", mem(2000, 5));
+        calibrated.register_dataset("train", mem(2000, 5));
+        let request = || {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-4)
+                .max_iter(200)
+                .seed(9)
+                .named("J")
+        };
+        // Identity scales calibrate to the exact same bits: the column
+        // exists, the numbers don't move.
+        let report = calibrated.explain(ExplainRequest::new(request())).unwrap();
+        assert_eq!(report.calibration.unwrap().generation, 0);
+        for choice in &report.choices {
+            assert_eq!(
+                choice.calibrated_s.unwrap().to_bits(),
+                choice.total_s.to_bits(),
+                "cold calibration must be the identity"
+            );
+        }
+        let a = plain.train(request()).unwrap();
+        let b = calibrated.train(request()).unwrap();
+        assert_eq!(a.summary.plan, b.summary.plan);
+        assert_eq!(
+            a.summary.sim_time_s.to_bits(),
+            b.summary.sim_time_s.to_bits()
+        );
+        assert_eq!(
+            plain.model("J").unwrap().weights,
+            calibrated.model("J").unwrap().weights
+        );
+    }
+
+    #[test]
+    fn calibration_observes_completed_jobs_and_keys_decisions_by_generation() {
+        let dir = state_dir("calibration");
+        let engine = quick_engine().with_calibration().with_state_dir(&dir);
+        engine.register_dataset("train", mem(2000, 5));
+        let request = |name: &str| {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-4)
+                .max_iter(200)
+                .seed(9)
+                .named(name)
+        };
+        assert_eq!(engine.calibration().unwrap().generation, 0);
+        engine.train(request("a")).unwrap();
+        let snapshot = engine.calibration().unwrap();
+        assert_eq!(snapshot.generation, 1, "each completed job refits once");
+        assert!(ml4all_calibrate::profile_path(&dir).exists());
+        // The bumped generation is part of the cache key: the same
+        // request re-optimizes instead of serving a stale decision.
+        engine.train(request("b")).unwrap();
+        assert_eq!(engine.plan_cache().misses(), 2);
+        assert_eq!(engine.plan_cache().hits(), 0);
+        assert_eq!(engine.calibration().unwrap().generation, 2);
+        drop(engine);
+        // A fresh engine on the same state dir resumes the learned
+        // profile, not a cold one.
+        let second = quick_engine().with_calibration().with_state_dir(&dir);
+        assert_eq!(second.calibration().unwrap().generation, 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn the_no_calibration_pin_disables_the_builder() {
+        std::env::set_var(ML4ALL_NO_CALIBRATION, "1");
+        let pinned = quick_engine().with_calibration();
+        let disabled = pinned.calibration().is_none();
+        std::env::remove_var(ML4ALL_NO_CALIBRATION);
+        assert!(disabled, "ML4ALL_NO_CALIBRATION=1 pins the static model");
+        assert!(quick_engine().with_calibration().calibration().is_some());
+    }
+
+    #[test]
+    fn a_plan_cache_without_generations_is_refused_typed() {
+        let dir = state_dir("stale-cache");
+        let engine = quick_engine().with_state_dir(&dir);
+        engine.train(adult_request().named("Q").seed(3)).unwrap();
+        drop(engine);
+        // Hand-edit the persisted cache into its pre-calibration shape:
+        // entries without a pricing generation.
+        let path = dir.join("plancache.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"calibration_generation\": 0"));
+        let edited = text.replace(
+            "\"calibration_generation\": 0",
+            "\"calibration_generation\": null",
+        );
+        std::fs::write(&path, edited).unwrap();
+        let err = quick_engine()
+            .try_with_state_dir(&dir)
+            .err()
+            .expect("a stale plan cache must be refused, not silently served");
+        assert!(
+            matches!(
+                &err,
+                SessionError::Optimizer(ml4all_core::OptimizerError::StalePlanCache { .. })
+            ),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn an_induced_misprediction_replans_mid_job_deterministically() {
+        let setup = || {
+            let engine = quick_engine().with_replanning(ReplanPolicy::default());
+            engine.register_dataset("train", mem(3000, 7));
+            engine
+        };
+        let request = || {
+            TrainRequest::new(GradientKind::LogisticRegression, "train")
+                .epsilon(1e-6)
+                .max_iter(400)
+                .progress_every(4)
+                .seed(11)
+                .named("R")
+        };
+        // Plant a doctored decision: the cache serves the *worst* plan as
+        // the winner, with its variant's curve fit inflated 1000× — the
+        // executed deltas must then fall far outside the divergence band.
+        let doctor = |engine: &Engine| {
+            let (config, data) = configured(&engine.core, &request()).unwrap();
+            let mut report = choose_plan(&data, &config, &engine.core.cluster).unwrap();
+            report.choices.rotate_right(1);
+            let bad = report.choices[0].plan;
+            for est in &mut report.estimates {
+                if std::mem::discriminant(&est.variant) == std::mem::discriminant(&bad.variant) {
+                    est.estimate.fit.a *= 1e3;
+                }
+            }
+            let key = cache_key(&engine.core, &request(), &data, &config);
+            engine.core.plan_cache.insert(key, &report);
+            bad
+        };
+
+        let first = setup();
+        let bad = doctor(&first);
+        let handle = first.submit(request());
+        let events: Vec<JobEvent> = handle.progress().collect();
+        let trained = handle.join().unwrap();
+        let (from, to, at) = events
+            .iter()
+            .find_map(|event| match event {
+                JobEvent::Replanned {
+                    iteration,
+                    from,
+                    to,
+                    ..
+                } => Some((*from, *to, *iteration)),
+                _ => None,
+            })
+            .expect("the misprediction must trigger a mid-job replan");
+        assert_eq!(from, bad);
+        assert_ne!(to, bad, "the honest re-choice abandons the planted plan");
+        assert_eq!(
+            trained.summary.plan, to,
+            "the job finished under the new plan"
+        );
+        assert_eq!(first.replans(), 1);
+        assert_eq!(at % 4, 0, "the switch lands on a tick boundary");
+
+        // Replay on an identical engine: same switch, bit-identical weights.
+        let second = setup();
+        doctor(&second);
+        let replay = second.train(request()).unwrap();
+        assert_eq!(replay.summary.plan, trained.summary.plan);
+        assert_eq!(replay.summary.iterations, trained.summary.iterations);
+        assert_eq!(second.replans(), 1);
+        assert_eq!(
+            first.model("R").unwrap().weights,
+            second.model("R").unwrap().weights
+        );
     }
 }

@@ -14,8 +14,11 @@ use ml4all_dataflow::RNG_STREAM_VERSION;
 /// part of the rendered surface.
 pub fn render_report(report: &OptimizerReport) -> String {
     // The measured column only appears on profiled reports; a diverged
-    // plan inside one renders a dash.
+    // plan inside one renders a dash. The calibrated column only appears
+    // on reports priced under a calibration snapshot, so a cold engine's
+    // output is byte-identical to a pre-calibration build's.
     let measured = report.choices.iter().any(|c| c.measured_s.is_some());
+    let calibrated = report.choices.iter().any(|c| c.calibrated_s.is_some());
     let mut header = vec![
         "#".to_string(),
         "plan".to_string(),
@@ -24,6 +27,9 @@ pub fn render_report(report: &OptimizerReport) -> String {
         "iter(s)".to_string(),
         "total(s)".to_string(),
     ];
+    if calibrated {
+        header.push("calibrated(s)".to_string());
+    }
     if measured {
         header.push("measured(s)".to_string());
     }
@@ -43,6 +49,12 @@ pub fn render_report(report: &OptimizerReport) -> String {
             format!("{:.6}", choice.per_iteration_s),
             format!("{:.3}", choice.total_s),
         ];
+        if calibrated {
+            row.push(match choice.calibrated_s {
+                Some(c) => format!("{c:.3}"),
+                None => "-".to_string(),
+            });
+        }
         if measured {
             row.push(match choice.measured_s {
                 Some(m) => format!("{m:.3}"),
@@ -84,6 +96,12 @@ pub fn render_report(report: &OptimizerReport) -> String {
     }
     if report.cache_hit {
         out.push_str("plan cache: hit (speculation skipped)\n");
+    }
+    if let Some(stamp) = &report.calibration {
+        out.push_str(&format!(
+            "calibration gen {}, residual conf {:.2}\n",
+            stamp.generation, stamp.residual_confidence
+        ));
     }
     out.push_str(&format!("rng stream v{RNG_STREAM_VERSION}\n"));
     out
@@ -138,6 +156,38 @@ mod tests {
         report.cache_hit = true;
         let warm = render_report(&report);
         assert!(warm.contains("plan cache: hit (speculation skipped)"));
+    }
+
+    #[test]
+    fn calibrated_column_and_footer_appear_only_on_calibrated_reports() {
+        use ml4all_core::calibration::CalibrationSnapshot;
+        let cluster = ClusterSpec::paper_testbed();
+        let data = ml4all_datasets::registry::adult()
+            .build(800, 7, &cluster)
+            .unwrap();
+        let mut snapshot = CalibrationSnapshot::identity();
+        snapshot.generation = 3;
+        let config = OptimizerConfig::new(GradientKind::LogisticRegression)
+            .with_fixed_iterations(100)
+            .with_calibration(snapshot);
+        let calibrated = choose_plan(&data, &config, &cluster).unwrap();
+        let table = render_report(&calibrated);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("calibrated(s)"));
+        assert!(
+            lines[0].find("total(s)").unwrap() < lines[0].find("calibrated(s)").unwrap(),
+            "calibrated column sits beside total"
+        );
+        assert!(table.contains("calibration gen 3, residual conf 0.00"));
+        // The identity snapshot renders the same numbers in both columns.
+        for line in lines.iter().skip(1).take(11) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells[5], cells[6], "{line}");
+        }
+        // And the cold table is untouched — no column, no footer.
+        let cold = render_report(&report());
+        assert!(!cold.contains("calibrated(s)"));
+        assert!(!cold.contains("calibration gen"));
     }
 
     #[test]

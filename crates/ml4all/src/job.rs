@@ -63,6 +63,22 @@ pub enum JobEvent {
         /// Iterations already completed by the checkpointed run.
         iteration: u64,
     },
+    /// Mid-flight replanning: the observed convergence deltas left the
+    /// trust band of the speculation fit, the chooser re-ran with
+    /// calibrated costs and a revised iteration estimate, and the job
+    /// switched (or recommitted) at a wave boundary. At most one per job.
+    Replanned {
+        /// Wave boundary (iteration) the switch happened at.
+        iteration: u64,
+        /// Plan the job was executing.
+        from: GdPlan,
+        /// Plan the job continues under (may equal `from` when the
+        /// re-choice reaffirms it).
+        to: GdPlan,
+        /// Estimated remaining-cost change of the switch (new minus old,
+        /// simulated seconds; negative = projected savings).
+        cost_delta: f64,
+    },
     /// A per-K-iteration convergence checkpoint.
     Progress {
         /// Iteration just completed (1-based).
@@ -126,6 +142,14 @@ pub fn render_trace(events: &[JobEvent]) -> String {
                     "resumed from checkpoint at iteration {iteration}\n"
                 ));
             }
+            JobEvent::Replanned {
+                iteration,
+                from,
+                to,
+                cost_delta,
+            } => out.push_str(&format!(
+                "replanned at iter {iteration}: {from} -> {to}  cost delta {cost_delta:+.3}s\n"
+            )),
             JobEvent::Progress {
                 iteration,
                 delta,

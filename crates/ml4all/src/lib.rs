@@ -55,6 +55,8 @@ pub use session::{Predictions, Session, SessionOutput, TrainSummary, Trained};
 
 // The vocabulary the typed requests are written in, re-exported so facade
 // users need only the `ml4all` crate.
+pub use ml4all_calibrate::{CalibratorConfig, ReplanPolicy};
+pub use ml4all_core::calibration::{CalibrationSnapshot, CalibrationStamp};
 pub use ml4all_core::chooser::{OptimizerReport, PlanChoice};
 pub use ml4all_core::lang::{AlgorithmPin, TrainSpec};
 pub use ml4all_core::plancache::PlanCache;

@@ -118,6 +118,8 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
     let mut workers: Option<usize> = None;
     let mut data_dir = String::from(".");
     let mut state_dir: Option<String> = None;
+    let mut calibrate = false;
+    let mut replan = false;
     let bad = |flag: &str, what: &str| -> ! {
         eprintln!("{flag} requires {what}");
         std::process::exit(2);
@@ -140,6 +142,8 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
                 Some(dir) => state_dir = Some(dir),
                 None => bad("--state-dir", "a path"),
             },
+            "--calibrate" => calibrate = true,
+            "--replan" => replan = true,
             "--max-frame" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => config.max_frame = v,
                 None => bad("--max-frame", "a byte count"),
@@ -180,6 +184,12 @@ fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
         }
     }
     let mut engine = Engine::new().with_data_dir(&data_dir);
+    if calibrate {
+        engine = engine.with_calibration();
+    }
+    if replan {
+        engine = engine.with_replanning(ml4all::ReplanPolicy::default());
+    }
     if let Some(dir) = &state_dir {
         engine = engine.with_state_dir(dir);
     }
@@ -260,6 +270,14 @@ fn stats_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
             "  plan cache: {} hits, {} misses, {} entries",
             stats.plan_cache_hits, stats.plan_cache_misses, stats.plan_cache_len
         );
+        if let Some(generation) = stats.calibration_generation {
+            println!(
+                "  calibration: gen {}, residual conf {:.2}, {} replans",
+                generation,
+                stats.calibration_confidence.unwrap_or(0.0),
+                stats.replans
+            );
+        }
         if stats.jobs.is_empty() {
             println!("  jobs: none");
         } else {
@@ -387,6 +405,11 @@ options:
   --data-dir DIR         base directory for dataset/model paths
   --state-dir DIR        durability root: plan cache, bound models, and job
                          checkpoints persist here and survive restarts
+  --calibrate            online cost-model calibration: refit unit costs and
+                         residuals from measured jobs (profile persists under
+                         --state-dir; ML4ALL_NO_CALIBRATION=1 pins it off)
+  --replan               deterministic mid-flight replanning when observed
+                         convergence diverges from the estimate
   --max-frame BYTES      frame payload cap (default 1 MiB)
   --global-in-flight N   max concurrent jobs across tenants (default 8)
   --max-in-flight N      default per-tenant in-flight quota (default 4)

@@ -653,6 +653,19 @@ pub enum WireEvent {
         /// the next one.
         iteration: u64,
     },
+    /// The job switched plans mid-flight: observed convergence diverged
+    /// from the estimate and the chooser re-ran with calibrated costs.
+    Replanned {
+        /// Iteration the switch took effect at (a wave boundary).
+        iteration: u64,
+        /// Rendered plan the job was executing.
+        from: String,
+        /// Rendered plan the job continues under.
+        to: String,
+        /// Revised cost of the new plan minus the old (simulated
+        /// seconds; negative = the switch is predicted cheaper).
+        cost_delta: f64,
+    },
     /// A convergence checkpoint.
     Progress {
         /// Iteration just completed (1-based).
@@ -716,6 +729,17 @@ impl WireEvent {
             },
             JobEvent::Resumed { iteration } => Self::Resumed {
                 iteration: *iteration,
+            },
+            JobEvent::Replanned {
+                iteration,
+                from,
+                to,
+                cost_delta,
+            } => Self::Replanned {
+                iteration: *iteration,
+                from: from.to_string(),
+                to: to.to_string(),
+                cost_delta: *cost_delta,
             },
             JobEvent::Progress {
                 iteration,
@@ -840,6 +864,14 @@ pub struct WireStats {
     pub checkpoints_written: u64,
     /// Jobs the engine restored from a persisted checkpoint since boot.
     pub jobs_resumed: u64,
+    /// Current cost-model calibration generation (`None` when the server
+    /// runs with calibration off).
+    pub calibration_generation: Option<u64>,
+    /// Residual-model confidence in `[0, 1]` at the current generation
+    /// (`None` when calibration is off).
+    pub calibration_confidence: Option<f64>,
+    /// Mid-flight plan switches performed by the engine since boot.
+    pub replans: u64,
     /// This tenant's jobs, submission order.
     pub jobs: Vec<WireJob>,
 }

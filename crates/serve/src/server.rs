@@ -1508,6 +1508,7 @@ fn stats(shared: &Shared, tenant: &str) -> WireStats {
         .collect();
     jobs.sort_by_key(|j| j.job);
     let cache = shared.engine.plan_cache();
+    let calibration = shared.engine.calibration();
     WireStats {
         tenant: tenant.to_string(),
         in_flight: lane.in_flight as u64,
@@ -1522,6 +1523,11 @@ fn stats(shared: &Shared, tenant: &str) -> WireStats {
         plan_cache_len: cache.len() as u64,
         checkpoints_written: shared.engine.checkpoints_written(),
         jobs_resumed: shared.engine.jobs_resumed(),
+        calibration_generation: calibration.as_ref().map(|snapshot| snapshot.generation),
+        calibration_confidence: calibration
+            .as_ref()
+            .map(|snapshot| snapshot.residual_confidence()),
+        replans: shared.engine.replans(),
         jobs,
     }
 }

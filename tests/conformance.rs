@@ -13,7 +13,9 @@
 
 use std::sync::OnceLock;
 
-use ml4all_bench::conformance::{sweep_dataset, ConformanceReport, DatasetConformance};
+use ml4all_bench::conformance::{
+    calibration_sweep, sweep_dataset, CalibrationReport, ConformanceReport, DatasetConformance,
+};
 use ml4all_bench::golden::assert_golden;
 use ml4all_dataflow::ClusterSpec;
 use ml4all_datasets::registry;
@@ -183,6 +185,51 @@ fn node_loss_recovery_is_metered_without_perturbing_the_model() {
         );
         std::fs::write(&path, report).unwrap();
         eprintln!("wrote fault conformance report to {path}");
+    }
+}
+
+/// The calibration double sweep (the CI "cold, then calibrated" pass):
+/// sweep every dataset cold while fitting a calibrator from the executed
+/// plans, sweep again under the fitted snapshot, and require the
+/// calibrated estimator to be no worse on **every** plan and strictly
+/// tighter in aggregate. Set `CALIBRATION_JSON=<path>` to persist the
+/// comparison (the CI artifact).
+#[test]
+fn calibration_strictly_tightens_conformance_error() {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut datasets = Vec::new();
+    for spec in [registry::adult(), registry::covtype(), registry::svm1()] {
+        let cal = calibration_sweep(&spec, MAX_PHYSICAL, ITERATIONS, SEED, &cluster);
+        assert_eq!(cal.rows.len(), 11, "{}: full plan space", cal.dataset);
+        for row in &cal.rows {
+            assert!(
+                row.calibrated_error <= row.cold_error + 1e-6,
+                "{}/{}: calibrated error {:.3e} worse than cold {:.3e}",
+                cal.dataset,
+                row.plan,
+                row.calibrated_error,
+                row.cold_error
+            );
+        }
+        assert!(
+            cal.strictly_tighter(),
+            "{}: calibrated aggregate {:.3e} !< cold {:.3e}",
+            cal.dataset,
+            cal.calibrated_aggregate_error,
+            cal.cold_aggregate_error
+        );
+        datasets.push(cal);
+    }
+
+    let report = CalibrationReport::new(datasets);
+    assert!(
+        report.calibrated_total_error < report.cold_total_error,
+        "whole-suite aggregate must tighten: {:.3e} !< {:.3e}",
+        report.calibrated_total_error,
+        report.cold_total_error
+    );
+    if let Some(path) = report.write_if_requested() {
+        eprintln!("wrote calibration report to {}", path.display());
     }
 }
 

@@ -15,10 +15,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ml4all::{
-    CheckpointError, DataSource, Engine, GradientKind, JobEvent, Runtime, SessionError,
-    TrainRequest,
+    CheckpointError, DataSource, Engine, ExplainRequest, GradientKind, JobEvent, ReplanPolicy,
+    Runtime, SessionError, TrainRequest,
 };
 use ml4all_core::estimator::SpeculationConfig;
+use ml4all_core::plancache::PlanCacheKey;
 use ml4all_dataflow::CostBreakdown;
 
 /// Iteration cap: every run's trajectory has exactly this length because
@@ -26,15 +27,19 @@ use ml4all_dataflow::CostBreakdown;
 const MAX_ITER: u64 = 400;
 const SEED: u64 = 41;
 
+fn speculation() -> SpeculationConfig {
+    SpeculationConfig {
+        sample_size: 300,
+        budget: Duration::from_secs(1),
+        max_iterations: 2000,
+        ..SpeculationConfig::default()
+    }
+}
+
 fn engine(workers: usize) -> Engine {
     Engine::new()
         .with_registry_cap(1000)
-        .with_speculation(SpeculationConfig {
-            sample_size: 300,
-            budget: Duration::from_secs(1),
-            max_iterations: 2000,
-            ..SpeculationConfig::default()
-        })
+        .with_speculation(speculation())
         .with_runtime(Arc::new(Runtime::new(workers)))
 }
 
@@ -251,6 +256,191 @@ fn killed_jobs_resume_bit_identically_across_backends_and_workers() {
             );
             let _ = std::fs::remove_dir_all(dir);
         }
+    }
+}
+
+fn replan_engine(workers: usize) -> Engine {
+    engine(workers).with_replanning(ReplanPolicy::default())
+}
+
+/// Plant a doctored plan decision in `eng`'s cache: the *worst* plan is
+/// served as the winner and its variant's curve fit is inflated 1000×, so
+/// the executed deltas fall far outside the divergence band and the job
+/// must replan mid-flight.
+fn plant_misprediction(eng: &Engine, dataset: &str) -> ml4all::GdPlan {
+    let cluster = eng.cluster().clone();
+    let req = request(dataset);
+    let mut doctored = eng.explain(ExplainRequest::new(request(dataset))).unwrap();
+    doctored.choices.rotate_right(1);
+    let bad = doctored.choices[0].plan;
+    for est in &mut doctored.estimates {
+        if std::mem::discriminant(&est.variant) == std::mem::discriminant(&bad.variant) {
+            est.estimate.fit.a *= 1e3;
+        }
+    }
+    // The cache key the engine will look this up under: same registry
+    // analog (cap 1000, seed 7 — the engine's materialization inputs),
+    // same spec/seed/speculation/cluster, calibration generation 0.
+    let spec = match dataset {
+        "adult" => ml4all_datasets::registry::adult(),
+        _ => ml4all_datasets::registry::svm1(),
+    };
+    let data = spec.build(1000, 7, &cluster).unwrap();
+    let key = PlanCacheKey::new(
+        data.fingerprint(),
+        &req.spec,
+        req.seed,
+        &speculation(),
+        &cluster,
+        0,
+    );
+    eng.plan_cache().insert(key, &doctored);
+    bad
+}
+
+/// A replanned run's observables, captured bit-exactly.
+struct ReplannedRun {
+    trained: ml4all::Trained,
+    model: ml4all::Model,
+    /// `(iteration, to-plan)` of the mid-flight switch.
+    switch: (u64, ml4all::GdPlan),
+    ticks: HashMap<u64, Tick>,
+}
+
+fn run_replanned(dataset: &str, workers: usize) -> ReplannedRun {
+    let eng = replan_engine(workers);
+    let bad = plant_misprediction(&eng, dataset);
+    let handle = eng.submit(request(dataset).progress_every(1).named("rp"));
+    let mut switch = None;
+    let mut ticks = HashMap::new();
+    for event in handle.progress() {
+        match event {
+            JobEvent::Replanned {
+                iteration,
+                from,
+                to,
+                cost_delta,
+            } => {
+                assert_eq!(from, bad, "the switch abandons the planted plan");
+                assert_ne!(to, bad);
+                assert!(cost_delta.is_finite());
+                switch = Some((iteration, to));
+            }
+            JobEvent::Progress {
+                iteration,
+                delta,
+                sim_time_s,
+                cost,
+            } => {
+                ticks.insert(
+                    iteration,
+                    Tick {
+                        delta: delta.to_bits(),
+                        sim_time: sim_time_s.to_bits(),
+                        cost,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    let trained = handle.join().unwrap();
+    assert_eq!(eng.replans(), 1);
+    let switch = switch.expect("the misprediction must trigger a replan");
+    assert_eq!(
+        trained.summary.plan, switch.1,
+        "the job finishes under the new plan"
+    );
+    let model = eng.model("rp").unwrap();
+    ReplannedRun {
+        trained,
+        model,
+        switch,
+        ticks,
+    }
+}
+
+/// Mid-flight replanning is deterministic: a planted misprediction makes
+/// the job switch plans mid-run, and the switch iteration, every tick,
+/// and the final weights are bit-identical at 1, 2, and 8 workers, on the
+/// driver-resident dataset (local backend) and the cluster-mapped one —
+/// and across a kill-and-resume whose segments straddle the switch point.
+#[test]
+fn induced_replans_are_bit_identical_across_workers_backends_and_resume() {
+    for dataset in ["adult", "svm1"] {
+        let reference = run_replanned(dataset, 1);
+        assert_eq!(reference.trained.summary.iterations, MAX_ITER);
+
+        for workers in [2usize, 8] {
+            let label = format!("{dataset} at {workers} workers");
+            let run = run_replanned(dataset, workers);
+            assert_eq!(run.switch, reference.switch, "{label}: switch point");
+            assert_eq!(run.ticks, reference.ticks, "{label}: trajectory");
+            assert_eq!(
+                run.trained.summary.sim_time_s.to_bits(),
+                reference.trained.summary.sim_time_s.to_bits(),
+                "{label}: simulated clock"
+            );
+            assert_eq!(
+                run.model.weights, reference.model.weights,
+                "{label}: final weights"
+            );
+        }
+
+        // Kill and resume: wherever the wall budget lands relative to the
+        // switch, the combined segments replay exactly one switch and
+        // finish bit-identical to the uninterrupted replanned run.
+        let label = format!("{dataset} killed and resumed");
+        let dir = state_dir(&format!("replan-{dataset}"));
+        let eng1 = replan_engine(2).with_state_dir(&dir);
+        plant_misprediction(&eng1, dataset);
+        // The divergence trigger rides the tick stream, so every segment
+        // must tick at the reference cadence for the switch to land on
+        // the same iteration.
+        let seg1 = eng1
+            .train(
+                request(dataset)
+                    .progress_every(1)
+                    .checkpoint_every(1)
+                    .wall_limit(Duration::from_millis(2))
+                    .named("seg1"),
+            )
+            .unwrap();
+        assert!(
+            (1..MAX_ITER).contains(&seg1.summary.iterations),
+            "{label}: segment 1 must stop on its wall budget mid-run"
+        );
+        let replans1 = eng1.replans();
+        drop(eng1);
+
+        let eng2 = replan_engine(2).with_state_dir(&dir);
+        plant_misprediction(&eng2, dataset);
+        let fin = eng2
+            .train(request(dataset).resume(true).progress_every(1).named("fin"))
+            .unwrap();
+        assert_eq!(eng2.jobs_resumed(), 1, "{label}");
+        assert_eq!(
+            replans1 + eng2.replans(),
+            1,
+            "{label}: exactly one switch across segments"
+        );
+        assert_eq!(fin.summary.iterations, MAX_ITER, "{label}");
+        assert_eq!(fin.summary.plan, reference.trained.summary.plan, "{label}");
+        assert_eq!(
+            fin.summary.sim_time_s.to_bits(),
+            reference.trained.summary.sim_time_s.to_bits(),
+            "{label}: simulated clock across segments"
+        );
+        assert_eq!(
+            fin.summary.usage, reference.trained.summary.usage,
+            "{label}: cumulative usage across segments"
+        );
+        assert_eq!(
+            eng2.model("fin").unwrap().weights,
+            reference.model.weights,
+            "{label}: final weights"
+        );
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
 
